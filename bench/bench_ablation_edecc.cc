@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation: eDECC design choices.
+ *
+ * (a) Organization: combined-ECC eDECC on AMD chipkill vs QPC Bamboo
+ *     vs the transformation and Azul alternatives, under the full
+ *     CCCA campaign (which organization backs the "eDECC" box matters
+ *     for diagnosis but not for raw coverage — quantified here).
+ * (b) Address-symbol budget: how many virtual address symbols the
+ *     shortened RS code needs — coverage of 8/16/24/32-bit address
+ *     protection against random wrong-address events (the paper picks
+ *     32 bits = 256GB/channel; fewer bits alias more).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "inject/campaign.hh"
+#include "rs/rs_code.hh"
+
+using namespace aiecc;
+
+namespace
+{
+
+/**
+ * Alias probability of protecting only the low `bits` of the MTB
+ * address: a random wrong address escapes iff it agrees on every
+ * protected bit.
+ */
+double
+truncatedAddressAliasRate(unsigned bits, unsigned trials, Rng &rng)
+{
+    unsigned alias = 0;
+    for (unsigned i = 0; i < trials; ++i) {
+        const uint32_t a = static_cast<uint32_t>(rng.next());
+        uint32_t b = static_cast<uint32_t>(rng.next());
+        if (a == b)
+            b ^= 1u << 31;
+        const uint32_t m =
+            bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+        alias += ((a ^ b) & m) == 0;
+    }
+    return static_cast<double>(alias) / trials;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parse(argc, argv);
+    const bool quick = opt.quick;
+
+    bench::banner("Ablation (a): AIECC coverage vs eDECC organization");
+
+    struct Variant
+    {
+        const char *name;
+        EccScheme scheme;
+    };
+    const Variant variants[] = {
+        {"AIECC w/ AMD eDECC-c", EccScheme::EDeccAmd},
+        {"AIECC w/ QPC eDECC-c", EccScheme::EDeccQpc},
+        {"AIECC w/ QPC eDECC-t", EccScheme::EDeccTransformQpc},
+        {"AIECC w/ QPC+Azul", EccScheme::AzulQpc},
+    };
+
+    TextTable t;
+    std::vector<std::string> head{"variant"};
+    for (CommandPattern pattern : allPatterns())
+        head.push_back(patternName(pattern));
+    head.push_back("diagnosis");
+    t.header(head);
+
+    for (const auto &variant : variants) {
+        Mechanisms mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+        mech.ecc = variant.scheme;
+        InjectionCampaign campaign(mech);
+        std::vector<std::string> row{variant.name};
+        bool anyDiagnosis = false;
+        for (CommandPattern pattern : allPatterns()) {
+            auto stats = campaign.sweepOnePin(pattern);
+            if (!quick) {
+                const auto twoPin = campaign.sweepTwoPin(pattern);
+                stats.trials += twoPin.trials;
+                stats.sdc += twoPin.sdc;
+                stats.mdc += twoPin.mdc;
+                stats.noEffect += twoPin.noEffect;
+                stats.sdcMdcBoth += twoPin.sdcMdcBoth;
+                stats.detected += twoPin.detected;
+            }
+            row.push_back(TextTable::pct(stats.coveredFrac()));
+            // Probe one diagnostic case per pattern.
+            const auto r = campaign.runTrial(
+                pattern, PinError::twoPin(Pin::A3, Pin::A4));
+            anyDiagnosis |= r.diagnosedAddress.has_value();
+        }
+        row.push_back(anyDiagnosis ? "precise" : "none");
+        t.row(row);
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("Coverage is carried by the mechanism *combination*; "
+                "the eDECC\norganization decides diagnosis quality "
+                "(combined-ECC variants recover\nthe faulty address, "
+                "transformation/Azul only raise a flag).\n");
+
+    bench::banner("Ablation (b): address-symbol budget");
+    std::printf("The 32-bit MTB address costs 4 virtual RS symbols on "
+                "QPC (1 on each\nAMD codeword).  Protecting fewer bits "
+                "saves nothing (the symbols are\nfree) but narrows "
+                "reach; truncating the *protected field* aliases:\n\n");
+    TextTable b;
+    b.header({"protected addr bits", "reach per channel",
+              "random-wrong-address escape rate"});
+    Rng rng(0xAB1A);
+    const unsigned trials = quick ? 20000 : 200000;
+    for (unsigned bits : {8u, 16u, 24u, 32u}) {
+        const double reach = 64.0 * std::pow(2.0, bits); // 64B blocks
+        std::string reachStr;
+        if (reach >= (1ULL << 30))
+            reachStr = TextTable::num(reach / (1ULL << 30), 3) + " GB";
+        else
+            reachStr = TextTable::num(reach / (1ULL << 20), 3) + " MB";
+        b.row({std::to_string(bits), reachStr,
+               TextTable::pct(
+                   truncatedAddressAliasRate(bits, trials, rng),
+                   1.0 / trials)});
+    }
+    std::printf("%s\n", b.str().c_str());
+    std::printf("32 protected bits reach 256GB/channel with a random "
+                "wrong-address\nescape below measurement (the paper's "
+                "choice); 8 bits would alias\n~0.4%% of wrong "
+                "addresses.\n");
+    return 0;
+}

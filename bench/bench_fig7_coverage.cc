@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 7 reproduction: CCCA error detection coverage of an
+ * unprotected DDR4 DIMM, DDR4+DECC, DDR4+eDECC and DDR4+AIECC against
+ * 1-pin, 2-pin and all-pin transmission errors, per command pattern.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "inject/campaign.hh"
+
+using namespace aiecc;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parse(argc, argv);
+    const unsigned allPinSamples =
+        opt.allPin ? opt.allPin : (opt.quick ? 20u : 80u);
+    const bool twoPin = !opt.quick;
+
+    bench::banner("Figure 7: CCCA error detection coverage");
+    std::printf("coverage = detected or provably-benign fraction; "
+                "residual SDC/MDC shown alongside.\n"
+                "all-pin noise: %u Monte-Carlo samples per cell%s\n\n",
+                allPinSamples,
+                twoPin ? "" : " (2-pin sweep skipped: --quick)");
+
+    const ProtectionLevel levels[] = {
+        ProtectionLevel::None, ProtectionLevel::Ddr4Decc,
+        ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc};
+
+    for (const char *model : {"1-pin", "2-pin", "all-pin"}) {
+        if (!twoPin && std::string(model) == "2-pin")
+            continue;
+        std::printf("---- %s errors ----\n", model);
+        TextTable t;
+        t.header({"pattern", "None", "DECC", "eDECC", "AIECC",
+                  "AIECC SDC", "AIECC MDC"});
+        for (CommandPattern pattern : allPatterns()) {
+            std::vector<std::string> row{patternName(pattern)};
+            CampaignStats aieccStats;
+            for (ProtectionLevel level : levels) {
+                InjectionCampaign camp(Mechanisms::forLevel(level));
+                CampaignStats stats;
+                if (std::string(model) == "1-pin")
+                    stats = camp.sweepOnePin(pattern);
+                else if (std::string(model) == "2-pin")
+                    stats = camp.sweepTwoPin(pattern);
+                else
+                    stats = camp.sweepAllPin(pattern, allPinSamples);
+                row.push_back(TextTable::pct(stats.coveredFrac()));
+                if (level == ProtectionLevel::Aiecc)
+                    aieccStats = stats;
+            }
+            row.push_back(TextTable::pct(aieccStats.sdcFrac()));
+            row.push_back(TextTable::pct(aieccStats.mdcFrac()));
+            t.row(row);
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    std::printf(
+        "Paper cross-checks (Section V-A2):\n"
+        "  * AIECC covers 100%% of 1-pin errors; CA parity misses the "
+        "CTRL pins;\n"
+        "  * 2-pin errors blow large holes in CAP-based coverage "
+        "(DECC/eDECC),\n    which AIECC fills via eWCRC/eDECC/CSTC;\n"
+        "  * for all-pin noise CAP recovers ~50%% of latched edges, "
+        "and only\n    AIECC avoids all SDC and MDC.\n");
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Figure 9 reproduction: workload centroids (9a), per-protection
+ * CCCA FIT rates at 1e-22 BER (9b), and the SDC MTTF table for a
+ * 1.2M-DRAM system across BERs (9c).
+ *
+ * The undetected-harm probabilities feeding Equation 1 are measured
+ * live by the injection campaign for each protection level.  The
+ * centroid inputs are the paper's published Figure 9a values; a
+ * synthetic-suite characterization + clustering (our stand-in for the
+ * Xeon-counter study) is printed alongside.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "reliability/cluster.hh"
+#include "reliability/fit.hh"
+
+using namespace aiecc;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parse(argc, argv);
+    const unsigned allPinSamples =
+        opt.allPin ? opt.allPin : (opt.quick ? 15u : 60u);
+
+    // ---- Figure 9a ----
+    bench::banner("Figure 9a: representative workload centroids");
+    {
+        TextTable t;
+        t.header({"cluster", "#apps", "data BW", "ACT+WR", "ACT+RD",
+                  "WR", "RD", "PRE", "(x1e6 cmds/s)"});
+        for (const auto &c : paperCentroids()) {
+            t.row({c.name, std::to_string(c.apps),
+                   TextTable::pct(c.dataBwFrac),
+                   TextTable::num(c.rates.actWr / 1e6, 3),
+                   TextTable::num(c.rates.actRd / 1e6, 3),
+                   TextTable::num(c.rates.wr / 1e6, 3),
+                   TextTable::num(c.rates.rd / 1e6, 3),
+                   TextTable::num(c.rates.pre / 1e6, 3)});
+        }
+        std::printf("(paper's published centroids, used as Eq.1 "
+                    "inputs)\n%s\n",
+                    t.str().c_str());
+    }
+
+    // Synthetic-suite substitution: characterize + cluster.
+    {
+        const auto suite = syntheticSuite();
+        std::vector<Characterization> chars;
+        std::vector<std::vector<double>> feats;
+        for (const auto &params : suite) {
+            chars.push_back(characterize(params));
+            feats.push_back(chars.back().features.vec());
+        }
+        const auto clusters = hierarchicalCluster(feats, 4);
+        TextTable t;
+        t.header({"synthetic cluster", "#apps", "median app", "data BW",
+                  "ACT+WR", "ACT+RD", "WR", "RD", "PRE",
+                  "(x1e6 cmds/s)"});
+        for (size_t k = 0; k < clusters.numClusters(); ++k) {
+            const size_t median = clusters.medianMember(k, feats);
+            const auto &c = chars[median];
+            t.row({"cluster " + std::to_string(k),
+                   std::to_string(clusters.members[k].size()),
+                   c.features.name, TextTable::pct(c.features.dataBwUtil),
+                   TextTable::num(c.rates.actWr / 1e6, 3),
+                   TextTable::num(c.rates.actRd / 1e6, 3),
+                   TextTable::num(c.rates.wr / 1e6, 3),
+                   TextTable::num(c.rates.rd / 1e6, 3),
+                   TextTable::num(c.rates.pre / 1e6, 3)});
+        }
+        std::printf("(synthetic-suite substitution: characterize + "
+                    "hierarchical clustering)\n%s\n",
+                    t.str().c_str());
+    }
+
+    // ---- Measure undetected-harm probabilities per level ----
+    const ProtectionLevel levels[] = {
+        ProtectionLevel::None, ProtectionLevel::Ddr4Decc,
+        ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc};
+    std::vector<HarmProbs> probs;
+    std::printf("measuring undetected-harm probabilities via injection "
+                "campaigns (%u all-pin samples)...\n",
+                allPinSamples);
+    for (ProtectionLevel level : levels) {
+        probs.push_back(measureHarmProbs(Mechanisms::forLevel(level),
+                                         allPinSamples));
+    }
+    std::printf("done.\n");
+
+    // ---- Figure 9b ----
+    bench::banner("Figure 9b: x4 DRAM CCCA FIT rates at 1e-22 BER");
+    {
+        const double ber = 1e-22;
+        TextTable t;
+        t.header({"centroid", "kind", "None", "DECC", "eDECC", "AIECC"});
+        for (const auto &c : paperCentroids()) {
+            std::vector<std::string> sdcRow{c.name, "SDC"};
+            std::vector<std::string> mdcRow{"", "MDC"};
+            for (size_t i = 0; i < probs.size(); ++i) {
+                const auto fit = computeFit(ber, c.rates, probs[i]);
+                const double floor = fitResolutionFloor(
+                    ber, c.rates, probs[i].allPinSamples);
+                auto show = [&](double v) {
+                    return v > 0 ? TextTable::num(v, 3)
+                                 : "<" + TextTable::num(floor, 2);
+                };
+                sdcRow.push_back(show(fit.sdcFit));
+                mdcRow.push_back(show(fit.mdcFit));
+            }
+            t.row(sdcRow);
+            t.row(mdcRow);
+            t.separator();
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    // ---- Figure 9c ----
+    bench::banner("Figure 9c: CCCA SDC MTTF, 1.2M DRAM chips, "
+                  "high-bandwidth centroid");
+    {
+        const auto &high = paperCentroids()[2];
+        TextTable t;
+        t.header({"BER", "None", "DECC", "eDECC", "AIECC"});
+        for (double ber : {1e-22, 1e-21, 1e-20}) {
+            std::vector<std::string> row{TextTable::num(ber, 2)};
+            for (size_t i = 0; i < probs.size(); ++i) {
+                const auto fit = computeFit(ber, high.rates, probs[i]);
+                if (fit.sdcFit > 0) {
+                    row.push_back(
+                        formatDuration(mttfHours(fit.sdcFit, 1.2e6)));
+                } else {
+                    // Below the campaign's Monte-Carlo resolution:
+                    // report the bound instead.
+                    const double floor = fitResolutionFloor(
+                        ber, high.rates, probs[i].allPinSamples);
+                    row.push_back(
+                        ">" + formatDuration(mttfHours(floor, 1.2e6)));
+                }
+            }
+            t.row(row);
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    std::printf(
+        "Paper cross-checks (Section V-C):\n"
+        "  * unprotected, 1e-22 BER, high-BW: ~2.8 FIT and a ~12-day "
+        "MTTF;\n"
+        "  * DECC/eDECC buy about an order of magnitude;\n"
+        "  * AIECC improves the unprotected rate by ~4 orders of "
+        "magnitude\n    (paper: 768 years vs 12 days at 1e-22).\n");
+    return 0;
+}

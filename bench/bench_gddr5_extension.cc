@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Section VI extension experiment: AIECC applied to GDDR5.
+ *
+ * GDDR5's per-lane EDC pin already carries a CRC-8 both ways; the
+ * paper sketches how AIECC rides it — fold the block address into the
+ * write EDC (eWCRC-G), fold address + WRT + CA parity into the read
+ * EDC (the eCAP/eDECC stand-in, since GDDR5 has no PAR pin), and reuse
+ * the CSTC with GDDR5 timing.  This bench measures CCCA error
+ * coverage for the unprotected channel, baseline GDDR5 EDC, and the
+ * full adaptation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "gddr5/campaign.hh"
+
+using namespace aiecc;
+using namespace aiecc::gddr5;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parse(argc, argv);
+    const unsigned allPinSamples =
+        opt.allPin ? opt.allPin : (opt.quick ? 15u : 60u);
+
+    bench::banner("Section VI: AIECC on GDDR5 (extension experiment)");
+
+    struct Config
+    {
+        const char *name;
+        Protection prot;
+    };
+    const Config configs[] = {
+        {"none", Protection::none()},
+        {"GDDR5 EDC", Protection::baseline()},
+        {"EDC+CSTC", {true, false, false, true}},
+        {"AIECC-G", Protection::aiecc()},
+    };
+
+    for (const char *model : {"1-pin", "all-pin"}) {
+        std::printf("---- %s errors (coverage per pattern) ----\n",
+                    model);
+        TextTable t;
+        std::vector<std::string> head{"protection"};
+        for (Pattern pattern : allGddr5Patterns())
+            head.push_back(gddr5PatternName(pattern));
+        head.push_back("SDC+MDC total");
+        t.header(head);
+        for (const auto &config : configs) {
+            Gddr5Campaign campaign(config.prot);
+            std::vector<std::string> row{config.name};
+            unsigned harm = 0;
+            for (Pattern pattern : allGddr5Patterns()) {
+                const auto stats =
+                    std::string(model) == "1-pin"
+                        ? campaign.sweepOnePin(pattern)
+                        : campaign.sweepAllPin(pattern, allPinSamples);
+                row.push_back(TextTable::pct(stats.coveredFrac()));
+                harm += stats.sdc + stats.mdc;
+            }
+            row.push_back(std::to_string(harm));
+            t.row(row);
+        }
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    std::printf(
+        "Reading the table:\n"
+        "  * baseline GDDR5 EDC protects the *link* only - a read of "
+        "the wrong\n    location returns a self-consistent CRC, so "
+        "address and command\n    errors stream through;\n"
+        "  * the AIECC adaptation reuses the same EDC pin (no new "
+        "signals) and\n    reaches full coverage, mirroring the DDR4 "
+        "result of Figure 7.\n");
+    return 0;
+}

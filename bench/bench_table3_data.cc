@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Table III reproduction: data + address reliability of QPC,
+ * QPC+Azul, QPC+eDECC-t and QPC+eDECC-c under Monte-Carlo injection
+ * of data errors (none / 1 bit / 1 chip / 1 rank) crossed with
+ * address errors (none / 1 bit / 32 bits).
+ *
+ * Each cell prints the paper's notation: an SDC percentage when
+ * silent corruption is possible, otherwise the dominant corrected /
+ * detected outcome (CE-D, CE-R(+), CE-RD(+), DUE).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "inject/montecarlo.hh"
+
+using namespace aiecc;
+
+namespace
+{
+
+std::string
+cellText(const MonteCarloCell &cell)
+{
+    const double sdc = cell.sdcFrac();
+    if (sdc >= 0.5)
+        return TextTable::pct(sdc) + " SDC";
+    std::string label = dataOutcomeName(cell.dominant());
+    if (cell.count(DataOutcome::Sdc) > 0) {
+        label = TextTable::pct(sdc) + " SDC / " + label;
+    } else if (cell.trials) {
+        // Report the Monte-Carlo resolution floor, paper-style.
+        label += " (<" +
+                 TextTable::num(100.0 / static_cast<double>(cell.trials),
+                                2) +
+                 "% SDC)";
+    }
+    return label;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parse(argc, argv);
+    const uint64_t trials =
+        opt.trials ? opt.trials : (opt.quick ? 2000u : 20000u);
+
+    bench::banner("Table III: data and address reliability comparison");
+    std::printf("%llu Monte-Carlo trials per cell (paper: 4e9; scale "
+                "with --trials N)\n\n",
+                static_cast<unsigned long long>(trials));
+
+    const EccScheme schemes[] = {EccScheme::Qpc, EccScheme::AzulQpc,
+                                 EccScheme::EDeccTransformQpc,
+                                 EccScheme::EDeccQpc};
+    const DataErrorModel dataModels[] = {
+        DataErrorModel::None, DataErrorModel::Bit1, DataErrorModel::Chip1,
+        DataErrorModel::Rank1};
+    const AddrErrorModel addrModels[] = {
+        AddrErrorModel::None, AddrErrorModel::Bit1,
+        AddrErrorModel::Bits32};
+
+    TextTable t;
+    t.header({"data err", "addr err", "QPC", "QPC+Azul", "QPC+eDECC-t",
+              "QPC+eDECC-c"});
+    for (auto dm : dataModels) {
+        bool firstRow = true;
+        for (auto am : addrModels) {
+            if (dm == DataErrorModel::None && am == AddrErrorModel::None)
+                continue;
+            std::vector<std::string> row{
+                firstRow ? dataErrorName(dm) : "", addrErrorName(am)};
+            for (auto scheme : schemes) {
+                DataMonteCarlo mc(scheme);
+                row.push_back(cellText(mc.runCell(dm, am, trials)));
+            }
+            t.row(row);
+            firstRow = false;
+        }
+        t.separator();
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf(
+        "Paper cross-checks (Table III):\n"
+        "  * QPC alone: 100%% SDC for every address-error cell;\n"
+        "  * QPC+Azul: ~6.3%% SDC whenever the wrong address aliases "
+        "the 4-bit CRC;\n"
+        "  * eDECC-t detects address errors (CE-R) but cannot diagnose "
+        "them;\n"
+        "  * eDECC-c corrects and precisely diagnoses (CE-R+/CE-RD+); "
+        "chipkill\n    (1-chip correction) is preserved by all "
+        "variants.\n"
+        "Note: residual ~2e-4 SDC in beyond-capability cells is the "
+        "textbook\nbounded-distance RS miscorrection floor (see "
+        "EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tiny shared helpers for the paper-reproduction benches: flag
+ * parsing (--trials N, --allpin N, --quick) and banner printing.
+ */
+
+#ifndef AIECC_BENCH_BENCH_UTIL_HH
+#define AIECC_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace aiecc
+{
+namespace bench
+{
+
+/** Common bench options. */
+struct Options
+{
+    uint64_t trials = 0;   ///< Monte-Carlo trials per cell (0 = default)
+    unsigned allPin = 0;   ///< all-pin noise samples (0 = default)
+    bool quick = false;    ///< cut work for smoke runs
+};
+
+inline Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            opt.quick = true;
+        } else if (!std::strcmp(argv[i], "--trials") && i + 1 < argc) {
+            opt.trials = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--allpin") && i + 1 < argc) {
+            opt.allPin = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--trials N] [--allpin N]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==============================================="
+                "=====================\n%s\n"
+                "==============================================="
+                "=====================\n\n",
+                title.c_str());
+}
+
+} // namespace bench
+} // namespace aiecc
+
+#endif // AIECC_BENCH_BENCH_UTIL_HH

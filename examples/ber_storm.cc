@@ -1,0 +1,68 @@
+/**
+ * @file
+ * BER storm: replay a realistic access trace through every protection
+ * level while the CCCA channel misbehaves at a configurable rate, and
+ * report what actually reached the consumer — silent corruption,
+ * flagged losses, or transparent retries.  The end-to-end version of
+ * the paper's Figure 9 story.
+ *
+ * Run: ./ber_storm [accesses] [edge-error-rate]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "workload/trace.hh"
+
+using namespace aiecc;
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t accesses =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+    const double edgeErrorRate =
+        argc > 2 ? std::strtod(argv[2], nullptr) : 2e-3;
+
+    WorkloadParams wl{"storm", 0.15, 0.67, 0.6, accesses, 99};
+    const auto trace = generateTrace(wl, accesses);
+
+    std::printf("replaying %llu accesses (67%% reads, open-page) with "
+                "a %.0e per-edge\nCCCA error rate against each "
+                "protection level...\n\n",
+                static_cast<unsigned long long>(accesses),
+                edgeErrorRate);
+
+    TextTable t;
+    t.header({"protection", "cmd edges", "errors hit", "detections",
+              "retries", "flagged (DUE)", "silent corrupt reads"});
+
+    for (ProtectionLevel level :
+         {ProtectionLevel::None, ProtectionLevel::Ddr4Decc,
+          ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc}) {
+        StackConfig config;
+        config.mech = Mechanisms::forLevel(level);
+        config.scrubOnCorrection = true;
+        ProtectionStack stack(config);
+
+        ReplayConfig rc;
+        rc.edgeErrorRate = edgeErrorRate;
+        const auto report = replayTrace(stack, trace, rc);
+
+        t.row({protectionLevelName(level),
+               std::to_string(report.commandEdges),
+               std::to_string(report.injectedErrors),
+               std::to_string(report.detections),
+               std::to_string(report.retries),
+               std::to_string(report.flaggedReads),
+               std::to_string(report.corruptReads)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "The rightmost column is what a user experiences as "
+        "inexplicable data\ncorruption.  AIECC converts it into "
+        "transparent retries at full command\nbandwidth - no geardown, "
+        "no extra pins, no extra storage.\n");
+    return 0;
+}

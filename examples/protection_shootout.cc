@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Protection shootout: subject every protection level (unprotected,
+ * DDR4+DECC, DDR4+eDECC, DDR4+AIECC) to the same storm of CCCA
+ * transmission errors over a synthetic workload, and tabulate what
+ * each level let through — the end-to-end story of Figures 7 and 9
+ * in one run.
+ *
+ * Run: ./protection_shootout [errors-per-level]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "aiecc/aiecc.hh"
+#include "common/table.hh"
+#include "inject/campaign.hh"
+
+using namespace aiecc;
+
+int
+main(int argc, char **argv)
+{
+    const int errorsPerLevel = argc > 1 ? std::atoi(argv[1]) : 120;
+
+    std::printf("injecting %d random CCCA errors (mixed 1-pin / 2-pin "
+                "/ all-pin,\nmixed command patterns) into each "
+                "protection level...\n\n",
+                errorsPerLevel);
+
+    TextTable t;
+    t.header({"protection", "benign", "corrected", "DUE", "SDC", "MDC",
+              "coverage"});
+
+    for (ProtectionLevel level :
+         {ProtectionLevel::None, ProtectionLevel::Ddr4Decc,
+          ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc}) {
+        const auto mech = Mechanisms::forLevel(level);
+        InjectionCampaign campaign(mech);
+        
+        CampaignStats stats;
+
+        Rng pick(0x51307);
+        for (int i = 0; i < errorsPerLevel; ++i) {
+            const auto patterns = allPatterns();
+            const auto pattern =
+                patterns[pick.below(patterns.size())];
+            PinError error;
+            const auto pins = injectablePins(mech.parPinPresent());
+            switch (pick.below(3)) {
+              case 0:
+                error = PinError::onePin(
+                    pins[pick.below(pins.size())]);
+                break;
+              case 1: {
+                const auto two = pick.sample(
+                    static_cast<unsigned>(pins.size()), 2);
+                error = PinError::twoPin(pins[two[0]], pins[two[1]]);
+                break;
+              }
+              default:
+                error = PinError::allPins(pick.next());
+                break;
+            }
+            stats.add(campaign.runTrial(pattern, error));
+        }
+
+        t.row({protectionLevelName(level),
+               std::to_string(stats.noEffect),
+               std::to_string(stats.corrected),
+               std::to_string(stats.due), std::to_string(stats.sdc),
+               std::to_string(stats.mdc),
+               TextTable::pct(stats.coveredFrac())});
+    }
+
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "benign    = the error hit a don't-care pin (no effect)\n"
+        "corrected = detected early; command retry restored golden "
+        "state\n"
+        "DUE       = detected, but data was lost (flagged to the "
+        "system)\n"
+        "SDC/MDC   = silent data / latent memory corruption escaped\n");
+    return 0;
+}

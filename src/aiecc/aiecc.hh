@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella header for the All-Inclusive ECC library.
+ *
+ * Pulls in the full public API: the DDR4 substrate (pins, commands,
+ * addresses, timing), the DRAM device and controller models, the
+ * chipkill data-ECC organizations, the four AIECC mechanisms (eDECC,
+ * eWCRC, CSTC, eCAP) and their composition into protection stacks,
+ * plus diagnosis helpers.
+ */
+
+#ifndef AIECC_AIECC_AIECC_HH
+#define AIECC_AIECC_AIECC_HH
+
+#include "aiecc/azul.hh"
+#include "aiecc/detection.hh"
+#include "aiecc/diagnosis.hh"
+#include "aiecc/edecc.hh"
+#include "aiecc/edecc_transform.hh"
+#include "aiecc/mechanisms.hh"
+#include "aiecc/stack.hh"
+#include "controller/controller.hh"
+#include "ddr4/address.hh"
+#include "ddr4/burst.hh"
+#include "ddr4/command.hh"
+#include "ddr4/pins.hh"
+#include "ddr4/timing.hh"
+#include "dram/config.hh"
+#include "dram/cstc.hh"
+#include "dram/rank.hh"
+#include "ecc/amd.hh"
+#include "ecc/data_ecc.hh"
+#include "ecc/qpc.hh"
+
+#endif // AIECC_AIECC_AIECC_HH

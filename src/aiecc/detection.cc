@@ -1,0 +1,21 @@
+#include "aiecc/detection.hh"
+
+namespace aiecc
+{
+
+std::string
+mechanismName(Mechanism mech)
+{
+    switch (mech) {
+      case Mechanism::Cap: return "CAP";
+      case Mechanism::ECap: return "eCAP";
+      case Mechanism::Wcrc: return "WCRC";
+      case Mechanism::EWcrc: return "eWCRC";
+      case Mechanism::Cstc: return "CSTC";
+      case Mechanism::Decc: return "DECC";
+      case Mechanism::EDecc: return "eDECC";
+    }
+    return "?";
+}
+
+} // namespace aiecc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Detection-event taxonomy for coverage attribution (Figures 7 and 8).
+ */
+
+#ifndef AIECC_AIECC_DETECTION_HH
+#define AIECC_AIECC_DETECTION_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ddr4/command.hh"
+#include "dram/config.hh"
+
+namespace aiecc
+{
+
+/** The protection mechanism that raised a detection. */
+enum class Mechanism
+{
+    Cap,    ///< DDR4 CA parity
+    ECap,   ///< extended CA parity (incl. WRT mismatches)
+    Wcrc,   ///< DDR4 write CRC
+    EWcrc,  ///< extended write CRC
+    Cstc,   ///< command state and timing checker
+    Decc,   ///< data-only ECC (corrected or DUE)
+    EDecc,  ///< extended data ECC (address-aware)
+};
+
+/** Printable mechanism name. */
+std::string mechanismName(Mechanism mech);
+
+/** One detection raised anywhere in the protection stack. */
+struct DetectionEvent
+{
+    Mechanism mech;
+    Cycle when = 0;
+    /**
+     * The detection fired before any storage corruption could occur
+     * (command blocked), so a simple retry corrects it (§IV-G).
+     */
+    bool early = false;
+    /** The mechanism attributed the error to the address. */
+    bool addressError = false;
+    /** The error was corrected in place (data ECC corrections). */
+    bool corrected = false;
+    /** Precisely diagnosed address (eDECC combined only, §IV-F). */
+    std::optional<uint32_t> diagnosedAddress;
+    std::string detail;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_AIECC_DETECTION_HH

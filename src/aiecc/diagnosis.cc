@@ -1,0 +1,97 @@
+#include "aiecc/diagnosis.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aiecc
+{
+
+namespace
+{
+
+/** Pin that carries row-address bit i during an ACT command. */
+Pin
+rowBitPin(unsigned i)
+{
+    static constexpr Pin pins[18] = {
+        Pin::A0, Pin::A1, Pin::A2, Pin::A3, Pin::A4, Pin::A5, Pin::A6,
+        Pin::A7, Pin::A8, Pin::A9, Pin::A10_AP, Pin::A11, Pin::A12_BC,
+        Pin::A13, Pin::WE_A14, Pin::CAS_A15, Pin::RAS_A16, Pin::A17,
+    };
+    return pins[i];
+}
+
+/** Pin that carries MTB-column bit i during a RD/WR command. */
+Pin
+colBitPin(unsigned i)
+{
+    // MTB column bit i is burst-column bit i + 3 (A3.. for BL8 blocks).
+    static constexpr Pin pins[7] = {
+        Pin::A3, Pin::A4, Pin::A5, Pin::A6, Pin::A7, Pin::A8, Pin::A9,
+    };
+    return pins[i];
+}
+
+} // namespace
+
+AddressDiagnosis
+diagnoseAddress(uint32_t intended, uint32_t observed, const Geometry &geom)
+{
+    AddressDiagnosis diag;
+    diag.intended = intended;
+    diag.observed = observed;
+
+    const uint32_t delta = intended ^ observed;
+    for (unsigned bit = 0; bit < 32; ++bit) {
+        if ((delta >> bit) & 1)
+            diag.faultyBits.push_back(bit);
+    }
+
+    // Map address fields back to the pins that carried them.
+    const unsigned colLo = 0;
+    const unsigned rowLo = colLo + geom.mtbColBits();
+    const unsigned baLo = rowLo + geom.rowBits;
+    const unsigned bgLo = baLo + geom.baBits;
+
+    for (unsigned bit : diag.faultyBits) {
+        Pin pin;
+        if (bit < rowLo) {
+            pin = colBitPin(bit - colLo);
+        } else if (bit < baLo) {
+            pin = rowBitPin(bit - rowLo);
+        } else if (bit < bgLo) {
+            pin = (bit - baLo) == 0 ? Pin::BA0 : Pin::BA1;
+        } else if (bit < bgLo + geom.bgBits) {
+            pin = (bit - bgLo) == 0 ? Pin::BG0 : Pin::BG1;
+        } else {
+            // Rank bits map to per-rank chip selects; report CS.
+            pin = Pin::CS;
+        }
+        if (std::find(diag.suspectPins.begin(), diag.suspectPins.end(),
+                      pin) == diag.suspectPins.end()) {
+            diag.suspectPins.push_back(pin);
+        }
+    }
+    return diag;
+}
+
+std::string
+AddressDiagnosis::toString() const
+{
+    std::ostringstream out;
+    if (!faulty()) {
+        out << "addresses agree";
+        return out.str();
+    }
+    out << "intended 0x" << std::hex << intended << " observed 0x"
+        << observed << std::dec << "; faulty MTB bits {";
+    for (size_t i = 0; i < faultyBits.size(); ++i)
+        out << (i ? "," : "") << faultyBits[i];
+    out << "}; suspect pins {";
+    for (size_t i = 0; i < suspectPins.size(); ++i)
+        out << (i ? "," : "") << pinName(suspectPins[i]);
+    out << "}";
+    return out.str();
+}
+
+} // namespace aiecc

@@ -1,0 +1,183 @@
+#include "aiecc/edecc.hh"
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+GfElem
+addrByte(uint32_t mtbAddr, unsigned j)
+{
+    return static_cast<GfElem>((mtbAddr >> (8 * j)) & 0xFF);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// EDeccQpc: RS(76, 68); positions 0..63 data, 64..67 address (virtual),
+// 68..75 parity.
+// ---------------------------------------------------------------------
+
+EDeccQpc::EDeccQpc()
+    : rs(Burst::numPins + addrSymbols, Burst::dataPins + addrSymbols)
+{
+}
+
+Burst
+EDeccQpc::encode(const BitVec &data, uint32_t mtbAddr) const
+{
+    AIECC_ASSERT(data.size() == Burst::dataBits, "eDECC encode: bad size");
+    std::vector<GfElem> message(Burst::dataPins + addrSymbols);
+    for (unsigned p = 0; p < Burst::dataPins; ++p)
+        message[p] = static_cast<GfElem>(data.getField(p * 8, 8));
+    for (unsigned j = 0; j < addrSymbols; ++j)
+        message[Burst::dataPins + j] = addrByte(mtbAddr, j);
+    const auto parity = rs.parity(message);
+
+    Burst out;
+    out.setData(data);
+    // The address symbols are virtual: only data + parity are stored.
+    for (unsigned j = 0; j < Burst::checkPins; ++j)
+        out.setPinSymbol(Burst::dataPins + j, parity[j]);
+    return out;
+}
+
+EccResult
+EDeccQpc::decode(const Burst &burst, uint32_t mtbAddr) const
+{
+    // Reassemble the full codeword: received data symbols, the read
+    // address as the virtual symbols, received parity.
+    std::vector<GfElem> received(rs.n());
+    for (unsigned p = 0; p < Burst::dataPins; ++p)
+        received[p] = burst.pinSymbol(p);
+    for (unsigned j = 0; j < addrSymbols; ++j)
+        received[Burst::dataPins + j] = addrByte(mtbAddr, j);
+    for (unsigned j = 0; j < Burst::checkPins; ++j)
+        received[Burst::dataPins + addrSymbols + j] =
+            burst.pinSymbol(Burst::dataPins + j);
+
+    const auto dec = rs.decode(received);
+    EccResult res;
+    res.data = burst.data();
+    switch (dec.status) {
+      case RsCodec::Status::Ok:
+        res.status = EccStatus::Clean;
+        return res;
+
+      case RsCodec::Status::Corrected: {
+        res.status = EccStatus::Corrected;
+        res.symbolsCorrected =
+            static_cast<unsigned>(dec.positions.size());
+        for (unsigned p = 0; p < Burst::dataPins; ++p)
+            res.data.setField(p * 8, 8, dec.codeword[p]);
+        for (unsigned pos : dec.positions) {
+            if (pos >= Burst::dataPins &&
+                pos < Burst::dataPins + addrSymbols) {
+                res.addressError = true;
+            }
+        }
+        if (res.addressError) {
+            // Precise diagnosis: the corrected virtual symbols are the
+            // address DRAM actually used (Figure 5b).
+            uint32_t recovered = 0;
+            for (unsigned j = 0; j < addrSymbols; ++j) {
+                recovered |= static_cast<uint32_t>(
+                                 dec.codeword[Burst::dataPins + j])
+                             << (8 * j);
+            }
+            res.recoveredAddress = recovered;
+        }
+        return res;
+      }
+
+      case RsCodec::Status::Uncorrectable:
+        res.status = EccStatus::Uncorrectable;
+        return res;
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// EDeccAmd: 4 x RS(19, 17); positions 0..15 chip symbols, 16 address
+// (virtual), 17..18 parity.
+// ---------------------------------------------------------------------
+
+EDeccAmd::EDeccAmd()
+    : rs(dataChips + 1 + checkChips, dataChips + 1)
+{
+}
+
+Burst
+EDeccAmd::encode(const BitVec &data, uint32_t mtbAddr) const
+{
+    AIECC_ASSERT(data.size() == Burst::dataBits, "eDECC encode: bad size");
+    Burst out;
+    out.setData(data);
+    for (unsigned w = 0; w < numWords; ++w) {
+        std::vector<GfElem> message(dataChips + 1);
+        for (unsigned chip = 0; chip < dataChips; ++chip)
+            message[chip] = out.amdSymbol(chip, w);
+        message[dataChips] = addrByte(mtbAddr, w);
+        const auto parity = rs.parity(message);
+        for (unsigned j = 0; j < checkChips; ++j)
+            out.setAmdSymbol(dataChips + j, w, parity[j]);
+    }
+    return out;
+}
+
+EccResult
+EDeccAmd::decode(const Burst &burst, uint32_t mtbAddr) const
+{
+    EccResult res;
+    Burst corrected = burst;
+    bool anyCorrected = false;
+    uint32_t recovered = 0;
+    bool addrRecovered = false;
+
+    for (unsigned w = 0; w < numWords; ++w) {
+        std::vector<GfElem> received(rs.n());
+        for (unsigned chip = 0; chip < dataChips; ++chip)
+            received[chip] = burst.amdSymbol(chip, w);
+        received[dataChips] = addrByte(mtbAddr, w);
+        for (unsigned j = 0; j < checkChips; ++j)
+            received[dataChips + 1 + j] =
+                burst.amdSymbol(dataChips + j, w);
+
+        const auto dec = rs.decode(received);
+        switch (dec.status) {
+          case RsCodec::Status::Ok:
+            recovered |= static_cast<uint32_t>(addrByte(mtbAddr, w))
+                         << (8 * w);
+            break;
+          case RsCodec::Status::Corrected:
+            anyCorrected = true;
+            res.symbolsCorrected +=
+                static_cast<unsigned>(dec.positions.size());
+            for (unsigned chip = 0; chip < dataChips; ++chip)
+                corrected.setAmdSymbol(chip, w, dec.codeword[chip]);
+            for (unsigned pos : dec.positions) {
+                if (pos == dataChips)
+                    res.addressError = true;
+            }
+            recovered |= static_cast<uint32_t>(dec.codeword[dataChips])
+                         << (8 * w);
+            addrRecovered = true;
+            break;
+          case RsCodec::Status::Uncorrectable:
+            res.status = EccStatus::Uncorrectable;
+            res.data = burst.data();
+            return res;
+        }
+    }
+
+    res.status = anyCorrected ? EccStatus::Corrected : EccStatus::Clean;
+    res.data = corrected.data();
+    if (res.addressError && addrRecovered)
+        res.recoveredAddress = recovered;
+    return res;
+}
+
+} // namespace aiecc

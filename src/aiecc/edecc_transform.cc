@@ -1,0 +1,45 @@
+#include "aiecc/edecc_transform.hh"
+
+namespace aiecc
+{
+
+void
+EDeccTransformQpc::applyMask(Burst &burst, uint32_t mtbAddr)
+{
+    for (unsigned i = 0; i < numSubBlocks; ++i) {
+        if (!((mtbAddr >> i) & 1))
+            continue;
+        const unsigned beat = i % Burst::numBeats;
+        const unsigned pin0 = (i / Burst::numBeats) * subBlockBits;
+        for (unsigned p = 0; p < subBlockBits; ++p)
+            burst.setBit(pin0 + p, beat, !burst.getBit(pin0 + p, beat));
+    }
+}
+
+Burst
+EDeccTransformQpc::encode(const BitVec &data, uint32_t mtbAddr) const
+{
+    // Check bits over the untransformed payload; the stored data is
+    // the transformed payload.  A matching read address restores the
+    // payload the parity was computed over.
+    Burst out = inner.encode(data, 0);
+    applyMask(out, mtbAddr);
+    return out;
+}
+
+EccResult
+EDeccTransformQpc::decode(const Burst &burst, uint32_t mtbAddr) const
+{
+    Burst restored = burst;
+    applyMask(restored, mtbAddr);
+    EccResult res = inner.decode(restored, 0);
+    if (res.status == EccStatus::Uncorrectable) {
+        // An address mismatch manifests as a wide orthogonal error
+        // pattern; the decoder cannot distinguish it from severe data
+        // corruption, so no address diagnosis is available.
+        res.addressError = false;
+    }
+    return res;
+}
+
+} // namespace aiecc

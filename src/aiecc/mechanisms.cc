@@ -1,0 +1,112 @@
+#include "aiecc/mechanisms.hh"
+
+#include <sstream>
+
+#include "aiecc/azul.hh"
+#include "aiecc/edecc.hh"
+#include "aiecc/edecc_transform.hh"
+#include "ecc/amd.hh"
+#include "ecc/qpc.hh"
+
+namespace aiecc
+{
+
+std::string
+eccSchemeName(EccScheme scheme)
+{
+    switch (scheme) {
+      case EccScheme::None: return "none";
+      case EccScheme::Qpc: return "QPC";
+      case EccScheme::Amd: return "AMD-chipkill";
+      case EccScheme::EDeccQpc: return "QPC+eDECC-c";
+      case EccScheme::EDeccAmd: return "AMD+eDECC-c";
+      case EccScheme::EDeccTransformQpc: return "QPC+eDECC-t";
+      case EccScheme::AzulQpc: return "QPC+Azul";
+    }
+    return "?";
+}
+
+std::unique_ptr<DataEcc>
+makeEcc(EccScheme scheme)
+{
+    switch (scheme) {
+      case EccScheme::None: return nullptr;
+      case EccScheme::Qpc: return std::make_unique<QpcEcc>();
+      case EccScheme::Amd: return std::make_unique<AmdChipkillEcc>();
+      case EccScheme::EDeccQpc: return std::make_unique<EDeccQpc>();
+      case EccScheme::EDeccAmd: return std::make_unique<EDeccAmd>();
+      case EccScheme::EDeccTransformQpc:
+        return std::make_unique<EDeccTransformQpc>();
+      case EccScheme::AzulQpc: return std::make_unique<AzulQpc>();
+    }
+    return nullptr;
+}
+
+std::string
+protectionLevelName(ProtectionLevel level)
+{
+    switch (level) {
+      case ProtectionLevel::None: return "None";
+      case ProtectionLevel::Ddr4Decc: return "DECC";
+      case ProtectionLevel::Ddr4EDecc: return "eDECC";
+      case ProtectionLevel::Aiecc: return "AIECC";
+    }
+    return "?";
+}
+
+Mechanisms
+Mechanisms::forLevel(ProtectionLevel level)
+{
+    Mechanisms m;
+    switch (level) {
+      case ProtectionLevel::None:
+        break;
+      case ProtectionLevel::Ddr4Decc:
+        m.parity = ParityMode::Cap;
+        m.wcrc = WcrcMode::Data;
+        m.ecc = EccScheme::Qpc;
+        break;
+      case ProtectionLevel::Ddr4EDecc:
+        m.parity = ParityMode::Cap;
+        m.wcrc = WcrcMode::Data;
+        m.ecc = EccScheme::EDeccQpc;
+        break;
+      case ProtectionLevel::Aiecc:
+        m.parity = ParityMode::ECap;
+        m.wcrc = WcrcMode::DataAddress;
+        m.cstc = true;
+        m.ecc = EccScheme::EDeccQpc;
+        break;
+    }
+    return m;
+}
+
+std::string
+Mechanisms::describe() const
+{
+    std::ostringstream out;
+    bool first = true;
+    auto add = [&](const std::string &s) {
+        if (!first)
+            out << "+";
+        out << s;
+        first = false;
+    };
+    if (parity == ParityMode::Cap)
+        add("CAP");
+    if (parity == ParityMode::ECap)
+        add("eCAP");
+    if (wcrc == WcrcMode::Data)
+        add("WCRC");
+    if (wcrc == WcrcMode::DataAddress)
+        add("eWCRC");
+    if (cstc)
+        add("CSTC");
+    if (ecc != EccScheme::None)
+        add(eccSchemeName(ecc));
+    if (first)
+        out << "unprotected";
+    return out.str();
+}
+
+} // namespace aiecc

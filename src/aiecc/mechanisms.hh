@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Protection-mechanism configuration: which of the AIECC / DDR4
+ * mechanisms are active, and the named protection levels evaluated in
+ * Section V-A2 of the paper.
+ */
+
+#ifndef AIECC_AIECC_MECHANISMS_HH
+#define AIECC_AIECC_MECHANISMS_HH
+
+#include <memory>
+#include <string>
+
+#include "dram/config.hh"
+#include "ecc/data_ecc.hh"
+
+namespace aiecc
+{
+
+/** The data-ECC organizations available to a protection stack. */
+enum class EccScheme
+{
+    None,              ///< raw storage, no check bits
+    Qpc,               ///< QPC Bamboo chipkill (data only)
+    Amd,               ///< AMD chipkill (data only)
+    EDeccQpc,          ///< QPC + combined-ECC address symbols
+    EDeccAmd,          ///< AMD + combined-ECC address symbols
+    EDeccTransformQpc, ///< QPC + codeword transformation (Nicholas)
+    AzulQpc,           ///< QPC + Azul 4-bit address CRC
+};
+
+/** Printable scheme name. */
+std::string eccSchemeName(EccScheme scheme);
+
+/** Instantiate a data-ECC codec (nullptr for EccScheme::None). */
+std::unique_ptr<DataEcc> makeEcc(EccScheme scheme);
+
+/** The four protection levels compared in Figure 7. */
+enum class ProtectionLevel
+{
+    None,      ///< nothing, PAR pin absent
+    Ddr4Decc,  ///< DDR4 (CAP + WCRC) + chipkill data ECC
+    Ddr4EDecc, ///< DDR4 (CAP + WCRC) + eDECC
+    Aiecc,     ///< eCAP + eWCRC + eDECC + CSTC
+};
+
+/** Printable level name. */
+std::string protectionLevelName(ProtectionLevel level);
+
+/** Exact mechanism set of a protection stack. */
+struct Mechanisms
+{
+    ParityMode parity = ParityMode::Off;
+    WcrcMode wcrc = WcrcMode::Off;
+    bool cstc = false;
+    EccScheme ecc = EccScheme::None;
+
+    /** The paper's named levels (Figure 7), on QPC Bamboo data ECC. */
+    static Mechanisms forLevel(ProtectionLevel level);
+
+    /** Human-readable summary ("eCAP+eWCRC+CSTC+eDECC(QPC)"). */
+    std::string describe() const;
+
+    /** The PAR pin participates (exists) in this configuration. */
+    bool parPinPresent() const { return parity != ParityMode::Off; }
+};
+
+} // namespace aiecc
+
+#endif // AIECC_AIECC_MECHANISMS_HH

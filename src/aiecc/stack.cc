@@ -1,0 +1,225 @@
+#include "aiecc/stack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace aiecc
+{
+
+ProtectionStack::ProtectionStack(const StackConfig &config)
+    : cfg(config), codec(makeEcc(config.mech.ecc)),
+      hlOpenRow(config.geom.numBanks(), -1)
+{
+    RankConfig rc;
+    rc.geom = cfg.geom;
+    rc.timing = cfg.timing;
+    rc.parityMode = cfg.mech.parity;
+    rc.wcrcMode = cfg.mech.wcrc;
+    rc.cstcEnabled = cfg.mech.cstc;
+    rc.garbageSeed = cfg.seed;
+    // Never-written locations behave as if the whole array had been
+    // initialized with valid (address-bound, for eDECC) codewords.
+    DataEcc *ecc = codec.get();
+    rc.fillFn = [ecc](uint32_t packedAddr) {
+        Rng fillRng(0xF177ULL ^ (static_cast<uint64_t>(packedAddr) << 13));
+        BitVec data(Burst::dataBits);
+        for (size_t i = 0; i < data.size(); i += 64)
+            data.setField(i, std::min<size_t>(64, data.size() - i),
+                          fillRng.next());
+        if (ecc)
+            return ecc->encode(data, packedAddr);
+        Burst raw;
+        raw.setData(data);
+        return raw;
+    };
+    rankModel = std::make_unique<DramRank>(rc);
+    ctrl = std::make_unique<MemController>(rc, rankModel.get());
+}
+
+void
+ProtectionStack::setPinCorruptor(PinCorruptor corruptor)
+{
+    ctrl->setPinCorruptor(std::move(corruptor));
+}
+
+void
+ProtectionStack::drainAlerts()
+{
+    const auto &alerts = ctrl->alerts();
+    for (; alertsSeen < alerts.size(); ++alertsSeen) {
+        const Alert &alert = alerts[alertsSeen];
+        DetectionEvent ev;
+        ev.when = alert.when;
+        ev.early = true; // device alerts block the command pre-array
+        ev.detail = alert.detail;
+        switch (alert.kind) {
+          case AlertKind::CaParity:
+            ev.mech = cfg.mech.parity == ParityMode::ECap
+                          ? Mechanism::ECap
+                          : Mechanism::Cap;
+            break;
+          case AlertKind::Wcrc:
+            ev.mech = cfg.mech.wcrc == WcrcMode::DataAddress
+                          ? Mechanism::EWcrc
+                          : Mechanism::Wcrc;
+            ev.addressError = cfg.mech.wcrc == WcrcMode::DataAddress;
+            break;
+          case AlertKind::Cstc:
+            ev.mech = Mechanism::Cstc;
+            break;
+        }
+        events.push_back(std::move(ev));
+    }
+}
+
+Burst
+ProtectionStack::encodeWrite(const MtbAddress &addr,
+                             const BitVec &data) const
+{
+    AIECC_ASSERT(data.size() == Burst::dataBits,
+                 "write payload must be " << Burst::dataBits << " bits");
+    if (codec)
+        return codec->encode(data, addr.pack(cfg.geom));
+    Burst raw;
+    raw.setData(data);
+    return raw;
+}
+
+void
+ProtectionStack::issueAct(unsigned bg, unsigned ba, unsigned row)
+{
+    ctrl->issue(Command::act(bg, ba, row));
+    drainAlerts();
+}
+
+void
+ProtectionStack::issueWr(const MtbAddress &addr, const BitVec &data)
+{
+    const Burst burst = encodeWrite(addr, data);
+    ctrl->issue(Command::wr(addr.bg, addr.ba,
+                            addr.col << Geometry::burstBits),
+                burst);
+    drainAlerts();
+}
+
+ReadOutcome
+ProtectionStack::issueRd(const MtbAddress &addr)
+{
+    const auto res = ctrl->issue(
+        Command::rd(addr.bg, addr.ba, addr.col << Geometry::burstBits));
+    drainAlerts();
+
+    ReadOutcome out;
+    if (!res.readBurst) {
+        // The device blocked the read (parity/CSTC alert): the data
+        // never arrived.  Report a DUE-like outcome; a retry follows.
+        out.detected = true;
+        out.due = true;
+        return out;
+    }
+
+    if (!codec) {
+        out.data = res.readBurst->data();
+        return out;
+    }
+
+    const EccResult ecc =
+        codec->decode(*res.readBurst, addr.pack(cfg.geom));
+    out.data = ecc.data;
+    if (ecc.detected()) {
+        out.detected = true;
+        out.corrected = ecc.status == EccStatus::Corrected;
+        out.due = ecc.status == EccStatus::Uncorrectable;
+
+        DetectionEvent ev;
+        ev.mech = codec->protectsAddress() ? Mechanism::EDecc
+                                           : Mechanism::Decc;
+        ev.when = ctrl->now();
+        ev.early = false;
+        ev.corrected = out.corrected;
+        ev.addressError = ecc.addressError;
+        ev.diagnosedAddress = ecc.recoveredAddress;
+        ev.detail = codec->name() + (out.corrected ? " corrected read @"
+                                                   : " DUE on read @") +
+                    addr.toString();
+        const bool scrub = cfg.scrubOnCorrection && out.corrected &&
+                           !ecc.addressError;
+        events.push_back(std::move(ev));
+
+        if (scrub) {
+            // Redirect scrubbing (§V-D): write the corrected block
+            // back so the transient flip cannot combine with a later
+            // one into an uncorrectable pattern.
+            issueWr(addr, out.data);
+            ++scrubs;
+        }
+    }
+    return out;
+}
+
+void
+ProtectionStack::issuePre(unsigned bg, unsigned ba)
+{
+    ctrl->issue(Command::pre(bg, ba));
+    drainAlerts();
+}
+
+void
+ProtectionStack::issuePreAll()
+{
+    ctrl->issue(Command::preAll());
+    drainAlerts();
+}
+
+void
+ProtectionStack::issueRef()
+{
+    ctrl->issue(Command::ref());
+    drainAlerts();
+}
+
+void
+ProtectionStack::issueNop()
+{
+    ctrl->issue(Command::nop());
+    drainAlerts();
+}
+
+void
+ProtectionStack::recover()
+{
+    ctrl->resyncWrt();
+    ctrl->resetReadFifo();
+    issuePreAll();
+    std::fill(hlOpenRow.begin(), hlOpenRow.end(), -1);
+}
+
+void
+ProtectionStack::write(const MtbAddress &addr, const BitVec &data)
+{
+    const unsigned bank = addr.flatBank(cfg.geom);
+    if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
+        if (hlOpenRow[bank] >= 0)
+            issuePre(addr.bg, addr.ba);
+        issueAct(addr.bg, addr.ba, addr.row);
+        hlOpenRow[bank] = static_cast<int>(addr.row);
+    }
+    issueWr(addr, data);
+}
+
+ReadOutcome
+ProtectionStack::read(const MtbAddress &addr)
+{
+    const unsigned bank = addr.flatBank(cfg.geom);
+    if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
+        if (hlOpenRow[bank] >= 0)
+            issuePre(addr.bg, addr.ba);
+        issueAct(addr.bg, addr.ba, addr.row);
+        hlOpenRow[bank] = static_cast<int>(addr.row);
+    }
+    return issueRd(addr);
+}
+
+} // namespace aiecc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The composed protection stack — the main public entry point of the
+ * library.
+ *
+ * A ProtectionStack wires a DRAM rank, a memory controller and a data
+ * ECC codec together under one Mechanisms configuration, translating
+ * device alerts and ECC decode outcomes into a unified stream of
+ * DetectionEvents.  Fault-injection campaigns drive the explicit
+ * issue*() interface; applications use the row-managing write()/read()
+ * convenience calls.
+ */
+
+#ifndef AIECC_AIECC_STACK_HH
+#define AIECC_AIECC_STACK_HH
+
+#include <memory>
+#include <vector>
+
+#include "aiecc/detection.hh"
+#include "aiecc/mechanisms.hh"
+#include "controller/controller.hh"
+
+namespace aiecc
+{
+
+/** Full configuration of a protection stack. */
+struct StackConfig
+{
+    Geometry geom{};
+    TimingParams timing = TimingParams::ddr4_2400();
+    Mechanisms mech{};
+    uint64_t seed = 0xA1ECC;
+
+    /**
+     * On-demand (redirect) scrubbing, §V-D: when a read corrects an
+     * error, immediately write the corrected block back so transient
+     * storage flips do not accumulate into uncorrectable patterns.
+     * Address-error corrections are *not* scrubbed (the data belongs
+     * to another block; retry handles those).
+     */
+    bool scrubOnCorrection = false;
+};
+
+/** Outcome of a protected read. */
+struct ReadOutcome
+{
+    BitVec data{Burst::dataBits}; ///< payload after any correction
+    bool detected = false;  ///< the ECC flagged something
+    bool corrected = false; ///< ... and corrected it
+    bool due = false;       ///< detected-uncorrectable: do not consume
+};
+
+/**
+ * One memory channel protected by a configurable mechanism set.
+ */
+class ProtectionStack
+{
+  public:
+    explicit ProtectionStack(const StackConfig &config);
+
+    // ---- Low-level command interface (campaign sequences) ----
+
+    /** Issue an ACT. */
+    void issueAct(unsigned bg, unsigned ba, unsigned row);
+
+    /** Issue a WR of @p data to @p addr (bank must be open there). */
+    void issueWr(const MtbAddress &addr, const BitVec &data);
+
+    /** Issue a RD from @p addr and run the data ECC over the result. */
+    ReadOutcome issueRd(const MtbAddress &addr);
+
+    /** Issue a PRE / PREA / REF / NOP. */
+    void issuePre(unsigned bg, unsigned ba);
+    void issuePreAll();
+    void issueRef();
+    void issueNop();
+
+    // ---- High-level convenience (applications) ----
+
+    /** Write, opening/closing rows as needed. */
+    void write(const MtbAddress &addr, const BitVec &data);
+
+    /** Read, opening/closing rows as needed. */
+    ReadOutcome read(const MtbAddress &addr);
+
+    // ---- Fault injection and introspection ----
+
+    /** Install/replace the pin corruptor (empty clears it). */
+    void setPinCorruptor(PinCorruptor corruptor);
+
+    /** Detections accumulated since the last clear. */
+    const std::vector<DetectionEvent> &detections() const
+    {
+        return events;
+    }
+    void clearDetections() { events.clear(); }
+
+    /** Scrub write-backs performed so far (scrubOnCorrection). */
+    uint64_t scrubCount() const { return scrubs; }
+
+    /**
+     * Full error-recovery reset: resynchronize the write-toggle bit,
+     * drain the PHY read FIFO, precharge every bank and drop the
+     * high-level row cache, so controller belief and device state
+     * agree again before commands are replayed (§IV-G).
+     */
+    void recover();
+
+    DramRank &rank() { return *rankModel; }
+    const DramRank &rank() const { return *rankModel; }
+    MemController &controller() { return *ctrl; }
+    const Mechanisms &mechanisms() const { return cfg.mech; }
+    const Geometry &geometry() const { return cfg.geom; }
+    DataEcc *ecc() { return codec.get(); }
+
+  private:
+    StackConfig cfg;
+    std::unique_ptr<DataEcc> codec;
+    std::unique_ptr<DramRank> rankModel;
+    std::unique_ptr<MemController> ctrl;
+    std::vector<DetectionEvent> events;
+    size_t alertsSeen = 0;
+    uint64_t scrubs = 0;
+
+    /** Controller-side row bookkeeping for the high-level interface. */
+    std::vector<int> hlOpenRow; ///< -1 = closed
+
+    /** Translate newly-raised device alerts into detection events. */
+    void drainAlerts();
+
+    /** Prepare the full burst for a write (ECC encode or raw). */
+    Burst encodeWrite(const MtbAddress &addr, const BitVec &data) const;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_AIECC_STACK_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small header-only bit-manipulation helpers used throughout the
+ * simulator: field extraction/insertion, popcount/parity, and masks.
+ */
+
+#ifndef AIECC_COMMON_BITS_HH
+#define AIECC_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace aiecc
+{
+
+/**
+ * Build a mask with @p nbits low-order ones.
+ *
+ * @param nbits Number of one bits; must be <= 64.
+ * @return (1 << nbits) - 1, with the nbits == 64 case handled.
+ */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
+}
+
+/**
+ * Extract the bit field [first, first + nbits) from @p value.
+ *
+ * @param value Source word.
+ * @param first Least-significant bit of the field.
+ * @param nbits Width of the field.
+ * @return The field, right-aligned.
+ */
+constexpr uint64_t
+bits(uint64_t value, unsigned first, unsigned nbits)
+{
+    return (value >> first) & mask(nbits);
+}
+
+/** Extract a single bit of @p value. */
+constexpr unsigned
+bit(uint64_t value, unsigned pos)
+{
+    return static_cast<unsigned>((value >> pos) & 1);
+}
+
+/**
+ * Insert @p field into bits [first, first + nbits) of @p value.
+ *
+ * @param value Destination word.
+ * @param first Least-significant bit of the field.
+ * @param nbits Width of the field.
+ * @param field New field contents (low nbits used).
+ * @return The updated word.
+ */
+constexpr uint64_t
+insertBits(uint64_t value, unsigned first, unsigned nbits, uint64_t field)
+{
+    const uint64_t m = mask(nbits) << first;
+    return (value & ~m) | ((field << first) & m);
+}
+
+/** Even parity of a word: 1 if the popcount is odd. */
+constexpr unsigned
+parity(uint64_t value)
+{
+    return static_cast<unsigned>(std::popcount(value) & 1);
+}
+
+/** Reverse the low @p nbits of @p value (bit 0 <-> bit nbits-1). */
+constexpr uint64_t
+reverseBits(uint64_t value, unsigned nbits)
+{
+    uint64_t out = 0;
+    for (unsigned i = 0; i < nbits; ++i)
+        out |= static_cast<uint64_t>((value >> i) & 1) << (nbits - 1 - i);
+    return out;
+}
+
+/** Integer ceiling division for non-negative operands. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+} // namespace aiecc
+
+#endif // AIECC_COMMON_BITS_HH

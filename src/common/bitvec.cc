@@ -1,0 +1,174 @@
+#include "common/bitvec.hh"
+
+#include <bit>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+BitVec::BitVec(size_t nbits)
+    : numBits(nbits), words(divCeil<size_t>(nbits, 64), 0)
+{
+}
+
+BitVec::BitVec(size_t nbits, uint64_t value)
+    : BitVec(nbits)
+{
+    if (!words.empty())
+        words[0] = value & (nbits >= 64 ? ~0ULL : mask(nbits));
+}
+
+bool
+BitVec::get(size_t pos) const
+{
+    AIECC_ASSERT(pos < numBits, "BitVec::get out of range: " << pos);
+    return (words[pos / 64] >> (pos % 64)) & 1;
+}
+
+void
+BitVec::set(size_t pos, bool value)
+{
+    AIECC_ASSERT(pos < numBits, "BitVec::set out of range: " << pos);
+    const uint64_t m = 1ULL << (pos % 64);
+    if (value)
+        words[pos / 64] |= m;
+    else
+        words[pos / 64] &= ~m;
+}
+
+void
+BitVec::flip(size_t pos)
+{
+    AIECC_ASSERT(pos < numBits, "BitVec::flip out of range: " << pos);
+    words[pos / 64] ^= 1ULL << (pos % 64);
+}
+
+void
+BitVec::clear()
+{
+    for (auto &w : words)
+        w = 0;
+}
+
+void
+BitVec::resize(size_t nbits)
+{
+    numBits = nbits;
+    words.resize(divCeil<size_t>(nbits, 64), 0);
+    trimTail();
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t count = 0;
+    for (auto w : words)
+        count += std::popcount(w);
+    return count;
+}
+
+uint64_t
+BitVec::getField(size_t first, size_t nbits) const
+{
+    AIECC_ASSERT(nbits <= 64, "field too wide: " << nbits);
+    uint64_t out = 0;
+    for (size_t i = 0; i < nbits; ++i) {
+        const size_t pos = first + i;
+        if (pos < numBits && get(pos))
+            out |= 1ULL << i;
+    }
+    return out;
+}
+
+void
+BitVec::setField(size_t first, size_t nbits, uint64_t value)
+{
+    AIECC_ASSERT(nbits <= 64, "field too wide: " << nbits);
+    AIECC_ASSERT(first + nbits <= numBits, "field out of range");
+    for (size_t i = 0; i < nbits; ++i)
+        set(first + i, (value >> i) & 1);
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    AIECC_ASSERT(numBits == other.numBits, "BitVec xor length mismatch");
+    for (size_t i = 0; i < words.size(); ++i)
+        words[i] ^= other.words[i];
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return numBits == other.numBits && words == other.words;
+}
+
+BitVec
+BitVec::slice(size_t first, size_t nbits) const
+{
+    AIECC_ASSERT(first + nbits <= numBits, "slice out of range");
+    BitVec out(nbits);
+    for (size_t i = 0; i < nbits; ++i)
+        out.set(i, get(first + i));
+    return out;
+}
+
+void
+BitVec::insert(size_t first, const BitVec &other)
+{
+    AIECC_ASSERT(first + other.size() <= numBits, "insert out of range");
+    for (size_t i = 0; i < other.size(); ++i)
+        set(first + i, other.get(i));
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string out(numBits, '0');
+    for (size_t i = 0; i < numBits; ++i) {
+        if (get(i))
+            out[numBits - 1 - i] = '1';
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+BitVec::toBytes() const
+{
+    std::vector<uint8_t> out(divCeil<size_t>(numBits, 8), 0);
+    for (size_t i = 0; i < numBits; ++i) {
+        if (get(i))
+            out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+    return out;
+}
+
+BitVec
+BitVec::fromBytes(const std::vector<uint8_t> &bytes, size_t nbits)
+{
+    AIECC_ASSERT(bytes.size() * 8 >= nbits, "fromBytes: too few bytes");
+    BitVec out(nbits);
+    for (size_t i = 0; i < nbits; ++i)
+        out.set(i, (bytes[i / 8] >> (i % 8)) & 1);
+    return out;
+}
+
+void
+BitVec::trimTail()
+{
+    const size_t used = numBits % 64;
+    if (used && !words.empty())
+        words.back() &= mask(static_cast<unsigned>(used));
+}
+
+BitVec
+operator^(BitVec lhs, const BitVec &rhs)
+{
+    lhs ^= rhs;
+    return lhs;
+}
+
+} // namespace aiecc

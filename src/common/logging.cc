@@ -1,0 +1,26 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace aiecc
+{
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &msg)
+{
+    const char *prefix = "info";
+    switch (level) {
+      case LogLevel::Inform: prefix = "info"; break;
+      case LogLevel::Warn:   prefix = "warn"; break;
+      case LogLevel::Fatal:  prefix = "fatal"; break;
+      case LogLevel::Panic:  prefix = "panic"; break;
+    }
+    std::cerr << prefix << ": " << msg << " (" << file << ":" << line
+              << ")" << std::endl;
+}
+
+} // namespace detail
+} // namespace aiecc

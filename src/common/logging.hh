@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Status and error reporting helpers, modeled on the gem5 logging split:
+ * panic() for simulator bugs (aborts), fatal() for user errors (exit(1)),
+ * warn()/inform() for non-fatal notices.
+ */
+
+#ifndef AIECC_COMMON_LOGGING_HH
+#define AIECC_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace aiecc
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/**
+ * Emit a message to stderr with a severity prefix and source location,
+ * then terminate for Fatal/Panic levels.
+ *
+ * @param level Message severity; Fatal exits, Panic aborts.
+ * @param file Source file of the call site.
+ * @param line Source line of the call site.
+ * @param msg The formatted message body.
+ */
+[[gnu::cold]] void logMessage(LogLevel level, const char *file, int line,
+                              const std::string &msg);
+
+} // namespace detail
+
+} // namespace aiecc
+
+/** Report an internal invariant violation (a bug) and abort. */
+#define AIECC_PANIC(msg)                                                   \
+    do {                                                                   \
+        std::ostringstream aiecc_oss_;                                     \
+        aiecc_oss_ << msg;                                                 \
+        ::aiecc::detail::logMessage(::aiecc::LogLevel::Panic, __FILE__,    \
+                                    __LINE__, aiecc_oss_.str());           \
+        ::std::abort();                                                    \
+    } while (0)
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define AIECC_FATAL(msg)                                                   \
+    do {                                                                   \
+        std::ostringstream aiecc_oss_;                                     \
+        aiecc_oss_ << msg;                                                 \
+        ::aiecc::detail::logMessage(::aiecc::LogLevel::Fatal, __FILE__,    \
+                                    __LINE__, aiecc_oss_.str());           \
+        ::std::exit(1);                                                    \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+#define AIECC_WARN(msg)                                                    \
+    do {                                                                   \
+        std::ostringstream aiecc_oss_;                                     \
+        aiecc_oss_ << msg;                                                 \
+        ::aiecc::detail::logMessage(::aiecc::LogLevel::Warn, __FILE__,     \
+                                    __LINE__, aiecc_oss_.str());           \
+    } while (0)
+
+/** Check an invariant; panics with the stringified condition on failure. */
+#define AIECC_ASSERT(cond, msg)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            AIECC_PANIC("assertion failed: " #cond ": " << msg);           \
+        }                                                                  \
+    } while (0)
+
+#endif // AIECC_COMMON_LOGGING_HH

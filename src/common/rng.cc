@@ -1,0 +1,105 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+/** splitmix64 step, used only for seeding. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    AIECC_ASSERT(bound > 0, "Rng::below with zero bound");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = ~0ULL - (~0ULL % bound + 1) % bound;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v > limit);
+    return v % bound;
+}
+
+uint64_t
+Rng::range(uint64_t lo, uint64_t hi)
+{
+    AIECC_ASSERT(lo <= hi, "Rng::range with lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::vector<unsigned>
+Rng::sample(unsigned n, unsigned k)
+{
+    AIECC_ASSERT(k <= n, "Rng::sample with k > n");
+    // Floyd's algorithm: O(k) expected draws, distinct by construction.
+    std::vector<unsigned> out;
+    out.reserve(k);
+    for (unsigned j = n - k; j < n; ++j) {
+        const unsigned t = static_cast<unsigned>(below(j + 1));
+        if (std::find(out.begin(), out.end(), t) == out.end())
+            out.push_back(t);
+        else
+            out.push_back(j);
+    }
+    return out;
+}
+
+} // namespace aiecc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for fault injection and
+ * Monte-Carlo experiments.  A self-contained xoshiro256** keeps results
+ * reproducible across standard libraries.
+ */
+
+#ifndef AIECC_COMMON_RNG_HH
+#define AIECC_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace aiecc
+{
+
+/**
+ * xoshiro256** 1.0 pseudo-random generator (Blackman & Vigna).
+ *
+ * Seeded via splitmix64 so that any 64-bit seed yields a well-mixed
+ * state.  Deterministic across platforms, unlike std::mt19937 paired
+ * with std:: distributions.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x41454343ULL); // "AECC"
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0, rejection-sampled. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Choose @p k distinct values from [0, n) (Floyd's algorithm).
+     *
+     * @param n Population size.
+     * @param k Sample size, k <= n.
+     * @return k distinct indices in unspecified order.
+     */
+    std::vector<unsigned> sample(unsigned n, unsigned k);
+
+  private:
+    uint64_t state[4];
+};
+
+} // namespace aiecc
+
+#endif // AIECC_COMMON_RNG_HH

@@ -1,0 +1,100 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace aiecc
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::separator()
+{
+    sepAfter.push_back(rows.size());
+}
+
+std::string
+TextTable::str() const
+{
+    // Compute per-column widths over header + rows.
+    size_t ncols = head.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(head);
+    for (const auto &r : rows)
+        widen(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            out << cell << std::string(width[i] - cell.size() + 2, ' ');
+        }
+        out << '\n';
+    };
+    auto rule = [&]() {
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        out << std::string(total, '-') << '\n';
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        rule();
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (std::find(sepAfter.begin(), sepAfter.end(), i) != sepAfter.end())
+            rule();
+        emit(rows[i]);
+    }
+    return out.str();
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double p, double floor)
+{
+    if (p <= 0.0)
+        return "0%";
+    if (floor > 0.0 && p < floor) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "<%.0e%%", floor * 100.0);
+        return buf;
+    }
+    char buf[64];
+    const double pc = p * 100.0;
+    if (pc >= 0.01)
+        std::snprintf(buf, sizeof(buf), "%.4g%%", pc);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2e%%", pc);
+    return buf;
+}
+
+} // namespace aiecc

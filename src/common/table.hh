@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benches to print paper-style
+ * tables and figure series to stdout.
+ */
+
+#ifndef AIECC_COMMON_TABLE_HH
+#define AIECC_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aiecc
+{
+
+/**
+ * A simple left/right-aligned ASCII table builder.
+ *
+ * Usage: set the header, append rows of cells, then str() renders a
+ * box-drawing-free monospace table that diffs cleanly in logs.
+ */
+class TextTable
+{
+  public:
+    /** Set the column headers (also fixes the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append one row; short rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void separator();
+
+    /** Render the table. */
+    std::string str() const;
+
+    /** Format a double with @p digits significant digits. */
+    static std::string num(double v, int digits = 4);
+
+    /** Format a probability as a percentage ("12.34%", "<1e-6%"). */
+    static std::string pct(double p, double floor = 0.0);
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<size_t> sepAfter;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_COMMON_TABLE_HH

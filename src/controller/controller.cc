@@ -1,0 +1,144 @@
+#include "controller/controller.hh"
+
+#include "common/logging.hh"
+#include "crc/crc.hh"
+
+namespace aiecc
+{
+
+MemController::MemController(const RankConfig &config, DramRank *rank)
+    : cfg(config), rank(rank), sched(config.geom, config.timing),
+      staleRng(0x57A1E), openRows(config.geom.numBanks(), 0)
+{
+    AIECC_ASSERT(rank != nullptr, "controller needs a rank");
+    // The PHY FIFO powers up holding arbitrary stale content.
+    lastPopped.randomize(staleRng);
+}
+
+void
+MemController::setPinCorruptor(PinCorruptor corruptor)
+{
+    corrupt = std::move(corruptor);
+}
+
+void
+MemController::resyncWrt()
+{
+    wrt = rank->wrtBit();
+}
+
+void
+MemController::advanceToLegalSlot(const Command &cmd)
+{
+    const unsigned bound =
+        cfg.timing.tRFC + cfg.timing.tRC + cfg.timing.tFAW + 64;
+    for (unsigned tries = 0; tries <= bound; ++tries) {
+        if (!sched.check(cycle, cmd))
+            return;
+        ++cycle;
+    }
+    AIECC_PANIC("intended command is illegal for the controller: "
+                << cmd.toString() << " at cycle " << cycle);
+}
+
+WriteData
+MemController::makeWriteData(const Command &cmd, const Burst &burst) const
+{
+    WriteData wd;
+    wd.burst = burst;
+    wd.crcValid = cfg.wcrcMode != WcrcMode::Off;
+    if (!wd.crcValid)
+        return wd;
+
+    // The controller computes CRC from the data it intends to send
+    // and, for eWCRC, from the *intended* MTB address: the row it
+    // believes is open plus the column it is addressing (§IV-B).
+    MtbAddress addr;
+    addr.rank = 0;
+    addr.bg = cmd.bg;
+    addr.ba = cmd.ba;
+    addr.row = intendedRow;
+    addr.col = cmd.col >> Geometry::burstBits;
+
+    for (unsigned chip = 0; chip < Burst::numChips; ++chip) {
+        BitVec covered = burst.chipBits(chip);
+        if (cfg.wcrcMode == WcrcMode::DataAddress) {
+            BitVec withAddr(covered.size() + 32);
+            withAddr.insert(0, covered);
+            withAddr.setField(covered.size(), 32, addr.pack(cfg.geom));
+            covered = withAddr;
+        }
+        wd.crc[chip] =
+            static_cast<uint8_t>(Crc::ddr4Crc8().compute(covered));
+    }
+    return wd;
+}
+
+IssueResult
+MemController::issue(const Command &cmd, const std::optional<Burst> &data)
+{
+    AIECC_ASSERT((cmd.type == CmdType::Wr) == data.has_value(),
+                 "write data must accompany exactly the WR commands");
+
+    advanceToLegalSlot(cmd);
+
+    // Track the controller's view of the open row per bank so eWCRC
+    // can cover the full intended MTB address.
+    if (cmd.type == CmdType::Act)
+        openRows[cmd.bg * cfg.geom.banksPerGroup() + cmd.ba] = cmd.row;
+    intendedRow =
+        openRows[cmd.bg * cfg.geom.banksPerGroup() + cmd.ba];
+
+    IssueResult result;
+    result.when = cycle;
+    result.cmdIndex = cmdIndex;
+
+    // Render pins and drive parity with the controller-side WRT.
+    PinWord pins = encodeCommand(cmd);
+    if (cfg.parityMode != ParityMode::Off) {
+        driveParity(pins,
+                    cfg.parityMode == ParityMode::ECap ? wrt : false);
+    }
+    if (cfg.parityMode == ParityMode::ECap && cmd.type == CmdType::Wr)
+        wrt = !wrt;
+
+    // Transmission: the corruptor models CCCA noise on this edge.
+    const PinWord intended = pins;
+    if (corrupt)
+        corrupt(cmdIndex, pins);
+
+    // An ODT-level error degrades data-bus signal integrity.
+    const bool odtError = pins.get(Pin::ODT) != intended.get(Pin::ODT);
+
+    std::optional<WriteData> wrData;
+    if (cmd.type == CmdType::Wr)
+        wrData = makeWriteData(cmd, *data);
+
+    result.exec = rank->step(cycle, pins, wrData, odtError);
+    for (const auto &alert : result.exec.alerts)
+        alertLog.push_back(alert);
+
+    // Whatever burst the device drove lands in the PHY read FIFO.
+    if (result.exec.readData)
+        phyFifo.push_back(*result.exec.readData);
+
+    // The controller pops one FIFO entry per RD *it believes* it
+    // issued.  A missing RD underflows (stale data re-read); an extra
+    // RD leaves a skewed pointer behind.
+    if (cmd.type == CmdType::Rd) {
+        if (!phyFifo.empty()) {
+            lastPopped = phyFifo.front();
+            phyFifo.pop_front();
+            everPopped = true;
+        }
+        result.readBurst = lastPopped;
+    }
+
+    // Book-keeping: the scheduler tracks the *intended* command.
+    sched.commit(cycle, cmd);
+    ++cycle;
+    ++cmdIndex;
+    return result;
+}
+
+} // namespace aiecc

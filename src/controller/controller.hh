@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The memory-controller model.
+ *
+ * The controller issues pin-level commands with legal timing, drives
+ * the CA-parity pin (plain CAP or eCAP with the write-toggle bit),
+ * generates the per-chip write CRC (WCRC or eWCRC), and models the DDR
+ * PHY read FIFO whose pop pointer skews when RD commands are lost or
+ * spuriously created (Section IV-C of the AIECC paper).  Transmission
+ * faults are injected through a pin-corruptor hook that mutates the
+ * pin word of selected command edges in flight.
+ */
+
+#ifndef AIECC_CONTROLLER_CONTROLLER_HH
+#define AIECC_CONTROLLER_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dram/rank.hh"
+
+namespace aiecc
+{
+
+/**
+ * Mutates the pin word of command edge @p cmdIndex in flight.
+ * Installed by the fault-injection engine.
+ */
+using PinCorruptor = std::function<void(uint64_t cmdIndex, PinWord &pins)>;
+
+/** Everything that came back from one issued command. */
+struct IssueResult
+{
+    Cycle when = 0;          ///< cycle the command edge occupied
+    uint64_t cmdIndex = 0;   ///< running index of the command edge
+    ExecResult exec;         ///< what the device did
+    /**
+     * For an intended RD: the burst the controller popped from the PHY
+     * read FIFO (which is *not* necessarily what the device sent this
+     * edge if the FIFO pointer skewed).
+     */
+    std::optional<Burst> readBurst;
+};
+
+/**
+ * Open-page, explicitly-commanded memory controller for one rank.
+ */
+class MemController
+{
+  public:
+    /**
+     * @param config Shared protection configuration; the parity and
+     *               WCRC modes must match the attached rank's.
+     * @param rank The attached DRAM rank (not owned).
+     */
+    MemController(const RankConfig &config, DramRank *rank);
+
+    /** Install (or clear, with nullptr-like empty) the fault hook. */
+    void setPinCorruptor(PinCorruptor corruptor);
+
+    /**
+     * Issue a logical command at the earliest legal cycle.
+     *
+     * For WR commands @p data must carry the 512-bit payload; the
+     * controller encodes the burst check bits as given (the ECC layer
+     * above prepares the full 576-bit burst) and generates WCRC.
+     *
+     * @param cmd The intended command.
+     * @param data The full burst to write (WR only).
+     * @return Timing, device response, and popped read data.
+     */
+    IssueResult issue(const Command &cmd,
+                      const std::optional<Burst> &data = std::nullopt);
+
+    /** Controller-side write-toggle bit (eCAP state). */
+    bool wrtBit() const { return wrt; }
+
+    /** All device alerts observed so far. */
+    const std::vector<Alert> &alerts() const { return alertLog; }
+
+    /** Drop the recorded alerts (e.g. after a retry round). */
+    void clearAlerts() { alertLog.clear(); }
+
+    /** Number of command edges issued. */
+    uint64_t commandsIssued() const { return cmdIndex; }
+
+    /** Current cycle. */
+    Cycle now() const { return cycle; }
+
+    /**
+     * Entries currently waiting in the PHY read FIFO.  A nonzero value
+     * after all expected reads completed indicates pointer skew from
+     * an extra RD.
+     */
+    size_t readFifoDepth() const { return phyFifo.size(); }
+
+    /**
+     * Error-recovery hook: re-synchronize the write-toggle bit with
+     * the device (part of the alert handling that precedes a command
+     * replay, Section IV-G).
+     */
+    void resyncWrt();
+
+    /**
+     * Error-recovery hook: drain the PHY read FIFO, clearing any
+     * pointer skew left behind by extra/missing RD commands.
+     */
+    void resetReadFifo() { phyFifo.clear(); }
+
+  private:
+    RankConfig cfg;
+    DramRank *rank;
+    Cstc sched;          ///< the controller's own timing tracker
+    PinCorruptor corrupt;
+    Cycle cycle = 0;
+    uint64_t cmdIndex = 0;
+    bool wrt = false;
+    Rng staleRng;        ///< models reads of an empty PHY FIFO
+    std::vector<Alert> alertLog;
+
+    std::deque<Burst> phyFifo;
+    Burst lastPopped;    ///< stale entry re-read on FIFO underflow
+    bool everPopped = false;
+
+    /** The controller's view of each bank's open row (eWCRC address). */
+    std::vector<unsigned> openRows;
+    unsigned intendedRow = 0;
+
+    /** Advance `cycle` until @p cmd satisfies every timing check. */
+    void advanceToLegalSlot(const Command &cmd);
+
+    /** Build the per-chip WCRC for an outgoing write. */
+    WriteData makeWriteData(const Command &cmd, const Burst &burst) const;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_CONTROLLER_CONTROLLER_HH

@@ -1,0 +1,106 @@
+#include "ddr4/burst.hh"
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+GfElem
+Burst::amdSymbol(unsigned chip, unsigned word) const
+{
+    AIECC_ASSERT(chip < numChips && word < 4, "amdSymbol out of range");
+    GfElem s = 0;
+    for (unsigned j = 0; j < 8; ++j) {
+        const unsigned pin = chip * pinsPerChip + (j % 4);
+        const unsigned beat = word * 2 + (j / 4);
+        if (getBit(pin, beat))
+            s |= static_cast<GfElem>(1u << j);
+    }
+    return s;
+}
+
+void
+Burst::setAmdSymbol(unsigned chip, unsigned word, GfElem s)
+{
+    AIECC_ASSERT(chip < numChips && word < 4, "setAmdSymbol out of range");
+    for (unsigned j = 0; j < 8; ++j) {
+        const unsigned pin = chip * pinsPerChip + (j % 4);
+        const unsigned beat = word * 2 + (j / 4);
+        setBit(pin, beat, (s >> j) & 1);
+    }
+}
+
+BitVec
+Burst::chipBits(unsigned chip) const
+{
+    AIECC_ASSERT(chip < numChips, "chipBits out of range");
+    BitVec out(pinsPerChip * numBeats);
+    for (unsigned p = 0; p < pinsPerChip; ++p) {
+        for (unsigned b = 0; b < numBeats; ++b)
+            out.set(p * numBeats + b, getBit(chip * pinsPerChip + p, b));
+    }
+    return out;
+}
+
+void
+Burst::setChipBits(unsigned chip, const BitVec &bits)
+{
+    AIECC_ASSERT(chip < numChips, "setChipBits out of range");
+    AIECC_ASSERT(bits.size() == pinsPerChip * numBeats,
+                 "setChipBits: wrong width");
+    for (unsigned p = 0; p < pinsPerChip; ++p) {
+        for (unsigned b = 0; b < numBeats; ++b)
+            setBit(chip * pinsPerChip + p, b, bits.get(p * numBeats + b));
+    }
+}
+
+BitVec
+Burst::data() const
+{
+    BitVec out(dataBits);
+    for (unsigned p = 0; p < dataPins; ++p)
+        out.setField(p * 8, 8, pinBits[p]);
+    return out;
+}
+
+void
+Burst::setData(const BitVec &d)
+{
+    AIECC_ASSERT(d.size() == dataBits, "setData: wrong width");
+    for (unsigned p = 0; p < dataPins; ++p)
+        pinBits[p] = static_cast<uint8_t>(d.getField(p * 8, 8));
+}
+
+BitVec
+Burst::check() const
+{
+    BitVec out(checkBits);
+    for (unsigned p = 0; p < checkPins; ++p)
+        out.setField(p * 8, 8, pinBits[dataPins + p]);
+    return out;
+}
+
+void
+Burst::setCheck(const BitVec &c)
+{
+    AIECC_ASSERT(c.size() == checkBits, "setCheck: wrong width");
+    for (unsigned p = 0; p < checkPins; ++p)
+        pinBits[dataPins + p] = static_cast<uint8_t>(c.getField(p * 8, 8));
+}
+
+void
+Burst::randomize(Rng &rng)
+{
+    for (auto &b : pinBits)
+        b = static_cast<uint8_t>(rng.below(256));
+}
+
+Burst &
+Burst::operator^=(const Burst &other)
+{
+    for (unsigned p = 0; p < numPins; ++p)
+        pinBits[p] ^= other.pinBits[p];
+    return *this;
+}
+
+} // namespace aiecc

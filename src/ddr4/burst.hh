@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The 72-pin x 8-beat data burst of an ECC DIMM access.
+ *
+ * One memory transfer block (MTB) moves 64B of data plus 8B of ECC
+ * redundancy over 72 DQ pins in 8 beats.  The same physical bit grid
+ * is viewed three ways by the coding layers:
+ *  - Bamboo/QPC symbols: one 8-bit symbol per pin (72 symbols);
+ *  - AMD chipkill symbols: 4 pins x 2 beats per symbol, giving four
+ *    18-symbol codewords per burst;
+ *  - per-chip lanes: 4 pins x 8 beats (32 bits) per x4 chip, the unit
+ *    the DDR4 write CRC covers.
+ */
+
+#ifndef AIECC_DDR4_BURST_HH
+#define AIECC_DDR4_BURST_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "gf/gf256.hh"
+
+namespace aiecc
+{
+
+/** One 72-pin x 8-beat burst: the on-the-wire form of an MTB. */
+struct Burst
+{
+    static constexpr unsigned numPins = 72;
+    static constexpr unsigned dataPins = 64;
+    static constexpr unsigned checkPins = 8;
+    static constexpr unsigned numBeats = 8;
+    static constexpr unsigned numChips = 18;  ///< x4 chips on the rank
+    static constexpr unsigned pinsPerChip = 4;
+    static constexpr unsigned dataBits = dataPins * numBeats;   // 512
+    static constexpr unsigned checkBits = checkPins * numBeats; // 64
+
+    /** pinBits[p] bit b = level of pin p at beat b. */
+    std::array<uint8_t, numPins> pinBits{};
+
+    bool operator==(const Burst &other) const = default;
+
+    bool
+    getBit(unsigned pin, unsigned beat) const
+    {
+        return (pinBits[pin] >> beat) & 1;
+    }
+
+    void
+    setBit(unsigned pin, unsigned beat, bool v)
+    {
+        const uint8_t m = static_cast<uint8_t>(1u << beat);
+        pinBits[pin] = v ? (pinBits[pin] | m)
+                         : static_cast<uint8_t>(pinBits[pin] & ~m);
+    }
+
+    /** The Bamboo-ECC pin symbol: all 8 beats of one pin. */
+    GfElem pinSymbol(unsigned pin) const { return pinBits[pin]; }
+    void setPinSymbol(unsigned pin, GfElem s) { pinBits[pin] = s; }
+
+    /**
+     * The AMD-chipkill symbol for chip @p chip in codeword @p word:
+     * 4 pins x 2 beats.  Bit j of the symbol is pin 4*chip + (j % 4)
+     * at beat 2*word + (j / 4).
+     */
+    GfElem amdSymbol(unsigned chip, unsigned word) const;
+    void setAmdSymbol(unsigned chip, unsigned word, GfElem s);
+
+    /** The 32 bits driven by one x4 chip (4 pins x 8 beats). */
+    BitVec chipBits(unsigned chip) const;
+    void setChipBits(unsigned chip, const BitVec &bits);
+
+    /** The 512 data bits (pins 0..63); byte p equals pin symbol p. */
+    BitVec data() const;
+    void setData(const BitVec &d);
+
+    /** The 64 check bits (pins 64..71). */
+    BitVec check() const;
+    void setCheck(const BitVec &c);
+
+    /** Re-randomize every bit (garbage bus / undriven pins model). */
+    void randomize(Rng &rng);
+
+    /** XOR another burst in (error-mask application). */
+    Burst &operator^=(const Burst &other);
+};
+
+} // namespace aiecc
+
+#endif // AIECC_DDR4_BURST_HH

@@ -1,0 +1,320 @@
+#include "ddr4/command.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+/** Address-bit to pin mapping used during ACT (A0..A17). */
+constexpr Pin addrPin[18] = {
+    Pin::A0, Pin::A1, Pin::A2, Pin::A3, Pin::A4, Pin::A5, Pin::A6,
+    Pin::A7, Pin::A8, Pin::A9, Pin::A10_AP, Pin::A11, Pin::A12_BC,
+    Pin::A13, Pin::WE_A14, Pin::CAS_A15, Pin::RAS_A16, Pin::A17,
+};
+
+void
+driveBankBits(PinWord &pins, unsigned bg, unsigned ba)
+{
+    pins.set(Pin::BG0, bg & 1);
+    pins.set(Pin::BG1, (bg >> 1) & 1);
+    pins.set(Pin::BA0, ba & 1);
+    pins.set(Pin::BA1, (ba >> 1) & 1);
+}
+
+void
+readBankBits(const PinWord &pins, unsigned &bg, unsigned &ba)
+{
+    bg = (pins.get(Pin::BG0) ? 1u : 0u) | (pins.get(Pin::BG1) ? 2u : 0u);
+    ba = (pins.get(Pin::BA0) ? 1u : 0u) | (pins.get(Pin::BA1) ? 2u : 0u);
+}
+
+} // namespace
+
+std::string
+cmdName(CmdType type)
+{
+    switch (type) {
+      case CmdType::Des: return "DES";
+      case CmdType::Nop: return "NOP";
+      case CmdType::Act: return "ACT";
+      case CmdType::Rd: return "RD";
+      case CmdType::Wr: return "WR";
+      case CmdType::Pre: return "PRE";
+      case CmdType::PreAll: return "PREA";
+      case CmdType::Ref: return "REF";
+      case CmdType::Mrs: return "MRS";
+      case CmdType::Zqc: return "ZQC";
+      case CmdType::Rfu: return "RFU";
+    }
+    return "?";
+}
+
+std::string
+Command::toString() const
+{
+    std::ostringstream out;
+    out << cmdName(type);
+    switch (type) {
+      case CmdType::Act:
+        out << " bg" << bg << ".ba" << ba << " row0x" << std::hex << row
+            << std::dec;
+        break;
+      case CmdType::Rd:
+      case CmdType::Wr:
+        out << " bg" << bg << ".ba" << ba << " col0x" << std::hex << col
+            << std::dec << (autoPrecharge ? " AP" : "")
+            << (burstChop ? " BC" : "");
+        break;
+      case CmdType::Pre:
+        out << " bg" << bg << ".ba" << ba;
+        break;
+      default:
+        break;
+    }
+    return out.str();
+}
+
+Command
+Command::act(unsigned bg, unsigned ba, unsigned row)
+{
+    Command c;
+    c.type = CmdType::Act;
+    c.bg = bg;
+    c.ba = ba;
+    c.row = row;
+    return c;
+}
+
+Command
+Command::rd(unsigned bg, unsigned ba, unsigned col, bool ap)
+{
+    Command c;
+    c.type = CmdType::Rd;
+    c.bg = bg;
+    c.ba = ba;
+    c.col = col;
+    c.autoPrecharge = ap;
+    return c;
+}
+
+Command
+Command::wr(unsigned bg, unsigned ba, unsigned col, bool ap)
+{
+    Command c;
+    c.type = CmdType::Wr;
+    c.bg = bg;
+    c.ba = ba;
+    c.col = col;
+    c.autoPrecharge = ap;
+    return c;
+}
+
+Command
+Command::pre(unsigned bg, unsigned ba)
+{
+    Command c;
+    c.type = CmdType::Pre;
+    c.bg = bg;
+    c.ba = ba;
+    return c;
+}
+
+Command
+Command::preAll()
+{
+    Command c;
+    c.type = CmdType::PreAll;
+    return c;
+}
+
+Command
+Command::ref()
+{
+    Command c;
+    c.type = CmdType::Ref;
+    return c;
+}
+
+Command
+Command::nop()
+{
+    Command c;
+    c.type = CmdType::Nop;
+    return c;
+}
+
+std::string
+DecodedCommand::toString() const
+{
+    std::ostringstream out;
+    out << cmd.toString();
+    if (!executed)
+        out << " (not executed)";
+    if (!ckeHigh)
+        out << " (CKE low)";
+    return out.str();
+}
+
+PinWord
+encodeCommand(const Command &cmd)
+{
+    PinWord pins;
+    // Deasserted defaults: CS_n/ACT_n/RAS/CAS/WE high, CKE high, clock
+    // nominal, address pins low, ODT low, PAR low (driven later).
+    pins.set(Pin::CKE, true);
+    pins.set(Pin::CK, true);
+    pins.set(Pin::CS, true);
+    pins.set(Pin::ACT, true);
+    pins.set(Pin::RAS_A16, true);
+    pins.set(Pin::CAS_A15, true);
+    pins.set(Pin::WE_A14, true);
+
+    if (cmd.type == CmdType::Des)
+        return pins;
+
+    pins.set(Pin::CS, false); // select
+
+    switch (cmd.type) {
+      case CmdType::Act:
+        pins.set(Pin::ACT, false);
+        for (unsigned i = 0; i < 18; ++i)
+            pins.set(addrPin[i], (cmd.row >> i) & 1);
+        driveBankBits(pins, cmd.bg, cmd.ba);
+        break;
+
+      case CmdType::Rd:
+      case CmdType::Wr:
+        pins.set(Pin::RAS_A16, true);
+        pins.set(Pin::CAS_A15, false);
+        pins.set(Pin::WE_A14, cmd.type == CmdType::Rd);
+        for (unsigned i = 0; i < 10; ++i)
+            pins.set(addrPin[i], (cmd.col >> i) & 1);
+        pins.set(Pin::A10_AP, cmd.autoPrecharge);
+        // BC_n is active low: drive high for a full BL8 burst.
+        pins.set(Pin::A12_BC, !cmd.burstChop);
+        driveBankBits(pins, cmd.bg, cmd.ba);
+        // ODT asserted for writes (termination at the receiver).
+        pins.set(Pin::ODT, cmd.type == CmdType::Wr);
+        break;
+
+      case CmdType::Pre:
+      case CmdType::PreAll:
+        pins.set(Pin::RAS_A16, false);
+        pins.set(Pin::CAS_A15, true);
+        pins.set(Pin::WE_A14, false);
+        pins.set(Pin::A10_AP, cmd.type == CmdType::PreAll);
+        if (cmd.type == CmdType::Pre)
+            driveBankBits(pins, cmd.bg, cmd.ba);
+        break;
+
+      case CmdType::Ref:
+        pins.set(Pin::RAS_A16, false);
+        pins.set(Pin::CAS_A15, false);
+        pins.set(Pin::WE_A14, true);
+        break;
+
+      case CmdType::Mrs:
+        pins.set(Pin::RAS_A16, false);
+        pins.set(Pin::CAS_A15, false);
+        pins.set(Pin::WE_A14, false);
+        break;
+
+      case CmdType::Zqc:
+        pins.set(Pin::RAS_A16, true);
+        pins.set(Pin::CAS_A15, true);
+        pins.set(Pin::WE_A14, false);
+        break;
+
+      case CmdType::Rfu:
+        pins.set(Pin::RAS_A16, false);
+        pins.set(Pin::CAS_A15, true);
+        pins.set(Pin::WE_A14, true);
+        break;
+
+      case CmdType::Nop:
+        // RAS/CAS/WE all high.
+        break;
+
+      case CmdType::Des:
+        AIECC_PANIC("unreachable");
+    }
+    return pins;
+}
+
+DecodedCommand
+decodeCommand(const PinWord &pins)
+{
+    DecodedCommand dec;
+    dec.ckeHigh = pins.get(Pin::CKE);
+    dec.odt = pins.get(Pin::ODT);
+    dec.parityBit = pins.get(Pin::PAR);
+
+    if (pins.get(Pin::CS) || !dec.ckeHigh) {
+        // Deselected, or CKE dropped: the edge is ignored (a CKE low
+        // level additionally nudges the device toward power-down).
+        dec.cmd.type = CmdType::Des;
+        dec.executed = false;
+        return dec;
+    }
+
+    Command &cmd = dec.cmd;
+    if (!pins.get(Pin::ACT)) {
+        cmd.type = CmdType::Act;
+        cmd.row = 0;
+        for (unsigned i = 0; i < 18; ++i) {
+            if (pins.get(addrPin[i]))
+                cmd.row |= 1u << i;
+        }
+        readBankBits(pins, cmd.bg, cmd.ba);
+        return dec;
+    }
+
+    const unsigned func = (pins.get(Pin::RAS_A16) ? 4u : 0u) |
+                          (pins.get(Pin::CAS_A15) ? 2u : 0u) |
+                          (pins.get(Pin::WE_A14) ? 1u : 0u);
+    switch (func) {
+      case 0: cmd.type = CmdType::Mrs; break;
+      case 1: cmd.type = CmdType::Ref; break;
+      case 2:
+        cmd.type = pins.get(Pin::A10_AP) ? CmdType::PreAll : CmdType::Pre;
+        readBankBits(pins, cmd.bg, cmd.ba);
+        break;
+      case 3: cmd.type = CmdType::Rfu; break;
+      case 4:
+      case 5:
+        cmd.type = func == 5 ? CmdType::Rd : CmdType::Wr;
+        cmd.col = 0;
+        for (unsigned i = 0; i < 10; ++i) {
+            if (pins.get(addrPin[i]))
+                cmd.col |= 1u << i;
+        }
+        cmd.autoPrecharge = pins.get(Pin::A10_AP);
+        cmd.burstChop = !pins.get(Pin::A12_BC);
+        readBankBits(pins, cmd.bg, cmd.ba);
+        break;
+      case 6: cmd.type = CmdType::Zqc; break;
+      case 7: cmd.type = CmdType::Nop; break;
+    }
+    return dec;
+}
+
+void
+driveParity(PinWord &pins, bool wrtBit)
+{
+    pins.set(Pin::PAR, false);
+    pins.set(Pin::PAR, pins.cmdAddParity() ^ wrtBit);
+}
+
+bool
+checkParity(const PinWord &pins, bool wrtBit)
+{
+    return pins.get(Pin::PAR) == (pins.cmdAddParity() ^ wrtBit);
+}
+
+} // namespace aiecc

@@ -1,0 +1,29 @@
+#include "ddr4/timing.hh"
+
+namespace aiecc
+{
+
+TimingParams
+TimingParams::ddr4_2400_geardown()
+{
+    // In geardown mode the command clock halves: every constraint that
+    // is defined in command clocks covers the same wall time in half
+    // as many (rounded-up) command cycles, while data-path latencies
+    // stay fixed in data-clock terms.
+    TimingParams t = ddr4_2400();
+    auto half = [](unsigned v) { return (v + 1) / 2; };
+    t.tRC = half(t.tRC);
+    t.tRRD = half(t.tRRD);
+    t.tFAW = half(t.tFAW);
+    t.tRP = half(t.tRP);
+    t.tRFC = half(t.tRFC);
+    t.tRCD = half(t.tRCD);
+    t.tCCD = half(t.tCCD);
+    t.tWTR = half(t.tWTR);
+    t.tRAS = half(t.tRAS);
+    t.tRTP = half(t.tRTP);
+    t.tWR = half(t.tWR);
+    return t;
+}
+
+} // namespace aiecc

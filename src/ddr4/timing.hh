@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DDR4 timing parameters (Table I of the AIECC paper).
+ *
+ * The values are a representative DDR4-2400 speed bin expressed in
+ * command-clock cycles.  Both the controller scheduler and the Command
+ * State and Timing Checker (CSTC) consume this structure; the CSTC in a
+ * real device would use vendor-binned values (Section IV-C).
+ */
+
+#ifndef AIECC_DDR4_TIMING_HH
+#define AIECC_DDR4_TIMING_HH
+
+namespace aiecc
+{
+
+/** DRAM timing constraints in command-clock cycles. */
+struct TimingParams
+{
+    unsigned tRC = 55;    ///< ACT to ACT, same bank
+    unsigned tRRD = 4;    ///< ACT to ACT, different bank
+    unsigned tFAW = 26;   ///< four-activate window
+    unsigned tRP = 16;    ///< PRE to ACT/REF, same bank
+    unsigned tRFC = 420;  ///< REF to next ACT/REF (8Gb device)
+    unsigned tRCD = 16;   ///< ACT to first RD/WR
+    unsigned tCCD = 4;    ///< column command to column command
+    unsigned tWTR = 9;    ///< end of write data to RD
+    unsigned tRAS = 39;   ///< ACT to PRE, same bank
+    unsigned tRTP = 9;    ///< RD to PRE
+    unsigned tWR = 18;    ///< end of write data to PRE
+    unsigned tXP = 13;    ///< power-down exit to any valid command
+
+    unsigned readLatency = 17;   ///< CL: RD to first data beat
+    unsigned writeLatency = 16;  ///< CWL: WR to first data beat
+    unsigned burstCycles = 4;    ///< BL8 occupies 4 clock cycles
+
+    /** The standard DDR4-2400 bin used throughout the evaluation. */
+    static TimingParams ddr4_2400() { return TimingParams{}; }
+
+    /**
+     * Geardown-mode equivalent: CCCA runs at half rate, doubling all
+     * command-clock counts relative to the data clock (the paper's
+     * discussion of DDR4's latency/bandwidth tradeoff, Section III-A).
+     */
+    static TimingParams ddr4_2400_geardown();
+};
+
+} // namespace aiecc
+
+#endif // AIECC_DDR4_TIMING_HH

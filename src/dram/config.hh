@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Device-side protection configuration and alert reporting shared by
+ * the DRAM rank model and the memory controller.
+ */
+
+#ifndef AIECC_DRAM_CONFIG_HH
+#define AIECC_DRAM_CONFIG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ddr4/address.hh"
+#include "ddr4/burst.hh"
+#include "ddr4/command.hh"
+#include "ddr4/timing.hh"
+
+namespace aiecc
+{
+
+/** CA-parity flavor implemented by the device (Figure 4c / §IV-D). */
+enum class ParityMode
+{
+    Off,   ///< PAR pin absent / ignored
+    Cap,   ///< DDR4 CA parity over the CMD/ADD pins
+    ECap,  ///< extended CA parity: CMD/ADD pins + write-toggle bit
+};
+
+/** Write-CRC flavor implemented by the device (Figure 4b / §IV-B). */
+enum class WcrcMode
+{
+    Off,          ///< no write CRC
+    Data,         ///< DDR4 WCRC: per-chip CRC-8 of write data
+    DataAddress,  ///< eWCRC: per-chip CRC-8 of write data + MTB address
+};
+
+/** Source of a device-side error alert (ALERT_n pulse). */
+enum class AlertKind
+{
+    CaParity,  ///< CA parity (CAP or eCAP) mismatch
+    Wcrc,      ///< write CRC (WCRC or eWCRC) mismatch
+    Cstc,      ///< command state / timing violation
+};
+
+/** Printable alert-source name. */
+std::string alertKindName(AlertKind kind);
+
+/** One device-side detection event. */
+struct Alert
+{
+    AlertKind kind;
+    Cycle when = 0;
+    std::string detail;
+};
+
+/** Static configuration of a DRAM rank model. */
+struct RankConfig
+{
+    Geometry geom{};
+    TimingParams timing = TimingParams::ddr4_2400();
+    ParityMode parityMode = ParityMode::Off;
+    WcrcMode wcrcMode = WcrcMode::Off;
+    bool cstcEnabled = false;
+    uint64_t garbageSeed = 0xD12A; ///< seed for undriven-bus garbage
+
+    /**
+     * Content of never-written locations, as a function of the packed
+     * MTB address.  The protection stack points this at the active ECC
+     * encoder so the model behaves as if the entire array had been
+     * initialized with valid codewords; unset, a deterministic
+     * address-dependent random fill is used.
+     */
+    std::function<Burst(uint32_t packedAddr)> fillFn;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_DRAM_CONFIG_HH

@@ -1,0 +1,191 @@
+#include "dram/cstc.hh"
+
+#include <sstream>
+
+namespace aiecc
+{
+
+Cstc::Cstc(const Geometry &geom, const TimingParams &timing)
+    : geom(geom), tp(timing),
+      open(geom.numBanks(), false),
+      lastAct(geom.numBanks(), longAgo),
+      lastPre(geom.numBanks(), longAgo),
+      lastRd(geom.numBanks(), longAgo),
+      lastWrEnd(geom.numBanks(), longAgo)
+{
+}
+
+std::optional<std::string>
+Cstc::check(Cycle now, const Command &cmd) const
+{
+    const unsigned bank =
+        cmd.bg * geom.banksPerGroup() + cmd.ba;
+    std::ostringstream why;
+
+    switch (cmd.type) {
+      case CmdType::Des:
+      case CmdType::Nop:
+        return std::nullopt;
+
+      case CmdType::Act:
+        if (open[bank])
+            return "ACT to open bank";
+        if (!elapsed(now, lastAct[bank], tp.tRC))
+            return "ACT violates tRC";
+        if (!elapsed(now, lastActAny, tp.tRRD))
+            return "ACT violates tRRD";
+        if (actWindow.size() >= 4 &&
+            now < actWindow[actWindow.size() - 4] + tp.tFAW)
+            return "ACT violates tFAW";
+        if (!elapsed(now, lastPre[bank], tp.tRP))
+            return "ACT violates tRP";
+        if (!elapsed(now, lastRef, tp.tRFC))
+            return "ACT violates tRFC";
+        return std::nullopt;
+
+      case CmdType::Ref:
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (open[b]) {
+                why << "REF with bank " << b << " open";
+                return why.str();
+            }
+        }
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (!elapsed(now, lastPre[b], tp.tRP))
+                return "REF violates tRP";
+        }
+        if (!elapsed(now, lastRef, tp.tRFC))
+            return "REF violates tRFC";
+        // Table I also lists tRRD/tFAW for REF: a refresh may not
+        // follow an activation burst too closely.
+        if (!elapsed(now, lastActAny, tp.tRRD))
+            return "REF violates tRRD";
+        return std::nullopt;
+
+      case CmdType::Rd:
+        return checkColumn(now, cmd, true);
+
+      case CmdType::Wr:
+        return checkColumn(now, cmd, false);
+
+      case CmdType::Pre:
+        // PRE to an idle bank is a legal NOP per JEDEC; only the
+        // timing of a PRE that closes a row is constrained.
+        if (!open[bank])
+            return std::nullopt;
+        return checkPre(now, bank);
+
+      case CmdType::PreAll:
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (open[b]) {
+                if (auto v = checkPre(now, b))
+                    return v;
+            }
+        }
+        return std::nullopt;
+
+      case CmdType::Mrs:
+        // Mode register writes are only legal with all banks idle
+        // (DRAM initialization); during normal operation banks are
+        // open and the checker flags them.
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (open[b])
+                return "MRS with open banks";
+        }
+        return std::nullopt;
+
+      case CmdType::Zqc:
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (open[b])
+                return "ZQC with open banks";
+        }
+        return std::nullopt;
+
+      case CmdType::Rfu:
+        return "reserved command encoding";
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+Cstc::checkColumn(Cycle now, const Command &cmd, bool isRead) const
+{
+    const unsigned bank = cmd.bg * geom.banksPerGroup() + cmd.ba;
+    if (!open[bank])
+        return std::string(isRead ? "RD" : "WR") + " to idle bank";
+    if (!elapsed(now, lastAct[bank], tp.tRCD))
+        return std::string(isRead ? "RD" : "WR") + " violates tRCD";
+    if (!elapsed(now, lastColCmd, tp.tCCD))
+        return std::string(isRead ? "RD" : "WR") + " violates tCCD";
+    if (isRead && !elapsed(now, lastWrEndAny, tp.tWTR))
+        return "RD violates tWTR";
+    return std::nullopt;
+}
+
+std::optional<std::string>
+Cstc::checkPre(Cycle now, unsigned flatBank) const
+{
+    if (!elapsed(now, lastAct[flatBank], tp.tRAS))
+        return "PRE violates tRAS";
+    if (!elapsed(now, lastRd[flatBank], tp.tRTP))
+        return "PRE violates tRTP";
+    if (!elapsed(now, lastWrEnd[flatBank], tp.tWR))
+        return "PRE violates tWR";
+    return std::nullopt;
+}
+
+void
+Cstc::commit(Cycle now, const Command &cmd)
+{
+    const unsigned bank = cmd.bg * geom.banksPerGroup() + cmd.ba;
+    switch (cmd.type) {
+      case CmdType::Act:
+        open[bank] = true;
+        lastAct[bank] = now;
+        lastActAny = now;
+        actWindow.push_back(now);
+        while (actWindow.size() > 8)
+            actWindow.pop_front();
+        break;
+
+      case CmdType::Rd:
+        lastRd[bank] = now;
+        lastColCmd = now;
+        if (cmd.autoPrecharge)
+            open[bank] = false;
+        break;
+
+      case CmdType::Wr: {
+        lastColCmd = now;
+        const Cycle dataEnd = now + tp.writeLatency + tp.burstCycles;
+        lastWrEnd[bank] = dataEnd;
+        lastWrEndAny = dataEnd;
+        if (cmd.autoPrecharge)
+            open[bank] = false;
+        break;
+      }
+
+      case CmdType::Pre:
+        open[bank] = false;
+        lastPre[bank] = now;
+        break;
+
+      case CmdType::PreAll:
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (open[b]) {
+                open[b] = false;
+                lastPre[b] = now;
+            }
+        }
+        break;
+
+      case CmdType::Ref:
+        lastRef = now;
+        break;
+
+      default:
+        break;
+    }
+}
+
+} // namespace aiecc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Command State and Timing Checker (CSTC), Section IV-C of the
+ * AIECC paper.
+ *
+ * A CSTC instance sits inside the DRAM device beside each bank and
+ * validates every received command against the bank-state machine and
+ * the JEDEC timing constraints of Table I.  Commands that break the
+ * protocol (an ACT to an open bank, a RD to an idle bank, an MRS while
+ * banks are open, a reserved encoding, or any timing violation) raise
+ * an alert and are not executed.
+ */
+
+#ifndef AIECC_DRAM_CSTC_HH
+#define AIECC_DRAM_CSTC_HH
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ddr4/address.hh"
+#include "ddr4/command.hh"
+#include "ddr4/timing.hh"
+
+namespace aiecc
+{
+
+/**
+ * Protocol-tracking state machine for one DRAM rank.
+ *
+ * The checker mirrors bank open/closed state from the command stream
+ * it observes (the same stream the array sees) and timestamps the
+ * events each Table I constraint refers to.  check() validates a
+ * candidate command; commit() records an executed one.
+ */
+class Cstc
+{
+  public:
+    Cstc(const Geometry &geom, const TimingParams &timing);
+
+    /**
+     * Validate a command against bank state and timing.
+     *
+     * @param now Current cycle.
+     * @param cmd The decoded command.
+     * @return A violation description, or nullopt if the command is
+     *         legal.
+     */
+    std::optional<std::string> check(Cycle now, const Command &cmd) const;
+
+    /**
+     * Record an executed command, updating the state mirror and the
+     * timing history.  Call only for commands that were executed.
+     */
+    void commit(Cycle now, const Command &cmd);
+
+    /** True if the mirrored state says the bank is open. */
+    bool bankOpen(unsigned flatBank) const { return open[flatBank]; }
+
+    /** Number of banks tracked. */
+    unsigned numBanks() const { return static_cast<unsigned>(open.size()); }
+
+  private:
+    Geometry geom;
+    TimingParams tp;
+
+    /** "Never happened" timestamp sentinel. */
+    static constexpr Cycle longAgo = ~static_cast<Cycle>(0);
+
+    std::vector<bool> open;
+    std::vector<Cycle> lastAct;     ///< per bank
+    std::vector<Cycle> lastPre;     ///< per bank
+    std::vector<Cycle> lastRd;      ///< per bank
+    std::vector<Cycle> lastWrEnd;   ///< per bank, end of write data
+    Cycle lastActAny = longAgo;
+    Cycle lastColCmd = longAgo;     ///< rank-wide tCCD reference
+    Cycle lastWrEndAny = longAgo;   ///< rank-wide tWTR reference
+    Cycle lastRef = longAgo;
+    std::deque<Cycle> actWindow;    ///< recent ACTs for tFAW
+
+    /** now - then >= limit, treating the zero timestamp as "never". */
+    static bool
+    elapsed(Cycle now, Cycle then, unsigned limit)
+    {
+        return then == longAgo || now >= then + limit;
+    }
+
+    std::optional<std::string>
+    checkColumn(Cycle now, const Command &cmd, bool isRead) const;
+
+    std::optional<std::string>
+    checkPre(Cycle now, unsigned flatBank) const;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_DRAM_CSTC_HH

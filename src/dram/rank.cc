@@ -1,0 +1,404 @@
+#include "dram/rank.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "crc/crc.hh"
+
+namespace aiecc
+{
+
+std::string
+alertKindName(AlertKind kind)
+{
+    switch (kind) {
+      case AlertKind::CaParity: return "CA-parity";
+      case AlertKind::Wcrc: return "write-CRC";
+      case AlertKind::Cstc: return "CSTC";
+    }
+    return "?";
+}
+
+DramRank::DramRank(const RankConfig &config)
+    : cfg(config), cstc(config.geom, config.timing),
+      garbage(config.garbageSeed),
+      banks(config.geom.numBanks())
+{
+}
+
+DramRank::Bank &
+DramRank::bankOf(const Command &cmd)
+{
+    return banks[cmd.bg * cfg.geom.banksPerGroup() + cmd.ba];
+}
+
+const DramRank::Bank &
+DramRank::bankOf(const Command &cmd) const
+{
+    return banks[cmd.bg * cfg.geom.banksPerGroup() + cmd.ba];
+}
+
+namespace
+{
+
+/**
+ * Burst-ordering effect of the sub-burst column bits (A2..A0): a
+ * column command whose low bits are nonzero starts the 8-beat burst
+ * at a different word, re-ordering every pin's beats.  Intended
+ * commands are always MTB-aligned, so this only triggers under
+ * transmission errors on A0..A2.
+ */
+Burst
+rotateBeats(const Burst &in, unsigned shift)
+{
+    Burst out;
+    for (unsigned p = 0; p < Burst::numPins; ++p) {
+        const unsigned v = in.pinBits[p];
+        out.pinBits[p] = static_cast<uint8_t>(
+            ((v >> shift) | (v << (8 - shift))) & 0xFF);
+    }
+    return out;
+}
+
+} // namespace
+
+Burst
+DramRank::defaultFill(uint32_t packedAddr)
+{
+    // A deterministic, address-dependent fill so that reads of
+    // never-written cells agree between golden and faulty runs.
+    Rng rng(0xF111ULL ^ (static_cast<uint64_t>(packedAddr) << 16));
+    Burst b;
+    b.randomize(rng);
+    return b;
+}
+
+Burst
+DramRank::load(uint32_t packedAddr) const
+{
+    const auto it = store.find(packedAddr);
+    if (it != store.end())
+        return it->second;
+    return cfg.fillFn ? cfg.fillFn(packedAddr) : defaultFill(packedAddr);
+}
+
+MtbAddress
+DramRank::deviceAddress(const Command &cmd, const Bank &bank) const
+{
+    MtbAddress addr;
+    addr.rank = 0;
+    addr.bg = cmd.bg;
+    addr.ba = cmd.ba;
+    addr.row = bank.row;
+    addr.col = cmd.col >> Geometry::burstBits;
+    return addr;
+}
+
+Burst
+DramRank::peek(const MtbAddress &addr) const
+{
+    return load(addr.pack(cfg.geom));
+}
+
+void
+DramRank::poke(const MtbAddress &addr, const Burst &burst)
+{
+    store[addr.pack(cfg.geom)] = burst;
+}
+
+std::vector<MtbAddress>
+DramRank::storedAddresses() const
+{
+    std::vector<MtbAddress> out;
+    out.reserve(store.size());
+    for (const auto &[packed, burst] : store)
+        out.push_back(MtbAddress::unpack(packed, cfg.geom));
+    return out;
+}
+
+bool
+DramRank::bankOpen(unsigned bg, unsigned ba) const
+{
+    return banks[bg * cfg.geom.banksPerGroup() + ba].open;
+}
+
+unsigned
+DramRank::openRow(unsigned bg, unsigned ba) const
+{
+    return banks[bg * cfg.geom.banksPerGroup() + ba].row;
+}
+
+ExecResult
+DramRank::step(Cycle now, const PinWord &pins,
+               const std::optional<WriteData> &wrData, bool dataCorrupt)
+{
+    ExecResult result;
+    result.decoded = decodeCommand(pins);
+    const Command &cmd = result.decoded.cmd;
+
+    if (!result.decoded.ckeHigh) {
+        // A CKE glitch drops the device into fast power-down: the
+        // edge is lost and the device stays asleep until CKE returns
+        // high (between edges, since the controller always drives it
+        // high on intended commands).
+        if (!powerDown) {
+            powerDown = true;
+            pdEntry = now;
+        }
+        return result;
+    }
+    if (powerDown) {
+        // CKE is high again: the device exits power-down.  A valid
+        // command must honor tXP from the exit; the controller never
+        // intended the power-down, so its next command usually
+        // violates it — exactly the protocol breach the CSTC catches.
+        powerDown = false;
+        if (cfg.cstcEnabled && result.decoded.executed &&
+            result.decoded.cmd.type != CmdType::Des &&
+            result.decoded.cmd.type != CmdType::Nop &&
+            now < pdEntry + cfg.timing.tXP) {
+            result.alerts.push_back(
+                {AlertKind::Cstc, now,
+                 "command violates tXP after power-down exit (" +
+                     result.decoded.cmd.toString() + ")"});
+            return result;
+        }
+    }
+
+    if (!result.decoded.executed) {
+        // Deselected: the edge is invisible to the device.
+        return result;
+    }
+
+    // 1. CA parity gates everything: on a mismatch the device blocks
+    //    the command and pulses ALERT_n.
+    if (cfg.parityMode != ParityMode::Off) {
+        const bool wrtForParity =
+            cfg.parityMode == ParityMode::ECap ? wrt : false;
+        if (!checkParity(pins, wrtForParity)) {
+            result.alerts.push_back(
+                {AlertKind::CaParity, now,
+                 "parity mismatch on " + cmd.toString()});
+            return result;
+        }
+    }
+
+    // The device's write-toggle flips on every *received* WR command,
+    // mirroring the controller-side toggle (Section IV-D).
+    if (cfg.parityMode == ParityMode::ECap && cmd.type == CmdType::Wr)
+        wrt = !wrt;
+
+    // 2. CSTC: protocol state and timing validation (Section IV-C).
+    if (cfg.cstcEnabled) {
+        if (auto violation = cstc.check(now, cmd)) {
+            result.alerts.push_back(
+                {AlertKind::Cstc, now,
+                 *violation + " (" + cmd.toString() + ")"});
+            return result;
+        }
+    }
+
+    // 3. Execute against the array.
+    result.executed = true;
+    switch (cmd.type) {
+      case CmdType::Act:
+        doActivate(now, cmd, result);
+        break;
+      case CmdType::Rd:
+        doRead(now, cmd, dataCorrupt, result);
+        break;
+      case CmdType::Wr:
+        doWrite(now, cmd, wrData, dataCorrupt, result);
+        break;
+      case CmdType::Pre:
+        bankOf(cmd).open = false;
+        break;
+      case CmdType::PreAll:
+        for (auto &bank : banks)
+            bank.open = false;
+        break;
+      case CmdType::Ref:
+        // With retention margins a refresh (even a spurious one that
+        // escaped the CSTC) does not disturb stored data (§IV-C).
+        break;
+      case CmdType::Mrs:
+        // An erroneous mode-register write reconfigures the device:
+        // burst length, latencies and termination no longer match the
+        // controller, so all subsequent transfers are garbage.
+        modeCorrupt = true;
+        break;
+      case CmdType::Zqc:
+      case CmdType::Rfu:
+      case CmdType::Nop:
+      case CmdType::Des:
+        break;
+    }
+
+    if (cfg.cstcEnabled && result.executed)
+        cstc.commit(now, cmd);
+
+    return result;
+}
+
+void
+DramRank::doActivate(Cycle now, const Command &cmd, ExecResult &result)
+{
+    (void)now;
+    Bank &bank = bankOf(cmd);
+    if (!bank.open) {
+        bank.open = true;
+        bank.row = cmd.row;
+        return;
+    }
+
+    // Duplicate activation (Figure 3c): the bit lines still hold the
+    // open row's values, so raising the new word line copies the open
+    // row over the newly addressed one.
+    const unsigned srcRow = bank.row;
+    const unsigned dstRow = cmd.row;
+    if (srcRow != dstRow) {
+        // Copy every column that is distinguishable from the default
+        // fill in either row.
+        std::vector<unsigned> cols;
+        for (const auto &[packed, burst] : store) {
+            const MtbAddress a = MtbAddress::unpack(packed, cfg.geom);
+            if (a.bg == cmd.bg && a.ba == cmd.ba &&
+                (a.row == srcRow || a.row == dstRow)) {
+                cols.push_back(a.col);
+            }
+        }
+        for (unsigned col : cols) {
+            MtbAddress src{0, cmd.bg, cmd.ba, srcRow, col};
+            MtbAddress dst{0, cmd.bg, cmd.ba, dstRow, col};
+            store[dst.pack(cfg.geom)] = load(src.pack(cfg.geom));
+        }
+        result.arrayMutated = !cols.empty();
+    }
+    bank.row = dstRow;
+}
+
+void
+DramRank::doRead(Cycle now, const Command &cmd, bool dataCorrupt,
+                 ExecResult &result)
+{
+    (void)now;
+    const Bank &bank = bankOf(cmd);
+    Burst out;
+    if (!bank.open || modeCorrupt) {
+        // No row in the sense amplifiers (or a corrupted device
+        // configuration): the burst driven back is arbitrary.
+        out.randomize(garbage);
+    } else {
+        const MtbAddress addr = deviceAddress(cmd, bank);
+        out = load(addr.pack(cfg.geom));
+        const unsigned shift = cmd.col & mask(Geometry::burstBits);
+        if (shift)
+            out = rotateBeats(out, shift);
+        if (dataCorrupt) {
+            // Signal-integrity loss (e.g. an ODT error): flip a few
+            // transferred bits.
+            const unsigned flips =
+                static_cast<unsigned>(garbage.range(1, 8));
+            for (unsigned i = 0; i < flips; ++i) {
+                const unsigned pin =
+                    static_cast<unsigned>(garbage.below(Burst::numPins));
+                const unsigned beat = static_cast<unsigned>(
+                    garbage.below(Burst::numBeats));
+                out.setBit(pin, beat, !out.getBit(pin, beat));
+            }
+        }
+    }
+    result.readData = out;
+    if (cmd.autoPrecharge)
+        bankOf(cmd).open = false;
+}
+
+void
+DramRank::doWrite(Cycle now, const Command &cmd,
+                  const std::optional<WriteData> &wrData, bool dataCorrupt,
+                  ExecResult &result)
+{
+    Bank &bank = bankOf(cmd);
+
+    // Assemble what actually arrives at the device's data receivers.
+    WriteData received;
+    if (wrData) {
+        received = *wrData;
+        if (dataCorrupt) {
+            const unsigned flips =
+                static_cast<unsigned>(garbage.range(1, 8));
+            for (unsigned i = 0; i < flips; ++i) {
+                const unsigned pin =
+                    static_cast<unsigned>(garbage.below(Burst::numPins));
+                const unsigned beat = static_cast<unsigned>(
+                    garbage.below(Burst::numBeats));
+                received.burst.setBit(pin, beat,
+                                      !received.burst.getBit(pin, beat));
+            }
+        }
+    } else {
+        // An erroneous command turned into a WR: the controller drives
+        // nothing, and the device interprets the undriven bus (random
+        // or termination-pulled levels) as data and CRC (§IV-C).
+        received.burst.randomize(garbage);
+        for (auto &c : received.crc)
+            c = static_cast<uint8_t>(garbage.below(256));
+        received.crcValid = true;
+    }
+
+    // Write CRC check happens before the array is touched (early
+    // detection, §IV-B).  The device computes the reference CRC from
+    // the data it received and, for eWCRC, from *its own* view of the
+    // target MTB address.
+    if (cfg.wcrcMode != WcrcMode::Off && bank.open && !modeCorrupt) {
+        const MtbAddress devAddr = deviceAddress(cmd, bank);
+        bool mismatch = false;
+        for (unsigned chip = 0; chip < Burst::numChips && !mismatch;
+             ++chip) {
+            BitVec covered = received.burst.chipBits(chip);
+            if (cfg.wcrcMode == WcrcMode::DataAddress) {
+                BitVec withAddr(covered.size() + 32);
+                withAddr.insert(0, covered);
+                withAddr.setField(covered.size(), 32,
+                                  devAddr.pack(cfg.geom));
+                covered = withAddr;
+            }
+            const uint8_t expect = static_cast<uint8_t>(
+                Crc::ddr4Crc8().compute(covered));
+            const uint8_t got =
+                received.crcValid ? received.crc[chip] : expect;
+            mismatch = expect != got;
+        }
+        if (mismatch) {
+            std::ostringstream detail;
+            detail << "write CRC mismatch at " << devAddr.toString();
+            result.alerts.push_back({AlertKind::Wcrc, now, detail.str()});
+            // The write is blocked: no array mutation.
+            return;
+        }
+    }
+
+    if (!bank.open) {
+        // No word line is raised: the write never lands.  The intended
+        // destination silently keeps stale data.
+        return;
+    }
+
+    const MtbAddress addr = deviceAddress(cmd, bank);
+    Burst toStore = received.burst;
+    const unsigned shift = cmd.col & mask(Geometry::burstBits);
+    if (shift)
+        toStore = rotateBeats(toStore, 8 - shift);
+    if (modeCorrupt) {
+        // Misconfigured burst length / latency scrambles the beats.
+        toStore.randomize(garbage);
+    }
+    store[addr.pack(cfg.geom)] = toStore;
+    result.arrayMutated = true;
+
+    if (cmd.autoPrecharge)
+        bank.open = false;
+}
+
+} // namespace aiecc

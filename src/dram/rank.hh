@@ -1,0 +1,149 @@
+/**
+ * @file
+ * A behavioural model of one DDR4 ECC-DIMM rank (18 x4 chips).
+ *
+ * Beyond normal operation, the model implements the *erroneous-command
+ * semantics* that make CCCA transmission errors dangerous (Sections
+ * II-C and IV-C of the AIECC paper):
+ *
+ *  - a duplicate ACT copies the currently-open row over the newly
+ *    activated one (Figure 3c);
+ *  - a RD to an idle bank returns garbage without corrupting storage;
+ *  - a WR to an idle bank is silently dropped (the intended update is
+ *    lost, leaving stale data = memory data corruption);
+ *  - an *extra* WR latches the undriven data bus and writes garbage
+ *    into the open row;
+ *  - an erroneous MRS corrupts the device configuration, after which
+ *    all data movement is garbage.
+ *
+ * Device-side protections (CA parity / eCAP, WCRC / eWCRC, CSTC) gate
+ * execution exactly as the corresponding DDR4/AIECC mechanisms would:
+ * a failed check raises ALERT_n and blocks the command.
+ */
+
+#ifndef AIECC_DRAM_RANK_HH
+#define AIECC_DRAM_RANK_HH
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ddr4/burst.hh"
+#include "dram/config.hh"
+#include "dram/cstc.hh"
+
+namespace aiecc
+{
+
+/** Write burst and its per-chip CRC as driven by the controller. */
+struct WriteData
+{
+    Burst burst;
+    std::array<uint8_t, Burst::numChips> crc{};
+    bool crcValid = false; ///< controller transmitted CRC beats
+};
+
+/** Everything the device did on one command edge. */
+struct ExecResult
+{
+    DecodedCommand decoded;
+    std::optional<Burst> readData;  ///< burst driven back on a RD
+    std::vector<Alert> alerts;      ///< device-side detections
+    bool arrayMutated = false;      ///< storage changed this edge
+    bool executed = false;          ///< command reached the array logic
+};
+
+/**
+ * One DDR4 rank: banks, sparse MTB storage, device-side checkers.
+ */
+class DramRank
+{
+  public:
+    explicit DramRank(const RankConfig &config);
+
+    /**
+     * Present one command edge to the device.
+     *
+     * @param now Current cycle.
+     * @param pins CCCA pin levels (possibly corrupted in flight).
+     * @param wrData Data/CRC the controller drives if it believes this
+     *               edge is a write (nullopt otherwise).
+     * @param dataCorrupt The data bus is disturbed this edge (e.g. an
+     *               ODT error degraded signal integrity).
+     * @return Decode outcome, read data, and any alerts raised.
+     */
+    ExecResult step(Cycle now, const PinWord &pins,
+                    const std::optional<WriteData> &wrData = std::nullopt,
+                    bool dataCorrupt = false);
+
+    /** Bank open/close state as held by the array itself. */
+    bool bankOpen(unsigned bg, unsigned ba) const;
+    /** Open row of a bank; only meaningful when bankOpen(). */
+    unsigned openRow(unsigned bg, unsigned ba) const;
+
+    /** Device-side write-toggle bit (eCAP state). */
+    bool wrtBit() const { return wrt; }
+
+    /** True once an erroneous MRS corrupted the device config. */
+    bool modeCorrupted() const { return modeCorrupt; }
+
+    /** True while a CKE glitch holds the device in power-down. */
+    bool inPowerDown() const { return powerDown; }
+
+    /**
+     * The content of an MTB as the array holds it (stored value or the
+     * deterministic never-written fill).  Bypasses all bus logic; used
+     * for golden-state comparison and test setup.
+     */
+    Burst peek(const MtbAddress &addr) const;
+
+    /** Backdoor store, bypassing the bus (test setup only). */
+    void poke(const MtbAddress &addr, const Burst &burst);
+
+    /** Addresses with explicitly stored (non-default) content. */
+    std::vector<MtbAddress> storedAddresses() const;
+
+    const RankConfig &config() const { return cfg; }
+
+  private:
+    RankConfig cfg;
+    Cstc cstc;
+    Rng garbage;
+
+    struct Bank
+    {
+        bool open = false;
+        unsigned row = 0;
+    };
+    std::vector<Bank> banks;
+    std::map<uint32_t, Burst> store; ///< packed MTB address -> content
+    bool wrt = false;
+    bool modeCorrupt = false;
+    bool powerDown = false;  ///< CKE sampled low: fast power-down
+    Cycle pdEntry = 0;       ///< cycle the power-down began
+
+    Bank &bankOf(const Command &cmd);
+    const Bank &bankOf(const Command &cmd) const;
+
+    /** Deterministic fill for never-written locations. */
+    static Burst defaultFill(uint32_t packedAddr);
+
+    /** Load an MTB (stored or default fill). */
+    Burst load(uint32_t packedAddr) const;
+
+    /** The device's own view of the MTB address for a column command. */
+    MtbAddress deviceAddress(const Command &cmd, const Bank &bank) const;
+
+    void doActivate(Cycle now, const Command &cmd, ExecResult &result);
+    void doRead(Cycle now, const Command &cmd, bool dataCorrupt,
+                ExecResult &result);
+    void doWrite(Cycle now, const Command &cmd,
+                 const std::optional<WriteData> &wrData, bool dataCorrupt,
+                 ExecResult &result);
+};
+
+} // namespace aiecc
+
+#endif // AIECC_DRAM_RANK_HH

@@ -1,0 +1,64 @@
+#include "ecc/amd.hh"
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+AmdChipkillEcc::AmdChipkillEcc()
+    : rs(dataChips + checkChips, dataChips)
+{
+}
+
+Burst
+AmdChipkillEcc::encode(const BitVec &data, uint32_t mtbAddr) const
+{
+    (void)mtbAddr;
+    AIECC_ASSERT(data.size() == Burst::dataBits, "AMD encode: bad size");
+    Burst out;
+    out.setData(data);
+    for (unsigned w = 0; w < numWords; ++w) {
+        std::vector<GfElem> message(dataChips);
+        for (unsigned chip = 0; chip < dataChips; ++chip)
+            message[chip] = out.amdSymbol(chip, w);
+        const auto parity = rs.parity(message);
+        for (unsigned j = 0; j < checkChips; ++j)
+            out.setAmdSymbol(dataChips + j, w, parity[j]);
+    }
+    return out;
+}
+
+EccResult
+AmdChipkillEcc::decode(const Burst &burst, uint32_t mtbAddr) const
+{
+    (void)mtbAddr;
+    EccResult res;
+    Burst corrected = burst;
+    bool anyCorrected = false;
+    for (unsigned w = 0; w < numWords; ++w) {
+        std::vector<GfElem> received(dataChips + checkChips);
+        for (unsigned chip = 0; chip < dataChips + checkChips; ++chip)
+            received[chip] = burst.amdSymbol(chip, w);
+        const auto dec = rs.decode(received);
+        switch (dec.status) {
+          case RsCodec::Status::Ok:
+            break;
+          case RsCodec::Status::Corrected:
+            anyCorrected = true;
+            res.symbolsCorrected +=
+                static_cast<unsigned>(dec.positions.size());
+            for (unsigned chip = 0; chip < dataChips; ++chip)
+                corrected.setAmdSymbol(chip, w, dec.codeword[chip]);
+            break;
+          case RsCodec::Status::Uncorrectable:
+            res.status = EccStatus::Uncorrectable;
+            res.data = burst.data();
+            return res;
+        }
+    }
+    res.status = anyCorrected ? EccStatus::Corrected : EccStatus::Clean;
+    res.data = corrected.data();
+    return res;
+}
+
+} // namespace aiecc

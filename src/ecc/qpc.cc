@@ -1,0 +1,60 @@
+#include "ecc/qpc.hh"
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+QpcEcc::QpcEcc()
+    : rs(Burst::numPins, Burst::dataPins)
+{
+}
+
+Burst
+QpcEcc::encode(const BitVec &data, uint32_t mtbAddr) const
+{
+    (void)mtbAddr;
+    AIECC_ASSERT(data.size() == Burst::dataBits, "QPC encode: bad size");
+    std::vector<GfElem> message(Burst::dataPins);
+    for (unsigned p = 0; p < Burst::dataPins; ++p)
+        message[p] = static_cast<GfElem>(data.getField(p * 8, 8));
+    const auto parity = rs.parity(message);
+
+    Burst out;
+    out.setData(data);
+    for (unsigned j = 0; j < Burst::checkPins; ++j)
+        out.setPinSymbol(Burst::dataPins + j, parity[j]);
+    return out;
+}
+
+EccResult
+QpcEcc::decode(const Burst &burst, uint32_t mtbAddr) const
+{
+    (void)mtbAddr;
+    std::vector<GfElem> received(Burst::numPins);
+    for (unsigned p = 0; p < Burst::numPins; ++p)
+        received[p] = burst.pinSymbol(p);
+
+    const auto dec = rs.decode(received);
+    EccResult res;
+    res.data = burst.data();
+    switch (dec.status) {
+      case RsCodec::Status::Ok:
+        res.status = EccStatus::Clean;
+        break;
+      case RsCodec::Status::Corrected: {
+        res.status = EccStatus::Corrected;
+        res.symbolsCorrected =
+            static_cast<unsigned>(dec.positions.size());
+        for (unsigned p = 0; p < Burst::dataPins; ++p)
+            res.data.setField(p * 8, 8, dec.codeword[p]);
+        break;
+      }
+      case RsCodec::Status::Uncorrectable:
+        res.status = EccStatus::Uncorrectable;
+        break;
+    }
+    return res;
+}
+
+} // namespace aiecc

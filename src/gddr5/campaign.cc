@@ -1,0 +1,305 @@
+#include "gddr5/campaign.hh"
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+namespace gddr5
+{
+
+namespace
+{
+
+constexpr unsigned targetBank = 5;
+constexpr unsigned rowA = 0x2A;
+constexpr unsigned rowT = 0x15;
+constexpr unsigned col1 = 2;
+constexpr unsigned col2 = 5;
+
+BitVec
+payload(uint64_t tag)
+{
+    Rng rng(0x6DA7AULL ^ tag);
+    BitVec d(Burst::dataBits);
+    for (size_t i = 0; i < d.size(); i += 64)
+        d.setField(i, 64, rng.next());
+    return d;
+}
+
+uint64_t
+tagOf(const Address &addr)
+{
+    return addr.pack();
+}
+
+/** Open every bank at rowA with data; plant rowT data too. */
+void
+setup(Gddr5System &sys, Pattern pattern)
+{
+    for (unsigned bank = 0; bank < 16; ++bank) {
+        sys.act(bank, rowT);
+        sys.wr({bank, rowT, col1}, payload(tagOf({bank, rowT, col1})));
+        sys.pre(bank);
+        sys.act(bank, rowA);
+        sys.wr({bank, rowA, col1}, payload(tagOf({bank, rowA, col1})));
+        sys.wr({bank, rowA, col2}, payload(tagOf({bank, rowA, col2})));
+    }
+    if (pattern == Pattern::ActWr || pattern == Pattern::ActRd)
+        sys.pre(targetBank);
+}
+
+struct ReadLog
+{
+    std::vector<BitVec> data;
+    std::vector<bool> flagged;
+    /** Detections already raised when this read was consumed. */
+    std::vector<size_t> detectionsBefore;
+};
+
+void
+readBack(Gddr5System &sys, const Address &addr, ReadLog *log)
+{
+    const size_t before = sys.detections().size();
+    const BitVec d = sys.rd(addr);
+    if (log) {
+        log->data.push_back(d);
+        log->flagged.push_back(sys.detections().size() > before);
+        log->detectionsBefore.push_back(before);
+    }
+}
+
+void
+runPattern(Gddr5System &sys, Pattern pattern, ReadLog *log)
+{
+    switch (pattern) {
+      case Pattern::ActWr:
+        sys.act(targetBank, rowT);
+        sys.wr({targetBank, rowT, col1}, payload(0xF2E5D));
+        break;
+      case Pattern::ActRd:
+        sys.act(targetBank, rowT);
+        readBack(sys, {targetBank, rowT, col1}, log);
+        break;
+      case Pattern::Wr:
+        sys.wr({targetBank, rowA, col1}, payload(0xF2E5D));
+        break;
+      case Pattern::Rd:
+        readBack(sys, {targetBank, rowA, col1}, log);
+        break;
+      case Pattern::Pre:
+        sys.pre(targetBank);
+        sys.act(targetBank, rowT);
+        readBack(sys, {targetBank, rowT, col1}, log);
+        break;
+    }
+}
+
+void
+runVerify(Gddr5System &sys, ReadLog *log)
+{
+    for (unsigned bank = 0; bank < 16; ++bank) {
+        sys.pre(bank);
+        sys.act(bank, rowA);
+        readBack(sys, {bank, rowA, col1}, log);
+        readBack(sys, {bank, rowA, col2}, log);
+        sys.pre(bank);
+        sys.act(bank, rowT);
+        readBack(sys, {bank, rowT, col1}, log);
+    }
+}
+
+void
+restore(Gddr5System &sys, Pattern pattern)
+{
+    sys.resyncWrt();
+    sys.preAll();
+    for (unsigned bank = 0; bank < 16; ++bank)
+        sys.act(bank, rowA);
+    if (pattern == Pattern::ActWr || pattern == Pattern::ActRd)
+        sys.pre(targetBank);
+}
+
+} // namespace
+
+std::vector<Pattern>
+allGddr5Patterns()
+{
+    return {Pattern::ActWr, Pattern::ActRd, Pattern::Wr, Pattern::Rd,
+            Pattern::Pre};
+}
+
+std::string
+gddr5PatternName(Pattern pattern)
+{
+    switch (pattern) {
+      case Pattern::ActWr: return "ACT+WR";
+      case Pattern::ActRd: return "ACT+RD";
+      case Pattern::Wr: return "WR";
+      case Pattern::Rd: return "RD";
+      case Pattern::Pre: return "PRE";
+    }
+    return "?";
+}
+
+std::vector<Pin>
+gddr5InjectablePins()
+{
+    std::vector<Pin> pins;
+    for (unsigned i = 0; i < numCaPins; ++i)
+        pins.push_back(static_cast<Pin>(i));
+    return pins;
+}
+
+void
+Gddr5Stats::add(const Gddr5Trial &trial)
+{
+    ++trials;
+    detected += trial.detected;
+    switch (trial.outcome) {
+      case Outcome::NoEffect: ++noEffect; break;
+      case Outcome::Corrected: ++corrected; break;
+      case Outcome::Due: ++due; break;
+      case Outcome::Sdc: ++sdc; break;
+      case Outcome::Mdc: ++mdc; break;
+      case Outcome::SdcMdc:
+        ++sdc;
+        ++mdc;
+        ++both;
+        break;
+    }
+}
+
+Gddr5Campaign::Gddr5Campaign(const Protection &prot, uint64_t seed)
+    : prot(prot), seed(seed)
+{
+}
+
+Gddr5Trial
+Gddr5Campaign::runTrial(Pattern pattern, const Gddr5Error &error)
+{
+    const uint64_t runSeed =
+        seed ^ (static_cast<uint64_t>(pattern) << 48) ^ error.noiseSeed;
+
+    // Golden.
+    Gddr5System golden(prot, runSeed);
+    ReadLog goldenLog;
+    setup(golden, pattern);
+    runPattern(golden, pattern, &goldenLog);
+    golden.nop();
+    runVerify(golden, &goldenLog);
+    AIECC_ASSERT(golden.detections().empty(),
+                 "GDDR5 golden run raised detections under "
+                     << prot.describe());
+
+    // Faulty.
+    Gddr5System faulty(prot, runSeed);
+    setup(faulty, pattern);
+    faulty.clearDetections();
+    const uint64_t targetIdx = faulty.commandsIssued();
+    const Gddr5Error err = error;
+    faulty.setPinCorruptor([targetIdx, err](uint64_t idx,
+                                            PinWord &pins) {
+        if (idx != targetIdx)
+            return;
+        if (err.allPin) {
+            Rng noise(0x6A11ULL ^ err.noiseSeed);
+            for (unsigned p = 0; p < numCaPins; ++p)
+                pins.set(static_cast<Pin>(p), noise.chance(0.5));
+        } else {
+            for (Pin pin : err.flips)
+                pins.flip(pin);
+        }
+    });
+
+    ReadLog firstPass;
+    runPattern(faulty, pattern, &firstPass);
+    faulty.nop();
+    runVerify(faulty, &firstPass);
+
+    Gddr5Trial trial;
+    for (const auto &d : faulty.detections()) {
+        trial.detected = true;
+        trial.detectors.push_back(d.by);
+    }
+
+    // Wrong data consumed before anything fired => SDC (the `when`
+    // proxy stores the number of detections visible at read time).
+    bool sdcEarly = false;
+    AIECC_ASSERT(firstPass.data.size() == goldenLog.data.size(),
+                 "GDDR5 read-sequence mismatch");
+    for (size_t i = 0; i < firstPass.data.size(); ++i) {
+        if (!firstPass.flagged[i] && firstPass.detectionsBefore[i] == 0 &&
+            firstPass.data[i] != goldenLog.data[i]) {
+            sdcEarly = true;
+        }
+    }
+
+    // Retry on detection.
+    ReadLog finalPass = firstPass;
+    if (trial.detected) {
+        faulty.setPinCorruptor({});
+        restore(faulty, pattern);
+        finalPass = ReadLog{};
+        runPattern(faulty, pattern, &finalPass);
+        faulty.nop();
+        runVerify(faulty, &finalPass);
+    }
+
+    bool residual = false;
+    bool silentLate = false;
+    for (size_t i = 0; i < finalPass.data.size(); ++i) {
+        if (finalPass.flagged[i]) {
+            residual = true;
+            continue;
+        }
+        if (finalPass.data[i] != goldenLog.data[i]) {
+            residual = true;
+            if (!trial.detected)
+                silentLate = true;
+        }
+    }
+
+    bool mdc = faulty.modeCorrupted();
+    auto keys = faulty.storedAddresses();
+    for (const auto &addr : golden.storedAddresses())
+        keys.push_back(addr);
+    for (const auto &addr : keys) {
+        if (faulty.peek(addr) != golden.peek(addr)) {
+            mdc = true;
+            break;
+        }
+    }
+
+    const bool sdc = sdcEarly || silentLate;
+    if (sdc || (!trial.detected && mdc)) {
+        trial.outcome = sdc && mdc ? Outcome::SdcMdc
+                                   : (sdc ? Outcome::Sdc : Outcome::Mdc);
+    } else if (!trial.detected) {
+        trial.outcome = Outcome::NoEffect;
+    } else {
+        trial.outcome =
+            (residual || mdc) ? Outcome::Due : Outcome::Corrected;
+    }
+    return trial;
+}
+
+Gddr5Stats
+Gddr5Campaign::sweepOnePin(Pattern pattern)
+{
+    Gddr5Stats stats;
+    for (Pin pin : gddr5InjectablePins())
+        stats.add(runTrial(pattern, Gddr5Error::onePin(pin)));
+    return stats;
+}
+
+Gddr5Stats
+Gddr5Campaign::sweepAllPin(Pattern pattern, unsigned samples)
+{
+    Gddr5Stats stats;
+    for (unsigned s = 0; s < samples; ++s)
+        stats.add(runTrial(pattern, Gddr5Error::allPins(s + 1)));
+    return stats;
+}
+
+} // namespace gddr5
+} // namespace aiecc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A compact CCCA fault-injection campaign for the GDDR5 adaptation
+ * (Section VI): golden-vs-faulty dual simulation, 1-pin and all-pin
+ * errors on the 21 injectable CA pins, outcome classification shared
+ * with the DDR4 campaign.
+ */
+
+#ifndef AIECC_GDDR5_CAMPAIGN_HH
+#define AIECC_GDDR5_CAMPAIGN_HH
+
+#include "gddr5/system.hh"
+#include "inject/campaign.hh" // Outcome / outcomeName reuse
+
+namespace aiecc
+{
+namespace gddr5
+{
+
+/** Command patterns mirroring the DDR4 campaign's five. */
+enum class Pattern
+{
+    ActWr,
+    ActRd,
+    Wr,
+    Rd,
+    Pre,
+};
+
+std::vector<Pattern> allGddr5Patterns();
+std::string gddr5PatternName(Pattern pattern);
+
+/** Error spec: flip a set of pins, or randomize all (clock noise). */
+struct Gddr5Error
+{
+    std::vector<Pin> flips;
+    bool allPin = false;
+    uint64_t noiseSeed = 0;
+
+    static Gddr5Error onePin(Pin pin) { return {{pin}, false, 0}; }
+    static Gddr5Error allPins(uint64_t seed) { return {{}, true, seed}; }
+};
+
+/** Injectable pins (CKE..A0; no PAR exists on GDDR5). */
+std::vector<Pin> gddr5InjectablePins();
+
+/** One trial's result. */
+struct Gddr5Trial
+{
+    Outcome outcome = Outcome::NoEffect;
+    bool detected = false;
+    std::vector<Detector> detectors;
+};
+
+/** Aggregate counts. */
+struct Gddr5Stats
+{
+    unsigned trials = 0, detected = 0, noEffect = 0, corrected = 0,
+             due = 0, sdc = 0, mdc = 0, both = 0;
+
+    void add(const Gddr5Trial &trial);
+    double
+    coveredFrac() const
+    {
+        if (!trials)
+            return 0;
+        return static_cast<double>(trials - (sdc + mdc - both)) /
+               trials;
+    }
+};
+
+/** Campaign runner for one protection configuration. */
+class Gddr5Campaign
+{
+  public:
+    explicit Gddr5Campaign(const Protection &prot,
+                           uint64_t seed = 0x6CA4);
+
+    Gddr5Trial runTrial(Pattern pattern, const Gddr5Error &error);
+    Gddr5Stats sweepOnePin(Pattern pattern);
+    Gddr5Stats sweepAllPin(Pattern pattern, unsigned samples);
+
+  private:
+    Protection prot;
+    uint64_t seed;
+};
+
+} // namespace gddr5
+} // namespace aiecc
+
+#endif // AIECC_GDDR5_CAMPAIGN_HH

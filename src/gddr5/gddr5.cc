@@ -1,0 +1,263 @@
+#include "gddr5/gddr5.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "crc/crc.hh"
+
+namespace aiecc
+{
+namespace gddr5
+{
+
+std::string
+pinName(Pin pin)
+{
+    const unsigned i = static_cast<unsigned>(pin);
+    if (i <= 12)
+        return "A" + std::to_string(i);
+    if (i <= 16)
+        return "BA" + std::to_string(i - 13);
+    switch (pin) {
+      case Pin::WE: return "WE";
+      case Pin::CAS: return "CAS";
+      case Pin::RAS: return "RAS";
+      case Pin::CS: return "CS";
+      case Pin::CKE: return "CKE";
+      default: return "?";
+    }
+}
+
+bool
+PinWord::caParity() const
+{
+    return parity(levels & mask(numCaPins));
+}
+
+std::string
+Command::toString() const
+{
+    std::ostringstream out;
+    out << cmdName(type) << " ba" << bank;
+    if (type == CmdType::Act)
+        out << " row0x" << std::hex << row << std::dec;
+    if (type == CmdType::Rd || type == CmdType::Wr)
+        out << " col0x" << std::hex << col << std::dec;
+    return out.str();
+}
+
+Command
+Command::act(unsigned bank, unsigned row)
+{
+    return Command{CmdType::Act, bank, row, 0};
+}
+
+Command
+Command::rd(unsigned bank, unsigned col)
+{
+    return Command{CmdType::Rd, bank, 0, col};
+}
+
+Command
+Command::wr(unsigned bank, unsigned col)
+{
+    return Command{CmdType::Wr, bank, 0, col};
+}
+
+Command
+Command::pre(unsigned bank)
+{
+    return Command{CmdType::Pre, bank, 0, 0};
+}
+
+Command
+Command::ref()
+{
+    return Command{CmdType::Ref, 0, 0, 0};
+}
+
+Command
+Command::nop()
+{
+    return Command{CmdType::Nop, 0, 0, 0};
+}
+
+PinWord
+encodeCommand(const Command &cmd)
+{
+    PinWord pins;
+    pins.set(Pin::CKE, true);
+    pins.set(Pin::CS, true);
+    pins.set(Pin::RAS, true);
+    pins.set(Pin::CAS, true);
+    pins.set(Pin::WE, true);
+    if (cmd.type == CmdType::Des)
+        return pins;
+
+    pins.set(Pin::CS, false);
+    auto driveBank = [&]() {
+        for (unsigned i = 0; i < 4; ++i) {
+            pins.set(static_cast<Pin>(static_cast<unsigned>(Pin::BA0) +
+                                      i),
+                     (cmd.bank >> i) & 1);
+        }
+    };
+    auto driveAddr = [&](unsigned value, unsigned nbits) {
+        for (unsigned i = 0; i < nbits; ++i)
+            pins.set(static_cast<Pin>(i), (value >> i) & 1);
+    };
+
+    // DDR3-style truth table (no dedicated ACT_n in GDDR5).
+    switch (cmd.type) {
+      case CmdType::Act:
+        pins.set(Pin::RAS, false);
+        driveBank();
+        driveAddr(cmd.row, 13);
+        break;
+      case CmdType::Rd:
+        pins.set(Pin::CAS, false);
+        driveBank();
+        driveAddr(cmd.col, 10);
+        break;
+      case CmdType::Wr:
+        pins.set(Pin::CAS, false);
+        pins.set(Pin::WE, false);
+        driveBank();
+        driveAddr(cmd.col, 10);
+        break;
+      case CmdType::Pre:
+        pins.set(Pin::RAS, false);
+        pins.set(Pin::WE, false);
+        driveBank();
+        break;
+      case CmdType::Ref:
+        pins.set(Pin::RAS, false);
+        pins.set(Pin::CAS, false);
+        break;
+      case CmdType::Mrs:
+        pins.set(Pin::RAS, false);
+        pins.set(Pin::CAS, false);
+        pins.set(Pin::WE, false);
+        break;
+      case CmdType::Zqc:
+        pins.set(Pin::WE, false);
+        break;
+      case CmdType::Nop:
+        break;
+      default:
+        AIECC_PANIC("unsupported GDDR5 command "
+                    << cmdName(cmd.type));
+    }
+    return pins;
+}
+
+Decoded
+decodeCommand(const PinWord &pins)
+{
+    Decoded dec;
+    if (pins.get(Pin::CS) || !pins.get(Pin::CKE)) {
+        dec.cmd.type = CmdType::Des;
+        dec.executed = false;
+        return dec;
+    }
+
+    Command &cmd = dec.cmd;
+    for (unsigned i = 0; i < 4; ++i) {
+        if (pins.get(static_cast<Pin>(static_cast<unsigned>(Pin::BA0) +
+                                      i)))
+            cmd.bank |= 1u << i;
+    }
+    unsigned addr13 = 0;
+    for (unsigned i = 0; i < 13; ++i) {
+        if (pins.get(static_cast<Pin>(i)))
+            addr13 |= 1u << i;
+    }
+
+    const unsigned func = (pins.get(Pin::RAS) ? 4u : 0u) |
+                          (pins.get(Pin::CAS) ? 2u : 0u) |
+                          (pins.get(Pin::WE) ? 1u : 0u);
+    switch (func) {
+      case 0: cmd.type = CmdType::Mrs; break;
+      case 1: cmd.type = CmdType::Ref; break;
+      case 2:
+        cmd.type = CmdType::Pre;
+        break;
+      case 3:
+        cmd.type = CmdType::Act;
+        cmd.row = addr13;
+        break;
+      case 4:
+        cmd.type = CmdType::Wr;
+        cmd.col = addr13 & 0x3FF;
+        break;
+      case 5:
+        cmd.type = CmdType::Rd;
+        cmd.col = addr13 & 0x3FF;
+        break;
+      case 6: cmd.type = CmdType::Zqc; break;
+      case 7: cmd.type = CmdType::Nop; break;
+    }
+    return dec;
+}
+
+BitVec
+Burst::laneBits(unsigned lane) const
+{
+    AIECC_ASSERT(lane < numLanes, "lane out of range");
+    BitVec out(pinsPerLane * numBeats);
+    for (unsigned p = 0; p < pinsPerLane; ++p) {
+        for (unsigned b = 0; b < numBeats; ++b) {
+            out.set(p * numBeats + b,
+                    getBit(lane * pinsPerLane + p, b));
+        }
+    }
+    return out;
+}
+
+BitVec
+Burst::data() const
+{
+    BitVec out(dataBits);
+    for (unsigned p = 0; p < numPins; ++p)
+        out.setField(p * 8, 8, pinBits[p]);
+    return out;
+}
+
+void
+Burst::setData(const BitVec &d)
+{
+    AIECC_ASSERT(d.size() == dataBits, "setData: wrong width");
+    for (unsigned p = 0; p < numPins; ++p)
+        pinBits[p] = static_cast<uint8_t>(d.getField(p * 8, 8));
+}
+
+void
+Burst::randomize(Rng &rng)
+{
+    for (auto &b : pinBits)
+        b = static_cast<uint8_t>(rng.below(256));
+}
+
+uint8_t
+edcChecksum(const Burst &burst, unsigned lane, uint32_t foldWord)
+{
+    // CRC-8-ATM over the lane's 64 transferred bits with the folded
+    // protection word appended (address / WRT / parity extensions).
+    BitVec covered(64 + 32);
+    covered.insert(0, burst.laneBits(lane));
+    covered.setField(64, 32, foldWord);
+    return static_cast<uint8_t>(Crc::ddr4Crc8().compute(covered));
+}
+
+EdcWord
+edcAll(const Burst &burst, uint32_t foldWord)
+{
+    EdcWord out;
+    for (unsigned lane = 0; lane < Burst::numLanes; ++lane)
+        out[lane] = edcChecksum(burst, lane, foldWord);
+    return out;
+}
+
+} // namespace gddr5
+} // namespace aiecc

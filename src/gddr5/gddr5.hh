@@ -1,0 +1,162 @@
+/**
+ * @file
+ * GDDR5 substrate for the AIECC generality study (Section VI,
+ * "Applicability to Other Memories").
+ *
+ * GDDR5 differs from DDR4 in the ways that matter to AIECC:
+ *  - there is no dedicated CA-parity pin and no ACT_n pin (commands
+ *    decode from RAS/CAS/WE as in DDR3);
+ *  - every byte lane carries an EDC pin that returns a CRC-8 of the
+ *    transferred data for *both* reads and writes.
+ *
+ * The paper's sketch, implemented here: eWCRC folds the MTB address
+ * into the write EDC; missing writes and command errors are caught by
+ * folding the write-toggle (WRT) bit and the CA parity of the last
+ * command into the *read* EDC over the same pin; and the CSTC carries
+ * over with GDDR5 timing.
+ */
+
+#ifndef AIECC_GDDR5_GDDR5_HH
+#define AIECC_GDDR5_GDDR5_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+#include "ddr4/command.hh" // Cycle, CmdType names reused
+
+namespace aiecc
+{
+namespace gddr5
+{
+
+/** The GDDR5 command/address pins of this model (no PAR, no ACT_n). */
+enum class Pin : uint8_t
+{
+    A0 = 0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12,
+    BA0 = 13, BA1, BA2, BA3,
+    WE = 17,
+    CAS = 18,
+    RAS = 19,
+    CS = 20,
+    CKE = 21,
+};
+
+inline constexpr unsigned numCaPins = 22;
+
+/** Printable pin name. */
+std::string pinName(Pin pin);
+
+/** Pin levels for one command edge. */
+struct PinWord
+{
+    uint32_t levels = 0;
+
+    bool get(Pin pin) const
+    {
+        return (levels >> static_cast<unsigned>(pin)) & 1;
+    }
+    void
+    set(Pin pin, bool v)
+    {
+        const uint32_t m = 1u << static_cast<unsigned>(pin);
+        levels = v ? (levels | m) : (levels & ~m);
+    }
+    void flip(Pin pin) { levels ^= 1u << static_cast<unsigned>(pin); }
+    bool operator==(const PinWord &other) const = default;
+
+    /** Even parity over all CA pins (folded into the read EDC). */
+    bool caParity() const;
+};
+
+/** A GDDR5 logical command (x32 device, 16 banks, BL8). */
+struct Command
+{
+    CmdType type = CmdType::Des;
+    unsigned bank = 0;  ///< 4 bank-address bits
+    unsigned row = 0;   ///< 13 row bits (A12..A0)
+    unsigned col = 0;   ///< 10 column bits
+
+    bool operator==(const Command &other) const = default;
+    std::string toString() const;
+
+    static Command act(unsigned bank, unsigned row);
+    static Command rd(unsigned bank, unsigned col);
+    static Command wr(unsigned bank, unsigned col);
+    static Command pre(unsigned bank);
+    static Command ref();
+    static Command nop();
+};
+
+/** Decoded edge (CS gating as in DDR4). */
+struct Decoded
+{
+    Command cmd;
+    bool executed = true;
+};
+
+/** Render a command onto the CA pins. */
+PinWord encodeCommand(const Command &cmd);
+
+/** The command a device latches from (possibly corrupted) pins. */
+Decoded decodeCommand(const PinWord &pins);
+
+/** One x32 burst: 32 DQ pins x 8 beats, 4 EDC byte lanes. */
+struct Burst
+{
+    static constexpr unsigned numPins = 32;
+    static constexpr unsigned numBeats = 8;
+    static constexpr unsigned numLanes = 4; ///< EDC pin per byte lane
+    static constexpr unsigned pinsPerLane = 8;
+    static constexpr unsigned dataBits = numPins * numBeats; // 256
+
+    std::array<uint8_t, numPins> pinBits{};
+
+    bool operator==(const Burst &other) const = default;
+
+    bool
+    getBit(unsigned pin, unsigned beat) const
+    {
+        return (pinBits[pin] >> beat) & 1;
+    }
+    void
+    setBit(unsigned pin, unsigned beat, bool v)
+    {
+        const uint8_t m = static_cast<uint8_t>(1u << beat);
+        pinBits[pin] = v ? (pinBits[pin] | m)
+                         : static_cast<uint8_t>(pinBits[pin] & ~m);
+    }
+
+    /** The 64 bits a lane transfers (8 pins x 8 beats). */
+    BitVec laneBits(unsigned lane) const;
+
+    BitVec data() const;
+    void setData(const BitVec &d);
+    void randomize(Rng &rng);
+};
+
+/**
+ * The EDC checksum for one lane.
+ *
+ * @param burst The transferred burst.
+ * @param lane Byte lane (0..3).
+ * @param foldWord Extra protected state XOR-folded into the CRC
+ *        input: the MTB address for eWCRC writes; address + WRT + CA
+ *        parity for extended read EDC (0 for baseline GDDR5 EDC).
+ * @return The 8-bit checksum returned on the lane's EDC pin.
+ */
+uint8_t edcChecksum(const Burst &burst, unsigned lane,
+                    uint32_t foldWord);
+
+/** The per-burst EDC vector (one byte per lane). */
+using EdcWord = std::array<uint8_t, Burst::numLanes>;
+
+/** Compute all four lanes. */
+EdcWord edcAll(const Burst &burst, uint32_t foldWord);
+
+} // namespace gddr5
+} // namespace aiecc
+
+#endif // AIECC_GDDR5_GDDR5_HH

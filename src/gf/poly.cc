@@ -1,0 +1,145 @@
+#include "gf/poly.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+Gf256Poly::Gf256Poly(std::vector<GfElem> coeffs)
+    : coeff(std::move(coeffs))
+{
+    normalize();
+}
+
+Gf256Poly
+Gf256Poly::constant(GfElem c)
+{
+    return Gf256Poly(std::vector<GfElem>{c});
+}
+
+Gf256Poly
+Gf256Poly::monomial(GfElem c, size_t degree)
+{
+    std::vector<GfElem> v(degree + 1, 0);
+    v[degree] = c;
+    return Gf256Poly(std::move(v));
+}
+
+GfElem
+Gf256Poly::eval(GfElem x) const
+{
+    GfElem acc = 0;
+    for (size_t i = coeff.size(); i-- > 0;)
+        acc = Gf256::add(Gf256::mul(acc, x), coeff[i]);
+    return acc;
+}
+
+Gf256Poly
+Gf256Poly::operator+(const Gf256Poly &other) const
+{
+    std::vector<GfElem> out(std::max(coeff.size(), other.coeff.size()), 0);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = Gf256::add((*this)[i], other[i]);
+    return Gf256Poly(std::move(out));
+}
+
+Gf256Poly
+Gf256Poly::operator*(const Gf256Poly &other) const
+{
+    if (zero() || other.zero())
+        return Gf256Poly();
+    std::vector<GfElem> out(coeff.size() + other.coeff.size() - 1, 0);
+    for (size_t i = 0; i < coeff.size(); ++i) {
+        if (coeff[i] == 0)
+            continue;
+        for (size_t j = 0; j < other.coeff.size(); ++j) {
+            out[i + j] = Gf256::add(out[i + j],
+                                    Gf256::mul(coeff[i], other.coeff[j]));
+        }
+    }
+    return Gf256Poly(std::move(out));
+}
+
+Gf256Poly
+Gf256Poly::scale(GfElem c) const
+{
+    std::vector<GfElem> out(coeff.size());
+    for (size_t i = 0; i < coeff.size(); ++i)
+        out[i] = Gf256::mul(coeff[i], c);
+    return Gf256Poly(std::move(out));
+}
+
+Gf256Poly
+Gf256Poly::shift(size_t n) const
+{
+    if (zero())
+        return Gf256Poly();
+    std::vector<GfElem> out(coeff.size() + n, 0);
+    std::copy(coeff.begin(), coeff.end(), out.begin() + n);
+    return Gf256Poly(std::move(out));
+}
+
+Gf256Poly
+Gf256Poly::mod(const Gf256Poly &divisor) const
+{
+    AIECC_ASSERT(!divisor.zero(), "polynomial modulo by zero");
+    std::vector<GfElem> rem = coeff;
+    const int dDeg = divisor.degree();
+    const GfElem dLeadInv = Gf256::inv(divisor.coeff.back());
+    for (int i = static_cast<int>(rem.size()) - 1; i >= dDeg; --i) {
+        if (rem[i] == 0)
+            continue;
+        const GfElem factor = Gf256::mul(rem[i], dLeadInv);
+        for (int j = 0; j <= dDeg; ++j) {
+            rem[i - dDeg + j] =
+                Gf256::sub(rem[i - dDeg + j],
+                           Gf256::mul(factor, divisor.coeff[j]));
+        }
+    }
+    if (dDeg >= 0 && static_cast<size_t>(dDeg) < rem.size())
+        rem.resize(dDeg);
+    return Gf256Poly(std::move(rem));
+}
+
+Gf256Poly
+Gf256Poly::derivative() const
+{
+    if (coeff.size() <= 1)
+        return Gf256Poly();
+    std::vector<GfElem> out(coeff.size() - 1, 0);
+    // d/dx sum c_i x^i = sum (i mod 2) c_i x^(i-1) in characteristic 2.
+    for (size_t i = 1; i < coeff.size(); i += 2)
+        out[i - 1] = coeff[i];
+    return Gf256Poly(std::move(out));
+}
+
+Gf256Poly
+Gf256Poly::truncate(size_t n) const
+{
+    std::vector<GfElem> out(coeff.begin(),
+                            coeff.begin() +
+                                std::min(n, coeff.size()));
+    return Gf256Poly(std::move(out));
+}
+
+Gf256Poly
+Gf256Poly::rsGenerator(unsigned nroots, unsigned fcr)
+{
+    Gf256Poly g = constant(1);
+    for (unsigned i = 0; i < nroots; ++i) {
+        // (x - alpha^(fcr+i)) == (x + alpha^(fcr+i)) in GF(2^8).
+        g = g * Gf256Poly({Gf256::alphaPow(static_cast<int>(fcr + i)), 1});
+    }
+    return g;
+}
+
+void
+Gf256Poly::normalize()
+{
+    while (!coeff.empty() && coeff.back() == 0)
+        coeff.pop_back();
+}
+
+} // namespace aiecc

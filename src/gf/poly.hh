@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Polynomials over GF(2^8), the workhorse of the Reed-Solomon codec:
+ * generator-polynomial construction, evaluation, products and formal
+ * derivatives all operate on this type.
+ */
+
+#ifndef AIECC_GF_POLY_HH
+#define AIECC_GF_POLY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gf/gf256.hh"
+
+namespace aiecc
+{
+
+/**
+ * A dense polynomial over GF(2^8).
+ *
+ * Coefficients are stored low-degree-first: coeff[i] multiplies x^i.
+ * The zero polynomial has an empty coefficient vector and degree() -1.
+ */
+class Gf256Poly
+{
+  public:
+    /** The zero polynomial. */
+    Gf256Poly() = default;
+
+    /** Construct from low-degree-first coefficients. */
+    explicit Gf256Poly(std::vector<GfElem> coeffs);
+
+    /** The constant polynomial @p c (zero polynomial if c == 0). */
+    static Gf256Poly constant(GfElem c);
+
+    /** The monomial c * x^degree. */
+    static Gf256Poly monomial(GfElem c, size_t degree);
+
+    /** Degree; -1 for the zero polynomial. */
+    int degree() const { return static_cast<int>(coeff.size()) - 1; }
+
+    /** True for the zero polynomial. */
+    bool zero() const { return coeff.empty(); }
+
+    /** Coefficient of x^i (0 beyond the stored degree). */
+    GfElem operator[](size_t i) const
+    {
+        return i < coeff.size() ? coeff[i] : 0;
+    }
+
+    /** Raw coefficient access, low-degree-first. */
+    const std::vector<GfElem> &coefficients() const { return coeff; }
+
+    /** Horner evaluation at @p x. */
+    GfElem eval(GfElem x) const;
+
+    /** Polynomial sum (= difference in characteristic 2). */
+    Gf256Poly operator+(const Gf256Poly &other) const;
+
+    /** Polynomial product. */
+    Gf256Poly operator*(const Gf256Poly &other) const;
+
+    /** Scale every coefficient by @p c. */
+    Gf256Poly scale(GfElem c) const;
+
+    /** Multiply by x^n (shift coefficients up). */
+    Gf256Poly shift(size_t n) const;
+
+    /**
+     * Remainder of this polynomial modulo @p divisor.
+     * @pre divisor is nonzero (panics otherwise).
+     */
+    Gf256Poly mod(const Gf256Poly &divisor) const;
+
+    /** Formal derivative (in characteristic 2, even terms vanish). */
+    Gf256Poly derivative() const;
+
+    /** Truncate to coefficients of degree < @p n. */
+    Gf256Poly truncate(size_t n) const;
+
+    bool operator==(const Gf256Poly &other) const
+    {
+        return coeff == other.coeff;
+    }
+
+    /**
+     * The Reed-Solomon generator polynomial
+     * prod_{i=0}^{nroots-1} (x - alpha^(fcr + i)).
+     *
+     * @param nroots Number of parity symbols.
+     * @param fcr First consecutive root exponent (commonly 0 or 1).
+     */
+    static Gf256Poly rsGenerator(unsigned nroots, unsigned fcr);
+
+  private:
+    std::vector<GfElem> coeff;
+
+    /** Drop high-order zero coefficients. */
+    void normalize();
+};
+
+} // namespace aiecc
+
+#endif // AIECC_GF_POLY_HH

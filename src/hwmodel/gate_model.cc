@@ -1,0 +1,174 @@
+#include "hwmodel/gate_model.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/bits.hh"
+#include "crc/crc.hh"
+#include "gf/gf256.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+/** Dynamic+static power per NAND2 at a given activity (mW, 40nm LP). */
+double
+powerOf(double nand2, double activity)
+{
+    // ~0.45 uW per gate at full activity in a 40nm LP process at
+    // DDR4 command rates; mechanisms differ mainly in switching
+    // activity (parity trees toggle per command, CSTC counters tick).
+    return nand2 * 0.00045 * activity;
+}
+
+} // namespace
+
+GateModel::GateModel(GateWeights weights)
+    : w(weights)
+{
+}
+
+double
+GateModel::xorTree(unsigned inputs) const
+{
+    if (inputs < 2)
+        return 0;
+    return (inputs - 1) * w.xor2;
+}
+
+double
+GateModel::crcLogic(unsigned width, uint32_t poly,
+                    unsigned messageBits) const
+{
+    // Each CRC output bit is the XOR of a subset of message bits;
+    // derive the exact subsets by pushing unit vectors through the
+    // CRC (it is GF(2)-linear).
+    const Crc crc(width, poly);
+    double xors = 0;
+    std::vector<uint32_t> columns(messageBits);
+    for (unsigned i = 0; i < messageBits; ++i)
+        columns[i] = crc.computeWord(1ULL << i, messageBits);
+    for (unsigned bitPos = 0; bitPos < width; ++bitPos) {
+        unsigned fanin = 0;
+        for (unsigned i = 0; i < messageBits; ++i)
+            fanin += (columns[i] >> bitPos) & 1;
+        if (fanin >= 2)
+            xors += (fanin - 1);
+    }
+    return xors * w.xor2 * w.xorSharing;
+}
+
+double
+GateModel::gfConstMult() const
+{
+    // y = c * x over GF(256) is 8 output bits, each the XOR of ~half
+    // of the 8 input bits: ~8 * 3 XOR2 after sharing.
+    return 8 * 3 * w.xor2 * w.xorSharing * 1.9;
+}
+
+double
+GateModel::timingCounter(unsigned bits) const
+{
+    // Loadable down-counter: bits flops + decrement logic (~2 GE/bit)
+    // + zero comparator.
+    return bits * w.flipflop + bits * 2.0 + bits * 1.0;
+}
+
+GateEstimate
+GateModel::ePar() const
+{
+    GateEstimate e;
+    e.name = "ePAR";
+    // One WRT flip-flop on each side plus a 2-input XOR folding WRT
+    // into the existing 23-pin parity tree, and the mirror logic that
+    // toggles WRT on decoded WR commands (a few gates of decode).
+    e.nand2 = 2 * w.flipflop + 2 * w.xor2 + 10;
+    e.powerMw = powerOf(e.nand2, 0.8);
+    e.paperNand2 = 30;
+    e.paperPowerMw = 0.01;
+    return e;
+}
+
+GateEstimate
+GateModel::eWcrc() const
+{
+    GateEstimate e;
+    e.name = "eWCRC";
+    // The CRC-8 tree already exists for WCRC; eWCRC adds the 32
+    // address bits' contribution to the 8 check bits.
+    const double full = crcLogic(8, 0x07, 64);
+    const double dataOnly = crcLogic(8, 0x07, 32);
+    e.nand2 = full - dataOnly;
+    e.powerMw = powerOf(e.nand2, 0.9);
+    e.paperNand2 = 180;
+    e.paperPowerMw = 0.1;
+    return e;
+}
+
+GateEstimate
+GateModel::eDeccAmd() const
+{
+    GateEstimate e;
+    e.name = "eDECC+AMD";
+    // Per codeword, the virtual address symbol feeds 2 check symbols
+    // through constant GF multipliers; 4 codewords per MTB.
+    e.nand2 = 4 * 2 * gfConstMult();
+    e.powerMw = powerOf(e.nand2, 0.25);
+    e.paperNand2 = 140;
+    e.paperPowerMw = 0.05;
+    return e;
+}
+
+GateEstimate
+GateModel::eDeccQpc() const
+{
+    GateEstimate e;
+    e.name = "eDECC+QPC";
+    // 4 address symbols x 8 check symbols of constant multipliers,
+    // plus the XOR folding into the existing parity network.
+    e.nand2 = 4 * 8 * gfConstMult() + 32 * w.xor2;
+    e.powerMw = powerOf(e.nand2, 0.6);
+    e.paperNand2 = 2200;
+    e.paperPowerMw = 0.8;
+    return e;
+}
+
+GateEstimate
+GateModel::cstc(const Geometry &geom, const TimingParams &timing) const
+{
+    GateEstimate e;
+    e.name = "CSTC (per chip)";
+    // Per bank: a state flop, and one timing counter per constraint
+    // whose width covers the largest count it must hold.
+    auto counterBits = [](unsigned cycles) {
+        unsigned bits = 1;
+        while ((1u << bits) <= cycles)
+            ++bits;
+        return bits;
+    };
+    const unsigned constraints[] = {
+        timing.tRC, timing.tRRD, timing.tFAW, timing.tRP, timing.tRFC,
+        timing.tRCD, timing.tCCD, timing.tWTR, timing.tRAS, timing.tRTP,
+        timing.tWR,
+    };
+    double perBank = w.flipflop; // open/idle state
+    for (unsigned c : constraints)
+        perBank += timingCounter(counterBits(c));
+    // Command decode + violation OR network per bank.
+    perBank += 40;
+    e.nand2 = perBank * geom.numBanks();
+    e.powerMw = powerOf(e.nand2, 0.15);
+    e.paperNand2 = 9000;
+    e.paperPowerMw = 0.8;
+    return e;
+}
+
+std::vector<GateEstimate>
+GateModel::all() const
+{
+    return {ePar(), eWcrc(), eDeccAmd(), eDeccQpc(), cstc()};
+}
+
+} // namespace aiecc

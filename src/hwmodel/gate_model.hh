@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Analytic hardware-overhead model (Section V-D).
+ *
+ * The paper synthesizes a Verilog model with Synopsys DC on TSMC 40nm
+ * and reports NAND2-equivalent areas.  Without a synthesis flow, this
+ * module estimates the same quantities structurally: XOR trees from
+ * the (exact) GF(2) parity-check matrices of each mechanism, flip-flop
+ * and comparator counts for the CSTC, converted with standard
+ * gate-equivalent weights.  Absolute numbers are order-of-magnitude;
+ * the ordering (ePAR << eWCRC ~ eDECC+AMD << eDECC+QPC ~ CSTC) is
+ * structural and robust.
+ */
+
+#ifndef AIECC_HWMODEL_GATE_MODEL_HH
+#define AIECC_HWMODEL_GATE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "ddr4/address.hh"
+#include "ddr4/timing.hh"
+
+namespace aiecc
+{
+
+/** Gate-equivalent weights (NAND2 = 1). */
+struct GateWeights
+{
+    double xor2 = 2.5;
+    double flipflop = 6.0;
+    double comparatorPerBit = 3.5; ///< subtract + compare per bit
+    /** Logic-sharing factor a synthesizer achieves on XOR networks. */
+    double xorSharing = 0.6;
+};
+
+/** One mechanism's estimated area and power. */
+struct GateEstimate
+{
+    std::string name;
+    double nand2 = 0;
+    double powerMw = 0;
+    /** The paper's reported value, for side-by-side printing. */
+    double paperNand2 = 0;
+    double paperPowerMw = 0;
+};
+
+/** Structural hardware model for every AIECC addition. */
+class GateModel
+{
+  public:
+    explicit GateModel(GateWeights weights = GateWeights{});
+
+    /** eCAP addition: WRT flop + parity-tree extension (controller). */
+    GateEstimate ePar() const;
+
+    /** eWCRC addition: address extension of the per-chip CRC-8. */
+    GateEstimate eWcrc() const;
+
+    /** eDECC on AMD chipkill: 4 address-symbol parity contributions. */
+    GateEstimate eDeccAmd() const;
+
+    /** eDECC on QPC Bamboo: 4x8 constant GF(256) multipliers. */
+    GateEstimate eDeccQpc() const;
+
+    /** CSTC per DRAM chip: per-bank FSM + timing counters. */
+    GateEstimate cstc(const Geometry &geom = Geometry{},
+                      const TimingParams &timing =
+                          TimingParams::ddr4_2400()) const;
+
+    /** All estimates in paper order. */
+    std::vector<GateEstimate> all() const;
+
+    // --- building blocks (exposed for testing) ---
+
+    /** NAND2 equivalents of an n-input XOR tree. */
+    double xorTree(unsigned inputs) const;
+
+    /**
+     * NAND2 equivalents of a combinational CRC with the given number
+     * of check bits over a message width, from the exact GF(2) matrix
+     * density of the CRC polynomial.
+     */
+    double crcLogic(unsigned width, uint32_t poly,
+                    unsigned messageBits) const;
+
+    /** NAND2 equivalents of a constant GF(256) multiplier. */
+    double gfConstMult() const;
+
+    /** NAND2 equivalents of an n-bit loadable down-counter + zero cmp. */
+    double timingCounter(unsigned bits) const;
+
+  private:
+    GateWeights w;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_HWMODEL_GATE_MODEL_HH

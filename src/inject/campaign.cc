@@ -1,0 +1,448 @@
+#include "inject/campaign.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+// Campaign working-set geometry: every bank holds data in an "open"
+// row (rowA, left activated by setup) and a "target" row (rowT, used
+// by the ACT/PRE patterns), at two columns each.
+constexpr unsigned targetBg = 1;
+constexpr unsigned targetBa = 2;
+constexpr unsigned rowA = 0x2A;
+constexpr unsigned rowT = 0x15;
+constexpr unsigned col1 = 2;
+constexpr unsigned col2 = 5;
+
+BitVec
+patternData(uint64_t tag)
+{
+    Rng rng(0xDA7A0000ULL ^ tag);
+    BitVec d(Burst::dataBits);
+    for (size_t i = 0; i < d.size(); i += 64)
+        d.setField(i, 64, rng.next());
+    return d;
+}
+
+MtbAddress
+addrOf(unsigned bg, unsigned ba, unsigned row, unsigned col)
+{
+    return MtbAddress{0, bg, ba, row, col};
+}
+
+uint64_t
+dataTag(unsigned bg, unsigned ba, unsigned row, unsigned col)
+{
+    return (static_cast<uint64_t>(bg) << 40) |
+           (static_cast<uint64_t>(ba) << 32) |
+           (static_cast<uint64_t>(row) << 8) | col;
+}
+
+} // namespace
+
+std::vector<CommandPattern>
+allPatterns()
+{
+    return {CommandPattern::ActWr, CommandPattern::ActRd,
+            CommandPattern::Wr, CommandPattern::Rd, CommandPattern::Pre};
+}
+
+std::string
+patternName(CommandPattern pattern)
+{
+    switch (pattern) {
+      case CommandPattern::ActWr: return "ACT+WR";
+      case CommandPattern::ActRd: return "ACT+RD";
+      case CommandPattern::Wr: return "WR";
+      case CommandPattern::Rd: return "RD";
+      case CommandPattern::Pre: return "PRE";
+    }
+    return "?";
+}
+
+std::string
+PinError::toString() const
+{
+    if (allPin)
+        return "all-pin";
+    std::ostringstream out;
+    for (size_t i = 0; i < flips.size(); ++i)
+        out << (i ? "+" : "") << pinName(flips[i]);
+    return out.str();
+}
+
+std::string
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::NoEffect: return "NE";
+      case Outcome::Corrected: return "CE";
+      case Outcome::Due: return "DUE";
+      case Outcome::Sdc: return "SDC";
+      case Outcome::Mdc: return "MDC";
+      case Outcome::SdcMdc: return "SDC+MDC";
+    }
+    return "?";
+}
+
+void
+CampaignStats::add(const TrialResult &result)
+{
+    ++trials;
+    if (result.detected) {
+        ++detected;
+        if (auto first = result.firstDetector())
+            ++byFirstDetector[*first];
+    }
+    switch (result.outcome) {
+      case Outcome::NoEffect: ++noEffect; break;
+      case Outcome::Corrected: ++corrected; break;
+      case Outcome::Due: ++due; break;
+      case Outcome::Sdc: ++sdc; break;
+      case Outcome::Mdc: ++mdc; break;
+      case Outcome::SdcMdc:
+        ++sdc;
+        ++mdc;
+        ++sdcMdcBoth;
+        break;
+    }
+}
+
+InjectionCampaign::InjectionCampaign(const Mechanisms &mech, uint64_t seed)
+    : mech(mech), seed(seed)
+{
+}
+
+namespace
+{
+
+/** Sequence bookkeeping shared between the setup/pattern/verify code. */
+/** One consumed read: payload, flagged status, and consumption time. */
+struct ReadRecord
+{
+    BitVec data{Burst::dataBits};
+    bool flagged = false;
+    Cycle when = 0;
+};
+
+struct SequenceContext
+{
+    ProtectionStack &stack;
+    std::vector<ReadRecord> *reads;
+
+    void
+    readBack(const MtbAddress &addr)
+    {
+        const auto out = stack.issueRd(addr);
+        if (reads) {
+            reads->push_back({out.data, out.detected || out.due,
+                              stack.controller().now()});
+        }
+    }
+};
+
+void
+setupWorkingSet(ProtectionStack &stack, CommandPattern pattern)
+{
+    const Geometry geom = stack.geometry();
+    for (unsigned bg = 0; bg < geom.numBankGroups(); ++bg) {
+        for (unsigned ba = 0; ba < geom.banksPerGroup(); ++ba) {
+            stack.write(addrOf(bg, ba, rowT, col1),
+                        patternData(dataTag(bg, ba, rowT, col1)));
+            stack.write(addrOf(bg, ba, rowA, col1),
+                        patternData(dataTag(bg, ba, rowA, col1)));
+            stack.write(addrOf(bg, ba, rowA, col2),
+                        patternData(dataTag(bg, ba, rowA, col2)));
+        }
+    }
+    // A warm-up read leaves a *valid* codeword as the PHY read FIFO's
+    // stale entry, as on a real system mid-operation; a missing RD
+    // then re-reads that stale entry (wrong address, valid data) —
+    // invisible to data-only ECC, caught by eDECC (§IV-C).
+    stack.read(addrOf(0, 0, rowA, col1));
+
+    // ACT patterns need the target bank idle (§V-A: all banks open
+    // except for erroneous ACTs, where the target bank is closed).
+    if (pattern == CommandPattern::ActWr ||
+        pattern == CommandPattern::ActRd) {
+        stack.issuePre(targetBg, targetBa);
+    }
+}
+
+/** Fresh payload the pattern's WR deposits (differs from setup data). */
+BitVec
+freshData()
+{
+    return patternData(0xF2E5D);
+}
+
+void
+runPattern(ProtectionStack &stack, CommandPattern pattern,
+           std::vector<ReadRecord> *reads)
+{
+    SequenceContext ctx{stack, reads};
+    switch (pattern) {
+      case CommandPattern::ActWr:
+        stack.issueAct(targetBg, targetBa, rowT);
+        stack.issueWr(addrOf(targetBg, targetBa, rowT, col1),
+                      freshData());
+        break;
+      case CommandPattern::ActRd:
+        stack.issueAct(targetBg, targetBa, rowT);
+        ctx.readBack(addrOf(targetBg, targetBa, rowT, col1));
+        break;
+      case CommandPattern::Wr:
+        stack.issueWr(addrOf(targetBg, targetBa, rowA, col1),
+                      freshData());
+        break;
+      case CommandPattern::Rd:
+        ctx.readBack(addrOf(targetBg, targetBa, rowA, col1));
+        break;
+      case CommandPattern::Pre:
+        stack.issuePre(targetBg, targetBa);
+        stack.issueAct(targetBg, targetBa, rowT);
+        ctx.readBack(addrOf(targetBg, targetBa, rowT, col1));
+        break;
+    }
+}
+
+void
+runVerify(ProtectionStack &stack, std::vector<ReadRecord> *reads)
+{
+    SequenceContext ctx{stack, reads};
+    const Geometry geom = stack.geometry();
+    for (unsigned bg = 0; bg < geom.numBankGroups(); ++bg) {
+        for (unsigned ba = 0; ba < geom.banksPerGroup(); ++ba) {
+            stack.issuePre(bg, ba);
+            stack.issueAct(bg, ba, rowA);
+            ctx.readBack(addrOf(bg, ba, rowA, col1));
+            ctx.readBack(addrOf(bg, ba, rowA, col2));
+            stack.issuePre(bg, ba);
+            stack.issueAct(bg, ba, rowT);
+            ctx.readBack(addrOf(bg, ba, rowT, col1));
+        }
+    }
+}
+
+/** Restore the intended pre-pattern bank state for a command retry. */
+void
+replayRestore(ProtectionStack &stack, CommandPattern pattern)
+{
+    stack.controller().resyncWrt();
+    stack.controller().resetReadFifo();
+    stack.issuePreAll();
+    const Geometry geom = stack.geometry();
+    for (unsigned bg = 0; bg < geom.numBankGroups(); ++bg) {
+        for (unsigned ba = 0; ba < geom.banksPerGroup(); ++ba)
+            stack.issueAct(bg, ba, rowA);
+    }
+    if (pattern == CommandPattern::ActWr ||
+        pattern == CommandPattern::ActRd) {
+        stack.issuePre(targetBg, targetBa);
+    }
+}
+
+/** The intended command on the pattern's target (first) edge. */
+Command
+targetCommand(CommandPattern pattern)
+{
+    switch (pattern) {
+      case CommandPattern::ActWr:
+      case CommandPattern::ActRd:
+        return Command::act(targetBg, targetBa, rowT);
+      case CommandPattern::Wr:
+        return Command::wr(targetBg, targetBa,
+                           col1 << Geometry::burstBits);
+      case CommandPattern::Rd:
+        return Command::rd(targetBg, targetBa,
+                           col1 << Geometry::burstBits);
+      case CommandPattern::Pre:
+        return Command::pre(targetBg, targetBa);
+    }
+    return Command::nop();
+}
+
+} // namespace
+
+TrialResult
+InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
+{
+    StackConfig cfg;
+    cfg.mech = mech;
+    cfg.seed = seed ^ (static_cast<uint64_t>(pattern) << 56) ^
+               error.noiseSeed;
+
+    TrialResult tr;
+    tr.intended = targetCommand(pattern);
+
+    // ---- Golden run: no injection. ----
+    ProtectionStack golden(cfg);
+    std::vector<ReadRecord> goldenReads;
+    setupWorkingSet(golden, pattern);
+    runPattern(golden, pattern, &goldenReads);
+    golden.issueNop();
+    runVerify(golden, &goldenReads);
+    AIECC_ASSERT(golden.detections().empty(),
+                 "golden run raised detections under "
+                     << mech.describe());
+
+    // ---- Faulty run. ----
+    ProtectionStack faulty(cfg);
+    setupWorkingSet(faulty, pattern);
+    faulty.clearDetections();
+
+    const uint64_t targetIdx = faulty.controller().commandsIssued();
+    PinWord corrupted;
+    const PinError err = error;
+    const bool parPresent = mech.parPinPresent();
+    faulty.setPinCorruptor(
+        [targetIdx, err, parPresent, &corrupted](uint64_t idx,
+                                                 PinWord &pins) {
+            if (idx != targetIdx)
+                return;
+            if (err.allPin) {
+                Rng noise(0xA11F1A5ULL ^ err.noiseSeed);
+                for (unsigned p = 0; p < numCccaPins; ++p) {
+                    const Pin pin = static_cast<Pin>(p);
+                    if (pin == Pin::CK)
+                        continue;
+                    if (pin == Pin::PAR && !parPresent)
+                        continue;
+                    pins.set(pin, noise.chance(0.5));
+                }
+            } else {
+                for (Pin pin : err.flips)
+                    pins.flip(pin);
+            }
+            corrupted = pins;
+        });
+
+    std::vector<ReadRecord> firstPass;
+    runPattern(faulty, pattern, &firstPass);
+    faulty.issueNop();
+    runVerify(faulty, &firstPass);
+    tr.decoded = decodeCommand(corrupted);
+
+    // Wrong data consumed *before* the first detection fired is
+    // silent corruption no matter what is flagged later — a consumer
+    // has already used it (the paper's SDC accounting).
+    for (const auto &ev : faulty.detections()) {
+        tr.detected = true;
+        tr.detectors.push_back(ev.mech);
+        if (ev.diagnosedAddress && !tr.diagnosedAddress)
+            tr.diagnosedAddress = ev.diagnosedAddress;
+    }
+    const Cycle firstDetection =
+        tr.detected ? faulty.detections().front().when
+                    : ~static_cast<Cycle>(0);
+    AIECC_ASSERT(firstPass.size() == goldenReads.size(),
+                 "read-sequence length mismatch");
+    for (size_t i = 0; i < firstPass.size(); ++i) {
+        if (!firstPass[i].flagged &&
+            firstPass[i].when < firstDetection &&
+            firstPass[i].data != goldenReads[i].data) {
+            tr.sdc = true;
+        }
+    }
+
+    // ---- Recovery: command retry after any detection (§IV-G). ----
+    std::vector<ReadRecord> finalPass = firstPass;
+    if (tr.detected) {
+        faulty.setPinCorruptor({});
+        replayRestore(faulty, pattern);
+        finalPass.clear();
+        runPattern(faulty, pattern, &finalPass);
+        faulty.issueNop();
+        runVerify(faulty, &finalPass);
+    }
+
+    // ---- Classification against golden. ----
+    bool residual = false;
+    for (size_t i = 0; i < finalPass.size(); ++i) {
+        if (finalPass[i].flagged) {
+            residual = true; // a DUE was delivered to the consumer
+            continue;
+        }
+        if (finalPass[i].data != goldenReads[i].data) {
+            residual = true;
+            if (!tr.detected)
+                tr.sdc = true;
+        }
+    }
+
+    // Storage comparison: every address stored by either run must
+    // agree (reads through peek() cover default-fill semantics).
+    auto keys = faulty.rank().storedAddresses();
+    for (const auto &addr : golden.rank().storedAddresses())
+        keys.push_back(addr);
+    for (const auto &addr : keys) {
+        if (faulty.rank().peek(addr) != golden.rank().peek(addr)) {
+            tr.mdc = true;
+            break;
+        }
+    }
+    if (faulty.rank().modeCorrupted())
+        tr.mdc = true;
+
+    if (tr.sdc || (!tr.detected && tr.mdc)) {
+        // Silent corruption escaped (even if something fired later).
+        tr.outcome = tr.sdc && tr.mdc
+                         ? Outcome::SdcMdc
+                         : (tr.sdc ? Outcome::Sdc : Outcome::Mdc);
+    } else if (!tr.detected) {
+        tr.outcome = Outcome::NoEffect;
+    } else {
+        tr.outcome =
+            (residual || tr.mdc) ? Outcome::Due : Outcome::Corrected;
+    }
+    return tr;
+}
+
+CampaignStats
+InjectionCampaign::sweepOnePin(CommandPattern pattern)
+{
+    CampaignStats stats;
+    for (Pin pin : injectablePins(mech.parPinPresent()))
+        stats.add(runTrial(pattern, PinError::onePin(pin)));
+    return stats;
+}
+
+CampaignStats
+InjectionCampaign::sweepTwoPin(CommandPattern pattern)
+{
+    CampaignStats stats;
+    const auto pins = injectablePins(mech.parPinPresent());
+    for (size_t i = 0; i < pins.size(); ++i) {
+        for (size_t j = i + 1; j < pins.size(); ++j)
+            stats.add(runTrial(pattern,
+                               PinError::twoPin(pins[i], pins[j])));
+    }
+    return stats;
+}
+
+CampaignStats
+InjectionCampaign::sweepAllPin(CommandPattern pattern, unsigned samples)
+{
+    CampaignStats stats;
+    for (unsigned s = 0; s < samples; ++s)
+        stats.add(runTrial(pattern, PinError::allPins(s + 1)));
+    return stats;
+}
+
+std::vector<std::pair<Pin, TrialResult>>
+InjectionCampaign::perPinResults(CommandPattern pattern)
+{
+    std::vector<std::pair<Pin, TrialResult>> out;
+    for (Pin pin : injectablePins(mech.parPinPresent()))
+        out.emplace_back(pin, runTrial(pattern, PinError::onePin(pin)));
+    return out;
+}
+
+} // namespace aiecc

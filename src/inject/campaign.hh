@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The CCCA fault-injection campaign engine (Figure 6 of the AIECC
+ * paper).
+ *
+ * A trial injects one transmission error — a 1-pin flip, a 2-pin
+ * flip, or an all-pin (clock/power noise) randomization — into the
+ * target command of one of the five dominant command patterns, runs
+ * the protected memory system forward (including command retry when a
+ * mechanism raises an alert), and classifies the end state against an
+ * error-free golden run: no effect, corrected, detected-uncorrectable,
+ * or silent data / memory data corruption.
+ */
+
+#ifndef AIECC_INJECT_CAMPAIGN_HH
+#define AIECC_INJECT_CAMPAIGN_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aiecc/stack.hh"
+
+namespace aiecc
+{
+
+/** The five dominant command patterns of Section V-A. */
+enum class CommandPattern
+{
+    ActWr,  ///< ACT followed by WR (error injected on the ACT)
+    ActRd,  ///< ACT followed by RD
+    Wr,     ///< WR to an open row
+    Rd,     ///< RD from an open row
+    Pre,    ///< PRE, then reopen and read
+};
+
+/** All five patterns, in paper order. */
+std::vector<CommandPattern> allPatterns();
+
+/** Printable pattern name ("ACT+WR", ...). */
+std::string patternName(CommandPattern pattern);
+
+/** The transmission-error models of Section V-A. */
+struct PinError
+{
+    /** Pins whose level flips on the target edge (1-pin / 2-pin). */
+    std::vector<Pin> flips;
+    /** All-pin noise: every CCCA pin re-randomized (CK/power error). */
+    bool allPin = false;
+    /** Seed for the all-pin randomization. */
+    uint64_t noiseSeed = 0;
+
+    static PinError onePin(Pin pin) { return {{pin}, false, 0}; }
+    static PinError twoPin(Pin a, Pin b) { return {{a, b}, false, 0}; }
+    static PinError allPins(uint64_t seed) { return {{}, true, seed}; }
+
+    std::string toString() const;
+};
+
+/** Final classification of a trial (Section V-A1 terminology). */
+enum class Outcome
+{
+    NoEffect,    ///< undetected, but harmless
+    Corrected,   ///< detected; retry restored the golden state
+    Due,         ///< detected, but data was lost (uncorrectable)
+    Sdc,         ///< undetected wrong data consumed
+    Mdc,         ///< undetected latent storage corruption
+    SdcMdc,      ///< both
+};
+
+/** Printable outcome name. */
+std::string outcomeName(Outcome outcome);
+
+/** Everything a single injection trial produced. */
+struct TrialResult
+{
+    Outcome outcome = Outcome::NoEffect;
+    bool detected = false;
+    /** Mechanisms that raised detections, in firing order. */
+    std::vector<Mechanism> detectors;
+    /** Wrong data was consumed without a flag (after any retry). */
+    bool sdc = false;
+    /** Storage diverged from golden (after any retry). */
+    bool mdc = false;
+    /** What the corrupted edge decoded to on the DRAM side. */
+    DecodedCommand decoded;
+    /** The intended command on the target edge. */
+    Command intended;
+    /** eDECC address diagnosis, when one was produced (§IV-F). */
+    std::optional<uint32_t> diagnosedAddress;
+
+    /** First detector, if any. */
+    std::optional<Mechanism> firstDetector() const
+    {
+        if (detectors.empty())
+            return std::nullopt;
+        return detectors.front();
+    }
+};
+
+/** Aggregated counts over a set of trials. */
+struct CampaignStats
+{
+    unsigned trials = 0;
+    unsigned detected = 0;
+    unsigned noEffect = 0;
+    unsigned corrected = 0;
+    unsigned due = 0;
+    unsigned sdc = 0;      ///< outcome Sdc or SdcMdc
+    unsigned mdc = 0;      ///< outcome Mdc or SdcMdc
+    unsigned sdcMdcBoth = 0; ///< outcome SdcMdc
+    std::map<Mechanism, unsigned> byFirstDetector;
+
+    void add(const TrialResult &result);
+
+    double detectedFrac() const
+    {
+        return trials ? static_cast<double>(detected) / trials : 0.0;
+    }
+    /**
+     * Coverage in the Figure 7 sense: an injected error is covered
+     * when no silent corruption escaped — it was detected in time,
+     * corrected, or provably benign.
+     */
+    double coveredFrac() const
+    {
+        if (!trials)
+            return 0.0;
+        const unsigned harmful = sdc + mdc - sdcMdcBoth;
+        return static_cast<double>(trials - harmful) / trials;
+    }
+    double sdcFrac() const
+    {
+        return trials ? static_cast<double>(sdc) / trials : 0.0;
+    }
+    double mdcFrac() const
+    {
+        return trials ? static_cast<double>(mdc) / trials : 0.0;
+    }
+};
+
+/**
+ * Runs injection trials for one mechanism configuration.
+ *
+ * Each trial builds a fresh pair of memory systems (faulty + golden),
+ * so trials are independent and deterministic given the seed.
+ */
+class InjectionCampaign
+{
+  public:
+    /**
+     * @param mech Active protection mechanisms.
+     * @param seed Base seed for all stochastic model components.
+     */
+    explicit InjectionCampaign(const Mechanisms &mech,
+                               uint64_t seed = 0x1019ECC);
+
+    /** Run one trial: inject @p error into @p pattern's target edge. */
+    TrialResult runTrial(CommandPattern pattern, const PinError &error);
+
+    /** All 1-pin errors for one pattern (26/27 pins per PAR presence). */
+    CampaignStats sweepOnePin(CommandPattern pattern);
+
+    /** All 2-pin combinations for one pattern. */
+    CampaignStats sweepTwoPin(CommandPattern pattern);
+
+    /** @p samples all-pin noise trials for one pattern. */
+    CampaignStats sweepAllPin(CommandPattern pattern, unsigned samples);
+
+    /** Per-pin 1-pin results for one pattern (Table II rows). */
+    std::vector<std::pair<Pin, TrialResult>>
+    perPinResults(CommandPattern pattern);
+
+    const Mechanisms &mechanisms() const { return mech; }
+
+  private:
+    Mechanisms mech;
+    uint64_t seed;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_INJECT_CAMPAIGN_HH

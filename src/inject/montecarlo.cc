@@ -1,0 +1,171 @@
+#include "inject/montecarlo.hh"
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+std::string
+dataErrorName(DataErrorModel model)
+{
+    switch (model) {
+      case DataErrorModel::None: return "None";
+      case DataErrorModel::Bit1: return "1 bit";
+      case DataErrorModel::Chip1: return "1 chip";
+      case DataErrorModel::Rank1: return "1 rank";
+    }
+    return "?";
+}
+
+std::string
+addrErrorName(AddrErrorModel model)
+{
+    switch (model) {
+      case AddrErrorModel::None: return "None";
+      case AddrErrorModel::Bit1: return "1 bit";
+      case AddrErrorModel::Bits32: return "32 bits";
+    }
+    return "?";
+}
+
+std::string
+dataOutcomeName(DataOutcome outcome)
+{
+    switch (outcome) {
+      case DataOutcome::NoError: return "-";
+      case DataOutcome::Sdc: return "SDC";
+      case DataOutcome::CeD: return "CE-D";
+      case DataOutcome::CeR: return "CE-R";
+      case DataOutcome::CeRPlus: return "CE-R+";
+      case DataOutcome::CeRD: return "CE-RD";
+      case DataOutcome::CeRDPlus: return "CE-RD+";
+      case DataOutcome::Due: return "DUE";
+    }
+    return "?";
+}
+
+DataOutcome
+MonteCarloCell::dominant() const
+{
+    DataOutcome best = DataOutcome::NoError;
+    uint64_t bestCount = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        const auto outcome = static_cast<DataOutcome>(i);
+        if (outcome == DataOutcome::Sdc)
+            continue;
+        if (counts[i] > bestCount) {
+            bestCount = counts[i];
+            best = outcome;
+        }
+    }
+    return best;
+}
+
+DataMonteCarlo::DataMonteCarlo(EccScheme scheme, uint64_t seed)
+    : ecc(makeEcc(scheme)), rng(seed)
+{
+    AIECC_ASSERT(ecc != nullptr, "Monte Carlo needs a data ECC scheme");
+}
+
+DataOutcome
+DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
+{
+    // Encode a random payload under a random write address.
+    const uint32_t addrW = static_cast<uint32_t>(rng.next());
+    BitVec data(Burst::dataBits);
+    for (size_t i = 0; i < data.size(); i += 64)
+        data.setField(i, 64, rng.next());
+    Burst burst = ecc->encode(data, addrW);
+
+    // Inject the data-error pattern.
+    switch (dataErr) {
+      case DataErrorModel::None:
+        break;
+      case DataErrorModel::Bit1: {
+        const unsigned pin =
+            static_cast<unsigned>(rng.below(Burst::numPins));
+        const unsigned beat =
+            static_cast<unsigned>(rng.below(Burst::numBeats));
+        burst.setBit(pin, beat, !burst.getBit(pin, beat));
+        break;
+      }
+      case DataErrorModel::Chip1: {
+        const unsigned chip =
+            static_cast<unsigned>(rng.below(Burst::numChips));
+        BitVec junk(32);
+        for (size_t i = 0; i < 32; ++i)
+            junk.set(i, rng.chance(0.5));
+        burst.setChipBits(chip, junk);
+        break;
+      }
+      case DataErrorModel::Rank1:
+        burst.randomize(rng);
+        break;
+    }
+
+    // Inject the address-error pattern.
+    uint32_t addrR = addrW;
+    switch (addrErr) {
+      case AddrErrorModel::None:
+        break;
+      case AddrErrorModel::Bit1:
+        addrR ^= 1u << rng.below(32);
+        break;
+      case AddrErrorModel::Bits32:
+        addrR = static_cast<uint32_t>(rng.next());
+        if (addrR == addrW)
+            addrR ^= 1;
+        break;
+    }
+
+    const EccResult res = ecc->decode(burst, addrR);
+    const bool addrMismatch = addrR != addrW;
+    const bool dataHadError = dataErr != DataErrorModel::None;
+
+    switch (res.status) {
+      case EccStatus::Clean:
+        if (!addrMismatch && res.data == data)
+            return DataOutcome::NoError;
+        // A wrong location (or aliased corruption) sailed through.
+        return DataOutcome::Sdc;
+
+      case EccStatus::Corrected:
+        if (res.addressError) {
+            // The scheme noticed the address was wrong: retry.
+            const bool plus = ecc->preciseDiagnosis() &&
+                              res.recoveredAddress.has_value();
+            if (dataHadError)
+                return plus ? DataOutcome::CeRDPlus : DataOutcome::CeRD;
+            return plus ? DataOutcome::CeRPlus : DataOutcome::CeR;
+        }
+        if (addrMismatch) {
+            // The decoder "fixed" something but never noticed the
+            // location was wrong: the consumer uses wrong data.
+            return DataOutcome::Sdc;
+        }
+        return res.data == data ? DataOutcome::CeD : DataOutcome::Sdc;
+
+      case EccStatus::Uncorrectable:
+        // Detected.  A command retry resolves transmission-induced
+        // address errors (CE-R/CE-RD); corruption of the stored rank
+        // itself survives the retry and remains a DUE.
+        if (dataErr == DataErrorModel::Rank1)
+            return DataOutcome::Due;
+        if (addrMismatch)
+            return dataHadError ? DataOutcome::CeRD : DataOutcome::CeR;
+        return DataOutcome::Due;
+    }
+    return DataOutcome::Due;
+}
+
+MonteCarloCell
+DataMonteCarlo::runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
+                        uint64_t trials)
+{
+    MonteCarloCell cell;
+    for (uint64_t i = 0; i < trials; ++i)
+        cell.add(runTrial(dataErr, addrErr));
+    return cell;
+}
+
+} // namespace aiecc

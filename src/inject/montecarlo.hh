@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Monte-Carlo data/address error injection for the data-reliability
+ * comparison of Table III (Section V-B).
+ *
+ * Each trial encodes a random payload under a random write address,
+ * injects a data-error pattern (none / 1 bit / 1 chip / 1 rank) into
+ * the stored burst and an address-error pattern (none / 1 bit / 32
+ * bits) into the read address, decodes, and classifies the outcome
+ * using the paper's terminology: SDC, CE-D (data-ECC correction),
+ * CE-R / CE-R+ (retry after detection, + = precise diagnosis), CE-RD /
+ * CE-RD+ (retry plus data correction), and DUE.
+ */
+
+#ifndef AIECC_INJECT_MONTECARLO_HH
+#define AIECC_INJECT_MONTECARLO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "aiecc/mechanisms.hh"
+#include "common/rng.hh"
+
+namespace aiecc
+{
+
+/** Data-error patterns of Table III. */
+enum class DataErrorModel
+{
+    None,
+    Bit1,   ///< one random transferred bit flips
+    Chip1,  ///< one x4 chip drives arbitrary values (32 bits)
+    Rank1,  ///< the whole rank drives arbitrary values
+};
+
+/** Address-error patterns of Table III. */
+enum class AddrErrorModel
+{
+    None,
+    Bit1,   ///< one random MTB-address bit flips
+    Bits32, ///< the read address is fully random
+};
+
+std::string dataErrorName(DataErrorModel model);
+std::string addrErrorName(AddrErrorModel model);
+
+/** Outcome classes of Table III. */
+enum class DataOutcome
+{
+    NoError,  ///< nothing happened, nothing reported
+    Sdc,      ///< wrong data (or wrong location) consumed silently
+    CeD,      ///< corrected by data ECC
+    CeR,      ///< retry after a detected address error
+    CeRPlus,  ///< retry with precise address diagnosis
+    CeRD,     ///< retry + data correction
+    CeRDPlus, ///< retry + data correction, precise diagnosis
+    Due,      ///< detected uncorrectable
+};
+
+std::string dataOutcomeName(DataOutcome outcome);
+
+/** Aggregated Monte-Carlo results for one (scheme, cell) pair. */
+struct MonteCarloCell
+{
+    uint64_t trials = 0;
+    uint64_t counts[8] = {};
+
+    void
+    add(DataOutcome outcome)
+    {
+        ++trials;
+        ++counts[static_cast<unsigned>(outcome)];
+    }
+
+    uint64_t
+    count(DataOutcome outcome) const
+    {
+        return counts[static_cast<unsigned>(outcome)];
+    }
+
+    double
+    frac(DataOutcome outcome) const
+    {
+        return trials ? static_cast<double>(count(outcome)) / trials
+                      : 0.0;
+    }
+
+    /** SDC fraction (the headline number of Table III). */
+    double sdcFrac() const { return frac(DataOutcome::Sdc); }
+
+    /** The most frequent non-SDC outcome (the cell's label). */
+    DataOutcome dominant() const;
+};
+
+/**
+ * Monte-Carlo evaluator for one ECC scheme.
+ */
+class DataMonteCarlo
+{
+  public:
+    /**
+     * @param scheme The data-ECC organization under test.
+     * @param seed Base RNG seed.
+     */
+    explicit DataMonteCarlo(EccScheme scheme, uint64_t seed = 0x7AB1E3);
+
+    /** Run one trial; returns the outcome classification. */
+    DataOutcome runTrial(DataErrorModel dataErr, AddrErrorModel addrErr);
+
+    /** Run @p trials trials of one Table III cell. */
+    MonteCarloCell runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
+                           uint64_t trials);
+
+    const DataEcc &codec() const { return *ecc; }
+
+  private:
+    std::unique_ptr<DataEcc> ecc;
+    Rng rng;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_INJECT_MONTECARLO_HH

@@ -1,0 +1,156 @@
+#include "reliability/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+std::vector<std::vector<double>>
+normalize(const std::vector<std::vector<double>> &points)
+{
+    if (points.empty())
+        return {};
+    const size_t dims = points[0].size();
+    std::vector<double> lo(dims, std::numeric_limits<double>::max());
+    std::vector<double> hi(dims, std::numeric_limits<double>::lowest());
+    for (const auto &p : points) {
+        AIECC_ASSERT(p.size() == dims, "inconsistent feature dims");
+        for (size_t d = 0; d < dims; ++d) {
+            lo[d] = std::min(lo[d], p[d]);
+            hi[d] = std::max(hi[d], p[d]);
+        }
+    }
+    std::vector<std::vector<double>> out(points.size(),
+                                         std::vector<double>(dims, 0.0));
+    for (size_t i = 0; i < points.size(); ++i) {
+        for (size_t d = 0; d < dims; ++d) {
+            const double span = hi[d] - lo[d];
+            out[i][d] = span > 0 ? (points[i][d] - lo[d]) / span : 0.0;
+        }
+    }
+    return out;
+}
+
+double
+dist2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0;
+    for (size_t d = 0; d < a.size(); ++d)
+        s += (a[d] - b[d]) * (a[d] - b[d]);
+    return s;
+}
+
+} // namespace
+
+Clustering
+hierarchicalCluster(const std::vector<std::vector<double>> &points,
+                    size_t k)
+{
+    AIECC_ASSERT(!points.empty() && k >= 1 && k <= points.size(),
+                 "bad clustering parameters");
+    const auto norm = normalize(points);
+
+    // Start with singleton clusters; repeatedly merge the pair with
+    // the smallest average-linkage distance.
+    std::vector<std::vector<size_t>> clusters;
+    for (size_t i = 0; i < norm.size(); ++i)
+        clusters.push_back({i});
+
+    auto avgLink = [&](const std::vector<size_t> &a,
+                       const std::vector<size_t> &b) {
+        double sum = 0;
+        for (size_t i : a) {
+            for (size_t j : b)
+                sum += std::sqrt(dist2(norm[i], norm[j]));
+        }
+        return sum / (static_cast<double>(a.size()) *
+                      static_cast<double>(b.size()));
+    };
+
+    while (clusters.size() > k) {
+        size_t bestA = 0, bestB = 1;
+        double best = std::numeric_limits<double>::max();
+        for (size_t a = 0; a < clusters.size(); ++a) {
+            for (size_t b = a + 1; b < clusters.size(); ++b) {
+                const double d = avgLink(clusters[a], clusters[b]);
+                if (d < best) {
+                    best = d;
+                    bestA = a;
+                    bestB = b;
+                }
+            }
+        }
+        auto merged = clusters[bestA];
+        merged.insert(merged.end(), clusters[bestB].begin(),
+                      clusters[bestB].end());
+        clusters.erase(clusters.begin() +
+                       static_cast<std::ptrdiff_t>(bestB));
+        clusters[bestA] = std::move(merged);
+    }
+
+    Clustering out;
+    out.members = clusters;
+    for (const auto &cluster : clusters) {
+        std::vector<double> centroid(norm[0].size(), 0.0);
+        for (size_t i : cluster) {
+            for (size_t d = 0; d < centroid.size(); ++d)
+                centroid[d] += norm[i][d];
+        }
+        for (auto &v : centroid)
+            v /= static_cast<double>(cluster.size());
+        out.centroids.push_back(std::move(centroid));
+    }
+    return out;
+}
+
+size_t
+Clustering::medianMember(
+    size_t cluster, const std::vector<std::vector<double>> &points) const
+{
+    AIECC_ASSERT(cluster < members.size(), "cluster out of range");
+    // Re-normalize consistently with hierarchicalCluster.
+    // (Distances to the stored centroid are computed in the
+    // normalized space; we recompute normalization here.)
+    std::vector<std::vector<double>> norm;
+    {
+        // Local copy of the normalization logic keeps the API simple.
+        const size_t dims = points[0].size();
+        std::vector<double> lo(dims, std::numeric_limits<double>::max());
+        std::vector<double> hi(dims,
+                               std::numeric_limits<double>::lowest());
+        for (const auto &p : points) {
+            for (size_t d = 0; d < dims; ++d) {
+                lo[d] = std::min(lo[d], p[d]);
+                hi[d] = std::max(hi[d], p[d]);
+            }
+        }
+        norm.assign(points.size(), std::vector<double>(dims, 0.0));
+        for (size_t i = 0; i < points.size(); ++i) {
+            for (size_t d = 0; d < dims; ++d) {
+                const double span = hi[d] - lo[d];
+                norm[i][d] =
+                    span > 0 ? (points[i][d] - lo[d]) / span : 0.0;
+            }
+        }
+    }
+
+    size_t best = members[cluster][0];
+    double bestDist = std::numeric_limits<double>::max();
+    for (size_t i : members[cluster]) {
+        const double d = dist2(norm[i], centroids[cluster]);
+        if (d < bestDist) {
+            bestDist = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace aiecc

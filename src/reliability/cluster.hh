@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering, used to derive the four
+ * representative workload centroids of Figure 9a from per-benchmark
+ * characterizations (the paper clusters across bandwidth utilization,
+ * read/write ratio, CAS/ACT ratio and ACT->RD / ACT->WR ratio).
+ */
+
+#ifndef AIECC_RELIABILITY_CLUSTER_HH
+#define AIECC_RELIABILITY_CLUSTER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace aiecc
+{
+
+/** One clustering result: members and centroid per cluster. */
+struct Clustering
+{
+    /** cluster -> indices of its member points. */
+    std::vector<std::vector<size_t>> members;
+    /** cluster -> centroid in the (normalized) feature space. */
+    std::vector<std::vector<double>> centroids;
+
+    size_t numClusters() const { return members.size(); }
+
+    /** Member index whose point lies closest to the cluster centroid. */
+    size_t medianMember(size_t cluster,
+                        const std::vector<std::vector<double>> &points)
+        const;
+};
+
+/**
+ * Average-linkage agglomerative clustering into @p k clusters.
+ *
+ * Features are min-max normalized per dimension before distances are
+ * computed, so heterogeneous scales (utilization fractions vs ratios)
+ * contribute comparably.
+ *
+ * @param points One feature vector per item (all the same length).
+ * @param k Target cluster count, 1 <= k <= points.size().
+ */
+Clustering hierarchicalCluster(
+    const std::vector<std::vector<double>> &points, size_t k);
+
+} // namespace aiecc
+
+#endif // AIECC_RELIABILITY_CLUSTER_HH

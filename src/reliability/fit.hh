@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The system-level reliability model of Section V-C: Equation 1's FIT
+ * accumulation over commands and error types, the published workload
+ * centroids of Figure 9a, the BER sweep, and MTTF conversion.
+ */
+
+#ifndef AIECC_RELIABILITY_FIT_HH
+#define AIECC_RELIABILITY_FIT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "aiecc/mechanisms.hh"
+#include "inject/campaign.hh"
+#include "workload/workload.hh"
+
+namespace aiecc
+{
+
+/** One representative workload centroid (a Figure 9a row). */
+struct Centroid
+{
+    std::string name;
+    unsigned apps = 0;       ///< benchmarks in the cluster
+    double dataBwFrac = 0;   ///< data bandwidth utilization
+    CommandRates rates;      ///< commands per second
+};
+
+/**
+ * The paper's published centroids (Figure 9a), used so the Fig 9b/9c
+ * reproductions start from the same inputs as the paper.
+ */
+std::vector<Centroid> paperCentroids();
+
+/**
+ * Undetected-harm probabilities measured by injection campaigns, per
+ * command pattern.
+ *
+ * For 1-pin errors the per-pattern value is the *sum over pins* of
+ * the per-pin undetected-harm probability (equivalently SignalCount x
+ * average probability, the product Equation 1 uses); the all-pin value
+ * is a plain probability attributed to the CK signal.
+ */
+struct HarmProbs
+{
+    struct PerPattern
+    {
+        double sdcPins = 0;   ///< sum over pins, undetected SDC
+        double mdcPins = 0;   ///< sum over pins, undetected MDC
+        double sdcAllPin = 0; ///< all-pin (CK) undetected SDC prob
+        double mdcAllPin = 0; ///< all-pin (CK) undetected MDC prob
+    };
+    std::array<PerPattern, 5> perPattern{};
+
+    /** Describes the protection these probabilities were measured for. */
+    std::string label;
+
+    /** All-pin Monte-Carlo samples behind the allPin probabilities. */
+    unsigned allPinSamples = 0;
+};
+
+/**
+ * The FIT value one undetected all-pin event per pattern would have
+ * produced: the Monte-Carlo resolution floor of a measurement whose
+ * all-pin cells came back zero.  Campaign cells that measured exactly
+ * zero should be reported as "< resolution floor" (the exhaustive
+ * 1-pin/2-pin sweeps have no such floor).
+ */
+double fitResolutionFloor(double ber, const CommandRates &rates,
+                          unsigned allPinSamples);
+
+/**
+ * Measure HarmProbs for one mechanism configuration by running the
+ * full 1-pin sweep plus @p allPinSamples all-pin trials per pattern.
+ */
+HarmProbs measureHarmProbs(const Mechanisms &mech,
+                           unsigned allPinSamples = 50,
+                           uint64_t seed = 0xF17);
+
+/** SDC / MDC failures-in-time (per billion device-hours). */
+struct FitResult
+{
+    double sdcFit = 0;
+    double mdcFit = 0;
+};
+
+/**
+ * Equation 1: accumulate FIT over the five CCCA-sensitive commands
+ * and the 1-pin / all-pin (CK) error types.
+ *
+ * @param ber Bit error ratio of the CCCA signals.
+ * @param rates Per-command bandwidths of the workload.
+ * @param probs Campaign-measured undetected-harm probabilities.
+ */
+FitResult computeFit(double ber, const CommandRates &rates,
+                     const HarmProbs &probs);
+
+/** Mean time to failure in hours for a fleet of devices. */
+double mttfHours(double fitPerDevice, double numDevices);
+
+/** Render an hour count the way the paper does ("12 days", "8 years"). */
+std::string formatDuration(double hours);
+
+} // namespace aiecc
+
+#endif // AIECC_RELIABILITY_FIT_HH

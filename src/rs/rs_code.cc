@@ -1,0 +1,224 @@
+#include "rs/rs_code.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+RsCodec::RsCodec(unsigned n, unsigned k, unsigned fcr)
+    : nLen(n), kLen(k), fcr(fcr),
+      generator(Gf256Poly::rsGenerator(n - k, fcr))
+{
+    AIECC_ASSERT(k < n && n <= Gf256::groupOrder,
+                 "invalid RS parameters n=" << n << " k=" << k);
+}
+
+std::vector<GfElem>
+RsCodec::encode(const std::vector<GfElem> &message) const
+{
+    std::vector<GfElem> cw = message;
+    const std::vector<GfElem> par = parity(message);
+    cw.insert(cw.end(), par.begin(), par.end());
+    return cw;
+}
+
+std::vector<GfElem>
+RsCodec::parity(const std::vector<GfElem> &message) const
+{
+    AIECC_ASSERT(message.size() == kLen,
+                 "RS encode: message size " << message.size()
+                                            << " != k " << kLen);
+    // Systematic encoding: parity = -(m(x) * x^(n-k)) mod g(x).
+    // Our position convention places message[0] at the highest degree,
+    // so build the polynomial low-degree-first by reversing.
+    std::vector<GfElem> poly(nLen, 0);
+    for (unsigned i = 0; i < kLen; ++i)
+        poly[nLen - 1 - i] = message[i];
+    const Gf256Poly rem = Gf256Poly(std::move(poly)).mod(generator);
+
+    // parity[j] occupies codeword position k + j, i.e. degree n-1-(k+j).
+    std::vector<GfElem> par(nroots(), 0);
+    for (unsigned j = 0; j < nroots(); ++j)
+        par[j] = rem[nroots() - 1 - j];
+    return par;
+}
+
+std::vector<GfElem>
+RsCodec::syndromes(const std::vector<GfElem> &received) const
+{
+    std::vector<GfElem> synd(nroots(), 0);
+    for (unsigned j = 0; j < nroots(); ++j) {
+        GfElem acc = 0;
+        const GfElem x = Gf256::alphaPow(static_cast<int>(fcr + j));
+        // Horner over coefficients: degree n-1 (position 0) first.
+        for (unsigned i = 0; i < nLen; ++i)
+            acc = Gf256::add(Gf256::mul(acc, x), received[i]);
+        synd[j] = acc;
+    }
+    return synd;
+}
+
+bool
+RsCodec::isCodeword(const std::vector<GfElem> &word) const
+{
+    AIECC_ASSERT(word.size() == nLen, "RS isCodeword: wrong length");
+    const auto synd = syndromes(word);
+    return std::all_of(synd.begin(), synd.end(),
+                       [](GfElem s) { return s == 0; });
+}
+
+RsCodec::Result
+RsCodec::decode(const std::vector<GfElem> &received,
+                const std::vector<unsigned> &erasures) const
+{
+    AIECC_ASSERT(received.size() == nLen, "RS decode: wrong length");
+    Result res;
+    res.codeword = received;
+
+    const unsigned nr = nroots();
+    const auto synd = syndromes(received);
+    const bool clean = std::all_of(synd.begin(), synd.end(),
+                                   [](GfElem s) { return s == 0; });
+    if (clean) {
+        res.status = Status::Ok;
+        return res;
+    }
+
+    if (erasures.size() > nr) {
+        res.status = Status::Uncorrectable;
+        return res;
+    }
+
+    // Erasure locator Gamma(x) = prod (1 + X_l x), X_l = alpha^(n-1-pos).
+    std::vector<GfElem> lambda(nr + 1, 0);
+    lambda[0] = 1;
+    for (unsigned pos : erasures) {
+        AIECC_ASSERT(pos < nLen, "RS decode: erasure out of range");
+        const GfElem xl = Gf256::alphaPow(static_cast<int>(nLen - 1 - pos));
+        for (unsigned i = nr; i >= 1; --i) {
+            lambda[i] = Gf256::add(lambda[i],
+                                   Gf256::mul(lambda[i - 1], xl));
+        }
+    }
+
+    // Errors-and-erasures Berlekamp-Massey (libfec-style formulation).
+    std::vector<GfElem> b = lambda;
+    std::vector<GfElem> t(nr + 1, 0);
+    unsigned el = static_cast<unsigned>(erasures.size());
+    for (unsigned r = static_cast<unsigned>(erasures.size()) + 1;
+         r <= nr; ++r) {
+        GfElem discr = 0;
+        for (unsigned i = 0; i < r; ++i) {
+            if (i <= nr)
+                discr = Gf256::add(discr,
+                                   Gf256::mul(lambda[i], synd[r - i - 1]));
+        }
+        if (discr == 0) {
+            // b = x * b
+            for (unsigned i = nr; i >= 1; --i)
+                b[i] = b[i - 1];
+            b[0] = 0;
+        } else {
+            t[0] = lambda[0];
+            for (unsigned i = 0; i < nr; ++i)
+                t[i + 1] = Gf256::add(lambda[i + 1],
+                                      Gf256::mul(discr, b[i]));
+            if (2 * el <= r + erasures.size() - 1) {
+                el = static_cast<unsigned>(r + erasures.size()) - el;
+                const GfElem dinv = Gf256::inv(discr);
+                for (unsigned i = 0; i <= nr; ++i)
+                    b[i] = Gf256::mul(lambda[i], dinv);
+            } else {
+                for (unsigned i = nr; i >= 1; --i)
+                    b[i] = b[i - 1];
+                b[0] = 0;
+            }
+            lambda = t;
+        }
+    }
+
+    // Degree of Lambda.
+    int degLambda = -1;
+    for (int i = static_cast<int>(nr); i >= 0; --i) {
+        if (lambda[static_cast<unsigned>(i)] != 0) {
+            degLambda = i;
+            break;
+        }
+    }
+    if (degLambda <= 0) {
+        // Nonzero syndromes but no locatable error.
+        res.status = Status::Uncorrectable;
+        return res;
+    }
+
+    // Chien search over the n valid positions of the shortened code.
+    std::vector<unsigned> positions;  // codeword indices
+    std::vector<GfElem> roots;        // X^-1 values (the located roots)
+    for (unsigned pos = 0; pos < nLen; ++pos) {
+        // Candidate locator X = alpha^(n-1-pos); test Lambda(X^-1) == 0.
+        const GfElem xinv =
+            Gf256::alphaPow(-static_cast<int>(nLen - 1 - pos));
+        if (Gf256Poly(lambda).eval(xinv) == 0) {
+            positions.push_back(pos);
+            roots.push_back(xinv);
+        }
+    }
+    if (static_cast<int>(positions.size()) != degLambda) {
+        // Lambda has roots outside the shortened support or repeated
+        // roots: a decoding failure.
+        res.status = Status::Uncorrectable;
+        return res;
+    }
+
+    // Omega(x) = S(x) * Lambda(x) mod x^nroots.
+    std::vector<GfElem> omega(nr, 0);
+    for (unsigned i = 0; i < nr; ++i) {
+        GfElem acc = 0;
+        for (unsigned j = 0; j <= i && j <= static_cast<unsigned>(degLambda);
+             ++j)
+            acc = Gf256::add(acc, Gf256::mul(lambda[j], synd[i - j]));
+        omega[i] = acc;
+    }
+    const Gf256Poly omegaPoly{std::vector<GfElem>(omega)};
+    const Gf256Poly lambdaDeriv = Gf256Poly(lambda).derivative();
+
+    // Forney: e = X^(1-fcr) * Omega(X^-1) / Lambda'(X^-1).
+    for (size_t idx = 0; idx < positions.size(); ++idx) {
+        const GfElem xinv = roots[idx];
+        const GfElem den = lambdaDeriv.eval(xinv);
+        if (den == 0) {
+            res.status = Status::Uncorrectable;
+            res.codeword = received;
+            res.positions.clear();
+            return res;
+        }
+        GfElem num = omegaPoly.eval(xinv);
+        if (fcr != 1) {
+            // Multiply by X^(1 - fcr) = (X^-1)^(fcr - 1).
+            num = Gf256::mul(num,
+                             Gf256::pow(xinv, fcr - 1));
+        }
+        const GfElem magnitude = Gf256::div(num, den);
+        res.codeword[positions[idx]] =
+            Gf256::add(res.codeword[positions[idx]], magnitude);
+        if (magnitude != 0)
+            res.positions.push_back(positions[idx]);
+    }
+
+    // Sanity: the corrected word must be a codeword.  When the error
+    // pattern exceeds the design distance the BM/Chien pipeline can
+    // produce an inconsistent "correction"; screen it out.
+    if (!isCodeword(res.codeword)) {
+        res.status = Status::Uncorrectable;
+        res.codeword = received;
+        res.positions.clear();
+        return res;
+    }
+
+    res.status = Status::Corrected;
+    return res;
+}
+
+} // namespace aiecc

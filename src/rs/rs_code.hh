@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A shortened Reed-Solomon codec over GF(2^8) with errors-and-erasures
+ * decoding.
+ *
+ * This is the coding engine behind every chipkill ECC organization in
+ * the repository: AMD chipkill uses RS(18,16), QPC Bamboo ECC uses
+ * RS(72,64), and the eDECC variants extend those to RS(19,17) and
+ * RS(76,68) by appending virtual address symbols (Section IV-A of the
+ * AIECC paper).
+ */
+
+#ifndef AIECC_RS_RS_CODE_HH
+#define AIECC_RS_RS_CODE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gf/gf256.hh"
+#include "gf/poly.hh"
+
+namespace aiecc
+{
+
+/**
+ * Systematic shortened RS(n, k) codec over GF(2^8).
+ *
+ * Codewords are stored message-first: positions [0, k) carry the
+ * message, positions [k, n) the parity.  Position 0 corresponds to the
+ * highest-degree codeword-polynomial coefficient (the standard
+ * transmission order), so shortening simply prepends implicit zero
+ * symbols that are never transmitted.
+ *
+ * The decoder runs syndrome computation, errors-and-erasures
+ * Berlekamp-Massey, Chien search, and Forney's algorithm.  It corrects
+ * any pattern with 2 * numErrors + numErasures <= n - k and flags
+ * heavier patterns as detected-uncorrectable unless they alias into a
+ * different codeword (a miscorrection), which callers can measure by
+ * comparing against the original codeword.
+ */
+class RsCodec
+{
+  public:
+    /** Outcome of a decode attempt. */
+    enum class Status
+    {
+        Ok,              ///< Syndromes were all zero: codeword accepted.
+        Corrected,       ///< Errors were located and corrected.
+        Uncorrectable,   ///< Detected, but beyond the correction power.
+    };
+
+    /** Everything the decoder learned about a received word. */
+    struct Result
+    {
+        Status status = Status::Ok;
+        /** Corrected codeword (valid for Ok/Corrected). */
+        std::vector<GfElem> codeword;
+        /** Codeword positions the decoder corrected. */
+        std::vector<unsigned> positions;
+
+        bool ok() const { return status != Status::Uncorrectable; }
+    };
+
+    /**
+     * Build an RS(n, k) codec.
+     *
+     * @param n Codeword length in symbols, k < n <= 255.
+     * @param k Message length in symbols.
+     * @param fcr First consecutive root of the generator (default 1).
+     */
+    RsCodec(unsigned n, unsigned k, unsigned fcr = 1);
+
+    unsigned n() const { return nLen; }
+    unsigned k() const { return kLen; }
+    /** Number of parity symbols (n - k). */
+    unsigned nroots() const { return nLen - kLen; }
+    /** Guaranteed symbol-error correction capability floor((n-k)/2). */
+    unsigned t() const { return nroots() / 2; }
+
+    /**
+     * Systematically encode @p message.
+     *
+     * @param message Exactly k symbols.
+     * @return The n-symbol codeword, message-first.
+     */
+    std::vector<GfElem> encode(const std::vector<GfElem> &message) const;
+
+    /** Compute only the n-k parity symbols of @p message. */
+    std::vector<GfElem>
+    parity(const std::vector<GfElem> &message) const;
+
+    /** True iff @p word (n symbols) has all-zero syndromes. */
+    bool isCodeword(const std::vector<GfElem> &word) const;
+
+    /**
+     * Decode a received word.
+     *
+     * @param received Exactly n symbols.
+     * @param erasures Known-suspect codeword positions (each < n).
+     * @return Decode status, corrected word and error positions.
+     */
+    Result decode(const std::vector<GfElem> &received,
+                  const std::vector<unsigned> &erasures = {}) const;
+
+  private:
+    unsigned nLen;
+    unsigned kLen;
+    unsigned fcr;
+    Gf256Poly generator;
+
+    /** Syndromes S_j = r(alpha^(fcr+j)), j in [0, nroots). */
+    std::vector<GfElem>
+    syndromes(const std::vector<GfElem> &received) const;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_RS_RS_CODE_HH

@@ -1,0 +1,35 @@
+#include "trends/trends.hh"
+
+namespace aiecc
+{
+
+std::vector<DramGeneration>
+dramGenerations()
+{
+    // Data from the JEDEC standards cited by the paper.  CCCA rates
+    // run at the command clock: half the data rate for DDRx (1 tick
+    // per data beat pair), and notably *not* scaled up for GDDR5X
+    // (Figure 1a's illustration of CCCA limiting scaling).
+    return {
+        {"SDR", 1998, 166, 166, 3.3, 3.3},
+        {"DDR", 2000, 400, 200, 2.5, 2.5},
+        {"DDR2", 2004, 800, 400, 1.8, 1.8},
+        {"DDR3", 2007, 1600, 800, 1.5, 1.5},
+        {"DDR4", 2012, 3200, 1600, 1.2, 1.2},
+        {"GDDR5", 2013, 8000, 2000, 1.5, 1.5},
+        {"GDDR5X", 2015, 11000, 2750, 1.35, 1.35},
+    };
+}
+
+std::vector<PowerBreakdown>
+ddr4PowerBreakdown()
+{
+    // Samsung DDR4 brochure: roughly half the device power is spent
+    // on transmission (I/O + termination).
+    return {
+        {"core (array + periphery)", 0.48},
+        {"I/O (drivers + ODT)", 0.52},
+    };
+}
+
+} // namespace aiecc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * DRAM-generation trend data behind Figure 1 of the AIECC paper:
+ * data and CCCA transfer rates (1a), supply voltages (1b), and the
+ * core/I-O power split (1c).  Values are from the cited JEDEC
+ * standards (JESD79-2F/3F/4, JESD212B, JESD232) and the Samsung DDR4
+ * power brochure.
+ */
+
+#ifndef AIECC_TRENDS_TRENDS_HH
+#define AIECC_TRENDS_TRENDS_HH
+
+#include <string>
+#include <vector>
+
+namespace aiecc
+{
+
+/** One DRAM generation's headline interface numbers. */
+struct DramGeneration
+{
+    std::string name;
+    int year = 0;             ///< approximate standardization year
+    double dataRateMTs = 0;   ///< peak data-pin transfer rate (MT/s)
+    double cccaRateMTs = 0;   ///< CCCA-pin transfer rate (MT/s)
+    double vdd = 0;           ///< core supply (V)
+    double vddq = 0;          ///< I/O supply (V)
+};
+
+/** Figure 1a/1b: transfer rates and supply voltages per generation. */
+std::vector<DramGeneration> dramGenerations();
+
+/** Figure 1c: DRAM power split between core and I/O. */
+struct PowerBreakdown
+{
+    std::string component;
+    double fraction = 0;
+};
+std::vector<PowerBreakdown> ddr4PowerBreakdown();
+
+} // namespace aiecc
+
+#endif // AIECC_TRENDS_TRENDS_HH

@@ -1,0 +1,110 @@
+#include "workload/workload.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+Characterization
+characterize(const WorkloadParams &params, const Geometry &geom,
+             double peakAccessesPerSec)
+{
+    AIECC_ASSERT(params.accesses > 0, "empty workload");
+    Rng rng(params.seed ^ 0x3E2C4A7D);
+
+    const unsigned numBanks = geom.numBanks();
+    std::vector<long long> openRow(numBanks, -1);
+
+    uint64_t nAct = 0, nActWr = 0, nActRd = 0, nWr = 0, nRd = 0, nPre = 0;
+
+    for (uint64_t i = 0; i < params.accesses; ++i) {
+        const bool isRead = rng.chance(params.readFrac);
+        const unsigned bank = static_cast<unsigned>(rng.below(numBanks));
+        const bool rowHit =
+            openRow[bank] >= 0 && rng.chance(params.rowHitRate);
+
+        if (!rowHit) {
+            // Open-page miss: close the old row (if any) and activate
+            // a new one; the ACT is attributed by its first column
+            // command, following the paper's ACT+WR / ACT+RD split.
+            if (openRow[bank] >= 0)
+                ++nPre;
+            openRow[bank] =
+                static_cast<long long>(rng.below(geom.numRows()));
+            ++nAct;
+            if (isRead)
+                ++nActRd;
+            else
+                ++nActWr;
+        }
+        if (isRead)
+            ++nRd;
+        else
+            ++nWr;
+    }
+
+    // Convert counts to rates: the access stream occupies the channel
+    // at the requested utilization, so `accesses` blocks take
+    // accesses / (util * peak) seconds.
+    const double seconds =
+        static_cast<double>(params.accesses) /
+        (params.bandwidthUtil * peakAccessesPerSec);
+
+    Characterization out;
+    out.rates.actWr = static_cast<double>(nActWr) / seconds;
+    out.rates.actRd = static_cast<double>(nActRd) / seconds;
+    out.rates.wr = static_cast<double>(nWr) / seconds;
+    out.rates.rd = static_cast<double>(nRd) / seconds;
+    out.rates.pre = static_cast<double>(nPre) / seconds;
+
+    out.features.name = params.name;
+    out.features.dataBwUtil = params.bandwidthUtil;
+    out.features.readWriteRatio =
+        nWr ? static_cast<double>(nRd) / static_cast<double>(nWr)
+            : static_cast<double>(nRd);
+    out.features.casPerAct =
+        nAct ? static_cast<double>(nRd + nWr) / static_cast<double>(nAct)
+             : 0.0;
+    out.features.actRdPerActWr =
+        nActWr ? static_cast<double>(nActRd) /
+                     static_cast<double>(nActWr)
+               : static_cast<double>(nActRd);
+    return out;
+}
+
+std::vector<WorkloadParams>
+syntheticSuite()
+{
+    std::vector<WorkloadParams> suite;
+    uint64_t seed = 100;
+    auto add = [&](const std::string &name, double util, double rf,
+                   double hit) {
+        suite.push_back({name, util, rf, hit, 200000, seed++});
+    };
+
+    // Low data bandwidth: cache-resident codes with occasional misses.
+    add("low.idle-ish", 0.003, 0.70, 0.55);
+    add("low.pointer", 0.005, 0.75, 0.35);
+    add("low.kernel", 0.006, 0.65, 0.60);
+    add("low.sparse", 0.008, 0.72, 0.45);
+
+    // Medium bandwidth: mixed compute/memory phases.
+    add("med.stencil", 0.06, 0.66, 0.70);
+    add("med.graph", 0.08, 0.70, 0.40);
+    add("med.sort", 0.09, 0.60, 0.65);
+    add("med.fft", 0.10, 0.62, 0.75);
+
+    // High bandwidth: streaming, memory-bound kernels.
+    add("high.stream", 0.20, 0.67, 0.72);
+    add("high.gups", 0.22, 0.65, 0.15);
+    add("high.copy", 0.24, 0.55, 0.80);
+    add("high.triad", 0.25, 0.68, 0.75);
+
+    // The read-dominated outlier (wat-nsquared's analog).
+    add("outlier.readmost", 0.043, 0.99, 0.78);
+    return suite;
+}
+
+} // namespace aiecc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic DRAM workload generation and characterization.
+ *
+ * The paper characterizes 56 benchmarks with Xeon uncore performance
+ * counters and clusters them into four representative centroids
+ * (Figure 9a).  Licensed suites and counter hardware are unavailable
+ * here, so this module generates synthetic access streams spanning the
+ * same feature space — bandwidth utilization, read/write mix, and row
+ * locality — runs them through an open-page controller model, and
+ * extracts the same per-command bandwidth features the FIT model
+ * (Equation 1) consumes.
+ */
+
+#ifndef AIECC_WORKLOAD_WORKLOAD_HH
+#define AIECC_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ddr4/address.hh"
+
+namespace aiecc
+{
+
+/** Per-command issue rates, in commands per second (Figure 9a). */
+struct CommandRates
+{
+    double actWr = 0; ///< ACTs whose first column command is a WR
+    double actRd = 0; ///< ACTs whose first column command is a RD
+    double wr = 0;
+    double rd = 0;
+    double pre = 0;
+
+    double total() const { return actWr + actRd + wr + rd + pre; }
+};
+
+/** Knobs of a synthetic benchmark. */
+struct WorkloadParams
+{
+    std::string name;
+    double bandwidthUtil = 0.1; ///< fraction of peak data bandwidth
+    double readFrac = 0.67;     ///< fraction of accesses that read
+    double rowHitRate = 0.6;    ///< probability of reusing the open row
+    uint64_t accesses = 200000; ///< simulated accesses
+    uint64_t seed = 1;
+};
+
+/** Features extracted from a characterization (clustering space). */
+struct WorkloadFeatures
+{
+    std::string name;
+    double dataBwUtil = 0;   ///< data-bus utilization fraction
+    double readWriteRatio = 0;
+    double casPerAct = 0;    ///< column commands per activation
+    double actRdPerActWr = 0;
+
+    /** Feature vector for clustering (normalized by the caller). */
+    std::vector<double> vec() const
+    {
+        return {dataBwUtil, readWriteRatio, casPerAct, actRdPerActWr};
+    }
+};
+
+/** Result of characterizing one workload. */
+struct Characterization
+{
+    WorkloadFeatures features;
+    CommandRates rates;
+};
+
+/**
+ * Generate a synthetic access stream and characterize its DRAM
+ * command mix through an open-page controller model.
+ *
+ * @param params Workload knobs.
+ * @param geom Channel geometry.
+ * @param peakAccessesPerSec Channel peak 64B-block rate (DDR4-2400
+ *        x64: 19.2 GB/s / 64B = 3e8 blocks/s).
+ */
+Characterization characterize(const WorkloadParams &params,
+                              const Geometry &geom = Geometry{},
+                              double peakAccessesPerSec = 3.0e8);
+
+/**
+ * A synthetic benchmark suite spanning the paper's feature space:
+ * low/medium/high-bandwidth groups plus a read-dominated outlier
+ * (wat-nsquared's analog).
+ */
+std::vector<WorkloadParams> syntheticSuite();
+
+} // namespace aiecc
+
+#endif // AIECC_WORKLOAD_WORKLOAD_HH

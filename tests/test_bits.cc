@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers in common/bits.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Bits, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(63), 0x7FFFFFFFFFFFFFFFULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bits, ExtractField)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 0, 8), 0xEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 8, 8), 0xBEu);
+    EXPECT_EQ(bits(0xDEADBEEF, 16, 16), 0xDEADu);
+    EXPECT_EQ(bits(0xFF, 4, 8), 0x0Fu);
+}
+
+TEST(Bits, SingleBit)
+{
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 3), 1u);
+    EXPECT_EQ(bit(1ULL << 63, 63), 1u);
+}
+
+TEST(Bits, InsertField)
+{
+    EXPECT_EQ(insertBits(0, 0, 8, 0xAB), 0xABu);
+    EXPECT_EQ(insertBits(0xFFFF, 4, 8, 0), 0xF00Fu);
+    EXPECT_EQ(insertBits(0, 60, 4, 0xF), 0xF000000000000000ULL);
+    // Field value wider than nbits is truncated.
+    EXPECT_EQ(insertBits(0, 0, 4, 0xFF), 0xFu);
+}
+
+TEST(Bits, InsertThenExtractRoundTrip)
+{
+    uint64_t w = 0;
+    w = insertBits(w, 3, 17, 0x1ABCD);
+    EXPECT_EQ(bits(w, 3, 17), 0x1ABCDu);
+    w = insertBits(w, 40, 10, 0x3FF);
+    EXPECT_EQ(bits(w, 40, 10), 0x3FFu);
+    EXPECT_EQ(bits(w, 3, 17), 0x1ABCDu);
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_EQ(parity(0), 0u);
+    EXPECT_EQ(parity(1), 1u);
+    EXPECT_EQ(parity(0b11), 0u);
+    EXPECT_EQ(parity(0xFFFFFFFFFFFFFFFFULL), 0u);
+    EXPECT_EQ(parity(0x8000000000000001ULL), 0u);
+    EXPECT_EQ(parity(0x8000000000000000ULL), 1u);
+}
+
+TEST(Bits, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverseBits(0x1, 8), 0x80u);
+    // Involution property.
+    for (uint64_t v : {0xDEADULL, 0x1234ULL, 0xFFFFULL})
+        EXPECT_EQ(reverseBits(reverseBits(v, 16), 16), v);
+}
+
+TEST(Bits, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0);
+    EXPECT_EQ(divCeil(1, 8), 1);
+    EXPECT_EQ(divCeil(8, 8), 1);
+    EXPECT_EQ(divCeil(9, 8), 2);
+    EXPECT_EQ(divCeil(64, 64), 1);
+}
+
+} // namespace
+} // namespace aiecc

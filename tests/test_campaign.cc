@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Integration tests for the fault-injection campaign: the Table II
+ * outcome grid (no protection), the Figure 7 coverage claims per
+ * protection level, and the Figure 8 component attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/campaign.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+Mechanisms
+level(ProtectionLevel l)
+{
+    return Mechanisms::forLevel(l);
+}
+
+TEST(CampaignTableII, WrDontCarePinsManifestNoError)
+{
+    // Table II WR row: A11, A13 and A17 do not participate.
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    for (Pin p : {Pin::A11, Pin::A13, Pin::A17}) {
+        const auto r = camp.runTrial(CommandPattern::Wr,
+                                     PinError::onePin(p));
+        EXPECT_EQ(r.outcome, Outcome::NoEffect) << pinName(p);
+        EXPECT_FALSE(r.detected);
+    }
+}
+
+TEST(CampaignTableII, RdDontCarePinsManifestNoError)
+{
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    for (Pin p : {Pin::A11, Pin::A13, Pin::A17}) {
+        const auto r = camp.runTrial(CommandPattern::Rd,
+                                     PinError::onePin(p));
+        EXPECT_EQ(r.outcome, Outcome::NoEffect) << pinName(p);
+    }
+}
+
+TEST(CampaignTableII, PreFourteenPinsManifestNoError)
+{
+    // Table II PRE row: A17, A13..A11, A9..A0 manifest no error.
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    const Pin unused[] = {Pin::A17, Pin::A13, Pin::A12_BC, Pin::A11,
+                          Pin::A9, Pin::A8, Pin::A7, Pin::A6, Pin::A5,
+                          Pin::A4, Pin::A3, Pin::A2, Pin::A1, Pin::A0};
+    for (Pin p : unused) {
+        const auto r = camp.runTrial(CommandPattern::Pre,
+                                     PinError::onePin(p));
+        EXPECT_EQ(r.outcome, Outcome::NoEffect) << pinName(p);
+    }
+}
+
+TEST(CampaignTableII, ActErrorsAreSdcPlusMdcWhenFollowedByWrite)
+{
+    // Table II: any undetected ACT error followed by WR causes
+    // SDC+MDC (the write lands in the wrong row or is dropped).
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    for (Pin p : {Pin::A0, Pin::A5, Pin::A17, Pin::RAS_A16, Pin::CS,
+                  Pin::CKE, Pin::BA0, Pin::BG1}) {
+        const auto r = camp.runTrial(CommandPattern::ActWr,
+                                     PinError::onePin(p));
+        EXPECT_EQ(r.outcome, Outcome::SdcMdc) << pinName(p);
+    }
+}
+
+TEST(CampaignTableII, ActReadErrorsAreSdcOnly)
+{
+    // A wrong activation followed by a read corrupts nothing: SDC.
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    for (Pin p : {Pin::A0, Pin::A9, Pin::CS, Pin::CKE}) {
+        const auto r = camp.runTrial(CommandPattern::ActRd,
+                                     PinError::onePin(p));
+        EXPECT_EQ(r.outcome, Outcome::Sdc) << pinName(p);
+    }
+}
+
+TEST(CampaignTableII, MissingWriteIsSdcPlusMdc)
+{
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    for (Pin p : {Pin::CS, Pin::CKE}) {
+        const auto r = camp.runTrial(CommandPattern::Wr,
+                                     PinError::onePin(p));
+        EXPECT_EQ(r.outcome, Outcome::SdcMdc) << pinName(p);
+        EXPECT_FALSE(r.decoded.executed);
+    }
+}
+
+TEST(CampaignTableII, ReadColumnErrorIsSdcOnly)
+{
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    for (Pin p : {Pin::A0, Pin::A4, Pin::BA0, Pin::CS}) {
+        const auto r = camp.runTrial(CommandPattern::Rd,
+                                     PinError::onePin(p));
+        EXPECT_EQ(r.outcome, Outcome::Sdc) << pinName(p);
+    }
+}
+
+TEST(CampaignTableII, AlteredCommandsReported)
+{
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    // WE flip on a RD turns it into a WR.
+    const auto r = camp.runTrial(CommandPattern::Rd,
+                                 PinError::onePin(Pin::WE_A14));
+    EXPECT_EQ(r.intended.type, CmdType::Rd);
+    EXPECT_EQ(r.decoded.cmd.type, CmdType::Wr);
+    // The spurious write latches the undriven bus: storage corrupted.
+    EXPECT_TRUE(r.mdc);
+}
+
+TEST(CampaignFig7, AieccCoversAllOnePinErrors)
+{
+    // Section V-A2: "AIECC can detect all 1-pin errors."  Coverage
+    // counts detected-or-provably-benign (an ODT glitch on a command
+    // with no data transfer has nothing to detect); no harmful error
+    // may escape.
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    for (CommandPattern pattern : allPatterns()) {
+        const auto stats = camp.sweepOnePin(pattern);
+        EXPECT_DOUBLE_EQ(stats.coveredFrac(), 1.0)
+            << patternName(pattern);
+        EXPECT_EQ(stats.sdc, 0u) << patternName(pattern);
+        EXPECT_EQ(stats.mdc, 0u) << patternName(pattern);
+        // Benign misses are at most the lone ODT glitch.
+        EXPECT_LE(stats.trials - stats.detected, 1u)
+            << patternName(pattern);
+    }
+}
+
+TEST(CampaignFig7, UnprotectedDetectsNothing)
+{
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    for (CommandPattern pattern : allPatterns()) {
+        const auto stats = camp.sweepOnePin(pattern);
+        EXPECT_EQ(stats.detected, 0u) << patternName(pattern);
+    }
+}
+
+TEST(CampaignFig7, DeccLeavesCoverageHoles)
+{
+    // DDR4+DECC relies on CAP, which misses CTRL-pin errors; some of
+    // those manifest as undetected corruption (Section V-A2).
+    InjectionCampaign camp(level(ProtectionLevel::Ddr4Decc));
+    const auto stats = camp.sweepOnePin(CommandPattern::ActWr);
+    EXPECT_LT(stats.detected, stats.trials);
+    EXPECT_GT(stats.sdc + stats.mdc, 0u);
+}
+
+TEST(CampaignFig7, TwoPinErrorsBeatCapButNotAiecc)
+{
+    // CA parity misses all even-weight CMD/ADD errors; AIECC fills
+    // the hole with address protection and the CSTC.
+    InjectionCampaign decc(level(ProtectionLevel::Ddr4Decc));
+    InjectionCampaign aiecc(level(ProtectionLevel::Aiecc));
+    // A3+A4 change the MTB column: the read fetches a different but
+    // perfectly valid codeword.
+    const auto twoPin = PinError::twoPin(Pin::A3, Pin::A4);
+
+    const auto rDecc = decc.runTrial(CommandPattern::Rd, twoPin);
+    EXPECT_FALSE(rDecc.detected);
+    EXPECT_EQ(rDecc.outcome, Outcome::Sdc);
+
+    const auto rAiecc = aiecc.runTrial(CommandPattern::Rd, twoPin);
+    EXPECT_TRUE(rAiecc.detected);
+    EXPECT_EQ(rAiecc.outcome, Outcome::Corrected);
+}
+
+TEST(CampaignFig7, EDeccCatchesMissingRead)
+{
+    // "A missing RD command manifests as SDC with data-only DECC, yet
+    // it can be detected by eDECC."
+    InjectionCampaign decc(level(ProtectionLevel::Ddr4Decc));
+    InjectionCampaign edecc(level(ProtectionLevel::Ddr4EDecc));
+
+    const auto rDecc =
+        decc.runTrial(CommandPattern::Rd, PinError::onePin(Pin::CS));
+    EXPECT_FALSE(rDecc.detected);
+    EXPECT_EQ(rDecc.outcome, Outcome::Sdc);
+
+    const auto rEdecc =
+        edecc.runTrial(CommandPattern::Rd, PinError::onePin(Pin::CS));
+    EXPECT_TRUE(rEdecc.detected);
+    ASSERT_TRUE(rEdecc.firstDetector().has_value());
+    EXPECT_EQ(*rEdecc.firstDetector(), Mechanism::EDecc);
+}
+
+TEST(CampaignFig8, ECapCatchesOnePinActivationErrors)
+{
+    // "eCAP is the most effective mechanism for 1-pin activation
+    // errors."
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    const auto r = camp.runTrial(CommandPattern::ActWr,
+                                 PinError::onePin(Pin::A7));
+    ASSERT_TRUE(r.firstDetector().has_value());
+    EXPECT_EQ(*r.firstDetector(), Mechanism::ECap);
+    EXPECT_EQ(r.outcome, Outcome::Corrected);
+}
+
+TEST(CampaignFig8, AddressProtectionCatchesTwoPinWriteErrors)
+{
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    const auto r = camp.runTrial(CommandPattern::Wr,
+                                 PinError::twoPin(Pin::A3, Pin::A4));
+    ASSERT_TRUE(r.firstDetector().has_value());
+    EXPECT_EQ(*r.firstDetector(), Mechanism::EWcrc);
+    EXPECT_EQ(r.outcome, Outcome::Corrected);
+}
+
+TEST(CampaignFig8, CstcCatchesMissingPrecharge)
+{
+    // A missing PRE makes the next ACT hit an open bank: the CSTC
+    // flags the state violation (Section IV-C).
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    const auto r = camp.runTrial(CommandPattern::Pre,
+                                 PinError::onePin(Pin::CS));
+    EXPECT_TRUE(r.detected);
+    ASSERT_TRUE(r.firstDetector().has_value());
+    EXPECT_EQ(*r.firstDetector(), Mechanism::Cstc);
+    EXPECT_EQ(r.outcome, Outcome::Corrected);
+}
+
+TEST(CampaignFig8, DiagnosisRevealsFaultyAddress)
+{
+    // 2-pin column error on a RD under eDECC: the diagnosis recovers
+    // the address DRAM used, exposing the faulty pins (§IV-F).
+    InjectionCampaign camp(level(ProtectionLevel::Ddr4EDecc));
+    const auto r = camp.runTrial(CommandPattern::Rd,
+                                 PinError::twoPin(Pin::A3, Pin::A4));
+    EXPECT_TRUE(r.detected);
+    ASSERT_TRUE(r.diagnosedAddress.has_value());
+    // The faulty MTB-column bits are exactly bits 0 and 1.
+    Geometry geom;
+    const uint32_t intended =
+        MtbAddress{0, 1, 2, 0x2A, 2}.pack(geom);
+    EXPECT_EQ(*r.diagnosedAddress ^ intended, 0x3u);
+}
+
+TEST(CampaignAllPin, AieccDetectsAllPinNoise)
+{
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    for (CommandPattern pattern : allPatterns()) {
+        const auto stats = camp.sweepAllPin(pattern, 20);
+        EXPECT_EQ(stats.sdc, 0u) << patternName(pattern);
+        EXPECT_EQ(stats.mdc, 0u) << patternName(pattern);
+    }
+}
+
+TEST(CampaignAllPin, CapDetectsAboutHalfOfLatchedNoise)
+{
+    // "CA parity... has a 50% chance of detecting the error" — for
+    // noise the device actually latches.  Randomized CS/CKE deselect
+    // ~3/4 of all-pin edges outright, so CAP fires first on ~ 1/2 *
+    // 1/4 = 12.5% of trials overall.
+    InjectionCampaign camp(level(ProtectionLevel::Ddr4Decc));
+    unsigned capFirst = 0, trials = 0;
+    for (CommandPattern pattern : allPatterns()) {
+        const auto s = camp.sweepAllPin(pattern, 40);
+        trials += s.trials;
+        for (const auto &[mech, count] : s.byFirstDetector) {
+            if (mech == Mechanism::Cap)
+                capFirst += count;
+        }
+    }
+    const double capFrac = static_cast<double>(capFirst) / trials;
+    EXPECT_GT(capFrac, 0.05);
+    EXPECT_LT(capFrac, 0.25);
+}
+
+TEST(Campaign, StatsAccumulateConsistently)
+{
+    InjectionCampaign camp(level(ProtectionLevel::Ddr4EDecc));
+    const auto stats = camp.sweepOnePin(CommandPattern::Wr);
+    EXPECT_EQ(stats.trials, 27u); // PAR pin present
+    // Benign + recovered + flagged + harmful buckets cover all trials
+    // (SDC+MDC trials occupy one "harmful" slot in both counters).
+    const unsigned harmfulSlots =
+        stats.trials - stats.noEffect - stats.corrected - stats.due;
+    EXPECT_LE(std::max(stats.sdc, stats.mdc), harmfulSlots + 0u);
+    EXPECT_GE(stats.sdc + stats.mdc, harmfulSlots);
+    EXPECT_LE(stats.detected, stats.trials);
+    // First-detector attribution never exceeds detections.
+    unsigned attributed = 0;
+    for (const auto &[mech, count] : stats.byFirstDetector)
+        attributed += count;
+    EXPECT_EQ(attributed, stats.detected);
+}
+
+TEST(Campaign, UnprotectedSweepExcludesParPin)
+{
+    InjectionCampaign camp(level(ProtectionLevel::None));
+    const auto stats = camp.sweepOnePin(CommandPattern::Rd);
+    EXPECT_EQ(stats.trials, 26u);
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the Command State and Timing Checker (Table I).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dram/cstc.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+class CstcTest : public ::testing::Test
+{
+  protected:
+    Geometry geom;
+    TimingParams tp = TimingParams::ddr4_2400();
+    Cstc cstc{geom, tp};
+    Cycle now = 1000;
+
+    /** Execute a command, asserting it is legal. */
+    void
+    run(const Command &cmd)
+    {
+        ASSERT_FALSE(cstc.check(now, cmd).has_value())
+            << cmd.toString() << ": " << *cstc.check(now, cmd);
+        cstc.commit(now, cmd);
+        ++now;
+    }
+
+    void wait(unsigned cycles) { now += cycles; }
+};
+
+TEST_F(CstcTest, ActOnIdleBankIsLegal)
+{
+    EXPECT_FALSE(cstc.check(now, Command::act(0, 0, 5)).has_value());
+}
+
+TEST_F(CstcTest, ActOnOpenBankFlagged)
+{
+    run(Command::act(0, 0, 5));
+    wait(tp.tRC);
+    const auto v = cstc.check(now, Command::act(0, 0, 9));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("open bank"), std::string::npos);
+}
+
+TEST_F(CstcTest, RdWrOnIdleBankFlagged)
+{
+    EXPECT_TRUE(cstc.check(now, Command::rd(0, 0, 0)).has_value());
+    EXPECT_TRUE(cstc.check(now, Command::wr(0, 0, 0)).has_value());
+}
+
+TEST_F(CstcTest, RdNeedsTrcd)
+{
+    run(Command::act(0, 0, 5));
+    // Too early: tRCD not yet elapsed.
+    EXPECT_TRUE(cstc.check(now, Command::rd(0, 0, 0)).has_value());
+    wait(tp.tRCD);
+    EXPECT_FALSE(cstc.check(now, Command::rd(0, 0, 0)).has_value());
+}
+
+TEST_F(CstcTest, BackToBackActNeedsTrrd)
+{
+    run(Command::act(0, 0, 5));
+    const auto v = cstc.check(now, Command::act(1, 0, 5));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tRRD"), std::string::npos);
+    wait(tp.tRRD);
+    EXPECT_FALSE(cstc.check(now, Command::act(1, 0, 5)).has_value());
+}
+
+TEST_F(CstcTest, FourActivateWindow)
+{
+    // Issue 4 ACTs as fast as tRRD allows, then check the 5th hits
+    // the tFAW wall (tFAW > 4 * tRRD in our bin).
+    ASSERT_GT(tp.tFAW, 3 * tp.tRRD);
+    run(Command::act(0, 0, 1));
+    wait(tp.tRRD - 1);
+    run(Command::act(1, 0, 1));
+    wait(tp.tRRD - 1);
+    run(Command::act(2, 0, 1));
+    wait(tp.tRRD - 1);
+    run(Command::act(3, 0, 1));
+    wait(tp.tRRD - 1);
+    const auto v = cstc.check(now, Command::act(0, 1, 1));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tFAW"), std::string::npos);
+}
+
+TEST_F(CstcTest, PreNeedsTras)
+{
+    run(Command::act(0, 0, 5));
+    const auto v = cstc.check(now, Command::pre(0, 0));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tRAS"), std::string::npos);
+    wait(tp.tRAS);
+    EXPECT_FALSE(cstc.check(now, Command::pre(0, 0)).has_value());
+}
+
+TEST_F(CstcTest, PreOnIdleBankIsLegalNop)
+{
+    EXPECT_FALSE(cstc.check(now, Command::pre(0, 0)).has_value());
+}
+
+TEST_F(CstcTest, ActAfterPreNeedsTrp)
+{
+    const Cycle actAt = now;
+    run(Command::act(0, 0, 5));
+    wait(tp.tRAS);
+    const Cycle preAt = now;
+    run(Command::pre(0, 0));
+    // Probe at a time where tRC is satisfied but tRP is not (our bin
+    // has tRC < tRAS + 1 + tRP, so such a window exists).
+    ASSERT_LT(actAt + tp.tRC, preAt + tp.tRP);
+    now = actAt + tp.tRC;
+    const auto v = cstc.check(now, Command::act(0, 0, 6));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tRP"), std::string::npos);
+    now = preAt + tp.tRP;
+    EXPECT_FALSE(cstc.check(now, Command::act(0, 0, 6)).has_value());
+}
+
+TEST_F(CstcTest, RefWithOpenBankFlagged)
+{
+    run(Command::act(2, 1, 5));
+    wait(tp.tRAS + tp.tRP);
+    const auto v = cstc.check(now, Command::ref());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("open"), std::string::npos);
+}
+
+TEST_F(CstcTest, ActAfterRefNeedsTrfc)
+{
+    run(Command::ref());
+    const auto v = cstc.check(now, Command::act(0, 0, 1));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tRFC"), std::string::npos);
+    wait(tp.tRFC);
+    EXPECT_FALSE(cstc.check(now, Command::act(0, 0, 1)).has_value());
+}
+
+TEST_F(CstcTest, ColumnCommandsNeedTccd)
+{
+    run(Command::act(0, 0, 5));
+    wait(tp.tRCD);
+    run(Command::rd(0, 0, 0));
+    const auto v = cstc.check(now, Command::rd(0, 0, 8));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tCCD"), std::string::npos);
+    wait(tp.tCCD);
+    EXPECT_FALSE(cstc.check(now, Command::rd(0, 0, 8)).has_value());
+}
+
+TEST_F(CstcTest, WriteToReadNeedsTwtr)
+{
+    run(Command::act(0, 0, 5));
+    wait(tp.tRCD);
+    run(Command::wr(0, 0, 0));
+    wait(tp.tCCD);
+    // tCCD satisfied but write data is still in flight: tWTR blocks.
+    const auto v = cstc.check(now, Command::rd(0, 0, 8));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tWTR"), std::string::npos);
+    wait(tp.writeLatency + tp.burstCycles + tp.tWTR);
+    EXPECT_FALSE(cstc.check(now, Command::rd(0, 0, 8)).has_value());
+}
+
+TEST_F(CstcTest, WriteToPreNeedsTwr)
+{
+    const Cycle actAt = now;
+    run(Command::act(0, 0, 5));
+    wait(tp.tRCD);
+    const Cycle wrAt = now;
+    run(Command::wr(0, 0, 0));
+    const Cycle wrEnd = wrAt + tp.writeLatency + tp.burstCycles;
+    // Probe with tRAS satisfied but the write-recovery window open.
+    ASSERT_LT(actAt + tp.tRAS, wrEnd + tp.tWR);
+    now = std::max<Cycle>(actAt + tp.tRAS, wrAt + 1);
+    const auto v = cstc.check(now, Command::pre(0, 0));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_NE(v->find("tWR"), std::string::npos);
+    now = wrEnd + tp.tWR;
+    EXPECT_FALSE(cstc.check(now, Command::pre(0, 0)).has_value());
+}
+
+TEST_F(CstcTest, MrsZqcRfuFlaggedDuringOperation)
+{
+    run(Command::act(0, 0, 5));
+    Command mrs;
+    mrs.type = CmdType::Mrs;
+    Command zqc;
+    zqc.type = CmdType::Zqc;
+    Command rfu;
+    rfu.type = CmdType::Rfu;
+    EXPECT_TRUE(cstc.check(now, mrs).has_value());
+    EXPECT_TRUE(cstc.check(now, zqc).has_value());
+    EXPECT_TRUE(cstc.check(now, rfu).has_value());
+}
+
+TEST_F(CstcTest, RfuAlwaysFlagged)
+{
+    Command rfu;
+    rfu.type = CmdType::Rfu;
+    EXPECT_TRUE(cstc.check(now, rfu).has_value());
+}
+
+TEST_F(CstcTest, NopAlwaysLegal)
+{
+    EXPECT_FALSE(cstc.check(now, Command::nop()).has_value());
+    run(Command::act(0, 0, 5));
+    EXPECT_FALSE(cstc.check(now, Command::nop()).has_value());
+}
+
+TEST_F(CstcTest, AutoPrechargeClosesBankInMirror)
+{
+    run(Command::act(0, 0, 5));
+    wait(tp.tRCD);
+    run(Command::rd(0, 0, 0, /*ap=*/true));
+    EXPECT_FALSE(cstc.bankOpen(0));
+    // A further RD now hits an idle bank.
+    wait(tp.tCCD);
+    EXPECT_TRUE(cstc.check(now, Command::rd(0, 0, 8)).has_value());
+}
+
+TEST_F(CstcTest, PreAllClosesEverything)
+{
+    run(Command::act(0, 0, 5));
+    wait(tp.tRRD);
+    run(Command::act(1, 1, 7));
+    wait(tp.tRAS);
+    run(Command::preAll());
+    EXPECT_FALSE(cstc.bankOpen(0));
+    EXPECT_FALSE(cstc.bankOpen(1 * 4 + 1));
+}
+
+} // namespace
+} // namespace aiecc

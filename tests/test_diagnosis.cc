@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for precise address-error diagnosis (Section IV-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include "aiecc/diagnosis.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Diagnosis, AgreementIsClean)
+{
+    const auto d = diagnoseAddress(0x12345678, 0x12345678);
+    EXPECT_FALSE(d.faulty());
+    EXPECT_TRUE(d.faultyBits.empty());
+    EXPECT_TRUE(d.suspectPins.empty());
+    EXPECT_NE(d.toString().find("agree"), std::string::npos);
+}
+
+TEST(Diagnosis, ColumnBitMapsToColumnPin)
+{
+    Geometry geom;
+    MtbAddress a{0, 1, 2, 100, 5};
+    MtbAddress b = a;
+    b.col = 5 ^ 1; // MTB column bit 0 <-> burst A3
+    const auto d = diagnoseAddress(a.pack(geom), b.pack(geom), geom);
+    ASSERT_EQ(d.faultyBits.size(), 1u);
+    EXPECT_EQ(d.faultyBits[0], 0u);
+    ASSERT_EQ(d.suspectPins.size(), 1u);
+    EXPECT_EQ(d.suspectPins[0], Pin::A3);
+}
+
+TEST(Diagnosis, RowBitMapsToActTimePin)
+{
+    Geometry geom;
+    MtbAddress a{0, 0, 0, 0, 0};
+    MtbAddress b = a;
+    b.row = 1u << 16; // row bit 16 rides RAS/A16 during ACT
+    const auto d = diagnoseAddress(a.pack(geom), b.pack(geom), geom);
+    ASSERT_EQ(d.suspectPins.size(), 1u);
+    EXPECT_EQ(d.suspectPins[0], Pin::RAS_A16);
+
+    b.row = 1u << 14;
+    const auto d2 = diagnoseAddress(a.pack(geom), b.pack(geom), geom);
+    EXPECT_EQ(d2.suspectPins[0], Pin::WE_A14);
+
+    b.row = 1u << 12; // row bit 12 rides the A12/BC pin
+    const auto d3 = diagnoseAddress(a.pack(geom), b.pack(geom), geom);
+    EXPECT_EQ(d3.suspectPins[0], Pin::A12_BC);
+}
+
+TEST(Diagnosis, BankBitsMapToBankPins)
+{
+    Geometry geom;
+    MtbAddress a{0, 0, 0, 0, 0};
+    MtbAddress b = a;
+    b.ba = 1;
+    EXPECT_EQ(diagnoseAddress(a.pack(geom), b.pack(geom), geom)
+                  .suspectPins[0],
+              Pin::BA0);
+    b.ba = 2;
+    EXPECT_EQ(diagnoseAddress(a.pack(geom), b.pack(geom), geom)
+                  .suspectPins[0],
+              Pin::BA1);
+    b.ba = 0;
+    b.bg = 2;
+    EXPECT_EQ(diagnoseAddress(a.pack(geom), b.pack(geom), geom)
+                  .suspectPins[0],
+              Pin::BG1);
+}
+
+TEST(Diagnosis, RankBitsMapToChipSelect)
+{
+    Geometry geom;
+    MtbAddress a{0, 0, 0, 0, 0};
+    MtbAddress b = a;
+    b.rank = 1;
+    const auto d = diagnoseAddress(a.pack(geom), b.pack(geom), geom);
+    ASSERT_EQ(d.suspectPins.size(), 1u);
+    EXPECT_EQ(d.suspectPins[0], Pin::CS);
+}
+
+TEST(Diagnosis, MultiBitErrorsListEveryPinOnce)
+{
+    Geometry geom;
+    MtbAddress a{0, 0, 0, 0x00000, 0};
+    MtbAddress b{0, 0, 0, 0x00003, 1}; // row bits 0,1 + col bit 0
+    const auto d = diagnoseAddress(a.pack(geom), b.pack(geom), geom);
+    EXPECT_EQ(d.faultyBits.size(), 3u);
+    EXPECT_EQ(d.suspectPins.size(), 3u);
+    // A0, A1 for the row bits; A3 for the MTB column bit.
+    EXPECT_NE(std::find(d.suspectPins.begin(), d.suspectPins.end(),
+                        Pin::A0),
+              d.suspectPins.end());
+    EXPECT_NE(std::find(d.suspectPins.begin(), d.suspectPins.end(),
+                        Pin::A1),
+              d.suspectPins.end());
+    EXPECT_NE(std::find(d.suspectPins.begin(), d.suspectPins.end(),
+                        Pin::A3),
+              d.suspectPins.end());
+}
+
+TEST(Diagnosis, ToStringNamesPins)
+{
+    Geometry geom;
+    MtbAddress a{0, 0, 0, 0, 0};
+    MtbAddress b = a;
+    b.row = 1u << 17;
+    const auto d = diagnoseAddress(a.pack(geom), b.pack(geom), geom);
+    EXPECT_NE(d.toString().find("A17"), std::string::npos);
+}
+
+} // namespace
+} // namespace aiecc

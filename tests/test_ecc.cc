@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the data-only chipkill organizations (QPC Bamboo and AMD
+ * chipkill): encode/decode round trips, chipkill correction, and
+ * detection of beyond-capability errors.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/amd.hh"
+#include "ecc/qpc.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+BitVec
+randomData(Rng &rng)
+{
+    BitVec d(Burst::dataBits);
+    for (size_t i = 0; i < d.size(); ++i)
+        d.set(i, rng.chance(0.5));
+    return d;
+}
+
+/** Parameterized over the two data-only chipkill organizations. */
+class ChipkillTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<DataEcc> codec;
+    Rng rng{0xECC};
+
+    void
+    SetUp() override
+    {
+        if (std::string(GetParam()) == "qpc")
+            codec = std::make_unique<QpcEcc>();
+        else
+            codec = std::make_unique<AmdChipkillEcc>();
+    }
+};
+
+TEST_P(ChipkillTest, CleanRoundTrip)
+{
+    for (int i = 0; i < 20; ++i) {
+        const BitVec d = randomData(rng);
+        const Burst b = codec->encode(d, 0);
+        EXPECT_EQ(b.data(), d);
+        const EccResult res = codec->decode(b, 0);
+        EXPECT_EQ(res.status, EccStatus::Clean);
+        EXPECT_EQ(res.data, d);
+    }
+}
+
+TEST_P(ChipkillTest, CorrectsSingleBitErrors)
+{
+    const BitVec d = randomData(rng);
+    const Burst b = codec->encode(d, 0);
+    for (unsigned pin = 0; pin < Burst::numPins; pin += 5) {
+        for (unsigned beat = 0; beat < Burst::numBeats; beat += 3) {
+            Burst bad = b;
+            bad.setBit(pin, beat, !bad.getBit(pin, beat));
+            const EccResult res = codec->decode(bad, 0);
+            EXPECT_EQ(res.status, EccStatus::Corrected);
+            EXPECT_EQ(res.data, d);
+        }
+    }
+}
+
+TEST_P(ChipkillTest, CorrectsWholeChipFailure)
+{
+    // The defining chipkill property: any error confined to one x4
+    // chip (4 pins x 8 beats) is corrected.
+    const BitVec d = randomData(rng);
+    const Burst b = codec->encode(d, 0);
+    for (unsigned chip = 0; chip < Burst::numChips; ++chip) {
+        for (int rep = 0; rep < 5; ++rep) {
+            Burst bad = b;
+            BitVec noise(32);
+            bool any = false;
+            for (size_t i = 0; i < 32; ++i) {
+                const bool flip = rng.chance(0.5);
+                noise.set(i, flip);
+                any |= flip;
+            }
+            if (!any)
+                noise.set(0, true);
+            bad.setChipBits(chip, bad.chipBits(chip) ^ noise);
+            const EccResult res = codec->decode(bad, 0);
+            ASSERT_EQ(res.status, EccStatus::Corrected)
+                << codec->name() << " chip " << chip;
+            EXPECT_EQ(res.data, d);
+        }
+    }
+}
+
+TEST_P(ChipkillTest, DetectsRankWideErrors)
+{
+    // Full-rank garbage is flagged (not silently consumed) in
+    // essentially all cases.
+    const BitVec d = randomData(rng);
+    const Burst b = codec->encode(d, 0);
+    int bad = 0;
+    const int reps = 300;
+    for (int rep = 0; rep < reps; ++rep) {
+        Burst junk;
+        junk.randomize(rng);
+        const EccResult res = codec->decode(junk, 0);
+        if (res.status != EccStatus::Uncorrectable && res.data == d)
+            ++bad;
+    }
+    EXPECT_EQ(bad, 0);
+    (void)b;
+}
+
+TEST_P(ChipkillTest, DataOnlySchemesIgnoreAddress)
+{
+    const BitVec d = randomData(rng);
+    const Burst b = codec->encode(d, 0x12345678);
+    // Decoding with a different address must not matter: the weakness
+    // eDECC exists to fix.
+    const EccResult res = codec->decode(b, 0x0BADF00D);
+    EXPECT_EQ(res.status, EccStatus::Clean);
+    EXPECT_FALSE(codec->protectsAddress());
+}
+
+INSTANTIATE_TEST_SUITE_P(Organizations, ChipkillTest,
+                         ::testing::Values("qpc", "amd"));
+
+TEST(QpcEcc, CorrectsUpToFourPinSymbols)
+{
+    QpcEcc qpc;
+    Rng rng(0xEC1);
+    const BitVec d = randomData(rng);
+    const Burst b = qpc.encode(d, 0);
+    for (unsigned nerr = 1; nerr <= 4; ++nerr) {
+        for (int rep = 0; rep < 20; ++rep) {
+            Burst bad = b;
+            for (unsigned p : rng.sample(Burst::numPins, nerr)) {
+                bad.setPinSymbol(
+                    p, bad.pinSymbol(p) ^
+                           static_cast<GfElem>(rng.range(1, 255)));
+            }
+            const EccResult res = qpc.decode(bad, 0);
+            ASSERT_EQ(res.status, EccStatus::Corrected) << nerr;
+            EXPECT_EQ(res.data, d);
+        }
+    }
+}
+
+TEST(QpcEcc, FlagsFivePinSymbols)
+{
+    QpcEcc qpc;
+    Rng rng(0xEC2);
+    const BitVec d = randomData(rng);
+    const Burst b = qpc.encode(d, 0);
+    int flagged = 0;
+    const int reps = 100;
+    for (int rep = 0; rep < reps; ++rep) {
+        Burst bad = b;
+        for (unsigned p : rng.sample(Burst::numPins, 5)) {
+            bad.setPinSymbol(p, bad.pinSymbol(p) ^
+                                    static_cast<GfElem>(rng.range(1, 255)));
+        }
+        flagged += qpc.decode(bad, 0).status == EccStatus::Uncorrectable;
+    }
+    EXPECT_GT(flagged, reps * 9 / 10);
+}
+
+TEST(AmdChipkillEcc, TwoChipsInOneWordOverwhelm)
+{
+    // Two failed chips hit the same RS(18,16) codewords with two
+    // symbol errors: beyond single-symbol correction.
+    AmdChipkillEcc amd;
+    Rng rng(0xA3D);
+    const BitVec d = randomData(rng);
+    const Burst b = amd.encode(d, 0);
+    int silent = 0;
+    for (int rep = 0; rep < 100; ++rep) {
+        Burst bad = b;
+        bad.setAmdSymbol(3, 0, bad.amdSymbol(3, 0) ^
+                                   static_cast<GfElem>(rng.range(1, 255)));
+        bad.setAmdSymbol(9, 0, bad.amdSymbol(9, 0) ^
+                                   static_cast<GfElem>(rng.range(1, 255)));
+        const EccResult res = amd.decode(bad, 0);
+        // Distance-3 codes may miscorrect double errors, but must
+        // never return the data unchanged as "clean".
+        if (res.status == EccStatus::Clean)
+            ++silent;
+    }
+    EXPECT_EQ(silent, 0);
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Randomized end-to-end robustness tests ("fault storms"): hundreds
+ * of randomly chosen CCCA errors against random traffic, asserting
+ * the paper's headline invariants — AIECC never lets silent
+ * corruption escape, detection always precedes damage or flags it,
+ * and recovery restores the golden state whenever the corruption was
+ * transmission-induced.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/campaign.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+/** Draw a random error spec from all three models. */
+PinError
+randomError(Rng &rng, bool parPresent)
+{
+    const auto pins = injectablePins(parPresent);
+    switch (rng.below(3)) {
+      case 0:
+        return PinError::onePin(pins[rng.below(pins.size())]);
+      case 1: {
+        const auto two =
+            rng.sample(static_cast<unsigned>(pins.size()), 2);
+        return PinError::twoPin(pins[two[0]], pins[two[1]]);
+      }
+      default:
+        return PinError::allPins(rng.next());
+    }
+}
+
+CommandPattern
+randomPattern(Rng &rng)
+{
+    const auto patterns = allPatterns();
+    return patterns[rng.below(patterns.size())];
+}
+
+TEST(FuzzStack, AieccNeverLeaksSilentCorruption)
+{
+    // The core end-to-end guarantee, hammered with random errors.
+    const auto mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    InjectionCampaign campaign(mech, 0xF022);
+    Rng rng(0xA1ECCF);
+    for (int i = 0; i < 150; ++i) {
+        const auto pattern = randomPattern(rng);
+        const auto error = randomError(rng, mech.parPinPresent());
+        const auto r = campaign.runTrial(pattern, error);
+        EXPECT_FALSE(r.sdc) << patternName(pattern) << " "
+                            << error.toString();
+        EXPECT_NE(r.outcome, Outcome::Sdc);
+        EXPECT_NE(r.outcome, Outcome::Mdc);
+        EXPECT_NE(r.outcome, Outcome::SdcMdc);
+    }
+}
+
+TEST(FuzzStack, AieccRecoversFromTransientErrors)
+{
+    // Transmission errors are transient: after detection + retry the
+    // memory system must be byte-identical to golden in the vast
+    // majority of cases (a rare DUE may remain when corruption raced
+    // ahead of detection, but never silently).
+    const auto mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    InjectionCampaign campaign(mech, 0xF023);
+    Rng rng(0xA1ECC0);
+    int corrected = 0, due = 0, benign = 0;
+    const int trials = 120;
+    for (int i = 0; i < trials; ++i) {
+        const auto r = campaign.runTrial(
+            randomPattern(rng), randomError(rng, mech.parPinPresent()));
+        switch (r.outcome) {
+          case Outcome::Corrected: ++corrected; break;
+          case Outcome::Due: ++due; break;
+          case Outcome::NoEffect: ++benign; break;
+          default:
+            FAIL() << "silent corruption escaped AIECC";
+        }
+    }
+    EXPECT_EQ(corrected + due + benign, trials);
+    // Retry fixes the overwhelming majority.
+    EXPECT_GT(corrected, trials * 3 / 4);
+}
+
+TEST(FuzzStack, DetectionMonotonicAcrossLevels)
+{
+    // For identical injections, AIECC must never do worse than the
+    // weaker levels in silent-corruption terms.
+    InjectionCampaign none(Mechanisms::forLevel(ProtectionLevel::None),
+                           0xF024);
+    InjectionCampaign aiecc(
+        Mechanisms::forLevel(ProtectionLevel::Aiecc), 0xF024);
+    Rng rng(0xA1ECC1);
+    for (int i = 0; i < 60; ++i) {
+        const auto pattern = randomPattern(rng);
+        // Use PAR-less pins so both configs inject the same error.
+        const auto error = randomError(rng, false);
+        const auto rNone = none.runTrial(pattern, error);
+        const auto rAiecc = aiecc.runTrial(pattern, error);
+        const bool noneHarm = rNone.sdc || rNone.mdc;
+        const bool aieccSilent =
+            rAiecc.outcome == Outcome::Sdc ||
+            rAiecc.outcome == Outcome::Mdc ||
+            rAiecc.outcome == Outcome::SdcMdc;
+        EXPECT_FALSE(aieccSilent);
+        // Harmless under no protection => harmless under AIECC too.
+        if (rNone.outcome == Outcome::NoEffect) {
+            EXPECT_TRUE(rAiecc.outcome == Outcome::NoEffect ||
+                        rAiecc.outcome == Outcome::Corrected)
+                << patternName(pattern) << " " << error.toString();
+        }
+        (void)noneHarm;
+    }
+}
+
+TEST(FuzzStack, UnprotectedHarmIsExplainedByDecode)
+{
+    // Whenever the unprotected stack shows harm, the decoded command
+    // must actually differ from the intended one (missing, altered,
+    // or address-shifted) — harm never appears out of thin air.
+    const auto mech = Mechanisms::forLevel(ProtectionLevel::None);
+    InjectionCampaign campaign(mech, 0xF025);
+    Rng rng(0xA1ECC2);
+    for (int i = 0; i < 80; ++i) {
+        const auto r = campaign.runTrial(
+            randomPattern(rng), randomError(rng, mech.parPinPresent()));
+        if (r.outcome == Outcome::NoEffect)
+            continue;
+        const bool commandChanged =
+            !r.decoded.executed || !(r.decoded.cmd == r.intended);
+        // ODT-only errors harm without changing the command.
+        EXPECT_TRUE(commandChanged || r.decoded.odt !=
+                        (r.intended.type == CmdType::Wr))
+            << r.intended.toString() << " vs "
+            << r.decoded.toString();
+    }
+}
+
+TEST(FuzzStack, RepeatedTrialsAreDeterministic)
+{
+    const auto mech = Mechanisms::forLevel(ProtectionLevel::Ddr4EDecc);
+    InjectionCampaign a(mech, 0xF026);
+    InjectionCampaign b(mech, 0xF026);
+    Rng rng(0xA1ECC3);
+    for (int i = 0; i < 25; ++i) {
+        const auto pattern = randomPattern(rng);
+        const auto error = randomError(rng, mech.parPinPresent());
+        const auto ra = a.runTrial(pattern, error);
+        const auto rb = b.runTrial(pattern, error);
+        EXPECT_EQ(ra.outcome, rb.outcome);
+        EXPECT_EQ(ra.detected, rb.detected);
+        EXPECT_EQ(ra.detectors, rb.detectors);
+        EXPECT_EQ(ra.sdc, rb.sdc);
+        EXPECT_EQ(ra.mdc, rb.mdc);
+    }
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit and property tests for GF(2^8) arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gf/gf256.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Gf256, AddIsXor)
+{
+    EXPECT_EQ(Gf256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+    EXPECT_EQ(Gf256::add(0, 0x7F), 0x7F);
+    EXPECT_EQ(Gf256::sub(0x53, 0xCA), Gf256::add(0x53, 0xCA));
+}
+
+TEST(Gf256, MulIdentityAndZero)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), 1), a);
+        EXPECT_EQ(Gf256::mul(1, static_cast<GfElem>(a)), a);
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), 0), 0);
+    }
+}
+
+TEST(Gf256, KnownProducts)
+{
+    // Hand-checked products under poly 0x11D.
+    EXPECT_EQ(Gf256::mul(2, 2), 4);
+    EXPECT_EQ(Gf256::mul(0x80, 2), 0x1D);   // x^8 reduces to 0x1D
+    EXPECT_EQ(Gf256::mul(0xFF, 0xFF), 0xE2);
+}
+
+TEST(Gf256, MulCommutativeAssociative)
+{
+    Rng rng(21);
+    for (int i = 0; i < 2000; ++i) {
+        const GfElem a = static_cast<GfElem>(rng.below(256));
+        const GfElem b = static_cast<GfElem>(rng.below(256));
+        const GfElem c = static_cast<GfElem>(rng.below(256));
+        EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+        EXPECT_EQ(Gf256::mul(Gf256::mul(a, b), c),
+                  Gf256::mul(a, Gf256::mul(b, c)));
+    }
+}
+
+TEST(Gf256, Distributive)
+{
+    Rng rng(22);
+    for (int i = 0; i < 2000; ++i) {
+        const GfElem a = static_cast<GfElem>(rng.below(256));
+        const GfElem b = static_cast<GfElem>(rng.below(256));
+        const GfElem c = static_cast<GfElem>(rng.below(256));
+        EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+                  Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+    }
+}
+
+TEST(Gf256, InverseRoundTrip)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const GfElem ia = Gf256::inv(static_cast<GfElem>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), ia), 1)
+            << "a=" << a;
+    }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        const GfElem a = static_cast<GfElem>(rng.below(256));
+        const GfElem b = static_cast<GfElem>(rng.range(1, 255));
+        EXPECT_EQ(Gf256::div(Gf256::mul(a, b), b), a);
+    }
+}
+
+TEST(Gf256, AlphaGeneratesFullGroup)
+{
+    // alpha must be primitive: its powers hit all 255 nonzero elements.
+    bool seen[256] = {false};
+    for (int i = 0; i < 255; ++i) {
+        const GfElem v = Gf256::alphaPow(i);
+        EXPECT_NE(v, 0);
+        EXPECT_FALSE(seen[v]) << "repeat at power " << i;
+        seen[v] = true;
+    }
+    EXPECT_EQ(Gf256::alphaPow(255), 1);
+    EXPECT_EQ(Gf256::alphaPow(0), 1);
+    EXPECT_EQ(Gf256::alphaPow(-1), Gf256::inv(2));
+}
+
+TEST(Gf256, LogExpInverse)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        EXPECT_EQ(Gf256::alphaPow(static_cast<int>(
+                      Gf256::log(static_cast<GfElem>(a)))),
+                  a);
+    }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    Rng rng(24);
+    for (int i = 0; i < 500; ++i) {
+        const GfElem a = static_cast<GfElem>(rng.below(256));
+        const unsigned e = static_cast<unsigned>(rng.below(520));
+        GfElem expect = 1;
+        for (unsigned j = 0; j < e; ++j)
+            expect = Gf256::mul(expect, a);
+        EXPECT_EQ(Gf256::pow(a, e), expect)
+            << "a=" << unsigned(a) << " e=" << e;
+    }
+    EXPECT_EQ(Gf256::pow(0, 0), 1);
+    EXPECT_EQ(Gf256::pow(0, 5), 0);
+}
+
+} // namespace
+} // namespace aiecc

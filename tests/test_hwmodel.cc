@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the analytic gate model (Section V-D): building blocks
+ * and the paper's ordering of overheads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/gate_model.hh"
+#include "trends/trends.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(GateModel, XorTreeCounts)
+{
+    GateModel m;
+    EXPECT_DOUBLE_EQ(m.xorTree(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.xorTree(1), 0.0);
+    EXPECT_DOUBLE_EQ(m.xorTree(2), 2.5);
+    EXPECT_DOUBLE_EQ(m.xorTree(24), 23 * 2.5);
+}
+
+TEST(GateModel, CrcLogicGrowsWithMessage)
+{
+    GateModel m;
+    const double c32 = m.crcLogic(8, 0x07, 32);
+    const double c64 = m.crcLogic(8, 0x07, 64);
+    EXPECT_GT(c64, c32);
+    EXPECT_GT(c32, 0.0);
+}
+
+TEST(GateModel, PaperOrderingHolds)
+{
+    // ePAR << eWCRC ~ eDECC+AMD << eDECC+QPC; CSTC is the largest
+    // DRAM-side block.
+    GateModel m;
+    const auto ePar = m.ePar();
+    const auto eWcrc = m.eWcrc();
+    const auto eDeccAmd = m.eDeccAmd();
+    const auto eDeccQpc = m.eDeccQpc();
+    const auto cstc = m.cstc();
+
+    EXPECT_LT(ePar.nand2, eWcrc.nand2 / 2);
+    EXPECT_LT(eWcrc.nand2, eDeccQpc.nand2 / 4);
+    EXPECT_LT(eDeccAmd.nand2, eDeccQpc.nand2 / 4);
+    EXPECT_GT(cstc.nand2, eDeccQpc.nand2);
+}
+
+TEST(GateModel, WithinOrderOfMagnitudeOfPaper)
+{
+    GateModel m;
+    for (const auto &e : m.all()) {
+        ASSERT_GT(e.paperNand2, 0.0) << e.name;
+        const double ratio = e.nand2 / e.paperNand2;
+        EXPECT_GT(ratio, 0.1) << e.name << " " << e.nand2;
+        EXPECT_LT(ratio, 10.0) << e.name << " " << e.nand2;
+    }
+}
+
+TEST(GateModel, EverythingIsTiny)
+{
+    // The §V-D headline: all additions are negligible (a DRAM die has
+    // billions of transistors; even 10^4 NAND2 is noise).
+    GateModel m;
+    for (const auto &e : m.all()) {
+        EXPECT_LT(e.nand2, 20000.0) << e.name;
+        EXPECT_LT(e.powerMw, 5.0) << e.name;
+        EXPECT_GT(e.nand2, 0.0) << e.name;
+    }
+}
+
+TEST(GateModel, CstcScalesWithBankCount)
+{
+    GateModel m;
+    Geometry halfBanks;
+    halfBanks.bgBits = 1; // 8 banks instead of 16
+    const double full = m.cstc().nand2;
+    const double half = m.cstc(halfBanks).nand2;
+    EXPECT_NEAR(half / full, 0.5, 0.01);
+}
+
+TEST(Trends, GenerationsMonotone)
+{
+    const auto gens = dramGenerations();
+    ASSERT_GE(gens.size(), 5u);
+    for (size_t i = 1; i < gens.size(); ++i) {
+        EXPECT_GE(gens[i].dataRateMTs, gens[i - 1].dataRateMTs)
+            << gens[i].name;
+    }
+    // Voltages fall across the DDR line (Figure 1b).
+    EXPECT_GT(gens[0].vdd, gens[4].vdd);
+}
+
+TEST(Trends, CccaLagsData)
+{
+    // Figure 1a's point: CCCA rates stopped scaling with data rates.
+    for (const auto &g : dramGenerations()) {
+        EXPECT_LE(g.cccaRateMTs, g.dataRateMTs) << g.name;
+        if (g.name == "GDDR5X") {
+            EXPECT_LT(g.cccaRateMTs / g.dataRateMTs, 0.3);
+        }
+    }
+}
+
+TEST(Trends, PowerBreakdownSumsToOne)
+{
+    double total = 0;
+    for (const auto &p : ddr4PowerBreakdown())
+        total += p.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Roughly half the power is I/O (Figure 1c).
+    EXPECT_NEAR(ddr4PowerBreakdown()[1].fraction, 0.5, 0.1);
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the Table III Monte-Carlo engine: the qualitative cells
+ * of the paper's data-reliability comparison must reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/montecarlo.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+constexpr uint64_t kTrials = 3000;
+
+/**
+ * A plain bounded-distance RS(72,64) decoder miscorrects random
+ * beyond-capability garbage with probability ~sum_i C(72,i)*255^i /
+ * 255^8 ~ 2.4e-4; the paper's "<1e-6%" cells imply extra screening in
+ * their decoder.  Tests on those cells allow our textbook floor
+ * (documented in EXPERIMENTS.md).
+ */
+constexpr double kMiscorrectionFloor = 2.4e-4;
+
+/** Binomial-tail-safe bound on miscorrections over n trials. */
+uint64_t
+floorBudget(uint64_t n)
+{
+    return static_cast<uint64_t>(n * kMiscorrectionFloor * 8) + 4;
+}
+
+TEST(MonteCarlo, NoErrorIsNoError)
+{
+    for (EccScheme scheme :
+         {EccScheme::Qpc, EccScheme::AzulQpc,
+          EccScheme::EDeccTransformQpc, EccScheme::EDeccQpc}) {
+        DataMonteCarlo mc(scheme);
+        const auto cell = mc.runCell(DataErrorModel::None,
+                                     AddrErrorModel::None, 200);
+        EXPECT_EQ(cell.count(DataOutcome::NoError), 200u)
+            << eccSchemeName(scheme);
+    }
+}
+
+TEST(MonteCarlo, QpcAddressErrorsAre100PercentSdc)
+{
+    // Table III row "None / 1 bit": data-only QPC sees nothing.
+    DataMonteCarlo mc(EccScheme::Qpc);
+    const auto cell =
+        mc.runCell(DataErrorModel::None, AddrErrorModel::Bit1, 500);
+    EXPECT_DOUBLE_EQ(cell.sdcFrac(), 1.0);
+}
+
+TEST(MonteCarlo, QpcCorrectsPureDataErrors)
+{
+    DataMonteCarlo mc(EccScheme::Qpc);
+    for (auto model : {DataErrorModel::Bit1, DataErrorModel::Chip1}) {
+        const auto cell =
+            mc.runCell(model, AddrErrorModel::None, 500);
+        EXPECT_EQ(cell.count(DataOutcome::CeD), 500u);
+    }
+}
+
+TEST(MonteCarlo, AzulAliasesNear6Point3Percent)
+{
+    // Table III "None / 32 bits" for QPC+Azul: 6.3% SDC.
+    DataMonteCarlo mc(EccScheme::AzulQpc);
+    const auto cell =
+        mc.runCell(DataErrorModel::None, AddrErrorModel::Bits32, kTrials);
+    EXPECT_NEAR(cell.sdcFrac(), 1.0 / 16.0, 0.02);
+}
+
+TEST(MonteCarlo, AzulOneBitAddressIsCeR)
+{
+    // Table III "None / 1 bit" for QPC+Azul: CE-R (no SDC).
+    DataMonteCarlo mc(EccScheme::AzulQpc);
+    const auto cell =
+        mc.runCell(DataErrorModel::None, AddrErrorModel::Bit1, 1000);
+    EXPECT_DOUBLE_EQ(cell.sdcFrac(), 0.0);
+    EXPECT_EQ(cell.dominant(), DataOutcome::CeR);
+}
+
+TEST(MonteCarlo, TransformDetectsAllAddressErrors)
+{
+    // Table III eDECC-t column: CE-R for pure address errors.
+    DataMonteCarlo mc(EccScheme::EDeccTransformQpc);
+    for (auto model : {AddrErrorModel::Bit1, AddrErrorModel::Bits32}) {
+        const auto cell =
+            mc.runCell(DataErrorModel::None, model, 2000);
+        EXPECT_LE(cell.count(DataOutcome::Sdc), floorBudget(2000))
+            << addrErrorName(model);
+        EXPECT_EQ(cell.dominant(), DataOutcome::CeR);
+    }
+}
+
+TEST(MonteCarlo, CombinedEDeccDiagnosesAddressErrors)
+{
+    // Table III eDECC-c column: CE-R+ (precise diagnosis).
+    DataMonteCarlo mc(EccScheme::EDeccQpc);
+    for (auto model : {AddrErrorModel::Bit1, AddrErrorModel::Bits32}) {
+        const auto cell =
+            mc.runCell(DataErrorModel::None, model, 1000);
+        EXPECT_DOUBLE_EQ(cell.sdcFrac(), 0.0) << addrErrorName(model);
+        EXPECT_EQ(cell.dominant(), DataOutcome::CeRPlus);
+    }
+}
+
+TEST(MonteCarlo, CombinedEDeccBitPlusBitIsCeRDPlus)
+{
+    // Table III "1 bit / 1 bit" for eDECC-c: CE-RD+.
+    DataMonteCarlo mc(EccScheme::EDeccQpc);
+    const auto cell =
+        mc.runCell(DataErrorModel::Bit1, AddrErrorModel::Bit1, 1000);
+    EXPECT_DOUBLE_EQ(cell.sdcFrac(), 0.0);
+    EXPECT_EQ(cell.dominant(), DataOutcome::CeRDPlus);
+}
+
+TEST(MonteCarlo, ChipPlusAddressErrorNeverSilent)
+{
+    // Table III "1 chip / 1 bit": <1e-6% SDC for every
+    // address-protecting scheme (detected, though uncorrectable).
+    for (EccScheme scheme :
+         {EccScheme::AzulQpc, EccScheme::EDeccTransformQpc,
+          EccScheme::EDeccQpc}) {
+        DataMonteCarlo mc(scheme);
+        const auto cell = mc.runCell(DataErrorModel::Chip1,
+                                     AddrErrorModel::Bit1, kTrials);
+        EXPECT_LE(cell.count(DataOutcome::Sdc), floorBudget(kTrials))
+            << eccSchemeName(scheme);
+    }
+}
+
+TEST(MonteCarlo, ChipPlus32BitAddressAliasesOnlyForAzul)
+{
+    // Table III "1 chip / 32 bits": 6.3% for Azul, ~0 for eDECC.
+    DataMonteCarlo azul(EccScheme::AzulQpc);
+    const auto azulCell = azul.runCell(DataErrorModel::Chip1,
+                                       AddrErrorModel::Bits32, kTrials);
+    EXPECT_NEAR(azulCell.sdcFrac(), 1.0 / 16.0, 0.02);
+
+    DataMonteCarlo edecc(EccScheme::EDeccQpc);
+    const auto edeccCell = edecc.runCell(DataErrorModel::Chip1,
+                                         AddrErrorModel::Bits32, kTrials);
+    EXPECT_LE(edeccCell.count(DataOutcome::Sdc), floorBudget(kTrials));
+}
+
+TEST(MonteCarlo, RankErrorsAreDueEverywhere)
+{
+    // Table III bottom row: full-rank errors are detected (<1e-6% SDC)
+    // by every scheme.
+    for (EccScheme scheme :
+         {EccScheme::Qpc, EccScheme::AzulQpc,
+          EccScheme::EDeccTransformQpc, EccScheme::EDeccQpc}) {
+        DataMonteCarlo mc(scheme);
+        const auto cell = mc.runCell(DataErrorModel::Rank1,
+                                     AddrErrorModel::None, kTrials);
+        EXPECT_LE(cell.count(DataOutcome::Sdc), floorBudget(kTrials))
+            << eccSchemeName(scheme);
+        EXPECT_EQ(cell.dominant(), DataOutcome::Due)
+            << eccSchemeName(scheme);
+    }
+}
+
+TEST(MonteCarlo, ChipkillPreservedUnderEDecc)
+{
+    // "Any single-chip errors are still corrected (preserving
+    // chipkill)" — Section V-B.
+    DataMonteCarlo mc(EccScheme::EDeccQpc);
+    const auto cell =
+        mc.runCell(DataErrorModel::Chip1, AddrErrorModel::None, 1000);
+    EXPECT_EQ(cell.count(DataOutcome::CeD), 1000u);
+}
+
+TEST(MonteCarlo, CellBookkeeping)
+{
+    DataMonteCarlo mc(EccScheme::Qpc);
+    const auto cell =
+        mc.runCell(DataErrorModel::Bit1, AddrErrorModel::None, 100);
+    EXPECT_EQ(cell.trials, 100u);
+    uint64_t total = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        total += cell.counts[i];
+    EXPECT_EQ(total, 100u);
+}
+
+} // namespace
+} // namespace aiecc

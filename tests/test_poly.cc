@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for GF(2^8) polynomial algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gf/poly.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+Gf256Poly
+randomPoly(Rng &rng, int maxDegree)
+{
+    std::vector<GfElem> c(static_cast<size_t>(rng.below(maxDegree + 1)) + 1);
+    for (auto &x : c)
+        x = static_cast<GfElem>(rng.below(256));
+    return Gf256Poly(std::move(c));
+}
+
+TEST(Gf256Poly, ZeroAndConstant)
+{
+    Gf256Poly z;
+    EXPECT_TRUE(z.zero());
+    EXPECT_EQ(z.degree(), -1);
+    EXPECT_EQ(z.eval(17), 0);
+
+    const auto c = Gf256Poly::constant(5);
+    EXPECT_EQ(c.degree(), 0);
+    EXPECT_EQ(c.eval(200), 5);
+
+    EXPECT_TRUE(Gf256Poly::constant(0).zero());
+}
+
+TEST(Gf256Poly, NormalizationDropsLeadingZeros)
+{
+    Gf256Poly p({1, 2, 0, 0});
+    EXPECT_EQ(p.degree(), 1);
+    EXPECT_EQ(p[0], 1);
+    EXPECT_EQ(p[1], 2);
+    EXPECT_EQ(p[5], 0);
+}
+
+TEST(Gf256Poly, EvalHorner)
+{
+    // p(x) = 3 + 2x + x^2 over GF(256): p(1) = 3^2^1 = 0.
+    Gf256Poly p({3, 2, 1});
+    EXPECT_EQ(p.eval(0), 3);
+    EXPECT_EQ(p.eval(1), 3 ^ 2 ^ 1);
+}
+
+TEST(Gf256Poly, AdditionIsCharacteristic2)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        const auto p = randomPoly(rng, 10);
+        EXPECT_TRUE((p + p).zero());
+    }
+}
+
+TEST(Gf256Poly, MultiplicationEvalHomomorphism)
+{
+    Rng rng(32);
+    for (int i = 0; i < 300; ++i) {
+        const auto p = randomPoly(rng, 8);
+        const auto q = randomPoly(rng, 8);
+        const GfElem x = static_cast<GfElem>(rng.below(256));
+        EXPECT_EQ((p * q).eval(x), Gf256::mul(p.eval(x), q.eval(x)));
+        EXPECT_EQ((p + q).eval(x), Gf256::add(p.eval(x), q.eval(x)));
+    }
+}
+
+TEST(Gf256Poly, ScaleAndShift)
+{
+    Gf256Poly p({1, 1});
+    const auto s = p.scale(3);
+    EXPECT_EQ(s[0], 3);
+    EXPECT_EQ(s[1], 3);
+    const auto sh = p.shift(2);
+    EXPECT_EQ(sh.degree(), 3);
+    EXPECT_EQ(sh[0], 0);
+    EXPECT_EQ(sh[2], 1);
+    EXPECT_EQ(sh[3], 1);
+}
+
+TEST(Gf256Poly, ModProducesRemainderIdentity)
+{
+    // For random p and divisor d: p mod d has degree < deg d, and
+    // p + (p mod d) is divisible by d (checked via evaluation at d's
+    // roots when d = rsGenerator, whose roots are known).
+    const auto g = Gf256Poly::rsGenerator(6, 1);
+    Rng rng(33);
+    for (int i = 0; i < 200; ++i) {
+        const auto p = randomPoly(rng, 40);
+        const auto r = p.mod(g);
+        EXPECT_LT(r.degree(), g.degree());
+        const auto sum = p + r;  // subtraction == addition
+        for (unsigned j = 1; j <= 6; ++j)
+            EXPECT_EQ(sum.eval(Gf256::alphaPow(static_cast<int>(j))), 0);
+    }
+}
+
+TEST(Gf256Poly, DerivativeChar2)
+{
+    // d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+    Gf256Poly p({7, 9, 11, 13});
+    const auto d = p.derivative();
+    EXPECT_EQ(d.degree(), 2);
+    EXPECT_EQ(d[0], 9);
+    EXPECT_EQ(d[1], 0);
+    EXPECT_EQ(d[2], 13);
+}
+
+TEST(Gf256Poly, RsGeneratorRootsAndDegree)
+{
+    for (unsigned nroots : {2u, 8u, 16u}) {
+        const auto g = Gf256Poly::rsGenerator(nroots, 1);
+        EXPECT_EQ(g.degree(), static_cast<int>(nroots));
+        // Monic.
+        EXPECT_EQ(g[nroots], 1);
+        // Roots are alpha^1 .. alpha^nroots.
+        for (unsigned i = 1; i <= nroots; ++i)
+            EXPECT_EQ(g.eval(Gf256::alphaPow(static_cast<int>(i))), 0);
+        // alpha^0 is not a root when fcr = 1.
+        EXPECT_NE(g.eval(1), 0);
+    }
+}
+
+TEST(Gf256Poly, TruncateKeepsLowOrderTerms)
+{
+    Gf256Poly p({1, 2, 3, 4, 5});
+    const auto t = p.truncate(3);
+    EXPECT_EQ(t.degree(), 2);
+    EXPECT_EQ(t[2], 3);
+    EXPECT_EQ(p.truncate(10), p);
+    EXPECT_TRUE(p.truncate(0).zero());
+}
+
+TEST(Gf256Poly, MonomialConstruction)
+{
+    const auto m = Gf256Poly::monomial(5, 3);
+    EXPECT_EQ(m.degree(), 3);
+    EXPECT_EQ(m[3], 5);
+    EXPECT_EQ(m[0], 0);
+}
+
+} // namespace
+} // namespace aiecc

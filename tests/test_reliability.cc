@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the system-reliability model: Equation 1 arithmetic, the
+ * Figure 9a centroids, MTTF conversion, the paper's headline sanity
+ * numbers, and the clustering substrate.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "reliability/cluster.hh"
+#include "reliability/fit.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Centroids, MatchFigure9a)
+{
+    const auto cs = paperCentroids();
+    ASSERT_EQ(cs.size(), 4u);
+    EXPECT_EQ(cs[0].apps, 33u);
+    EXPECT_DOUBLE_EQ(cs[0].dataBwFrac, 0.0050);
+    EXPECT_DOUBLE_EQ(cs[2].rates.pre, 116.0e6);
+    EXPECT_DOUBLE_EQ(cs[3].rates.rd, 23.6e6);
+    // The outlier is read-dominated.
+    EXPECT_GT(cs[3].rates.rd / cs[3].rates.wr, 100.0);
+}
+
+TEST(Fit, EquationOneArithmetic)
+{
+    // Hand-computed single-term check: one command type at 1e6
+    // cmds/sec, a per-pin undetected-SDC sum of 2.0, BER 1e-20:
+    // FIT = 1e-20 * 1e6 * 2 * 3.6e12 = 0.072 per 1e9 device-hours.
+    HarmProbs probs;
+    probs.perPattern[0].sdcPins = 2.0;
+    CommandRates rates;
+    rates.actWr = 1e6;
+    const auto fit = computeFit(1e-20, rates, probs);
+    EXPECT_NEAR(fit.sdcFit, 0.072, 1e-12);
+    EXPECT_DOUBLE_EQ(fit.mdcFit, 0.0);
+}
+
+TEST(Fit, AllPinTermAttributedToClock)
+{
+    HarmProbs probs;
+    probs.perPattern[3].sdcAllPin = 0.5; // RD pattern, CK noise
+    CommandRates rates;
+    rates.rd = 2e6;
+    const auto fit = computeFit(1e-20, rates, probs);
+    EXPECT_NEAR(fit.sdcFit, 1e-20 * 2e6 * 0.5 * 3.6e12, 1e-12);
+}
+
+TEST(Fit, PaperHeadlineUnprotectedFit)
+{
+    // §V-C: 1e-16 BER corresponds to ~2.8e6 unprotected FIT with the
+    // high-bandwidth centroid (2.8 FIT at 1e-22).  With all harm
+    // probabilities near 1 and 27+1 signals this is an upper bound;
+    // the measured numbers land within a small factor.
+    HarmProbs worstCase;
+    for (auto &pp : worstCase.perPattern) {
+        pp.sdcPins = 27.0 * 0.8;
+        pp.sdcAllPin = 0.8;
+    }
+    const auto high = paperCentroids()[2];
+    const auto fit = computeFit(1e-22, high.rates, worstCase);
+    EXPECT_GT(fit.sdcFit, 1.0);
+    EXPECT_LT(fit.sdcFit, 10.0);
+}
+
+TEST(Fit, MttfMatchesPaperScale)
+{
+    // §V-C: 2.8 FIT_CCCA => 3.4e6 system FIT and a 12-day MTTF on
+    // 1.2M devices.
+    const double hours = mttfHours(2.8, 1.2e6);
+    EXPECT_NEAR(hours / 24.0, 12.4, 0.5);
+    EXPECT_EQ(formatDuration(hours), "12 days");
+}
+
+TEST(Fit, MttfScalesInverselyWithBer)
+{
+    HarmProbs probs;
+    probs.perPattern[0].sdcPins = 1.0;
+    CommandRates rates;
+    rates.actWr = 1e6;
+    const auto fitLo = computeFit(1e-22, rates, probs);
+    const auto fitHi = computeFit(1e-20, rates, probs);
+    EXPECT_NEAR(fitHi.sdcFit / fitLo.sdcFit, 100.0, 1e-6);
+}
+
+TEST(Fit, ResolutionFloorMatchesOneEventPerCell)
+{
+    // With N all-pin samples, the smallest nonzero probability is
+    // 1/N; the floor is Eq.1 evaluated at exactly that.
+    CommandRates rates;
+    rates.rd = 1e6;
+    rates.wr = 2e6;
+    const double floor = fitResolutionFloor(1e-20, rates, 50);
+    HarmProbs one;
+    for (auto &pp : one.perPattern)
+        pp.sdcAllPin = 1.0 / 50;
+    EXPECT_DOUBLE_EQ(floor, computeFit(1e-20, rates, one).sdcFit);
+    EXPECT_DOUBLE_EQ(fitResolutionFloor(1e-20, rates, 0), 0.0);
+}
+
+TEST(Fit, FormatDurationBands)
+{
+    EXPECT_EQ(formatDuration(0.5), "30 minutes");
+    EXPECT_EQ(formatDuration(3.0), "3 hours");
+    EXPECT_EQ(formatDuration(26.0), "26 hours");
+    EXPECT_EQ(formatDuration(24.0 * 13), "13 days");
+    EXPECT_EQ(formatDuration(24.0 * 30.44 * 4), "4 months");
+    EXPECT_EQ(formatDuration(24.0 * 365.25 * 768), "768 years");
+    EXPECT_EQ(formatDuration(INFINITY), "inf");
+}
+
+TEST(Fit, ZeroFitIsInfiniteMttf)
+{
+    EXPECT_TRUE(std::isinf(mttfHours(0.0, 1.2e6)));
+}
+
+TEST(Cluster, SeparatesObviousGroups)
+{
+    // Two tight groups in 2-D must split cleanly.
+    std::vector<std::vector<double>> pts = {
+        {0.0, 0.0}, {0.1, 0.0}, {0.0, 0.1},
+        {5.0, 5.0}, {5.1, 5.0}, {5.0, 5.1},
+    };
+    const auto c = hierarchicalCluster(pts, 2);
+    ASSERT_EQ(c.numClusters(), 2u);
+    for (const auto &cluster : c.members) {
+        ASSERT_EQ(cluster.size(), 3u);
+        const bool lowGroup = cluster[0] < 3;
+        for (size_t i : cluster)
+            EXPECT_EQ(i < 3, lowGroup);
+    }
+}
+
+TEST(Cluster, SingletonAndFullK)
+{
+    std::vector<std::vector<double>> pts = {{0.0}, {1.0}, {2.0}};
+    const auto one = hierarchicalCluster(pts, 1);
+    EXPECT_EQ(one.numClusters(), 1u);
+    EXPECT_EQ(one.members[0].size(), 3u);
+    const auto three = hierarchicalCluster(pts, 3);
+    EXPECT_EQ(three.numClusters(), 3u);
+}
+
+TEST(Cluster, MedianMemberIsNearestCentroid)
+{
+    std::vector<std::vector<double>> pts = {
+        {0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5}, // centroid ~ (0.5, 0.5)
+        {10.0, 10.0},
+    };
+    const auto c = hierarchicalCluster(pts, 2);
+    for (size_t k = 0; k < c.numClusters(); ++k) {
+        if (c.members[k].size() == 3) {
+            EXPECT_EQ(c.medianMember(k, pts), 2u);
+        }
+    }
+}
+
+TEST(Cluster, NormalizationMakesScalesComparable)
+{
+    // Dimension 2 has a huge scale; without normalization it would
+    // dominate and split {a,b} apart.  a and b agree there and differ
+    // slightly in dim 1; c differs hugely in dim 1.
+    std::vector<std::vector<double>> pts = {
+        {0.00, 1e6}, {0.05, 1e6}, {1.00, 1e6 + 1},
+    };
+    const auto c = hierarchicalCluster(pts, 2);
+    // The singleton must be index 2.
+    for (const auto &cluster : c.members) {
+        if (cluster.size() == 1) {
+            EXPECT_EQ(cluster[0], 2u);
+        }
+    }
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG: reproducibility, range
+ * constraints, and rough distribution sanity.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(4);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t v = rng.range(10, 12);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 12u);
+        sawLo |= v == 10;
+        sawHi |= v == 12;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRate)
+{
+    Rng rng(6);
+    int hits = 0;
+    const int trials = 50000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, SampleDistinct)
+{
+    Rng rng(7);
+    for (int rep = 0; rep < 50; ++rep) {
+        const auto s = rng.sample(27, 2);
+        ASSERT_EQ(s.size(), 2u);
+        EXPECT_NE(s[0], s[1]);
+        EXPECT_LT(s[0], 27u);
+        EXPECT_LT(s[1], 27u);
+    }
+}
+
+TEST(Rng, SampleFullPopulation)
+{
+    Rng rng(8);
+    const auto s = rng.sample(10, 10);
+    std::set<unsigned> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    EXPECT_EQ(*uniq.begin(), 0u);
+    EXPECT_EQ(*uniq.rbegin(), 9u);
+}
+
+TEST(Rng, SampleCoversAllPairs)
+{
+    // Over many draws of 2-of-5, every unordered pair should appear.
+    Rng rng(9);
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (int i = 0; i < 2000; ++i) {
+        auto s = rng.sample(5, 2);
+        std::sort(s.begin(), s.end());
+        seen.emplace(s[0], s[1]);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit and property tests for the shortened Reed-Solomon codec,
+ * parameterized over the three code geometries used by the chipkill
+ * organizations in this repository.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rs/rs_code.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+std::vector<GfElem>
+randomMessage(Rng &rng, unsigned k)
+{
+    std::vector<GfElem> m(k);
+    for (auto &s : m)
+        s = static_cast<GfElem>(rng.below(256));
+    return m;
+}
+
+TEST(RsCodec, EncodeProducesCodeword)
+{
+    RsCodec rs(72, 64);
+    Rng rng(41);
+    for (int i = 0; i < 50; ++i) {
+        const auto cw = rs.encode(randomMessage(rng, 64));
+        EXPECT_EQ(cw.size(), 72u);
+        EXPECT_TRUE(rs.isCodeword(cw));
+    }
+}
+
+TEST(RsCodec, EncodeIsSystematic)
+{
+    RsCodec rs(18, 16);
+    Rng rng(42);
+    const auto m = randomMessage(rng, 16);
+    const auto cw = rs.encode(m);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(cw[i], m[i]);
+}
+
+TEST(RsCodec, DecodeCleanWord)
+{
+    RsCodec rs(18, 16);
+    Rng rng(43);
+    const auto cw = rs.encode(randomMessage(rng, 16));
+    const auto res = rs.decode(cw);
+    EXPECT_EQ(res.status, RsCodec::Status::Ok);
+    EXPECT_EQ(res.codeword, cw);
+    EXPECT_TRUE(res.positions.empty());
+}
+
+/** Geometry parameter: (n, k). */
+class RsGeometry : public ::testing::TestWithParam<std::pair<unsigned,
+                                                             unsigned>>
+{
+};
+
+TEST_P(RsGeometry, CorrectsUpToTErrors)
+{
+    const auto [n, k] = GetParam();
+    RsCodec rs(n, k);
+    Rng rng(44 + n);
+    for (unsigned nerr = 1; nerr <= rs.t(); ++nerr) {
+        for (int rep = 0; rep < 40; ++rep) {
+            const auto cw = rs.encode(randomMessage(rng, k));
+            auto rx = cw;
+            const auto posns = rng.sample(n, nerr);
+            for (unsigned p : posns)
+                rx[p] ^= static_cast<GfElem>(rng.range(1, 255));
+            const auto res = rs.decode(rx);
+            ASSERT_EQ(res.status, RsCodec::Status::Corrected)
+                << "n=" << n << " errors=" << nerr;
+            EXPECT_EQ(res.codeword, cw);
+            EXPECT_EQ(res.positions.size(), nerr);
+        }
+    }
+}
+
+TEST_P(RsGeometry, DetectsTPlus1Errors)
+{
+    // t+1 random errors must never be "corrected" into the original
+    // word; they are either flagged uncorrectable or (rarely) alias.
+    const auto [n, k] = GetParam();
+    RsCodec rs(n, k);
+    Rng rng(45 + n);
+    int flagged = 0, aliased = 0;
+    const int reps = 300;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto cw = rs.encode(randomMessage(rng, k));
+        auto rx = cw;
+        for (unsigned p : rng.sample(n, rs.t() + 1))
+            rx[p] ^= static_cast<GfElem>(rng.range(1, 255));
+        const auto res = rs.decode(rx);
+        if (res.status == RsCodec::Status::Uncorrectable) {
+            ++flagged;
+        } else {
+            // If decoded, it must be a valid codeword but cannot be
+            // the transmitted one (distance argument).
+            EXPECT_TRUE(rs.isCodeword(res.codeword));
+            EXPECT_NE(res.codeword, cw);
+            ++aliased;
+        }
+    }
+    // Miscorrection of random (t+1)-error patterns is rare.
+    EXPECT_GT(flagged, reps * 9 / 10);
+    (void)aliased;
+}
+
+TEST_P(RsGeometry, CorrectsErasuresUpToNroots)
+{
+    const auto [n, k] = GetParam();
+    RsCodec rs(n, k);
+    Rng rng(46 + n);
+    for (unsigned ners = 1; ners <= rs.nroots(); ++ners) {
+        for (int rep = 0; rep < 20; ++rep) {
+            const auto cw = rs.encode(randomMessage(rng, k));
+            auto rx = cw;
+            const auto posns = rng.sample(n, ners);
+            for (unsigned p : posns)
+                rx[p] ^= static_cast<GfElem>(rng.below(256)); // may be 0
+            const auto res =
+                rs.decode(rx, std::vector<unsigned>(posns.begin(),
+                                                    posns.end()));
+            ASSERT_NE(res.status, RsCodec::Status::Uncorrectable)
+                << "n=" << n << " erasures=" << ners;
+            EXPECT_EQ(res.codeword, cw);
+        }
+    }
+}
+
+TEST_P(RsGeometry, CorrectsMixedErrorsAndErasures)
+{
+    // 2 * errors + erasures <= nroots is correctable.
+    const auto [n, k] = GetParam();
+    RsCodec rs(n, k);
+    Rng rng(47 + n);
+    for (unsigned ners = 0; ners <= rs.nroots(); ++ners) {
+        const unsigned maxErr = (rs.nroots() - ners) / 2;
+        for (unsigned nerr = 0; nerr <= maxErr; ++nerr) {
+            if (ners + nerr == 0 || ners + nerr > n)
+                continue;
+            const auto cw = rs.encode(randomMessage(rng, k));
+            auto rx = cw;
+            const auto posns = rng.sample(n, ners + nerr);
+            std::vector<unsigned> erasures(posns.begin(),
+                                           posns.begin() + ners);
+            for (unsigned i = 0; i < posns.size(); ++i) {
+                // Erasure positions may hold anything; error positions
+                // must actually differ.
+                const GfElem delta =
+                    i < ners ? static_cast<GfElem>(rng.below(256))
+                             : static_cast<GfElem>(rng.range(1, 255));
+                rx[posns[i]] ^= delta;
+            }
+            const auto res = rs.decode(rx, erasures);
+            ASSERT_NE(res.status, RsCodec::Status::Uncorrectable)
+                << "n=" << n << " ers=" << ners << " err=" << nerr;
+            EXPECT_EQ(res.codeword, cw);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipkillGeometries, RsGeometry,
+    ::testing::Values(std::pair<unsigned, unsigned>{18, 16},   // AMD
+                      std::pair<unsigned, unsigned>{19, 17},   // AMD eDECC
+                      std::pair<unsigned, unsigned>{72, 64},   // QPC Bamboo
+                      std::pair<unsigned, unsigned>{76, 68},   // QPC eDECC
+                      std::pair<unsigned, unsigned>{255, 247}));
+
+TEST(RsCodec, ShorteningConsistency)
+{
+    // A shortened codeword zero-extended to full length must be a
+    // codeword of the full-length code.
+    RsCodec shortCode(72, 64);
+    RsCodec fullCode(255, 247);
+    Rng rng(48);
+    const auto m = randomMessage(rng, 64);
+    const auto cw = shortCode.encode(m);
+    std::vector<GfElem> full(255 - 72, 0);
+    full.insert(full.end(), cw.begin(), cw.end());
+    EXPECT_TRUE(fullCode.isCodeword(full));
+}
+
+TEST(RsCodec, TooManyErasuresFlagged)
+{
+    RsCodec rs(18, 16);
+    Rng rng(49);
+    const auto cw = rs.encode(randomMessage(rng, 16));
+    auto rx = cw;
+    rx[0] ^= 1;
+    std::vector<unsigned> erasures{0, 1, 2};  // nroots() == 2
+    EXPECT_EQ(rs.decode(rx, erasures).status,
+              RsCodec::Status::Uncorrectable);
+}
+
+TEST(RsCodec, SingleSymbolCodeDistance)
+{
+    // RS(18,16) has distance 3: every single-symbol error lands at
+    // distance >= 2 from any other codeword, so correction is exact.
+    RsCodec rs(18, 16);
+    Rng rng(50);
+    const auto cw = rs.encode(randomMessage(rng, 16));
+    for (unsigned pos = 0; pos < 18; ++pos) {
+        auto rx = cw;
+        rx[pos] ^= 0x5A;
+        const auto res = rs.decode(rx);
+        ASSERT_EQ(res.status, RsCodec::Status::Corrected);
+        EXPECT_EQ(res.codeword, cw);
+        ASSERT_EQ(res.positions.size(), 1u);
+        EXPECT_EQ(res.positions[0], pos);
+    }
+}
+
+TEST(RsCodec, ReportsCorrectErrorPositions)
+{
+    RsCodec rs(76, 68);
+    Rng rng(51);
+    for (int rep = 0; rep < 50; ++rep) {
+        const auto cw = rs.encode(randomMessage(rng, 68));
+        auto rx = cw;
+        auto posns = rng.sample(76, 4);
+        for (unsigned p : posns)
+            rx[p] ^= static_cast<GfElem>(rng.range(1, 255));
+        auto res = rs.decode(rx);
+        ASSERT_EQ(res.status, RsCodec::Status::Corrected);
+        std::sort(posns.begin(), posns.end());
+        auto got = res.positions;
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(std::vector<unsigned>(posns.begin(), posns.end()), got);
+    }
+}
+
+} // namespace
+} // namespace aiecc

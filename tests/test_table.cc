@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the TextTable formatter used by benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"long-name", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"x"});
+    EXPECT_NO_THROW({ auto s = t.str(); (void)s; });
+}
+
+TEST(TextTable, RowsWiderThanHeader)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"x", "y", "z"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("z"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.0), "1");
+    EXPECT_EQ(TextTable::num(0.5), "0.5");
+    EXPECT_EQ(TextTable::num(1234567.0, 3), "1.23e+06");
+}
+
+TEST(TextTable, PctFormatting)
+{
+    EXPECT_EQ(TextTable::pct(0.0), "0%");
+    EXPECT_EQ(TextTable::pct(1.0), "100%");
+    EXPECT_EQ(TextTable::pct(0.063), "6.3%");
+    EXPECT_EQ(TextTable::pct(0.0014), "0.14%");
+    // Floor reporting for Monte-Carlo zero cells.
+    EXPECT_EQ(TextTable::pct(1e-10, 1e-8), "<1e-06%");
+}
+
+TEST(TextTable, SeparatorInsertsRule)
+{
+    TextTable t;
+    t.header({"h"});
+    t.row({"1"});
+    t.separator();
+    t.row({"2"});
+    const std::string s = t.str();
+    // Two rules: one under the header, one between rows.
+    size_t first = s.find("---");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(s.find("---", first + 3), std::string::npos);
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for trace generation, noisy replay, and on-demand scrubbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Trace, GenerationIsDeterministicAndInBounds)
+{
+    WorkloadParams p{"t", 0.1, 0.7, 0.5, 0, 5};
+    const auto a = generateTrace(p, 500);
+    const auto b = generateTrace(p, 500);
+    ASSERT_EQ(a.size(), 500u);
+    Geometry geom;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].write, b[i].write);
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_LT(a[i].addr.bg, geom.numBankGroups());
+        EXPECT_LT(a[i].addr.ba, geom.banksPerGroup());
+    }
+}
+
+TEST(Trace, ReadWriteMixFollowsParams)
+{
+    WorkloadParams p{"t", 0.1, 0.8, 0.5, 0, 6};
+    const auto trace = generateTrace(p, 4000);
+    unsigned writes = 0;
+    for (const auto &rec : trace)
+        writes += rec.write;
+    EXPECT_NEAR(static_cast<double>(writes) / trace.size(), 0.2, 0.03);
+}
+
+TEST(Trace, CleanReplayHasNoEvents)
+{
+    StackConfig config;
+    config.mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    ProtectionStack stack(config);
+    WorkloadParams p{"t", 0.1, 0.7, 0.5, 0, 7};
+    const auto trace = generateTrace(p, 300);
+    ReplayConfig rc;
+    rc.edgeErrorRate = 0.0;
+    const auto report = replayTrace(stack, trace, rc);
+    EXPECT_EQ(report.accesses, 300u);
+    EXPECT_EQ(report.injectedErrors, 0u);
+    EXPECT_EQ(report.detections, 0u);
+    EXPECT_EQ(report.corruptReads, 0u);
+    EXPECT_EQ(report.retries, 0u);
+}
+
+TEST(Trace, NoisyReplayAieccNeverCorruptsSilently)
+{
+    StackConfig config;
+    config.mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    ProtectionStack stack(config);
+    WorkloadParams p{"t", 0.1, 0.7, 0.5, 0, 8};
+    const auto trace = generateTrace(p, 600);
+    ReplayConfig rc;
+    rc.edgeErrorRate = 3e-3;
+    const auto report = replayTrace(stack, trace, rc);
+    EXPECT_GT(report.injectedErrors, 0u);
+    EXPECT_GT(report.detections, 0u);
+    EXPECT_EQ(report.corruptReads, 0u);
+}
+
+TEST(Trace, NoisyReplayUnprotectedCorrupts)
+{
+    StackConfig config;
+    config.mech = Mechanisms::forLevel(ProtectionLevel::None);
+    ProtectionStack stack(config);
+    WorkloadParams p{"t", 0.1, 0.7, 0.5, 0, 9};
+    const auto trace = generateTrace(p, 2000);
+    ReplayConfig rc;
+    rc.edgeErrorRate = 1e-2;
+    const auto report = replayTrace(stack, trace, rc);
+    EXPECT_GT(report.injectedErrors, 0u);
+    EXPECT_EQ(report.detections, 0u);
+    EXPECT_GT(report.corruptReads, 0u);
+}
+
+TEST(Scrub, CorrectedReadIsWrittenBack)
+{
+    StackConfig config;
+    config.mech = Mechanisms::forLevel(ProtectionLevel::Ddr4EDecc);
+    config.scrubOnCorrection = true;
+    ProtectionStack stack(config);
+
+    Rng rng(0x5C2B);
+    BitVec data(Burst::dataBits);
+    for (size_t i = 0; i < data.size(); i += 64)
+        data.setField(i, 64, rng.next());
+    const MtbAddress addr{0, 0, 0, 3, 1};
+    stack.write(addr, data);
+
+    // Plant a transient storage flip behind the stack's back.
+    Burst stored = stack.rank().peek(addr);
+    stored.setBit(10, 3, !stored.getBit(10, 3));
+    stack.rank().poke(addr, stored);
+
+    // First read corrects and scrubs.
+    const auto out1 = stack.read(addr);
+    EXPECT_TRUE(out1.corrected);
+    EXPECT_EQ(out1.data, data);
+    EXPECT_EQ(stack.scrubCount(), 1u);
+
+    // Storage is clean again: the next read is pristine.
+    stack.clearDetections();
+    const auto out2 = stack.read(addr);
+    EXPECT_FALSE(out2.detected);
+    EXPECT_EQ(out2.data, data);
+}
+
+TEST(Scrub, DisabledByDefault)
+{
+    StackConfig config;
+    config.mech = Mechanisms::forLevel(ProtectionLevel::Ddr4EDecc);
+    ProtectionStack stack(config);
+    Rng rng(0x5C2C);
+    BitVec data(Burst::dataBits);
+    for (size_t i = 0; i < data.size(); i += 64)
+        data.setField(i, 64, rng.next());
+    const MtbAddress addr{0, 0, 0, 3, 1};
+    stack.write(addr, data);
+    Burst stored = stack.rank().peek(addr);
+    stored.setBit(10, 3, !stored.getBit(10, 3));
+    stack.rank().poke(addr, stored);
+
+    stack.read(addr);
+    EXPECT_EQ(stack.scrubCount(), 0u);
+    // Without scrubbing the flip persists in the array.
+    const auto again = stack.read(addr);
+    EXPECT_TRUE(again.corrected);
+}
+
+TEST(Scrub, AddressErrorsAreNotScrubbed)
+{
+    // Scrubbing data fetched from the wrong location would clobber
+    // that location; the stack must skip address-error corrections.
+    StackConfig config;
+    config.mech = Mechanisms::forLevel(ProtectionLevel::Ddr4EDecc);
+    config.scrubOnCorrection = true;
+    ProtectionStack stack(config);
+    Rng rng(0x5C2D);
+    BitVec dataA(Burst::dataBits), dataB(Burst::dataBits);
+    for (size_t i = 0; i < dataA.size(); i += 64) {
+        dataA.setField(i, 64, rng.next());
+        dataB.setField(i, 64, rng.next());
+    }
+    const MtbAddress a{0, 0, 0, 3, 1};
+    const MtbAddress b{0, 0, 0, 3, 1 ^ 3};
+    stack.write(a, dataA);
+    stack.write(b, dataB);
+
+    const uint64_t next = stack.controller().commandsIssued();
+    stack.setPinCorruptor([next](uint64_t idx, PinWord &pins) {
+        if (idx == next) {
+            pins.flip(Pin::A3);
+            pins.flip(Pin::A4);
+        }
+    });
+    stack.read(a); // fetches b's block; eDECC flags the address
+    stack.setPinCorruptor({});
+    EXPECT_EQ(stack.scrubCount(), 0u);
+    // b is untouched.
+    stack.clearDetections();
+    const auto outB = stack.read(b);
+    EXPECT_EQ(outB.data, dataB);
+    EXPECT_FALSE(outB.detected);
+}
+
+} // namespace
+} // namespace aiecc

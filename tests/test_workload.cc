@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and characterizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/cluster.hh"
+#include "workload/workload.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Workload, RatesScaleWithBandwidth)
+{
+    WorkloadParams lo{"lo", 0.01, 0.67, 0.6, 50000, 1};
+    WorkloadParams hi{"hi", 0.20, 0.67, 0.6, 50000, 1};
+    const auto cLo = characterize(lo);
+    const auto cHi = characterize(hi);
+    // Same command mix, 20x the rate.
+    EXPECT_NEAR(cHi.rates.rd / cLo.rates.rd, 20.0, 0.01);
+    EXPECT_NEAR(cHi.rates.total() / cLo.rates.total(), 20.0, 0.01);
+}
+
+TEST(Workload, ReadFractionControlsMix)
+{
+    WorkloadParams p{"r", 0.1, 0.9, 0.6, 100000, 2};
+    const auto c = characterize(p);
+    const double readFrac =
+        c.rates.rd / (c.rates.rd + c.rates.wr);
+    EXPECT_NEAR(readFrac, 0.9, 0.02);
+}
+
+TEST(Workload, LocalityControlsCasPerAct)
+{
+    WorkloadParams streaming{"s", 0.1, 0.67, 0.9, 100000, 3};
+    WorkloadParams random{"r", 0.1, 0.67, 0.05, 100000, 3};
+    const auto cs = characterize(streaming);
+    const auto cr = characterize(random);
+    EXPECT_GT(cs.features.casPerAct, 5.0);
+    EXPECT_LT(cr.features.casPerAct, 1.5);
+    // Poor locality issues many more ACT/PRE per access.
+    EXPECT_GT(cr.rates.actRd + cr.rates.actWr,
+              cs.rates.actRd + cs.rates.actWr);
+}
+
+TEST(Workload, PreNeverExceedsAct)
+{
+    // Every PRE (in the open-page model) closes a previously
+    // activated row.
+    for (const auto &params : syntheticSuite()) {
+        const auto c = characterize(params);
+        EXPECT_LE(c.rates.pre,
+                  c.rates.actRd + c.rates.actWr + 1e-9)
+            << params.name;
+    }
+}
+
+TEST(Workload, SuiteSpansFeatureSpace)
+{
+    const auto suite = syntheticSuite();
+    ASSERT_GE(suite.size(), 12u);
+    double minUtil = 1, maxUtil = 0, maxRw = 0;
+    for (const auto &params : suite) {
+        const auto c = characterize(params);
+        minUtil = std::min(minUtil, c.features.dataBwUtil);
+        maxUtil = std::max(maxUtil, c.features.dataBwUtil);
+        maxRw = std::max(maxRw, c.features.readWriteRatio);
+    }
+    EXPECT_LT(minUtil, 0.01);
+    EXPECT_GT(maxUtil, 0.15);
+    EXPECT_GT(maxRw, 50.0); // the read-dominated outlier
+}
+
+TEST(Workload, ClusteringRecoversFourGroups)
+{
+    // The Figure 9a methodology applied to the synthetic suite: four
+    // clusters, with the read-dominated outlier isolated.
+    const auto suite = syntheticSuite();
+    std::vector<std::vector<double>> features;
+    std::vector<Characterization> chars;
+    for (const auto &params : suite) {
+        chars.push_back(characterize(params));
+        features.push_back(chars.back().features.vec());
+    }
+    const auto clusters = hierarchicalCluster(features, 4);
+    EXPECT_EQ(clusters.numClusters(), 4u);
+
+    // The outlier (last entry) should sit in a small cluster.
+    const size_t outlierIdx = suite.size() - 1;
+    for (size_t k = 0; k < clusters.numClusters(); ++k) {
+        for (size_t i : clusters.members[k]) {
+            if (i == outlierIdx) {
+                EXPECT_LE(clusters.members[k].size(), 3u);
+            }
+        }
+    }
+}
+
+TEST(Workload, Deterministic)
+{
+    WorkloadParams p{"d", 0.1, 0.67, 0.6, 50000, 42};
+    const auto a = characterize(p);
+    const auto b = characterize(p);
+    EXPECT_DOUBLE_EQ(a.rates.rd, b.rates.rd);
+    EXPECT_DOUBLE_EQ(a.rates.actWr, b.rates.actWr);
+}
+
+} // namespace
+} // namespace aiecc
