@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ber.dir/bench_ablation_ber.cc.o"
+  "CMakeFiles/bench_ablation_ber.dir/bench_ablation_ber.cc.o.d"
+  "bench_ablation_ber"
+  "bench_ablation_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

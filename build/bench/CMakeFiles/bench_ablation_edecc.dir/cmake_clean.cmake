@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_edecc.dir/bench_ablation_edecc.cc.o"
+  "CMakeFiles/bench_ablation_edecc.dir/bench_ablation_edecc.cc.o.d"
+  "bench_ablation_edecc"
+  "bench_ablation_edecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_edecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_components.cc" "bench/CMakeFiles/bench_fig8_components.dir/bench_fig8_components.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_components.dir/bench_fig8_components.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reliability/CMakeFiles/aiecc_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aiecc_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/aiecc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/trends/CMakeFiles/aiecc_trends.dir/DependInfo.cmake"
+  "/root/repo/build/src/gddr5/CMakeFiles/aiecc_gddr5.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/aiecc_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/aiecc/CMakeFiles/aiecc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/aiecc_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/aiecc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/aiecc_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/aiecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/aiecc_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddr4/CMakeFiles/aiecc_ddr4.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aiecc_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aiecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_system.dir/bench_fig9_system.cc.o"
+  "CMakeFiles/bench_fig9_system.dir/bench_fig9_system.cc.o.d"
+  "bench_fig9_system"
+  "bench_fig9_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gddr5_extension.dir/bench_gddr5_extension.cc.o"
+  "CMakeFiles/bench_gddr5_extension.dir/bench_gddr5_extension.cc.o.d"
+  "bench_gddr5_extension"
+  "bench_gddr5_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gddr5_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

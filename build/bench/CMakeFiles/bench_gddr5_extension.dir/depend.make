@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gddr5_extension.
+# This may be replaced when dependencies are built.

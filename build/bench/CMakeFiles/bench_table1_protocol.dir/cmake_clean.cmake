@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_protocol.dir/bench_table1_protocol.cc.o"
+  "CMakeFiles/bench_table1_protocol.dir/bench_table1_protocol.cc.o.d"
+  "bench_table1_protocol"
+  "bench_table1_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_forensics.dir/address_forensics.cc.o"
+  "CMakeFiles/address_forensics.dir/address_forensics.cc.o.d"
+  "address_forensics"
+  "address_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ber_storm.dir/ber_storm.cc.o"
+  "CMakeFiles/ber_storm.dir/ber_storm.cc.o.d"
+  "ber_storm"
+  "ber_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ber_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

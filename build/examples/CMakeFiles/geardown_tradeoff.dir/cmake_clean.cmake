@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geardown_tradeoff.dir/geardown_tradeoff.cc.o"
+  "CMakeFiles/geardown_tradeoff.dir/geardown_tradeoff.cc.o.d"
+  "geardown_tradeoff"
+  "geardown_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geardown_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

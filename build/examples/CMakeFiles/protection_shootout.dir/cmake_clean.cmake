@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_shootout.dir/protection_shootout.cc.o"
+  "CMakeFiles/protection_shootout.dir/protection_shootout.cc.o.d"
+  "protection_shootout"
+  "protection_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("gf")
+subdirs("rs")
+subdirs("crc")
+subdirs("ddr4")
+subdirs("dram")
+subdirs("controller")
+subdirs("ecc")
+subdirs("aiecc")
+subdirs("inject")
+subdirs("workload")
+subdirs("reliability")
+subdirs("hwmodel")
+subdirs("trends")
+subdirs("gddr5")

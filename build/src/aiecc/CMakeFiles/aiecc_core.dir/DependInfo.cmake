@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aiecc/azul.cc" "src/aiecc/CMakeFiles/aiecc_core.dir/azul.cc.o" "gcc" "src/aiecc/CMakeFiles/aiecc_core.dir/azul.cc.o.d"
+  "/root/repo/src/aiecc/detection.cc" "src/aiecc/CMakeFiles/aiecc_core.dir/detection.cc.o" "gcc" "src/aiecc/CMakeFiles/aiecc_core.dir/detection.cc.o.d"
+  "/root/repo/src/aiecc/diagnosis.cc" "src/aiecc/CMakeFiles/aiecc_core.dir/diagnosis.cc.o" "gcc" "src/aiecc/CMakeFiles/aiecc_core.dir/diagnosis.cc.o.d"
+  "/root/repo/src/aiecc/edecc.cc" "src/aiecc/CMakeFiles/aiecc_core.dir/edecc.cc.o" "gcc" "src/aiecc/CMakeFiles/aiecc_core.dir/edecc.cc.o.d"
+  "/root/repo/src/aiecc/edecc_transform.cc" "src/aiecc/CMakeFiles/aiecc_core.dir/edecc_transform.cc.o" "gcc" "src/aiecc/CMakeFiles/aiecc_core.dir/edecc_transform.cc.o.d"
+  "/root/repo/src/aiecc/mechanisms.cc" "src/aiecc/CMakeFiles/aiecc_core.dir/mechanisms.cc.o" "gcc" "src/aiecc/CMakeFiles/aiecc_core.dir/mechanisms.cc.o.d"
+  "/root/repo/src/aiecc/stack.cc" "src/aiecc/CMakeFiles/aiecc_core.dir/stack.cc.o" "gcc" "src/aiecc/CMakeFiles/aiecc_core.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecc/CMakeFiles/aiecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/aiecc_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/aiecc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddr4/CMakeFiles/aiecc_ddr4.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/aiecc_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/aiecc_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aiecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aiecc_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_core.dir/azul.cc.o"
+  "CMakeFiles/aiecc_core.dir/azul.cc.o.d"
+  "CMakeFiles/aiecc_core.dir/detection.cc.o"
+  "CMakeFiles/aiecc_core.dir/detection.cc.o.d"
+  "CMakeFiles/aiecc_core.dir/diagnosis.cc.o"
+  "CMakeFiles/aiecc_core.dir/diagnosis.cc.o.d"
+  "CMakeFiles/aiecc_core.dir/edecc.cc.o"
+  "CMakeFiles/aiecc_core.dir/edecc.cc.o.d"
+  "CMakeFiles/aiecc_core.dir/edecc_transform.cc.o"
+  "CMakeFiles/aiecc_core.dir/edecc_transform.cc.o.d"
+  "CMakeFiles/aiecc_core.dir/mechanisms.cc.o"
+  "CMakeFiles/aiecc_core.dir/mechanisms.cc.o.d"
+  "CMakeFiles/aiecc_core.dir/stack.cc.o"
+  "CMakeFiles/aiecc_core.dir/stack.cc.o.d"
+  "libaiecc_core.a"
+  "libaiecc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

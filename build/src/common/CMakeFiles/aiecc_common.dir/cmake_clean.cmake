@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_common.dir/bitvec.cc.o"
+  "CMakeFiles/aiecc_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/aiecc_common.dir/logging.cc.o"
+  "CMakeFiles/aiecc_common.dir/logging.cc.o.d"
+  "CMakeFiles/aiecc_common.dir/rng.cc.o"
+  "CMakeFiles/aiecc_common.dir/rng.cc.o.d"
+  "CMakeFiles/aiecc_common.dir/table.cc.o"
+  "CMakeFiles/aiecc_common.dir/table.cc.o.d"
+  "libaiecc_common.a"
+  "libaiecc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

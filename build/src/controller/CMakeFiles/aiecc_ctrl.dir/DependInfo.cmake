@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/controller.cc" "src/controller/CMakeFiles/aiecc_ctrl.dir/controller.cc.o" "gcc" "src/controller/CMakeFiles/aiecc_ctrl.dir/controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/aiecc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/aiecc_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aiecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddr4/CMakeFiles/aiecc_ddr4.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aiecc_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_ctrl.dir/controller.cc.o"
+  "CMakeFiles/aiecc_ctrl.dir/controller.cc.o.d"
+  "libaiecc_ctrl.a"
+  "libaiecc_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_crc.dir/crc.cc.o"
+  "CMakeFiles/aiecc_crc.dir/crc.cc.o.d"
+  "libaiecc_crc.a"
+  "libaiecc_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

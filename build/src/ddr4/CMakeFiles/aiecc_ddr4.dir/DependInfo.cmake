@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddr4/address.cc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/address.cc.o" "gcc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/address.cc.o.d"
+  "/root/repo/src/ddr4/burst.cc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/burst.cc.o" "gcc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/burst.cc.o.d"
+  "/root/repo/src/ddr4/command.cc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/command.cc.o" "gcc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/command.cc.o.d"
+  "/root/repo/src/ddr4/pins.cc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/pins.cc.o" "gcc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/pins.cc.o.d"
+  "/root/repo/src/ddr4/timing.cc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/timing.cc.o" "gcc" "src/ddr4/CMakeFiles/aiecc_ddr4.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aiecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aiecc_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

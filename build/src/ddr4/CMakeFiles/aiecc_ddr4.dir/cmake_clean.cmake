@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_ddr4.dir/address.cc.o"
+  "CMakeFiles/aiecc_ddr4.dir/address.cc.o.d"
+  "CMakeFiles/aiecc_ddr4.dir/burst.cc.o"
+  "CMakeFiles/aiecc_ddr4.dir/burst.cc.o.d"
+  "CMakeFiles/aiecc_ddr4.dir/command.cc.o"
+  "CMakeFiles/aiecc_ddr4.dir/command.cc.o.d"
+  "CMakeFiles/aiecc_ddr4.dir/pins.cc.o"
+  "CMakeFiles/aiecc_ddr4.dir/pins.cc.o.d"
+  "CMakeFiles/aiecc_ddr4.dir/timing.cc.o"
+  "CMakeFiles/aiecc_ddr4.dir/timing.cc.o.d"
+  "libaiecc_ddr4.a"
+  "libaiecc_ddr4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_ddr4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aiecc_ddr4.
+# This may be replaced when dependencies are built.

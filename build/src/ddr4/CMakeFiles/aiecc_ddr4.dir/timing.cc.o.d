@@ -1,0 +1,3 @@
+src/ddr4/CMakeFiles/aiecc_ddr4.dir/timing.cc.o: \
+ /root/repo/src/ddr4/timing.cc /usr/include/stdc-predef.h \
+ /root/repo/src/ddr4/timing.hh

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_dram.dir/cstc.cc.o"
+  "CMakeFiles/aiecc_dram.dir/cstc.cc.o.d"
+  "CMakeFiles/aiecc_dram.dir/rank.cc.o"
+  "CMakeFiles/aiecc_dram.dir/rank.cc.o.d"
+  "libaiecc_dram.a"
+  "libaiecc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaiecc_dram.a"
+)

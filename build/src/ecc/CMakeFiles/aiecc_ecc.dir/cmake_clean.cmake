@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_ecc.dir/amd.cc.o"
+  "CMakeFiles/aiecc_ecc.dir/amd.cc.o.d"
+  "CMakeFiles/aiecc_ecc.dir/qpc.cc.o"
+  "CMakeFiles/aiecc_ecc.dir/qpc.cc.o.d"
+  "libaiecc_ecc.a"
+  "libaiecc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

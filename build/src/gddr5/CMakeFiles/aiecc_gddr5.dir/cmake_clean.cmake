@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_gddr5.dir/campaign.cc.o"
+  "CMakeFiles/aiecc_gddr5.dir/campaign.cc.o.d"
+  "CMakeFiles/aiecc_gddr5.dir/gddr5.cc.o"
+  "CMakeFiles/aiecc_gddr5.dir/gddr5.cc.o.d"
+  "CMakeFiles/aiecc_gddr5.dir/system.cc.o"
+  "CMakeFiles/aiecc_gddr5.dir/system.cc.o.d"
+  "libaiecc_gddr5.a"
+  "libaiecc_gddr5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_gddr5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_gf.dir/gf256.cc.o"
+  "CMakeFiles/aiecc_gf.dir/gf256.cc.o.d"
+  "CMakeFiles/aiecc_gf.dir/poly.cc.o"
+  "CMakeFiles/aiecc_gf.dir/poly.cc.o.d"
+  "libaiecc_gf.a"
+  "libaiecc_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_hw.dir/gate_model.cc.o"
+  "CMakeFiles/aiecc_hw.dir/gate_model.cc.o.d"
+  "libaiecc_hw.a"
+  "libaiecc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inject/campaign.cc" "src/inject/CMakeFiles/aiecc_inject.dir/campaign.cc.o" "gcc" "src/inject/CMakeFiles/aiecc_inject.dir/campaign.cc.o.d"
+  "/root/repo/src/inject/montecarlo.cc" "src/inject/CMakeFiles/aiecc_inject.dir/montecarlo.cc.o" "gcc" "src/inject/CMakeFiles/aiecc_inject.dir/montecarlo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aiecc/CMakeFiles/aiecc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aiecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/aiecc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/aiecc_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/aiecc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddr4/CMakeFiles/aiecc_ddr4.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/aiecc_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/aiecc_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/aiecc_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_inject.dir/campaign.cc.o"
+  "CMakeFiles/aiecc_inject.dir/campaign.cc.o.d"
+  "CMakeFiles/aiecc_inject.dir/montecarlo.cc.o"
+  "CMakeFiles/aiecc_inject.dir/montecarlo.cc.o.d"
+  "libaiecc_inject.a"
+  "libaiecc_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_rel.dir/cluster.cc.o"
+  "CMakeFiles/aiecc_rel.dir/cluster.cc.o.d"
+  "CMakeFiles/aiecc_rel.dir/fit.cc.o"
+  "CMakeFiles/aiecc_rel.dir/fit.cc.o.d"
+  "libaiecc_rel.a"
+  "libaiecc_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

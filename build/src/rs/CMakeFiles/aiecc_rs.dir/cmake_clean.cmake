@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_rs.dir/rs_code.cc.o"
+  "CMakeFiles/aiecc_rs.dir/rs_code.cc.o.d"
+  "libaiecc_rs.a"
+  "libaiecc_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

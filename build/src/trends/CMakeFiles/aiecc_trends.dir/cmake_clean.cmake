@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_trends.dir/trends.cc.o"
+  "CMakeFiles/aiecc_trends.dir/trends.cc.o.d"
+  "libaiecc_trends.a"
+  "libaiecc_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aiecc_wl.dir/trace.cc.o"
+  "CMakeFiles/aiecc_wl.dir/trace.cc.o.d"
+  "CMakeFiles/aiecc_wl.dir/workload.cc.o"
+  "CMakeFiles/aiecc_wl.dir/workload.cc.o.d"
+  "libaiecc_wl.a"
+  "libaiecc_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aiecc_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_command_properties.dir/test_command_properties.cc.o"
+  "CMakeFiles/test_command_properties.dir/test_command_properties.cc.o.d"
+  "test_command_properties"
+  "test_command_properties.pdb"
+  "test_command_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_command_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cstc.dir/test_cstc.cc.o"
+  "CMakeFiles/test_cstc.dir/test_cstc.cc.o.d"
+  "test_cstc"
+  "test_cstc.pdb"
+  "test_cstc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cstc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddr4_address.dir/test_ddr4_address.cc.o"
+  "CMakeFiles/test_ddr4_address.dir/test_ddr4_address.cc.o.d"
+  "test_ddr4_address"
+  "test_ddr4_address.pdb"
+  "test_ddr4_address[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddr4_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddr4_command.dir/test_ddr4_command.cc.o"
+  "CMakeFiles/test_ddr4_command.dir/test_ddr4_command.cc.o.d"
+  "test_ddr4_command"
+  "test_ddr4_command.pdb"
+  "test_ddr4_command[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddr4_command.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

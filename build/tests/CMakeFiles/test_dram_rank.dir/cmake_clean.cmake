@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_rank.dir/test_dram_rank.cc.o"
+  "CMakeFiles/test_dram_rank.dir/test_dram_rank.cc.o.d"
+  "test_dram_rank"
+  "test_dram_rank.pdb"
+  "test_dram_rank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edecc.dir/test_edecc.cc.o"
+  "CMakeFiles/test_edecc.dir/test_edecc.cc.o.d"
+  "test_edecc"
+  "test_edecc.pdb"
+  "test_edecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_stack.dir/test_fuzz_stack.cc.o"
+  "CMakeFiles/test_fuzz_stack.dir/test_fuzz_stack.cc.o.d"
+  "test_fuzz_stack"
+  "test_fuzz_stack.pdb"
+  "test_fuzz_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

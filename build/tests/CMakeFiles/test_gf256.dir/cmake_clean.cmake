@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf256.dir/test_gf256.cc.o"
+  "CMakeFiles/test_gf256.dir/test_gf256.cc.o.d"
+  "test_gf256"
+  "test_gf256.pdb"
+  "test_gf256[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

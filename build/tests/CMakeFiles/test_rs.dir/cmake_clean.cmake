@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rs.dir/test_rs.cc.o"
+  "CMakeFiles/test_rs.dir/test_rs.cc.o.d"
+  "test_rs"
+  "test_rs.pdb"
+  "test_rs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

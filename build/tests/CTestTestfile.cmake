@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bits[1]_include.cmake")
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_gf256[1]_include.cmake")
+include("/root/repo/build/tests/test_poly[1]_include.cmake")
+include("/root/repo/build/tests/test_rs[1]_include.cmake")
+include("/root/repo/build/tests/test_crc[1]_include.cmake")
+include("/root/repo/build/tests/test_ddr4_command[1]_include.cmake")
+include("/root/repo/build/tests/test_ddr4_address[1]_include.cmake")
+include("/root/repo/build/tests/test_cstc[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_rank[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_ecc[1]_include.cmake")
+include("/root/repo/build/tests/test_edecc[1]_include.cmake")
+include("/root/repo/build/tests/test_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_campaign[1]_include.cmake")
+include("/root/repo/build/tests/test_montecarlo[1]_include.cmake")
+include("/root/repo/build/tests/test_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_hwmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_command_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_gddr5[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
