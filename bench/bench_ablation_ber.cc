@@ -46,23 +46,37 @@ main(int argc, char **argv)
 
     const auto &high = paperCentroids()[2]; // high-bandwidth centroid
 
+    const char *levelNames[] = {"None", "DECC", "eDECC", "AIECC"};
+
+    struct MttfPoint
+    {
+        double ber;
+        double hours[4];
+        bool lowerBound[4];
+    };
+    std::vector<MttfPoint> sweep;
+
     TextTable t;
     t.header({"BER", "None", "DECC", "eDECC", "AIECC"});
     for (double ber = 1e-22; ber <= 1.01e-15; ber *= 10) {
         std::vector<std::string> row{TextTable::num(ber, 2)};
+        MttfPoint point{ber, {}, {}};
         for (size_t i = 0; i < probs.size(); ++i) {
             const auto fit = computeFit(ber, high.rates, probs[i]);
             double sdcFit = fit.sdcFit;
             if (sdcFit <= 0) {
                 sdcFit = fitResolutionFloor(ber, high.rates,
                                             probs[i].allPinSamples);
+                point.lowerBound[i] = true;
                 row.push_back(
                     ">" + formatDuration(mttfHours(sdcFit, fleet)));
             } else {
                 row.push_back(
                     formatDuration(mttfHours(sdcFit, fleet)));
             }
+            point.hours[i] = mttfHours(sdcFit, fleet);
         }
+        sweep.push_back(point);
         t.row(row);
     }
     std::printf("%s\n", t.str().c_str());
@@ -72,6 +86,13 @@ main(int argc, char **argv)
     TextTable m;
     m.header({"protection", "max BER for 5-year fleet MTTF",
               "headroom vs unprotected"});
+    struct BerBudget
+    {
+        double maxBer;
+        double headroom;
+        bool lowerBound;
+    };
+    std::vector<BerBudget> budgets;
     double baseline = 0;
     for (size_t i = 0; i < probs.size(); ++i) {
         const auto fitAt = computeFit(1e-20, high.rates, probs[i]);
@@ -87,12 +108,48 @@ main(int argc, char **argv)
         const double maxBer = 1e-20 * targetFit / sdcAt;
         if (i == 0)
             baseline = maxBer;
+        budgets.push_back({maxBer, maxBer / baseline, bound});
         m.row({protectionLevelName(levels[i]),
                (bound ? ">" : "") + TextTable::num(maxBer, 2),
                (bound ? ">" : "") +
                    TextTable::num(maxBer / baseline, 3) + "x"});
     }
     std::printf("%s\n", m.str().c_str());
+
+    bench::writeJsonArtifact(
+        opt, "ablation_ber", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("allpin_samples", allPinSamples);
+            w.kv("fleet_devices", fleet);
+            w.kv("target_mttf_hours", targetHours);
+            w.key("sdc_mttf_hours");
+            w.beginArray();
+            for (const auto &point : sweep) {
+                w.beginObject();
+                w.kv("ber", point.ber);
+                for (size_t i = 0; i < 4; ++i) {
+                    w.key(levelNames[i]);
+                    w.beginObject();
+                    w.kv("hours", point.hours[i]);
+                    w.kv("lower_bound", point.lowerBound[i]);
+                    w.endObject();
+                }
+                w.endObject();
+            }
+            w.endArray();
+            w.key("max_tolerable_ber");
+            w.beginObject();
+            for (size_t i = 0; i < budgets.size(); ++i) {
+                w.key(levelNames[i]);
+                w.beginObject();
+                w.kv("max_ber", budgets[i].maxBer);
+                w.kv("headroom_vs_unprotected", budgets[i].headroom);
+                w.kv("lower_bound", budgets[i].lowerBound);
+                w.endObject();
+            }
+            w.endObject();
+            w.endObject();
+        });
 
     std::printf(
         "A system holding the 5-year target with AIECC tolerates a raw "

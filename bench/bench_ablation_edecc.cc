@@ -76,12 +76,21 @@ main(int argc, char **argv)
     head.push_back("diagnosis");
     t.header(head);
 
+    struct VariantRow
+    {
+        std::string name;
+        std::vector<double> covered;
+        bool preciseDiagnosis = false;
+    };
+    std::vector<VariantRow> variantRows;
+
     for (const auto &variant : variants) {
         Mechanisms mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
         mech.ecc = variant.scheme;
         InjectionCampaign campaign(mech);
         std::vector<std::string> row{variant.name};
-        bool anyDiagnosis = false;
+        VariantRow vr;
+        vr.name = variant.name;
         for (CommandPattern pattern : allPatterns()) {
             auto stats = campaign.sweepOnePin(pattern);
             if (!quick) {
@@ -94,13 +103,15 @@ main(int argc, char **argv)
                 stats.detected += twoPin.detected;
             }
             row.push_back(TextTable::pct(stats.coveredFrac()));
+            vr.covered.push_back(stats.coveredFrac());
             // Probe one diagnostic case per pattern.
             const auto r = campaign.runTrial(
                 pattern, PinError::twoPin(Pin::A3, Pin::A4));
-            anyDiagnosis |= r.diagnosedAddress.has_value();
+            vr.preciseDiagnosis |= r.diagnosedAddress.has_value();
         }
-        row.push_back(anyDiagnosis ? "precise" : "none");
+        row.push_back(vr.preciseDiagnosis ? "precise" : "none");
         t.row(row);
+        variantRows.push_back(std::move(vr));
     }
     std::printf("%s\n", t.str().c_str());
     std::printf("Coverage is carried by the mechanism *combination*; "
@@ -118,6 +129,13 @@ main(int argc, char **argv)
               "random-wrong-address escape rate"});
     Rng rng(0xAB1A);
     const unsigned trials = quick ? 20000 : 200000;
+    struct BudgetRow
+    {
+        unsigned bits;
+        double reachBytes;
+        double escapeRate;
+    };
+    std::vector<BudgetRow> budgetRows;
     for (unsigned bits : {8u, 16u, 24u, 32u}) {
         const double reach = 64.0 * std::pow(2.0, bits); // 64B blocks
         std::string reachStr;
@@ -125,12 +143,42 @@ main(int argc, char **argv)
             reachStr = TextTable::num(reach / (1ULL << 30), 3) + " GB";
         else
             reachStr = TextTable::num(reach / (1ULL << 20), 3) + " MB";
+        const double escape =
+            truncatedAddressAliasRate(bits, trials, rng);
+        budgetRows.push_back({bits, reach, escape});
         b.row({std::to_string(bits), reachStr,
-               TextTable::pct(
-                   truncatedAddressAliasRate(bits, trials, rng),
-                   1.0 / trials)});
+               TextTable::pct(escape, 1.0 / trials)});
     }
     std::printf("%s\n", b.str().c_str());
+
+    bench::writeJsonArtifact(
+        opt, "ablation_edecc", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.key("organizations");
+            w.beginObject();
+            for (const auto &vr : variantRows) {
+                w.key(vr.name);
+                w.beginObject();
+                const auto patterns = allPatterns();
+                for (size_t i = 0; i < patterns.size(); ++i)
+                    w.kv(patternName(patterns[i]), vr.covered[i]);
+                w.kv("diagnosis",
+                     vr.preciseDiagnosis ? "precise" : "none");
+                w.endObject();
+            }
+            w.endObject();
+            w.key("address_symbol_budget");
+            w.beginArray();
+            for (const auto &br : budgetRows) {
+                w.beginObject();
+                w.kv("protected_bits", br.bits);
+                w.kv("reach_bytes", br.reachBytes);
+                w.kv("escape_rate", br.escapeRate);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        });
     std::printf("32 protected bits reach 256GB/channel with a random "
                 "wrong-address\nescape below measurement (the paper's "
                 "choice); 8 bits would alias\n~0.4%% of wrong "

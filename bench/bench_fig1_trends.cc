@@ -15,7 +15,7 @@ using namespace aiecc;
 int
 main(int argc, char **argv)
 {
-    bench::parse(argc, argv);
+    const auto opt = bench::parse(argc, argv);
     bench::banner("Figure 1a/1b: DRAM transfer rate and voltage trends");
 
     TextTable t;
@@ -43,5 +43,28 @@ main(int argc, char **argv)
     std::printf("Roughly half of DRAM power pays for reliable "
                 "transmission,\nmotivating architectural (rather than "
                 "circuit-only) CCCA protection.\n");
+
+    bench::writeJsonArtifact(
+        opt, "fig1_trends", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.key("generations");
+            w.beginArray();
+            for (const auto &g : dramGenerations()) {
+                w.beginObject();
+                w.kv("name", g.name);
+                w.kv("year", g.year);
+                w.kv("data_rate_mts", g.dataRateMTs);
+                w.kv("ccca_rate_mts", g.cccaRateMTs);
+                w.kv("vdd", g.vdd);
+                w.endObject();
+            }
+            w.endArray();
+            w.key("ddr4_power_breakdown");
+            w.beginObject();
+            for (const auto &b : ddr4PowerBreakdown())
+                w.kv(b.component, b.fraction);
+            w.endObject();
+            w.endObject();
+        });
     return 0;
 }

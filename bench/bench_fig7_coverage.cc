@@ -31,6 +31,15 @@ main(int argc, char **argv)
     const ProtectionLevel levels[] = {
         ProtectionLevel::None, ProtectionLevel::Ddr4Decc,
         ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc};
+    const char *levelNames[] = {"None", "DECC", "eDECC", "AIECC"};
+
+    // model -> pattern -> per-level stats, exactly as printed.
+    struct PatternRow
+    {
+        CommandPattern pattern;
+        CampaignStats byLevel[4];
+    };
+    std::vector<std::pair<std::string, std::vector<PatternRow>>> all;
 
     for (const char *model : {"1-pin", "2-pin", "all-pin"}) {
         if (!twoPin && std::string(model) == "2-pin")
@@ -39,11 +48,13 @@ main(int argc, char **argv)
         TextTable t;
         t.header({"pattern", "None", "DECC", "eDECC", "AIECC",
                   "AIECC SDC", "AIECC MDC"});
+        std::vector<PatternRow> rows;
         for (CommandPattern pattern : allPatterns()) {
             std::vector<std::string> row{patternName(pattern)};
-            CampaignStats aieccStats;
-            for (ProtectionLevel level : levels) {
-                InjectionCampaign camp(Mechanisms::forLevel(level));
+            PatternRow pr;
+            pr.pattern = pattern;
+            for (unsigned li = 0; li < 4; ++li) {
+                InjectionCampaign camp(Mechanisms::forLevel(levels[li]));
                 CampaignStats stats;
                 if (std::string(model) == "1-pin")
                     stats = camp.sweepOnePin(pattern);
@@ -52,15 +63,42 @@ main(int argc, char **argv)
                 else
                     stats = camp.sweepAllPin(pattern, allPinSamples);
                 row.push_back(TextTable::pct(stats.coveredFrac()));
-                if (level == ProtectionLevel::Aiecc)
-                    aieccStats = stats;
+                pr.byLevel[li] = stats;
             }
+            const CampaignStats &aieccStats = pr.byLevel[3];
             row.push_back(TextTable::pct(aieccStats.sdcFrac()));
             row.push_back(TextTable::pct(aieccStats.mdcFrac()));
             t.row(row);
+            rows.push_back(std::move(pr));
         }
         std::printf("%s\n", t.str().c_str());
+        all.emplace_back(model, std::move(rows));
     }
+
+    bench::writeJsonArtifact(
+        opt, "fig7_coverage", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("allpin_samples", allPinSamples);
+            w.kv("two_pin_swept", twoPin);
+            w.key("models");
+            w.beginObject();
+            for (const auto &[model, rows] : all) {
+                w.key(model);
+                w.beginObject();
+                for (const auto &pr : rows) {
+                    w.key(patternName(pr.pattern));
+                    w.beginObject();
+                    for (unsigned li = 0; li < 4; ++li) {
+                        w.key(levelNames[li]);
+                        pr.byLevel[li].writeJson(w);
+                    }
+                    w.endObject();
+                }
+                w.endObject();
+            }
+            w.endObject();
+            w.endObject();
+        });
 
     std::printf(
         "Paper cross-checks (Section V-A2):\n"

@@ -77,6 +77,12 @@ main(int argc, char **argv)
     bench::banner("Figure 8: coverage contribution of each AIECC "
                   "component");
 
+    // model -> component -> pattern -> covered fraction, as printed.
+    std::vector<std::pair<
+        std::string,
+        std::vector<std::pair<std::string, std::vector<double>>>>>
+        all;
+
     for (const char *model : {"1-pin", "2-pin", "all-pin"}) {
         if (!twoPin && std::string(model) == "2-pin")
             continue;
@@ -88,8 +94,10 @@ main(int argc, char **argv)
             head.push_back(patternName(pattern));
         t.header(head);
 
+        std::vector<std::pair<std::string, std::vector<double>>> rows;
         for (const auto &config : componentConfigs()) {
             std::vector<std::string> row{config.name};
+            std::vector<double> covered;
             for (CommandPattern pattern : allPatterns()) {
                 InjectionCampaign camp(config.mech);
                 CampaignStats stats;
@@ -100,11 +108,37 @@ main(int argc, char **argv)
                 else
                     stats = camp.sweepAllPin(pattern, allPinSamples);
                 row.push_back(TextTable::pct(stats.coveredFrac()));
+                covered.push_back(stats.coveredFrac());
             }
             t.row(row);
+            rows.emplace_back(config.name, std::move(covered));
         }
         std::printf("%s\n", t.str().c_str());
+        all.emplace_back(model, std::move(rows));
     }
+
+    bench::writeJsonArtifact(
+        opt, "fig8_components", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("allpin_samples", allPinSamples);
+            w.key("models");
+            w.beginObject();
+            for (const auto &[model, rows] : all) {
+                w.key(model);
+                w.beginObject();
+                for (const auto &[component, covered] : rows) {
+                    w.key(component);
+                    w.beginObject();
+                    const auto patterns = allPatterns();
+                    for (size_t i = 0; i < patterns.size(); ++i)
+                        w.kv(patternName(patterns[i]), covered[i]);
+                    w.endObject();
+                }
+                w.endObject();
+            }
+            w.endObject();
+            w.endObject();
+        });
 
     std::printf(
         "Paper cross-checks (Figure 8 discussion):\n"

@@ -154,5 +154,73 @@ main(int argc, char **argv)
         "  * DECC/eDECC buy about an order of magnitude;\n"
         "  * AIECC improves the unprotected rate by ~4 orders of "
         "magnitude\n    (paper: 768 years vs 12 days at 1e-22).\n");
+
+    const char *levelNames[] = {"None", "DECC", "eDECC", "AIECC"};
+    bench::writeJsonArtifact(
+        opt, "fig9_system", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("allpin_samples", allPinSamples);
+            w.key("centroids");
+            w.beginArray();
+            for (const auto &c : paperCentroids()) {
+                w.beginObject();
+                w.kv("name", c.name);
+                w.kv("apps", c.apps);
+                w.kv("data_bw_frac", c.dataBwFrac);
+                w.key("rates");
+                w.beginObject();
+                w.kv("act_wr", c.rates.actWr);
+                w.kv("act_rd", c.rates.actRd);
+                w.kv("wr", c.rates.wr);
+                w.kv("rd", c.rates.rd);
+                w.kv("pre", c.rates.pre);
+                w.endObject();
+                w.key("fit_at_1e-22");
+                w.beginObject();
+                for (size_t i = 0; i < probs.size(); ++i) {
+                    const auto fit =
+                        computeFit(1e-22, c.rates, probs[i]);
+                    w.key(levelNames[i]);
+                    w.beginObject();
+                    w.kv("sdc_fit", fit.sdcFit);
+                    w.kv("mdc_fit", fit.mdcFit);
+                    w.kv("fit_floor",
+                         fitResolutionFloor(1e-22, c.rates,
+                                            probs[i].allPinSamples));
+                    w.endObject();
+                }
+                w.endObject();
+                w.endObject();
+            }
+            w.endArray();
+            w.key("sdc_mttf_hours_high_bw");
+            w.beginArray();
+            const auto &high = paperCentroids()[2];
+            for (double ber : {1e-22, 1e-21, 1e-20}) {
+                w.beginObject();
+                w.kv("ber", ber);
+                for (size_t i = 0; i < probs.size(); ++i) {
+                    const auto fit = computeFit(ber, high.rates,
+                                                probs[i]);
+                    w.key(levelNames[i]);
+                    if (fit.sdcFit > 0) {
+                        w.value(mttfHours(fit.sdcFit, 1.2e6));
+                    } else {
+                        const double floor = fitResolutionFloor(
+                            ber, high.rates,
+                            probs[i].allPinSamples);
+                        // Below Monte-Carlo resolution: only a lower
+                        // bound on the MTTF is known.
+                        w.beginObject();
+                        w.kv("mttf_hours_lower_bound",
+                             mttfHours(floor, 1.2e6));
+                        w.endObject();
+                    }
+                }
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        });
     return 0;
 }

@@ -41,6 +41,14 @@ main(int argc, char **argv)
         {"AIECC-G", Protection::aiecc()},
     };
 
+    struct ProtRow
+    {
+        std::string name;
+        std::vector<double> covered;
+        unsigned harm = 0;
+    };
+    std::vector<std::pair<std::string, std::vector<ProtRow>>> all;
+
     for (const char *model : {"1-pin", "all-pin"}) {
         std::printf("---- %s errors (coverage per pattern) ----\n",
                     model);
@@ -50,23 +58,53 @@ main(int argc, char **argv)
             head.push_back(gddr5PatternName(pattern));
         head.push_back("SDC+MDC total");
         t.header(head);
+        std::vector<ProtRow> rows;
         for (const auto &config : configs) {
             Gddr5Campaign campaign(config.prot);
             std::vector<std::string> row{config.name};
-            unsigned harm = 0;
+            ProtRow pr;
+            pr.name = config.name;
             for (Pattern pattern : allGddr5Patterns()) {
                 const auto stats =
                     std::string(model) == "1-pin"
                         ? campaign.sweepOnePin(pattern)
                         : campaign.sweepAllPin(pattern, allPinSamples);
                 row.push_back(TextTable::pct(stats.coveredFrac()));
-                harm += stats.sdc + stats.mdc;
+                pr.covered.push_back(stats.coveredFrac());
+                pr.harm += stats.sdc + stats.mdc;
             }
-            row.push_back(std::to_string(harm));
+            row.push_back(std::to_string(pr.harm));
             t.row(row);
+            rows.push_back(std::move(pr));
         }
         std::printf("%s\n", t.str().c_str());
+        all.emplace_back(model, std::move(rows));
     }
+
+    bench::writeJsonArtifact(
+        opt, "gddr5_extension", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("allpin_samples", allPinSamples);
+            w.key("models");
+            w.beginObject();
+            for (const auto &[model, rows] : all) {
+                w.key(model);
+                w.beginObject();
+                for (const auto &pr : rows) {
+                    w.key(pr.name);
+                    w.beginObject();
+                    const auto patterns = allGddr5Patterns();
+                    for (size_t i = 0; i < patterns.size(); ++i)
+                        w.kv(gddr5PatternName(patterns[i]),
+                             pr.covered[i]);
+                    w.kv("sdc_mdc_total", pr.harm);
+                    w.endObject();
+                }
+                w.endObject();
+            }
+            w.endObject();
+            w.endObject();
+        });
 
     std::printf(
         "Reading the table:\n"

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "aiecc/edecc.hh"
 #include "common/rng.hh"
 #include "crc/crc.hh"
@@ -175,4 +179,33 @@ BENCHMARK(BM_CommandCodec);
 } // namespace
 } // namespace aiecc
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: accept the suite-wide --json PATH flag by translating
+ * it into google-benchmark's own JSON file output, and pass every
+ * other argument through untouched.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    std::vector<std::string> storage;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            storage.push_back(std::string("--benchmark_out=") +
+                              argv[++i]);
+            storage.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    for (auto &s : storage)
+        args.push_back(s.data());
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,7 +16,7 @@ using namespace aiecc;
 int
 main(int argc, char **argv)
 {
-    bench::parse(argc, argv);
+    const auto opt = bench::parse(argc, argv);
     bench::banner("Section V-D: AIECC hardware overheads");
 
     GateModel model;
@@ -30,6 +30,21 @@ main(int argc, char **argv)
                TextTable::num(e.paperPowerMw, 2)});
     }
     std::printf("%s\n", t.str().c_str());
+
+    bench::writeJsonArtifact(
+        opt, "overheads", [&](obs::JsonWriter &w) {
+            w.beginArray();
+            for (const auto &e : model.all()) {
+                w.beginObject();
+                w.kv("mechanism", e.name);
+                w.kv("nand2_model", e.nand2);
+                w.kv("nand2_paper", e.paperNand2);
+                w.kv("power_mw_model", e.powerMw);
+                w.kv("power_mw_paper", e.paperPowerMw);
+                w.endObject();
+            }
+            w.endArray();
+        });
 
     std::printf(
         "Model: XOR trees from the exact GF(2) matrices of each code,\n"

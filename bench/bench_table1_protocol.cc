@@ -43,7 +43,7 @@ liveRow(TextTable &t, const std::string &cmd, const std::string &state,
 int
 main(int argc, char **argv)
 {
-    bench::parse(argc, argv);
+    const auto opt = bench::parse(argc, argv);
 
     bench::banner("Figure 2: the DDR4 CCCA signal interface (28 pins)");
     TextTable pinsTable;
@@ -134,5 +134,36 @@ main(int argc, char **argv)
     tim.row({"tRTP", std::to_string(tp.tRTP)});
     tim.row({"tWR", std::to_string(tp.tWR)});
     std::printf("%s\n", tim.str().c_str());
+
+    bench::writeJsonArtifact(
+        opt, "table1_protocol", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.key("pins");
+            w.beginArray();
+            for (unsigned i = numCccaPins; i-- > 0;) {
+                const Pin p = static_cast<Pin>(i);
+                w.beginObject();
+                w.kv("index", i);
+                w.kv("signal", pinName(p));
+                w.kv("group", groupName(pinGroup(p)));
+                w.endObject();
+            }
+            w.endArray();
+            w.key("timing_cycles");
+            w.beginObject();
+            w.kv("tRC", tp.tRC);
+            w.kv("tRRD", tp.tRRD);
+            w.kv("tFAW", tp.tFAW);
+            w.kv("tRP", tp.tRP);
+            w.kv("tRFC", tp.tRFC);
+            w.kv("tRCD", tp.tRCD);
+            w.kv("tCCD", tp.tCCD);
+            w.kv("tWTR", tp.tWTR);
+            w.kv("tRAS", tp.tRAS);
+            w.kv("tRTP", tp.tRTP);
+            w.kv("tWR", tp.tWR);
+            w.endObject();
+            w.endObject();
+        });
     return 0;
 }

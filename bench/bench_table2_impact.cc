@@ -39,7 +39,7 @@ transition(const TrialResult &r)
 int
 main(int argc, char **argv)
 {
-    bench::parse(argc, argv);
+    const auto opt = bench::parse(argc, argv);
     bench::banner("Table II: impact of undetected 1-pin CCCA errors "
                   "(no protection)");
 
@@ -70,6 +70,25 @@ main(int argc, char **argv)
         t.row(row);
     }
     std::printf("%s\n", t.str().c_str());
+
+    bench::writeJsonArtifact(
+        opt, "table2_impact", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            for (const auto &[pin, perPattern] : grid) {
+                w.key(pinName(pin));
+                w.beginObject();
+                for (const auto &[pattern, r] : perPattern) {
+                    w.key(patternName(pattern));
+                    w.beginObject();
+                    w.kv("outcome", outcomeName(r.outcome));
+                    w.kv("transition", transition(r));
+                    w.kv("detected", r.detected);
+                    w.endObject();
+                }
+                w.endObject();
+            }
+            w.endObject();
+        });
 
     std::printf(
         "Legend: NE = no error manifests; SDC = silent data corruption;"

@@ -64,6 +64,17 @@ main(int argc, char **argv)
         AddrErrorModel::None, AddrErrorModel::Bit1,
         AddrErrorModel::Bits32};
 
+    const char *schemeNames[] = {"QPC", "QPC+Azul", "QPC+eDECC-t",
+                                 "QPC+eDECC-c"};
+
+    struct CellResult
+    {
+        DataErrorModel dm;
+        AddrErrorModel am;
+        MonteCarloCell bySch[4];
+    };
+    std::vector<CellResult> results;
+
     TextTable t;
     t.header({"data err", "addr err", "QPC", "QPC+Azul", "QPC+eDECC-t",
               "QPC+eDECC-c"});
@@ -74,16 +85,39 @@ main(int argc, char **argv)
                 continue;
             std::vector<std::string> row{
                 firstRow ? dataErrorName(dm) : "", addrErrorName(am)};
-            for (auto scheme : schemes) {
-                DataMonteCarlo mc(scheme);
-                row.push_back(cellText(mc.runCell(dm, am, trials)));
+            CellResult res{dm, am, {}};
+            for (unsigned si = 0; si < 4; ++si) {
+                DataMonteCarlo mc(schemes[si]);
+                res.bySch[si] = mc.runCell(dm, am, trials);
+                row.push_back(cellText(res.bySch[si]));
             }
             t.row(row);
+            results.push_back(std::move(res));
             firstRow = false;
         }
         t.separator();
     }
     std::printf("%s\n", t.str().c_str());
+
+    bench::writeJsonArtifact(
+        opt, "table3_data", [&](obs::JsonWriter &w) {
+            w.beginObject();
+            w.kv("trials_per_cell", trials);
+            w.key("cells");
+            w.beginArray();
+            for (const auto &res : results) {
+                w.beginObject();
+                w.kv("data_error", dataErrorName(res.dm));
+                w.kv("addr_error", addrErrorName(res.am));
+                for (unsigned si = 0; si < 4; ++si) {
+                    w.key(schemeNames[si]);
+                    res.bySch[si].writeJson(w);
+                }
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        });
 
     std::printf(
         "Paper cross-checks (Table III):\n"

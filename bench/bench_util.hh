@@ -1,7 +1,8 @@
 /**
  * @file
  * Tiny shared helpers for the paper-reproduction benches: flag
- * parsing (--trials N, --allpin N, --quick) and banner printing.
+ * parsing (--trials N, --allpin N, --quick, --json PATH), banner
+ * printing, and the shared JSON artifact shape.
  */
 
 #ifndef AIECC_BENCH_BENCH_UTIL_HH
@@ -12,6 +13,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "obs/json.hh"
 
 namespace aiecc
 {
@@ -24,7 +27,21 @@ struct Options
     uint64_t trials = 0;   ///< Monte-Carlo trials per cell (0 = default)
     unsigned allPin = 0;   ///< all-pin noise samples (0 = default)
     bool quick = false;    ///< cut work for smoke runs
+    std::string jsonPath;  ///< write a machine-readable artifact here
 };
+
+inline void
+usage(std::FILE *to, const char *prog)
+{
+    std::fprintf(to,
+                 "usage: %s [--quick] [--trials N] [--allpin N] "
+                 "[--json PATH] [--help]\n"
+                 "  --quick      cut work for smoke runs\n"
+                 "  --trials N   Monte-Carlo trials per cell\n"
+                 "  --allpin N   all-pin noise samples per cell\n"
+                 "  --json PATH  also write the results as JSON\n",
+                 prog);
+}
 
 inline Options
 parse(int argc, char **argv)
@@ -38,10 +55,15 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--allpin") && i + 1 < argc) {
             opt.allPin = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--help")) {
+            usage(stdout, argv[0]);
+            std::exit(0);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--trials N] [--allpin N]\n",
-                         argv[0]);
+            std::fprintf(stderr, "unknown or incomplete flag: %s\n",
+                         argv[i]);
+            usage(stderr, argv[0]);
             std::exit(2);
         }
     }
@@ -56,6 +78,43 @@ banner(const std::string &title)
                 "==============================================="
                 "=====================\n\n",
                 title.c_str());
+}
+
+/**
+ * Write the bench's JSON artifact if --json was given.
+ *
+ * The artifact shape is shared by every bench:
+ * @code
+ *   { "bench": "...", "options": {...}, "results": <fill's output> }
+ * @endcode
+ * @p fill receives the writer positioned at the "results" member and
+ * must emit exactly one value (object/array/scalar).
+ */
+template <typename FillFn>
+inline void
+writeJsonArtifact(const Options &opt, const std::string &benchName,
+                  FillFn &&fill)
+{
+    if (opt.jsonPath.empty())
+        return;
+    obs::JsonWriter w;
+    w.beginObject();
+    w.kv("bench", benchName);
+    w.key("options");
+    w.beginObject();
+    w.kv("trials", opt.trials);
+    w.kv("allpin", opt.allPin);
+    w.kv("quick", opt.quick);
+    w.endObject();
+    w.key("results");
+    fill(w);
+    w.endObject();
+    if (!w.writeFile(opt.jsonPath)) {
+        std::fprintf(stderr, "cannot write JSON artifact: %s\n",
+                     opt.jsonPath.c_str());
+        std::exit(1);
+    }
+    std::printf("JSON artifact written to %s\n", opt.jsonPath.c_str());
 }
 
 } // namespace bench

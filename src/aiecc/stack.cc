@@ -36,6 +36,52 @@ ProtectionStack::ProtectionStack(const StackConfig &config)
     };
     rankModel = std::make_unique<DramRank>(rc);
     ctrl = std::make_unique<MemController>(rc, rankModel.get());
+    rankModel->setObserver(cfg.observer);
+    ctrl->setObserver(cfg.observer);
+    if (cfg.observer && cfg.observer->stats()) {
+        obs::StatsRegistry &reg = *cfg.observer->stats();
+        oc.reads = &reg.counter("stack.reads", "RD commands issued");
+        oc.writes = &reg.counter("stack.writes", "WR commands issued");
+        oc.detections =
+            &reg.counter("stack.detections", "detections, any mechanism");
+        oc.corrections = &reg.counter("stack.corrections",
+                                      "errors corrected in place");
+        oc.dues = &reg.counter("stack.dues",
+                               "detected-uncorrectable reads delivered");
+        oc.addrDiagnoses = &reg.counter(
+            "edecc.addr_diagnoses", "precise eDECC address diagnoses");
+        oc.scrubs = &reg.counter("stack.scrubs",
+                                 "redirect-scrub write-backs");
+        oc.recoveries = &reg.counter(
+            "stack.recoveries", "full error-recovery resets");
+        for (unsigned m = 0; m < 7; ++m) {
+            oc.byMech[m] = &reg.counter(
+                "stack.detect." +
+                    mechanismName(static_cast<Mechanism>(m)),
+                "detections first flagged by this mechanism");
+        }
+    }
+}
+
+void
+ProtectionStack::noteDetection(DetectionEvent event)
+{
+    if (cfg.observer) {
+        if (oc.detections) {
+            ++*oc.detections;
+            ++*oc.byMech[static_cast<unsigned>(event.mech)];
+            if (event.corrected)
+                ++*oc.corrections;
+            if (event.diagnosedAddress)
+                ++*oc.addrDiagnoses;
+        }
+        cfg.observer->emit(
+            obs::EventKind::Detection, event.when,
+            mechanismName(event.mech),
+            event.diagnosedAddress ? *event.diagnosedAddress : 0,
+            event.detail);
+    }
+    events.push_back(std::move(event));
 }
 
 void
@@ -70,7 +116,7 @@ ProtectionStack::drainAlerts()
             ev.mech = Mechanism::Cstc;
             break;
         }
-        events.push_back(std::move(ev));
+        noteDetection(std::move(ev));
     }
 }
 
@@ -98,6 +144,8 @@ void
 ProtectionStack::issueWr(const MtbAddress &addr, const BitVec &data)
 {
     const Burst burst = encodeWrite(addr, data);
+    if (oc.writes)
+        ++*oc.writes;
     ctrl->issue(Command::wr(addr.bg, addr.ba,
                             addr.col << Geometry::burstBits),
                 burst);
@@ -107,6 +155,8 @@ ProtectionStack::issueWr(const MtbAddress &addr, const BitVec &data)
 ReadOutcome
 ProtectionStack::issueRd(const MtbAddress &addr)
 {
+    if (oc.reads)
+        ++*oc.reads;
     const auto res = ctrl->issue(
         Command::rd(addr.bg, addr.ba, addr.col << Geometry::burstBits));
     drainAlerts();
@@ -117,6 +167,8 @@ ProtectionStack::issueRd(const MtbAddress &addr)
         // never arrived.  Report a DUE-like outcome; a retry follows.
         out.detected = true;
         out.due = true;
+        if (oc.dues)
+            ++*oc.dues;
         return out;
     }
 
@@ -146,7 +198,9 @@ ProtectionStack::issueRd(const MtbAddress &addr)
                     addr.toString();
         const bool scrub = cfg.scrubOnCorrection && out.corrected &&
                            !ecc.addressError;
-        events.push_back(std::move(ev));
+        noteDetection(std::move(ev));
+        if (out.due && oc.dues)
+            ++*oc.dues;
 
         if (scrub) {
             // Redirect scrubbing (§V-D): write the corrected block
@@ -154,6 +208,13 @@ ProtectionStack::issueRd(const MtbAddress &addr)
             // one into an uncorrectable pattern.
             issueWr(addr, out.data);
             ++scrubs;
+            if (cfg.observer) {
+                if (oc.scrubs)
+                    ++*oc.scrubs;
+                cfg.observer->emit(obs::EventKind::Scrub, ctrl->now(),
+                                   codec->name(), addr.pack(cfg.geom),
+                                   "scrub write-back @" + addr.toString());
+            }
         }
     }
     return out;
@@ -190,6 +251,12 @@ ProtectionStack::issueNop()
 void
 ProtectionStack::recover()
 {
+    if (cfg.observer) {
+        if (oc.recoveries)
+            ++*oc.recoveries;
+        cfg.observer->emit(obs::EventKind::Recovery, ctrl->now(), "", 0,
+                           "resync WRT, drain read FIFO, PREA");
+    }
     ctrl->resyncWrt();
     ctrl->resetReadFifo();
     issuePreAll();

@@ -20,6 +20,7 @@
 #include "aiecc/detection.hh"
 #include "aiecc/mechanisms.hh"
 #include "controller/controller.hh"
+#include "obs/observer.hh"
 
 namespace aiecc
 {
@@ -40,6 +41,14 @@ struct StackConfig
      * to another block; retry handles those).
      */
     bool scrubOnCorrection = false;
+
+    /**
+     * Optional measurement hookup, shared with the controller and
+     * rank models.  nullptr (the default) keeps the hot path free of
+     * any instrumentation cost beyond one pointer test; with a
+     * registry attached, counters are resolved once at construction.
+     */
+    obs::Observer *observer = nullptr;
 };
 
 /** Outcome of a protected read. */
@@ -113,6 +122,7 @@ class ProtectionStack
     const Mechanisms &mechanisms() const { return cfg.mech; }
     const Geometry &geometry() const { return cfg.geom; }
     DataEcc *ecc() { return codec.get(); }
+    obs::Observer *observer() const { return cfg.observer; }
 
   private:
     StackConfig cfg;
@@ -123,11 +133,29 @@ class ProtectionStack
     size_t alertsSeen = 0;
     uint64_t scrubs = 0;
 
+    /** Counters resolved at construction (observer + registry only). */
+    struct StackCounters
+    {
+        obs::Counter *reads = nullptr;
+        obs::Counter *writes = nullptr;
+        obs::Counter *detections = nullptr;
+        obs::Counter *corrections = nullptr;
+        obs::Counter *dues = nullptr;
+        obs::Counter *addrDiagnoses = nullptr;
+        obs::Counter *scrubs = nullptr;
+        obs::Counter *recoveries = nullptr;
+        obs::Counter *byMech[7] = {};
+    };
+    StackCounters oc;
+
     /** Controller-side row bookkeeping for the high-level interface. */
     std::vector<int> hlOpenRow; ///< -1 = closed
 
     /** Translate newly-raised device alerts into detection events. */
     void drainAlerts();
+
+    /** Record a detection: stats, trace event, and the event log. */
+    void noteDetection(DetectionEvent event);
 
     /** Prepare the full burst for a write (ECC encode or raw). */
     Burst encodeWrite(const MtbAddress &addr, const BitVec &data) const;

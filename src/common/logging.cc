@@ -1,11 +1,30 @@
 #include "common/logging.hh"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace aiecc
 {
 namespace detail
 {
+
+bool
+informEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("AIECC_LOG_LEVEL");
+        if (!env)
+            return false;
+        std::string level(env);
+        std::transform(level.begin(), level.end(), level.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        return level == "inform" || level == "info" || level == "debug" ||
+               level == "all";
+    }();
+    return enabled;
+}
 
 void
 logMessage(LogLevel level, const char *file, int line,

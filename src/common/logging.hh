@@ -39,6 +39,14 @@ namespace detail
 [[gnu::cold]] void logMessage(LogLevel level, const char *file, int line,
                               const std::string &msg);
 
+/**
+ * True when Inform-level messages should be printed.  Controlled by
+ * the AIECC_LOG_LEVEL environment variable, read once per process:
+ * "inform"/"info"/"debug"/"all" enable them; unset or anything else
+ * (e.g. "warn", the default) suppresses them.
+ */
+bool informEnabled();
+
 } // namespace detail
 
 } // namespace aiecc
@@ -61,6 +69,23 @@ namespace detail
         ::aiecc::detail::logMessage(::aiecc::LogLevel::Fatal, __FILE__,    \
                                     __LINE__, aiecc_oss_.str());           \
         ::std::exit(1);                                                    \
+    } while (0)
+
+/**
+ * Report normal-operation progress (campaign milestones, artifact
+ * paths).  Suppressed unless AIECC_LOG_LEVEL requests inform
+ * verbosity, so the gate is one cached boolean test and the message
+ * body is never formatted when disabled.
+ */
+#define AIECC_INFORM(msg)                                                  \
+    do {                                                                   \
+        if (::aiecc::detail::informEnabled()) {                            \
+            std::ostringstream aiecc_oss_;                                 \
+            aiecc_oss_ << msg;                                             \
+            ::aiecc::detail::logMessage(::aiecc::LogLevel::Inform,         \
+                                        __FILE__, __LINE__,                \
+                                        aiecc_oss_.str());                 \
+        }                                                                  \
     } while (0)
 
 /** Report a suspicious-but-survivable condition. */

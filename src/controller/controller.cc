@@ -1,5 +1,7 @@
 #include "controller/controller.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 #include "crc/crc.hh"
 
@@ -19,6 +21,39 @@ void
 MemController::setPinCorruptor(PinCorruptor corruptor)
 {
     corrupt = std::move(corruptor);
+}
+
+void
+MemController::setObserver(obs::Observer *observer)
+{
+    obsHook = observer;
+    oc = {};
+    if (!obsHook || !obsHook->stats())
+        return;
+    obs::StatsRegistry &reg = *obsHook->stats();
+    oc.commands =
+        &reg.counter("controller.commands", "command edges issued");
+    oc.pinCorruptions = &reg.counter(
+        "controller.pin_corruptions",
+        "edges mutated in flight by the fault hook");
+    oc.alerts =
+        &reg.counter("controller.alerts", "device ALERT_n pulses seen");
+    oc.fifoUnderflows = &reg.counter(
+        "controller.fifo_underflows",
+        "RD pops of an empty PHY FIFO (stale data re-read)");
+    oc.fifoSkewEvents = &reg.counter(
+        "controller.fifo_skew_events",
+        "PHY read-FIFO pointer skew observations");
+}
+
+void
+MemController::resetReadFifo()
+{
+    // Leftover entries mean the pop pointer skewed (an extra RD the
+    // controller never intended put data in flight).
+    if (!phyFifo.empty() && oc.fifoSkewEvents)
+        ++*oc.fifoSkewEvents;
+    phyFifo.clear();
 }
 
 void
@@ -107,6 +142,21 @@ MemController::issue(const Command &cmd, const std::optional<Burst> &data)
     if (corrupt)
         corrupt(cmdIndex, pins);
 
+    if (obsHook) {
+        if (oc.commands)
+            ++*oc.commands;
+        obsHook->emit(obs::EventKind::CommandIssued, cycle,
+                      cmdName(cmd.type), cmdIndex);
+        if (!(pins == intended)) {
+            if (oc.pinCorruptions)
+                ++*oc.pinCorruptions;
+            obsHook->emit(obs::EventKind::PinCorruption, cycle,
+                          cmdName(cmd.type),
+                          static_cast<uint64_t>(std::popcount(
+                              pins.levels ^ intended.levels)));
+        }
+    }
+
     // An ODT-level error degrades data-bus signal integrity.
     const bool odtError = pins.get(Pin::ODT) != intended.get(Pin::ODT);
 
@@ -115,6 +165,8 @@ MemController::issue(const Command &cmd, const std::optional<Burst> &data)
         wrData = makeWriteData(cmd, *data);
 
     result.exec = rank->step(cycle, pins, wrData, odtError);
+    if (oc.alerts)
+        *oc.alerts += result.exec.alerts.size();
     for (const auto &alert : result.exec.alerts)
         alertLog.push_back(alert);
 
@@ -130,6 +182,11 @@ MemController::issue(const Command &cmd, const std::optional<Burst> &data)
             lastPopped = phyFifo.front();
             phyFifo.pop_front();
             everPopped = true;
+        } else if (oc.fifoUnderflows) {
+            // A missing RD skewed the pop pointer: this read re-reads
+            // the stale last entry.
+            ++*oc.fifoUnderflows;
+            ++*oc.fifoSkewEvents;
         }
         result.readBurst = lastPopped;
     }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dram/rank.hh"
+#include "obs/observer.hh"
 
 namespace aiecc
 {
@@ -59,6 +60,13 @@ class MemController
 
     /** Install (or clear, with nullptr-like empty) the fault hook. */
     void setPinCorruptor(PinCorruptor corruptor);
+
+    /**
+     * Attach the measurement hookup (nullptr detaches).  Counters are
+     * resolved once here; with no observer the issue path pays only
+     * null-pointer tests.
+     */
+    void setObserver(obs::Observer *observer);
 
     /**
      * Issue a logical command at the earliest legal cycle.
@@ -107,13 +115,23 @@ class MemController
      * Error-recovery hook: drain the PHY read FIFO, clearing any
      * pointer skew left behind by extra/missing RD commands.
      */
-    void resetReadFifo() { phyFifo.clear(); }
+    void resetReadFifo();
 
   private:
     RankConfig cfg;
     DramRank *rank;
     Cstc sched;          ///< the controller's own timing tracker
     PinCorruptor corrupt;
+    obs::Observer *obsHook = nullptr;
+    struct CtrlCounters
+    {
+        obs::Counter *commands = nullptr;
+        obs::Counter *pinCorruptions = nullptr;
+        obs::Counter *alerts = nullptr;
+        obs::Counter *fifoUnderflows = nullptr;
+        obs::Counter *fifoSkewEvents = nullptr;
+    };
+    CtrlCounters oc;
     Cycle cycle = 0;
     uint64_t cmdIndex = 0;
     bool wrt = false;

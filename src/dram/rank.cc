@@ -27,6 +27,32 @@ DramRank::DramRank(const RankConfig &config)
 {
 }
 
+void
+DramRank::setObserver(obs::Observer *observer)
+{
+    oc = {};
+    if (!observer || !observer->stats())
+        return;
+    obs::StatsRegistry &reg = *observer->stats();
+    oc.capAlerts =
+        &reg.counter("cap.alerts", "CA-parity (CAP/eCAP) mismatches");
+    oc.wcrcAlerts =
+        &reg.counter("wcrc.alerts", "write-CRC (WCRC/eWCRC) mismatches");
+    oc.cstcAlerts = &reg.counter(
+        "cstc.alerts", "command state/timing violations flagged");
+    oc.garbageReads = &reg.counter(
+        "rank.garbage_reads", "RDs served from no open row / bad mode");
+    oc.droppedWrites = &reg.counter(
+        "rank.dropped_writes", "WRs lost against a closed bank");
+    oc.garbageBusWrites = &reg.counter(
+        "rank.garbage_bus_writes",
+        "spurious WRs that latched the undriven data bus");
+    oc.rowCopyovers = &reg.counter(
+        "rank.row_copyovers", "duplicate-ACT row copy-over events");
+    oc.modeCorruptions = &reg.counter(
+        "rank.mode_corruptions", "erroneous MRS config corruptions");
+}
+
 DramRank::Bank &
 DramRank::bankOf(const Command &cmd)
 {
@@ -158,6 +184,8 @@ DramRank::step(Cycle now, const PinWord &pins,
             result.decoded.cmd.type != CmdType::Des &&
             result.decoded.cmd.type != CmdType::Nop &&
             now < pdEntry + cfg.timing.tXP) {
+            if (oc.cstcAlerts)
+                ++*oc.cstcAlerts;
             result.alerts.push_back(
                 {AlertKind::Cstc, now,
                  "command violates tXP after power-down exit (" +
@@ -177,6 +205,8 @@ DramRank::step(Cycle now, const PinWord &pins,
         const bool wrtForParity =
             cfg.parityMode == ParityMode::ECap ? wrt : false;
         if (!checkParity(pins, wrtForParity)) {
+            if (oc.capAlerts)
+                ++*oc.capAlerts;
             result.alerts.push_back(
                 {AlertKind::CaParity, now,
                  "parity mismatch on " + cmd.toString()});
@@ -192,6 +222,8 @@ DramRank::step(Cycle now, const PinWord &pins,
     // 2. CSTC: protocol state and timing validation (Section IV-C).
     if (cfg.cstcEnabled) {
         if (auto violation = cstc.check(now, cmd)) {
+            if (oc.cstcAlerts)
+                ++*oc.cstcAlerts;
             result.alerts.push_back(
                 {AlertKind::Cstc, now,
                  *violation + " (" + cmd.toString() + ")"});
@@ -227,6 +259,8 @@ DramRank::step(Cycle now, const PinWord &pins,
         // burst length, latencies and termination no longer match the
         // controller, so all subsequent transfers are garbage.
         modeCorrupt = true;
+        if (oc.modeCorruptions)
+            ++*oc.modeCorruptions;
         break;
       case CmdType::Zqc:
       case CmdType::Rfu:
@@ -258,6 +292,8 @@ DramRank::doActivate(Cycle now, const Command &cmd, ExecResult &result)
     const unsigned srcRow = bank.row;
     const unsigned dstRow = cmd.row;
     if (srcRow != dstRow) {
+        if (oc.rowCopyovers)
+            ++*oc.rowCopyovers;
         // Copy every column that is distinguishable from the default
         // fill in either row.
         std::vector<unsigned> cols;
@@ -288,6 +324,8 @@ DramRank::doRead(Cycle now, const Command &cmd, bool dataCorrupt,
     if (!bank.open || modeCorrupt) {
         // No row in the sense amplifiers (or a corrupted device
         // configuration): the burst driven back is arbitrary.
+        if (oc.garbageReads)
+            ++*oc.garbageReads;
         out.randomize(garbage);
     } else {
         const MtbAddress addr = deviceAddress(cmd, bank);
@@ -341,6 +379,8 @@ DramRank::doWrite(Cycle now, const Command &cmd,
         // An erroneous command turned into a WR: the controller drives
         // nothing, and the device interprets the undriven bus (random
         // or termination-pulled levels) as data and CRC (§IV-C).
+        if (oc.garbageBusWrites)
+            ++*oc.garbageBusWrites;
         received.burst.randomize(garbage);
         for (auto &c : received.crc)
             c = static_cast<uint8_t>(garbage.below(256));
@@ -371,6 +411,8 @@ DramRank::doWrite(Cycle now, const Command &cmd,
             mismatch = expect != got;
         }
         if (mismatch) {
+            if (oc.wcrcAlerts)
+                ++*oc.wcrcAlerts;
             std::ostringstream detail;
             detail << "write CRC mismatch at " << devAddr.toString();
             result.alerts.push_back({AlertKind::Wcrc, now, detail.str()});
@@ -382,6 +424,8 @@ DramRank::doWrite(Cycle now, const Command &cmd,
     if (!bank.open) {
         // No word line is raised: the write never lands.  The intended
         // destination silently keeps stale data.
+        if (oc.droppedWrites)
+            ++*oc.droppedWrites;
         return;
     }
 

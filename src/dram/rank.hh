@@ -33,6 +33,7 @@
 #include "ddr4/burst.hh"
 #include "dram/config.hh"
 #include "dram/cstc.hh"
+#include "obs/observer.hh"
 
 namespace aiecc
 {
@@ -107,10 +108,28 @@ class DramRank
 
     const RankConfig &config() const { return cfg; }
 
+    /**
+     * Attach the measurement hookup (nullptr detaches): device-side
+     * alert and erroneous-command-semantics counters.
+     */
+    void setObserver(obs::Observer *observer);
+
   private:
     RankConfig cfg;
     Cstc cstc;
     Rng garbage;
+    struct RankCounters
+    {
+        obs::Counter *capAlerts = nullptr;
+        obs::Counter *wcrcAlerts = nullptr;
+        obs::Counter *cstcAlerts = nullptr;
+        obs::Counter *garbageReads = nullptr;
+        obs::Counter *droppedWrites = nullptr;
+        obs::Counter *garbageBusWrites = nullptr;
+        obs::Counter *rowCopyovers = nullptr;
+        obs::Counter *modeCorruptions = nullptr;
+    };
+    RankCounters oc;
 
     struct Bank
     {

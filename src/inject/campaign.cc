@@ -92,6 +92,26 @@ outcomeName(Outcome outcome)
     return "?";
 }
 
+namespace
+{
+
+/** Stat-name-safe outcome slug ("SDC+MDC" -> "sdc_mdc"). */
+const char *
+outcomeSlug(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::NoEffect: return "no_effect";
+      case Outcome::Corrected: return "corrected";
+      case Outcome::Due: return "due";
+      case Outcome::Sdc: return "sdc";
+      case Outcome::Mdc: return "mdc";
+      case Outcome::SdcMdc: return "sdc_mdc";
+    }
+    return "unknown";
+}
+
+} // namespace
+
 void
 CampaignStats::add(const TrialResult &result)
 {
@@ -115,9 +135,58 @@ CampaignStats::add(const TrialResult &result)
     }
 }
 
+void
+CampaignStats::writeJson(obs::JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("trials", trials);
+    w.kv("detected", detected);
+    w.kv("no_effect", noEffect);
+    w.kv("corrected", corrected);
+    w.kv("due", due);
+    w.kv("sdc", sdc);
+    w.kv("mdc", mdc);
+    w.kv("sdc_mdc_both", sdcMdcBoth);
+    w.kv("detected_frac", detectedFrac());
+    w.kv("covered_frac", coveredFrac());
+    w.kv("sdc_frac", sdcFrac());
+    w.kv("mdc_frac", mdcFrac());
+    w.key("by_first_detector");
+    w.beginObject();
+    for (const auto &[mechKind, count] : byFirstDetector)
+        w.kv(mechanismName(mechKind), count);
+    w.endObject();
+    w.endObject();
+}
+
 InjectionCampaign::InjectionCampaign(const Mechanisms &mech, uint64_t seed)
     : mech(mech), seed(seed)
 {
+}
+
+void
+InjectionCampaign::setObserver(obs::Observer *observer)
+{
+    obsHook = observer;
+    oc = {};
+    if (!obsHook || !obsHook->stats())
+        return;
+    obs::StatsRegistry &reg = *obsHook->stats();
+    oc.trials = &reg.counter("campaign.trials", "injection trials run");
+    oc.detected = &reg.counter("campaign.detected",
+                               "trials where any mechanism fired");
+    for (unsigned o = 0; o < 6; ++o) {
+        oc.byOutcome[o] = &reg.counter(
+            std::string("campaign.outcome.") +
+                outcomeSlug(static_cast<Outcome>(o)),
+            "trials classified as this outcome");
+    }
+    for (unsigned m = 0; m < 7; ++m) {
+        oc.byFirstDetector[m] = &reg.counter(
+            "campaign.first_detector." +
+                mechanismName(static_cast<Mechanism>(m)),
+            "trials whose first detection came from this mechanism");
+    }
 }
 
 namespace
@@ -402,6 +471,25 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
         tr.outcome =
             (residual || tr.mdc) ? Outcome::Due : Outcome::Corrected;
     }
+
+    ++trialIndex;
+    if (obsHook) {
+        if (oc.trials) {
+            ++*oc.trials;
+            if (tr.detected)
+                ++*oc.detected;
+            ++*oc.byOutcome[static_cast<unsigned>(tr.outcome)];
+            if (auto first = tr.firstDetector())
+                ++*oc.byFirstDetector[static_cast<unsigned>(*first)];
+        }
+        std::string detail = patternName(pattern) + " / " +
+                             error.toString();
+        if (auto first = tr.firstDetector())
+            detail += " first=" + mechanismName(*first);
+        obsHook->emit(obs::EventKind::Classification,
+                      faulty.controller().now(),
+                      outcomeName(tr.outcome), trialIndex, detail);
+    }
     return tr;
 }
 
@@ -411,6 +499,10 @@ InjectionCampaign::sweepOnePin(CommandPattern pattern)
     CampaignStats stats;
     for (Pin pin : injectablePins(mech.parPinPresent()))
         stats.add(runTrial(pattern, PinError::onePin(pin)));
+    AIECC_INFORM("1-pin sweep " << patternName(pattern) << " ["
+                                << mech.describe() << "]: "
+                                << stats.trials << " trials, covered "
+                                << stats.coveredFrac());
     return stats;
 }
 
@@ -424,6 +516,10 @@ InjectionCampaign::sweepTwoPin(CommandPattern pattern)
             stats.add(runTrial(pattern,
                                PinError::twoPin(pins[i], pins[j])));
     }
+    AIECC_INFORM("2-pin sweep " << patternName(pattern) << " ["
+                                << mech.describe() << "]: "
+                                << stats.trials << " trials, covered "
+                                << stats.coveredFrac());
     return stats;
 }
 
@@ -433,6 +529,11 @@ InjectionCampaign::sweepAllPin(CommandPattern pattern, unsigned samples)
     CampaignStats stats;
     for (unsigned s = 0; s < samples; ++s)
         stats.add(runTrial(pattern, PinError::allPins(s + 1)));
+    AIECC_INFORM("all-pin sweep " << patternName(pattern) << " ["
+                                  << mech.describe() << "]: "
+                                  << stats.trials
+                                  << " trials, covered "
+                                  << stats.coveredFrac());
     return stats;
 }
 

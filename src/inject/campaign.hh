@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "aiecc/stack.hh"
+#include "obs/json.hh"
 
 namespace aiecc
 {
@@ -114,6 +115,9 @@ struct CampaignStats
 
     void add(const TrialResult &result);
 
+    /** Serialize counts and derived fractions as one JSON object. */
+    void writeJson(obs::JsonWriter &w) const;
+
     double detectedFrac() const
     {
         return trials ? static_cast<double>(detected) / trials : 0.0;
@@ -156,6 +160,15 @@ class InjectionCampaign
     explicit InjectionCampaign(const Mechanisms &mech,
                                uint64_t seed = 0x1019ECC);
 
+    /**
+     * Attach the measurement hookup (nullptr detaches).  The campaign
+     * counts trials and classifications and emits one Classification
+     * trace event per trial; the ephemeral golden/faulty stack pairs
+     * built inside each trial stay unobserved so that campaign-level
+     * stats are not diluted by golden-run traffic.
+     */
+    void setObserver(obs::Observer *observer);
+
     /** Run one trial: inject @p error into @p pattern's target edge. */
     TrialResult runTrial(CommandPattern pattern, const PinError &error);
 
@@ -177,6 +190,16 @@ class InjectionCampaign
   private:
     Mechanisms mech;
     uint64_t seed;
+    obs::Observer *obsHook = nullptr;
+    struct CampaignCounters
+    {
+        obs::Counter *trials = nullptr;
+        obs::Counter *detected = nullptr;
+        obs::Counter *byOutcome[6] = {};
+        obs::Counter *byFirstDetector[7] = {};
+    };
+    CampaignCounters oc;
+    uint64_t trialIndex = 0;
 };
 
 } // namespace aiecc

@@ -44,6 +44,37 @@ dataOutcomeName(DataOutcome outcome)
     return "?";
 }
 
+const char *
+dataOutcomeSlug(DataOutcome outcome)
+{
+    switch (outcome) {
+      case DataOutcome::NoError: return "no_error";
+      case DataOutcome::Sdc: return "sdc";
+      case DataOutcome::CeD: return "ce_d";
+      case DataOutcome::CeR: return "ce_r";
+      case DataOutcome::CeRPlus: return "ce_r_plus";
+      case DataOutcome::CeRD: return "ce_rd";
+      case DataOutcome::CeRDPlus: return "ce_rd_plus";
+      case DataOutcome::Due: return "due";
+    }
+    return "unknown";
+}
+
+void
+MonteCarloCell::writeJson(obs::JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("trials", trials);
+    w.key("counts");
+    w.beginObject();
+    for (unsigned i = 0; i < 8; ++i)
+        w.kv(dataOutcomeSlug(static_cast<DataOutcome>(i)), counts[i]);
+    w.endObject();
+    w.kv("sdc_frac", sdcFrac());
+    w.kv("dominant", dataOutcomeName(dominant()));
+    w.endObject();
+}
+
 DataOutcome
 MonteCarloCell::dominant() const
 {
@@ -65,6 +96,23 @@ DataMonteCarlo::DataMonteCarlo(EccScheme scheme, uint64_t seed)
     : ecc(makeEcc(scheme)), rng(seed)
 {
     AIECC_ASSERT(ecc != nullptr, "Monte Carlo needs a data ECC scheme");
+}
+
+void
+DataMonteCarlo::setObserver(obs::Observer *observer)
+{
+    oc = {};
+    if (!observer || !observer->stats())
+        return;
+    obs::StatsRegistry &reg = *observer->stats();
+    oc.trials =
+        &reg.counter("montecarlo.trials", "Monte-Carlo trials run");
+    for (unsigned i = 0; i < 8; ++i) {
+        oc.byOutcome[i] = &reg.counter(
+            std::string("montecarlo.outcome.") +
+                dataOutcomeSlug(static_cast<DataOutcome>(i)),
+            "trials classified as this outcome");
+    }
 }
 
 DataOutcome
@@ -122,40 +170,54 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
     const bool addrMismatch = addrR != addrW;
     const bool dataHadError = dataErr != DataErrorModel::None;
 
+    const auto classified = [this](DataOutcome outcome) {
+        if (oc.trials) {
+            ++*oc.trials;
+            ++*oc.byOutcome[static_cast<unsigned>(outcome)];
+        }
+        return outcome;
+    };
+
     switch (res.status) {
       case EccStatus::Clean:
         if (!addrMismatch && res.data == data)
-            return DataOutcome::NoError;
+            return classified(DataOutcome::NoError);
         // A wrong location (or aliased corruption) sailed through.
-        return DataOutcome::Sdc;
+        return classified(DataOutcome::Sdc);
 
       case EccStatus::Corrected:
         if (res.addressError) {
             // The scheme noticed the address was wrong: retry.
             const bool plus = ecc->preciseDiagnosis() &&
                               res.recoveredAddress.has_value();
-            if (dataHadError)
-                return plus ? DataOutcome::CeRDPlus : DataOutcome::CeRD;
-            return plus ? DataOutcome::CeRPlus : DataOutcome::CeR;
+            if (dataHadError) {
+                return classified(plus ? DataOutcome::CeRDPlus
+                                       : DataOutcome::CeRD);
+            }
+            return classified(plus ? DataOutcome::CeRPlus
+                                   : DataOutcome::CeR);
         }
         if (addrMismatch) {
             // The decoder "fixed" something but never noticed the
             // location was wrong: the consumer uses wrong data.
-            return DataOutcome::Sdc;
+            return classified(DataOutcome::Sdc);
         }
-        return res.data == data ? DataOutcome::CeD : DataOutcome::Sdc;
+        return classified(res.data == data ? DataOutcome::CeD
+                                           : DataOutcome::Sdc);
 
       case EccStatus::Uncorrectable:
         // Detected.  A command retry resolves transmission-induced
         // address errors (CE-R/CE-RD); corruption of the stored rank
         // itself survives the retry and remains a DUE.
         if (dataErr == DataErrorModel::Rank1)
-            return DataOutcome::Due;
-        if (addrMismatch)
-            return dataHadError ? DataOutcome::CeRD : DataOutcome::CeR;
-        return DataOutcome::Due;
+            return classified(DataOutcome::Due);
+        if (addrMismatch) {
+            return classified(dataHadError ? DataOutcome::CeRD
+                                           : DataOutcome::CeR);
+        }
+        return classified(DataOutcome::Due);
     }
-    return DataOutcome::Due;
+    return classified(DataOutcome::Due);
 }
 
 MonteCarloCell
@@ -165,6 +227,12 @@ DataMonteCarlo::runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
     MonteCarloCell cell;
     for (uint64_t i = 0; i < trials; ++i)
         cell.add(runTrial(dataErr, addrErr));
+    AIECC_INFORM("Monte-Carlo cell " << ecc->name() << " / "
+                                     << dataErrorName(dataErr) << " / "
+                                     << addrErrorName(addrErr) << ": "
+                                     << cell.trials
+                                     << " trials, SDC frac "
+                                     << cell.sdcFrac());
     return cell;
 }
 

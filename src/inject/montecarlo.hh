@@ -20,6 +20,8 @@
 
 #include "aiecc/mechanisms.hh"
 #include "common/rng.hh"
+#include "obs/json.hh"
+#include "obs/observer.hh"
 
 namespace aiecc
 {
@@ -90,7 +92,13 @@ struct MonteCarloCell
 
     /** The most frequent non-SDC outcome (the cell's label). */
     DataOutcome dominant() const;
+
+    /** Serialize trial count and per-outcome counts as JSON. */
+    void writeJson(obs::JsonWriter &w) const;
 };
+
+/** Stat-name-safe outcome slug ("CE-R+" -> "ce_r_plus"). */
+const char *dataOutcomeSlug(DataOutcome outcome);
 
 /**
  * Monte-Carlo evaluator for one ECC scheme.
@@ -104,6 +112,12 @@ class DataMonteCarlo
      */
     explicit DataMonteCarlo(EccScheme scheme, uint64_t seed = 0x7AB1E3);
 
+    /**
+     * Attach the measurement hookup (nullptr detaches): per-outcome
+     * trial counters under "montecarlo.".
+     */
+    void setObserver(obs::Observer *observer);
+
     /** Run one trial; returns the outcome classification. */
     DataOutcome runTrial(DataErrorModel dataErr, AddrErrorModel addrErr);
 
@@ -116,6 +130,12 @@ class DataMonteCarlo
   private:
     std::unique_ptr<DataEcc> ecc;
     Rng rng;
+    struct McCounters
+    {
+        obs::Counter *trials = nullptr;
+        obs::Counter *byOutcome[8] = {};
+    };
+    McCounters oc;
 };
 
 } // namespace aiecc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Observer handle the simulation models carry.
+ *
+ * An Observer bundles an optional StatsRegistry with any number of
+ * TraceSinks.  Models hold a plain `Observer *` (nullptr = fully
+ * disabled): the null check is the only cost on the hot path, and
+ * producers pre-resolve their Counters at construction so enabled
+ * operation stays allocation- and lookup-free per event.
+ */
+
+#ifndef AIECC_OBS_OBSERVER_HH
+#define AIECC_OBS_OBSERVER_HH
+
+#include <vector>
+
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+/** Aggregation point for one measurement context (sinks not owned). */
+class Observer
+{
+  public:
+    Observer() = default;
+    explicit Observer(StatsRegistry *registry) : reg(registry) {}
+
+    void setStats(StatsRegistry *registry) { reg = registry; }
+    StatsRegistry *stats() const { return reg; }
+
+    void addSink(TraceSink *sink)
+    {
+        if (sink)
+            sinkList.push_back(sink);
+    }
+    const std::vector<TraceSink *> &sinks() const { return sinkList; }
+
+    /** True if at least one sink wants events. */
+    bool tracing() const { return !sinkList.empty(); }
+
+    void
+    emit(const TraceEvent &event) const
+    {
+        for (TraceSink *sink : sinkList)
+            sink->record(event);
+    }
+
+    /** Build-and-emit convenience for producers without a ready event. */
+    void
+    emit(EventKind kind, uint64_t cycle, std::string label = "",
+         uint64_t value = 0, std::string detail = "") const
+    {
+        if (sinkList.empty())
+            return;
+        TraceEvent event;
+        event.kind = kind;
+        event.cycle = cycle;
+        event.label = std::move(label);
+        event.value = value;
+        event.detail = std::move(detail);
+        emit(event);
+    }
+
+    void
+    flush() const
+    {
+        for (TraceSink *sink : sinkList)
+            sink->flush();
+    }
+
+  private:
+    StatsRegistry *reg = nullptr;
+    std::vector<TraceSink *> sinkList;
+};
+
+} // namespace obs
+} // namespace aiecc
+
+#endif // AIECC_OBS_OBSERVER_HH

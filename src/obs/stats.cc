@@ -1,0 +1,279 @@
+#include "obs/stats.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+void
+Histogram::sample(uint64_t v)
+{
+    if (!cnt || v < mn)
+        mn = v;
+    if (!cnt || v > mx)
+        mx = v;
+    ++cnt;
+    total += static_cast<double>(v);
+    unsigned b = 0;
+    while (v) {
+        ++b;
+        v >>= 1;
+    }
+    ++buckets[b];
+}
+
+void
+Histogram::reset()
+{
+    cnt = 0;
+    total = 0.0;
+    mn = mx = 0;
+    std::fill(std::begin(buckets), std::end(buckets), 0);
+}
+
+namespace
+{
+
+bool
+validComponentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '+' || c == '-';
+}
+
+std::vector<std::string>
+splitName(const std::string &name)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (const char c : name) {
+        if (c == '.') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+} // namespace
+
+void
+StatsRegistry::registerName(const std::string &name, const char *kind)
+{
+    AIECC_ASSERT(!name.empty(), "empty stat name");
+    for (const auto &part : splitName(name)) {
+        AIECC_ASSERT(!part.empty(),
+                     "empty component in stat name '" << name << "'");
+        for (const char c : part) {
+            AIECC_ASSERT(validComponentChar(c),
+                         "invalid character '" << c << "' in stat name '"
+                                               << name << "'");
+        }
+    }
+    AIECC_ASSERT(leaves.find(name) == leaves.end(),
+                 "stat '" << name << "' re-registered as a different kind ("
+                          << kind << ")");
+    AIECC_ASSERT(groups.find(name) == groups.end(),
+                 "stat '" << name
+                          << "' already names a group of other stats");
+    for (size_t dot = name.find('.'); dot != std::string::npos;
+         dot = name.find('.', dot + 1)) {
+        const std::string prefix = name.substr(0, dot);
+        AIECC_ASSERT(leaves.find(prefix) == leaves.end(),
+                     "stat group '" << prefix << "' of '" << name
+                                    << "' already names a leaf stat");
+        groups.insert(prefix);
+    }
+    leaves.insert(name);
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name,
+                       const std::string &description)
+{
+    const auto it = counters.find(name);
+    if (it != counters.end())
+        return *it->second;
+    registerName(name, "counter");
+    auto stat = std::unique_ptr<Counter>(new Counter(name, description));
+    Counter &ref = *stat;
+    counters.emplace(name, std::move(stat));
+    return ref;
+}
+
+Scalar &
+StatsRegistry::scalar(const std::string &name,
+                      const std::string &description)
+{
+    const auto it = scalars.find(name);
+    if (it != scalars.end())
+        return *it->second;
+    registerName(name, "scalar");
+    auto stat = std::unique_ptr<Scalar>(new Scalar(name, description));
+    Scalar &ref = *stat;
+    scalars.emplace(name, std::move(stat));
+    return ref;
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name,
+                         const std::string &description)
+{
+    const auto it = histograms.find(name);
+    if (it != histograms.end())
+        return *it->second;
+    registerName(name, "histogram");
+    auto stat =
+        std::unique_ptr<Histogram>(new Histogram(name, description));
+    Histogram &ref = *stat;
+    histograms.emplace(name, std::move(stat));
+    return ref;
+}
+
+const Counter *
+StatsRegistry::findCounter(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+StatsRegistry::counterValue(const std::string &name) const
+{
+    const Counter *c = findCounter(name);
+    return c ? c->value() : 0;
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &[name, stat] : counters)
+        stat->reset();
+    for (auto &[name, stat] : scalars)
+        stat->reset();
+    for (auto &[name, stat] : histograms)
+        stat->reset();
+}
+
+namespace
+{
+
+/** One entry of the merged, name-sorted stat list. */
+struct Entry
+{
+    const std::string *name;
+    const Counter *counter = nullptr;
+    const Scalar *scalar = nullptr;
+    const Histogram *histogram = nullptr;
+};
+
+void
+emitValue(JsonWriter &w, const Entry &e)
+{
+    if (e.counter) {
+        w.value(e.counter->value());
+    } else if (e.scalar) {
+        w.value(e.scalar->value());
+    } else {
+        const Histogram &h = *e.histogram;
+        w.beginObject()
+            .kv("count", h.count())
+            .kv("sum", h.sum())
+            .kv("min", h.min())
+            .kv("max", h.max())
+            .kv("mean", h.mean())
+            .endObject();
+    }
+}
+
+} // namespace
+
+void
+StatsRegistry::writeJson(JsonWriter &w) const
+{
+    std::vector<Entry> all;
+    all.reserve(size());
+    for (const auto &[name, stat] : counters)
+        all.push_back({&name, stat.get(), nullptr, nullptr});
+    for (const auto &[name, stat] : scalars)
+        all.push_back({&name, nullptr, stat.get(), nullptr});
+    for (const auto &[name, stat] : histograms)
+        all.push_back({&name, nullptr, nullptr, stat.get()});
+    std::sort(all.begin(), all.end(), [](const Entry &a, const Entry &b) {
+        return *a.name < *b.name;
+    });
+
+    // Walk the sorted names, opening/closing nested objects as the
+    // dotted paths diverge (leaf/group conflicts were rejected at
+    // registration, so this is always well-formed).
+    w.beginObject();
+    std::vector<std::string> path;
+    for (const Entry &e : all) {
+        auto parts = splitName(*e.name);
+        const std::string leaf = parts.back();
+        parts.pop_back();
+        size_t common = 0;
+        while (common < path.size() && common < parts.size() &&
+               path[common] == parts[common]) {
+            ++common;
+        }
+        while (path.size() > common) {
+            w.endObject();
+            path.pop_back();
+        }
+        for (size_t i = common; i < parts.size(); ++i) {
+            w.key(parts[i]).beginObject();
+            path.push_back(parts[i]);
+        }
+        w.key(leaf);
+        emitValue(w, e);
+    }
+    while (!path.empty()) {
+        w.endObject();
+        path.pop_back();
+    }
+    w.endObject();
+}
+
+std::string
+StatsRegistry::str() const
+{
+    // Flat, gem5-stats.txt-style: "name  value  # description".
+    std::map<std::string, std::string> lines;
+    for (const auto &[name, stat] : counters)
+        lines[name] = std::to_string(stat->value());
+    for (const auto &[name, stat] : scalars) {
+        std::ostringstream v;
+        v << stat->value();
+        lines[name] = v.str();
+    }
+    for (const auto &[name, stat] : histograms) {
+        std::ostringstream v;
+        v << "count=" << stat->count() << " mean=" << stat->mean()
+          << " min=" << stat->min() << " max=" << stat->max();
+        lines[name] = v.str();
+    }
+    std::ostringstream out;
+    for (const auto &[name, value] : lines) {
+        out << name << " " << value;
+        if (const auto it = counters.find(name);
+            it != counters.end() && !it->second->description().empty()) {
+            out << " # " << it->second->description();
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace obs
+} // namespace aiecc

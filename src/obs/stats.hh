@@ -1,0 +1,179 @@
+/**
+ * @file
+ * A gem5-style registry of named simulation statistics.
+ *
+ * Stats are registered under hierarchical dotted names
+ * ("stack.retries", "cstc.alerts", "stack.detect.eDECC") and come in
+ * three kinds: monotonically incremented Counters, assignable Scalars
+ * and value-distribution Histograms.  Registration is idempotent —
+ * asking for an existing name returns the same object — so producers
+ * can resolve their counters once at construction time and bump a raw
+ * pointer on the hot path.  reset() zeroes every value while keeping
+ * all registrations (and resolved pointers) alive.
+ */
+
+#ifndef AIECC_OBS_STATS_HH
+#define AIECC_OBS_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    const std::string &name() const { return nm; }
+    const std::string &description() const { return desc; }
+    uint64_t value() const { return val; }
+
+    Counter &operator++()
+    {
+        ++val;
+        return *this;
+    }
+    Counter &operator+=(uint64_t delta)
+    {
+        val += delta;
+        return *this;
+    }
+    void reset() { val = 0; }
+
+  private:
+    friend class StatsRegistry;
+    Counter(std::string name, std::string description)
+        : nm(std::move(name)), desc(std::move(description))
+    {
+    }
+    std::string nm, desc;
+    uint64_t val = 0;
+};
+
+/** A last-writer-wins scalar (rates, fractions, configuration echo). */
+class Scalar
+{
+  public:
+    const std::string &name() const { return nm; }
+    const std::string &description() const { return desc; }
+    double value() const { return val; }
+    Scalar &operator=(double v)
+    {
+        val = v;
+        return *this;
+    }
+    void reset() { val = 0.0; }
+
+  private:
+    friend class StatsRegistry;
+    Scalar(std::string name, std::string description)
+        : nm(std::move(name)), desc(std::move(description))
+    {
+    }
+    std::string nm, desc;
+    double val = 0.0;
+};
+
+/** A value distribution: count/sum/min/max plus log2 buckets. */
+class Histogram
+{
+  public:
+    static constexpr unsigned numBuckets = 65; ///< [0], [1,2), [2,4)...
+
+    const std::string &name() const { return nm; }
+    const std::string &description() const { return desc; }
+
+    void sample(uint64_t v);
+
+    uint64_t count() const { return cnt; }
+    double sum() const { return total; }
+    uint64_t min() const { return cnt ? mn : 0; }
+    uint64_t max() const { return mx; }
+    double mean() const { return cnt ? total / static_cast<double>(cnt) : 0.0; }
+    /** Samples in bucket @p b: b=0 holds value 0, b>=1 holds [2^(b-1), 2^b). */
+    uint64_t bucket(unsigned b) const { return buckets[b]; }
+    void reset();
+
+  private:
+    friend class StatsRegistry;
+    Histogram(std::string name, std::string description)
+        : nm(std::move(name)), desc(std::move(description))
+    {
+    }
+    std::string nm, desc;
+    uint64_t cnt = 0;
+    double total = 0.0;
+    uint64_t mn = 0, mx = 0;
+    uint64_t buckets[numBuckets] = {};
+};
+
+/**
+ * The registry: owns every stat, guarantees stable addresses across
+ * reset(), and serializes the whole tree as nested JSON.
+ */
+class StatsRegistry
+{
+  public:
+    /**
+     * Find-or-create a counter.  Names are dotted hierarchies of
+     * [A-Za-z0-9_+-] components; a name may not be reused for a
+     * different stat kind, nor may a leaf name double as a group
+     * prefix of another stat ("stack" vs "stack.retries").
+     */
+    Counter &counter(const std::string &name,
+                     const std::string &description = "");
+
+    /** Find-or-create a scalar (same naming rules). */
+    Scalar &scalar(const std::string &name,
+                   const std::string &description = "");
+
+    /** Find-or-create a histogram (same naming rules). */
+    Histogram &histogram(const std::string &name,
+                         const std::string &description = "");
+
+    /** Counter lookup without creating; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Value of a counter, 0 when it was never registered. */
+    uint64_t counterValue(const std::string &name) const;
+
+    size_t size() const
+    {
+        return counters.size() + scalars.size() + histograms.size();
+    }
+
+    /** Zero every value; registrations and addresses survive. */
+    void reset();
+
+    /**
+     * Serialize as one nested JSON object value: dotted names become
+     * nested objects, histograms become {count,sum,min,max,mean}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** Flat gem5-stats.txt-style text dump (sorted by name). */
+    std::string str() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Scalar>> scalars;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::set<std::string> leaves; ///< all registered full names
+    std::set<std::string> groups; ///< every proper dotted prefix
+
+    /** Validate @p name and record its leaf/group structure. */
+    void registerName(const std::string &name, const char *kind);
+};
+
+} // namespace obs
+} // namespace aiecc
+
+#endif // AIECC_OBS_STATS_HH

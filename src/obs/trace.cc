@@ -1,0 +1,119 @@
+#include "obs/trace.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+std::string
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::CommandIssued: return "command";
+      case EventKind::PinCorruption: return "pin_corruption";
+      case EventKind::Detection: return "detection";
+      case EventKind::Retry: return "retry";
+      case EventKind::Recovery: return "recovery";
+      case EventKind::Scrub: return "scrub";
+      case EventKind::Classification: return "classification";
+    }
+    return "?";
+}
+
+void
+TraceEvent::writeJson(JsonWriter &w) const
+{
+    w.beginObject()
+        .kv("kind", eventKindName(kind))
+        .kv("cycle", cycle);
+    if (!label.empty())
+        w.kv("label", label);
+    if (value)
+        w.kv("value", value);
+    if (!detail.empty())
+        w.kv("detail", detail);
+    w.endObject();
+}
+
+RingTraceSink::RingTraceSink(size_t capacity) : cap(capacity)
+{
+    ring.reserve(capacity);
+}
+
+void
+RingTraceSink::record(const TraceEvent &event)
+{
+    if (ring.size() < cap)
+        ring.push_back(event);
+    else if (cap)
+        ring[count % cap] = event;
+    ++count;
+}
+
+std::vector<TraceEvent>
+RingTraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size());
+    if (count <= cap) {
+        out = ring;
+    } else {
+        // The slot the next record would overwrite is the oldest.
+        const size_t head = count % cap;
+        for (size_t i = 0; i < cap; ++i)
+            out.push_back(ring[(head + i) % cap]);
+    }
+    return out;
+}
+
+std::vector<TraceEvent>
+RingTraceSink::eventsOfKind(EventKind kind) const
+{
+    std::vector<TraceEvent> out;
+    for (auto &event : events()) {
+        if (event.kind == kind)
+            out.push_back(std::move(event));
+    }
+    return out;
+}
+
+void
+RingTraceSink::clear()
+{
+    ring.clear();
+    count = 0;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path)
+    : file(std::fopen(path.c_str(), "w"))
+{
+}
+
+JsonlTraceSink::~JsonlTraceSink()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+JsonlTraceSink::record(const TraceEvent &event)
+{
+    if (!file)
+        return;
+    JsonWriter w(0); // compact: one line per event
+    event.writeJson(w);
+    const std::string line = w.str();
+    std::fwrite(line.data(), 1, line.size(), file);
+    std::fputc('\n', file);
+    ++lines;
+}
+
+void
+JsonlTraceSink::flush()
+{
+    if (file)
+        std::fflush(file);
+}
+
+} // namespace obs
+} // namespace aiecc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Structured event tracing for the protection stack.
+ *
+ * Producers emit flat TraceEvents (kind + cycle timestamp + a small,
+ * schema-stable payload) through the TraceSink interface.  Two sinks
+ * are provided: a bounded in-memory ring for tests and interactive
+ * debugging, and a JSONL file sink that streams one JSON object per
+ * line for offline analysis and trend tracking.
+ */
+
+#ifndef AIECC_OBS_TRACE_HH
+#define AIECC_OBS_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+/** What happened (the JSONL "kind" field). */
+enum class EventKind
+{
+    CommandIssued, ///< a command edge left the controller
+    PinCorruption, ///< an injected fault mutated the edge in flight
+    Detection,     ///< a mechanism fired (label = mechanism name)
+    Retry,         ///< an access was re-executed after a flag
+    Recovery,      ///< full error-recovery reset (resync/drain/PREA)
+    Scrub,         ///< corrected data written back (redirect scrub)
+    Classification ///< end-state classification (label = DUE/SDC/...)
+};
+
+/** Printable event-kind name (the JSONL schema string). */
+std::string eventKindName(EventKind kind);
+
+/** One structured observation, timestamped in controller cycles. */
+struct TraceEvent
+{
+    EventKind kind = EventKind::CommandIssued;
+    uint64_t cycle = 0;
+    /** Kind-specific tag: mechanism, command mnemonic, outcome class. */
+    std::string label;
+    /** Kind-specific number: packed address, pin count, retry depth. */
+    uint64_t value = 0;
+    /** Free-form human-readable context. */
+    std::string detail;
+
+    /** Serialize as one self-contained JSON object value. */
+    void writeJson(JsonWriter &w) const;
+};
+
+/** Consumer interface; implementations must tolerate bursts. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent &event) = 0;
+    /** Push buffered output to its destination (default: nothing). */
+    virtual void flush() {}
+};
+
+/**
+ * A bounded in-memory ring: keeps the newest @p capacity events and
+ * counts what it had to drop.
+ */
+class RingTraceSink : public TraceSink
+{
+  public:
+    explicit RingTraceSink(size_t capacity);
+
+    void record(const TraceEvent &event) override;
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Retained events of one kind, oldest first. */
+    std::vector<TraceEvent> eventsOfKind(EventKind kind) const;
+
+    size_t size() const { return count < cap ? count : cap; }
+    size_t capacity() const { return cap; }
+    /** Events overwritten because the ring was full. */
+    uint64_t dropped() const { return count < cap ? 0 : count - cap; }
+    void clear();
+
+  private:
+    size_t cap;
+    uint64_t count = 0; ///< total record() calls
+    std::vector<TraceEvent> ring;
+};
+
+/**
+ * Streams one compact JSON object per event to a file (JSONL).  The
+ * file is created on construction; ok() reports open failure.
+ */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    explicit JsonlTraceSink(const std::string &path);
+    ~JsonlTraceSink() override;
+
+    JsonlTraceSink(const JsonlTraceSink &) = delete;
+    JsonlTraceSink &operator=(const JsonlTraceSink &) = delete;
+
+    bool ok() const { return file != nullptr; }
+    uint64_t recorded() const { return lines; }
+
+    void record(const TraceEvent &event) override;
+    void flush() override;
+
+  private:
+    std::FILE *file = nullptr;
+    uint64_t lines = 0;
+};
+
+} // namespace obs
+} // namespace aiecc
+
+#endif // AIECC_OBS_TRACE_HH

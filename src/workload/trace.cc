@@ -55,6 +55,25 @@ versionedPayload(uint32_t packedAddr, uint64_t version)
 
 } // namespace
 
+void
+ReplayReport::writeJson(obs::JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("accesses", accesses);
+    w.kv("command_edges", commandEdges);
+    w.kv("injected_errors", injectedErrors);
+    w.kv("detections", detections);
+    w.kv("retries", retries);
+    w.kv("flagged_reads", flaggedReads);
+    w.kv("corrupt_reads", corruptReads);
+    w.key("by_mechanism");
+    w.beginObject();
+    for (const auto &[mech, count] : byMechanism)
+        w.kv(mechanismName(mech), count);
+    w.endObject();
+    w.endObject();
+}
+
 ReplayReport
 replayTrace(ProtectionStack &stack,
             const std::vector<TraceRecord> &trace,
@@ -65,6 +84,24 @@ replayTrace(ProtectionStack &stack,
     const Geometry geom = stack.geometry();
     const bool parPresent = stack.mechanisms().parPinPresent();
     const auto pins = injectablePins(parPresent);
+
+    // Mirror the report into the stack's observer, if it carries one.
+    obs::Observer *obsHook = stack.observer();
+    obs::Counter *accessCtr = nullptr;
+    obs::Counter *retryCtr = nullptr;
+    obs::Counter *flaggedCtr = nullptr;
+    obs::Counter *corruptCtr = nullptr;
+    if (obsHook && obsHook->stats()) {
+        obs::StatsRegistry &reg = *obsHook->stats();
+        accessCtr = &reg.counter("replay.accesses",
+                                 "trace accesses replayed");
+        retryCtr = &reg.counter(
+            "stack.retries", "accesses re-executed after a detection");
+        flaggedCtr = &reg.counter(
+            "replay.flagged_reads", "DUEs delivered to the consumer");
+        corruptCtr = &reg.counter(
+            "replay.corrupt_reads", "silently corrupt reads consumed");
+    }
 
     // Transmission noise on every command edge.
     uint64_t injected = 0;
@@ -104,11 +141,16 @@ replayTrace(ProtectionStack &stack,
                 out.data !=
                     versionedPayload(rec.addr.pack(geom), it->second)) {
                 ++report.corruptReads;
+                if (corruptCtr)
+                    ++*corruptCtr;
             }
             return true;
         }
-        if (out.due || out.detected)
+        if (out.due || out.detected) {
             ++report.flaggedReads;
+            if (flaggedCtr)
+                ++*flaggedCtr;
+        }
         return false;
     };
 
@@ -121,6 +163,8 @@ replayTrace(ProtectionStack &stack,
 
     for (const auto &rec : trace) {
         ++report.accesses;
+        if (accessCtr)
+            ++*accessCtr;
         window.push_back(rec);
         if (window.size() > windowDepth)
             window.pop_front();
@@ -128,6 +172,16 @@ replayTrace(ProtectionStack &stack,
             stack.recover();
             for (const auto &pending : window) {
                 ++report.retries;
+                if (retryCtr)
+                    ++*retryCtr;
+                if (obsHook) {
+                    obsHook->emit(obs::EventKind::Retry,
+                                  stack.controller().now(),
+                                  pending.write ? "wr" : "rd",
+                                  pending.addr.pack(geom),
+                                  "window replay @" +
+                                      pending.addr.toString());
+                }
                 doAccess(pending);
             }
         }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aiecc/stack.hh"
+#include "obs/json.hh"
 #include "workload/workload.hh"
 
 namespace aiecc
@@ -59,6 +60,9 @@ struct ReplayReport
     uint64_t flaggedReads = 0;  ///< DUEs delivered instead of bad data
     uint64_t corruptReads = 0;  ///< wrong data silently consumed (SDC)
     std::map<Mechanism, uint64_t> byMechanism;
+
+    /** Serialize all fields as one JSON object. */
+    void writeJson(obs::JsonWriter &w) const;
 };
 
 /**
@@ -68,6 +72,12 @@ struct ReplayReport
  * every read of a previously-written block is checked against the
  * expected payload to count silent corruption.  Any detection triggers
  * one retry of the access (command-replay recovery, §IV-G).
+ *
+ * When the stack carries an observer, the replay mirrors its report
+ * into the registry ("replay.accesses", "stack.retries",
+ * "replay.flagged_reads", "replay.corrupt_reads") and emits one Retry
+ * trace event per re-executed access, so counter totals cross-check
+ * against the returned ReplayReport.
  */
 ReplayReport replayTrace(ProtectionStack &stack,
                          const std::vector<TraceRecord> &trace,
