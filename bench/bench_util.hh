@@ -28,6 +28,11 @@ struct Options
     unsigned allPin = 0;   ///< all-pin noise samples (0 = default)
     bool quick = false;    ///< cut work for smoke runs
     std::string jsonPath;  ///< write a machine-readable artifact here
+
+    // In-band recovery knobs (benches that model recovery only).
+    unsigned recoveryAttempts = 0; ///< retry budget override (0 = default)
+    unsigned recoveryPersist = 0;  ///< fault persistence edges (0 = 1)
+    uint64_t recoveryPatrol = 0;   ///< patrol period in accesses (0 = off)
 };
 
 inline void
@@ -35,11 +40,19 @@ usage(std::FILE *to, const char *prog)
 {
     std::fprintf(to,
                  "usage: %s [--quick] [--trials N] [--allpin N] "
-                 "[--json PATH] [--help]\n"
+                 "[--json PATH]\n"
+                 "       [--recovery-attempts N] [--recovery-persist N] "
+                 "[--recovery-patrol N] [--help]\n"
                  "  --quick      cut work for smoke runs\n"
                  "  --trials N   Monte-Carlo trials per cell\n"
                  "  --allpin N   all-pin noise samples per cell\n"
-                 "  --json PATH  also write the results as JSON\n",
+                 "  --json PATH  also write the results as JSON\n"
+                 "  --recovery-attempts N  in-band retry budget per "
+                 "episode\n"
+                 "  --recovery-persist N   injected faults persist N "
+                 "command edges\n"
+                 "  --recovery-patrol N    patrol-scrub one block every "
+                 "N accesses\n",
                  prog);
 }
 
@@ -57,6 +70,17 @@ parse(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             opt.jsonPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--recovery-attempts") &&
+                   i + 1 < argc) {
+            opt.recoveryAttempts = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--recovery-persist") &&
+                   i + 1 < argc) {
+            opt.recoveryPersist = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--recovery-patrol") &&
+                   i + 1 < argc) {
+            opt.recoveryPatrol = std::strtoull(argv[++i], nullptr, 10);
         } else if (!std::strcmp(argv[i], "--help")) {
             usage(stdout, argv[0]);
             std::exit(0);
@@ -105,6 +129,9 @@ writeJsonArtifact(const Options &opt, const std::string &benchName,
     w.kv("trials", opt.trials);
     w.kv("allpin", opt.allPin);
     w.kv("quick", opt.quick);
+    w.kv("recovery_attempts", opt.recoveryAttempts);
+    w.kv("recovery_persist", opt.recoveryPersist);
+    w.kv("recovery_patrol", opt.recoveryPatrol);
     w.endObject();
     w.key("results");
     fill(w);

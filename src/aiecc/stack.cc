@@ -36,6 +36,9 @@ ProtectionStack::ProtectionStack(const StackConfig &config)
     };
     rankModel = std::make_unique<DramRank>(rc);
     ctrl = std::make_unique<MemController>(rc, rankModel.get());
+    ctrl->setReplayDepth(cfg.recovery.replayBufferDepth);
+    rec = std::make_unique<RecoveryEngine>(
+        cfg.recovery, cfg.geom.numBanks(), cfg.observer);
     rankModel->setObserver(cfg.observer);
     ctrl->setObserver(cfg.observer);
     if (cfg.observer && cfg.observer->stats()) {
@@ -96,6 +99,8 @@ ProtectionStack::drainAlerts()
     const auto &alerts = ctrl->alerts();
     for (; alertsSeen < alerts.size(); ++alertsSeen) {
         const Alert &alert = alerts[alertsSeen];
+        if (alert.flatBank)
+            lastAlertBank = alert.flatBank;
         DetectionEvent ev;
         ev.when = alert.when;
         ev.early = true; // device alerts block the command pre-array
@@ -120,6 +125,176 @@ ProtectionStack::drainAlerts()
     }
 }
 
+// ---- RecoveryPort: the engine drives recovery through the same
+// ---- command path the workload uses, so every replayed edge is
+// ---- subject to the live fault model and the full mechanism set.
+
+Cycle
+ProtectionStack::portNow() const
+{
+    return ctrl->now();
+}
+
+bool
+ProtectionStack::wrtMismatch() const
+{
+    return cfg.mech.parity == ParityMode::ECap &&
+           ctrl->wrtBit() != rankModel->wrtBit();
+}
+
+std::optional<ReplayEntry>
+ProtectionStack::newestWrite() const
+{
+    const auto buffered = ctrl->newestWrite();
+    if (!buffered)
+        return std::nullopt;
+    ReplayEntry entry;
+    entry.addr = MtbAddress{0, buffered->cmd.bg, buffered->cmd.ba,
+                            buffered->row,
+                            buffered->cmd.col >> Geometry::burstBits};
+    entry.burst = buffered->burst;
+    return entry;
+}
+
+void
+ProtectionStack::resyncWrt()
+{
+    ctrl->resyncWrt();
+}
+
+void
+ProtectionStack::drainReadFifo()
+{
+    ctrl->resetReadFifo();
+}
+
+void
+ProtectionStack::backoff(Cycle cycles)
+{
+    ctrl->idle(cycles);
+}
+
+bool
+ProtectionStack::reopenRow(unsigned bg, unsigned ba, unsigned row)
+{
+    const size_t mark = events.size();
+    issuePre(bg, ba);
+    issueAct(bg, ba, row);
+    const bool ok = events.size() == mark;
+    // Keep the high-level row cache honest either way: on failure the
+    // device's bank state is unknown, so force a fresh PRE/ACT pair on
+    // the next managed access.
+    hlOpenRow[bg * cfg.geom.banksPerGroup() + ba] =
+        ok ? static_cast<int>(row) : -1;
+    return ok;
+}
+
+bool
+ProtectionStack::replayWrite(const ReplayEntry &entry)
+{
+    const size_t mark = events.size();
+    if (oc.writes)
+        ++*oc.writes;
+    ctrl->issue(Command::wr(entry.addr.bg, entry.addr.ba,
+                            entry.addr.col << Geometry::burstBits),
+                entry.burst);
+    drainAlerts();
+    return events.size() == mark;
+}
+
+std::optional<BitVec>
+ProtectionStack::reissueRead(const MtbAddress &addr)
+{
+    const size_t mark = events.size();
+    if (oc.reads)
+        ++*oc.reads;
+    const auto res = ctrl->issue(
+        Command::rd(addr.bg, addr.ba, addr.col << Geometry::burstBits));
+    drainAlerts();
+    if (events.size() != mark || !res.readBurst)
+        return std::nullopt;
+    if (!codec)
+        return res.readBurst->data();
+    // Decode quietly: the episode's original detection is already
+    // logged, and a still-broken reissue is an attempt failure, not a
+    // fresh event.
+    const EccResult ecc =
+        codec->decode(*res.readBurst, addr.pack(cfg.geom));
+    if (ecc.status == EccStatus::Uncorrectable || ecc.addressError)
+        return std::nullopt;
+    return ecc.data;
+}
+
+bool
+ProtectionStack::reissue(const Command &cmd)
+{
+    const size_t mark = events.size();
+    ctrl->issue(cmd);
+    drainAlerts();
+    return events.size() == mark;
+}
+
+void
+ProtectionStack::maybeRecoverAlert(
+    size_t mark, const Command &intended,
+    const std::optional<ReplayEntry> &wrEntry)
+{
+    if (!rec || inRecovery || events.size() == mark)
+        return;
+    RecoveryCause cause = RecoveryCause::CaParity;
+    switch (events[mark].mech) {
+      case Mechanism::Cap:
+      case Mechanism::ECap:
+        cause = RecoveryCause::CaParity;
+        break;
+      case Mechanism::Wcrc:
+      case Mechanism::EWcrc:
+        cause = RecoveryCause::Wcrc;
+        break;
+      case Mechanism::Cstc:
+        cause = RecoveryCause::Cstc;
+        break;
+      default:
+        return; // decode detections recover through issueRd
+    }
+    unsigned flatBank = 0;
+    if (intended.type == CmdType::Act || intended.type == CmdType::Wr ||
+        intended.type == CmdType::Rd || intended.type == CmdType::Pre)
+        flatBank = intended.bg * cfg.geom.banksPerGroup() + intended.ba;
+    else if (lastAlertBank)
+        flatBank = *lastAlertBank;
+    inRecovery = true;
+    rec->onAlert(cause, intended, flatBank, wrEntry, *this);
+    inRecovery = false;
+}
+
+void
+ProtectionStack::tickPatrol()
+{
+    if (!rec || !cfg.recovery.patrolPeriod || inRecovery || inPatrol)
+        return;
+    if (++accessesSincePatrol < cfg.recovery.patrolPeriod)
+        return;
+    accessesSincePatrol = 0;
+    const auto addrs = rankModel->storedAddresses();
+    if (addrs.empty())
+        return;
+    patrolCursor %= addrs.size();
+    const MtbAddress addr = addrs[patrolCursor++];
+    inPatrol = true;
+    const ReadOutcome out = read(addr);
+    bool scrubbed = false;
+    if (out.corrected && !out.due) {
+        // scrubOnCorrection already wrote the block back inside the
+        // read; otherwise the patrol performs the write-back itself.
+        if (!cfg.scrubOnCorrection)
+            write(addr, out.data);
+        scrubbed = true;
+    }
+    inPatrol = false;
+    rec->notePatrol(addr, scrubbed, ctrl->now());
+}
+
 Burst
 ProtectionStack::encodeWrite(const MtbAddress &addr,
                              const BitVec &data) const
@@ -136,8 +311,10 @@ ProtectionStack::encodeWrite(const MtbAddress &addr,
 void
 ProtectionStack::issueAct(unsigned bg, unsigned ba, unsigned row)
 {
+    const size_t mark = events.size();
     ctrl->issue(Command::act(bg, ba, row));
     drainAlerts();
+    maybeRecoverAlert(mark, Command::act(bg, ba, row), std::nullopt);
 }
 
 void
@@ -146,10 +323,12 @@ ProtectionStack::issueWr(const MtbAddress &addr, const BitVec &data)
     const Burst burst = encodeWrite(addr, data);
     if (oc.writes)
         ++*oc.writes;
-    ctrl->issue(Command::wr(addr.bg, addr.ba,
-                            addr.col << Geometry::burstBits),
-                burst);
+    const size_t mark = events.size();
+    const Command cmd =
+        Command::wr(addr.bg, addr.ba, addr.col << Geometry::burstBits);
+    ctrl->issue(cmd, burst);
     drainAlerts();
+    maybeRecoverAlert(mark, cmd, ReplayEntry{addr, burst});
 }
 
 ReadOutcome
@@ -157,95 +336,125 @@ ProtectionStack::issueRd(const MtbAddress &addr)
 {
     if (oc.reads)
         ++*oc.reads;
+    const size_t mark = events.size();
     const auto res = ctrl->issue(
         Command::rd(addr.bg, addr.ba, addr.col << Geometry::burstBits));
     drainAlerts();
+    const bool deviceAlert = events.size() > mark;
 
     ReadOutcome out;
+    bool addressFault = false;
     if (!res.readBurst) {
         // The device blocked the read (parity/CSTC alert): the data
-        // never arrived.  Report a DUE-like outcome; a retry follows.
+        // never arrived.
         out.detected = true;
         out.due = true;
-        if (oc.dues)
-            ++*oc.dues;
-        return out;
-    }
-
-    if (!codec) {
+    } else if (!codec) {
         out.data = res.readBurst->data();
-        return out;
-    }
+    } else {
+        const EccResult ecc =
+            codec->decode(*res.readBurst, addr.pack(cfg.geom));
+        out.data = ecc.data;
+        if (ecc.detected()) {
+            out.detected = true;
+            out.corrected = ecc.status == EccStatus::Corrected;
+            out.due = ecc.status == EccStatus::Uncorrectable;
+            addressFault = ecc.addressError;
 
-    const EccResult ecc =
-        codec->decode(*res.readBurst, addr.pack(cfg.geom));
-    out.data = ecc.data;
-    if (ecc.detected()) {
-        out.detected = true;
-        out.corrected = ecc.status == EccStatus::Corrected;
-        out.due = ecc.status == EccStatus::Uncorrectable;
+            DetectionEvent ev;
+            ev.mech = codec->protectsAddress() ? Mechanism::EDecc
+                                               : Mechanism::Decc;
+            ev.when = ctrl->now();
+            ev.early = false;
+            ev.corrected = out.corrected;
+            ev.addressError = ecc.addressError;
+            ev.diagnosedAddress = ecc.recoveredAddress;
+            ev.detail = codec->name() +
+                        (out.corrected ? " corrected read @"
+                                       : " DUE on read @") +
+                        addr.toString();
+            const bool scrub = cfg.scrubOnCorrection && out.corrected &&
+                               !ecc.addressError;
+            noteDetection(std::move(ev));
 
-        DetectionEvent ev;
-        ev.mech = codec->protectsAddress() ? Mechanism::EDecc
-                                           : Mechanism::Decc;
-        ev.when = ctrl->now();
-        ev.early = false;
-        ev.corrected = out.corrected;
-        ev.addressError = ecc.addressError;
-        ev.diagnosedAddress = ecc.recoveredAddress;
-        ev.detail = codec->name() + (out.corrected ? " corrected read @"
-                                                   : " DUE on read @") +
-                    addr.toString();
-        const bool scrub = cfg.scrubOnCorrection && out.corrected &&
-                           !ecc.addressError;
-        noteDetection(std::move(ev));
-        if (out.due && oc.dues)
-            ++*oc.dues;
-
-        if (scrub) {
-            // Redirect scrubbing (§V-D): write the corrected block
-            // back so the transient flip cannot combine with a later
-            // one into an uncorrectable pattern.
-            issueWr(addr, out.data);
-            ++scrubs;
-            if (cfg.observer) {
-                if (oc.scrubs)
-                    ++*oc.scrubs;
-                cfg.observer->emit(obs::EventKind::Scrub, ctrl->now(),
-                                   codec->name(), addr.pack(cfg.geom),
-                                   "scrub write-back @" + addr.toString());
+            if (scrub) {
+                // Redirect scrubbing (§V-D): write the corrected block
+                // back so the transient flip cannot combine with a
+                // later one into an uncorrectable pattern.
+                issueWr(addr, out.data);
+                ++scrubs;
+                if (cfg.observer) {
+                    if (oc.scrubs)
+                        ++*oc.scrubs;
+                    cfg.observer->emit(
+                        obs::EventKind::Scrub, ctrl->now(),
+                        codec->name(), addr.pack(cfg.geom),
+                        "scrub write-back @" + addr.toString());
+                }
             }
         }
     }
+
+    // In-band recovery (§IV-G): a device alert on the RD edge, an
+    // uncorrectable decode, or a corrected-but-wrong-address decode
+    // all mean the delivered payload cannot be consumed as-is.  A
+    // plain (non-address) correction needs no retry.
+    if (rec && !inRecovery &&
+        (deviceAlert || out.due || (out.corrected && addressFault))) {
+        inRecovery = true;
+        const RecoveryOutcome rr =
+            rec->onReadDetection(addr, addr.flatBank(cfg.geom), *this);
+        inRecovery = false;
+        if (rr.recovered && rr.data) {
+            out.data = *rr.data;
+            out.detected = true;
+            out.corrected = true;
+            out.due = false;
+        } else if (rr.attempted) {
+            // The retry budget ran out: deliver a residual DUE.
+            out.corrected = false;
+            out.due = true;
+        }
+    }
+    if (out.due && oc.dues)
+        ++*oc.dues;
     return out;
 }
 
 void
 ProtectionStack::issuePre(unsigned bg, unsigned ba)
 {
+    const size_t mark = events.size();
     ctrl->issue(Command::pre(bg, ba));
     drainAlerts();
+    maybeRecoverAlert(mark, Command::pre(bg, ba), std::nullopt);
 }
 
 void
 ProtectionStack::issuePreAll()
 {
+    const size_t mark = events.size();
     ctrl->issue(Command::preAll());
     drainAlerts();
+    maybeRecoverAlert(mark, Command::preAll(), std::nullopt);
 }
 
 void
 ProtectionStack::issueRef()
 {
+    const size_t mark = events.size();
     ctrl->issue(Command::ref());
     drainAlerts();
+    maybeRecoverAlert(mark, Command::ref(), std::nullopt);
 }
 
 void
 ProtectionStack::issueNop()
 {
+    const size_t mark = events.size();
     ctrl->issue(Command::nop());
     drainAlerts();
+    maybeRecoverAlert(mark, Command::nop(), std::nullopt);
 }
 
 void
@@ -268,12 +477,16 @@ ProtectionStack::write(const MtbAddress &addr, const BitVec &data)
 {
     const unsigned bank = addr.flatBank(cfg.geom);
     if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
-        if (hlOpenRow[bank] >= 0)
+        // A failed recovery episode can drop the row cache while the
+        // controller still believes the bank is open; precharge in
+        // that case too so the ACT below stays legal.
+        if (hlOpenRow[bank] >= 0 || ctrl->bankOpen(bank))
             issuePre(addr.bg, addr.ba);
         issueAct(addr.bg, addr.ba, addr.row);
         hlOpenRow[bank] = static_cast<int>(addr.row);
     }
     issueWr(addr, data);
+    tickPatrol();
 }
 
 ReadOutcome
@@ -281,12 +494,14 @@ ProtectionStack::read(const MtbAddress &addr)
 {
     const unsigned bank = addr.flatBank(cfg.geom);
     if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
-        if (hlOpenRow[bank] >= 0)
+        if (hlOpenRow[bank] >= 0 || ctrl->bankOpen(bank))
             issuePre(addr.bg, addr.ba);
         issueAct(addr.bg, addr.ba, addr.row);
         hlOpenRow[bank] = static_cast<int>(addr.row);
     }
-    return issueRd(addr);
+    const ReadOutcome out = issueRd(addr);
+    tickPatrol();
+    return out;
 }
 
 } // namespace aiecc

@@ -21,6 +21,7 @@
 #include "aiecc/mechanisms.hh"
 #include "controller/controller.hh"
 #include "obs/observer.hh"
+#include "recovery/recovery.hh"
 
 namespace aiecc
 {
@@ -43,6 +44,14 @@ struct StackConfig
     bool scrubOnCorrection = false;
 
     /**
+     * In-band recovery policies (§IV-G): bounded alert-driven retry,
+     * the escalation ladder, and the patrol scrubber.  Enabled by
+     * default with the patrol off; set recovery.enabled = false for a
+     * detect-only stack.
+     */
+    RecoveryConfig recovery;
+
+    /**
      * Optional measurement hookup, shared with the controller and
      * rank models.  nullptr (the default) keeps the hot path free of
      * any instrumentation cost beyond one pointer test; with a
@@ -62,8 +71,14 @@ struct ReadOutcome
 
 /**
  * One memory channel protected by a configurable mechanism set.
+ *
+ * Detections are handled in-band: the owned RecoveryEngine consumes
+ * every alert or flagged decode and drives bounded retry through the
+ * real controller path (the private RecoveryPort implementation).
+ * Recovery can honestly fail — a fault that persists across the retry
+ * window leaves a residual DUE.
  */
-class ProtectionStack
+class ProtectionStack : private RecoveryPort
 {
   public:
     explicit ProtectionStack(const StackConfig &config);
@@ -124,6 +139,13 @@ class ProtectionStack
     DataEcc *ecc() { return codec.get(); }
     obs::Observer *observer() const { return cfg.observer; }
 
+    /** The in-band recovery engine (escalation queries, stats). */
+    RecoveryEngine &recovery() { return *rec; }
+    const RecoveryEngine &recovery() const { return *rec; }
+
+    /** Engine totals, queryable without an observer. */
+    const RecoveryStats &recoveryStats() const { return rec->stats(); }
+
   private:
     StackConfig cfg;
     std::unique_ptr<DataEcc> codec;
@@ -132,6 +154,14 @@ class ProtectionStack
     std::vector<DetectionEvent> events;
     size_t alertsSeen = 0;
     uint64_t scrubs = 0;
+
+    std::unique_ptr<RecoveryEngine> rec;
+    bool inRecovery = false; ///< port calls must not re-enter the engine
+    bool inPatrol = false;   ///< patrol reads must not re-tick the patrol
+    /** Bank the newest drained alert was attributable to. */
+    std::optional<unsigned> lastAlertBank;
+    uint64_t accessesSincePatrol = 0;
+    size_t patrolCursor = 0;
 
     /** Counters resolved at construction (observer + registry only). */
     struct StackCounters
@@ -159,6 +189,28 @@ class ProtectionStack
 
     /** Prepare the full burst for a write (ECC encode or raw). */
     Burst encodeWrite(const MtbAddress &addr, const BitVec &data) const;
+
+    /**
+     * Hand a freshly-drained alert (events grew past @p mark while
+     * issuing @p intended) to the recovery engine.
+     */
+    void maybeRecoverAlert(size_t mark, const Command &intended,
+                           const std::optional<ReplayEntry> &wrEntry);
+
+    /** Run one patrol-scrub step when the access period elapsed. */
+    void tickPatrol();
+
+    // ---- RecoveryPort (the engine's view of this stack) ----
+    Cycle portNow() const override;
+    bool wrtMismatch() const override;
+    std::optional<ReplayEntry> newestWrite() const override;
+    void resyncWrt() override;
+    void drainReadFifo() override;
+    void backoff(Cycle cycles) override;
+    bool reopenRow(unsigned bg, unsigned ba, unsigned row) override;
+    bool replayWrite(const ReplayEntry &entry) override;
+    std::optional<BitVec> reissueRead(const MtbAddress &addr) override;
+    bool reissue(const Command &cmd) override;
 };
 
 } // namespace aiecc

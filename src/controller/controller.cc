@@ -63,6 +63,14 @@ MemController::resyncWrt()
 }
 
 void
+MemController::setReplayDepth(size_t depth)
+{
+    replayCap = depth;
+    while (replayBuffer.size() > replayCap)
+        replayBuffer.pop_front();
+}
+
+void
 MemController::advanceToLegalSlot(const Command &cmd)
 {
     const unsigned bound =
@@ -127,6 +135,15 @@ MemController::issue(const Command &cmd, const std::optional<Burst> &data)
     IssueResult result;
     result.when = cycle;
     result.cmdIndex = cmdIndex;
+
+    // Retain the intended write for in-band recovery: if an alert
+    // later reveals this WR never landed, the engine replays it from
+    // here instead of re-fetching from an omniscient golden state.
+    if (cmd.type == CmdType::Wr && replayCap) {
+        replayBuffer.push_back({cmd, *data, intendedRow});
+        if (replayBuffer.size() > replayCap)
+            replayBuffer.pop_front();
+    }
 
     // Render pins and drive parity with the controller-side WRT.
     PinWord pins = encodeCommand(cmd);

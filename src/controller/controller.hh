@@ -31,6 +31,18 @@ namespace aiecc
  */
 using PinCorruptor = std::function<void(uint64_t cmdIndex, PinWord &pins)>;
 
+/**
+ * One write retained for in-band recovery: the intended command, the
+ * full burst that went with it, and the row the controller believed
+ * open when it was issued (WR commands carry no row on the pins).
+ */
+struct BufferedWrite
+{
+    Command cmd;
+    Burst burst;
+    unsigned row = 0;
+};
+
 /** Everything that came back from one issued command. */
 struct IssueResult
 {
@@ -85,6 +97,12 @@ class MemController
     /** Controller-side write-toggle bit (eCAP state). */
     bool wrtBit() const { return wrt; }
 
+    /** The controller's own belief whether @p flatBank is open. */
+    bool bankOpen(unsigned flatBank) const
+    {
+        return sched.bankOpen(flatBank);
+    }
+
     /** All device alerts observed so far. */
     const std::vector<Alert> &alerts() const { return alertLog; }
 
@@ -117,6 +135,31 @@ class MemController
      */
     void resetReadFifo();
 
+    /**
+     * Let @p cycles pass with the command bus idle.  No edge is
+     * driven, so nothing can be corrupted in flight; used as retry
+     * backoff so the device leaves transient states (power-down exit
+     * windows) before a command is replayed.
+     */
+    void idle(Cycle cycles) { cycle += cycles; }
+
+    /**
+     * Resize the bounded write-replay buffer (default 8 entries; 0
+     * disables buffering).  The newest writes are kept.
+     */
+    void setReplayDepth(size_t depth);
+
+    /** Newest buffered write, if any. */
+    std::optional<BufferedWrite> newestWrite() const
+    {
+        if (replayBuffer.empty())
+            return std::nullopt;
+        return replayBuffer.back();
+    }
+
+    /** Writes currently held for replay. */
+    size_t replayDepth() const { return replayBuffer.size(); }
+
   private:
     RankConfig cfg;
     DramRank *rank;
@@ -141,6 +184,10 @@ class MemController
     std::deque<Burst> phyFifo;
     Burst lastPopped;    ///< stale entry re-read on FIFO underflow
     bool everPopped = false;
+
+    /** Bounded history of intended writes (in-band WR replay). */
+    std::deque<BufferedWrite> replayBuffer;
+    size_t replayCap = 8;
 
     /** The controller's view of each bank's open row (eWCRC address). */
     std::vector<unsigned> openRows;

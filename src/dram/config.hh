@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "ddr4/address.hh"
@@ -52,6 +53,13 @@ struct Alert
     AlertKind kind;
     Cycle when = 0;
     std::string detail;
+    /**
+     * Flat bank index the offending command addressed, when the alert
+     * is attributable to one bank (WCRC mismatch, most CSTC checks).
+     * CA-parity alerts block the command before it is decoded, so no
+     * bank is known.
+     */
+    std::optional<unsigned> flatBank;
 };
 
 /** Static configuration of a DRAM rank model. */

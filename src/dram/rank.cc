@@ -186,10 +186,15 @@ DramRank::step(Cycle now, const PinWord &pins,
             now < pdEntry + cfg.timing.tXP) {
             if (oc.cstcAlerts)
                 ++*oc.cstcAlerts;
+            const Command &pd = result.decoded.cmd;
+            std::optional<unsigned> bank;
+            if (pd.type == CmdType::Act || pd.type == CmdType::Rd ||
+                pd.type == CmdType::Wr || pd.type == CmdType::Pre)
+                bank = pd.bg * cfg.geom.banksPerGroup() + pd.ba;
             result.alerts.push_back(
                 {AlertKind::Cstc, now,
                  "command violates tXP after power-down exit (" +
-                     result.decoded.cmd.toString() + ")"});
+                     pd.toString() + ")", bank});
             return result;
         }
     }
@@ -209,7 +214,7 @@ DramRank::step(Cycle now, const PinWord &pins,
                 ++*oc.capAlerts;
             result.alerts.push_back(
                 {AlertKind::CaParity, now,
-                 "parity mismatch on " + cmd.toString()});
+                 "parity mismatch on " + cmd.toString(), std::nullopt});
             return result;
         }
     }
@@ -224,9 +229,13 @@ DramRank::step(Cycle now, const PinWord &pins,
         if (auto violation = cstc.check(now, cmd)) {
             if (oc.cstcAlerts)
                 ++*oc.cstcAlerts;
+            std::optional<unsigned> bank;
+            if (cmd.type == CmdType::Act || cmd.type == CmdType::Rd ||
+                cmd.type == CmdType::Wr || cmd.type == CmdType::Pre)
+                bank = cmd.bg * cfg.geom.banksPerGroup() + cmd.ba;
             result.alerts.push_back(
                 {AlertKind::Cstc, now,
-                 *violation + " (" + cmd.toString() + ")"});
+                 *violation + " (" + cmd.toString() + ")", bank});
             return result;
         }
     }
@@ -415,7 +424,8 @@ DramRank::doWrite(Cycle now, const Command &cmd,
                 ++*oc.wcrcAlerts;
             std::ostringstream detail;
             detail << "write CRC mismatch at " << devAddr.toString();
-            result.alerts.push_back({AlertKind::Wcrc, now, detail.str()});
+            result.alerts.push_back({AlertKind::Wcrc, now, detail.str(),
+                                     devAddr.flatBank(cfg.geom)});
             // The write is blocked: no array mutation.
             return;
         }

@@ -70,11 +70,15 @@ patternName(CommandPattern pattern)
 std::string
 PinError::toString() const
 {
-    if (allPin)
-        return "all-pin";
     std::ostringstream out;
-    for (size_t i = 0; i < flips.size(); ++i)
-        out << (i ? "+" : "") << pinName(flips[i]);
+    if (allPin) {
+        out << "all-pin";
+    } else {
+        for (size_t i = 0; i < flips.size(); ++i)
+            out << (i ? "+" : "") << pinName(flips[i]);
+    }
+    if (persistence > 1)
+        out << "x" << persistence;
     return out.str();
 }
 
@@ -88,6 +92,18 @@ outcomeName(Outcome outcome)
       case Outcome::Sdc: return "SDC";
       case Outcome::Mdc: return "MDC";
       case Outcome::SdcMdc: return "SDC+MDC";
+    }
+    return "?";
+}
+
+std::string
+recoveryClassName(RecoveryClass cls)
+{
+    switch (cls) {
+      case RecoveryClass::None: return "none";
+      case RecoveryClass::FirstTry: return "first_try";
+      case RecoveryClass::AfterRetries: return "after_retries";
+      case RecoveryClass::Exhausted: return "exhausted";
     }
     return "?";
 }
@@ -133,6 +149,14 @@ CampaignStats::add(const TrialResult &result)
         ++sdcMdcBoth;
         break;
     }
+    recoveryEpisodes += result.recoveryEpisodes;
+    recoveryAttempts += result.recoveryAttempts;
+    switch (result.recovery) {
+      case RecoveryClass::None: break;
+      case RecoveryClass::FirstTry: ++recoveredFirstTry; break;
+      case RecoveryClass::AfterRetries: ++recoveredAfterRetries; break;
+      case RecoveryClass::Exhausted: ++retryExhausted; break;
+    }
 }
 
 void
@@ -151,6 +175,20 @@ CampaignStats::writeJson(obs::JsonWriter &w) const
     w.kv("covered_frac", coveredFrac());
     w.kv("sdc_frac", sdcFrac());
     w.kv("mdc_frac", mdcFrac());
+    w.key("recovery");
+    w.beginObject();
+    w.kv("episodes", recoveryEpisodes);
+    w.kv("attempts", recoveryAttempts);
+    w.kv("recovered_first_try", recoveredFirstTry);
+    w.kv("recovered_after_retries", recoveredAfterRetries);
+    w.kv("retry_exhausted", retryExhausted);
+    w.kv("mean_attempts_per_episode",
+         recoveryEpisodes
+             ? static_cast<double>(recoveryAttempts) / recoveryEpisodes
+             : 0.0);
+    w.kv("exhausted_frac",
+         trials ? static_cast<double>(retryExhausted) / trials : 0.0);
+    w.endObject();
     w.key("by_first_detector");
     w.beginObject();
     for (const auto &[mechKind, count] : byFirstDetector)
@@ -187,6 +225,15 @@ InjectionCampaign::setObserver(obs::Observer *observer)
                 mechanismName(static_cast<Mechanism>(m)),
             "trials whose first detection came from this mechanism");
     }
+    oc.recoveredFirstTry = &reg.counter(
+        "campaign.recovery.first_try",
+        "trials recovered in-band on the first attempt");
+    oc.recoveredAfterRetries = &reg.counter(
+        "campaign.recovery.after_retries",
+        "trials recovered in-band after more than one attempt");
+    oc.retryExhausted = &reg.counter(
+        "campaign.recovery.exhausted",
+        "trials whose in-band retry budget ran out");
 }
 
 namespace
@@ -199,6 +246,7 @@ struct ReadRecord
     BitVec data{Burst::dataBits};
     bool flagged = false;
     Cycle when = 0;
+    bool due = false;
 };
 
 struct SequenceContext
@@ -212,7 +260,7 @@ struct SequenceContext
         const auto out = stack.issueRd(addr);
         if (reads) {
             reads->push_back({out.data, out.detected || out.due,
-                              stack.controller().now()});
+                              stack.controller().now(), out.due});
         }
     }
 };
@@ -300,24 +348,6 @@ runVerify(ProtectionStack &stack, std::vector<ReadRecord> *reads)
     }
 }
 
-/** Restore the intended pre-pattern bank state for a command retry. */
-void
-replayRestore(ProtectionStack &stack, CommandPattern pattern)
-{
-    stack.controller().resyncWrt();
-    stack.controller().resetReadFifo();
-    stack.issuePreAll();
-    const Geometry geom = stack.geometry();
-    for (unsigned bg = 0; bg < geom.numBankGroups(); ++bg) {
-        for (unsigned ba = 0; ba < geom.banksPerGroup(); ++ba)
-            stack.issueAct(bg, ba, rowA);
-    }
-    if (pattern == CommandPattern::ActWr ||
-        pattern == CommandPattern::ActRd) {
-        stack.issuePre(targetBg, targetBa);
-    }
-}
-
 /** The intended command on the pattern's target (first) edge. */
 Command
 targetCommand(CommandPattern pattern)
@@ -345,6 +375,7 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
 {
     StackConfig cfg;
     cfg.mech = mech;
+    cfg.recovery = recoveryCfg;
     cfg.seed = seed ^ (static_cast<uint64_t>(pattern) << 56) ^
                error.noiseSeed;
 
@@ -371,13 +402,18 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
     PinWord corrupted;
     const PinError err = error;
     const bool parPresent = mech.parPinPresent();
+    // The corruptor stays live for the fault's whole persistence
+    // window — including through any in-band recovery attempts, which
+    // burn command edges of their own.  The engine's attempt bound,
+    // not the harness, decides whether the trial recovers.
     faulty.setPinCorruptor(
         [targetIdx, err, parPresent, &corrupted](uint64_t idx,
                                                  PinWord &pins) {
-            if (idx != targetIdx)
+            if (idx < targetIdx || idx >= targetIdx + err.persistence)
                 return;
             if (err.allPin) {
-                Rng noise(0xA11F1A5ULL ^ err.noiseSeed);
+                Rng noise(0xA11F1A5ULL ^ err.noiseSeed ^
+                          ((idx - targetIdx) * 0x9E3779B97F4A7C15ULL));
                 for (unsigned p = 0; p < numCccaPins; ++p) {
                     const Pin pin = static_cast<Pin>(p);
                     if (pin == Pin::CK)
@@ -390,7 +426,8 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
                 for (Pin pin : err.flips)
                     pins.flip(pin);
             }
-            corrupted = pins;
+            if (idx == targetIdx)
+                corrupted = pins;
         });
 
     std::vector<ReadRecord> firstPass;
@@ -421,25 +458,18 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
         }
     }
 
-    // ---- Recovery: command retry after any detection (§IV-G). ----
-    std::vector<ReadRecord> finalPass = firstPass;
-    if (tr.detected) {
-        faulty.setPinCorruptor({});
-        replayRestore(faulty, pattern);
-        finalPass.clear();
-        runPattern(faulty, pattern, &finalPass);
-        faulty.issueNop();
-        runVerify(faulty, &finalPass);
-    }
-
     // ---- Classification against golden. ----
+    // The in-band recovery engine already ran inside the faulty pass
+    // (§IV-G); there is no golden-restore replay.  A read the engine
+    // recovered is flagged but carries correct data; whatever it could
+    // not fix is residual.
     bool residual = false;
-    for (size_t i = 0; i < finalPass.size(); ++i) {
-        if (finalPass[i].flagged) {
+    for (size_t i = 0; i < firstPass.size(); ++i) {
+        if (firstPass[i].due) {
             residual = true; // a DUE was delivered to the consumer
             continue;
         }
-        if (finalPass[i].data != goldenReads[i].data) {
+        if (firstPass[i].data != goldenReads[i].data) {
             residual = true;
             if (!tr.detected)
                 tr.sdc = true;
@@ -459,6 +489,19 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
     }
     if (faulty.rank().modeCorrupted())
         tr.mdc = true;
+
+    // The faulty stack is fresh per trial, so its engine statistics
+    // are this trial's recovery record.
+    const RecoveryStats &rs = faulty.recoveryStats();
+    tr.recoveryEpisodes = rs.episodes;
+    tr.recoveryAttempts = rs.attempts;
+    tr.retryExhausted = rs.exhausted > 0;
+    if (rs.exhausted)
+        tr.recovery = RecoveryClass::Exhausted;
+    else if (rs.recoveredAfterRetries)
+        tr.recovery = RecoveryClass::AfterRetries;
+    else if (rs.recovered)
+        tr.recovery = RecoveryClass::FirstTry;
 
     if (tr.sdc || (!tr.detected && tr.mdc)) {
         // Silent corruption escaped (even if something fired later).
@@ -481,11 +524,27 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
             ++*oc.byOutcome[static_cast<unsigned>(tr.outcome)];
             if (auto first = tr.firstDetector())
                 ++*oc.byFirstDetector[static_cast<unsigned>(*first)];
+            switch (tr.recovery) {
+              case RecoveryClass::None: break;
+              case RecoveryClass::FirstTry:
+                ++*oc.recoveredFirstTry;
+                break;
+              case RecoveryClass::AfterRetries:
+                ++*oc.recoveredAfterRetries;
+                break;
+              case RecoveryClass::Exhausted:
+                ++*oc.retryExhausted;
+                break;
+            }
         }
         std::string detail = patternName(pattern) + " / " +
                              error.toString();
         if (auto first = tr.firstDetector())
             detail += " first=" + mechanismName(*first);
+        if (tr.recovery != RecoveryClass::None) {
+            detail += " recovery=" + recoveryClassName(tr.recovery) +
+                      "(" + std::to_string(tr.recoveryAttempts) + ")";
+        }
         obsHook->emit(obs::EventKind::Classification,
                       faulty.controller().now(),
                       outcomeName(tr.outcome), trialIndex, detail);

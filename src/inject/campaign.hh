@@ -51,10 +51,22 @@ struct PinError
     bool allPin = false;
     /** Seed for the all-pin randomization. */
     uint64_t noiseSeed = 0;
+    /**
+     * Command edges the fault persists for, starting at the target
+     * edge.  1 (the default) is the paper's transient single-edge
+     * model; larger values model an intermittent fault that outlives
+     * in-band retry attempts, which also burn edges while it is live.
+     */
+    unsigned persistence = 1;
 
-    static PinError onePin(Pin pin) { return {{pin}, false, 0}; }
-    static PinError twoPin(Pin a, Pin b) { return {{a, b}, false, 0}; }
-    static PinError allPins(uint64_t seed) { return {{}, true, seed}; }
+    static PinError onePin(Pin pin) { return {{pin}, false, 0, 1}; }
+    static PinError twoPin(Pin a, Pin b) { return {{a, b}, false, 0, 1}; }
+    static PinError allPins(uint64_t seed) { return {{}, true, seed, 1}; }
+    /** Intermittent fault: @p pin stays flipped for @p edges edges. */
+    static PinError intermittent(Pin pin, unsigned edges)
+    {
+        return {{pin}, false, 0, edges};
+    }
 
     std::string toString() const;
 };
@@ -73,6 +85,18 @@ enum class Outcome
 /** Printable outcome name. */
 std::string outcomeName(Outcome outcome);
 
+/** How the in-band recovery engine fared during a trial. */
+enum class RecoveryClass
+{
+    None,         ///< no recovery episode ran
+    FirstTry,     ///< every episode recovered on its first attempt
+    AfterRetries, ///< some episode needed more than one attempt
+    Exhausted,    ///< some episode ran out of attempts
+};
+
+/** Printable recovery-class name ("after_retries", ...). */
+std::string recoveryClassName(RecoveryClass cls);
+
 /** Everything a single injection trial produced. */
 struct TrialResult
 {
@@ -90,6 +114,15 @@ struct TrialResult
     Command intended;
     /** eDECC address diagnosis, when one was produced (§IV-F). */
     std::optional<uint32_t> diagnosedAddress;
+
+    /** In-band recovery episodes the faulty run started. */
+    uint64_t recoveryEpisodes = 0;
+    /** Retry attempts the faulty run spent, across all episodes. */
+    uint64_t recoveryAttempts = 0;
+    /** Some episode exhausted its attempt budget. */
+    bool retryExhausted = false;
+    /** Summary recovery classification of the trial. */
+    RecoveryClass recovery = RecoveryClass::None;
 
     /** First detector, if any. */
     std::optional<Mechanism> firstDetector() const
@@ -112,6 +145,14 @@ struct CampaignStats
     unsigned mdc = 0;      ///< outcome Mdc or SdcMdc
     unsigned sdcMdcBoth = 0; ///< outcome SdcMdc
     std::map<Mechanism, unsigned> byFirstDetector;
+
+    // In-band recovery depth distribution (RecoveredAfterRetries(n) /
+    // RetryExhausted taxonomy, mirrored into bench JSON).
+    uint64_t recoveryEpisodes = 0;
+    uint64_t recoveryAttempts = 0;
+    unsigned recoveredFirstTry = 0;    ///< trials, class FirstTry
+    unsigned recoveredAfterRetries = 0; ///< trials, class AfterRetries
+    unsigned retryExhausted = 0;       ///< trials, class Exhausted
 
     void add(const TrialResult &result);
 
@@ -169,6 +210,15 @@ class InjectionCampaign
      */
     void setObserver(obs::Observer *observer);
 
+    /**
+     * Recovery-engine knobs for the stacks built inside each trial
+     * (attempt budget, backoff, escalation thresholds, patrol).
+     */
+    void setRecoveryConfig(const RecoveryConfig &config)
+    {
+        recoveryCfg = config;
+    }
+
     /** Run one trial: inject @p error into @p pattern's target edge. */
     TrialResult runTrial(CommandPattern pattern, const PinError &error);
 
@@ -190,6 +240,7 @@ class InjectionCampaign
   private:
     Mechanisms mech;
     uint64_t seed;
+    RecoveryConfig recoveryCfg;
     obs::Observer *obsHook = nullptr;
     struct CampaignCounters
     {
@@ -197,6 +248,9 @@ class InjectionCampaign
         obs::Counter *detected = nullptr;
         obs::Counter *byOutcome[6] = {};
         obs::Counter *byFirstDetector[7] = {};
+        obs::Counter *recoveredFirstTry = nullptr;
+        obs::Counter *recoveredAfterRetries = nullptr;
+        obs::Counter *retryExhausted = nullptr;
     };
     CampaignCounters oc;
     uint64_t trialIndex = 0;

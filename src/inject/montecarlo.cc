@@ -113,6 +113,11 @@ DataMonteCarlo::setObserver(obs::Observer *observer)
                 dataOutcomeSlug(static_cast<DataOutcome>(i)),
             "trials classified as this outcome");
     }
+    oc.retryAttempts = &reg.counter("montecarlo.retry.attempts",
+                                    "re-read attempts across trials");
+    oc.retryExhausted = &reg.counter(
+        "montecarlo.retry.exhausted",
+        "trials whose re-read budget ran out");
 }
 
 DataOutcome
@@ -168,7 +173,6 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
 
     const EccResult res = ecc->decode(burst, addrR);
     const bool addrMismatch = addrR != addrW;
-    const bool dataHadError = dataErr != DataErrorModel::None;
 
     const auto classified = [this](DataOutcome outcome) {
         if (oc.trials) {
@@ -176,6 +180,47 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
             ++*oc.byOutcome[static_cast<unsigned>(outcome)];
         }
         return outcome;
+    };
+
+    // Bounded command retry (§IV-G): every attempt re-transmits the
+    // read address, so a transmission-induced address error clears
+    // (unless the fault persists into the retry window), while
+    // corruption of the stored burst is re-read verbatim and must
+    // still decode on its own.  An attempt whose decode reports
+    // success ends the episode — the consumer accepts that payload,
+    // right or wrong; an attempt that is still flagged burns budget.
+    const auto retryLoop = [&](bool plus) {
+        for (unsigned attempt = 1; attempt <= retry.maxAttempts;
+             ++attempt) {
+            if (oc.retryAttempts)
+                ++*oc.retryAttempts;
+            const bool persists = retry.persistProb > 0.0 &&
+                                  rng.chance(retry.persistProb);
+            const uint32_t addrAttempt = persists ? addrR : addrW;
+            const EccResult again = ecc->decode(burst, addrAttempt);
+            switch (again.status) {
+              case EccStatus::Clean:
+                if (addrAttempt == addrW && again.data == data) {
+                    return plus ? DataOutcome::CeRPlus
+                                : DataOutcome::CeR;
+                }
+                // An aliased decode was accepted as clean.
+                return DataOutcome::Sdc;
+              case EccStatus::Corrected:
+                if (again.addressError)
+                    break; // still flagged; next attempt
+                if (addrAttempt == addrW && again.data == data) {
+                    return plus ? DataOutcome::CeRDPlus
+                                : DataOutcome::CeRD;
+                }
+                return DataOutcome::Sdc;
+              case EccStatus::Uncorrectable:
+                break; // still flagged; next attempt
+            }
+        }
+        if (oc.retryExhausted)
+            ++*oc.retryExhausted;
+        return DataOutcome::Due;
     };
 
     switch (res.status) {
@@ -190,12 +235,7 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
             // The scheme noticed the address was wrong: retry.
             const bool plus = ecc->preciseDiagnosis() &&
                               res.recoveredAddress.has_value();
-            if (dataHadError) {
-                return classified(plus ? DataOutcome::CeRDPlus
-                                       : DataOutcome::CeRD);
-            }
-            return classified(plus ? DataOutcome::CeRPlus
-                                   : DataOutcome::CeR);
+            return classified(retryLoop(plus));
         }
         if (addrMismatch) {
             // The decoder "fixed" something but never noticed the
@@ -206,15 +246,14 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
                                            : DataOutcome::Sdc);
 
       case EccStatus::Uncorrectable:
-        // Detected.  A command retry resolves transmission-induced
-        // address errors (CE-R/CE-RD); corruption of the stored rank
-        // itself survives the retry and remains a DUE.
+        // Detected.  Re-reading resolves transmission-induced address
+        // errors; corruption of the stored rank itself is re-read
+        // verbatim every time and stays uncorrectable, so the episode
+        // exhausts into a DUE.
         if (dataErr == DataErrorModel::Rank1)
             return classified(DataOutcome::Due);
-        if (addrMismatch) {
-            return classified(dataHadError ? DataOutcome::CeRD
-                                           : DataOutcome::CeR);
-        }
+        if (addrMismatch)
+            return classified(retryLoop(false));
         return classified(DataOutcome::Due);
     }
     return classified(DataOutcome::Due);

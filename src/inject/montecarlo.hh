@@ -61,6 +61,20 @@ enum class DataOutcome
 
 std::string dataOutcomeName(DataOutcome outcome);
 
+/** Bounded command-retry policy applied after a detected error. */
+struct RetryPolicy
+{
+    /** Re-read attempts before the detection surfaces as a DUE. */
+    unsigned maxAttempts = 3;
+
+    /**
+     * Probability that the address error persists into a given retry
+     * (an intermittent fault re-corrupting the re-transmitted
+     * address); 0 models the paper's transient transmission error.
+     */
+    double persistProb = 0.0;
+};
+
 /** Aggregated Monte-Carlo results for one (scheme, cell) pair. */
 struct MonteCarloCell
 {
@@ -118,6 +132,11 @@ class DataMonteCarlo
      */
     void setObserver(obs::Observer *observer);
 
+    /** Replace the retry policy (attempt bound, persistence). */
+    void setRetryPolicy(const RetryPolicy &policy) { retry = policy; }
+
+    const RetryPolicy &retryPolicy() const { return retry; }
+
     /** Run one trial; returns the outcome classification. */
     DataOutcome runTrial(DataErrorModel dataErr, AddrErrorModel addrErr);
 
@@ -130,10 +149,13 @@ class DataMonteCarlo
   private:
     std::unique_ptr<DataEcc> ecc;
     Rng rng;
+    RetryPolicy retry;
     struct McCounters
     {
         obs::Counter *trials = nullptr;
         obs::Counter *byOutcome[8] = {};
+        obs::Counter *retryAttempts = nullptr;
+        obs::Counter *retryExhausted = nullptr;
     };
     McCounters oc;
 };

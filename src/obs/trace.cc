@@ -16,6 +16,8 @@ eventKindName(EventKind kind)
       case EventKind::Recovery: return "recovery";
       case EventKind::Scrub: return "scrub";
       case EventKind::Classification: return "classification";
+      case EventKind::Escalation: return "escalation";
+      case EventKind::PatrolScrub: return "patrol_scrub";
     }
     return "?";
 }

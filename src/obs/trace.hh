@@ -33,7 +33,9 @@ enum class EventKind
     Retry,         ///< an access was re-executed after a flag
     Recovery,      ///< full error-recovery reset (resync/drain/PREA)
     Scrub,         ///< corrected data written back (redirect scrub)
-    Classification ///< end-state classification (label = DUE/SDC/...)
+    Classification, ///< end-state classification (label = DUE/SDC/...)
+    Escalation,    ///< bank quarantine / rank-degraded transition
+    PatrolScrub    ///< background patrol corrected a stored block
 };
 
 /** Printable event-kind name (the JSONL schema string). */

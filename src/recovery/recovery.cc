@@ -1,0 +1,381 @@
+#include "recovery/recovery.hh"
+
+#include <algorithm>
+
+namespace aiecc
+{
+
+std::string
+recoveryCauseName(RecoveryCause cause)
+{
+    switch (cause) {
+      case RecoveryCause::CaParity: return "ca-parity";
+      case RecoveryCause::Wcrc: return "write-crc";
+      case RecoveryCause::Cstc: return "cstc";
+      case RecoveryCause::ReadDecode: return "read-decode";
+    }
+    return "?";
+}
+
+RecoveryEngine::RecoveryEngine(const RecoveryConfig &config,
+                               unsigned numBanks, obs::Observer *observer)
+    : cfg(config), obsHook(observer), buckets(numBanks)
+{
+    if (!obsHook || !obsHook->stats())
+        return;
+    obs::StatsRegistry &reg = *obsHook->stats();
+    oc.episodes = &reg.counter("stack.recovery.episodes",
+                               "in-band recovery episodes started");
+    oc.attempts = &reg.counter("stack.recovery.attempts",
+                               "individual retry attempts run");
+    oc.recovered = &reg.counter("stack.recovery.recovered",
+                                "episodes that restored correct state");
+    oc.recoveredFirstTry =
+        &reg.counter("stack.recovery.recovered_first_try",
+                     "episodes recovered on the first attempt");
+    oc.recoveredAfterRetries =
+        &reg.counter("stack.recovery.recovered_after_retries",
+                     "episodes recovered after more than one attempt");
+    oc.exhausted = &reg.counter("stack.recovery.exhausted",
+                                "episodes that ran out of attempts");
+    oc.wrReplays = &reg.counter("stack.recovery.wr_replays",
+                                "writes re-sent from the replay buffer");
+    oc.rdReissues = &reg.counter("stack.recovery.rd_reissues",
+                                 "reads re-sent after a detection");
+    oc.wrtResyncs = &reg.counter(
+        "stack.recovery.wrt_resyncs",
+        "eCAP write-toggle resynchronizations performed");
+    oc.quarantines = &reg.counter(
+        "stack.recovery.quarantines",
+        "banks quarantined by the leaky-bucket ladder");
+    oc.rankDegrades = &reg.counter(
+        "stack.recovery.rank_degrades",
+        "transitions into rank-degraded mode");
+    oc.patrolScrubs = &reg.counter(
+        "stack.recovery.patrol_scrubs",
+        "stored blocks corrected by the patrol scrubber");
+    oc.retryDepth = &reg.histogram(
+        "stack.recovery.retry_depth",
+        "attempts used per recovery episode");
+}
+
+bool
+RecoveryEngine::quarantined(unsigned flatBank) const
+{
+    return flatBank < buckets.size() && buckets[flatBank].quarantined;
+}
+
+unsigned
+RecoveryEngine::quarantinedBanks() const
+{
+    unsigned n = 0;
+    for (const Bucket &b : buckets)
+        n += b.quarantined ? 1 : 0;
+    return n;
+}
+
+unsigned
+RecoveryEngine::bucketLevel(unsigned flatBank, Cycle now) const
+{
+    if (flatBank >= buckets.size())
+        return 0;
+    const Bucket &b = buckets[flatBank];
+    double level = b.level;
+    if (cfg.bucketLeakPeriod && now > b.lastLeak) {
+        level -= static_cast<double>(now - b.lastLeak) /
+                 static_cast<double>(cfg.bucketLeakPeriod);
+    }
+    return level > 0.0 ? static_cast<unsigned>(level) : 0;
+}
+
+void
+RecoveryEngine::charge(unsigned flatBank, double tokens, Cycle now)
+{
+    if (flatBank >= buckets.size())
+        return;
+    Bucket &b = buckets[flatBank];
+    if (cfg.bucketLeakPeriod && now > b.lastLeak) {
+        b.level -= static_cast<double>(now - b.lastLeak) /
+                   static_cast<double>(cfg.bucketLeakPeriod);
+        b.level = std::max(b.level, 0.0);
+    }
+    b.lastLeak = now;
+    b.level += tokens;
+    if (b.quarantined ||
+        b.level <= static_cast<double>(cfg.bucketCapacity))
+        return;
+
+    b.quarantined = true;
+    ++st.quarantines;
+    if (oc.quarantines)
+        ++*oc.quarantines;
+    if (obsHook) {
+        obsHook->emit(obs::EventKind::Escalation, now, "quarantine",
+                      flatBank,
+                      "leaky bucket overflowed: bank quarantined");
+    }
+    if (!degraded && quarantinedBanks() >= cfg.rankDegradeBanks) {
+        degraded = true;
+        ++st.rankDegrades;
+        if (oc.rankDegrades)
+            ++*oc.rankDegrades;
+        if (obsHook) {
+            obsHook->emit(obs::EventKind::Escalation, now,
+                          "rank_degraded", quarantinedBanks(),
+                          "quarantined-bank threshold crossed");
+        }
+    }
+}
+
+bool
+RecoveryEngine::resyncIfNeeded(RecoveryPort &port)
+{
+    if (!port.wrtMismatch())
+        return true;
+    // The toggles disagree: a WR was lost (or spuriously created) in
+    // flight.  Adopt the device's state, then replay the newest
+    // buffered write so the array holds what the consumer believes
+    // (the paper's alert handling before command replay, §IV-G).
+    port.resyncWrt();
+    ++st.wrtResyncs;
+    if (oc.wrtResyncs)
+        ++*oc.wrtResyncs;
+    const auto entry = port.newestWrite();
+    if (!entry)
+        return true; // nothing buffered: toggle adopted, data unknown
+    if (!port.reopenRow(entry->addr.bg, entry->addr.ba, entry->addr.row))
+        return false;
+    ++st.wrReplays;
+    if (oc.wrReplays)
+        ++*oc.wrReplays;
+    if (!port.replayWrite(*entry))
+        return false;
+    // A replay lost in flight leaves the toggles apart again.
+    return !port.wrtMismatch();
+}
+
+bool
+RecoveryEngine::tryOnce(RecoveryCause cause, const Command &intended,
+                        const std::optional<ReplayEntry> &wrEntry,
+                        unsigned attempt, RecoveryPort &port)
+{
+    switch (intended.type) {
+      case CmdType::Wr: {
+        // The intended WR itself is the write to replay; resync the
+        // toggle if needed but skip the pre-step replay (it would
+        // duplicate this one).
+        if (port.wrtMismatch()) {
+            port.resyncWrt();
+            ++st.wrtResyncs;
+            if (oc.wrtResyncs)
+                ++*oc.wrtResyncs;
+        }
+        if (!wrEntry)
+            return false; // no buffered payload: unrecoverable here
+        // A CSTC alert (or a repeated failure) suggests the device's
+        // bank state diverged from the controller's belief: reopen
+        // the row first.  PRE to an idle bank is a JEDEC NOP, so the
+        // preamble is safe whatever the device's real state.
+        const bool reopen = cause == RecoveryCause::Cstc || attempt > 1;
+        if (reopen &&
+            !port.reopenRow(wrEntry->addr.bg, wrEntry->addr.ba,
+                            wrEntry->addr.row))
+            return false;
+        ++st.wrReplays;
+        if (oc.wrReplays)
+            ++*oc.wrReplays;
+        if (!port.replayWrite(*wrEntry))
+            return false;
+        return !port.wrtMismatch();
+      }
+
+      case CmdType::Act:
+        if (!resyncIfNeeded(port))
+            return false;
+        return port.reopenRow(intended.bg, intended.ba, intended.row);
+
+      case CmdType::Pre:
+      case CmdType::PreAll:
+      case CmdType::Ref:
+      case CmdType::Nop:
+      default:
+        // Re-sending the command doubles as link verification: a
+        // clean pass with no alert proves controller and device agree
+        // again.
+        if (!resyncIfNeeded(port))
+            return false;
+        return port.reissue(intended);
+    }
+}
+
+RecoveryOutcome
+RecoveryEngine::runEpisode(RecoveryCause cause, const Command &intended,
+                           unsigned flatBank,
+                           const std::optional<ReplayEntry> &wrEntry,
+                           RecoveryPort &port)
+{
+    RecoveryOutcome out;
+    if (!cfg.enabled || cfg.maxAttempts == 0)
+        return out;
+    out.attempted = true;
+    ++st.episodes;
+    if (oc.episodes)
+        ++*oc.episodes;
+
+    for (unsigned attempt = 1; attempt <= cfg.maxAttempts; ++attempt) {
+        if (attempt > 1 && cfg.backoffCycles)
+            port.backoff(cfg.backoffCycles);
+        out.attempts = attempt;
+        ++st.attempts;
+        if (oc.attempts)
+            ++*oc.attempts;
+        if (obsHook) {
+            obsHook->emit(obs::EventKind::Retry, port.portNow(),
+                          recoveryCauseName(cause), attempt,
+                          "replay " + intended.toString());
+        }
+        if (tryOnce(cause, intended, wrEntry, attempt, port)) {
+            out.recovered = true;
+            break;
+        }
+        charge(flatBank, 1.0, port.portNow());
+    }
+
+    if (out.recovered) {
+        ++st.recovered;
+        if (oc.recovered)
+            ++*oc.recovered;
+        if (out.attempts == 1) {
+            ++st.recoveredFirstTry;
+            if (oc.recoveredFirstTry)
+                ++*oc.recoveredFirstTry;
+        } else {
+            ++st.recoveredAfterRetries;
+            if (oc.recoveredAfterRetries)
+                ++*oc.recoveredAfterRetries;
+        }
+    } else {
+        out.exhausted = true;
+        ++st.exhausted;
+        if (oc.exhausted)
+            ++*oc.exhausted;
+        // Exhaustion weighs extra in the ladder: the fault outlived
+        // the whole retry window.
+        charge(flatBank, 2.0, port.portNow());
+    }
+    if (oc.retryDepth)
+        oc.retryDepth->sample(out.attempts);
+    if (obsHook) {
+        obsHook->emit(obs::EventKind::Recovery, port.portNow(),
+                      recoveryCauseName(cause), out.attempts,
+                      out.recovered ? "in-band recovery succeeded"
+                                    : "retry budget exhausted");
+    }
+    return out;
+}
+
+RecoveryOutcome
+RecoveryEngine::onAlert(RecoveryCause cause, const Command &intended,
+                        unsigned flatBank,
+                        const std::optional<ReplayEntry> &wrEntry,
+                        RecoveryPort &port)
+{
+    return runEpisode(cause, intended, flatBank, wrEntry, port);
+}
+
+RecoveryOutcome
+RecoveryEngine::onReadDetection(const MtbAddress &addr, unsigned flatBank,
+                                RecoveryPort &port)
+{
+    RecoveryOutcome out;
+    if (!cfg.enabled || cfg.maxAttempts == 0)
+        return out;
+    out.attempted = true;
+    ++st.episodes;
+    if (oc.episodes)
+        ++*oc.episodes;
+
+    for (unsigned attempt = 1; attempt <= cfg.maxAttempts; ++attempt) {
+        if (attempt > 1 && cfg.backoffCycles)
+            port.backoff(cfg.backoffCycles);
+        out.attempts = attempt;
+        ++st.attempts;
+        if (oc.attempts)
+            ++*oc.attempts;
+        if (obsHook) {
+            obsHook->emit(obs::EventKind::Retry, port.portNow(),
+                          recoveryCauseName(RecoveryCause::ReadDecode),
+                          attempt, "reissue RD @" + addr.toString());
+        }
+        bool ok = resyncIfNeeded(port);
+        if (ok) {
+            // A skewed FIFO pointer would hand the reissued RD stale
+            // data: drain it first so the device's fresh burst is the
+            // one popped.
+            port.drainReadFifo();
+            if (attempt > 1 &&
+                !port.reopenRow(addr.bg, addr.ba, addr.row))
+                ok = false;
+        }
+        if (ok) {
+            ++st.rdReissues;
+            if (oc.rdReissues)
+                ++*oc.rdReissues;
+            if (auto data = port.reissueRead(addr)) {
+                out.recovered = true;
+                out.data = std::move(data);
+                break;
+            }
+        }
+        charge(flatBank, 1.0, port.portNow());
+    }
+
+    if (out.recovered) {
+        ++st.recovered;
+        if (oc.recovered)
+            ++*oc.recovered;
+        if (out.attempts == 1) {
+            ++st.recoveredFirstTry;
+            if (oc.recoveredFirstTry)
+                ++*oc.recoveredFirstTry;
+        } else {
+            ++st.recoveredAfterRetries;
+            if (oc.recoveredAfterRetries)
+                ++*oc.recoveredAfterRetries;
+        }
+    } else {
+        out.exhausted = true;
+        ++st.exhausted;
+        if (oc.exhausted)
+            ++*oc.exhausted;
+        charge(flatBank, 2.0, port.portNow());
+    }
+    if (oc.retryDepth)
+        oc.retryDepth->sample(out.attempts);
+    if (obsHook) {
+        obsHook->emit(obs::EventKind::Recovery, port.portNow(),
+                      recoveryCauseName(RecoveryCause::ReadDecode),
+                      out.attempts,
+                      out.recovered ? "in-band recovery succeeded"
+                                    : "retry budget exhausted");
+    }
+    return out;
+}
+
+void
+RecoveryEngine::notePatrol(const MtbAddress &addr, bool scrubbed,
+                           Cycle now)
+{
+    ++st.patrolReads;
+    if (!scrubbed)
+        return;
+    ++st.patrolScrubs;
+    if (oc.patrolScrubs)
+        ++*oc.patrolScrubs;
+    if (obsHook) {
+        obsHook->emit(obs::EventKind::PatrolScrub, now, "patrol",
+                      addr.pack(), "patrol scrub @" + addr.toString());
+    }
+}
+
+} // namespace aiecc
