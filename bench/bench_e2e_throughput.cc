@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Canonical end-to-end throughput benchmark — the stack's perf
+ * trajectory anchor.
+ *
+ * Drives a configurable access mix (read/write ratio, injected
+ * CCCA-fault rate, recovery on/off, optional patrol scrubbing)
+ * through the full ProtectionStack via the high-level read()/write()
+ * interface and reports host-side performance: accesses per second,
+ * the ns/access distribution (p50/p90/p99), and a per-mechanism
+ * wall-clock breakdown.
+ *
+ * Two passes over the identical access stream (same seeds):
+ *  1. a *hot* pass with no Observer attached — the canonical
+ *     throughput and latency numbers, free of instrumentation cost;
+ *  2. an *instrumented* pass with stats + profiling (and, with
+ *     --trace PATH, a JSONL event trace) — the per-mechanism time
+ *     breakdown and event counts.
+ *
+ * `--json BENCH_e2e.json` writes the schema-versioned artifact that
+ * tools/compare_bench.py diffs against the committed baseline in CI.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aiecc/stack.hh"
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "ddr4/pins.hh"
+#include "obs/observer.hh"
+#include "obs/profile.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+struct MixConfig
+{
+    uint64_t accesses = 0;
+    uint64_t warmup = 0;
+    double readFrac = 0.67;
+    double faultRate = 0.0;
+    double rowHitRate = 0.6;
+    bool recovery = true;
+    unsigned recoveryAttempts = 0; ///< 0 = engine default
+    uint64_t patrolPeriod = 0;
+    uint64_t seed = 0xE2E;
+
+    // Bounded working set: 16 banks x 64 rows x 128 MTB columns
+    // (~9 MB of modelled storage) keeps the rank model resident
+    // while still spreading traffic across every bank.
+    unsigned rowSpace = 64;
+    unsigned colSpace = 128;
+};
+
+struct PassResult
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t detections = 0;
+    uint64_t dues = 0;
+    uint64_t corrected = 0;
+    double elapsedNs = 0.0;
+    obs::Histogram latency{"ns_per_access"};
+    RecoveryStats recovery;
+
+    double
+    accessesPerSec() const
+    {
+        const uint64_t n = reads + writes;
+        return elapsedNs > 0.0 ? static_cast<double>(n) * 1e9 / elapsedNs
+                               : 0.0;
+    }
+};
+
+/** Run one pass of the access mix; @p observer may be nullptr. */
+PassResult
+runPass(const MixConfig &mix, obs::Observer *observer)
+{
+    StackConfig cfg;
+    cfg.mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    cfg.scrubOnCorrection = true;
+    cfg.seed = mix.seed;
+    cfg.recovery.enabled = mix.recovery;
+    if (mix.recoveryAttempts)
+        cfg.recovery.maxAttempts = mix.recoveryAttempts;
+    cfg.recovery.patrolPeriod = mix.patrolPeriod;
+    cfg.observer = observer;
+    ProtectionStack stack(cfg);
+
+    Rng faultRng(mix.seed ^ 0xFA017);
+    if (mix.faultRate > 0.0) {
+        const double rate = mix.faultRate;
+        auto pins = injectablePins(cfg.mech.parPinPresent());
+        stack.setPinCorruptor(
+            [rate, pins, &faultRng](uint64_t, PinWord &word) {
+                if (faultRng.chance(rate))
+                    word.flip(pins[faultRng.below(pins.size())]);
+            });
+    }
+
+    const Geometry &geom = stack.geometry();
+    Rng rng(mix.seed);
+    std::vector<unsigned> lastRow(geom.numBanks(), 0);
+    BitVec payload(Burst::dataBits);
+    for (size_t i = 0; i < payload.size(); i += 64)
+        payload.setField(i, 64, rng.next());
+
+    PassResult out;
+    const auto nextAddr = [&]() {
+        MtbAddress addr;
+        addr.bg = static_cast<unsigned>(rng.below(geom.numBankGroups()));
+        addr.ba = static_cast<unsigned>(rng.below(geom.banksPerGroup()));
+        const unsigned bank = addr.flatBank(geom);
+        addr.row = rng.chance(mix.rowHitRate)
+                       ? lastRow[bank]
+                       : static_cast<unsigned>(rng.below(mix.rowSpace));
+        lastRow[bank] = addr.row;
+        addr.col = static_cast<unsigned>(rng.below(mix.colSpace));
+        return addr;
+    };
+
+    const auto doAccess = [&](bool measured) {
+        const MtbAddress addr = nextAddr();
+        const bool isRead = rng.chance(mix.readFrac);
+        const auto begin = std::chrono::steady_clock::now();
+        if (isRead) {
+            const ReadOutcome got = stack.read(addr);
+            if (measured) {
+                out.detections += got.detected ? 1 : 0;
+                out.corrected += got.corrected ? 1 : 0;
+                out.dues += got.due ? 1 : 0;
+            }
+        } else {
+            // Vary the payload cheaply so writes are not all equal.
+            payload.setField(0, 64, rng.next());
+            stack.write(addr, payload);
+        }
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        if (measured) {
+            out.latency.sample(ns > 0 ? static_cast<uint64_t>(ns) : 0);
+            (isRead ? out.reads : out.writes) += 1;
+        }
+        // The detection log is for campaign introspection; keep it
+        // bounded on long runs.
+        stack.clearDetections();
+    };
+
+    for (uint64_t i = 0; i < mix.warmup; ++i)
+        doAccess(false);
+    const auto begin = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < mix.accesses; ++i)
+        doAccess(true);
+    out.elapsedNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count());
+    out.recovery = stack.recoveryStats();
+    if (observer)
+        observer->flush();
+    return out;
+}
+
+void
+printLatencyRow(const char *name, const obs::Histogram &h)
+{
+    std::printf("  %-18s %10.0f %10.0f %10.0f %10.0f %10.0f\n", name,
+                h.mean(), h.quantile(0.50), h.quantile(0.90),
+                h.quantile(0.99), static_cast<double>(h.max()));
+}
+
+} // namespace
+} // namespace aiecc
+
+int
+main(int argc, char **argv)
+{
+    using namespace aiecc;
+    const bench::Options opt = bench::parse(argc, argv);
+
+    MixConfig mix;
+    mix.accesses = opt.trials ? opt.trials : (opt.quick ? 20000 : 200000);
+    mix.warmup = mix.accesses / 20 + 500;
+    mix.readFrac = opt.readFrac;
+    mix.faultRate = opt.faultRate;
+    mix.recovery = !opt.noRecovery;
+    mix.recoveryAttempts = opt.recoveryAttempts;
+    mix.patrolPeriod = opt.recoveryPatrol;
+
+    bench::banner("End-to-end throughput: full AIECC stack, "
+                  "high-level access mix");
+    std::printf("accesses: %llu (+%llu warmup)   read fraction: %.2f   "
+                "fault rate: %g/edge   recovery: %s\n\n",
+                static_cast<unsigned long long>(mix.accesses),
+                static_cast<unsigned long long>(mix.warmup), mix.readFrac,
+                mix.faultRate, mix.recovery ? "on" : "off");
+
+    // Pass 1 — hot: the canonical numbers, no instrumentation at all.
+    const PassResult hot = runPass(mix, nullptr);
+
+    // Pass 2 — instrumented: same seeds, same stream, plus stats,
+    // profiling and the optional JSONL trace.
+    obs::StatsRegistry stats;
+    obs::ProfileRegistry profile;
+    obs::Observer observer(&stats);
+    observer.setProfile(&profile);
+    std::unique_ptr<obs::JsonlTraceSink> traceSink;
+    if (!opt.tracePath.empty()) {
+        traceSink = std::make_unique<obs::JsonlTraceSink>(opt.tracePath);
+        if (!traceSink->ok()) {
+            std::fprintf(stderr, "cannot write trace: %s\n",
+                         opt.tracePath.c_str());
+            return 1;
+        }
+        observer.addSink(traceSink.get());
+    }
+    const PassResult inst = runPass(mix, &observer);
+
+    std::printf("throughput (hot pass):    %12.0f accesses/sec\n",
+                hot.accessesPerSec());
+    std::printf("throughput (instrumented): %11.0f accesses/sec\n\n",
+                inst.accessesPerSec());
+
+    std::printf("  %-18s %10s %10s %10s %10s %10s\n", "ns/access",
+                "mean", "p50", "p90", "p99", "max");
+    printLatencyRow("hot", hot.latency);
+    printLatencyRow("instrumented", inst.latency);
+
+    std::printf("\noutcomes (hot pass): %llu detections, %llu corrected, "
+                "%llu DUEs, %llu recovery episodes (%llu recovered, "
+                "%llu exhausted)\n",
+                static_cast<unsigned long long>(hot.detections),
+                static_cast<unsigned long long>(hot.corrected),
+                static_cast<unsigned long long>(hot.dues),
+                static_cast<unsigned long long>(hot.recovery.episodes),
+                static_cast<unsigned long long>(hot.recovery.recovered),
+                static_cast<unsigned long long>(hot.recovery.exhausted));
+
+    std::printf("\nper-mechanism wall-clock breakdown "
+                "(instrumented pass):\n");
+    std::printf("%s", profile.str().c_str());
+    if (traceSink) {
+        std::printf("\ntrace: %llu events -> %s (%llu dropped, "
+                    "%llu IO errors)\n",
+                    static_cast<unsigned long long>(traceSink->recorded()),
+                    opt.tracePath.c_str(),
+                    static_cast<unsigned long long>(traceSink->dropped()),
+                    static_cast<unsigned long long>(traceSink->ioErrors()));
+    }
+
+    bench::writeJsonArtifact(opt, "bench_e2e_throughput",
+                             [&](obs::JsonWriter &w) {
+        w.beginObject();
+        w.kv("accesses", mix.accesses);
+        w.kv("warmup", mix.warmup);
+        w.kv("reads", hot.reads);
+        w.kv("writes", hot.writes);
+        w.kv("elapsed_ns", hot.elapsedNs);
+        w.kv("accesses_per_sec", hot.accessesPerSec());
+        w.key("ns_per_access").beginObject();
+        w.kv("mean", hot.latency.mean());
+        w.kv("min", hot.latency.min());
+        w.kv("max", hot.latency.max());
+        w.kv("p50", hot.latency.quantile(0.50));
+        w.kv("p90", hot.latency.quantile(0.90));
+        w.kv("p99", hot.latency.quantile(0.99));
+        w.endObject();
+        w.key("outcomes").beginObject();
+        w.kv("detections", hot.detections);
+        w.kv("corrected", hot.corrected);
+        w.kv("dues", hot.dues);
+        w.kv("recovery_episodes", hot.recovery.episodes);
+        w.kv("recovery_recovered", hot.recovery.recovered);
+        w.kv("recovery_exhausted", hot.recovery.exhausted);
+        w.endObject();
+        w.kv("instrumented_accesses_per_sec", inst.accessesPerSec());
+        w.key("breakdown");
+        profile.writeJson(w);
+        w.key("counters").beginObject();
+        w.kv("stack_reads", stats.counterValue("stack.reads"));
+        w.kv("stack_writes", stats.counterValue("stack.writes"));
+        w.kv("stack_detections", stats.counterValue("stack.detections"));
+        w.kv("controller_commands",
+             stats.counterValue("controller.commands"));
+        w.kv("recovery_episodes",
+             stats.counterValue("stack.recovery.episodes"));
+        w.endObject();
+        w.endObject();
+    });
+    return 0;
+}

@@ -21,6 +21,17 @@ namespace aiecc
 namespace bench
 {
 
+/**
+ * Version of the shared `--json` artifact envelope written by
+ * writeJsonArtifact().  Bump when the envelope shape changes so
+ * offline consumers (tools/compare_bench.py, trend dashboards) can
+ * refuse to compare apples to oranges.
+ *
+ * v1: {bench, options, results} (implicit, unversioned)
+ * v2: adds "schema_version" to the envelope
+ */
+constexpr int artifactSchemaVersion = 2;
+
 /** Common bench options. */
 struct Options
 {
@@ -33,6 +44,12 @@ struct Options
     unsigned recoveryAttempts = 0; ///< retry budget override (0 = default)
     unsigned recoveryPersist = 0;  ///< fault persistence edges (0 = 1)
     uint64_t recoveryPatrol = 0;   ///< patrol period in accesses (0 = off)
+
+    // Access-mix knobs (end-to-end throughput bench only).
+    double readFrac = 0.67;  ///< fraction of accesses that read
+    double faultRate = 0.0;  ///< per-edge pin-corruption probability
+    bool noRecovery = false; ///< disable the in-band recovery engine
+    std::string tracePath;   ///< stream a JSONL event trace here
 };
 
 inline void
@@ -42,7 +59,9 @@ usage(std::FILE *to, const char *prog)
                  "usage: %s [--quick] [--trials N] [--allpin N] "
                  "[--json PATH]\n"
                  "       [--recovery-attempts N] [--recovery-persist N] "
-                 "[--recovery-patrol N] [--help]\n"
+                 "[--recovery-patrol N]\n"
+                 "       [--read-frac F] [--fault-rate F] "
+                 "[--no-recovery] [--trace PATH] [--help]\n"
                  "  --quick      cut work for smoke runs\n"
                  "  --trials N   Monte-Carlo trials per cell\n"
                  "  --allpin N   all-pin noise samples per cell\n"
@@ -52,7 +71,15 @@ usage(std::FILE *to, const char *prog)
                  "  --recovery-persist N   injected faults persist N "
                  "command edges\n"
                  "  --recovery-patrol N    patrol-scrub one block every "
-                 "N accesses\n",
+                 "N accesses\n"
+                 "  --read-frac F   fraction of accesses that read "
+                 "(e2e bench)\n"
+                 "  --fault-rate F  per-edge pin-corruption probability "
+                 "(e2e bench)\n"
+                 "  --no-recovery   disable the in-band recovery engine "
+                 "(e2e bench)\n"
+                 "  --trace PATH    stream a JSONL event trace "
+                 "(e2e bench)\n",
                  prog);
 }
 
@@ -81,6 +108,15 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--recovery-patrol") &&
                    i + 1 < argc) {
             opt.recoveryPatrol = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--read-frac") && i + 1 < argc) {
+            opt.readFrac = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--fault-rate") &&
+                   i + 1 < argc) {
+            opt.faultRate = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--no-recovery")) {
+            opt.noRecovery = true;
+        } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            opt.tracePath = argv[++i];
         } else if (!std::strcmp(argv[i], "--help")) {
             usage(stdout, argv[0]);
             std::exit(0);
@@ -105,11 +141,42 @@ banner(const std::string &title)
 }
 
 /**
+ * Emit the shared artifact envelope into @p w: schema version, bench
+ * name, and the parsed options.  Leaves the writer positioned at the
+ * "results" member; the caller emits exactly one value and closes the
+ * envelope with endObject().  Shared by writeJsonArtifact() and any
+ * bench that needs to interleave its own members.
+ */
+inline obs::JsonWriter &
+beginJsonArtifact(obs::JsonWriter &w, const Options &opt,
+                  const std::string &benchName)
+{
+    w.beginObject();
+    w.kv("schema_version", artifactSchemaVersion);
+    w.kv("bench", benchName);
+    w.key("options");
+    w.beginObject();
+    w.kv("trials", opt.trials);
+    w.kv("allpin", opt.allPin);
+    w.kv("quick", opt.quick);
+    w.kv("recovery_attempts", opt.recoveryAttempts);
+    w.kv("recovery_persist", opt.recoveryPersist);
+    w.kv("recovery_patrol", opt.recoveryPatrol);
+    w.kv("read_frac", opt.readFrac);
+    w.kv("fault_rate", opt.faultRate);
+    w.kv("no_recovery", opt.noRecovery);
+    w.endObject();
+    w.key("results");
+    return w;
+}
+
+/**
  * Write the bench's JSON artifact if --json was given.
  *
  * The artifact shape is shared by every bench:
  * @code
- *   { "bench": "...", "options": {...}, "results": <fill's output> }
+ *   { "schema_version": N, "bench": "...", "options": {...},
+ *     "results": <fill's output> }
  * @endcode
  * @p fill receives the writer positioned at the "results" member and
  * must emit exactly one value (object/array/scalar).
@@ -122,18 +189,7 @@ writeJsonArtifact(const Options &opt, const std::string &benchName,
     if (opt.jsonPath.empty())
         return;
     obs::JsonWriter w;
-    w.beginObject();
-    w.kv("bench", benchName);
-    w.key("options");
-    w.beginObject();
-    w.kv("trials", opt.trials);
-    w.kv("allpin", opt.allPin);
-    w.kv("quick", opt.quick);
-    w.kv("recovery_attempts", opt.recoveryAttempts);
-    w.kv("recovery_persist", opt.recoveryPersist);
-    w.kv("recovery_patrol", opt.recoveryPatrol);
-    w.endObject();
-    w.key("results");
+    beginJsonArtifact(w, opt, benchName);
     fill(w);
     w.endObject();
     if (!w.writeFile(opt.jsonPath)) {

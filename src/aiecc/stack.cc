@@ -64,6 +64,17 @@ ProtectionStack::ProtectionStack(const StackConfig &config)
                 "detections first flagged by this mechanism");
         }
     }
+    if (cfg.observer && cfg.observer->profile()) {
+        obs::ProfileRegistry &prof = *cfg.observer->profile();
+        oc.tRead = &prof.timer("stack.read",
+                               "high-level protected read, end to end");
+        oc.tWrite = &prof.timer(
+            "stack.write", "high-level protected write, end to end");
+        oc.tEccEncode =
+            &prof.timer("stack.ecc_encode", "data-ECC burst encode");
+        oc.tEccDecode =
+            &prof.timer("stack.ecc_decode", "data-ECC burst decode");
+    }
 }
 
 void
@@ -218,6 +229,7 @@ ProtectionStack::reissueRead(const MtbAddress &addr)
     // Decode quietly: the episode's original detection is already
     // logged, and a still-broken reissue is an attempt failure, not a
     // fresh event.
+    obs::ScopedTimer timeDecode(oc.tEccDecode);
     const EccResult ecc =
         codec->decode(*res.readBurst, addr.pack(cfg.geom));
     if (ecc.status == EccStatus::Uncorrectable || ecc.addressError)
@@ -301,8 +313,10 @@ ProtectionStack::encodeWrite(const MtbAddress &addr,
 {
     AIECC_ASSERT(data.size() == Burst::dataBits,
                  "write payload must be " << Burst::dataBits << " bits");
-    if (codec)
+    if (codec) {
+        obs::ScopedTimer timeEncode(oc.tEccEncode);
         return codec->encode(data, addr.pack(cfg.geom));
+    }
     Burst raw;
     raw.setData(data);
     return raw;
@@ -352,8 +366,11 @@ ProtectionStack::issueRd(const MtbAddress &addr)
     } else if (!codec) {
         out.data = res.readBurst->data();
     } else {
-        const EccResult ecc =
-            codec->decode(*res.readBurst, addr.pack(cfg.geom));
+        EccResult ecc;
+        {
+            obs::ScopedTimer timeDecode(oc.tEccDecode);
+            ecc = codec->decode(*res.readBurst, addr.pack(cfg.geom));
+        }
         out.data = ecc.data;
         if (ecc.detected()) {
             out.detected = true;
@@ -475,6 +492,7 @@ ProtectionStack::recover()
 void
 ProtectionStack::write(const MtbAddress &addr, const BitVec &data)
 {
+    obs::ScopedTimer timeWrite(oc.tWrite);
     const unsigned bank = addr.flatBank(cfg.geom);
     if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
         // A failed recovery episode can drop the row cache while the
@@ -492,6 +510,7 @@ ProtectionStack::write(const MtbAddress &addr, const BitVec &data)
 ReadOutcome
 ProtectionStack::read(const MtbAddress &addr)
 {
+    obs::ScopedTimer timeRead(oc.tRead);
     const unsigned bank = addr.flatBank(cfg.geom);
     if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
         if (hlOpenRow[bank] >= 0 || ctrl->bankOpen(bank))

@@ -2,8 +2,9 @@
  * @file
  * The Observer handle the simulation models carry.
  *
- * An Observer bundles an optional StatsRegistry with any number of
- * TraceSinks.  Models hold a plain `Observer *` (nullptr = fully
+ * An Observer bundles an optional StatsRegistry, an optional
+ * wall-clock ProfileRegistry, and any number of TraceSinks.  Models
+ * hold a plain `Observer *` (nullptr = fully
  * disabled): the null check is the only cost on the hot path, and
  * producers pre-resolve their Counters at construction so enabled
  * operation stays allocation- and lookup-free per event.
@@ -14,6 +15,7 @@
 
 #include <vector>
 
+#include "obs/profile.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -31,6 +33,10 @@ class Observer
 
     void setStats(StatsRegistry *registry) { reg = registry; }
     StatsRegistry *stats() const { return reg; }
+
+    /** Attach wall-clock profiling (nullptr = profiling off). */
+    void setProfile(ProfileRegistry *registry) { prof = registry; }
+    ProfileRegistry *profile() const { return prof; }
 
     void addSink(TraceSink *sink)
     {
@@ -74,6 +80,7 @@ class Observer
 
   private:
     StatsRegistry *reg = nullptr;
+    ProfileRegistry *prof = nullptr;
     std::vector<TraceSink *> sinkList;
 };
 

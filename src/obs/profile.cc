@@ -1,0 +1,72 @@
+#include "obs/profile.hh"
+
+#include <sstream>
+
+namespace aiecc
+{
+namespace obs
+{
+
+Histogram &
+ProfileRegistry::timer(const std::string &name,
+                       const std::string &description)
+{
+    const auto it = timers.find(name);
+    if (it != timers.end())
+        return *it->second;
+    auto stat = std::make_unique<Histogram>(name, description);
+    Histogram &ref = *stat;
+    timers.emplace(name, std::move(stat));
+    return ref;
+}
+
+const Histogram *
+ProfileRegistry::find(const std::string &name) const
+{
+    const auto it = timers.find(name);
+    return it == timers.end() ? nullptr : it->second.get();
+}
+
+void
+ProfileRegistry::reset()
+{
+    for (auto &[name, timer] : timers)
+        timer->reset();
+}
+
+void
+ProfileRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, t] : timers) {
+        w.key(name)
+            .beginObject()
+            .kv("count", t->count())
+            .kv("total_ns", t->sum())
+            .kv("mean_ns", t->mean())
+            .kv("min_ns", t->min())
+            .kv("max_ns", t->max())
+            .kv("p50_ns", t->quantile(0.50))
+            .kv("p90_ns", t->quantile(0.90))
+            .kv("p99_ns", t->quantile(0.99))
+            .endObject();
+    }
+    w.endObject();
+}
+
+std::string
+ProfileRegistry::str() const
+{
+    std::ostringstream out;
+    for (const auto &[name, t] : timers) {
+        out << name << " count=" << t->count()
+            << " total_ns=" << t->sum() << " mean_ns=" << t->mean()
+            << " p50_ns=" << t->quantile(0.50)
+            << " p90_ns=" << t->quantile(0.90)
+            << " p99_ns=" << t->quantile(0.99) << "\n";
+    }
+    return out.str();
+}
+
+} // namespace obs
+} // namespace aiecc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Wall-clock profiling for the hot paths of the simulation stack.
+ *
+ * Simulation stats (src/obs/stats.hh) count what the *modelled*
+ * hardware did, in controller cycles; the profiler measures where
+ * *host* cycles go, in nanoseconds of std::chrono::steady_clock.  The
+ * two deliberately live in separate registries so a stats dump never
+ * mixes model time with wall time.
+ *
+ * A ProfileRegistry hands out named Histograms of nanosecond samples
+ * (same log2 buckets and p50/p90/p99 interpolation as every other
+ * Histogram).  Producers resolve a `Histogram *` once at construction
+ * — nullptr when profiling is off — and open a ScopedTimer on the hot
+ * path: with a null target the timer never reads the clock, so the
+ * disabled cost is one pointer test, the same contract the stats
+ * layer established.
+ */
+
+#ifndef AIECC_OBS_PROFILE_HH
+#define AIECC_OBS_PROFILE_HH
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/stats.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+/**
+ * Find-or-create registry of named nanosecond-distribution timers.
+ *
+ * Names follow the stats registry's dotted convention ("stack.read",
+ * "controller.issue"); addresses are stable across reset(), so
+ * producers may keep resolved pointers for the process lifetime.
+ */
+class ProfileRegistry
+{
+  public:
+    /** Find-or-create the timer called @p name (idempotent). */
+    Histogram &timer(const std::string &name,
+                     const std::string &description = "");
+
+    /** Timer lookup without creating; nullptr when absent. */
+    const Histogram *find(const std::string &name) const;
+
+    size_t size() const { return timers.size(); }
+
+    /** Zero every distribution; registrations and addresses survive. */
+    void reset();
+
+    /**
+     * Serialize as one JSON object value keyed by full dotted timer
+     * name: {"stack.read": {count,total_ns,mean_ns,min_ns,max_ns,
+     * p50_ns,p90_ns,p99_ns}, ...}.  Flat keys keep the artifact easy
+     * to diff across runs.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** Human-readable dump, one line per timer, sorted by name. */
+    std::string str() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Histogram>> timers;
+};
+
+/**
+ * RAII nanosecond timer: samples the enclosing scope's duration into
+ * @p target on destruction.  A null target skips the clock reads
+ * entirely, so instrumented code pays one branch when profiling is
+ * disabled.  Timers nest naturally — each scope samples its own
+ * histogram, and an inner scope's time is included in the outer's.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram *target) : hist(target)
+    {
+        if (hist)
+            begin = std::chrono::steady_clock::now();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (hist)
+            hist->sample(elapsedNs());
+    }
+
+    /** Nanoseconds since construction (0 when disabled). */
+    uint64_t
+    elapsedNs() const
+    {
+        if (!hist)
+            return 0;
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        return ns > 0 ? static_cast<uint64_t>(ns) : 0;
+    }
+
+  private:
+    Histogram *hist;
+    std::chrono::steady_clock::time_point begin{};
+};
+
+} // namespace obs
+} // namespace aiecc
+
+#endif // AIECC_OBS_PROFILE_HH

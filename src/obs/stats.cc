@@ -29,6 +29,40 @@ Histogram::sample(uint64_t v)
     ++buckets[b];
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (!cnt)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Continuous rank in [0, cnt-1]; the sample holding it is found
+    // by walking the cumulative bucket counts.
+    const double rank = q * static_cast<double>(cnt - 1);
+    uint64_t seen = 0;
+    for (unsigned b = 0; b < numBuckets; ++b) {
+        if (!buckets[b])
+            continue;
+        const double inBucket = static_cast<double>(buckets[b]);
+        if (rank < static_cast<double>(seen) + inBucket) {
+            // Interpolate linearly across the bucket's value range:
+            // bucket 0 holds exactly 0, bucket b>=1 holds [2^(b-1), 2^b).
+            double lo = 0.0, hi = 0.0;
+            if (b >= 1) {
+                lo = static_cast<double>(uint64_t{1} << (b - 1));
+                hi = b < 64 ? static_cast<double>(uint64_t{1} << b)
+                            : 2.0 * lo;
+            }
+            const double frac =
+                (rank - static_cast<double>(seen)) / inBucket;
+            const double v = lo + frac * (hi - lo);
+            return std::min(std::max(v, static_cast<double>(mn)),
+                            static_cast<double>(mx));
+        }
+        seen += buckets[b];
+    }
+    return static_cast<double>(mx);
+}
+
 void
 Histogram::reset()
 {
@@ -192,6 +226,9 @@ emitValue(JsonWriter &w, const Entry &e)
             .kv("min", h.min())
             .kv("max", h.max())
             .kv("mean", h.mean())
+            .kv("p50", h.quantile(0.50))
+            .kv("p90", h.quantile(0.90))
+            .kv("p99", h.quantile(0.99))
             .endObject();
     }
 }

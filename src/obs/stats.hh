@@ -88,6 +88,17 @@ class Histogram
   public:
     static constexpr unsigned numBuckets = 65; ///< [0], [1,2), [2,4)...
 
+    /**
+     * Standalone construction is allowed for transient analysis
+     * (trace post-processing, bench-local latency capture); stats
+     * that live for a run belong in a StatsRegistry or
+     * ProfileRegistry, which guarantee stable addresses.
+     */
+    explicit Histogram(std::string name = "", std::string description = "")
+        : nm(std::move(name)), desc(std::move(description))
+    {
+    }
+
     const std::string &name() const { return nm; }
     const std::string &description() const { return desc; }
 
@@ -100,14 +111,21 @@ class Histogram
     double mean() const { return cnt ? total / static_cast<double>(cnt) : 0.0; }
     /** Samples in bucket @p b: b=0 holds value 0, b>=1 holds [2^(b-1), 2^b). */
     uint64_t bucket(unsigned b) const { return buckets[b]; }
+
+    /**
+     * Estimate the @p q quantile (q in [0,1]) by linear interpolation
+     * across the log2 bucket a rank of q*(count-1) lands in, clamped
+     * to the observed [min, max].  Exact for q=0/q=1; for uniform
+     * in-bucket distributions the interpolation error is small, and
+     * it is never off by more than one bucket width.  Returns 0 with
+     * no samples.
+     */
+    double quantile(double q) const;
+
     void reset();
 
   private:
     friend class StatsRegistry;
-    Histogram(std::string name, std::string description)
-        : nm(std::move(name)), desc(std::move(description))
-    {
-    }
     std::string nm, desc;
     uint64_t cnt = 0;
     double total = 0.0;
@@ -155,7 +173,8 @@ class StatsRegistry
 
     /**
      * Serialize as one nested JSON object value: dotted names become
-     * nested objects, histograms become {count,sum,min,max,mean}.
+     * nested objects, histograms become
+     * {count,sum,min,max,mean,p50,p90,p99}.
      */
     void writeJson(JsonWriter &w) const;
 

@@ -22,6 +22,17 @@ eventKindName(EventKind kind)
     return "?";
 }
 
+std::optional<EventKind>
+eventKindFromName(std::string_view name)
+{
+    for (unsigned k = 0; k < numEventKinds; ++k) {
+        const EventKind kind = static_cast<EventKind>(k);
+        if (eventKindName(kind) == name)
+            return kind;
+    }
+    return std::nullopt;
+}
+
 void
 TraceEvent::writeJson(JsonWriter &w) const
 {
@@ -93,28 +104,37 @@ JsonlTraceSink::JsonlTraceSink(const std::string &path)
 
 JsonlTraceSink::~JsonlTraceSink()
 {
-    if (file)
-        std::fclose(file);
+    if (!file)
+        return;
+    if (std::fflush(file) != 0)
+        ++errors;
+    std::fclose(file);
 }
 
 void
 JsonlTraceSink::record(const TraceEvent &event)
 {
-    if (!file)
+    if (!file) {
+        ++drops;
         return;
+    }
     JsonWriter w(0); // compact: one line per event
     event.writeJson(w);
     const std::string line = w.str();
-    std::fwrite(line.data(), 1, line.size(), file);
-    std::fputc('\n', file);
+    const size_t wrote = std::fwrite(line.data(), 1, line.size(), file);
+    if (wrote != line.size() || std::fputc('\n', file) == EOF) {
+        ++drops;
+        ++errors;
+        return;
+    }
     ++lines;
 }
 
 void
 JsonlTraceSink::flush()
 {
-    if (file)
-        std::fflush(file);
+    if (file && std::fflush(file) != 0)
+        ++errors;
 }
 
 } // namespace obs

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/json.hh"
@@ -40,6 +42,16 @@ enum class EventKind
 
 /** Printable event-kind name (the JSONL schema string). */
 std::string eventKindName(EventKind kind);
+
+/**
+ * Inverse of eventKindName(): the kind whose schema string is
+ * @p name, or nullopt for an unknown string.  Used by trace-file
+ * parsers (tools/aiecc-trace) to round-trip recorded events.
+ */
+std::optional<EventKind> eventKindFromName(std::string_view name);
+
+/** Number of EventKind enumerators (parsers iterate the schema). */
+constexpr unsigned numEventKinds = 9;
 
 /** One structured observation, timestamped in controller cycles. */
 struct TraceEvent
@@ -98,7 +110,11 @@ class RingTraceSink : public TraceSink
 
 /**
  * Streams one compact JSON object per event to a file (JSONL).  The
- * file is created on construction; ok() reports open failure.
+ * file is created on construction; ok() reports open failure.  The
+ * destructor flushes and closes.  Events that could not be written —
+ * because the file never opened or a write failed — are counted, not
+ * silently lost: dropped() is the number of record() calls that left
+ * no complete line behind, ioErrors() the stream-level failures seen.
  */
 class JsonlTraceSink : public TraceSink
 {
@@ -110,7 +126,15 @@ class JsonlTraceSink : public TraceSink
     JsonlTraceSink &operator=(const JsonlTraceSink &) = delete;
 
     bool ok() const { return file != nullptr; }
+
+    /** Events fully written (a trailing flush may still fail). */
     uint64_t recorded() const { return lines; }
+
+    /** record() calls that produced no complete line. */
+    uint64_t dropped() const { return drops; }
+
+    /** Write/flush errors observed on the stream. */
+    uint64_t ioErrors() const { return errors; }
 
     void record(const TraceEvent &event) override;
     void flush() override;
@@ -118,6 +142,8 @@ class JsonlTraceSink : public TraceSink
   private:
     std::FILE *file = nullptr;
     uint64_t lines = 0;
+    uint64_t drops = 0;
+    uint64_t errors = 0;
 };
 
 } // namespace obs

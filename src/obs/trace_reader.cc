@@ -1,0 +1,442 @@
+#include "obs/trace_reader.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace aiecc
+{
+namespace obs
+{
+
+namespace
+{
+
+void
+skipSpace(std::string_view s, size_t &i)
+{
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n'))
+        ++i;
+}
+
+bool
+fail(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+    return false;
+}
+
+/** One parsed member value of the flat schema. */
+struct FlatValue
+{
+    bool isString = false;
+    std::string str;      ///< string payload
+    uint64_t num = 0;     ///< integer payload
+    bool numExact = false; ///< num holds the full value (plain digits)
+};
+
+bool
+parseHex4(std::string_view s, size_t &i, unsigned &out)
+{
+    out = 0;
+    for (int k = 0; k < 4; ++k) {
+        if (i >= s.size())
+            return false;
+        const char c = s[i++];
+        unsigned digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<unsigned>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<unsigned>(c - 'A') + 10;
+        else
+            return false;
+        out = (out << 4) | digit;
+    }
+    return true;
+}
+
+bool
+parseString(std::string_view s, size_t &i, std::string &out,
+            std::string *error)
+{
+    if (i >= s.size() || s[i] != '"')
+        return fail(error, "expected '\"'");
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+        const char c = s[i++];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (i >= s.size())
+            break;
+        const char esc = s[i++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned cp;
+            if (!parseHex4(s, i, cp))
+                return fail(error, "bad \\u escape");
+            // The sink only emits \u00XX (control characters), but
+            // accept any BMP code point and encode it as UTF-8.
+            if (cp < 0x80) {
+                out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+                out += static_cast<char>(0xC0 | (cp >> 6));
+                out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+                out += static_cast<char>(0xE0 | (cp >> 12));
+                out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail(error, "bad escape character");
+        }
+    }
+    return fail(error, "unterminated string");
+}
+
+bool
+parseValue(std::string_view s, size_t &i, FlatValue &out,
+           std::string *error)
+{
+    skipSpace(s, i);
+    if (i >= s.size())
+        return fail(error, "expected a value");
+    const char c = s[i];
+    if (c == '"') {
+        out.isString = true;
+        return parseString(s, i, out.str, error);
+    }
+    if (c == '{' || c == '[')
+        return fail(error, "nested values are not part of the schema");
+    if (s.compare(i, 4, "true") == 0) {
+        i += 4;
+        out.num = 1;
+        return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+        i += 5;
+        return true;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+        i += 4;
+        return true;
+    }
+    // A number: plain digit runs (what the sink writes) keep exact
+    // uint64 precision; signs, fractions and exponents are consumed
+    // but only tolerated for unknown members.
+    const size_t start = i;
+    if (c == '-')
+        ++i;
+    uint64_t magnitude = 0;
+    bool digits = false, overflow = false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        digits = true;
+        const uint64_t digit = static_cast<uint64_t>(s[i] - '0');
+        if (magnitude > (UINT64_MAX - digit) / 10)
+            overflow = true;
+        else
+            magnitude = magnitude * 10 + digit;
+        ++i;
+    }
+    bool fractional = false;
+    if (i < s.size() && s[i] == '.') {
+        fractional = true;
+        ++i;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+            ++i;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+        fractional = true;
+        ++i;
+        if (i < s.size() && (s[i] == '+' || s[i] == '-'))
+            ++i;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+            ++i;
+    }
+    if (!digits)
+        return fail(error, "malformed number at offset " +
+                               std::to_string(start));
+    out.num = magnitude;
+    out.numExact = !fractional && c != '-' && !overflow;
+    return true;
+}
+
+} // namespace
+
+std::optional<TraceEvent>
+parseTraceLine(std::string_view line, std::string *error)
+{
+    size_t i = 0;
+    skipSpace(line, i);
+    if (i >= line.size() || line[i] != '{') {
+        fail(error, "expected '{'");
+        return std::nullopt;
+    }
+    ++i;
+
+    TraceEvent event;
+    bool sawKind = false;
+    skipSpace(line, i);
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        while (true) {
+            skipSpace(line, i);
+            std::string key;
+            if (!parseString(line, i, key, error))
+                return std::nullopt;
+            skipSpace(line, i);
+            if (i >= line.size() || line[i] != ':') {
+                fail(error, "expected ':' after \"" + key + "\"");
+                return std::nullopt;
+            }
+            ++i;
+            FlatValue value;
+            if (!parseValue(line, i, value, error))
+                return std::nullopt;
+
+            if (key == "kind") {
+                if (!value.isString) {
+                    fail(error, "\"kind\" must be a string");
+                    return std::nullopt;
+                }
+                const auto kind = eventKindFromName(value.str);
+                if (!kind) {
+                    fail(error, "unknown event kind \"" + value.str +
+                                    "\"");
+                    return std::nullopt;
+                }
+                event.kind = *kind;
+                sawKind = true;
+            } else if (key == "cycle" || key == "value") {
+                if (value.isString || !value.numExact) {
+                    fail(error, "\"" + key +
+                                    "\" must be an unsigned integer");
+                    return std::nullopt;
+                }
+                (key == "cycle" ? event.cycle : event.value) = value.num;
+            } else if (key == "label" || key == "detail") {
+                if (!value.isString) {
+                    fail(error, "\"" + key + "\" must be a string");
+                    return std::nullopt;
+                }
+                (key == "label" ? event.label : event.detail) =
+                    std::move(value.str);
+            }
+            // Unknown members parsed and dropped (forward compat).
+
+            skipSpace(line, i);
+            if (i < line.size() && line[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (i < line.size() && line[i] == '}') {
+                ++i;
+                break;
+            }
+            fail(error, "expected ',' or '}'");
+            return std::nullopt;
+        }
+    }
+    skipSpace(line, i);
+    if (i != line.size()) {
+        fail(error, "trailing content after the object");
+        return std::nullopt;
+    }
+    if (!sawKind) {
+        fail(error, "missing \"kind\"");
+        return std::nullopt;
+    }
+    return event;
+}
+
+TraceFile
+readTraceFile(const std::string &path)
+{
+    TraceFile out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    out.opened = true;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::string error;
+        if (auto event = parseTraceLine(line, &error)) {
+            out.events.push_back(std::move(*event));
+        } else {
+            ++out.badLines;
+            if (out.firstError.empty())
+                out.firstError = error;
+        }
+    }
+    return out;
+}
+
+double
+TraceSummary::ratePerKiloCycle(EventKind kind) const
+{
+    const auto it = byKind.find(kind);
+    if (it == byKind.end() || !totalEvents)
+        return 0.0;
+    const double span = static_cast<double>(lastCycle - firstCycle + 1);
+    return static_cast<double>(it->second.count) * 1000.0 / span;
+}
+
+TraceSummary
+summarizeTrace(std::vector<TraceEvent> events)
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    TraceSummary sum;
+    std::map<EventKind, uint64_t> prevCycle;
+    for (const TraceEvent &event : events) {
+        if (!sum.totalEvents) {
+            sum.firstCycle = event.cycle;
+            sum.lastCycle = event.cycle;
+        }
+        sum.lastCycle = std::max(sum.lastCycle, event.cycle);
+        ++sum.totalEvents;
+
+        KindSummary &k = sum.byKind[event.kind];
+        if (!k.count)
+            k.firstCycle = event.cycle;
+        else
+            k.gaps.sample(event.cycle - prevCycle[event.kind]);
+        k.lastCycle = event.cycle;
+        ++k.count;
+        if (!event.label.empty())
+            ++k.byLabel[event.label];
+        prevCycle[event.kind] = event.cycle;
+    }
+    return sum;
+}
+
+bool
+TraceFilter::matches(const TraceEvent &event) const
+{
+    if (kind && event.kind != *kind)
+        return false;
+    if (label && event.label != *label)
+        return false;
+    return event.cycle >= cycleMin && event.cycle <= cycleMax;
+}
+
+std::vector<TraceEvent>
+filterEvents(const std::vector<TraceEvent> &events,
+             const TraceFilter &filter)
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &event : events) {
+        if (filter.matches(event))
+            out.push_back(event);
+    }
+    return out;
+}
+
+uint64_t
+writeChromeTrace(const std::vector<TraceEvent> &events, JsonWriter &w)
+{
+    std::vector<TraceEvent> sorted = events;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    // Instant events: one per trace event, cycle as timestamp.
+    for (const TraceEvent &event : sorted) {
+        const std::string kind = eventKindName(event.kind);
+        w.beginObject()
+            .kv("name",
+                event.label.empty() ? kind : kind + ":" + event.label)
+            .kv("cat", kind)
+            .kv("ph", "i")
+            .kv("ts", event.cycle)
+            .kv("pid", 0)
+            .kv("tid", 0)
+            .kv("s", "t");
+        w.key("args").beginObject().kv("value", event.value);
+        if (!event.detail.empty())
+            w.kv("detail", event.detail);
+        w.endObject().endObject();
+    }
+
+    // Duration spans: a recovery episode opens at its first Retry
+    // (attempt number 1) and closes at the next Recovery event
+    // carrying the same cause label.  Retries from other sources
+    // (e.g. the replay harness's "wr"/"rd") never see a matching
+    // Recovery and emit no span.
+    uint64_t spans = 0;
+    struct Pending
+    {
+        uint64_t startCycle = 0;
+        bool open = false;
+    };
+    std::map<std::string, Pending> pending;
+    for (const TraceEvent &event : sorted) {
+        if (event.kind == EventKind::Retry && event.value == 1) {
+            pending[event.label] = {event.cycle, true};
+        } else if (event.kind == EventKind::Recovery &&
+                   !event.label.empty()) {
+            auto it = pending.find(event.label);
+            if (it == pending.end() || !it->second.open)
+                continue;
+            const uint64_t start = it->second.startCycle;
+            const uint64_t dur =
+                event.cycle > start ? event.cycle - start : 1;
+            w.beginObject()
+                .kv("name", "episode:" + event.label)
+                .kv("cat", "recovery")
+                .kv("ph", "X")
+                .kv("ts", start)
+                .kv("dur", dur)
+                .kv("pid", 0)
+                .kv("tid", 1);
+            w.key("args")
+                .beginObject()
+                .kv("attempts", event.value)
+                .kv("outcome", event.detail)
+                .endObject();
+            w.endObject();
+            it->second.open = false;
+            ++spans;
+        }
+    }
+
+    w.endArray();
+    w.kv("displayTimeUnit", "ns");
+    w.key("otherData")
+        .beginObject()
+        .kv("source", "aiecc-trace")
+        .kv("timestamp_unit", "controller cycles")
+        .endObject();
+    w.endObject();
+    return spans;
+}
+
+} // namespace obs
+} // namespace aiecc

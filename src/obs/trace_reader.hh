@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Offline consumption of recorded JSONL traces.
+ *
+ * JsonlTraceSink writes one flat JSON object per event; this module
+ * is its inverse plus the analyses the `aiecc-trace` CLI exposes:
+ * parse lines back into TraceEvents, summarize a run per event kind
+ * (counts, cycle span, inter-event gap distribution), filter by
+ * kind/label/cycle window, and export to the Chrome trace-event
+ * format (chrome://tracing, Perfetto) with recovery episodes turned
+ * into duration spans.  Everything is dependency-free: the parser
+ * only understands the flat schema the sink emits, which is all a
+ * trace file may legally contain.
+ */
+
+#ifndef AIECC_OBS_TRACE_READER_HH
+#define AIECC_OBS_TRACE_READER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+/**
+ * Parse one JSONL trace line back into a TraceEvent.
+ *
+ * Accepts exactly the flat schema JsonlTraceSink writes: an object of
+ * "kind" (string), "cycle"/"value" (unsigned numbers) and
+ * "label"/"detail" (strings), in any order; unknown string/number
+ * members are ignored for forward compatibility.  Returns nullopt on
+ * malformed JSON, nested values, or an unknown kind string, with a
+ * diagnostic in @p error when given.
+ */
+std::optional<TraceEvent> parseTraceLine(std::string_view line,
+                                         std::string *error = nullptr);
+
+/** What reading one trace file produced. */
+struct TraceFile
+{
+    bool opened = false;          ///< the file could be read at all
+    std::vector<TraceEvent> events;
+    uint64_t badLines = 0;        ///< lines that failed to parse
+    std::string firstError;       ///< diagnostic for the first bad line
+};
+
+/** Read a whole JSONL trace file (blank lines are skipped). */
+TraceFile readTraceFile(const std::string &path);
+
+/** Per-kind aggregate of one trace. */
+struct KindSummary
+{
+    uint64_t count = 0;
+    uint64_t firstCycle = 0;
+    uint64_t lastCycle = 0;
+    /** Distribution of cycle gaps between consecutive same-kind events. */
+    Histogram gaps;
+    /** Event count per label (mechanism, cause, outcome class...). */
+    std::map<std::string, uint64_t> byLabel;
+};
+
+/** Whole-trace aggregate. */
+struct TraceSummary
+{
+    uint64_t totalEvents = 0;
+    uint64_t firstCycle = 0;
+    uint64_t lastCycle = 0;
+    std::map<EventKind, KindSummary> byKind;
+
+    /** Events of @p kind per 1000 cycles of trace span (0 if empty). */
+    double ratePerKiloCycle(EventKind kind) const;
+};
+
+/**
+ * Summarize @p events (any order; they are processed in cycle order).
+ */
+TraceSummary summarizeTrace(std::vector<TraceEvent> events);
+
+/** Predicate bundle for `aiecc-trace filter`. */
+struct TraceFilter
+{
+    std::optional<EventKind> kind;
+    std::optional<std::string> label;
+    uint64_t cycleMin = 0;
+    uint64_t cycleMax = UINT64_MAX;
+
+    bool matches(const TraceEvent &event) const;
+};
+
+/** Events of @p events matching @p filter, in input order. */
+std::vector<TraceEvent> filterEvents(const std::vector<TraceEvent> &events,
+                                     const TraceFilter &filter);
+
+/**
+ * Write @p events as a Chrome trace-event JSON document into @p w
+ * (which must be empty; the call leaves it complete()).
+ *
+ * Every event becomes an instant event ("ph":"i") on one timeline,
+ * timestamped by controller cycle; in-band recovery episodes — a
+ * Retry with attempt number 1 up to the matching Recovery event of
+ * the same cause label — additionally become complete duration spans
+ * ("ph":"X") so episode cost is visible at a glance in Perfetto or
+ * chrome://tracing.
+ *
+ * @return the number of duration spans emitted.
+ */
+uint64_t writeChromeTrace(const std::vector<TraceEvent> &events,
+                          JsonWriter &w);
+
+} // namespace obs
+} // namespace aiecc
+
+#endif // AIECC_OBS_TRACE_READER_HH

@@ -21,6 +21,11 @@ RecoveryEngine::RecoveryEngine(const RecoveryConfig &config,
                                unsigned numBanks, obs::Observer *observer)
     : cfg(config), obsHook(observer), buckets(numBanks)
 {
+    if (obsHook && obsHook->profile()) {
+        oc.tEpisode = &obsHook->profile()->timer(
+            "recovery.episode",
+            "one in-band recovery episode, all attempts");
+    }
     if (!obsHook || !obsHook->stats())
         return;
     obs::StatsRegistry &reg = *obsHook->stats();
@@ -217,6 +222,7 @@ RecoveryEngine::runEpisode(RecoveryCause cause, const Command &intended,
     RecoveryOutcome out;
     if (!cfg.enabled || cfg.maxAttempts == 0)
         return out;
+    obs::ScopedTimer timeEpisode(oc.tEpisode);
     out.attempted = true;
     ++st.episodes;
     if (oc.episodes)
@@ -290,6 +296,7 @@ RecoveryEngine::onReadDetection(const MtbAddress &addr, unsigned flatBank,
     RecoveryOutcome out;
     if (!cfg.enabled || cfg.maxAttempts == 0)
         return out;
+    obs::ScopedTimer timeEpisode(oc.tEpisode);
     out.attempted = true;
     ++st.episodes;
     if (oc.episodes)

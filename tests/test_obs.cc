@@ -248,6 +248,50 @@ TEST(JsonlTraceSink, WritesOneEscapedObjectPerLine)
     std::remove(path.c_str());
 }
 
+TEST(JsonlTraceSink, FailedOpenCountsEveryRecordAsDropped)
+{
+    obs::JsonlTraceSink sink("/nonexistent-dir/trace.jsonl");
+    EXPECT_FALSE(sink.ok());
+    sink.record(mkEvent(obs::EventKind::Detection, 1));
+    sink.record(mkEvent(obs::EventKind::Retry, 2));
+    sink.flush(); // must not crash with no stream
+    EXPECT_EQ(sink.recorded(), 0u);
+    EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(JsonlTraceSink, HealthyStreamReportsNoDropsOrErrors)
+{
+    const std::string path =
+        testing::TempDir() + "/aiecc_test_health.jsonl";
+    {
+        obs::JsonlTraceSink sink(path);
+        ASSERT_TRUE(sink.ok());
+        sink.record(mkEvent(obs::EventKind::Scrub, 9));
+        EXPECT_EQ(sink.dropped(), 0u);
+        EXPECT_EQ(sink.ioErrors(), 0u);
+    } // destructor flushes and closes
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "{\"kind\":\"scrub\",\"cycle\":9}");
+    std::remove(path.c_str());
+}
+
+TEST(StatsRegistry, HistogramJsonCarriesQuantiles)
+{
+    obs::StatsRegistry reg;
+    obs::Histogram &h = reg.histogram("lat");
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    obs::JsonWriter w(0);
+    reg.writeJson(w);
+    EXPECT_TRUE(w.complete());
+    const std::string doc = w.str();
+    for (const char *field : {"\"p50\"", "\"p90\"", "\"p99\""})
+        EXPECT_NE(doc.find(field), std::string::npos) << field;
+    EXPECT_NE(doc.find("\"p50\":50.5"), std::string::npos) << doc;
+}
+
 TEST(Observer, EmitFansOutToAllSinks)
 {
     obs::Observer observer;

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the wall-clock profiling substrate: ScopedTimer lifetime
+ * semantics, the bucket-interpolated Histogram quantiles it reports,
+ * the ProfileRegistry contract (idempotent find-or-create, stable
+ * addresses across reset, JSON shape), the disabled-path overhead
+ * bound, and the end-to-end wiring through an instrumented
+ * ProtectionStack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "aiecc/stack.hh"
+#include "obs/observer.hh"
+#include "obs/profile.hh"
+#include "obs/stats.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+// ---- Histogram::quantile ----
+
+TEST(HistogramQuantile, EmptyHistogramIsZero)
+{
+    obs::Histogram h("empty");
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SingleValueCollapsesToThatValue)
+{
+    // Interpolation inside the [4,8) bucket is clamped to the observed
+    // min==max, so every quantile is exact.
+    obs::Histogram h("seven");
+    for (int i = 0; i < 100; ++i)
+        h.sample(7);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 7.0) << "q=" << q;
+}
+
+TEST(HistogramQuantile, UniformOneToHundredMedian)
+{
+    // 1..100 once each: rank(0.5) = 49.5 lands in the [32,64) bucket
+    // after 31 smaller samples; 32 + (49.5-31)/32 * 32 = 50.5, the
+    // exact midpoint of the distribution.
+    obs::Histogram h("uniform");
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.5);
+
+    // Tails interpolate within the right buckets and clamp to the
+    // observed extremes.
+    EXPECT_GE(h.quantile(0.9), 64.0);
+    EXPECT_LE(h.quantile(0.9), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(HistogramQuantile, QuantilesAreMonotone)
+{
+    obs::Histogram h("mono");
+    uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < 10000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.sample(x % 100000);
+    }
+    double prev = 0.0;
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+}
+
+TEST(HistogramQuantile, OutOfRangeArgumentsClamp)
+{
+    obs::Histogram h("clamp");
+    h.sample(10);
+    h.sample(20);
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+// ---- ScopedTimer ----
+
+TEST(ScopedTimer, SamplesOncePerScope)
+{
+    obs::Histogram h("t");
+    {
+        obs::ScopedTimer t(&h);
+        EXPECT_EQ(h.count(), 0u); // nothing until scope exit
+    }
+    EXPECT_EQ(h.count(), 1u);
+    {
+        obs::ScopedTimer t(&h);
+    }
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ScopedTimer, MeasuresElapsedTime)
+{
+    obs::Histogram h("sleep");
+    {
+        obs::ScopedTimer t(&h);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        EXPECT_GE(t.elapsedNs(), 4'000'000u);
+    }
+    EXPECT_GE(h.max(), 4'000'000u);
+}
+
+TEST(ScopedTimer, NestedScopesSampleTheirOwnHistograms)
+{
+    obs::Histogram outer("outer"), inner("inner");
+    {
+        obs::ScopedTimer to(&outer);
+        {
+            obs::ScopedTimer ti(&inner);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    EXPECT_EQ(outer.count(), 1u);
+    EXPECT_EQ(inner.count(), 1u);
+    // The inner scope's time is part of the outer scope's.
+    EXPECT_GE(outer.max(), inner.max());
+}
+
+TEST(ScopedTimer, NullTargetRecordsNothing)
+{
+    obs::ScopedTimer t(nullptr);
+    EXPECT_EQ(t.elapsedNs(), 0u);
+}
+
+TEST(ScopedTimer, DisabledPathIsCheap)
+{
+    // One million disabled timers must be near-free (a pointer test
+    // each).  The generous bound only catches accidental clock reads
+    // on the null path, not scheduler noise.  The volatile pointer
+    // keeps the compiler from folding the whole loop away.
+    obs::Histogram *volatile target = nullptr;
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < 1'000'000; ++i)
+        obs::ScopedTimer t(target);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    EXPECT_LT(elapsed, 2000);
+}
+
+// ---- ProfileRegistry ----
+
+TEST(ProfileRegistry, TimerIsFindOrCreate)
+{
+    obs::ProfileRegistry prof;
+    obs::Histogram &a = prof.timer("stack.read", "read scope");
+    obs::Histogram &b = prof.timer("stack.read");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(prof.size(), 1u);
+    EXPECT_EQ(prof.find("stack.read"), &a);
+    EXPECT_EQ(prof.find("missing"), nullptr);
+}
+
+TEST(ProfileRegistry, ResetZeroesButKeepsAddresses)
+{
+    obs::ProfileRegistry prof;
+    obs::Histogram &t = prof.timer("controller.issue");
+    t.sample(100);
+    t.sample(200);
+    EXPECT_EQ(t.count(), 2u);
+    prof.reset();
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_EQ(prof.find("controller.issue"), &t); // address survived
+    t.sample(5); // resolved pointer is still live
+    EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(ProfileRegistry, WriteJsonEmitsFlatDottedKeys)
+{
+    obs::ProfileRegistry prof;
+    prof.timer("stack.read").sample(10);
+    prof.timer("stack.read").sample(30);
+    obs::JsonWriter w;
+    prof.writeJson(w);
+    ASSERT_TRUE(w.complete());
+    const std::string doc = w.str();
+    EXPECT_NE(doc.find("\"stack.read\""), std::string::npos);
+    for (const char *field : {"\"count\"", "\"total_ns\"", "\"mean_ns\"",
+                              "\"min_ns\"", "\"max_ns\"", "\"p50_ns\"",
+                              "\"p90_ns\"", "\"p99_ns\""})
+        EXPECT_NE(doc.find(field), std::string::npos) << field;
+}
+
+// ---- End-to-end wiring through the stack ----
+
+TEST(ProfiledStack, HotPathsSampleTheirTimers)
+{
+    obs::StatsRegistry stats;
+    obs::ProfileRegistry prof;
+    obs::Observer observer(&stats);
+    observer.setProfile(&prof);
+
+    StackConfig cfg;
+    cfg.mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    cfg.observer = &observer;
+    ProtectionStack stack(cfg);
+
+    const MtbAddress addr{0, 1, 2, 7, 3};
+    BitVec data(Burst::dataBits);
+    data.set(42, true);
+    stack.write(addr, data);
+    const auto out = stack.read(addr);
+    EXPECT_EQ(out.data, data);
+
+    const obs::Histogram *tWrite = prof.find("stack.write");
+    const obs::Histogram *tRead = prof.find("stack.read");
+    const obs::Histogram *tEnc = prof.find("stack.ecc_encode");
+    const obs::Histogram *tDec = prof.find("stack.ecc_decode");
+    const obs::Histogram *tIssue = prof.find("controller.issue");
+    const obs::Histogram *tWcrc = prof.find("controller.wcrc");
+    ASSERT_NE(tWrite, nullptr);
+    ASSERT_NE(tRead, nullptr);
+    ASSERT_NE(tEnc, nullptr);
+    ASSERT_NE(tDec, nullptr);
+    ASSERT_NE(tIssue, nullptr);
+    ASSERT_NE(tWcrc, nullptr);
+    EXPECT_EQ(tWrite->count(), 1u);
+    EXPECT_EQ(tRead->count(), 1u);
+    EXPECT_EQ(tEnc->count(), 1u);
+    EXPECT_EQ(tDec->count(), 1u);
+    // write: ACT + WR; read: RD (row already open).
+    EXPECT_GE(tIssue->count(), 3u);
+    EXPECT_EQ(tWcrc->count(), 1u); // one WR edge generated WCRC
+}
+
+TEST(ProfiledStack, StatsOnlyObserverCreatesNoTimers)
+{
+    // An observer without a ProfileRegistry must leave the profiling
+    // pointers null — and the stack fully functional.
+    obs::StatsRegistry stats;
+    obs::Observer observer(&stats);
+    StackConfig cfg;
+    cfg.mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    cfg.observer = &observer;
+    ProtectionStack stack(cfg);
+
+    const MtbAddress addr{0, 0, 1, 2, 3};
+    BitVec data(Burst::dataBits);
+    stack.write(addr, data);
+    EXPECT_FALSE(stack.read(addr).detected);
+    EXPECT_EQ(stats.counterValue("stack.reads"), 1u);
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for offline trace analysis: the eventKindFromName inverse,
+ * the flat JSONL line parser (including escape handling and malformed
+ * input), whole-file reading against the checked-in miniature fixture,
+ * per-kind summaries, filtering, and the structural validity of the
+ * Chrome trace-event export (the golden-output contract behind
+ * `aiecc-trace export --chrome`).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/trace.hh"
+#include "obs/trace_reader.hh"
+
+#ifndef AIECC_TEST_DATA_DIR
+#error "AIECC_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace aiecc
+{
+namespace
+{
+
+const std::string fixture =
+    std::string(AIECC_TEST_DATA_DIR) + "/mini_trace.jsonl";
+
+// ---- eventKindFromName ----
+
+TEST(EventKindName, RoundTripsEveryKind)
+{
+    for (unsigned k = 0; k < obs::numEventKinds; ++k) {
+        const auto kind = static_cast<obs::EventKind>(k);
+        const std::string name = obs::eventKindName(kind);
+        const auto back = obs::eventKindFromName(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, kind) << name;
+    }
+}
+
+TEST(EventKindName, UnknownNamesAreRejected)
+{
+    EXPECT_FALSE(obs::eventKindFromName("").has_value());
+    EXPECT_FALSE(obs::eventKindFromName("Command").has_value());
+    EXPECT_FALSE(obs::eventKindFromName("commandX").has_value());
+}
+
+// ---- parseTraceLine ----
+
+TEST(ParseTraceLine, FullObjectInAnyMemberOrder)
+{
+    const auto event = obs::parseTraceLine(
+        R"({"value":3,"detail":"ctx","cycle":42,"kind":"retry",)"
+        R"("label":"read-decode"})");
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->kind, obs::EventKind::Retry);
+    EXPECT_EQ(event->cycle, 42u);
+    EXPECT_EQ(event->label, "read-decode");
+    EXPECT_EQ(event->value, 3u);
+    EXPECT_EQ(event->detail, "ctx");
+}
+
+TEST(ParseTraceLine, OmittedMembersDefault)
+{
+    const auto event = obs::parseTraceLine(R"({"kind":"scrub"})");
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->kind, obs::EventKind::Scrub);
+    EXPECT_EQ(event->cycle, 0u);
+    EXPECT_EQ(event->label, "");
+    EXPECT_EQ(event->value, 0u);
+}
+
+TEST(ParseTraceLine, EscapesRoundTripThroughTheWriter)
+{
+    // The writer emits \" \\ \n and \u00XX; the parser must undo all
+    // of them so sink -> file -> reader is the identity.
+    obs::TraceEvent original;
+    original.kind = obs::EventKind::Detection;
+    original.cycle = 7;
+    original.label = "quote\" back\\slash";
+    original.value = 9;
+    original.detail = std::string("tab\tnewline\nnul:") + '\x01';
+    obs::JsonWriter w(0);
+    original.writeJson(w);
+    const auto parsed = obs::parseTraceLine(w.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, original.kind);
+    EXPECT_EQ(parsed->cycle, original.cycle);
+    EXPECT_EQ(parsed->label, original.label);
+    EXPECT_EQ(parsed->value, original.value);
+    EXPECT_EQ(parsed->detail, original.detail);
+}
+
+TEST(ParseTraceLine, MalformedInputIsRejectedWithDiagnostics)
+{
+    std::string error;
+    EXPECT_FALSE(obs::parseTraceLine("", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(obs::parseTraceLine("not json").has_value());
+    EXPECT_FALSE(obs::parseTraceLine(R"({"cycle":1})").has_value())
+        << "kind is mandatory";
+    EXPECT_FALSE(
+        obs::parseTraceLine(R"({"kind":"martian"})").has_value());
+    EXPECT_FALSE(
+        obs::parseTraceLine(R"({"kind":"scrub","cycle":"ten"})")
+            .has_value());
+    EXPECT_FALSE(
+        obs::parseTraceLine(R"({"kind":"scrub","cycle":1.5})")
+            .has_value());
+    EXPECT_FALSE(
+        obs::parseTraceLine(R"({"kind":"scrub","label":{"x":1}})")
+            .has_value())
+        << "nested values are outside the schema";
+    EXPECT_FALSE(
+        obs::parseTraceLine(R"({"kind":"scrub"} trailing)").has_value());
+}
+
+TEST(ParseTraceLine, UnknownMembersAreIgnored)
+{
+    const auto event = obs::parseTraceLine(
+        R"({"kind":"scrub","cycle":5,"future_field":1.25,)"
+        R"("note":"hi","flag":true})");
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->cycle, 5u);
+}
+
+// ---- readTraceFile + the fixture ----
+
+TEST(ReadTraceFile, MissingFileReportsNotOpened)
+{
+    const obs::TraceFile tf =
+        obs::readTraceFile("/nonexistent/trace.jsonl");
+    EXPECT_FALSE(tf.opened);
+    EXPECT_TRUE(tf.events.empty());
+}
+
+TEST(ReadTraceFile, FixtureParsesCompletely)
+{
+    const obs::TraceFile tf = obs::readTraceFile(fixture);
+    ASSERT_TRUE(tf.opened) << fixture;
+    EXPECT_EQ(tf.badLines, 0u) << tf.firstError;
+    ASSERT_EQ(tf.events.size(), 12u);
+    EXPECT_EQ(tf.events.front().kind, obs::EventKind::CommandIssued);
+    EXPECT_EQ(tf.events.front().cycle, 10u);
+    EXPECT_EQ(tf.events.back().kind, obs::EventKind::Classification);
+    EXPECT_EQ(tf.events.back().label, "CE");
+}
+
+// ---- summarizeTrace ----
+
+TEST(SummarizeTrace, FixtureAggregates)
+{
+    const obs::TraceFile tf = obs::readTraceFile(fixture);
+    ASSERT_TRUE(tf.opened);
+    const obs::TraceSummary sum = obs::summarizeTrace(tf.events);
+
+    EXPECT_EQ(sum.totalEvents, 12u);
+    EXPECT_EQ(sum.firstCycle, 10u);
+    EXPECT_EQ(sum.lastCycle, 90u);
+
+    const auto &commands =
+        sum.byKind.at(obs::EventKind::CommandIssued);
+    EXPECT_EQ(commands.count, 5u);
+    EXPECT_EQ(commands.firstCycle, 10u);
+    EXPECT_EQ(commands.lastCycle, 70u);
+    EXPECT_EQ(commands.gaps.count(), 4u); // 5 events -> 4 gaps
+    EXPECT_EQ(commands.byLabel.at("RD"), 3u);
+    EXPECT_EQ(commands.byLabel.at("ACT"), 1u);
+
+    const auto &retries = sum.byKind.at(obs::EventKind::Retry);
+    EXPECT_EQ(retries.count, 2u);
+    EXPECT_EQ(retries.gaps.count(), 1u);
+    EXPECT_EQ(retries.gaps.max(), 18u); // cycles 42 -> 60
+
+    // 5 commands over span [10,90] = 81 cycles.
+    EXPECT_NEAR(
+        sum.ratePerKiloCycle(obs::EventKind::CommandIssued),
+        5000.0 / 81.0, 1e-9);
+    EXPECT_EQ(sum.ratePerKiloCycle(obs::EventKind::PatrolScrub), 0.0);
+}
+
+TEST(SummarizeTrace, EmptyTrace)
+{
+    const obs::TraceSummary sum = obs::summarizeTrace({});
+    EXPECT_EQ(sum.totalEvents, 0u);
+    EXPECT_TRUE(sum.byKind.empty());
+}
+
+// ---- filterEvents ----
+
+TEST(FilterEvents, ByKindLabelAndCycleWindow)
+{
+    const obs::TraceFile tf = obs::readTraceFile(fixture);
+    ASSERT_TRUE(tf.opened);
+
+    obs::TraceFilter byKind;
+    byKind.kind = obs::EventKind::CommandIssued;
+    EXPECT_EQ(obs::filterEvents(tf.events, byKind).size(), 5u);
+
+    obs::TraceFilter byLabel;
+    byLabel.label = "read-decode";
+    EXPECT_EQ(obs::filterEvents(tf.events, byLabel).size(), 3u);
+
+    obs::TraceFilter byWindow;
+    byWindow.cycleMin = 40;
+    byWindow.cycleMax = 55;
+    EXPECT_EQ(obs::filterEvents(tf.events, byWindow).size(), 5u);
+
+    obs::TraceFilter combined;
+    combined.kind = obs::EventKind::CommandIssued;
+    combined.label = "RD";
+    combined.cycleMax = 60;
+    const auto got = obs::filterEvents(tf.events, combined);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].cycle, 40u);
+    EXPECT_EQ(got[1].cycle, 55u);
+}
+
+// ---- Chrome export ----
+
+TEST(ChromeExport, FixtureProducesValidDocumentWithEpisodeSpan)
+{
+    const obs::TraceFile tf = obs::readTraceFile(fixture);
+    ASSERT_TRUE(tf.opened);
+
+    obs::JsonWriter w;
+    const uint64_t spans = obs::writeChromeTrace(tf.events, w);
+    // complete() is the writer's structural-validity guarantee: every
+    // begin was matched, so the document is syntactically valid JSON.
+    ASSERT_TRUE(w.complete());
+    EXPECT_EQ(spans, 1u);
+
+    const std::string doc = w.str();
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+    // The retry at cycle 42 and recovery at 75 pair into one span.
+    EXPECT_NE(doc.find("\"episode:read-decode\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\": 42"), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\": 33"), std::string::npos);
+    EXPECT_NE(doc.find("\"in-band recovery succeeded\""),
+              std::string::npos);
+    // Instant events carry the kind:label names.
+    EXPECT_NE(doc.find("\"command:ACT\""), std::string::npos);
+    EXPECT_NE(doc.find("\"detection:eDECC\""), std::string::npos);
+}
+
+TEST(ChromeExport, UnmatchedRetryEmitsNoSpan)
+{
+    std::vector<obs::TraceEvent> events(2);
+    events[0].kind = obs::EventKind::Retry;
+    events[0].cycle = 5;
+    events[0].label = "wr";
+    events[0].value = 1;
+    events[1].kind = obs::EventKind::CommandIssued;
+    events[1].cycle = 9;
+    events[1].label = "WR";
+
+    obs::JsonWriter w;
+    EXPECT_EQ(obs::writeChromeTrace(events, w), 0u);
+    ASSERT_TRUE(w.complete());
+    EXPECT_EQ(w.str().find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ChromeExport, EmptyTraceStillYieldsACompleteDocument)
+{
+    obs::JsonWriter w;
+    EXPECT_EQ(obs::writeChromeTrace({}, w), 0u);
+    ASSERT_TRUE(w.complete());
+    EXPECT_NE(w.str().find("\"traceEvents\""), std::string::npos);
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * `aiecc-trace` — offline analysis of recorded JSONL event traces.
+ *
+ * Every simulation surface that attaches a JsonlTraceSink (campaign
+ * drivers, bench_e2e_throughput --trace, examples) writes the same
+ * flat one-object-per-line schema; this CLI consumes those files:
+ *
+ *   aiecc-trace summary FILE...            per-kind counts, rates and
+ *                                          inter-event gap statistics
+ *   aiecc-trace filter [PRED...] FILE...   re-emit matching events as
+ *                                          JSONL on stdout
+ *   aiecc-trace export --chrome [-o OUT] FILE...
+ *                                          Chrome trace-event JSON
+ *                                          (chrome://tracing, Perfetto)
+ *                                          with recovery episodes as
+ *                                          duration spans
+ *
+ * Filter predicates: --kind NAME, --label TEXT, --cycle-min N,
+ * --cycle-max N.  Multiple input files are concatenated in argument
+ * order.  Exit status: 0 success, 1 file/IO error, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/trace.hh"
+#include "obs/trace_reader.hh"
+
+namespace
+{
+
+using namespace aiecc;
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: aiecc-trace <command> [options] FILE...\n"
+        "\n"
+        "commands:\n"
+        "  summary   per-kind event counts, rates per kilocycle, and\n"
+        "            inter-event gap statistics\n"
+        "  filter    print events matching every predicate as JSONL\n"
+        "  export    convert to another format (requires --chrome)\n"
+        "\n"
+        "filter predicates:\n"
+        "  --kind NAME     event kind (command, detection, retry, ...)\n"
+        "  --label TEXT    exact label match\n"
+        "  --cycle-min N   keep events at cycle >= N\n"
+        "  --cycle-max N   keep events at cycle <= N\n"
+        "\n"
+        "export options:\n"
+        "  --chrome        Chrome trace-event JSON (Perfetto-loadable)\n"
+        "  -o, --out PATH  write to PATH instead of stdout\n");
+    std::fprintf(to, "\nknown kinds:");
+    for (unsigned k = 0; k < obs::numEventKinds; ++k) {
+        std::fprintf(to, " %s",
+                     obs::eventKindName(
+                         static_cast<obs::EventKind>(k))
+                         .c_str());
+    }
+    std::fprintf(to, "\n");
+}
+
+/** Load and concatenate every input file; exits on unreadable files. */
+std::vector<obs::TraceEvent>
+loadAll(const std::vector<std::string> &paths)
+{
+    std::vector<obs::TraceEvent> events;
+    for (const std::string &path : paths) {
+        obs::TraceFile tf = obs::readTraceFile(path);
+        if (!tf.opened) {
+            std::fprintf(stderr, "aiecc-trace: cannot read %s\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        if (tf.badLines) {
+            std::fprintf(stderr,
+                         "aiecc-trace: %s: %llu malformed line(s) "
+                         "skipped (first: %s)\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(tf.badLines),
+                         tf.firstError.c_str());
+        }
+        events.insert(events.end(), tf.events.begin(), tf.events.end());
+    }
+    return events;
+}
+
+int
+cmdSummary(const std::vector<std::string> &paths)
+{
+    const std::vector<obs::TraceEvent> events = loadAll(paths);
+    const obs::TraceSummary sum = obs::summarizeTrace(events);
+
+    std::printf("%llu events over cycles [%llu, %llu]\n\n",
+                static_cast<unsigned long long>(sum.totalEvents),
+                static_cast<unsigned long long>(sum.firstCycle),
+                static_cast<unsigned long long>(sum.lastCycle));
+    std::printf("%-16s %10s %12s %12s %12s %12s\n", "kind", "count",
+                "per-kcycle", "gap-mean", "gap-p50", "gap-p99");
+    for (const auto &[kind, ks] : sum.byKind) {
+        std::printf("%-16s %10llu %12.3f %12.1f %12.1f %12.1f\n",
+                    obs::eventKindName(kind).c_str(),
+                    static_cast<unsigned long long>(ks.count),
+                    sum.ratePerKiloCycle(kind), ks.gaps.mean(),
+                    ks.gaps.quantile(0.50), ks.gaps.quantile(0.99));
+    }
+    for (const auto &[kind, ks] : sum.byKind) {
+        if (ks.byLabel.empty() ||
+            (ks.byLabel.size() == 1 && ks.byLabel.count("")))
+            continue;
+        std::printf("\n%s by label:\n", obs::eventKindName(kind).c_str());
+        for (const auto &[label, n] : ks.byLabel) {
+            std::printf("  %-24s %10llu\n",
+                        label.empty() ? "(none)" : label.c_str(),
+                        static_cast<unsigned long long>(n));
+        }
+    }
+    return 0;
+}
+
+int
+cmdFilter(const obs::TraceFilter &filter,
+          const std::vector<std::string> &paths)
+{
+    const std::vector<obs::TraceEvent> events = loadAll(paths);
+    uint64_t matched = 0;
+    for (const obs::TraceEvent &event :
+         obs::filterEvents(events, filter)) {
+        obs::JsonWriter w(0);
+        event.writeJson(w);
+        std::printf("%s\n", w.str().c_str());
+        ++matched;
+    }
+    std::fprintf(stderr, "aiecc-trace: %llu of %llu events matched\n",
+                 static_cast<unsigned long long>(matched),
+                 static_cast<unsigned long long>(events.size()));
+    return 0;
+}
+
+int
+cmdExport(const std::string &outPath,
+          const std::vector<std::string> &paths)
+{
+    const std::vector<obs::TraceEvent> events = loadAll(paths);
+    obs::JsonWriter w;
+    const uint64_t spans = obs::writeChromeTrace(events, w);
+    if (outPath.empty()) {
+        std::printf("%s\n", w.str().c_str());
+    } else if (!w.writeFile(outPath)) {
+        std::fprintf(stderr, "aiecc-trace: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    } else {
+        std::fprintf(stderr,
+                     "aiecc-trace: %llu events, %llu episode span(s) "
+                     "-> %s\n",
+                     static_cast<unsigned long long>(events.size()),
+                     static_cast<unsigned long long>(spans),
+                     outPath.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(stderr);
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "help") {
+        usage(stdout);
+        return 0;
+    }
+
+    obs::TraceFilter filter;
+    bool chrome = false;
+    std::string outPath;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--kind") && i + 1 < argc) {
+            const auto kind = obs::eventKindFromName(argv[++i]);
+            if (!kind) {
+                std::fprintf(stderr, "aiecc-trace: unknown kind: %s\n",
+                             argv[i]);
+                return 2;
+            }
+            filter.kind = *kind;
+        } else if (!std::strcmp(arg, "--label") && i + 1 < argc) {
+            filter.label = argv[++i];
+        } else if (!std::strcmp(arg, "--cycle-min") && i + 1 < argc) {
+            filter.cycleMin = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(arg, "--cycle-max") && i + 1 < argc) {
+            filter.cycleMax = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(arg, "--chrome")) {
+            chrome = true;
+        } else if ((!std::strcmp(arg, "-o") ||
+                    !std::strcmp(arg, "--out")) &&
+                   i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (!std::strcmp(arg, "--help")) {
+            usage(stdout);
+            return 0;
+        } else if (arg[0] == '-' && arg[1] != '\0') {
+            std::fprintf(stderr,
+                         "aiecc-trace: unknown or incomplete option: "
+                         "%s\n",
+                         arg);
+            usage(stderr);
+            return 2;
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "aiecc-trace: no input files\n");
+        usage(stderr);
+        return 2;
+    }
+
+    if (cmd == "summary")
+        return cmdSummary(paths);
+    if (cmd == "filter")
+        return cmdFilter(filter, paths);
+    if (cmd == "export") {
+        if (!chrome) {
+            std::fprintf(stderr,
+                         "aiecc-trace: export requires a format flag "
+                         "(--chrome)\n");
+            return 2;
+        }
+        return cmdExport(outPath, paths);
+    }
+    std::fprintf(stderr, "aiecc-trace: unknown command: %s\n",
+                 cmd.c_str());
+    usage(stderr);
+    return 2;
+}

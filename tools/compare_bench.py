@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_e2e_throughput artifact against a baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files must be schema-versioned artifacts written by bench_util's
+writeJsonArtifact (the ``{"schema_version", "bench", "options",
+"results"}`` envelope).  The script compares ``results.accesses_per_sec``
+and prints a GitHub Actions ``::warning::`` annotation when the current
+run is more than ``--threshold`` percent (default 20) slower than the
+baseline — a soft gate: CI machines are noisy, so a regression warns
+but never fails the job.
+
+Exit status: 0 on a successful comparison (regression or not), 1 when
+either artifact is missing, unparsable, or structurally incompatible
+(wrong schema version, different bench, missing fields).
+
+Standard library only; runs on any CI python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg):
+    print(f"compare_bench: error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_artifact(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON: {e}")
+    for field in ("schema_version", "bench", "results"):
+        if field not in doc:
+            die(f"{path} is missing the '{field}' envelope field")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff bench_e2e_throughput artifacts for regressions")
+    ap.add_argument("baseline", help="committed baseline artifact")
+    ap.add_argument("current", help="freshly produced artifact")
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="regression warning threshold in percent "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    base = load_artifact(args.baseline)
+    cur = load_artifact(args.current)
+
+    if base["schema_version"] != cur["schema_version"]:
+        die(f"schema version mismatch: baseline v{base['schema_version']} "
+            f"vs current v{cur['schema_version']}")
+    if base["bench"] != cur["bench"]:
+        die(f"bench mismatch: baseline '{base['bench']}' "
+            f"vs current '{cur['bench']}'")
+
+    metric = "accesses_per_sec"
+    try:
+        base_v = float(base["results"][metric])
+        cur_v = float(cur["results"][metric])
+    except (KeyError, TypeError, ValueError):
+        die(f"both artifacts must carry numeric results.{metric}")
+    if base_v <= 0:
+        die(f"baseline {metric} is not positive ({base_v})")
+
+    delta_pct = (cur_v - base_v) / base_v * 100.0
+    print(f"{metric}: baseline {base_v:,.0f}  current {cur_v:,.0f}  "
+          f"({delta_pct:+.1f}%)")
+
+    # Surface trial-size differences: a --quick CI run against a full
+    # baseline measures the same code but with different noise floors.
+    base_n = base.get("results", {}).get("accesses")
+    cur_n = cur.get("results", {}).get("accesses")
+    if base_n != cur_n:
+        print(f"note: access counts differ (baseline {base_n}, "
+              f"current {cur_n}); treat small deltas as noise")
+
+    if delta_pct < -args.threshold:
+        print(f"::warning title=e2e throughput regression::"
+              f"{metric} dropped {-delta_pct:.1f}% vs baseline "
+              f"(threshold {args.threshold:.0f}%)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
