@@ -29,6 +29,7 @@
 
 #include "aiecc/stack.hh"
 #include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "ddr4/pins.hh"
 #include "obs/observer.hh"
@@ -171,6 +172,104 @@ runPass(const MixConfig &mix, obs::Observer *observer)
     return out;
 }
 
+/** Fold @p shard's pass output into @p into (shard-order merge). */
+void
+mergePass(PassResult &into, const PassResult &shard)
+{
+    into.reads += shard.reads;
+    into.writes += shard.writes;
+    into.detections += shard.detections;
+    into.dues += shard.dues;
+    into.corrected += shard.corrected;
+    into.elapsedNs += shard.elapsedNs;
+    into.latency.merge(shard.latency);
+    into.recovery.episodes += shard.recovery.episodes;
+    into.recovery.attempts += shard.recovery.attempts;
+    into.recovery.recovered += shard.recovery.recovered;
+    into.recovery.recoveredFirstTry += shard.recovery.recoveredFirstTry;
+    into.recovery.recoveredAfterRetries +=
+        shard.recovery.recoveredAfterRetries;
+    into.recovery.exhausted += shard.recovery.exhausted;
+    into.recovery.wrReplays += shard.recovery.wrReplays;
+    into.recovery.rdReissues += shard.recovery.rdReissues;
+    into.recovery.wrtResyncs += shard.recovery.wrtResyncs;
+    into.recovery.quarantines += shard.recovery.quarantines;
+    into.recovery.rankDegrades += shard.recovery.rankDegrades;
+    into.recovery.patrolReads += shard.recovery.patrolReads;
+    into.recovery.patrolScrubs += shard.recovery.patrolScrubs;
+}
+
+/**
+ * Sharded campaign pass: the access budget splits into fixed-size
+ * shards, each running its own ProtectionStack over its own RNG
+ * stream (Rng::forStream(mix.seed, shard)), executed on @p jobs
+ * threads and merged in shard order — so the merged counts are
+ * bit-identical for any jobs value.  @p stats / @p profile, when
+ * given, receive shard-local registries merged after the join;
+ * @p shard0Trace, when given, records shard 0's event stream.
+ * elapsedNs of the returned result is the wall clock of the whole
+ * parallel region (the number throughput is computed from).
+ */
+/** Campaign-mode shard size (accesses per shard); output-affecting. */
+constexpr uint64_t campaignShardSize = 25000;
+
+PassResult
+runCampaignPass(const MixConfig &mix, unsigned jobs,
+                obs::StatsRegistry *stats, obs::ProfileRegistry *profile,
+                obs::TraceSink *shard0Trace)
+{
+    constexpr uint64_t shardSize = campaignShardSize;
+    const uint64_t shards = shardCount(mix.accesses, shardSize);
+    std::vector<PassResult> parts(shards);
+    std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
+    std::vector<std::unique_ptr<obs::ProfileRegistry>> shardProf(shards);
+
+    const auto begin = std::chrono::steady_clock::now();
+    runShards(shards, jobs, [&](uint64_t shard) {
+        MixConfig sub = mix;
+        sub.accesses = shardLength(mix.accesses, shardSize, shard);
+        sub.warmup = sub.accesses / 20 + 500;
+        // One next() hop decouples the shard's access stream from the
+        // raw (seed, shard) pair the derivation mixes.
+        sub.seed = Rng::forStream(mix.seed, shard).next();
+
+        obs::Observer shardObs;
+        bool observed = false;
+        if (stats) {
+            shardStats[shard] =
+                std::unique_ptr<obs::StatsRegistry>(new obs::StatsRegistry);
+            shardObs.setStats(shardStats[shard].get());
+            observed = true;
+        }
+        if (profile) {
+            shardProf[shard] = std::unique_ptr<obs::ProfileRegistry>(
+                new obs::ProfileRegistry);
+            shardObs.setProfile(shardProf[shard].get());
+            observed = true;
+        }
+        if (shard == 0 && shard0Trace) {
+            shardObs.addSink(shard0Trace);
+            observed = true;
+        }
+        parts[shard] = runPass(sub, observed ? &shardObs : nullptr);
+    });
+    const double wallNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count());
+
+    PassResult merged;
+    for (uint64_t shard = 0; shard < shards; ++shard) {
+        mergePass(merged, parts[shard]);
+        if (stats && shardStats[shard])
+            stats->merge(*shardStats[shard]);
+        if (profile && shardProf[shard])
+            profile->merge(*shardProf[shard]);
+    }
+    merged.elapsedNs = wallNs;
+    return merged;
+}
+
 void
 printLatencyRow(const char *name, const obs::Histogram &h)
 {
@@ -197,16 +296,35 @@ main(int argc, char **argv)
     mix.recoveryAttempts = opt.recoveryAttempts;
     mix.patrolPeriod = opt.recoveryPatrol;
 
+    // --jobs given => sharded campaign mode; absent => the canonical
+    // single-stream run (the cross-machine perf anchor CI compares).
+    const bool campaignMode = opt.jobs != 0;
+    const uint64_t shards =
+        campaignMode ? shardCount(mix.accesses, campaignShardSize) : 0;
+
     bench::banner("End-to-end throughput: full AIECC stack, "
                   "high-level access mix");
     std::printf("accesses: %llu (+%llu warmup)   read fraction: %.2f   "
-                "fault rate: %g/edge   recovery: %s\n\n",
+                "fault rate: %g/edge   recovery: %s\n",
                 static_cast<unsigned long long>(mix.accesses),
                 static_cast<unsigned long long>(mix.warmup), mix.readFrac,
                 mix.faultRate, mix.recovery ? "on" : "off");
+    if (campaignMode) {
+        std::printf("mode: sharded campaign — %llu shard(s) of %llu "
+                    "accesses on %u worker thread(s)\n\n",
+                    static_cast<unsigned long long>(shards),
+                    static_cast<unsigned long long>(campaignShardSize),
+                    resolveJobs(opt.jobs));
+    } else {
+        std::printf("mode: single stream (canonical; use --jobs N for "
+                    "the sharded campaign)\n\n");
+    }
 
     // Pass 1 — hot: the canonical numbers, no instrumentation at all.
-    const PassResult hot = runPass(mix, nullptr);
+    const PassResult hot =
+        campaignMode
+            ? runCampaignPass(mix, opt.jobs, nullptr, nullptr, nullptr)
+            : runPass(mix, nullptr);
 
     // Pass 2 — instrumented: same seeds, same stream, plus stats,
     // profiling and the optional JSONL trace.
@@ -224,7 +342,12 @@ main(int argc, char **argv)
         }
         observer.addSink(traceSink.get());
     }
-    const PassResult inst = runPass(mix, &observer);
+    // Campaign mode feeds the trace from shard 0 only — one writer,
+    // and a stream a sequential shard-0 run would reproduce exactly.
+    const PassResult inst =
+        campaignMode ? runCampaignPass(mix, opt.jobs, &stats, &profile,
+                                       traceSink.get())
+                     : runPass(mix, &observer);
 
     std::printf("throughput (hot pass):    %12.0f accesses/sec\n",
                 hot.accessesPerSec());
@@ -261,6 +384,12 @@ main(int argc, char **argv)
     bench::writeJsonArtifact(opt, "bench_e2e_throughput",
                              [&](obs::JsonWriter &w) {
         w.beginObject();
+        w.kv("mode", campaignMode ? "campaign" : "single_stream");
+        if (campaignMode) {
+            w.kv("shards", shards);
+            w.kv("shard_size", campaignShardSize);
+            w.kv("jobs_resolved", resolveJobs(opt.jobs));
+        }
         w.kv("accesses", mix.accesses);
         w.kv("warmup", mix.warmup);
         w.kv("reads", hot.reads);

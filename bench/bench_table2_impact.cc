@@ -43,12 +43,16 @@ main(int argc, char **argv)
     bench::banner("Table II: impact of undetected 1-pin CCCA errors "
                   "(no protection)");
 
+    // 0 = flag absent: campaign benches default to hardware auto
+    // (runShards resolves 0 to the hardware concurrency).
+    const unsigned jobs = opt.jobs;
+
     InjectionCampaign camp(Mechanisms::forLevel(ProtectionLevel::None));
 
     // Collect results per pin per pattern.
     std::map<Pin, std::map<CommandPattern, TrialResult>> grid;
     for (CommandPattern pattern : allPatterns()) {
-        for (auto &[pin, result] : camp.perPinResults(pattern))
+        for (auto &[pin, result] : camp.perPinResults(pattern, jobs))
             grid[pin][pattern] = result;
     }
 
@@ -87,10 +91,13 @@ main(int argc, char **argv)
     aiecc.setRecoveryConfig(rc);
     std::map<CommandPattern, CampaignStats> recStats;
     for (CommandPattern pattern : allPatterns()) {
+        std::vector<PinError> errors;
+        for (Pin pin : injectablePins(aieccMech.parPinPresent()))
+            errors.push_back(PinError::intermittent(pin, persistence));
         CampaignStats stats;
-        for (Pin pin : injectablePins(aieccMech.parPinPresent())) {
-            stats.add(aiecc.runTrial(
-                pattern, PinError::intermittent(pin, persistence)));
+        for (const TrialResult &tr :
+             aiecc.runTrials(pattern, errors, jobs)) {
+            stats.add(tr);
         }
         recStats[pattern] = stats;
     }

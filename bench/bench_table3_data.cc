@@ -10,9 +10,11 @@
  * detected outcome (CE-D, CE-R(+), CE-RD(+), DUE).
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "inject/montecarlo.hh"
 
@@ -48,11 +50,14 @@ main(int argc, char **argv)
     const auto opt = bench::parse(argc, argv);
     const uint64_t trials =
         opt.trials ? opt.trials : (opt.quick ? 2000u : 20000u);
+    const unsigned jobs = resolveJobs(opt.jobs);
+    ShardPlan plan;
+    plan.jobs = opt.jobs;
 
     bench::banner("Table III: data and address reliability comparison");
     std::printf("%llu Monte-Carlo trials per cell (paper: 4e9; scale "
-                "with --trials N)\n\n",
-                static_cast<unsigned long long>(trials));
+                "with --trials N), %u worker thread(s)\n\n",
+                static_cast<unsigned long long>(trials), jobs);
 
     const EccScheme schemes[] = {EccScheme::Qpc, EccScheme::AzulQpc,
                                  EccScheme::EDeccTransformQpc,
@@ -75,6 +80,7 @@ main(int argc, char **argv)
     };
     std::vector<CellResult> results;
 
+    const auto begin = std::chrono::steady_clock::now();
     TextTable t;
     t.header({"data err", "addr err", "QPC", "QPC+Azul", "QPC+eDECC-t",
               "QPC+eDECC-c"});
@@ -88,7 +94,7 @@ main(int argc, char **argv)
             CellResult res{dm, am, {}};
             for (unsigned si = 0; si < 4; ++si) {
                 DataMonteCarlo mc(schemes[si]);
-                res.bySch[si] = mc.runCell(dm, am, trials);
+                res.bySch[si] = mc.runCellSharded(dm, am, trials, plan);
                 row.push_back(cellText(res.bySch[si]));
             }
             t.row(row);
@@ -97,12 +103,21 @@ main(int argc, char **argv)
         }
         t.separator();
     }
+    const uint64_t elapsedNs =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
     std::printf("%s\n", t.str().c_str());
+    std::printf("campaign wall clock: %.2f s at --jobs %u\n\n",
+                static_cast<double>(elapsedNs) * 1e-9, jobs);
 
     bench::writeJsonArtifact(
         opt, "table3_data", [&](obs::JsonWriter &w) {
             w.beginObject();
             w.kv("trials_per_cell", trials);
+            w.kv("jobs_resolved", jobs);
+            w.kv("elapsed_ns", elapsedNs);
             w.key("cells");
             w.beginArray();
             for (const auto &res : results) {

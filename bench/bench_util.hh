@@ -29,8 +29,9 @@ namespace bench
  *
  * v1: {bench, options, results} (implicit, unversioned)
  * v2: adds "schema_version" to the envelope
+ * v3: adds "jobs" (worker-thread request, 0 = auto) to "options"
  */
-constexpr int artifactSchemaVersion = 2;
+constexpr int artifactSchemaVersion = 3;
 
 /** Common bench options. */
 struct Options
@@ -39,6 +40,15 @@ struct Options
     unsigned allPin = 0;   ///< all-pin noise samples (0 = default)
     bool quick = false;    ///< cut work for smoke runs
     std::string jsonPath;  ///< write a machine-readable artifact here
+
+    /**
+     * Campaign worker threads.  0 = the flag was not given; campaign
+     * benches resolve that to the hardware concurrency, while the e2e
+     * throughput bench keeps its canonical single-stream mode.  Never
+     * output-affecting: for a fixed seed the campaign results are
+     * bit-identical for every value.
+     */
+    unsigned jobs = 0;
 
     // In-band recovery knobs (benches that model recovery only).
     unsigned recoveryAttempts = 0; ///< retry budget override (0 = default)
@@ -57,7 +67,7 @@ usage(std::FILE *to, const char *prog)
 {
     std::fprintf(to,
                  "usage: %s [--quick] [--trials N] [--allpin N] "
-                 "[--json PATH]\n"
+                 "[--jobs N] [--json PATH]\n"
                  "       [--recovery-attempts N] [--recovery-persist N] "
                  "[--recovery-patrol N]\n"
                  "       [--read-frac F] [--fault-rate F] "
@@ -65,6 +75,9 @@ usage(std::FILE *to, const char *prog)
                  "  --quick      cut work for smoke runs\n"
                  "  --trials N   Monte-Carlo trials per cell\n"
                  "  --allpin N   all-pin noise samples per cell\n"
+                 "  --jobs N     campaign worker threads (0 = hardware "
+                 "auto;\n"
+                 "               results are identical for every N)\n"
                  "  --json PATH  also write the results as JSON\n"
                  "  --recovery-attempts N  in-band retry budget per "
                  "episode\n"
@@ -94,6 +107,9 @@ parse(int argc, char **argv)
             opt.trials = std::strtoull(argv[++i], nullptr, 10);
         } else if (!std::strcmp(argv[i], "--allpin") && i + 1 < argc) {
             opt.allPin = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            opt.jobs = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             opt.jsonPath = argv[++i];
@@ -159,6 +175,7 @@ beginJsonArtifact(obs::JsonWriter &w, const Options &opt,
     w.kv("trials", opt.trials);
     w.kv("allpin", opt.allPin);
     w.kv("quick", opt.quick);
+    w.kv("jobs", opt.jobs);
     w.kv("recovery_attempts", opt.recoveryAttempts);
     w.kv("recovery_persist", opt.recoveryPersist);
     w.kv("recovery_patrol", opt.recoveryPatrol);

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic shard-parallel execution for campaign fan-out.
+ *
+ * A campaign's trial budget is split into fixed-size shards; each
+ * shard is a self-contained unit of work identified only by its index
+ * (its RNG stream, stack instances and output slot all derive from
+ * that index).  runShards() executes the shards on a pool of worker
+ * threads that claim indices from an atomic counter, so the *set* of
+ * shards — and therefore every shard's result — is identical for any
+ * worker count.  Callers pre-size an output vector, let each shard
+ * write its own slot, and merge the slots in shard order after the
+ * join, which keeps merged statistics bit-identical across
+ * `--jobs 1/2/8`.
+ */
+
+#ifndef AIECC_COMMON_PARALLEL_HH
+#define AIECC_COMMON_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace aiecc
+{
+
+/**
+ * How a campaign decomposes and executes its trial budget.
+ *
+ * shardSize is output-affecting: it fixes which trials share an RNG
+ * stream, so changing it changes (reshuffles) campaign results.  jobs
+ * is never output-affecting — it only decides how many threads run
+ * the fixed shard set.
+ */
+struct ShardPlan
+{
+    uint64_t shardSize = 1024; ///< trials per shard (>= 1)
+    unsigned jobs = 0;         ///< worker threads; 0 = hardware auto
+};
+
+/**
+ * Worker count a `--jobs 0` / "auto" request resolves to: the
+ * hardware concurrency, clamped to at least 1.
+ */
+unsigned hardwareJobs();
+
+/** @p jobs with 0 resolved to hardwareJobs(). */
+unsigned resolveJobs(unsigned jobs);
+
+/**
+ * Execute @p fn(shard) once for every shard in [0, numShards) on
+ * min(jobs, numShards) threads (jobs == 0 resolves to
+ * hardwareJobs()).  With one effective worker the shards run inline
+ * on the calling thread, in index order, with no thread spawned.
+ *
+ * @p fn must confine its writes to per-shard state (its output slot,
+ * shard-local registries); it is invoked concurrently from multiple
+ * threads otherwise.
+ */
+void runShards(uint64_t numShards, unsigned jobs,
+               const std::function<void(uint64_t)> &fn);
+
+/** Number of fixed-size shards covering @p total items. */
+inline uint64_t
+shardCount(uint64_t total, uint64_t shardSize)
+{
+    return shardSize ? (total + shardSize - 1) / shardSize : (total ? 1 : 0);
+}
+
+/** Item count of shard @p index (the last shard may be short). */
+inline uint64_t
+shardLength(uint64_t total, uint64_t shardSize, uint64_t index)
+{
+    const uint64_t begin = index * shardSize;
+    const uint64_t end = begin + shardSize;
+    return begin >= total ? 0 : (end > total ? total - begin : shardSize);
+}
+
+} // namespace aiecc
+
+#endif // AIECC_COMMON_PARALLEL_HH

@@ -36,6 +36,17 @@ Rng::Rng(uint64_t seed)
         word = splitmix64(s);
 }
 
+Rng
+Rng::forStream(uint64_t seed, uint64_t stream)
+{
+    // One splitmix64 round decorrelates the (typically small, dense)
+    // stream index; the constructor's splitmix chain then mixes the
+    // folded seed into full 256-bit state.  The added odd constant
+    // keeps stream 0 distinct from the plain Rng(seed) construction.
+    uint64_t s = stream + 0x9E3779B97F4A7C15ULL;
+    return Rng(seed ^ splitmix64(s));
+}
+
 uint64_t
 Rng::next()
 {

@@ -27,6 +27,18 @@ class Rng
     /** Construct from a 64-bit seed. */
     explicit Rng(uint64_t seed = 0x41454343ULL); // "AECC"
 
+    /**
+     * Deterministic stream derivation for sharded campaigns: the
+     * generator for stream @p stream of base seed @p seed.  The
+     * stream index is decorrelated through splitmix64 before it is
+     * folded into the seed, so adjacent indices yield well-separated
+     * state — shard k of a campaign always draws the same sequence no
+     * matter how many worker threads execute it.  forStream(seed, a)
+     * and forStream(seed, b) never alias Rng(seed) or each other for
+     * a != b in any way observable at campaign scale.
+     */
+    static Rng forStream(uint64_t seed, uint64_t stream);
+
     /** Next raw 64-bit value. */
     uint64_t next();
 

@@ -1,6 +1,7 @@
 #include "gddr5/campaign.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace aiecc
 {
@@ -169,13 +170,26 @@ Gddr5Stats::add(const Gddr5Trial &trial)
     }
 }
 
+void
+Gddr5Stats::merge(const Gddr5Stats &other)
+{
+    trials += other.trials;
+    detected += other.detected;
+    noEffect += other.noEffect;
+    corrected += other.corrected;
+    due += other.due;
+    sdc += other.sdc;
+    mdc += other.mdc;
+    both += other.both;
+}
+
 Gddr5Campaign::Gddr5Campaign(const Protection &prot, uint64_t seed)
     : prot(prot), seed(seed)
 {
 }
 
 Gddr5Trial
-Gddr5Campaign::runTrial(Pattern pattern, const Gddr5Error &error)
+Gddr5Campaign::runTrial(Pattern pattern, const Gddr5Error &error) const
 {
     const uint64_t runSeed =
         seed ^ (static_cast<uint64_t>(pattern) << 48) ^ error.noiseSeed;
@@ -283,21 +297,48 @@ Gddr5Campaign::runTrial(Pattern pattern, const Gddr5Error &error)
     return trial;
 }
 
-Gddr5Stats
-Gddr5Campaign::sweepOnePin(Pattern pattern)
+std::vector<Gddr5Trial>
+Gddr5Campaign::runTrials(Pattern pattern,
+                         const std::vector<Gddr5Error> &errors,
+                         unsigned jobs) const
 {
-    Gddr5Stats stats;
+    // Small shards keep the pool busy through the tail; the size is
+    // not output-affecting (every trial is a pure function of
+    // (pattern, error, seed)).
+    constexpr uint64_t shardSize = 4;
+    const uint64_t total = errors.size();
+    std::vector<Gddr5Trial> results(total);
+    runShards(shardCount(total, shardSize), jobs, [&](uint64_t shard) {
+        const uint64_t begin = shard * shardSize;
+        const uint64_t n = shardLength(total, shardSize, shard);
+        for (uint64_t i = 0; i < n; ++i)
+            results[begin + i] = runTrial(pattern, errors[begin + i]);
+    });
+    return results;
+}
+
+Gddr5Stats
+Gddr5Campaign::sweepOnePin(Pattern pattern, unsigned jobs) const
+{
+    std::vector<Gddr5Error> errors;
     for (Pin pin : gddr5InjectablePins())
-        stats.add(runTrial(pattern, Gddr5Error::onePin(pin)));
+        errors.push_back(Gddr5Error::onePin(pin));
+    Gddr5Stats stats;
+    for (const Gddr5Trial &trial : runTrials(pattern, errors, jobs))
+        stats.add(trial);
     return stats;
 }
 
 Gddr5Stats
-Gddr5Campaign::sweepAllPin(Pattern pattern, unsigned samples)
+Gddr5Campaign::sweepAllPin(Pattern pattern, unsigned samples,
+                           unsigned jobs) const
 {
-    Gddr5Stats stats;
+    std::vector<Gddr5Error> errors;
     for (unsigned s = 0; s < samples; ++s)
-        stats.add(runTrial(pattern, Gddr5Error::allPins(s + 1)));
+        errors.push_back(Gddr5Error::allPins(s + 1));
+    Gddr5Stats stats;
+    for (const Gddr5Trial &trial : runTrials(pattern, errors, jobs))
+        stats.add(trial);
     return stats;
 }
 

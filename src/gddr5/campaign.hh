@@ -59,6 +59,10 @@ struct Gddr5Stats
              due = 0, sdc = 0, mdc = 0, both = 0;
 
     void add(const Gddr5Trial &trial);
+
+    /** Fold @p other's counts into this aggregate. */
+    void merge(const Gddr5Stats &other);
+
     double
     coveredFrac() const
     {
@@ -76,9 +80,24 @@ class Gddr5Campaign
     explicit Gddr5Campaign(const Protection &prot,
                            uint64_t seed = 0x6CA4);
 
-    Gddr5Trial runTrial(Pattern pattern, const Gddr5Error &error);
-    Gddr5Stats sweepOnePin(Pattern pattern);
-    Gddr5Stats sweepAllPin(Pattern pattern, unsigned samples);
+    /**
+     * Trials read only the immutable (prot, seed) configuration, so
+     * runTrial is const and safe to call from concurrent shards.
+     */
+    Gddr5Trial runTrial(Pattern pattern, const Gddr5Error &error) const;
+
+    /**
+     * Run @p errors against @p pattern on @p jobs threads (1 =
+     * inline, 0 = hardware auto); results come back in input order
+     * and are bit-identical for every jobs value.
+     */
+    std::vector<Gddr5Trial>
+    runTrials(Pattern pattern, const std::vector<Gddr5Error> &errors,
+              unsigned jobs = 1) const;
+
+    Gddr5Stats sweepOnePin(Pattern pattern, unsigned jobs = 1) const;
+    Gddr5Stats sweepAllPin(Pattern pattern, unsigned samples,
+                           unsigned jobs = 1) const;
 
   private:
     Protection prot;

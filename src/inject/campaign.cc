@@ -1,8 +1,10 @@
 #include "inject/campaign.hh"
 
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 
 namespace aiecc
@@ -157,6 +159,26 @@ CampaignStats::add(const TrialResult &result)
       case RecoveryClass::AfterRetries: ++recoveredAfterRetries; break;
       case RecoveryClass::Exhausted: ++retryExhausted; break;
     }
+}
+
+void
+CampaignStats::merge(const CampaignStats &other)
+{
+    trials += other.trials;
+    detected += other.detected;
+    noEffect += other.noEffect;
+    corrected += other.corrected;
+    due += other.due;
+    sdc += other.sdc;
+    mdc += other.mdc;
+    sdcMdcBoth += other.sdcMdcBoth;
+    for (const auto &[mechKind, count] : other.byFirstDetector)
+        byFirstDetector[mechKind] += count;
+    recoveryEpisodes += other.recoveryEpisodes;
+    recoveryAttempts += other.recoveryAttempts;
+    recoveredFirstTry += other.recoveredFirstTry;
+    recoveredAfterRetries += other.recoveredAfterRetries;
+    retryExhausted += other.retryExhausted;
 }
 
 void
@@ -552,12 +574,87 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
     return tr;
 }
 
-CampaignStats
-InjectionCampaign::sweepOnePin(CommandPattern pattern)
+std::vector<TrialResult>
+InjectionCampaign::runTrials(CommandPattern pattern,
+                             const std::vector<PinError> &errors,
+                             unsigned jobs)
 {
-    CampaignStats stats;
+    // Trials are heavyweight (two full stack runs each), so small
+    // shards keep the thread pool busy at the sweep's tail.  The size
+    // is not output-affecting here: no shard-local RNG exists, every
+    // trial's seed comes from (pattern, error, campaign seed) alone.
+    constexpr uint64_t shardSize = 4;
+    const uint64_t total = errors.size();
+    const uint64_t shards = shardCount(total, shardSize);
+
+    obs::StatsRegistry *parentStats = obsHook ? obsHook->stats() : nullptr;
+    const bool parentTracing = obsHook && obsHook->tracing();
+    const uint64_t indexBase = trialIndex;
+
+    std::vector<TrialResult> results(total);
+    std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
+    std::vector<std::unique_ptr<obs::RingTraceSink>> shardTraces(shards);
+
+    runShards(shards, jobs, [&](uint64_t shard) {
+        const uint64_t begin = shard * shardSize;
+        const uint64_t n = shardLength(total, shardSize, shard);
+
+        // A private campaign per shard isolates the mutable state
+        // (trial numbering, resolved counters); the parent's
+        // configuration is copied verbatim.
+        InjectionCampaign worker(mech, seed);
+        worker.recoveryCfg = recoveryCfg;
+        worker.trialIndex = indexBase + begin;
+
+        obs::Observer shardObs;
+        if (parentStats) {
+            shardStats[shard] =
+                std::unique_ptr<obs::StatsRegistry>(new obs::StatsRegistry);
+            shardObs.setStats(shardStats[shard].get());
+        }
+        if (parentTracing) {
+            shardTraces[shard] = std::unique_ptr<obs::RingTraceSink>(
+                new obs::RingTraceSink(n));
+            shardObs.addSink(shardTraces[shard].get());
+        }
+        if (parentStats || parentTracing)
+            worker.setObserver(&shardObs);
+
+        for (uint64_t i = 0; i < n; ++i) {
+            results[begin + i] =
+                worker.runTrial(pattern, errors[begin + i]);
+        }
+    });
+
+    trialIndex += total;
+
+    // Join-time aggregation, strictly in shard order: stats totals
+    // and the trace event stream come out identical to a sequential
+    // run regardless of how many threads executed the shards.
+    for (uint64_t shard = 0; shard < shards; ++shard) {
+        if (shardStats[shard])
+            parentStats->merge(*shardStats[shard]);
+        if (shardTraces[shard]) {
+            AIECC_ASSERT(shardTraces[shard]->dropped() == 0,
+                         "shard trace ring sized below one event/trial");
+            for (const obs::TraceEvent &event :
+                 shardTraces[shard]->events()) {
+                obsHook->emit(event);
+            }
+        }
+    }
+    return results;
+}
+
+CampaignStats
+InjectionCampaign::sweepOnePin(CommandPattern pattern, unsigned jobs)
+{
+    std::vector<PinError> errors;
     for (Pin pin : injectablePins(mech.parPinPresent()))
-        stats.add(runTrial(pattern, PinError::onePin(pin)));
+        errors.push_back(PinError::onePin(pin));
+    CampaignStats stats;
+    for (const TrialResult &tr : runTrials(pattern, errors, jobs))
+        stats.add(tr);
     AIECC_INFORM("1-pin sweep " << patternName(pattern) << " ["
                                 << mech.describe() << "]: "
                                 << stats.trials << " trials, covered "
@@ -566,15 +663,17 @@ InjectionCampaign::sweepOnePin(CommandPattern pattern)
 }
 
 CampaignStats
-InjectionCampaign::sweepTwoPin(CommandPattern pattern)
+InjectionCampaign::sweepTwoPin(CommandPattern pattern, unsigned jobs)
 {
-    CampaignStats stats;
+    std::vector<PinError> errors;
     const auto pins = injectablePins(mech.parPinPresent());
     for (size_t i = 0; i < pins.size(); ++i) {
         for (size_t j = i + 1; j < pins.size(); ++j)
-            stats.add(runTrial(pattern,
-                               PinError::twoPin(pins[i], pins[j])));
+            errors.push_back(PinError::twoPin(pins[i], pins[j]));
     }
+    CampaignStats stats;
+    for (const TrialResult &tr : runTrials(pattern, errors, jobs))
+        stats.add(tr);
     AIECC_INFORM("2-pin sweep " << patternName(pattern) << " ["
                                 << mech.describe() << "]: "
                                 << stats.trials << " trials, covered "
@@ -583,11 +682,15 @@ InjectionCampaign::sweepTwoPin(CommandPattern pattern)
 }
 
 CampaignStats
-InjectionCampaign::sweepAllPin(CommandPattern pattern, unsigned samples)
+InjectionCampaign::sweepAllPin(CommandPattern pattern, unsigned samples,
+                               unsigned jobs)
 {
-    CampaignStats stats;
+    std::vector<PinError> errors;
     for (unsigned s = 0; s < samples; ++s)
-        stats.add(runTrial(pattern, PinError::allPins(s + 1)));
+        errors.push_back(PinError::allPins(s + 1));
+    CampaignStats stats;
+    for (const TrialResult &tr : runTrials(pattern, errors, jobs))
+        stats.add(tr);
     AIECC_INFORM("all-pin sweep " << patternName(pattern) << " ["
                                   << mech.describe() << "]: "
                                   << stats.trials
@@ -597,11 +700,17 @@ InjectionCampaign::sweepAllPin(CommandPattern pattern, unsigned samples)
 }
 
 std::vector<std::pair<Pin, TrialResult>>
-InjectionCampaign::perPinResults(CommandPattern pattern)
+InjectionCampaign::perPinResults(CommandPattern pattern, unsigned jobs)
 {
+    const auto pins = injectablePins(mech.parPinPresent());
+    std::vector<PinError> errors;
+    for (Pin pin : pins)
+        errors.push_back(PinError::onePin(pin));
+    std::vector<TrialResult> trs = runTrials(pattern, errors, jobs);
     std::vector<std::pair<Pin, TrialResult>> out;
-    for (Pin pin : injectablePins(mech.parPinPresent()))
-        out.emplace_back(pin, runTrial(pattern, PinError::onePin(pin)));
+    out.reserve(pins.size());
+    for (size_t i = 0; i < pins.size(); ++i)
+        out.emplace_back(pins[i], std::move(trs[i]));
     return out;
 }
 

@@ -156,6 +156,9 @@ struct CampaignStats
 
     void add(const TrialResult &result);
 
+    /** Fold @p other's counts into this aggregate. */
+    void merge(const CampaignStats &other);
+
     /** Serialize counts and derived fractions as one JSON object. */
     void writeJson(obs::JsonWriter &w) const;
 
@@ -222,18 +225,35 @@ class InjectionCampaign
     /** Run one trial: inject @p error into @p pattern's target edge. */
     TrialResult runTrial(CommandPattern pattern, const PinError &error);
 
+    /**
+     * Run every error of @p errors against @p pattern on @p jobs
+     * worker threads (1 = inline; 0 = hardware auto), returning
+     * per-error results in input order.
+     *
+     * Each trial is already deterministic in (pattern, error, seed)
+     * alone, so the worker decomposition cannot change any result:
+     * output is bit-identical for every jobs value, including the
+     * global trial numbering and the order of Classification trace
+     * events (shard-local buffers are re-emitted in shard order after
+     * the join), and attached stats registries see the same totals.
+     */
+    std::vector<TrialResult>
+    runTrials(CommandPattern pattern, const std::vector<PinError> &errors,
+              unsigned jobs = 1);
+
     /** All 1-pin errors for one pattern (26/27 pins per PAR presence). */
-    CampaignStats sweepOnePin(CommandPattern pattern);
+    CampaignStats sweepOnePin(CommandPattern pattern, unsigned jobs = 1);
 
     /** All 2-pin combinations for one pattern. */
-    CampaignStats sweepTwoPin(CommandPattern pattern);
+    CampaignStats sweepTwoPin(CommandPattern pattern, unsigned jobs = 1);
 
     /** @p samples all-pin noise trials for one pattern. */
-    CampaignStats sweepAllPin(CommandPattern pattern, unsigned samples);
+    CampaignStats sweepAllPin(CommandPattern pattern, unsigned samples,
+                              unsigned jobs = 1);
 
     /** Per-pin 1-pin results for one pattern (Table II rows). */
     std::vector<std::pair<Pin, TrialResult>>
-    perPinResults(CommandPattern pattern);
+    perPinResults(CommandPattern pattern, unsigned jobs = 1);
 
     const Mechanisms &mechanisms() const { return mech; }
 

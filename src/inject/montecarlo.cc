@@ -93,7 +93,7 @@ MonteCarloCell::dominant() const
 }
 
 DataMonteCarlo::DataMonteCarlo(EccScheme scheme, uint64_t seed)
-    : ecc(makeEcc(scheme)), rng(seed)
+    : schemeKind(scheme), baseSeed(seed), ecc(makeEcc(scheme)), rng(seed)
 {
     AIECC_ASSERT(ecc != nullptr, "Monte Carlo needs a data ECC scheme");
 }
@@ -101,6 +101,7 @@ DataMonteCarlo::DataMonteCarlo(EccScheme scheme, uint64_t seed)
 void
 DataMonteCarlo::setObserver(obs::Observer *observer)
 {
+    obsHandle = observer;
     oc = {};
     if (!observer || !observer->stats())
         return;
@@ -272,6 +273,61 @@ DataMonteCarlo::runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
                                      << cell.trials
                                      << " trials, SDC frac "
                                      << cell.sdcFrac());
+    return cell;
+}
+
+MonteCarloCell
+DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
+                               AddrErrorModel addrErr, uint64_t trials,
+                               const ShardPlan &plan)
+{
+    AIECC_ASSERT(plan.shardSize > 0, "shard size must be positive");
+    const uint64_t shards = shardCount(trials, plan.shardSize);
+
+    // Every cell of the Table III grid gets its own seed so two cells
+    // sharing a shard index never replay the same error positions.
+    const uint64_t cellSeed = baseSeed ^
+                              (static_cast<uint64_t>(dataErr) << 32) ^
+                              (static_cast<uint64_t>(addrErr) << 40);
+
+    obs::StatsRegistry *parentStats =
+        obsHandle ? obsHandle->stats() : nullptr;
+
+    std::vector<MonteCarloCell> cells(shards);
+    std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
+
+    runShards(shards, plan.jobs, [&](uint64_t shard) {
+        // A fully private evaluator per shard: own codec tables, own
+        // RNG stream, own counters.  Nothing here touches `this`
+        // beyond reading the immutable configuration.
+        DataMonteCarlo worker(schemeKind, cellSeed);
+        worker.rng = Rng::forStream(cellSeed, shard);
+        worker.retry = retry;
+
+        obs::Observer shardObs;
+        if (parentStats) {
+            shardStats[shard] =
+                std::unique_ptr<obs::StatsRegistry>(new obs::StatsRegistry);
+            shardObs.setStats(shardStats[shard].get());
+            worker.setObserver(&shardObs);
+        }
+
+        const uint64_t n = shardLength(trials, plan.shardSize, shard);
+        for (uint64_t i = 0; i < n; ++i)
+            cells[shard].add(worker.runTrial(dataErr, addrErr));
+    });
+
+    MonteCarloCell cell;
+    for (uint64_t shard = 0; shard < shards; ++shard) {
+        cell.merge(cells[shard]);
+        if (parentStats && shardStats[shard])
+            parentStats->merge(*shardStats[shard]);
+    }
+    AIECC_INFORM("Monte-Carlo cell (sharded x"
+                 << shards << ") " << ecc->name() << " / "
+                 << dataErrorName(dataErr) << " / "
+                 << addrErrorName(addrErr) << ": " << cell.trials
+                 << " trials, SDC frac " << cell.sdcFrac());
     return cell;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "aiecc/mechanisms.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "obs/json.hh"
 #include "obs/observer.hh"
@@ -107,6 +108,15 @@ struct MonteCarloCell
     /** The most frequent non-SDC outcome (the cell's label). */
     DataOutcome dominant() const;
 
+    /** Fold @p other's trials and per-outcome counts into this cell. */
+    void
+    merge(const MonteCarloCell &other)
+    {
+        trials += other.trials;
+        for (unsigned i = 0; i < 8; ++i)
+            counts[i] += other.counts[i];
+    }
+
     /** Serialize trial count and per-outcome counts as JSON. */
     void writeJson(obs::JsonWriter &w) const;
 };
@@ -144,9 +154,26 @@ class DataMonteCarlo
     MonteCarloCell runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
                            uint64_t trials);
 
+    /**
+     * Run one Table III cell decomposed into fixed-size shards, each
+     * on its own ECC instance and RNG stream
+     * (Rng::forStream(cellSeed, shard)), executed on
+     * @p plan.jobs worker threads and merged in shard order — so the
+     * result is bit-identical for any jobs value (but is a different,
+     * equally valid sample than the sequential runCell draw).  When an
+     * observer with a stats registry is attached, each shard counts
+     * into a thread-local registry that is merged after the join.
+     */
+    MonteCarloCell runCellSharded(DataErrorModel dataErr,
+                                  AddrErrorModel addrErr, uint64_t trials,
+                                  const ShardPlan &plan = ShardPlan());
+
     const DataEcc &codec() const { return *ecc; }
 
   private:
+    EccScheme schemeKind;
+    uint64_t baseSeed;
+    obs::Observer *obsHandle = nullptr;
     std::unique_ptr<DataEcc> ecc;
     Rng rng;
     RetryPolicy retry;

@@ -1,5 +1,6 @@
 #include "obs/json.hh"
 
+#include <atomic>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -10,6 +11,25 @@ namespace aiecc
 {
 namespace obs
 {
+
+namespace
+{
+
+/**
+ * A NaN/Inf reaching the writer is almost always an upstream bug
+ * (0/0 rate, uninitialized scalar) that would otherwise vanish into a
+ * silent null; warn the first time so it is diagnosable without
+ * flooding a campaign that serializes millions of doubles.
+ */
+std::atomic<bool> warnedNonFinite{false};
+
+} // namespace
+
+void
+JsonWriter::resetNonFiniteWarning()
+{
+    warnedNonFinite.store(false, std::memory_order_relaxed);
+}
 
 std::string
 JsonWriter::escape(std::string_view text)
@@ -142,8 +162,13 @@ JsonWriter::value(std::string_view text)
 JsonWriter &
 JsonWriter::value(double number)
 {
-    if (!std::isfinite(number))
+    if (!std::isfinite(number)) {
+        if (!warnedNonFinite.exchange(true, std::memory_order_relaxed)) {
+            AIECC_WARN("non-finite double serialized as null "
+                       "(further occurrences not reported)");
+        }
         return null(); // JSON has no NaN/Inf
+    }
     beforeValue();
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", number);

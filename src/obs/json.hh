@@ -84,6 +84,14 @@ class JsonWriter
     /** JSON-escape @p text (quotes not included). */
     static std::string escape(std::string_view text);
 
+    /**
+     * Re-arm the once-per-process warning emitted when a non-finite
+     * double is written (and serialized as null).  Test hook only —
+     * lets regression tests observe the warning regardless of the
+     * order they run in.
+     */
+    static void resetNonFiniteWarning();
+
   private:
     enum class Scope { Object, Array };
     struct Level

@@ -35,6 +35,13 @@ ProfileRegistry::reset()
 }
 
 void
+ProfileRegistry::merge(const ProfileRegistry &other)
+{
+    for (const auto &[name, t] : other.timers)
+        timer(name, t->description()).merge(*t);
+}
+
+void
 ProfileRegistry::writeJson(JsonWriter &w) const
 {
     w.beginObject();

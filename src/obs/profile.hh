@@ -56,6 +56,14 @@ class ProfileRegistry
     void reset();
 
     /**
+     * Fold @p other into this registry: same-named timers merge
+     * bucket-wise, timers absent here are registered first.  The
+     * join-time aggregation API for sharded campaigns, mirroring
+     * StatsRegistry::merge.
+     */
+    void merge(const ProfileRegistry &other);
+
+    /**
      * Serialize as one JSON object value keyed by full dotted timer
      * name: {"stack.read": {count,total_ns,mean_ns,min_ns,max_ns,
      * p50_ns,p90_ns,p99_ns}, ...}.  Flat keys keep the artifact easy

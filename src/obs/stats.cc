@@ -35,6 +35,13 @@ Histogram::quantile(double q) const
     if (!cnt)
         return 0.0;
     q = std::min(std::max(q, 0.0), 1.0);
+    // The extreme quantiles are tracked exactly; in-bucket
+    // interpolation would under-shoot q=1 (and over-shoot q=0)
+    // whenever several samples share the extreme bucket.
+    if (q == 0.0)
+        return static_cast<double>(mn);
+    if (q == 1.0)
+        return static_cast<double>(mx);
     // Continuous rank in [0, cnt-1]; the sample holding it is found
     // by walking the cumulative bucket counts.
     const double rank = q * static_cast<double>(cnt - 1);
@@ -61,6 +68,21 @@ Histogram::quantile(double q) const
         seen += buckets[b];
     }
     return static_cast<double>(mx);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (!other.cnt)
+        return;
+    if (!cnt || other.mn < mn)
+        mn = other.mn;
+    if (!cnt || other.mx > mx)
+        mx = other.mx;
+    cnt += other.cnt;
+    total += other.total;
+    for (unsigned b = 0; b < numBuckets; ++b)
+        buckets[b] += other.buckets[b];
 }
 
 void
@@ -197,6 +219,20 @@ StatsRegistry::reset()
         stat->reset();
     for (auto &[name, stat] : histograms)
         stat->reset();
+}
+
+void
+StatsRegistry::merge(const StatsRegistry &other)
+{
+    // The find-or-create accessors enforce the naming invariants, so
+    // a kind clash between the registries panics inside registerName
+    // with the usual "re-registered as a different kind" message.
+    for (const auto &[name, stat] : other.counters)
+        counter(name, stat->description()) += stat->value();
+    for (const auto &[name, stat] : other.scalars)
+        scalar(name, stat->description()) = stat->value();
+    for (const auto &[name, stat] : other.histograms)
+        histogram(name, stat->description()).merge(*stat);
 }
 
 namespace

@@ -122,6 +122,14 @@ class Histogram
      */
     double quantile(double q) const;
 
+    /**
+     * Fold @p other into this distribution: counts, sum and buckets
+     * add, min/max widen.  Merging shard-local histograms in shard
+     * order is the lock-free alternative to sampling a shared
+     * histogram from worker threads.
+     */
+    void merge(const Histogram &other);
+
     void reset();
 
   private:
@@ -170,6 +178,21 @@ class StatsRegistry
 
     /** Zero every value; registrations and addresses survive. */
     void reset();
+
+    /**
+     * Fold @p other into this registry: counters add, histograms
+     * merge bucket-wise, scalars take @p other's value (last writer
+     * wins, matching assignment semantics).  Stats absent here are
+     * registered first, so merging into an empty registry clones the
+     * source.  A name registered as different kinds in the two
+     * registries is a caller bug and panics.
+     *
+     * This is the explicit join-time aggregation API for sharded
+     * campaigns: workers populate thread-local registries with no
+     * locking, and the owner merges them in shard order, which keeps
+     * the merged result bit-identical for any worker count.
+     */
+    void merge(const StatsRegistry &other);
 
     /**
      * Serialize as one nested JSON object value: dotted names become

@@ -276,13 +276,23 @@ readTraceFile(const std::string &path)
     if (!in)
         return out;
     out.opened = true;
+    // std::getline cannot distinguish "last line ended in '\n'" from
+    // "writer was killed mid-record", so track the terminator
+    // explicitly: a parse failure on an unterminated final line is a
+    // truncated tail, not corruption.
     std::string line;
     while (std::getline(in, line)) {
+        // getline only sets eofbit while still succeeding when it ran
+        // into EOF before the delimiter, i.e. the file's last byte
+        // was not '\n'.
+        const bool terminated = !in.eof();
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
         std::string error;
         if (auto event = parseTraceLine(line, &error)) {
             out.events.push_back(std::move(*event));
+        } else if (!terminated) {
+            ++out.truncatedTail;
         } else {
             ++out.badLines;
             if (out.firstError.empty())

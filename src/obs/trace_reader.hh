@@ -52,9 +52,21 @@ struct TraceFile
     std::vector<TraceEvent> events;
     uint64_t badLines = 0;        ///< lines that failed to parse
     std::string firstError;       ///< diagnostic for the first bad line
+    /**
+     * 1 when the file ends in an unterminated, unparseable record — a
+     * writer killed mid-write, the expected way a live trace ends.
+     * Such a tail is reported here instead of badLines/firstError so
+     * it never masks genuine corruption diagnostics.
+     */
+    uint64_t truncatedTail = 0;
 };
 
-/** Read a whole JSONL trace file (blank lines are skipped). */
+/**
+ * Read a whole JSONL trace file (blank lines are skipped).  A final
+ * line without a trailing newline still counts as an event when it
+ * parses; when it does not, it is recorded as a truncated tail rather
+ * than a bad line.
+ */
 TraceFile readTraceFile(const std::string &path);
 
 /** Per-kind aggregate of one trace. */

@@ -5,9 +5,15 @@
  * protection level, and the Figure 8 component attribution.
  */
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "inject/campaign.hh"
+#include "obs/observer.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace aiecc
 {
@@ -295,6 +301,159 @@ TEST(Campaign, UnprotectedSweepExcludesParPin)
     InjectionCampaign camp(level(ProtectionLevel::None));
     const auto stats = camp.sweepOnePin(CommandPattern::Rd);
     EXPECT_EQ(stats.trials, 26u);
+}
+
+// ------------------- sharded execution determinism -------------------
+
+namespace
+{
+
+/** Field-by-field equality over everything a TrialResult reports. */
+void
+expectTrialsEqual(const TrialResult &a, const TrialResult &b,
+                  size_t index)
+{
+    EXPECT_EQ(a.outcome, b.outcome) << "trial " << index;
+    EXPECT_EQ(a.detected, b.detected) << "trial " << index;
+    EXPECT_EQ(a.detectors, b.detectors) << "trial " << index;
+    EXPECT_EQ(a.sdc, b.sdc) << "trial " << index;
+    EXPECT_EQ(a.mdc, b.mdc) << "trial " << index;
+    EXPECT_EQ(a.decoded.executed, b.decoded.executed)
+        << "trial " << index;
+    EXPECT_EQ(a.diagnosedAddress, b.diagnosedAddress)
+        << "trial " << index;
+    EXPECT_EQ(a.recoveryEpisodes, b.recoveryEpisodes)
+        << "trial " << index;
+    EXPECT_EQ(a.recoveryAttempts, b.recoveryAttempts)
+        << "trial " << index;
+    EXPECT_EQ(a.retryExhausted, b.retryExhausted) << "trial " << index;
+    EXPECT_EQ(a.recovery, b.recovery) << "trial " << index;
+}
+
+/** Every 1-pin and a few 2-pin errors: a mixed work list. */
+std::vector<PinError>
+mixedErrors(bool parPresent)
+{
+    std::vector<PinError> errors;
+    for (Pin pin : injectablePins(parPresent))
+        errors.push_back(PinError::onePin(pin));
+    errors.push_back(PinError::twoPin(Pin::A3, Pin::A4));
+    errors.push_back(PinError::twoPin(Pin::CS, Pin::CKE));
+    errors.push_back(PinError::allPins(0xAB5));
+    return errors;
+}
+
+} // namespace
+
+TEST(CampaignSharded, RunTrialsIdenticalAcrossJobs)
+{
+    const auto errors = mixedErrors(true);
+    std::vector<TrialResult> byJobs[3];
+    const unsigned jobsValues[3] = {1, 2, 8};
+    for (unsigned i = 0; i < 3; ++i) {
+        InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+        byJobs[i] = camp.runTrials(CommandPattern::ActWr, errors,
+                                   jobsValues[i]);
+    }
+    ASSERT_EQ(byJobs[0].size(), errors.size());
+    for (unsigned i = 1; i < 3; ++i) {
+        ASSERT_EQ(byJobs[i].size(), byJobs[0].size());
+        for (size_t t = 0; t < byJobs[0].size(); ++t)
+            expectTrialsEqual(byJobs[i][t], byJobs[0][t], t);
+    }
+}
+
+TEST(CampaignSharded, StatsAndTraceIdenticalAcrossJobs)
+{
+    const auto errors = mixedErrors(true);
+    std::string statsJson[2];
+    std::vector<obs::TraceEvent> events[2];
+    const unsigned jobsValues[2] = {1, 4};
+    for (unsigned i = 0; i < 2; ++i) {
+        obs::StatsRegistry reg;
+        obs::RingTraceSink ring(1u << 10);
+        obs::Observer observer;
+        observer.setStats(&reg);
+        observer.addSink(&ring);
+        InjectionCampaign camp(level(ProtectionLevel::Ddr4EDecc));
+        camp.setObserver(&observer);
+        camp.runTrials(CommandPattern::Rd, errors, jobsValues[i]);
+        obs::JsonWriter w(0);
+        reg.writeJson(w);
+        statsJson[i] = w.str();
+        ASSERT_EQ(ring.dropped(), 0u);
+        events[i] = ring.events();
+    }
+    EXPECT_EQ(statsJson[0], statsJson[1]);
+    ASSERT_EQ(events[0].size(), events[1].size());
+    ASSERT_EQ(events[0].size(), errors.size()); // one per trial
+    for (size_t e = 0; e < events[0].size(); ++e) {
+        EXPECT_EQ(events[0][e].kind, events[1][e].kind) << e;
+        EXPECT_EQ(events[0][e].cycle, events[1][e].cycle) << e;
+        EXPECT_EQ(events[0][e].label, events[1][e].label) << e;
+        EXPECT_EQ(events[0][e].value, events[1][e].value) << e;
+        EXPECT_EQ(events[0][e].detail, events[1][e].detail) << e;
+    }
+}
+
+TEST(CampaignSharded, SweepsIdenticalAcrossJobs)
+{
+    for (CommandPattern pattern :
+         {CommandPattern::ActWr, CommandPattern::Pre}) {
+        InjectionCampaign seq(level(ProtectionLevel::Aiecc));
+        InjectionCampaign par(level(ProtectionLevel::Aiecc));
+        const auto a = seq.sweepOnePin(pattern, 1);
+        const auto b = par.sweepOnePin(pattern, 4);
+        EXPECT_EQ(a.trials, b.trials) << patternName(pattern);
+        EXPECT_EQ(a.detected, b.detected) << patternName(pattern);
+        EXPECT_EQ(a.noEffect, b.noEffect) << patternName(pattern);
+        EXPECT_EQ(a.corrected, b.corrected) << patternName(pattern);
+        EXPECT_EQ(a.sdc, b.sdc) << patternName(pattern);
+        EXPECT_EQ(a.mdc, b.mdc) << patternName(pattern);
+        EXPECT_EQ(a.byFirstDetector, b.byFirstDetector)
+            << patternName(pattern);
+    }
+    // All-pin noise draws from per-trial seeds: also jobs-invariant.
+    InjectionCampaign seq(level(ProtectionLevel::Ddr4Decc));
+    InjectionCampaign par(level(ProtectionLevel::Ddr4Decc));
+    const auto a = seq.sweepAllPin(CommandPattern::Wr, 60, 1);
+    const auto b = par.sweepAllPin(CommandPattern::Wr, 60, 4);
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.byFirstDetector, b.byFirstDetector);
+}
+
+TEST(CampaignStatsMerge, FoldsAllCountsAndDetectorMap)
+{
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    const auto errors = mixedErrors(true);
+    const auto results = camp.runTrials(CommandPattern::Wr, errors, 1);
+
+    // Reference: everything accumulated into one aggregate.
+    CampaignStats whole;
+    for (const auto &r : results)
+        whole.add(r);
+
+    // Split at an arbitrary point and merge the halves.
+    CampaignStats left, right;
+    for (size_t i = 0; i < results.size(); ++i)
+        (i < results.size() / 3 ? left : right).add(results[i]);
+    left.merge(right);
+
+    EXPECT_EQ(left.trials, whole.trials);
+    EXPECT_EQ(left.detected, whole.detected);
+    EXPECT_EQ(left.noEffect, whole.noEffect);
+    EXPECT_EQ(left.corrected, whole.corrected);
+    EXPECT_EQ(left.due, whole.due);
+    EXPECT_EQ(left.sdc, whole.sdc);
+    EXPECT_EQ(left.mdc, whole.mdc);
+    EXPECT_EQ(left.sdcMdcBoth, whole.sdcMdcBoth);
+    EXPECT_EQ(left.byFirstDetector, whole.byFirstDetector);
+    EXPECT_EQ(left.recoveryEpisodes, whole.recoveryEpisodes);
+    EXPECT_EQ(left.recoveryAttempts, whole.recoveryAttempts);
+    EXPECT_EQ(left.recoveredFirstTry, whole.recoveredFirstTry);
+    EXPECT_EQ(left.recoveredAfterRetries, whole.recoveredAfterRetries);
+    EXPECT_EQ(left.retryExhausted, whole.retryExhausted);
 }
 
 } // namespace

@@ -4,9 +4,12 @@
  * of the paper's data-reliability comparison must reproduce.
  */
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "inject/montecarlo.hh"
+#include "obs/stats.hh"
 
 namespace aiecc
 {
@@ -183,6 +186,82 @@ TEST(MonteCarlo, CellBookkeeping)
     for (unsigned i = 0; i < 8; ++i)
         total += cell.counts[i];
     EXPECT_EQ(total, 100u);
+}
+
+TEST(MonteCarlo, CellMergeAddsTrialsAndCounts)
+{
+    MonteCarloCell a, b;
+    a.add(DataOutcome::Sdc);
+    a.add(DataOutcome::CeD);
+    b.add(DataOutcome::CeD);
+    b.add(DataOutcome::Due);
+    a.merge(b);
+    EXPECT_EQ(a.trials, 4u);
+    EXPECT_EQ(a.count(DataOutcome::Sdc), 1u);
+    EXPECT_EQ(a.count(DataOutcome::CeD), 2u);
+    EXPECT_EQ(a.count(DataOutcome::Due), 1u);
+}
+
+// ---- sharded execution: bit-identical for any worker count ----
+
+TEST(MonteCarlo, ShardedResultIndependentOfJobs)
+{
+    const DataErrorModel dm = DataErrorModel::Chip1;
+    const AddrErrorModel am = AddrErrorModel::Bit1;
+    constexpr uint64_t trials = 2500; // not a shard-size multiple
+    MonteCarloCell byJobs[3];
+    const unsigned jobsValues[3] = {1, 2, 8};
+    for (unsigned i = 0; i < 3; ++i) {
+        DataMonteCarlo mc(EccScheme::AzulQpc, 0x5EED);
+        ShardPlan plan;
+        plan.shardSize = 512;
+        plan.jobs = jobsValues[i];
+        byJobs[i] = mc.runCellSharded(dm, am, trials, plan);
+    }
+    for (unsigned i = 1; i < 3; ++i) {
+        EXPECT_EQ(byJobs[i].trials, byJobs[0].trials)
+            << "--jobs " << jobsValues[i];
+        for (unsigned o = 0; o < 8; ++o)
+            EXPECT_EQ(byJobs[i].counts[o], byJobs[0].counts[o])
+                << "--jobs " << jobsValues[i] << " outcome " << o;
+    }
+    EXPECT_EQ(byJobs[0].trials, trials);
+}
+
+TEST(MonteCarlo, ShardedObserverCountsMatchCell)
+{
+    obs::StatsRegistry reg;
+    obs::Observer observer;
+    observer.setStats(&reg);
+    DataMonteCarlo mc(EccScheme::EDeccQpc, 0xF00D);
+    mc.setObserver(&observer);
+    ShardPlan plan;
+    plan.shardSize = 256;
+    plan.jobs = 4;
+    const auto cell = mc.runCellSharded(DataErrorModel::Bit1,
+                                        AddrErrorModel::Bit1, 1000, plan);
+    EXPECT_EQ(cell.trials, 1000u);
+    EXPECT_EQ(reg.counterValue("montecarlo.trials"), 1000u);
+    for (unsigned o = 0; o < 8; ++o) {
+        const auto outcome = static_cast<DataOutcome>(o);
+        EXPECT_EQ(reg.counterValue(std::string("montecarlo.outcome.") +
+                                   dataOutcomeSlug(outcome)),
+                  cell.counts[o])
+            << dataOutcomeName(outcome);
+    }
+}
+
+TEST(MonteCarlo, ShardedMatchesPaperExpectations)
+{
+    // The sharded path draws a different (equally valid) sample than
+    // the sequential one; the physics must still come out right.
+    DataMonteCarlo mc(EccScheme::AzulQpc);
+    ShardPlan plan;
+    plan.jobs = 2;
+    const auto cell = mc.runCellSharded(DataErrorModel::None,
+                                        AddrErrorModel::Bits32, kTrials,
+                                        plan);
+    EXPECT_NEAR(cell.sdcFrac(), 1.0 / 16.0, 0.02);
 }
 
 } // namespace

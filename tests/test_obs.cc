@@ -7,15 +7,19 @@
  * ReplayReport it returns.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <map>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "aiecc/stack.hh"
+#include "common/rng.hh"
 #include "obs/json.hh"
 #include "obs/observer.hh"
 #include "obs/stats.hh"
@@ -83,6 +87,34 @@ TEST(JsonWriter, DoublesRoundTrip)
     EXPECT_EQ(w.str(), "[0.1,1e-22,3]");
 }
 
+TEST(JsonWriter, NonFiniteWarnsOnceOnStderr)
+{
+    obs::JsonWriter::resetNonFiniteWarning();
+    obs::JsonWriter w(0);
+    testing::internal::CaptureStderr();
+    w.beginArray()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(-std::numeric_limits<double>::infinity())
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .endArray();
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(w.str(), "[null,null,null]");
+    // Exactly one warning for three offending values.
+    const auto first = err.find("non-finite");
+    ASSERT_NE(first, std::string::npos) << err;
+    EXPECT_EQ(err.find("non-finite", first + 1), std::string::npos)
+        << err;
+
+    // A second writer in the same process stays silent until reset.
+    testing::internal::CaptureStderr();
+    obs::JsonWriter w2(0);
+    w2.beginArray()
+        .value(std::numeric_limits<double>::infinity())
+        .endArray();
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+    obs::JsonWriter::resetNonFiniteWarning();
+}
+
 // ------------------------------------------------------------ registry
 
 TEST(StatsRegistry, FindOrCreateIsIdempotent)
@@ -140,6 +172,81 @@ TEST(StatsRegistry, HistogramTracksDistribution)
     EXPECT_EQ(h.bucket(1), 1u); // value 1
     EXPECT_EQ(h.bucket(2), 2u); // values 2,3
     EXPECT_EQ(h.bucket(4), 1u); // value 8
+}
+
+TEST(Histogram, MergeAddsCountsAndWidensRange)
+{
+    obs::Histogram a, b;
+    for (uint64_t v : {1u, 2u, 3u})
+        a.sample(v);
+    for (uint64_t v : {0u, 8u, 9u})
+        b.sample(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 6u);
+    EXPECT_DOUBLE_EQ(a.sum(), 23.0);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 9u);
+    EXPECT_EQ(a.bucket(0), 1u); // value 0
+    EXPECT_EQ(a.bucket(1), 1u); // value 1
+    EXPECT_EQ(a.bucket(2), 2u); // values 2,3
+    EXPECT_EQ(a.bucket(4), 2u); // values 8,9
+
+    // Merging an empty histogram is a no-op either way.
+    obs::Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 6u);
+    obs::Histogram dst;
+    dst.merge(a);
+    EXPECT_EQ(dst.count(), 6u);
+    EXPECT_EQ(dst.min(), 0u);
+    EXPECT_EQ(dst.max(), 9u);
+}
+
+TEST(StatsRegistry, MergeFoldsEveryKind)
+{
+    obs::StatsRegistry parent, shard;
+    parent.counter("n", "events") += 5;
+    parent.scalar("rate") = 0.25;
+    parent.histogram("lat").sample(4);
+
+    shard.counter("n") += 3;
+    shard.counter("only.in.shard") += 2;
+    shard.scalar("rate") = 0.75;
+    shard.histogram("lat").sample(16);
+
+    parent.merge(shard);
+    EXPECT_EQ(parent.counterValue("n"), 8u);
+    EXPECT_EQ(parent.counterValue("only.in.shard"), 2u);
+    // Scalars are last-writer-wins, matching assignment semantics.
+    obs::JsonWriter w(0);
+    parent.writeJson(w);
+    EXPECT_NE(w.str().find("\"rate\":0.75"), std::string::npos)
+        << w.str();
+    const obs::Histogram &lat = parent.histogram("lat");
+    EXPECT_EQ(lat.count(), 2u);
+    EXPECT_EQ(lat.min(), 4u);
+    EXPECT_EQ(lat.max(), 16u);
+    // Descriptions survive: first registration wins.
+    EXPECT_EQ(parent.counter("n").description(), "events");
+}
+
+TEST(StatsRegistry, MergeIntoEmptyClonesSource)
+{
+    obs::StatsRegistry src, dst;
+    src.counter("a.b", "desc") += 7;
+    src.scalar("a.c") = 1.5;
+    src.histogram("a.d").sample(3);
+    dst.merge(src);
+    EXPECT_EQ(dst.size(), 3u);
+    EXPECT_EQ(dst.counterValue("a.b"), 7u);
+    EXPECT_EQ(dst.counter("a.b").description(), "desc");
+    EXPECT_EQ(dst.histogram("a.d").count(), 1u);
+
+    // Shard-order merging is associative over disjoint and shared
+    // names: (dst + src) + src == counters doubled.
+    dst.merge(src);
+    EXPECT_EQ(dst.counterValue("a.b"), 14u);
+    EXPECT_EQ(dst.histogram("a.d").count(), 2u);
 }
 
 using StatsRegistryDeathTest = ::testing::Test;
@@ -290,6 +397,90 @@ TEST(StatsRegistry, HistogramJsonCarriesQuantiles)
     for (const char *field : {"\"p50\"", "\"p90\"", "\"p99\""})
         EXPECT_NE(doc.find(field), std::string::npos) << field;
     EXPECT_NE(doc.find("\"p50\":50.5"), std::string::npos) << doc;
+}
+
+namespace
+{
+
+/** Width of the log2 bucket holding @p v (bucket 0 and 1 have width 1). */
+double
+bucketWidth(double v)
+{
+    if (v < 2.0)
+        return 1.0;
+    return std::exp2(std::floor(std::log2(v)));
+}
+
+} // namespace
+
+TEST(Histogram, QuantileMatchesSortedReferenceWithinOneBucket)
+{
+    struct Case
+    {
+        const char *name;
+        std::vector<uint64_t> samples;
+    };
+    std::vector<Case> cases;
+
+    Rng rng(0xC0FFEE);
+    Case uniform{"uniform", {}};
+    for (unsigned i = 0; i < 5000; ++i)
+        uniform.samples.push_back(rng.below(1000));
+    cases.push_back(std::move(uniform));
+
+    Case geometric{"geometric", {}};
+    for (unsigned i = 0; i < 5000; ++i) {
+        uint64_t v = 1;
+        while (rng.below(2) && v < (1ull << 30))
+            v <<= 1;
+        geometric.samples.push_back(v + rng.below(v));
+    }
+    cases.push_back(std::move(geometric));
+
+    cases.push_back({"constant", std::vector<uint64_t>(100, 42)});
+    cases.push_back({"tiny", {0, 1, 2, 3, 1000}});
+    cases.push_back({"single", {7}});
+
+    const double qs[] = {0.0, 0.5, 0.9, 0.99, 1.0};
+    for (const Case &c : cases) {
+        obs::Histogram h;
+        for (uint64_t v : c.samples)
+            h.sample(v);
+        std::vector<uint64_t> sorted = c.samples;
+        std::sort(sorted.begin(), sorted.end());
+        for (double q : qs) {
+            const double est = h.quantile(q);
+            if (q == 0.0) {
+                // Exact: the observed minimum.
+                EXPECT_DOUBLE_EQ(est,
+                                 static_cast<double>(sorted.front()))
+                    << c.name;
+            } else if (q == 1.0) {
+                // Exact: the observed maximum.
+                EXPECT_DOUBLE_EQ(est,
+                                 static_cast<double>(sorted.back()))
+                    << c.name;
+            } else {
+                // The documented bound: never off by more than one
+                // log2 bucket width from the true quantile, which for
+                // a discrete sample is bracketed by the order
+                // statistics adjacent to rank q*(n-1).
+                const double rank =
+                    q * static_cast<double>(sorted.size() - 1);
+                const double lo = static_cast<double>(
+                    sorted[static_cast<size_t>(std::floor(rank))]);
+                const double hi = static_cast<double>(
+                    sorted[static_cast<size_t>(std::ceil(rank))]);
+                EXPECT_GE(est, lo - bucketWidth(lo))
+                    << c.name << " q=" << q;
+                EXPECT_LE(est, hi + bucketWidth(hi))
+                    << c.name << " q=" << q;
+            }
+            // Always clamped to the observed range.
+            EXPECT_GE(est, static_cast<double>(h.min())) << c.name;
+            EXPECT_LE(est, static_cast<double>(h.max())) << c.name;
+        }
+    }
 }
 
 TEST(Observer, EmitFansOutToAllSinks)

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the shard-parallel execution primitives: the fixed-size
+ * shard decomposition arithmetic, the worker-count resolution, and
+ * the runShards() contract (every index exactly once, inline index
+ * order at one worker, full coverage under contention).
+ */
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+// ---- shardCount / shardLength arithmetic ----
+
+TEST(ShardMath, ExactMultiple)
+{
+    EXPECT_EQ(shardCount(1000, 100), 10u);
+    for (uint64_t s = 0; s < 10; ++s)
+        EXPECT_EQ(shardLength(1000, 100, s), 100u) << s;
+    EXPECT_EQ(shardLength(1000, 100, 10), 0u); // past the end
+}
+
+TEST(ShardMath, ShortFinalShard)
+{
+    EXPECT_EQ(shardCount(1001, 100), 11u);
+    EXPECT_EQ(shardLength(1001, 100, 9), 100u);
+    EXPECT_EQ(shardLength(1001, 100, 10), 1u);
+    EXPECT_EQ(shardCount(99, 100), 1u);
+    EXPECT_EQ(shardLength(99, 100, 0), 99u);
+}
+
+TEST(ShardMath, ZeroTotalHasNoShards)
+{
+    EXPECT_EQ(shardCount(0, 100), 0u);
+    EXPECT_EQ(shardLength(0, 100, 0), 0u);
+}
+
+TEST(ShardMath, ZeroShardSizeDegradesToOneShard)
+{
+    // A defensive guard, not a supported configuration: everything
+    // lands in one shard instead of dividing by zero.
+    EXPECT_EQ(shardCount(42, 0), 1u);
+    EXPECT_EQ(shardCount(0, 0), 0u);
+}
+
+TEST(ShardMath, LengthsSumToTotal)
+{
+    for (uint64_t total : {0ull, 1ull, 7ull, 100ull, 1001ull, 4096ull}) {
+        for (uint64_t size : {1ull, 3ull, 100ull, 5000ull}) {
+            uint64_t sum = 0;
+            const uint64_t shards = shardCount(total, size);
+            for (uint64_t s = 0; s < shards; ++s) {
+                const uint64_t len = shardLength(total, size, s);
+                EXPECT_GE(len, 1u) << "empty shard " << s << " of "
+                                   << shards;
+                sum += len;
+            }
+            EXPECT_EQ(sum, total) << total << "/" << size;
+        }
+    }
+}
+
+// ---- worker-count resolution ----
+
+TEST(ResolveJobs, ZeroMeansHardwareAuto)
+{
+    EXPECT_EQ(resolveJobs(0), hardwareJobs());
+    EXPECT_GE(hardwareJobs(), 1u);
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+// ---- runShards ----
+
+TEST(RunShards, SingleWorkerRunsInlineInOrder)
+{
+    std::vector<uint64_t> order;
+    runShards(8, 1, [&](uint64_t shard) { order.push_back(shard); });
+    ASSERT_EQ(order.size(), 8u);
+    for (uint64_t s = 0; s < 8; ++s)
+        EXPECT_EQ(order[s], s);
+}
+
+TEST(RunShards, EveryShardExactlyOnceUnderContention)
+{
+    constexpr uint64_t shards = 200;
+    std::vector<std::atomic<unsigned>> hits(shards);
+    runShards(shards, 8, [&](uint64_t shard) {
+        hits[shard].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint64_t s = 0; s < shards; ++s)
+        EXPECT_EQ(hits[s].load(), 1u) << "shard " << s;
+}
+
+TEST(RunShards, MoreJobsThanShards)
+{
+    std::vector<std::atomic<unsigned>> hits(3);
+    runShards(3, 16, [&](uint64_t shard) {
+        hits[shard].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint64_t s = 0; s < 3; ++s)
+        EXPECT_EQ(hits[s].load(), 1u);
+}
+
+TEST(RunShards, ZeroShardsNeverInvokes)
+{
+    bool invoked = false;
+    runShards(0, 4, [&](uint64_t) { invoked = true; });
+    EXPECT_FALSE(invoked);
+}
+
+TEST(RunShards, SlotWritesAreVisibleAfterJoin)
+{
+    // The canonical usage: each shard fills its own output slot; the
+    // join must publish every write to the caller.
+    constexpr uint64_t shards = 64;
+    std::vector<uint64_t> slots(shards, 0);
+    runShards(shards, 4,
+              [&](uint64_t shard) { slots[shard] = shard * shard + 1; });
+    for (uint64_t s = 0; s < shards; ++s)
+        EXPECT_EQ(slots[s], s * s + 1) << s;
+}
+
+} // namespace
+} // namespace aiecc

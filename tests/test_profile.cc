@@ -239,6 +239,26 @@ TEST(ProfiledStack, HotPathsSampleTheirTimers)
     EXPECT_EQ(tWcrc->count(), 1u); // one WR edge generated WCRC
 }
 
+TEST(ProfileRegistry, MergeFoldsTimersAndRegistersNewOnes)
+{
+    obs::ProfileRegistry parent, shard;
+    parent.timer("stack.read", "read path").sample(100);
+    shard.timer("stack.read").sample(300);
+    shard.timer("shard.only").sample(7);
+
+    parent.merge(shard);
+    const obs::Histogram *read = parent.find("stack.read");
+    ASSERT_NE(read, nullptr);
+    EXPECT_EQ(read->count(), 2u);
+    EXPECT_EQ(read->min(), 100u);
+    EXPECT_EQ(read->max(), 300u);
+    EXPECT_EQ(read->description(), "read path"); // first wins
+    const obs::Histogram *only = parent.find("shard.only");
+    ASSERT_NE(only, nullptr);
+    EXPECT_EQ(only->count(), 1u);
+    EXPECT_EQ(parent.size(), 2u);
+}
+
 TEST(ProfiledStack, StatsOnlyObserverCreatesNoTimers)
 {
     // An observer without a ProfileRegistry must leave the profiling

@@ -8,14 +8,19 @@
  */
 
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "aiecc/stack.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "inject/campaign.hh"
 #include "inject/montecarlo.hh"
 #include "obs/observer.hh"
+#include "obs/trace.hh"
 
 namespace aiecc
 {
@@ -339,7 +344,10 @@ TEST(Recovery, MonteCarloPersistentAddressFaultExhausts)
 // ---------------------------------------------------------------------
 // Soak loop (nightly CI): random intermittent faults must never
 // produce silent corruption under AIECC.  Iterations default low for
-// interactive runs; the nightly job raises AIECC_RECOVERY_SOAK_ITERS
+// interactive runs; the nightly job raises AIECC_RECOVERY_SOAK_ITERS,
+// may parallelize with AIECC_RECOVERY_SOAK_JOBS (iteration i draws
+// its parameters from Rng::forStream(0x50AC, i), so the chosen faults
+// — and the aggregate counters — are identical for any job count),
 // and may set AIECC_RECOVERY_SOAK_TRACE to capture a JSONL trace.
 // ---------------------------------------------------------------------
 
@@ -348,6 +356,9 @@ TEST(Recovery, SoakIntermittentFaultsNeverSilent)
     unsigned iters = 2;
     if (const char *env = std::getenv("AIECC_RECOVERY_SOAK_ITERS"))
         iters = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    unsigned jobs = 1;
+    if (const char *env = std::getenv("AIECC_RECOVERY_SOAK_JOBS"))
+        jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
 
     obs::StatsRegistry reg;
     obs::Observer observer(&reg);
@@ -360,29 +371,63 @@ TEST(Recovery, SoakIntermittentFaultsNeverSilent)
     const Mechanisms mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
     const auto pins = injectablePins(mech.parPinPresent());
     const auto patterns = allPatterns();
-    Rng rng(0x50AC);
+
+    // Fixed-size shards, each with its own registry and trace buffer;
+    // gtest assertions are not thread-safe, so workers only record
+    // failure descriptions and the owner reports them after the join.
+    constexpr uint64_t shardSize = 16;
+    const uint64_t shards = shardCount(iters, shardSize);
+    std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
+    std::vector<std::unique_ptr<obs::RingTraceSink>> shardTraces(shards);
+    std::vector<std::vector<std::string>> shardFailures(shards);
+    std::vector<unsigned> shardExhausted(shards, 0);
+
+    runShards(shards, jobs, [&](uint64_t shard) {
+        shardStats[shard] = std::make_unique<obs::StatsRegistry>();
+        const uint64_t n = shardLength(iters, shardSize, shard);
+        shardTraces[shard] =
+            std::make_unique<obs::RingTraceSink>(n + 16);
+        obs::Observer shardObs(shardStats[shard].get());
+        shardObs.addSink(shardTraces[shard].get());
+        const uint64_t base = shard * shardSize;
+        for (uint64_t k = 0; k < n; ++k) {
+            const uint64_t i = base + k;
+            // Per-iteration stream: the drawn fault depends only on i,
+            // never on which worker ran the neighbouring iterations.
+            Rng rng = Rng::forStream(0x50AC, i);
+            InjectionCampaign campaign(mech, 0x1019ECC + i);
+            campaign.setObserver(&shardObs);
+            const CommandPattern pattern =
+                patterns[rng.below(patterns.size())];
+            const Pin pin = pins[rng.below(pins.size())];
+            const unsigned persistence =
+                2 + static_cast<unsigned>(rng.below(29));
+            const TrialResult tr = campaign.runTrial(
+                pattern, PinError::intermittent(pin, persistence));
+            if (tr.outcome == Outcome::Sdc ||
+                tr.outcome == Outcome::Mdc ||
+                tr.outcome == Outcome::SdcMdc) {
+                shardFailures[shard].push_back(
+                    outcomeName(tr.outcome) + " on " +
+                    patternName(pattern) + " " + pinName(pin) + " x" +
+                    std::to_string(persistence));
+            }
+            if (tr.retryExhausted)
+                ++shardExhausted[shard];
+        }
+    });
+
+    // Shard-order merge: same totals and trace stream for any jobs.
     unsigned exhausted = 0;
-    for (unsigned i = 0; i < iters; ++i) {
-        InjectionCampaign campaign(mech, 0x1019ECC + i);
-        campaign.setObserver(&observer);
-        const CommandPattern pattern =
-            patterns[rng.below(patterns.size())];
-        const Pin pin = pins[rng.below(pins.size())];
-        const unsigned persistence =
-            2 + static_cast<unsigned>(rng.below(29));
-        const TrialResult tr = campaign.runTrial(
-            pattern, PinError::intermittent(pin, persistence));
-        EXPECT_NE(tr.outcome, Outcome::Sdc)
-            << patternName(pattern) << " " << pinName(pin) << " x"
-            << persistence;
-        EXPECT_NE(tr.outcome, Outcome::Mdc)
-            << patternName(pattern) << " " << pinName(pin) << " x"
-            << persistence;
-        EXPECT_NE(tr.outcome, Outcome::SdcMdc)
-            << patternName(pattern) << " " << pinName(pin) << " x"
-            << persistence;
-        if (tr.retryExhausted)
-            ++exhausted;
+    for (uint64_t shard = 0; shard < shards; ++shard) {
+        for (const std::string &failure : shardFailures[shard])
+            ADD_FAILURE() << "silent corruption escaped: " << failure;
+        reg.merge(*shardStats[shard]);
+        ASSERT_EQ(shardTraces[shard]->dropped(), 0u);
+        for (const auto &event : shardTraces[shard]->events())
+            if (jsonl)
+                jsonl->record(event);
+        exhausted += shardExhausted[shard];
     }
     if (jsonl)
         observer.flush();

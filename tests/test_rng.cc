@@ -115,5 +115,110 @@ TEST(Rng, SampleCoversAllPairs)
     EXPECT_EQ(seen.size(), 10u);
 }
 
+// ---- forStream: the shard-determinism primitive ----
+
+TEST(Rng, ForStreamIsDeterministic)
+{
+    Rng a = Rng::forStream(0xDEADBEEF, 17);
+    Rng b = Rng::forStream(0xDEADBEEF, 17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForStreamStreamsDiverge)
+{
+    // Adjacent stream indices — the worst case for naive seed+index
+    // mixing — must yield uncorrelated sequences, and stream 0 must
+    // not alias the plain single-stream generator.
+    Rng plain(0xABCD);
+    Rng s0 = Rng::forStream(0xABCD, 0);
+    Rng s1 = Rng::forStream(0xABCD, 1);
+    int samePlain = 0, sameAdjacent = 0;
+    for (int i = 0; i < 64; ++i) {
+        const uint64_t v0 = s0.next();
+        samePlain += v0 == plain.next();
+        sameAdjacent += v0 == s1.next();
+    }
+    EXPECT_LT(samePlain, 2);
+    EXPECT_LT(sameAdjacent, 2);
+}
+
+TEST(Rng, ForStreamSameStreamDifferentSeedsDiverge)
+{
+    Rng a = Rng::forStream(1, 5);
+    Rng b = Rng::forStream(2, 5);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+// ---- statistical quality ----
+
+TEST(Rng, BelowIsUniformChiSquare)
+{
+    // 16 bins, 40000 draws => expected 2500/bin.  Chi-square with
+    // df=15: P(X > 37.7) ~ 0.001, so a healthy generator virtually
+    // never trips the 60 threshold while a modulo-biased or stuck
+    // one blows straight through it.
+    Rng rng(0x5EED);
+    constexpr unsigned bins = 16;
+    constexpr int draws = 40000;
+    unsigned counts[bins] = {};
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(bins)];
+    const double expected = static_cast<double>(draws) / bins;
+    double chi2 = 0.0;
+    for (unsigned b = 0; b < bins; ++b) {
+        const double d = static_cast<double>(counts[b]) - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 60.0) << "chi2=" << chi2;
+}
+
+TEST(Rng, BelowUniformForNonPowerOfTwoBound)
+{
+    // bound 12 is where a lazy `next() % bound` shows modulo bias;
+    // rejection sampling must keep every residue equally likely.
+    Rng rng(0x5EED5EED);
+    constexpr unsigned bound = 12;
+    constexpr int draws = 48000;
+    unsigned counts[bound] = {};
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(bound)];
+    const double expected = static_cast<double>(draws) / bound;
+    double chi2 = 0.0;
+    for (unsigned b = 0; b < bound; ++b) {
+        const double d = static_cast<double>(counts[b]) - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 50.0) << "chi2=" << chi2; // df=11, p~0.001 at 31.3
+}
+
+TEST(Rng, SampleAlwaysDistinctAndUnbiased)
+{
+    // Property: every draw of k-of-n is k distinct in-range values,
+    // and across many draws each element appears with frequency k/n.
+    Rng rng(0xFACADE);
+    constexpr unsigned n = 20, k = 5;
+    constexpr int draws = 20000;
+    unsigned appearances[n] = {};
+    for (int i = 0; i < draws; ++i) {
+        const auto s = rng.sample(n, k);
+        ASSERT_EQ(s.size(), k);
+        std::set<unsigned> uniq(s.begin(), s.end());
+        ASSERT_EQ(uniq.size(), k) << "draw " << i << " not distinct";
+        ASSERT_LT(*uniq.rbegin(), n);
+        for (unsigned v : s)
+            ++appearances[v];
+    }
+    const double expected = static_cast<double>(draws) * k / n;
+    for (unsigned v = 0; v < n; ++v) {
+        EXPECT_NEAR(static_cast<double>(appearances[v]), expected,
+                    expected * 0.05)
+            << "element " << v;
+    }
+}
+
 } // namespace
 } // namespace aiecc

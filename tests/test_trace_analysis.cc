@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "obs/json.hh"
@@ -142,11 +144,52 @@ TEST(ReadTraceFile, FixtureParsesCompletely)
     const obs::TraceFile tf = obs::readTraceFile(fixture);
     ASSERT_TRUE(tf.opened) << fixture;
     EXPECT_EQ(tf.badLines, 0u) << tf.firstError;
+    EXPECT_EQ(tf.truncatedTail, 0u);
     ASSERT_EQ(tf.events.size(), 12u);
     EXPECT_EQ(tf.events.front().kind, obs::EventKind::CommandIssued);
     EXPECT_EQ(tf.events.front().cycle, 10u);
     EXPECT_EQ(tf.events.back().kind, obs::EventKind::Classification);
     EXPECT_EQ(tf.events.back().label, "CE");
+}
+
+// A writer killed mid-record leaves a final line with no terminating
+// newline.  That partial record is expected damage, not corruption:
+// it must land in truncatedTail, leave badLines/firstError untouched,
+// and not disturb the complete records before it.
+TEST(ReadTraceFile, TruncatedFinalLineCountedSeparately)
+{
+    const std::string truncated =
+        std::string(AIECC_TEST_DATA_DIR) + "/truncated_tail.jsonl";
+    const obs::TraceFile tf = obs::readTraceFile(truncated);
+    ASSERT_TRUE(tf.opened) << truncated;
+    EXPECT_EQ(tf.truncatedTail, 1u);
+    EXPECT_EQ(tf.badLines, 0u) << tf.firstError;
+    EXPECT_TRUE(tf.firstError.empty()) << tf.firstError;
+    ASSERT_EQ(tf.events.size(), 2u);
+    EXPECT_EQ(tf.events[0].kind, obs::EventKind::CommandIssued);
+    EXPECT_EQ(tf.events[1].kind, obs::EventKind::Detection);
+    EXPECT_EQ(tf.events[1].value, 3);
+}
+
+// A malformed line in the *middle* of the file (newline-terminated)
+// is real corruption and still goes through the badLines/firstError
+// path -- only the unterminated tail gets the lenient treatment.
+TEST(ReadTraceFile, MidFileGarbageStillCountsAsBadLine)
+{
+    const std::string path = testing::TempDir() + "/aiecc_midbad.jsonl";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"kind\":\"command\",\"cycle\":1,\"label\":\"ACT\"}\n"
+            << "{\"kind\":\"detec\n" // malformed but terminated
+            << "{\"kind\":\"command\",\"cycle\":2,\"label\":\"RD\"}\n";
+    }
+    const obs::TraceFile tf = obs::readTraceFile(path);
+    ASSERT_TRUE(tf.opened);
+    EXPECT_EQ(tf.badLines, 1u);
+    EXPECT_FALSE(tf.firstError.empty());
+    EXPECT_EQ(tf.truncatedTail, 0u);
+    EXPECT_EQ(tf.events.size(), 2u);
+    std::remove(path.c_str());
 }
 
 // ---- summarizeTrace ----

@@ -88,6 +88,12 @@ loadAll(const std::vector<std::string> &paths)
                          static_cast<unsigned long long>(tf.badLines),
                          tf.firstError.c_str());
         }
+        if (tf.truncatedTail) {
+            std::fprintf(stderr,
+                         "aiecc-trace: %s: truncated final record "
+                         "dropped (writer stopped mid-write?)\n",
+                         path.c_str());
+        }
         events.insert(events.end(), tf.events.begin(), tf.events.end());
     }
     return events;
