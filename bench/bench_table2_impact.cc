@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "inject/campaign.hh"
+#include "obs/coverage.hh"
 
 using namespace aiecc;
 
@@ -47,7 +48,13 @@ main(int argc, char **argv)
     // (runShards resolves 0 to the hardware concurrency).
     const unsigned jobs = opt.jobs;
 
+    // One ledger follows every fault of both campaigns below; the
+    // fault-ID salt includes each campaign's mechanism config, so the
+    // unprotected and AIECC sweeps can share it without collisions.
+    obs::LineageLedger lineage;
+
     InjectionCampaign camp(Mechanisms::forLevel(ProtectionLevel::None));
+    camp.setLineageLedger(&lineage);
 
     // Collect results per pin per pattern.
     std::map<Pin, std::map<CommandPattern, TrialResult>> grid;
@@ -89,6 +96,7 @@ main(int argc, char **argv)
         Mechanisms::forLevel(ProtectionLevel::Aiecc);
     InjectionCampaign aiecc(aieccMech);
     aiecc.setRecoveryConfig(rc);
+    aiecc.setLineageLedger(&lineage);
     std::map<CommandPattern, CampaignStats> recStats;
     for (CommandPattern pattern : allPatterns()) {
         std::vector<PinError> errors;
@@ -131,6 +139,18 @@ main(int argc, char **argv)
     }
     std::printf("%s\n", rt.str().c_str());
 
+    // Conservation audit: every fault either of the campaigns injected
+    // must have reached exactly one terminal state.  An unaccounted
+    // fault is a harness bug, not a result — fail the bench on it.
+    const obs::CoverageMatrix coverage =
+        obs::CoverageMatrix::fromLedger(lineage);
+    const obs::CoverageMatrix::Audit audit = coverage.audit();
+    std::printf("lineage: %llu faults injected, %llu unaccounted, "
+                "ledger digest %016llx\n\n",
+                static_cast<unsigned long long>(audit.injected),
+                static_cast<unsigned long long>(audit.unaccounted),
+                static_cast<unsigned long long>(lineage.digest()));
+
     bench::writeJsonArtifact(
         opt, "table2_impact", [&](obs::JsonWriter &w) {
             w.beginObject();
@@ -157,6 +177,10 @@ main(int argc, char **argv)
                 s.writeJson(w);
             }
             w.endObject();
+            w.key("coverage");
+            coverage.writeJson(w);
+            w.key("lineage");
+            lineage.writeJson(w);
             w.endObject();
         });
 
@@ -173,5 +197,16 @@ main(int argc, char **argv)
         "errors => SDC;\n"
         "  * PRE: 14 pins (A17, A13..A11, A9..A0) manifest no "
         "error.\n");
+
+    if (!audit.ok) {
+        for (const std::string &v : audit.violations)
+            std::fprintf(stderr, "coverage audit: %s\n", v.c_str());
+        std::fprintf(stderr,
+                     "coverage audit FAILED: %llu of %llu injected "
+                     "faults unaccounted\n",
+                     static_cast<unsigned long long>(audit.unaccounted),
+                     static_cast<unsigned long long>(audit.injected));
+        return 1;
+    }
     return 0;
 }

@@ -48,6 +48,8 @@ struct DetectionEvent
     /** Precisely diagnosed address (eDECC combined only, §IV-F). */
     std::optional<uint32_t> diagnosedAddress;
     std::string detail;
+    /** Lineage fault ID under test when this fired (0 = none). */
+    uint64_t faultId = 0;
 };
 
 } // namespace aiecc

@@ -78,8 +78,18 @@ ProtectionStack::ProtectionStack(const StackConfig &config)
 }
 
 void
+ProtectionStack::setFaultContext(uint64_t faultId)
+{
+    faultCtx = faultId;
+    if (cfg.observer)
+        cfg.observer->setFaultContext(faultId);
+}
+
+void
 ProtectionStack::noteDetection(DetectionEvent event)
 {
+    if (faultCtx && !event.faultId)
+        event.faultId = faultCtx;
     if (cfg.observer) {
         if (oc.detections) {
             ++*oc.detections;

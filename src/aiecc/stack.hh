@@ -113,6 +113,17 @@ class ProtectionStack : private RecoveryPort
     /** Install/replace the pin corruptor (empty clears it). */
     void setPinCorruptor(PinCorruptor corruptor);
 
+    /**
+     * Lineage context (obs/lineage.hh): while nonzero, every
+     * DetectionEvent this stack raises carries the ID, and the
+     * attached observer stamps it onto all emitted trace events —
+     * recovery episodes and controller retries included — so a
+     * campaign can attribute everything that happens during a trial
+     * to the fault under test.  0 clears the context.
+     */
+    void setFaultContext(uint64_t faultId);
+    uint64_t faultContext() const { return faultCtx; }
+
     /** Detections accumulated since the last clear. */
     const std::vector<DetectionEvent> &detections() const
     {
@@ -154,6 +165,7 @@ class ProtectionStack : private RecoveryPort
     std::vector<DetectionEvent> events;
     size_t alertsSeen = 0;
     uint64_t scrubs = 0;
+    uint64_t faultCtx = 0;
 
     std::unique_ptr<RecoveryEngine> rec;
     bool inRecovery = false; ///< port calls must not re-enter the engine

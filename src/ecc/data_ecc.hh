@@ -48,6 +48,13 @@ struct EccResult
 
     /** Detected anything at all (corrected or not)? */
     bool detected() const { return status != EccStatus::Clean; }
+
+    /**
+     * One-line decode summary for lineage/trace details, e.g.
+     * "corrected 2 symbols (address)" — what the RS decoder actually
+     * did, so per-fault records carry the correction evidence.
+     */
+    std::string describe() const;
 };
 
 /** Abstract chipkill data-ECC organization. */

@@ -1,5 +1,8 @@
 #include "gddr5/campaign.hh"
 
+#include <memory>
+#include <sstream>
+
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
@@ -297,6 +300,42 @@ Gddr5Campaign::runTrial(Pattern pattern, const Gddr5Error &error) const
     return trial;
 }
 
+namespace
+{
+
+/** Lineage terminal for a classified GDDR5 trial.  A Corrected trial
+ * got there through the explicit golden-restore retry pass, i.e. it
+ * was *recovered*, not corrected in place. */
+obs::FaultTerminal
+gddr5Terminal(const Gddr5Trial &trial)
+{
+    switch (trial.outcome) {
+      case Outcome::NoEffect: return obs::FaultTerminal::Masked;
+      case Outcome::Corrected: return obs::FaultTerminal::Recovered;
+      case Outcome::Due: return obs::FaultTerminal::Detected;
+      case Outcome::Sdc:
+      case Outcome::Mdc:
+      case Outcome::SdcMdc: return obs::FaultTerminal::Escaped;
+    }
+    return obs::FaultTerminal::Escaped;
+}
+
+std::string
+gddr5Site(Pattern pattern, const Gddr5Error &error)
+{
+    std::ostringstream out;
+    out << gddr5PatternName(pattern) << "/";
+    if (error.allPin) {
+        out << "all-pin";
+    } else {
+        for (size_t i = 0; i < error.flips.size(); ++i)
+            out << (i ? "+" : "") << pinName(error.flips[i]);
+    }
+    return out.str();
+}
+
+} // namespace
+
 std::vector<Gddr5Trial>
 Gddr5Campaign::runTrials(Pattern pattern,
                          const std::vector<Gddr5Error> &errors,
@@ -307,13 +346,52 @@ Gddr5Campaign::runTrials(Pattern pattern,
     // (pattern, error, seed)).
     constexpr uint64_t shardSize = 4;
     const uint64_t total = errors.size();
+    const uint64_t shards = shardCount(total, shardSize);
     std::vector<Gddr5Trial> results(total);
-    runShards(shardCount(total, shardSize), jobs, [&](uint64_t shard) {
+
+    // Single-threaded prologue: claim this batch's global trial
+    // numbers before any shard runs, so fault IDs depend only on the
+    // call sequence, never on worker interleaving.
+    const uint64_t indexBase = trialCounter;
+    trialCounter += total;
+    const uint64_t salt =
+        seed ^ obs::lineageHash("gddr5:" + prot.describe());
+    std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
+
+    runShards(shards, jobs, [&](uint64_t shard) {
         const uint64_t begin = shard * shardSize;
         const uint64_t n = shardLength(total, shardSize, shard);
-        for (uint64_t i = 0; i < n; ++i)
-            results[begin + i] = runTrial(pattern, errors[begin + i]);
+        obs::LineageLedger *shardLedger = nullptr;
+        if (ledger) {
+            shardLedgers[shard] = std::unique_ptr<obs::LineageLedger>(
+                new obs::LineageLedger);
+            shardLedger = shardLedgers[shard].get();
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+            const Gddr5Error &error = errors[begin + i];
+            const Gddr5Trial trial = runTrial(pattern, error);
+            results[begin + i] = trial;
+            if (!shardLedger)
+                continue;
+            const uint64_t faultId = obs::deriveFaultId(
+                salt, static_cast<uint64_t>(pattern),
+                indexBase + begin + i);
+            shardLedger->recordInjection(faultId, obs::FaultKind::Ccca,
+                                         gddr5Site(pattern, error));
+            std::string mech;
+            if (!trial.detectors.empty())
+                mech = detectorName(trial.detectors.front());
+            shardLedger->resolve(
+                faultId, gddr5Terminal(trial), mech,
+                static_cast<uint32_t>(trial.detectors.size()),
+                trial.detected ? 1u : 0u);
+        }
     });
+
+    for (uint64_t shard = 0; shard < shards; ++shard) {
+        if (shardLedgers[shard])
+            ledger->merge(*shardLedgers[shard]);
+    }
     return results;
 }
 

@@ -11,6 +11,7 @@
 
 #include "gddr5/system.hh"
 #include "inject/campaign.hh" // Outcome / outcomeName reuse
+#include "obs/lineage.hh"
 
 namespace aiecc
 {
@@ -99,9 +100,26 @@ class Gddr5Campaign
     Gddr5Stats sweepAllPin(Pattern pattern, unsigned samples,
                            unsigned jobs = 1) const;
 
+    /**
+     * Attach a fault-lineage ledger (nullptr detaches).  Trials stay
+     * pure; the lineage bookkeeping happens in runTrials(), which
+     * derives each fault's ID from the campaign-global trial index
+     * (advanced in the single-threaded prologue) and records
+     * injection + terminal resolution per trial, merged in shard
+     * order — so ledgers are bit-identical for every jobs value.
+     * Direct runTrial() calls bypass the ledger by design.
+     */
+    void setLineageLedger(obs::LineageLedger *lineage)
+    {
+        ledger = lineage;
+    }
+
   private:
     Protection prot;
     uint64_t seed;
+    obs::LineageLedger *ledger = nullptr;
+    /** Campaign-global trial numbering for lineage fault IDs. */
+    mutable uint64_t trialCounter = 0;
 };
 
 } // namespace gddr5

@@ -370,6 +370,28 @@ runVerify(ProtectionStack &stack, std::vector<ReadRecord> *reads)
     }
 }
 
+/** The lineage terminal state a classified trial resolved to. */
+obs::FaultTerminal
+trialTerminal(const TrialResult &tr)
+{
+    switch (tr.outcome) {
+      case Outcome::NoEffect:
+        return obs::FaultTerminal::Masked;
+      case Outcome::Corrected:
+        // A correction that needed an in-band episode is a recovery;
+        // one without (e.g. data ECC in place) is a plain correction.
+        return tr.recoveryEpisodes ? obs::FaultTerminal::Recovered
+                                   : obs::FaultTerminal::Corrected;
+      case Outcome::Due:
+        return obs::FaultTerminal::Detected;
+      case Outcome::Sdc:
+      case Outcome::Mdc:
+      case Outcome::SdcMdc:
+        return obs::FaultTerminal::Escaped;
+    }
+    return obs::FaultTerminal::Escaped;
+}
+
 /** The intended command on the pattern's target (first) edge. */
 Command
 targetCommand(CommandPattern pattern)
@@ -419,6 +441,21 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
     ProtectionStack faulty(cfg);
     setupWorkingSet(faulty, pattern);
     faulty.clearDetections();
+
+    // Lineage: the fault ID is a pure function of the campaign
+    // configuration and the global trial index (DESIGN.md §10), so
+    // worker decomposition cannot change it.
+    uint64_t faultId = 0;
+    std::string site;
+    if (ledger) {
+        site = patternName(pattern) + "/" + error.toString();
+        faultId = obs::deriveFaultId(
+            seed ^ obs::lineageHash("ddr4:" + mech.describe()),
+            static_cast<uint64_t>(pattern), trialIndex);
+        ledger->recordInjection(faultId, obs::FaultKind::Ccca, site);
+        faulty.setFaultContext(faultId);
+    }
+    const Cycle injectCycle = faulty.controller().now();
 
     const uint64_t targetIdx = faulty.controller().commandsIssued();
     PinWord corrupted;
@@ -538,6 +575,36 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
     }
 
     ++trialIndex;
+
+    // Lineage prologue of the trial's event stream: the injection and
+    // the replayed detections come before the Classification so the
+    // per-fault timeline reads inject -> observe* -> classify ->
+    // resolve in emission order.
+    if (ledger && obsHook && obsHook->tracing()) {
+        obs::TraceEvent inj;
+        inj.kind = obs::EventKind::FaultInject;
+        inj.cycle = injectCycle;
+        inj.label = site;
+        inj.value = trialIndex - 1; // the trial this fault rode
+        inj.detail = obs::faultKindName(obs::FaultKind::Ccca);
+        inj.faultId = faultId;
+        obsHook->emit(inj);
+
+        // The ephemeral faulty stack runs unobserved, so its
+        // detection log is replayed here to complete the
+        // inject -> observe* -> resolve timeline.
+        for (const DetectionEvent &det : faulty.detections()) {
+            obs::TraceEvent d;
+            d.kind = obs::EventKind::Detection;
+            d.cycle = det.when;
+            d.label = mechanismName(det.mech);
+            d.value = det.diagnosedAddress ? *det.diagnosedAddress : 0;
+            d.detail = det.detail;
+            d.faultId = det.faultId;
+            obsHook->emit(d);
+        }
+    }
+
     if (obsHook) {
         if (oc.trials) {
             ++*oc.trials;
@@ -567,9 +634,36 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
             detail += " recovery=" + recoveryClassName(tr.recovery) +
                       "(" + std::to_string(tr.recoveryAttempts) + ")";
         }
-        obsHook->emit(obs::EventKind::Classification,
-                      faulty.controller().now(),
-                      outcomeName(tr.outcome), trialIndex, detail);
+        obs::TraceEvent cls;
+        cls.kind = obs::EventKind::Classification;
+        cls.cycle = faulty.controller().now();
+        cls.label = outcomeName(tr.outcome);
+        cls.value = trialIndex;
+        cls.detail = std::move(detail);
+        cls.faultId = faultId;
+        obsHook->emit(cls);
+    }
+
+    if (ledger) {
+        const obs::FaultTerminal terminal = trialTerminal(tr);
+        std::string firstMech;
+        if (auto first = tr.firstDetector())
+            firstMech = mechanismName(*first);
+        ledger->resolve(faultId, terminal, firstMech,
+                        static_cast<uint32_t>(tr.detectors.size()),
+                        static_cast<uint32_t>(tr.recoveryAttempts));
+
+        if (obsHook && obsHook->tracing()) {
+            obs::TraceEvent res;
+            res.kind = obs::EventKind::FaultResolve;
+            res.cycle = faulty.controller().now();
+            res.label = obs::faultTerminalName(terminal);
+            res.value = tr.recoveryAttempts;
+            if (!firstMech.empty())
+                res.detail = "first=" + firstMech;
+            res.faultId = faultId;
+            obsHook->emit(res);
+        }
     }
     return tr;
 }
@@ -593,7 +687,8 @@ InjectionCampaign::runTrials(CommandPattern pattern,
 
     std::vector<TrialResult> results(total);
     std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
-    std::vector<std::unique_ptr<obs::RingTraceSink>> shardTraces(shards);
+    std::vector<std::unique_ptr<obs::VectorTraceSink>> shardTraces(shards);
+    std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
 
     runShards(shards, jobs, [&](uint64_t shard) {
         const uint64_t begin = shard * shardSize;
@@ -613,12 +708,20 @@ InjectionCampaign::runTrials(CommandPattern pattern,
             shardObs.setStats(shardStats[shard].get());
         }
         if (parentTracing) {
-            shardTraces[shard] = std::unique_ptr<obs::RingTraceSink>(
-                new obs::RingTraceSink(n));
+            // Unbounded capture: lineage makes the per-trial event
+            // count variable, and the determinism gates need the
+            // stream loss-free.
+            shardTraces[shard] = std::unique_ptr<obs::VectorTraceSink>(
+                new obs::VectorTraceSink);
             shardObs.addSink(shardTraces[shard].get());
         }
         if (parentStats || parentTracing)
             worker.setObserver(&shardObs);
+        if (ledger) {
+            shardLedgers[shard] = std::unique_ptr<obs::LineageLedger>(
+                new obs::LineageLedger);
+            worker.ledger = shardLedgers[shard].get();
+        }
 
         for (uint64_t i = 0; i < n; ++i) {
             results[begin + i] =
@@ -628,20 +731,21 @@ InjectionCampaign::runTrials(CommandPattern pattern,
 
     trialIndex += total;
 
-    // Join-time aggregation, strictly in shard order: stats totals
-    // and the trace event stream come out identical to a sequential
-    // run regardless of how many threads executed the shards.
+    // Join-time aggregation, strictly in shard order: stats totals,
+    // the trace event stream and the lineage ledger come out
+    // identical to a sequential run regardless of how many threads
+    // executed the shards.
     for (uint64_t shard = 0; shard < shards; ++shard) {
         if (shardStats[shard])
             parentStats->merge(*shardStats[shard]);
         if (shardTraces[shard]) {
-            AIECC_ASSERT(shardTraces[shard]->dropped() == 0,
-                         "shard trace ring sized below one event/trial");
             for (const obs::TraceEvent &event :
                  shardTraces[shard]->events()) {
                 obsHook->emit(event);
             }
         }
+        if (shardLedgers[shard])
+            ledger->merge(*shardLedgers[shard]);
     }
     return results;
 }

@@ -22,6 +22,7 @@
 
 #include "aiecc/stack.hh"
 #include "obs/json.hh"
+#include "obs/lineage.hh"
 
 namespace aiecc
 {
@@ -222,6 +223,22 @@ class InjectionCampaign
         recoveryCfg = config;
     }
 
+    /**
+     * Attach a fault-lineage ledger (nullptr detaches).  With one
+     * attached, every trial opens a ledger record under its derived
+     * fault ID before the faulty run and resolves it to its terminal
+     * state at classification; with an observer also attached, the
+     * trial additionally emits the per-fault lineage event stream
+     * (FaultInject, the fault's Detections, FaultResolve) so traces
+     * carry full inject→observe*→resolve timelines.  Off by default:
+     * pre-lineage consumers keep the one-Classification-per-trial
+     * event stream.
+     */
+    void setLineageLedger(obs::LineageLedger *lineage)
+    {
+        ledger = lineage;
+    }
+
     /** Run one trial: inject @p error into @p pattern's target edge. */
     TrialResult runTrial(CommandPattern pattern, const PinError &error);
 
@@ -274,6 +291,7 @@ class InjectionCampaign
     };
     CampaignCounters oc;
     uint64_t trialIndex = 0;
+    obs::LineageLedger *ledger = nullptr;
 };
 
 } // namespace aiecc

@@ -260,13 +260,69 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
     return classified(DataOutcome::Due);
 }
 
+void
+DataMonteCarlo::recordLineage(obs::LineageLedger &led,
+                              DataErrorModel dataErr,
+                              AddrErrorModel addrErr, uint64_t trial,
+                              DataOutcome outcome) const
+{
+    const bool data = dataErr != DataErrorModel::None;
+    const bool addr = addrErr != AddrErrorModel::None;
+    if (!data && !addr)
+        return; // nothing injected, nothing to account for
+
+    const obs::FaultKind kind =
+        data && addr ? obs::FaultKind::DataAddr
+                     : (data ? obs::FaultKind::Data : obs::FaultKind::Addr);
+    const uint64_t salt =
+        baseSeed ^ obs::lineageHash("mc:" + ecc->name());
+    const uint64_t stream = (static_cast<uint64_t>(dataErr) << 8) |
+                            static_cast<uint64_t>(addrErr);
+    const uint64_t faultId = obs::deriveFaultId(salt, stream, trial);
+    led.recordInjection(faultId, kind,
+                        dataErrorName(dataErr) + "/" +
+                            addrErrorName(addrErr));
+
+    obs::FaultTerminal terminal;
+    bool flagged = true;
+    switch (outcome) {
+      case DataOutcome::NoError:
+        terminal = obs::FaultTerminal::Masked;
+        flagged = false;
+        break;
+      case DataOutcome::Sdc:
+        terminal = obs::FaultTerminal::Escaped;
+        flagged = false;
+        break;
+      case DataOutcome::CeD:
+        terminal = obs::FaultTerminal::Corrected;
+        break;
+      case DataOutcome::CeR:
+      case DataOutcome::CeRPlus:
+      case DataOutcome::CeRD:
+      case DataOutcome::CeRDPlus:
+        terminal = obs::FaultTerminal::Recovered;
+        break;
+      case DataOutcome::Due:
+      default:
+        terminal = obs::FaultTerminal::Detected;
+        break;
+    }
+    led.resolve(faultId, terminal, flagged ? ecc->name() : "",
+                flagged ? 1u : 0u, 0u);
+}
+
 MonteCarloCell
 DataMonteCarlo::runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
                         uint64_t trials)
 {
     MonteCarloCell cell;
-    for (uint64_t i = 0; i < trials; ++i)
-        cell.add(runTrial(dataErr, addrErr));
+    for (uint64_t i = 0; i < trials; ++i) {
+        const DataOutcome outcome = runTrial(dataErr, addrErr);
+        cell.add(outcome);
+        if (ledger)
+            recordLineage(*ledger, dataErr, addrErr, i, outcome);
+    }
     AIECC_INFORM("Monte-Carlo cell " << ecc->name() << " / "
                                      << dataErrorName(dataErr) << " / "
                                      << addrErrorName(addrErr) << ": "
@@ -295,6 +351,7 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
 
     std::vector<MonteCarloCell> cells(shards);
     std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
+    std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
 
     runShards(shards, plan.jobs, [&](uint64_t shard) {
         // A fully private evaluator per shard: own codec tables, own
@@ -312,9 +369,26 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
             worker.setObserver(&shardObs);
         }
 
+        obs::LineageLedger *shardLedger = nullptr;
+        if (ledger) {
+            shardLedgers[shard] = std::unique_ptr<obs::LineageLedger>(
+                new obs::LineageLedger);
+            shardLedger = shardLedgers[shard].get();
+        }
+
+        const uint64_t begin = shard * plan.shardSize;
         const uint64_t n = shardLength(trials, plan.shardSize, shard);
-        for (uint64_t i = 0; i < n; ++i)
-            cells[shard].add(worker.runTrial(dataErr, addrErr));
+        for (uint64_t i = 0; i < n; ++i) {
+            const DataOutcome outcome = worker.runTrial(dataErr, addrErr);
+            cells[shard].add(outcome);
+            if (shardLedger) {
+                // Fault IDs come from the parent configuration and
+                // the trial's global (shard-major) index — never from
+                // the worker count.
+                recordLineage(*shardLedger, dataErr, addrErr, begin + i,
+                              outcome);
+            }
+        }
     });
 
     MonteCarloCell cell;
@@ -322,6 +396,8 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
         cell.merge(cells[shard]);
         if (parentStats && shardStats[shard])
             parentStats->merge(*shardStats[shard]);
+        if (shardLedgers[shard])
+            ledger->merge(*shardLedgers[shard]);
     }
     AIECC_INFORM("Monte-Carlo cell (sharded x"
                  << shards << ") " << ecc->name() << " / "

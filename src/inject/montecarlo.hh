@@ -22,6 +22,7 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "obs/json.hh"
+#include "obs/lineage.hh"
 #include "obs/observer.hh"
 
 namespace aiecc
@@ -147,6 +148,20 @@ class DataMonteCarlo
 
     const RetryPolicy &retryPolicy() const { return retry; }
 
+    /**
+     * Attach a fault-lineage ledger (nullptr detaches).  runCell and
+     * runCellSharded then open and resolve one record per trial that
+     * injects anything (the no-error/no-error cell stays out of the
+     * ledger — nothing is injected there).  Fault IDs derive from the
+     * scheme, the (data, addr) cell, and the trial's index within the
+     * cell, so each Table III cell may be run once per ledger; a
+     * repeat run trips the duplicate-injection panic by design.
+     */
+    void setLineageLedger(obs::LineageLedger *lineage)
+    {
+        ledger = lineage;
+    }
+
     /** Run one trial; returns the outcome classification. */
     DataOutcome runTrial(DataErrorModel dataErr, AddrErrorModel addrErr);
 
@@ -185,6 +200,12 @@ class DataMonteCarlo
         obs::Counter *retryExhausted = nullptr;
     };
     McCounters oc;
+    obs::LineageLedger *ledger = nullptr;
+
+    /** Open-and-resolve one trial's lineage record into @p led. */
+    void recordLineage(obs::LineageLedger &led, DataErrorModel dataErr,
+                       AddrErrorModel addrErr, uint64_t trial,
+                       DataOutcome outcome) const;
 };
 
 } // namespace aiecc

@@ -1,0 +1,120 @@
+#include "obs/coverage.hh"
+
+#include <sstream>
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+CoverageMatrix
+CoverageMatrix::fromLedger(const LineageLedger &ledger)
+{
+    // Keyed map gives the deterministic (kind, mech, terminal) cell
+    // order the --jobs byte-equality gates rely on.
+    std::map<std::tuple<unsigned, std::string, unsigned>, uint64_t> counts;
+    for (const LineageRecord &rec : ledger.records()) {
+        const auto key =
+            std::make_tuple(static_cast<unsigned>(rec.kind),
+                            ledger.mechanismLabel(rec.mech),
+                            static_cast<unsigned>(rec.terminal));
+        ++counts[key];
+    }
+
+    CoverageMatrix matrix;
+    matrix.total = ledger.size();
+    for (const auto &[key, count] : counts) {
+        Cell cell;
+        cell.kind = static_cast<FaultKind>(std::get<0>(key));
+        cell.mech = std::get<1>(key);
+        cell.terminal = static_cast<FaultTerminal>(std::get<2>(key));
+        cell.count = count;
+        matrix.table.push_back(cell);
+    }
+    return matrix;
+}
+
+uint64_t
+CoverageMatrix::terminalTotal(FaultTerminal terminal) const
+{
+    uint64_t sum = 0;
+    for (const Cell &cell : table)
+        if (cell.terminal == terminal)
+            sum += cell.count;
+    return sum;
+}
+
+CoverageMatrix::Audit
+CoverageMatrix::audit() const
+{
+    Audit a;
+    a.injected = total;
+    uint64_t accounted = 0;
+    for (const Cell &cell : table)
+        a.byTerminal[static_cast<unsigned>(cell.terminal)] += cell.count;
+    a.unaccounted =
+        a.byTerminal[static_cast<unsigned>(FaultTerminal::Unaccounted)];
+    for (unsigned t = 0; t < numFaultTerminals; ++t)
+        if (t != static_cast<unsigned>(FaultTerminal::Unaccounted))
+            accounted += a.byTerminal[t];
+
+    if (a.unaccounted > 0) {
+        std::ostringstream msg;
+        msg << a.unaccounted << " fault(s) injected but never resolved "
+            << "to a terminal state";
+        a.violations.push_back(msg.str());
+    }
+    if (accounted + a.unaccounted != a.injected) {
+        std::ostringstream msg;
+        msg << "conservation broken: injected " << a.injected
+            << " != accounted " << accounted << " + unaccounted "
+            << a.unaccounted;
+        a.violations.push_back(msg.str());
+    }
+    a.ok = a.violations.empty();
+    return a;
+}
+
+void
+CoverageMatrix::writeJson(JsonWriter &w) const
+{
+    const Audit a = audit();
+    w.beginObject();
+    w.kv("injected", a.injected);
+    w.kv("unaccounted", a.unaccounted);
+    w.kv("conserved", a.ok);
+    w.key("by_terminal").beginObject();
+    for (unsigned t = 0; t < numFaultTerminals; ++t) {
+        if (t == static_cast<unsigned>(FaultTerminal::Unaccounted) &&
+            a.byTerminal[t] == 0) {
+            continue; // healthy campaigns don't list the zero
+        }
+        w.kv(faultTerminalName(static_cast<FaultTerminal>(t)),
+             a.byTerminal[t]);
+    }
+    w.endObject();
+    w.key("cells").beginArray();
+    for (const Cell &cell : table) {
+        w.beginObject();
+        w.kv("kind", faultKindName(cell.kind));
+        if (!cell.mech.empty())
+            w.kv("mech", cell.mech);
+        w.kv("terminal", faultTerminalName(cell.terminal));
+        w.kv("count", cell.count);
+        w.endObject();
+    }
+    w.endArray();
+    if (!a.violations.empty()) {
+        w.key("violations").beginArray();
+        for (const std::string &v : a.violations)
+            w.value(v);
+        w.endArray();
+    }
+    w.endObject();
+}
+
+} // namespace obs
+} // namespace aiecc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Coverage-matrix audit over a fault-lineage ledger.
+ *
+ * The paper's Tables 2–3 are coverage tables: which mechanism catches
+ * which fault class, and with what outcome.  CoverageMatrix rebuilds
+ * that cross-tab from per-fault provenance (obs/lineage.hh) instead
+ * of from aggregate counters, so every cell is backed by auditable
+ * lineage records, and audit() enforces the conservation invariant —
+ * injected == masked + detected + corrected + recovered + escaped —
+ * treating any fault without a terminal state as a campaign error.
+ */
+
+#ifndef AIECC_OBS_COVERAGE_HH
+#define AIECC_OBS_COVERAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/lineage.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+
+/**
+ * Fault-kind × mechanism × terminal-state cross-tab.  Mechanisms are
+ * kept as labels (the ledger's interned first-detector strings) so
+ * DDR4 (eCAP/eWCRC/eDECC/CSTC), GDDR5 (write-EDC/read-EDC/CSTC) and
+ * Monte-Carlo codec campaigns all fit the same matrix.
+ */
+class CoverageMatrix
+{
+  public:
+    /** One cross-tab cell: (kind, mechanism label, terminal). */
+    struct Cell
+    {
+        FaultKind kind;
+        std::string mech; ///< first detector ("" = none fired)
+        FaultTerminal terminal;
+        uint64_t count = 0;
+    };
+
+    /** Result of the conservation audit. */
+    struct Audit
+    {
+        bool ok = false;
+        uint64_t injected = 0;
+        uint64_t unaccounted = 0;
+        /** Terminal-state totals, indexed by FaultTerminal. */
+        uint64_t byTerminal[numFaultTerminals] = {};
+        /** Human-readable violations (empty when ok). */
+        std::vector<std::string> violations;
+    };
+
+    /** Cross-tabulate every record of @p ledger. */
+    static CoverageMatrix fromLedger(const LineageLedger &ledger);
+
+    /** Cells in deterministic (kind, mech, terminal) order. */
+    const std::vector<Cell> &cells() const { return table; }
+
+    uint64_t injected() const { return total; }
+
+    /** Total for one terminal state across all kinds/mechanisms. */
+    uint64_t terminalTotal(FaultTerminal terminal) const;
+
+    /**
+     * Run the conservation checks: per-fault terminal-state sum must
+     * equal the injected count and no record may be Unaccounted.
+     * Violations are spelled out for campaign error reports.
+     */
+    Audit audit() const;
+
+    /**
+     * Serialize as one JSON object: injected/unaccounted totals, the
+     * per-terminal totals, the full cross-tab, and the audit verdict.
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    std::vector<Cell> table;
+    uint64_t total = 0;
+};
+
+} // namespace obs
+} // namespace aiecc
+
+#endif // AIECC_OBS_COVERAGE_HH

@@ -48,9 +48,27 @@ class Observer
     /** True if at least one sink wants events. */
     bool tracing() const { return !sinkList.empty(); }
 
+    /**
+     * Lineage context: while nonzero, every emitted event that does
+     * not already carry a fault ID is stamped with this one, so
+     * producers deep in the stack (recovery episodes, controller
+     * retries) attribute to the fault under test without threading an
+     * ID parameter through every call.  Campaigns set it around each
+     * trial; 0 clears it.
+     */
+    void setFaultContext(uint64_t faultId) { faultCtx = faultId; }
+    uint64_t faultContext() const { return faultCtx; }
+
     void
     emit(const TraceEvent &event) const
     {
+        if (faultCtx && !event.faultId) {
+            TraceEvent stamped = event;
+            stamped.faultId = faultCtx;
+            for (TraceSink *sink : sinkList)
+                sink->record(stamped);
+            return;
+        }
         for (TraceSink *sink : sinkList)
             sink->record(event);
     }
@@ -82,6 +100,7 @@ class Observer
     StatsRegistry *reg = nullptr;
     ProfileRegistry *prof = nullptr;
     std::vector<TraceSink *> sinkList;
+    uint64_t faultCtx = 0;
 };
 
 } // namespace obs

@@ -124,6 +124,28 @@ splitName(const std::string &name)
 } // namespace
 
 void
+StatsRegistry::checkDescription(std::string &existing,
+                                const std::string &description,
+                                const std::string &name)
+{
+    if (description.empty() || description == existing)
+        return;
+    // Re-resolving with no description is fine (hot-path lookups);
+    // adopting a first description into a bare registration is fine
+    // (shard merges into pre-resolved registries).  Two *different*
+    // claims about what the stat means is a producer bug — silently
+    // keeping either one would let merged shards disagree about the
+    // semantics of a shared counter.
+    if (existing.empty()) {
+        existing = description;
+        return;
+    }
+    AIECC_PANIC("stat '" << name << "' re-registered with a different "
+                << "description: '" << existing << "' vs '"
+                << description << "'");
+}
+
+void
 StatsRegistry::registerName(const std::string &name, const char *kind)
 {
     AIECC_ASSERT(!name.empty(), "empty stat name");
@@ -158,8 +180,10 @@ StatsRegistry::counter(const std::string &name,
                        const std::string &description)
 {
     const auto it = counters.find(name);
-    if (it != counters.end())
+    if (it != counters.end()) {
+        checkDescription(it->second->desc, description, name);
         return *it->second;
+    }
     registerName(name, "counter");
     auto stat = std::unique_ptr<Counter>(new Counter(name, description));
     Counter &ref = *stat;
@@ -172,8 +196,10 @@ StatsRegistry::scalar(const std::string &name,
                       const std::string &description)
 {
     const auto it = scalars.find(name);
-    if (it != scalars.end())
+    if (it != scalars.end()) {
+        checkDescription(it->second->desc, description, name);
         return *it->second;
+    }
     registerName(name, "scalar");
     auto stat = std::unique_ptr<Scalar>(new Scalar(name, description));
     Scalar &ref = *stat;
@@ -186,8 +212,10 @@ StatsRegistry::histogram(const std::string &name,
                          const std::string &description)
 {
     const auto it = histograms.find(name);
-    if (it != histograms.end())
+    if (it != histograms.end()) {
+        checkDescription(it->second->desc, description, name);
         return *it->second;
+    }
     registerName(name, "histogram");
     auto stat =
         std::unique_ptr<Histogram>(new Histogram(name, description));

@@ -153,6 +153,13 @@ class StatsRegistry
      * [A-Za-z0-9_+-] components; a name may not be reused for a
      * different stat kind, nor may a leaf name double as a group
      * prefix of another stat ("stack" vs "stack.retries").
+     *
+     * Descriptions are part of the contract: re-resolving an existing
+     * stat with an empty description is fine (hot-path lookups), and
+     * a bare registration adopts the first description offered, but
+     * two *different* non-empty descriptions for one name — e.g. when
+     * merging shards whose producers disagree about a counter's
+     * meaning — is a hard error (panic), never a silent overwrite.
      */
     Counter &counter(const std::string &name,
                      const std::string &description = "");
@@ -213,6 +220,14 @@ class StatsRegistry
 
     /** Validate @p name and record its leaf/group structure. */
     void registerName(const std::string &name, const char *kind);
+
+    /**
+     * Enforce description consistency on re-resolution: adopt into an
+     * empty @p existing, accept equal or empty, panic on conflict.
+     */
+    static void checkDescription(std::string &existing,
+                                 const std::string &description,
+                                 const std::string &name);
 };
 
 } // namespace obs

@@ -18,6 +18,8 @@ eventKindName(EventKind kind)
       case EventKind::Classification: return "classification";
       case EventKind::Escalation: return "escalation";
       case EventKind::PatrolScrub: return "patrol_scrub";
+      case EventKind::FaultInject: return "fault_inject";
+      case EventKind::FaultResolve: return "fault_resolve";
     }
     return "?";
 }
@@ -45,6 +47,8 @@ TraceEvent::writeJson(JsonWriter &w) const
         w.kv("value", value);
     if (!detail.empty())
         w.kv("detail", detail);
+    if (faultId)
+        w.kv("fault", faultId);
     w.endObject();
 }
 

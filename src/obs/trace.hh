@@ -37,7 +37,9 @@ enum class EventKind
     Scrub,         ///< corrected data written back (redirect scrub)
     Classification, ///< end-state classification (label = DUE/SDC/...)
     Escalation,    ///< bank quarantine / rank-degraded transition
-    PatrolScrub    ///< background patrol corrected a stored block
+    PatrolScrub,   ///< background patrol corrected a stored block
+    FaultInject,   ///< lineage: a campaign injected a fault (label = site)
+    FaultResolve   ///< lineage: fault reached its terminal state
 };
 
 /** Printable event-kind name (the JSONL schema string). */
@@ -51,7 +53,7 @@ std::string eventKindName(EventKind kind);
 std::optional<EventKind> eventKindFromName(std::string_view name);
 
 /** Number of EventKind enumerators (parsers iterate the schema). */
-constexpr unsigned numEventKinds = 9;
+constexpr unsigned numEventKinds = 11;
 
 /** One structured observation, timestamped in controller cycles. */
 struct TraceEvent
@@ -64,6 +66,12 @@ struct TraceEvent
     uint64_t value = 0;
     /** Free-form human-readable context. */
     std::string detail;
+    /**
+     * Lineage fault ID this event is attributed to (obs/lineage.hh
+     * derivation rule); 0 = no fault context, and the "fault" JSON
+     * member is omitted so pre-lineage consumers see the old schema.
+     */
+    uint64_t faultId = 0;
 
     /** Serialize as one self-contained JSON object value. */
     void writeJson(JsonWriter &w) const;
@@ -106,6 +114,28 @@ class RingTraceSink : public TraceSink
     size_t cap;
     uint64_t count = 0; ///< total record() calls
     std::vector<TraceEvent> ring;
+};
+
+/**
+ * An unbounded in-memory sink: keeps every event, in order.  Sharded
+ * campaigns capture each worker's full event stream with one of
+ * these and re-emit in shard order — lineage tracing makes the
+ * per-trial event count variable, so a pre-sized ring can't give the
+ * loss-free capture the determinism gates need.
+ */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    void record(const TraceEvent &event) override { log.push_back(event); }
+
+    /** Recorded events, oldest first. */
+    const std::vector<TraceEvent> &events() const { return log; }
+
+    size_t size() const { return log.size(); }
+    void clear() { log.clear(); }
+
+  private:
+    std::vector<TraceEvent> log;
 };
 
 /**

@@ -226,13 +226,17 @@ parseTraceLine(std::string_view line, std::string *error)
                 }
                 event.kind = *kind;
                 sawKind = true;
-            } else if (key == "cycle" || key == "value") {
+            } else if (key == "cycle" || key == "value" ||
+                       key == "fault") {
                 if (value.isString || !value.numExact) {
                     fail(error, "\"" + key +
                                     "\" must be an unsigned integer");
                     return std::nullopt;
                 }
-                (key == "cycle" ? event.cycle : event.value) = value.num;
+                (key == "cycle"
+                     ? event.cycle
+                     : key == "value" ? event.value : event.faultId) =
+                    value.num;
             } else if (key == "label" || key == "detail") {
                 if (!value.isString) {
                     fail(error, "\"" + key + "\" must be a string");
@@ -443,6 +447,118 @@ writeChromeTrace(const std::vector<TraceEvent> &events, JsonWriter &w)
         .beginObject()
         .kv("source", "aiecc-trace")
         .kv("timestamp_unit", "controller cycles")
+        .endObject();
+    w.endObject();
+    return spans;
+}
+
+LineageView
+buildLineageView(const std::vector<TraceEvent> &events)
+{
+    LineageView view;
+    std::map<uint64_t, size_t> index;
+    for (const TraceEvent &event : events) {
+        if (!event.faultId)
+            continue;
+        auto it = index.find(event.faultId);
+        if (it == index.end()) {
+            it = index.emplace(event.faultId, view.faults.size()).first;
+            view.faults.push_back({});
+            view.faults.back().faultId = event.faultId;
+        }
+        FaultTimeline &fault = view.faults[it->second];
+        if (event.kind == EventKind::FaultInject)
+            fault.injected = true;
+        else if (event.kind == EventKind::FaultResolve)
+            fault.resolved = true;
+        fault.events.push_back(event);
+    }
+    for (const FaultTimeline &fault : view.faults) {
+        if (!fault.injected) {
+            view.orphanEvents += fault.events.size();
+            if (fault.resolved)
+                ++view.resolveWithoutInject;
+        } else if (!fault.resolved) {
+            ++view.unresolved;
+        }
+    }
+    return view;
+}
+
+uint64_t
+writeLineageChromeTrace(const LineageView &view, JsonWriter &w)
+{
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    uint64_t spans = 0;
+    constexpr uint64_t laneCount = 64;
+    uint64_t lane = 0;
+    char idHex[32];
+    for (const FaultTimeline &fault : view.faults) {
+        std::snprintf(idHex, sizeof(idHex), "%016llx",
+                      static_cast<unsigned long long>(fault.faultId));
+        const uint64_t tid = lane++ % laneCount;
+
+        // The lineage span proper: inject cycle to resolve cycle.
+        if (fault.injected && fault.resolved) {
+            const uint64_t start = fault.events.front().cycle;
+            uint64_t end = start;
+            std::string terminal;
+            for (const TraceEvent &event : fault.events) {
+                if (event.kind == EventKind::FaultResolve) {
+                    end = event.cycle;
+                    terminal = event.label;
+                }
+            }
+            w.beginObject()
+                .kv("name", "fault:" + std::string(idHex))
+                .kv("cat", "lineage")
+                .kv("ph", "X")
+                .kv("ts", start)
+                .kv("dur", end > start ? end - start : 1)
+                .kv("pid", 1)
+                .kv("tid", tid);
+            w.key("args")
+                .beginObject()
+                .kv("terminal", terminal)
+                .kv("events", static_cast<uint64_t>(fault.events.size()))
+                .endObject();
+            w.endObject();
+            ++spans;
+        }
+
+        // Observation marks inside (or orphaned outside) the span.
+        for (const TraceEvent &event : fault.events) {
+            const std::string kind = eventKindName(event.kind);
+            w.beginObject()
+                .kv("name",
+                    event.label.empty() ? kind : kind + ":" + event.label)
+                .kv("cat", fault.injected ? "lineage" : "orphan")
+                .kv("ph", "i")
+                .kv("ts", event.cycle)
+                .kv("pid", 1)
+                .kv("tid", tid)
+                .kv("s", "t");
+            w.key("args")
+                .beginObject()
+                .kv("fault", std::string(idHex))
+                .kv("value", event.value);
+            if (!event.detail.empty())
+                w.kv("detail", event.detail);
+            w.endObject().endObject();
+        }
+    }
+
+    w.endArray();
+    w.kv("displayTimeUnit", "ns");
+    w.key("otherData")
+        .beginObject()
+        .kv("source", "aiecc-trace lineage")
+        .kv("timestamp_unit", "controller cycles")
+        .kv("faults", static_cast<uint64_t>(view.faults.size()))
+        .kv("orphan_events", view.orphanEvents)
+        .kv("unresolved", view.unresolved)
         .endObject();
     w.endObject();
     return spans;

@@ -36,7 +36,7 @@ namespace obs
  * Parse one JSONL trace line back into a TraceEvent.
  *
  * Accepts exactly the flat schema JsonlTraceSink writes: an object of
- * "kind" (string), "cycle"/"value" (unsigned numbers) and
+ * "kind" (string), "cycle"/"value"/"fault" (unsigned numbers) and
  * "label"/"detail" (strings), in any order; unknown string/number
  * members are ignored for forward compatibility.  Returns nullopt on
  * malformed JSON, nested values, or an unknown kind string, with a
@@ -128,6 +128,50 @@ std::vector<TraceEvent> filterEvents(const std::vector<TraceEvent> &events,
  */
 uint64_t writeChromeTrace(const std::vector<TraceEvent> &events,
                           JsonWriter &w);
+
+/**
+ * Per-fault timeline reconstructed from fault-stamped trace events
+ * (the "fault" JSONL member; see obs/lineage.hh for the ID scheme).
+ */
+struct FaultTimeline
+{
+    uint64_t faultId = 0;
+    /** This fault's events, in input (= emission) order. */
+    std::vector<TraceEvent> events;
+    bool injected = false; ///< a FaultInject event was seen
+    bool resolved = false; ///< a FaultResolve event was seen
+};
+
+/**
+ * All fault lineages of one trace, plus its integrity diagnostics.
+ * A healthy campaign trace has every fault injected and resolved and
+ * zero orphan events; anything else points at a producer that lost a
+ * lineage edge.
+ */
+struct LineageView
+{
+    /** Timelines in order of each fault's first appearance. */
+    std::vector<FaultTimeline> faults;
+    /** Fault-stamped events whose fault has no FaultInject. */
+    uint64_t orphanEvents = 0;
+    /** Faults with a FaultInject but no FaultResolve. */
+    uint64_t unresolved = 0;
+    /** Faults resolved without ever being injected. */
+    uint64_t resolveWithoutInject = 0;
+};
+
+/** Group @p events by fault ID (events with faultId 0 are skipped). */
+LineageView buildLineageView(const std::vector<TraceEvent> &events);
+
+/**
+ * Write @p view as a Chrome trace-event document: one duration span
+ * ("ph":"X") per injected-and-resolved fault from its FaultInject to
+ * its FaultResolve cycle, plus instant marks for the intermediate
+ * observations, each fault on its own tid lane (capped at 64 lanes).
+ *
+ * @return the number of lineage spans emitted.
+ */
+uint64_t writeLineageChromeTrace(const LineageView &view, JsonWriter &w);
 
 } // namespace obs
 } // namespace aiecc

@@ -15,10 +15,18 @@
  *                                          (chrome://tracing, Perfetto)
  *                                          with recovery episodes as
  *                                          duration spans
+ *   aiecc-trace lineage [--chrome] [-o OUT] FILE...
+ *                                          per-fault inject→observe*→
+ *                                          resolve timelines, orphan /
+ *                                          unresolved diagnostics, and
+ *                                          (--chrome) lineage spans
  *
  * Filter predicates: --kind NAME, --label TEXT, --cycle-min N,
  * --cycle-max N.  Multiple input files are concatenated in argument
  * order.  Exit status: 0 success, 1 file/IO error, 2 usage error.
+ * With --strict, malformed lines, a truncated final record, and
+ * lineage integrity violations are hard errors (exit 1) instead of
+ * warnings.
  */
 
 #include <cstdio>
@@ -48,6 +56,13 @@ usage(std::FILE *to)
         "            inter-event gap statistics\n"
         "  filter    print events matching every predicate as JSONL\n"
         "  export    convert to another format (requires --chrome)\n"
+        "  lineage   per-fault inject/observe/resolve timelines and\n"
+        "            integrity diagnostics (orphan events, unresolved\n"
+        "            faults); --chrome exports lineage spans\n"
+        "\n"
+        "common options:\n"
+        "  --strict        malformed lines, truncated tails, and\n"
+        "                  lineage integrity violations exit 1\n"
         "\n"
         "filter predicates:\n"
         "  --kind NAME     event kind (command, detection, retry, ...)\n"
@@ -55,9 +70,11 @@ usage(std::FILE *to)
         "  --cycle-min N   keep events at cycle >= N\n"
         "  --cycle-max N   keep events at cycle <= N\n"
         "\n"
-        "export options:\n"
+        "export / lineage options:\n"
         "  --chrome        Chrome trace-event JSON (Perfetto-loadable)\n"
-        "  -o, --out PATH  write to PATH instead of stdout\n");
+        "  -o, --out PATH  write to PATH instead of stdout\n"
+        "  --limit N       lineage: print at most N fault timelines\n"
+        "                  (default 20; 0 = all)\n");
     std::fprintf(to, "\nknown kinds:");
     for (unsigned k = 0; k < obs::numEventKinds; ++k) {
         std::fprintf(to, " %s",
@@ -68,11 +85,17 @@ usage(std::FILE *to)
     std::fprintf(to, "\n");
 }
 
-/** Load and concatenate every input file; exits on unreadable files. */
+/**
+ * Load and concatenate every input file; exits on unreadable files.
+ * With @p strict, malformed lines and truncated tails exit 1 instead
+ * of warning — recorded campaign traces are complete by construction,
+ * so in CI any parse damage means the artifact cannot be trusted.
+ */
 std::vector<obs::TraceEvent>
-loadAll(const std::vector<std::string> &paths)
+loadAll(const std::vector<std::string> &paths, bool strict)
 {
     std::vector<obs::TraceEvent> events;
+    bool damaged = false;
     for (const std::string &path : paths) {
         obs::TraceFile tf = obs::readTraceFile(path);
         if (!tf.opened) {
@@ -81,6 +104,7 @@ loadAll(const std::vector<std::string> &paths)
             std::exit(1);
         }
         if (tf.badLines) {
+            damaged = true;
             std::fprintf(stderr,
                          "aiecc-trace: %s: %llu malformed line(s) "
                          "skipped (first: %s)\n",
@@ -89,6 +113,7 @@ loadAll(const std::vector<std::string> &paths)
                          tf.firstError.c_str());
         }
         if (tf.truncatedTail) {
+            damaged = true;
             std::fprintf(stderr,
                          "aiecc-trace: %s: truncated final record "
                          "dropped (writer stopped mid-write?)\n",
@@ -96,13 +121,19 @@ loadAll(const std::vector<std::string> &paths)
         }
         events.insert(events.end(), tf.events.begin(), tf.events.end());
     }
+    if (strict && damaged) {
+        std::fprintf(stderr,
+                     "aiecc-trace: --strict: damaged input is a hard "
+                     "error\n");
+        std::exit(1);
+    }
     return events;
 }
 
 int
-cmdSummary(const std::vector<std::string> &paths)
+cmdSummary(const std::vector<std::string> &paths, bool strict)
 {
-    const std::vector<obs::TraceEvent> events = loadAll(paths);
+    const std::vector<obs::TraceEvent> events = loadAll(paths, strict);
     const obs::TraceSummary sum = obs::summarizeTrace(events);
 
     std::printf("%llu events over cycles [%llu, %llu]\n\n",
@@ -134,9 +165,9 @@ cmdSummary(const std::vector<std::string> &paths)
 
 int
 cmdFilter(const obs::TraceFilter &filter,
-          const std::vector<std::string> &paths)
+          const std::vector<std::string> &paths, bool strict)
 {
-    const std::vector<obs::TraceEvent> events = loadAll(paths);
+    const std::vector<obs::TraceEvent> events = loadAll(paths, strict);
     uint64_t matched = 0;
     for (const obs::TraceEvent &event :
          obs::filterEvents(events, filter)) {
@@ -153,9 +184,9 @@ cmdFilter(const obs::TraceFilter &filter,
 
 int
 cmdExport(const std::string &outPath,
-          const std::vector<std::string> &paths)
+          const std::vector<std::string> &paths, bool strict)
 {
-    const std::vector<obs::TraceEvent> events = loadAll(paths);
+    const std::vector<obs::TraceEvent> events = loadAll(paths, strict);
     obs::JsonWriter w;
     const uint64_t spans = obs::writeChromeTrace(events, w);
     if (outPath.empty()) {
@@ -171,6 +202,87 @@ cmdExport(const std::string &outPath,
                      static_cast<unsigned long long>(events.size()),
                      static_cast<unsigned long long>(spans),
                      outPath.c_str());
+    }
+    return 0;
+}
+
+/** One short timeline line per event of a fault. */
+void
+printTimeline(const obs::FaultTimeline &ft)
+{
+    std::printf("fault %016llx  %zu event(s)%s%s\n",
+                static_cast<unsigned long long>(ft.faultId),
+                ft.events.size(),
+                ft.injected ? "" : "  [NO INJECT — orphan]",
+                ft.resolved ? "" : "  [UNRESOLVED]");
+    for (const obs::TraceEvent &event : ft.events) {
+        std::printf("  cycle %8llu  %-14s %-20s value=%llu%s%s\n",
+                    static_cast<unsigned long long>(event.cycle),
+                    obs::eventKindName(event.kind).c_str(),
+                    event.label.empty() ? "-" : event.label.c_str(),
+                    static_cast<unsigned long long>(event.value),
+                    event.detail.empty() ? "" : "  ",
+                    event.detail.c_str());
+    }
+}
+
+int
+cmdLineage(bool chrome, const std::string &outPath, uint64_t limit,
+           const std::vector<std::string> &paths, bool strict)
+{
+    const std::vector<obs::TraceEvent> events = loadAll(paths, strict);
+    const obs::LineageView view = obs::buildLineageView(events);
+
+    if (chrome) {
+        obs::JsonWriter w;
+        const uint64_t spans = obs::writeLineageChromeTrace(view, w);
+        if (outPath.empty()) {
+            std::printf("%s\n", w.str().c_str());
+        } else if (!w.writeFile(outPath)) {
+            std::fprintf(stderr, "aiecc-trace: cannot write %s\n",
+                         outPath.c_str());
+            return 1;
+        } else {
+            std::fprintf(stderr,
+                         "aiecc-trace: %zu fault(s), %llu lineage "
+                         "span(s) -> %s\n",
+                         view.faults.size(),
+                         static_cast<unsigned long long>(spans),
+                         outPath.c_str());
+        }
+    } else {
+        std::printf("%zu fault(s) across %zu event(s)\n",
+                    view.faults.size(), events.size());
+        uint64_t shown = 0;
+        for (const obs::FaultTimeline &ft : view.faults) {
+            if (limit && shown >= limit) {
+                std::printf("... and %zu more fault(s) (--limit 0 "
+                            "shows all)\n",
+                            view.faults.size() -
+                                static_cast<size_t>(shown));
+                break;
+            }
+            printTimeline(ft);
+            ++shown;
+        }
+    }
+
+    // Integrity diagnostics go to stderr either way; under --strict a
+    // broken lineage (a producer lost an inject or resolve edge) is a
+    // hard failure, mirroring the coverage auditor's conservation rule.
+    const bool broken =
+        view.orphanEvents || view.unresolved || view.resolveWithoutInject;
+    if (broken) {
+        std::fprintf(
+            stderr,
+            "aiecc-trace: lineage integrity: %llu orphan event(s), "
+            "%llu unresolved fault(s), %llu resolve(s) without "
+            "inject\n",
+            static_cast<unsigned long long>(view.orphanEvents),
+            static_cast<unsigned long long>(view.unresolved),
+            static_cast<unsigned long long>(view.resolveWithoutInject));
+        if (strict)
+            return 1;
     }
     return 0;
 }
@@ -192,6 +304,8 @@ main(int argc, char **argv)
 
     obs::TraceFilter filter;
     bool chrome = false;
+    bool strict = false;
+    uint64_t limit = 20;
     std::string outPath;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
@@ -212,6 +326,10 @@ main(int argc, char **argv)
             filter.cycleMax = std::strtoull(argv[++i], nullptr, 10);
         } else if (!std::strcmp(arg, "--chrome")) {
             chrome = true;
+        } else if (!std::strcmp(arg, "--strict")) {
+            strict = true;
+        } else if (!std::strcmp(arg, "--limit") && i + 1 < argc) {
+            limit = std::strtoull(argv[++i], nullptr, 10);
         } else if ((!std::strcmp(arg, "-o") ||
                     !std::strcmp(arg, "--out")) &&
                    i + 1 < argc) {
@@ -237,9 +355,9 @@ main(int argc, char **argv)
     }
 
     if (cmd == "summary")
-        return cmdSummary(paths);
+        return cmdSummary(paths, strict);
     if (cmd == "filter")
-        return cmdFilter(filter, paths);
+        return cmdFilter(filter, paths, strict);
     if (cmd == "export") {
         if (!chrome) {
             std::fprintf(stderr,
@@ -247,8 +365,10 @@ main(int argc, char **argv)
                          "(--chrome)\n");
             return 2;
         }
-        return cmdExport(outPath, paths);
+        return cmdExport(outPath, paths, strict);
     }
+    if (cmd == "lineage")
+        return cmdLineage(chrome, outPath, limit, paths, strict);
     std::fprintf(stderr, "aiecc-trace: unknown command: %s\n",
                  cmd.c_str());
     usage(stderr);

@@ -44,7 +44,12 @@ def load_artifact(path):
         die(f"{path} is not valid JSON: {e}")
     for field in ("schema_version", "bench", "results"):
         if field not in doc:
-            die(f"{path} is missing the '{field}' envelope field")
+            # Name the version we *did* find so a stale or hand-rolled
+            # artifact is diagnosable from the CI log alone.
+            version = doc.get("schema_version", "unversioned")
+            die(f"{path} (schema {version}) is missing the "
+                f"'{field}' envelope field; found: "
+                f"{sorted(doc.keys())}")
     return doc
 
 
@@ -61,9 +66,19 @@ def main():
     base = load_artifact(args.baseline)
     cur = load_artifact(args.current)
 
+    # v3 only added 'jobs' to 'options', so a v2 baseline stays
+    # comparable against a v3 artifact; anything else is a structural
+    # mismatch and both versions are spelled out for the CI log.
+    compatible = {(2, 3), (3, 2)}
     if base["schema_version"] != cur["schema_version"]:
-        die(f"schema version mismatch: baseline v{base['schema_version']} "
-            f"vs current v{cur['schema_version']}")
+        pair = (base["schema_version"], cur["schema_version"])
+        if pair not in compatible:
+            die(f"schema version mismatch: baseline "
+                f"v{base['schema_version']} vs current "
+                f"v{cur['schema_version']}")
+        print(f"note: schema versions differ but are compatible "
+              f"(baseline v{base['schema_version']}, current "
+              f"v{cur['schema_version']})")
     if base["bench"] != cur["bench"]:
         die(f"bench mismatch: baseline '{base['bench']}' "
             f"vs current '{cur['bench']}'")
@@ -88,7 +103,15 @@ def main():
     threshold = args.threshold
     base_jobs = base.get("options", {}).get("jobs")
     cur_jobs = cur.get("options", {}).get("jobs")
-    if base_jobs != cur_jobs:
+    if base_jobs is None or cur_jobs is None:
+        # Pre-v3 artifacts don't record --jobs at all; that's not a
+        # mismatch, just less information — say so and move on.
+        which = "baseline" if base_jobs is None else "current"
+        if base_jobs is None and cur_jobs is None:
+            which = "both artifacts"
+        print(f"note: {which} predate(s) schema v3 and carry no "
+              f"options.jobs; comparing at the normal threshold")
+    elif base_jobs != cur_jobs:
         threshold = max(threshold, 60.0)
         print(f"note: --jobs differs (baseline {base_jobs}, current "
               f"{cur_jobs}); threshold widened to {threshold:.0f}%")
