@@ -27,11 +27,14 @@
 #include <string>
 #include <vector>
 
+#include "aiecc/cost_model.hh"
 #include "aiecc/stack.hh"
 #include "bench_util.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "ddr4/pins.hh"
+#include "obs/coverage.hh"
+#include "obs/lineage.hh"
 #include "obs/observer.hh"
 #include "obs/profile.hh"
 #include "obs/stats.hh"
@@ -59,6 +62,13 @@ struct MixConfig
     // while still spreading traffic across every bank.
     unsigned rowSpace = 64;
     unsigned colSpace = 128;
+
+    /**
+     * Lineage stream index for fault-ID derivation: the shard number
+     * in campaign mode, 0 for the single canonical stream.  Keeps
+     * per-shard fault IDs collision-free under one ledger.
+     */
+    uint64_t lineageStream = 0;
 };
 
 struct PassResult
@@ -81,9 +91,23 @@ struct PassResult
     }
 };
 
-/** Run one pass of the access mix; @p observer may be nullptr. */
+/**
+ * Run one pass of the access mix; @p observer may be nullptr.
+ *
+ * With @p ledger attached, every corruption the live fault stream
+ * injects opens a per-fault lineage record (fault IDs derived from the
+ * mix seed, the lineage stream, and the injection ordinal) that is
+ * resolved at the end of the access it rode: Recovered / Detected when
+ * a mechanism fired, Masked otherwise (without a golden run, an
+ * undetected CA flip that changes nothing is indistinguishable from a
+ * benign one — the campaign benches own the SDC accounting).  The
+ * fault context is stamped onto every trace event the stack emits
+ * while the fault is live.  The ledger never touches the RNG streams,
+ * so hot and instrumented passes stay access-identical.
+ */
 PassResult
-runPass(const MixConfig &mix, obs::Observer *observer)
+runPass(const MixConfig &mix, obs::Observer *observer,
+        obs::LineageLedger *ledger = nullptr)
 {
     StackConfig cfg;
     cfg.mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
@@ -97,13 +121,36 @@ runPass(const MixConfig &mix, obs::Observer *observer)
     ProtectionStack stack(cfg);
 
     Rng faultRng(mix.seed ^ 0xFA017);
+    // Live-stream lineage state: one fault window open at a time;
+    // flips landing while a window is open ride the same record.
+    uint64_t faultOrdinal = 0;
+    uint64_t liveFaultId = 0;
+    Cycle liveInjectCycle = 0;
+    std::string liveFaultSite;
+    const uint64_t faultSalt =
+        mix.seed ^ obs::lineageHash("e2e-live-stream");
     if (mix.faultRate > 0.0) {
         const double rate = mix.faultRate;
         auto pins = injectablePins(cfg.mech.parPinPresent());
         stack.setPinCorruptor(
-            [rate, pins, &faultRng](uint64_t, PinWord &word) {
-                if (faultRng.chance(rate))
-                    word.flip(pins[faultRng.below(pins.size())]);
+            [rate, pins, &faultRng, &stack, &mix, ledger, faultSalt,
+             &faultOrdinal, &liveFaultId, &liveInjectCycle,
+             &liveFaultSite](uint64_t, PinWord &word) {
+                if (!faultRng.chance(rate))
+                    return;
+                const Pin pin = pins[faultRng.below(pins.size())];
+                word.flip(pin);
+                if (!ledger || liveFaultId != 0)
+                    return; // unledgered, or riding the open window
+                ++faultOrdinal;
+                liveFaultId = obs::deriveFaultId(
+                    faultSalt, mix.lineageStream, faultOrdinal);
+                liveInjectCycle = stack.controller().now();
+                liveFaultSite = pinName(pin);
+                ledger->recordInjection(liveFaultId,
+                                        obs::FaultKind::Ccca,
+                                        liveFaultSite);
+                stack.setFaultContext(liveFaultId);
             });
     }
 
@@ -131,6 +178,8 @@ runPass(const MixConfig &mix, obs::Observer *observer)
     const auto doAccess = [&](bool measured) {
         const MtbAddress addr = nextAddr();
         const bool isRead = rng.chance(mix.readFrac);
+        const uint64_t attemptsBefore = stack.recoveryStats().attempts;
+        const uint64_t recoveredBefore = stack.recoveryStats().recovered;
         const auto begin = std::chrono::steady_clock::now();
         if (isRead) {
             const ReadOutcome got = stack.read(addr);
@@ -151,6 +200,51 @@ runPass(const MixConfig &mix, obs::Observer *observer)
         if (measured) {
             out.latency.sample(ns > 0 ? static_cast<uint64_t>(ns) : 0);
             (isRead ? out.reads : out.writes) += 1;
+        }
+        // Resolve the live fault window (if one opened during this
+        // access) from what the mechanisms observably did with it.
+        if (ledger && liveFaultId != 0) {
+            uint32_t observations = 0;
+            std::string firstMech;
+            for (const DetectionEvent &ev : stack.detections()) {
+                if (ev.faultId != liveFaultId)
+                    continue;
+                ++observations;
+                if (firstMech.empty())
+                    firstMech = mechanismName(ev.mech);
+            }
+            const uint64_t attempts =
+                stack.recoveryStats().attempts - attemptsBefore;
+            const bool recovered =
+                stack.recoveryStats().recovered > recoveredBefore;
+            obs::FaultTerminal terminal = obs::FaultTerminal::Masked;
+            if (observations)
+                terminal = recovered ? obs::FaultTerminal::Recovered
+                                     : obs::FaultTerminal::Detected;
+            ledger->resolve(liveFaultId, terminal, firstMech,
+                            observations,
+                            static_cast<uint32_t>(attempts));
+            if (observer && observer->tracing()) {
+                obs::TraceEvent inj;
+                inj.kind = obs::EventKind::FaultInject;
+                inj.cycle = liveInjectCycle;
+                inj.label = liveFaultSite;
+                inj.value = faultOrdinal;
+                inj.detail = obs::faultKindName(obs::FaultKind::Ccca);
+                inj.faultId = liveFaultId;
+                observer->emit(inj);
+                obs::TraceEvent res;
+                res.kind = obs::EventKind::FaultResolve;
+                res.cycle = stack.controller().now();
+                res.label = obs::faultTerminalName(terminal);
+                res.value = attempts;
+                if (!firstMech.empty())
+                    res.detail = "first=" + firstMech;
+                res.faultId = liveFaultId;
+                observer->emit(res);
+            }
+            liveFaultId = 0;
+            stack.setFaultContext(0);
         }
         // The detection log is for campaign introspection; keep it
         // bounded on long runs.
@@ -216,13 +310,17 @@ constexpr uint64_t campaignShardSize = 25000;
 PassResult
 runCampaignPass(const MixConfig &mix, unsigned jobs,
                 obs::StatsRegistry *stats, obs::ProfileRegistry *profile,
-                obs::TraceSink *shard0Trace)
+                obs::TraceSink *shard0Trace,
+                obs::CostAccountant *cost = nullptr,
+                obs::LineageLedger *ledger = nullptr)
 {
     constexpr uint64_t shardSize = campaignShardSize;
     const uint64_t shards = shardCount(mix.accesses, shardSize);
     std::vector<PassResult> parts(shards);
     std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
     std::vector<std::unique_ptr<obs::ProfileRegistry>> shardProf(shards);
+    std::vector<std::unique_ptr<obs::CostAccountant>> shardCost(shards);
+    std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
 
     const auto begin = std::chrono::steady_clock::now();
     runShards(shards, jobs, [&](uint64_t shard) {
@@ -232,6 +330,8 @@ runCampaignPass(const MixConfig &mix, unsigned jobs,
         // One next() hop decouples the shard's access stream from the
         // raw (seed, shard) pair the derivation mixes.
         sub.seed = Rng::forStream(mix.seed, shard).next();
+        // Fault IDs stay unique across shards under one ledger.
+        sub.lineageStream = shard;
 
         obs::Observer shardObs;
         bool observed = false;
@@ -247,11 +347,26 @@ runCampaignPass(const MixConfig &mix, unsigned jobs,
             shardObs.setProfile(shardProf[shard].get());
             observed = true;
         }
+        if (cost) {
+            // Same model, private integer tallies: the shard-order
+            // merge below is bit-identical for any jobs value.
+            shardCost[shard] = std::unique_ptr<obs::CostAccountant>(
+                new obs::CostAccountant(cost->model()));
+            shardObs.setCost(shardCost[shard].get());
+            observed = true;
+        }
         if (shard == 0 && shard0Trace) {
             shardObs.addSink(shard0Trace);
             observed = true;
         }
-        parts[shard] = runPass(sub, observed ? &shardObs : nullptr);
+        obs::LineageLedger *shardLedger = nullptr;
+        if (ledger) {
+            shardLedgers[shard] = std::unique_ptr<obs::LineageLedger>(
+                new obs::LineageLedger);
+            shardLedger = shardLedgers[shard].get();
+        }
+        parts[shard] =
+            runPass(sub, observed ? &shardObs : nullptr, shardLedger);
     });
     const double wallNs = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -265,6 +380,10 @@ runCampaignPass(const MixConfig &mix, unsigned jobs,
             stats->merge(*shardStats[shard]);
         if (profile && shardProf[shard])
             profile->merge(*shardProf[shard]);
+        if (cost && shardCost[shard])
+            cost->merge(*shardCost[shard]);
+        if (ledger && shardLedgers[shard])
+            ledger->merge(*shardLedgers[shard]);
     }
     merged.elapsedNs = wallNs;
     return merged;
@@ -327,11 +446,18 @@ main(int argc, char **argv)
             : runPass(mix, nullptr);
 
     // Pass 2 — instrumented: same seeds, same stream, plus stats,
-    // profiling and the optional JSONL trace.
+    // profiling, cost attribution, per-fault lineage for the live
+    // fault stream, and the optional JSONL trace.
     obs::StatsRegistry stats;
     obs::ProfileRegistry profile;
+    obs::CostAccountant cost(
+        makeCostModel(Mechanisms::forLevel(ProtectionLevel::Aiecc)));
+    obs::LineageLedger lineage;
+    obs::LineageLedger *ledger =
+        mix.faultRate > 0.0 ? &lineage : nullptr;
     obs::Observer observer(&stats);
     observer.setProfile(&profile);
+    observer.setCost(&cost);
     std::unique_ptr<obs::JsonlTraceSink> traceSink;
     if (!opt.tracePath.empty()) {
         traceSink = std::make_unique<obs::JsonlTraceSink>(opt.tracePath);
@@ -346,8 +472,8 @@ main(int argc, char **argv)
     // and a stream a sequential shard-0 run would reproduce exactly.
     const PassResult inst =
         campaignMode ? runCampaignPass(mix, opt.jobs, &stats, &profile,
-                                       traceSink.get())
-                     : runPass(mix, &observer);
+                                       traceSink.get(), &cost, ledger)
+                     : runPass(mix, &observer, ledger);
 
     std::printf("throughput (hot pass):    %12.0f accesses/sec\n",
                 hot.accessesPerSec());
@@ -381,7 +507,26 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(traceSink->ioErrors()));
     }
 
-    bench::writeJsonArtifact(opt, "bench_e2e_throughput",
+    if (ledger) {
+        const obs::CoverageMatrix cov =
+            obs::CoverageMatrix::fromLedger(lineage);
+        const obs::CoverageMatrix::Audit audit = cov.audit();
+        std::printf("\nlive fault stream: %llu faults injected, "
+                    "%llu unaccounted, ledger digest %016llx\n",
+                    static_cast<unsigned long long>(audit.injected),
+                    static_cast<unsigned long long>(audit.unaccounted),
+                    static_cast<unsigned long long>(lineage.digest()));
+        if (!audit.ok) {
+            for (const std::string &v : audit.violations)
+                std::fprintf(stderr, "coverage audit: %s\n", v.c_str());
+            return 1;
+        }
+    }
+
+    bench::CostEntries costs;
+    costs.emplace_back("aiecc", cost);
+
+    bench::writeJsonArtifact(opt, "bench_e2e_throughput", costs, {},
                              [&](obs::JsonWriter &w) {
         w.beginObject();
         w.kv("mode", campaignMode ? "campaign" : "single_stream");
@@ -424,6 +569,10 @@ main(int argc, char **argv)
         w.kv("recovery_episodes",
              stats.counterValue("stack.recovery.episodes"));
         w.endObject();
+        if (ledger) {
+            w.key("lineage");
+            lineage.writeJson(w);
+        }
         w.endObject();
     });
     return 0;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "aiecc/cost_model.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "inject/campaign.hh"
@@ -33,6 +34,14 @@ main(int argc, char **argv)
         ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc};
     const char *levelNames[] = {"None", "DECC", "eDECC", "AIECC"};
 
+    // One cost accountant per protection level, shared by every sweep
+    // of that level: the coverage each level buys (below) against the
+    // storage/bus/latency it pays (here).
+    std::vector<obs::CostAccountant> levelCost;
+    for (ProtectionLevel level : levels)
+        levelCost.emplace_back(makeCostModel(Mechanisms::forLevel(level)));
+    CampaignStats levelTotal[4];
+
     // model -> pattern -> per-level stats, exactly as printed.
     struct PatternRow
     {
@@ -55,6 +64,7 @@ main(int argc, char **argv)
             pr.pattern = pattern;
             for (unsigned li = 0; li < 4; ++li) {
                 InjectionCampaign camp(Mechanisms::forLevel(levels[li]));
+                camp.setCostAccountant(&levelCost[li]);
                 CampaignStats stats;
                 if (std::string(model) == "1-pin")
                     stats = camp.sweepOnePin(pattern);
@@ -63,6 +73,7 @@ main(int argc, char **argv)
                 else
                     stats = camp.sweepAllPin(pattern, allPinSamples);
                 row.push_back(TextTable::pct(stats.coveredFrac()));
+                levelTotal[li].merge(stats);
                 pr.byLevel[li] = stats;
             }
             const CampaignStats &aieccStats = pr.byLevel[3];
@@ -75,8 +86,19 @@ main(int argc, char **argv)
         all.emplace_back(model, std::move(rows));
     }
 
+    // Reliability x cost over all error models and patterns together.
+    bench::CostEntries costs;
+    std::vector<bench::ParetoPoint> pareto;
+    for (unsigned li = 0; li < 4; ++li) {
+        costs.emplace_back(levelNames[li], levelCost[li]);
+        pareto.push_back(bench::ParetoPoint::of(
+            levelNames[li], "covered_frac",
+            levelTotal[li].coveredFrac(), levelCost[li]));
+    }
+    bench::printParetoTable(pareto);
+
     bench::writeJsonArtifact(
-        opt, "fig7_coverage", [&](obs::JsonWriter &w) {
+        opt, "fig7_coverage", costs, pareto, [&](obs::JsonWriter &w) {
             w.beginObject();
             w.kv("allpin_samples", allPinSamples);
             w.kv("two_pin_swept", twoPin);

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "aiecc/cost_model.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "inject/campaign.hh"
@@ -83,6 +84,14 @@ main(int argc, char **argv)
         std::vector<std::pair<std::string, std::vector<double>>>>>
         all;
 
+    // Per-component cost accountants and aggregate coverage, shared
+    // across every sweep of that component (the Pareto inputs).
+    const auto configs = componentConfigs();
+    std::vector<obs::CostAccountant> componentCost;
+    for (const auto &config : configs)
+        componentCost.emplace_back(makeCostModel(config.mech));
+    std::vector<CampaignStats> componentTotal(configs.size());
+
     for (const char *model : {"1-pin", "2-pin", "all-pin"}) {
         if (!twoPin && std::string(model) == "2-pin")
             continue;
@@ -95,11 +104,13 @@ main(int argc, char **argv)
         t.header(head);
 
         std::vector<std::pair<std::string, std::vector<double>>> rows;
-        for (const auto &config : componentConfigs()) {
+        for (size_t ci = 0; ci < configs.size(); ++ci) {
+            const auto &config = configs[ci];
             std::vector<std::string> row{config.name};
             std::vector<double> covered;
             for (CommandPattern pattern : allPatterns()) {
                 InjectionCampaign camp(config.mech);
+                camp.setCostAccountant(&componentCost[ci]);
                 CampaignStats stats;
                 if (std::string(model) == "1-pin")
                     stats = camp.sweepOnePin(pattern);
@@ -108,6 +119,7 @@ main(int argc, char **argv)
                 else
                     stats = camp.sweepAllPin(pattern, allPinSamples);
                 row.push_back(TextTable::pct(stats.coveredFrac()));
+                componentTotal[ci].merge(stats);
                 covered.push_back(stats.coveredFrac());
             }
             t.row(row);
@@ -117,8 +129,18 @@ main(int argc, char **argv)
         all.emplace_back(model, std::move(rows));
     }
 
+    bench::CostEntries costs;
+    std::vector<bench::ParetoPoint> pareto;
+    for (size_t ci = 0; ci < configs.size(); ++ci) {
+        costs.emplace_back(configs[ci].name, componentCost[ci]);
+        pareto.push_back(bench::ParetoPoint::of(
+            configs[ci].name, "covered_frac",
+            componentTotal[ci].coveredFrac(), componentCost[ci]));
+    }
+    bench::printParetoTable(pareto);
+
     bench::writeJsonArtifact(
-        opt, "fig8_components", [&](obs::JsonWriter &w) {
+        opt, "fig8_components", costs, pareto, [&](obs::JsonWriter &w) {
             w.beginObject();
             w.kv("allpin_samples", allPinSamples);
             w.key("models");

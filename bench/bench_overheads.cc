@@ -7,9 +7,11 @@
 
 #include <cstdio>
 
+#include "aiecc/cost_model.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "hwmodel/gate_model.hh"
+#include "inject/campaign.hh"
 
 using namespace aiecc;
 
@@ -31,8 +33,32 @@ main(int argc, char **argv)
     }
     std::printf("%s\n", t.str().c_str());
 
+    // The other overhead axis: per-access protection cost attributed
+    // by level, from a 1-pin sweep over every command pattern per
+    // protection level.  The same trials yield the coverage metric,
+    // so each level is one reliability x cost Pareto point.
+    const ProtectionLevel levels[] = {
+        ProtectionLevel::None, ProtectionLevel::Ddr4Decc,
+        ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc};
+    const char *levelNames[] = {"None", "DECC", "eDECC", "AIECC"};
+    bench::CostEntries costs;
+    std::vector<bench::ParetoPoint> pareto;
+    for (unsigned li = 0; li < 4; ++li) {
+        const Mechanisms mech = Mechanisms::forLevel(levels[li]);
+        obs::CostAccountant acct(makeCostModel(mech));
+        InjectionCampaign camp(mech);
+        camp.setCostAccountant(&acct);
+        CampaignStats stats;
+        for (CommandPattern pattern : allPatterns())
+            stats.merge(camp.sweepOnePin(pattern, opt.jobs));
+        costs.emplace_back(levelNames[li], acct);
+        pareto.push_back(bench::ParetoPoint::of(
+            levelNames[li], "covered_frac", stats.coveredFrac(), acct));
+    }
+    bench::printParetoTable(pareto);
+
     bench::writeJsonArtifact(
-        opt, "overheads", [&](obs::JsonWriter &w) {
+        opt, "overheads", costs, pareto, [&](obs::JsonWriter &w) {
             w.beginArray();
             for (const auto &e : model.all()) {
                 w.beginObject();

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <map>
 
+#include "aiecc/cost_model.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "inject/campaign.hh"
@@ -53,14 +54,24 @@ main(int argc, char **argv)
     // unprotected and AIECC sweeps can share it without collisions.
     obs::LineageLedger lineage;
 
-    InjectionCampaign camp(Mechanisms::forLevel(ProtectionLevel::None));
+    // Per-configuration cost accountants: what each protection level
+    // pays for what it catches (the other Pareto axis).
+    const Mechanisms noneMech =
+        Mechanisms::forLevel(ProtectionLevel::None);
+    obs::CostAccountant noneCost(makeCostModel(noneMech));
+
+    InjectionCampaign camp(noneMech);
     camp.setLineageLedger(&lineage);
+    camp.setCostAccountant(&noneCost);
 
     // Collect results per pin per pattern.
+    CampaignStats noneStats;
     std::map<Pin, std::map<CommandPattern, TrialResult>> grid;
     for (CommandPattern pattern : allPatterns()) {
-        for (auto &[pin, result] : camp.perPinResults(pattern, jobs))
+        for (auto &[pin, result] : camp.perPinResults(pattern, jobs)) {
+            noneStats.add(result);
             grid[pin][pattern] = result;
+        }
     }
 
     TextTable t;
@@ -94,9 +105,11 @@ main(int argc, char **argv)
 
     const Mechanisms aieccMech =
         Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    obs::CostAccountant aieccCost(makeCostModel(aieccMech));
     InjectionCampaign aiecc(aieccMech);
     aiecc.setRecoveryConfig(rc);
     aiecc.setLineageLedger(&lineage);
+    aiecc.setCostAccountant(&aieccCost);
     std::map<CommandPattern, CampaignStats> recStats;
     for (CommandPattern pattern : allPatterns()) {
         std::vector<PinError> errors;
@@ -151,8 +164,23 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(audit.unaccounted),
                 static_cast<unsigned long long>(lineage.digest()));
 
+    // Reliability x cost: coverage of each configuration against what
+    // its protected traffic cost, from the same trials.
+    CampaignStats aieccTotal;
+    for (const auto &[pattern, s] : recStats)
+        aieccTotal.merge(s);
+    bench::CostEntries costs;
+    costs.emplace_back("none", noneCost);
+    costs.emplace_back("aiecc", aieccCost);
+    std::vector<bench::ParetoPoint> pareto{
+        bench::ParetoPoint::of("none", "covered_frac",
+                               noneStats.coveredFrac(), noneCost),
+        bench::ParetoPoint::of("aiecc", "covered_frac",
+                               aieccTotal.coveredFrac(), aieccCost)};
+    bench::printParetoTable(pareto);
+
     bench::writeJsonArtifact(
-        opt, "table2_impact", [&](obs::JsonWriter &w) {
+        opt, "table2_impact", costs, pareto, [&](obs::JsonWriter &w) {
             w.beginObject();
             w.key("impact");
             w.beginObject();

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "aiecc/cost_model.hh"
 #include "bench_util.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
@@ -86,6 +87,19 @@ main(int argc, char **argv)
     // all 11 injecting cells coexist without collisions.
     obs::LineageLedger lineage;
 
+    // One cost accountant per scheme, accumulated across every cell:
+    // each trial bills its write, demand read, codec work, and any
+    // retry re-reads (recovery-billed) to the scheme under test.
+    obs::Observer costObs[4];
+    std::vector<obs::CostAccountant> schemeCost;
+    for (unsigned si = 0; si < 4; ++si) {
+        Mechanisms mech;
+        mech.ecc = schemes[si];
+        schemeCost.emplace_back(makeCostModel(mech));
+    }
+    for (unsigned si = 0; si < 4; ++si)
+        costObs[si].setCost(&schemeCost[si]);
+
     const auto begin = std::chrono::steady_clock::now();
     TextTable t;
     t.header({"data err", "addr err", "QPC", "QPC+Azul", "QPC+eDECC-t",
@@ -101,6 +115,7 @@ main(int argc, char **argv)
             for (unsigned si = 0; si < 4; ++si) {
                 DataMonteCarlo mc(schemes[si]);
                 mc.setLineageLedger(&lineage);
+                mc.setObserver(&costObs[si]);
                 res.bySch[si] = mc.runCellSharded(dm, am, trials, plan);
                 row.push_back(cellText(res.bySch[si]));
             }
@@ -130,8 +145,23 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(audit.unaccounted),
                 static_cast<unsigned long long>(lineage.digest()));
 
+    // Reliability x cost: each scheme's aggregate SDC-free fraction
+    // over the injecting cells against what its protection cost.
+    bench::CostEntries costs;
+    std::vector<bench::ParetoPoint> pareto;
+    for (unsigned si = 0; si < 4; ++si) {
+        MonteCarloCell agg;
+        for (const auto &res : results)
+            agg.merge(res.bySch[si]);
+        costs.emplace_back(schemeNames[si], schemeCost[si]);
+        pareto.push_back(bench::ParetoPoint::of(
+            schemeNames[si], "sdc_free_frac", 1.0 - agg.sdcFrac(),
+            schemeCost[si]));
+    }
+    bench::printParetoTable(pareto);
+
     bench::writeJsonArtifact(
-        opt, "table3_data", [&](obs::JsonWriter &w) {
+        opt, "table3_data", costs, pareto, [&](obs::JsonWriter &w) {
             w.beginObject();
             w.kv("trials_per_cell", trials);
             w.kv("jobs_resolved", jobs);

@@ -13,7 +13,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/cost.hh"
 #include "obs/json.hh"
 
 namespace aiecc
@@ -30,8 +33,10 @@ namespace bench
  * v1: {bench, options, results} (implicit, unversioned)
  * v2: adds "schema_version" to the envelope
  * v3: adds "jobs" (worker-thread request, 0 = auto) to "options"
+ * v4: adds the top-level "cost" section (per-configuration protection
+ *     cost attribution, obs/cost.hh) next to "results"
  */
-constexpr int artifactSchemaVersion = 3;
+constexpr int artifactSchemaVersion = 4;
 
 /** Common bench options. */
 struct Options
@@ -188,26 +193,141 @@ beginJsonArtifact(obs::JsonWriter &w, const Options &opt,
 }
 
 /**
+ * Labeled protection-cost accountants a bench accumulated, one per
+ * configuration (scheme, protection level, ...) it ran.  Becomes the
+ * artifact's "cost" section and the Pareto table's cost axis.
+ */
+using CostEntries =
+    std::vector<std::pair<std::string, obs::CostAccountant>>;
+
+/**
+ * Enforce the conservation invariant on every accumulated accountant:
+ * per category, total == Σ per-level, all recovery scopes closed.  A
+ * violation is an accounting bug, not a measurement — print it and
+ * exit nonzero so CI artifacts can never carry silently-broken cost
+ * numbers.
+ */
+inline void
+auditCostsOrDie(const CostEntries &costs)
+{
+    bool ok = true;
+    for (const auto &[label, acct] : costs) {
+        const obs::CostAccountant::Audit verdict = acct.audit();
+        if (verdict.ok)
+            continue;
+        ok = false;
+        for (const std::string &violation : verdict.violations) {
+            std::fprintf(stderr,
+                         "cost conservation violated [%s]: %s\n",
+                         label.c_str(), violation.c_str());
+        }
+    }
+    if (!ok)
+        std::exit(1);
+}
+
+/** Emit the "cost" member: one attribution object per configuration. */
+inline void
+writeCostSection(obs::JsonWriter &w, const CostEntries &costs)
+{
+    w.key("cost");
+    w.beginObject();
+    for (const auto &[label, acct] : costs) {
+        w.key(label);
+        acct.writeJson(w);
+    }
+    w.endObject();
+}
+
+/**
+ * One reliability×cost Pareto point: a configuration's reliability
+ * metric next to its three derived cost-overhead axes.
+ */
+struct ParetoPoint
+{
+    std::string config;
+    std::string metricName; ///< e.g. "covered_frac", "sdc_frac"
+    double metric = 0.0;
+    double storagePct = 0.0;
+    double busPct = 0.0;
+    double latencyNs = 0.0;
+
+    static ParetoPoint
+    of(const std::string &config, const std::string &metricName,
+       double metric, const obs::CostAccountant &acct)
+    {
+        return {config,           metricName,
+                metric,           acct.storageOverheadPct(),
+                acct.busOverheadPct(), acct.latencyNsPerAccess()};
+    }
+};
+
+/** Print the Pareto table to stdout (the committed-artifact view). */
+inline void
+printParetoTable(const std::vector<ParetoPoint> &points)
+{
+    if (points.empty())
+        return;
+    std::printf("\nReliability x cost Pareto (%s):\n",
+                points.front().metricName.c_str());
+    std::printf("  %-26s %12s %12s %10s %12s\n", "config",
+                points.front().metricName.c_str(), "storage_%",
+                "bus_%", "latency_ns");
+    for (const ParetoPoint &p : points) {
+        std::printf("  %-26s %12.6f %12.3f %10.3f %12.3f\n",
+                    p.config.c_str(), p.metric, p.storagePct, p.busPct,
+                    p.latencyNs);
+    }
+}
+
+/** Emit the "pareto" member: the table as a JSON array. */
+inline void
+writeParetoSection(obs::JsonWriter &w,
+                   const std::vector<ParetoPoint> &points)
+{
+    w.key("pareto");
+    w.beginArray();
+    for (const ParetoPoint &p : points) {
+        w.beginObject();
+        w.kv("config", p.config);
+        w.kv("metric", p.metricName);
+        w.kv("reliability", p.metric);
+        w.kv("storage_overhead_pct", p.storagePct);
+        w.kv("bus_overhead_pct", p.busPct);
+        w.kv("latency_ns_per_access", p.latencyNs);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+/**
  * Write the bench's JSON artifact if --json was given.
  *
  * The artifact shape is shared by every bench:
  * @code
  *   { "schema_version": N, "bench": "...", "options": {...},
- *     "results": <fill's output> }
+ *     "results": <fill's output>, "cost": {...}[, "pareto": [...]] }
  * @endcode
  * @p fill receives the writer positioned at the "results" member and
- * must emit exactly one value (object/array/scalar).
+ * must emit exactly one value (object/array/scalar).  @p costs is
+ * audited first (exit 1 on a conservation violation) and becomes the
+ * "cost" section; @p pareto, when nonempty, the "pareto" table.
  */
 template <typename FillFn>
 inline void
 writeJsonArtifact(const Options &opt, const std::string &benchName,
-                  FillFn &&fill)
+                  const CostEntries &costs,
+                  const std::vector<ParetoPoint> &pareto, FillFn &&fill)
 {
+    auditCostsOrDie(costs);
     if (opt.jsonPath.empty())
         return;
     obs::JsonWriter w;
     beginJsonArtifact(w, opt, benchName);
     fill(w);
+    writeCostSection(w, costs);
+    if (!pareto.empty())
+        writeParetoSection(w, pareto);
     w.endObject();
     if (!w.writeFile(opt.jsonPath)) {
         std::fprintf(stderr, "cannot write JSON artifact: %s\n",
@@ -215,6 +335,16 @@ writeJsonArtifact(const Options &opt, const std::string &benchName,
         std::exit(1);
     }
     std::printf("JSON artifact written to %s\n", opt.jsonPath.c_str());
+}
+
+/** Artifact without cost entries (a bench that models no traffic). */
+template <typename FillFn>
+inline void
+writeJsonArtifact(const Options &opt, const std::string &benchName,
+                  FillFn &&fill)
+{
+    writeJsonArtifact(opt, benchName, CostEntries{}, {},
+                      std::forward<FillFn>(fill));
 }
 
 } // namespace bench

@@ -1,0 +1,83 @@
+#include "aiecc/cost_model.hh"
+
+#include "ddr4/burst.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+// Modeled compute rates, after the Ramulator2 ECC plugin's per-byte
+// latency parameters (ECC_COMPUTE_PER_BYTE_NS = 0.02,
+// EDC_COMPUTE_PER_BYTE_NS = 0.01), in integer picoseconds per byte.
+constexpr uint64_t eccComputePsPerByte = 20;
+constexpr uint64_t crcComputePsPerByte = 10;
+
+// DDR4-2400 command clock: 1200 MHz, 833 ps per cycle.
+constexpr uint64_t ddr4TckPs = 833;
+
+// CA-parity XOR tree spans one ~32-bit command pin word.
+constexpr uint64_t caPinWordBytes = 4;
+
+// CSTC per-edge work: FSM transition plus one timing-table check,
+// modeled as 50 ps (well under a command clock — the checker runs in
+// parallel with the command pipeline).
+constexpr uint64_t cstcCheckPs = 50;
+
+} // namespace
+
+obs::CostModel
+makeCostModel(const Mechanisms &mech)
+{
+    obs::CostModel m;
+    m.caParity = mech.parity != ParityMode::Off;
+    m.extendedCa = mech.parity == ParityMode::ECap;
+    m.wcrc = mech.wcrc != WcrcMode::Off;
+    m.extendedWcrc = mech.wcrc == WcrcMode::DataAddress;
+    m.cstc = mech.cstc;
+    m.tckPs = ddr4TckPs;
+    m.dataBusBitsPerAccess = Burst::dataBits;
+
+    if (auto codec = makeEcc(mech.ecc)) {
+        m.dataEcc = true;
+        m.addrEcc = codec->protectsAddress();
+        m.eccName = codec->name();
+        m.eccStorageBitsPerBlock = codec->redundancyBits();
+        // The 8 check pins toggle on every beat of every data access.
+        m.eccBusBitsPerAccess = Burst::checkPins * Burst::numBeats;
+        m.eccEncodePsPerWrite =
+            eccComputePsPerByte * (Burst::dataBits / 8);
+        m.eccDecodePsPerRead = m.eccEncodePsPerWrite;
+        // eDECC folds the 32-bit MTB address into the codeword: four
+        // extra covered bytes per encode/decode, zero extra bits.
+        if (m.addrEcc)
+            m.addrFoldPsPerAccess = eccComputePsPerByte * 4;
+    }
+
+    if (m.caParity) {
+        // One PAR pin bit rides every command edge.
+        m.caBusBitsPerCommand = 1;
+        m.caParityPsPerCommand = crcComputePsPerByte * caPinWordBytes;
+    }
+
+    if (m.wcrc) {
+        // JEDEC write CRC extends the burst BL8 -> BL10: two extra
+        // beats across all 72 DQ pins per write.
+        m.wcrcBusBitsPerWrite = Burst::numPins * 2;
+        // The CRC covers each chip's 32-bit lane (72 B per burst);
+        // eWCRC additionally folds the 32-bit MTB address into every
+        // chip's CRC (18 x 4 further covered bytes).
+        uint64_t coveredBytes = Burst::numChips * 4;
+        if (m.extendedWcrc)
+            coveredBytes += Burst::numChips * 4;
+        m.wcrcComputePsPerWrite = crcComputePsPerByte * coveredBytes;
+    }
+
+    if (m.cstc)
+        m.cstcCheckPsPerCommand = cstcCheckPs;
+
+    return m;
+}
+
+} // namespace aiecc

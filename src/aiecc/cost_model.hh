@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Cost-model derivation: turn a Mechanisms configuration into the
+ * obs::CostModel parameter set the CostAccountant charges from.
+ *
+ * The parameters follow the Ramulator2 ECC-plugin convention of
+ * modeled nanoseconds per protected byte (encode 0.02 ns/B, CRC
+ * 0.01 ns/B), expressed here in integer picoseconds so attribution
+ * and sharded merges stay exact; bus quantities come straight from
+ * the DDR4 burst geometry (ddr4/burst.hh) and the JEDEC write-CRC
+ * burst extension.  DESIGN.md §11 documents every constant.
+ */
+
+#ifndef AIECC_AIECC_COST_MODEL_HH
+#define AIECC_AIECC_COST_MODEL_HH
+
+#include "aiecc/mechanisms.hh"
+#include "obs/cost.hh"
+
+namespace aiecc
+{
+
+/**
+ * Derive the per-level cost parameters of one mechanism set.
+ *
+ * A pure function of the configuration: two calls with equal
+ * Mechanisms produce operator==-equal models, which is what lets
+ * sharded accountants assert model equality at merge time.
+ */
+obs::CostModel makeCostModel(const Mechanisms &mech);
+
+} // namespace aiecc
+
+#endif // AIECC_AIECC_COST_MODEL_HH

@@ -192,6 +192,8 @@ ProtectionStack::drainReadFifo()
 void
 ProtectionStack::backoff(Cycle cycles)
 {
+    if (obs::CostAccountant *cost = costAcct())
+        cost->onBackoff(cycles);
     ctrl->idle(cycles);
 }
 
@@ -240,6 +242,8 @@ ProtectionStack::reissueRead(const MtbAddress &addr)
     // logged, and a still-broken reissue is an attempt failure, not a
     // fresh event.
     obs::ScopedTimer timeDecode(oc.tEccDecode);
+    if (obs::CostAccountant *cost = costAcct())
+        cost->onEccDecode();
     const EccResult ecc =
         codec->decode(*res.readBurst, addr.pack(cfg.geom));
     if (ecc.status == EccStatus::Uncorrectable || ecc.addressError)
@@ -304,17 +308,23 @@ ProtectionStack::tickPatrol()
     patrolCursor %= addrs.size();
     const MtbAddress addr = addrs[patrolCursor++];
     inPatrol = true;
-    const ReadOutcome out = read(addr);
-    bool scrubbed = false;
-    if (out.corrected && !out.due) {
-        // scrubOnCorrection already wrote the block back inside the
-        // read; otherwise the patrol performs the write-back itself.
-        if (!cfg.scrubOnCorrection)
-            write(addr, out.data);
-        scrubbed = true;
+    {
+        // Patrol traffic exists only for protection: bill the whole
+        // sweep (read and any write-back) to the recovery level.
+        obs::ScopedRecoveryCost billPatrol(costAcct());
+        const ReadOutcome out = read(addr);
+        bool scrubbed = false;
+        if (out.corrected && !out.due) {
+            // scrubOnCorrection already wrote the block back inside
+            // the read; otherwise the patrol performs the write-back
+            // itself.
+            if (!cfg.scrubOnCorrection)
+                write(addr, out.data);
+            scrubbed = true;
+        }
+        inPatrol = false;
+        rec->notePatrol(addr, scrubbed, ctrl->now());
     }
-    inPatrol = false;
-    rec->notePatrol(addr, scrubbed, ctrl->now());
 }
 
 Burst
@@ -325,6 +335,8 @@ ProtectionStack::encodeWrite(const MtbAddress &addr,
                  "write payload must be " << Burst::dataBits << " bits");
     if (codec) {
         obs::ScopedTimer timeEncode(oc.tEccEncode);
+        if (obs::CostAccountant *cost = costAcct())
+            cost->onEccEncode();
         return codec->encode(data, addr.pack(cfg.geom));
     }
     Burst raw;
@@ -379,6 +391,8 @@ ProtectionStack::issueRd(const MtbAddress &addr)
         EccResult ecc;
         {
             obs::ScopedTimer timeDecode(oc.tEccDecode);
+            if (obs::CostAccountant *cost = costAcct())
+                cost->onEccDecode();
             ecc = codec->decode(*res.readBurst, addr.pack(cfg.geom));
         }
         out.data = ecc.data;
@@ -407,7 +421,10 @@ ProtectionStack::issueRd(const MtbAddress &addr)
             if (scrub) {
                 // Redirect scrubbing (§V-D): write the corrected block
                 // back so the transient flip cannot combine with a
-                // later one into an uncorrectable pattern.
+                // later one into an uncorrectable pattern.  The
+                // write-back is extra traffic the fault caused, so it
+                // bills to the recovery cost level in full.
+                obs::ScopedRecoveryCost billScrub(costAcct());
                 issueWr(addr, out.data);
                 ++scrubs;
                 if (cfg.observer) {

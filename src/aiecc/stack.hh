@@ -198,6 +198,13 @@ class ProtectionStack : private RecoveryPort
     /** Controller-side row bookkeeping for the high-level interface. */
     std::vector<int> hlOpenRow; ///< -1 = closed
 
+    /** Cost attribution hookup (nullptr = accounting off). */
+    obs::CostAccountant *
+    costAcct() const
+    {
+        return cfg.observer ? cfg.observer->cost() : nullptr;
+    }
+
     /** Translate newly-raised device alerts into detection events. */
     void drainAlerts();
 

@@ -172,6 +172,13 @@ MemController::issue(const Command &cmd, const std::optional<Burst> &data)
     if (obsHook) {
         if (oc.commands)
             ++*oc.commands;
+        // Cost attribution (obs/cost.hh): bill this edge's protection
+        // overhead — CA parity and CSTC per edge, WCRC per write, ECC
+        // check-bit transfer per data access.
+        if (obs::CostAccountant *cost = obsHook->cost()) {
+            cost->onCommand(cmd.type == CmdType::Wr,
+                            cmd.type == CmdType::Rd);
+        }
         obsHook->emit(obs::EventKind::CommandIssued, cycle,
                       cmdName(cmd.type), cmdIndex);
         if (!(pins == intended)) {

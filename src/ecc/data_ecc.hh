@@ -93,6 +93,15 @@ class DataEcc
 
     /** True if address errors are diagnosed (wrong address recovered). */
     virtual bool preciseDiagnosis() const = 0;
+
+    /**
+     * Redundancy bits resident per stored block (the storage side of
+     * the cost model).  Every organization here fills all 64 check
+     * bits of the burst; the address-extended variants reuse those
+     * same bits, which is exactly the paper's zero-extra-storage
+     * argument for eDECC.
+     */
+    virtual unsigned redundancyBits() const { return Burst::checkBits; }
 };
 
 } // namespace aiecc

@@ -438,7 +438,18 @@ InjectionCampaign::runTrial(CommandPattern pattern, const PinError &error)
                      << mech.describe());
 
     // ---- Faulty run. ----
-    ProtectionStack faulty(cfg);
+    // Cost accounting observes the faulty (protected) run only: its
+    // traffic — setup, the pattern, verification, and any in-band
+    // recovery the fault triggers — is the per-trial protection cost.
+    // The observer carries nothing but the accountant, so the stack
+    // resolves no counters and emits into no sinks.
+    obs::Observer costObs;
+    StackConfig faultyCfg = cfg;
+    if (costAcct) {
+        costObs.setCost(costAcct);
+        faultyCfg.observer = &costObs;
+    }
+    ProtectionStack faulty(faultyCfg);
     setupWorkingSet(faulty, pattern);
     faulty.clearDetections();
 
@@ -689,6 +700,7 @@ InjectionCampaign::runTrials(CommandPattern pattern,
     std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
     std::vector<std::unique_ptr<obs::VectorTraceSink>> shardTraces(shards);
     std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
+    std::vector<std::unique_ptr<obs::CostAccountant>> shardCost(shards);
 
     runShards(shards, jobs, [&](uint64_t shard) {
         const uint64_t begin = shard * shardSize;
@@ -722,6 +734,13 @@ InjectionCampaign::runTrials(CommandPattern pattern,
                 new obs::LineageLedger);
             worker.ledger = shardLedgers[shard].get();
         }
+        if (costAcct) {
+            // Same model, private integer tallies: the shard-order
+            // merge below reproduces the sequential totals exactly.
+            shardCost[shard] = std::unique_ptr<obs::CostAccountant>(
+                new obs::CostAccountant(costAcct->model()));
+            worker.costAcct = shardCost[shard].get();
+        }
 
         for (uint64_t i = 0; i < n; ++i) {
             results[begin + i] =
@@ -746,6 +765,8 @@ InjectionCampaign::runTrials(CommandPattern pattern,
         }
         if (shardLedgers[shard])
             ledger->merge(*shardLedgers[shard]);
+        if (shardCost[shard])
+            costAcct->merge(*shardCost[shard]);
     }
     return results;
 }

@@ -239,6 +239,22 @@ class InjectionCampaign
         ledger = lineage;
     }
 
+    /**
+     * Attach a protection-cost accountant (nullptr detaches).  Each
+     * trial's *faulty* stack then runs under a trial-local observer
+     * carrying only the accountant, so every command edge, ECC
+     * encode/decode and recovery episode of the protected run is
+     * billed per level (obs/cost.hh) — the golden run stays unbilled
+     * (it exists only as a comparison oracle), and campaign-level
+     * stats/traces are unaffected.  runTrials() gives each shard a
+     * private accountant over the same model and merges them in shard
+     * order, so cost output is bit-identical for any jobs value.
+     */
+    void setCostAccountant(obs::CostAccountant *accountant)
+    {
+        costAcct = accountant;
+    }
+
     /** Run one trial: inject @p error into @p pattern's target edge. */
     TrialResult runTrial(CommandPattern pattern, const PinError &error);
 
@@ -292,6 +308,7 @@ class InjectionCampaign
     CampaignCounters oc;
     uint64_t trialIndex = 0;
     obs::LineageLedger *ledger = nullptr;
+    obs::CostAccountant *costAcct = nullptr;
 };
 
 } // namespace aiecc

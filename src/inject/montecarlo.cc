@@ -124,11 +124,24 @@ DataMonteCarlo::setObserver(obs::Observer *observer)
 DataOutcome
 DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
 {
+    return runTrialDetailed(dataErr, addrErr).outcome;
+}
+
+DataMonteCarlo::TrialDetail
+DataMonteCarlo::runTrialDetailed(DataErrorModel dataErr,
+                                 AddrErrorModel addrErr)
+{
+    obs::CostAccountant *cost = obsHandle ? obsHandle->cost() : nullptr;
+
     // Encode a random payload under a random write address.
     const uint32_t addrW = static_cast<uint32_t>(rng.next());
     BitVec data(Burst::dataBits);
     for (size_t i = 0; i < data.size(); i += 64)
         data.setField(i, 64, rng.next());
+    if (cost) {
+        cost->onCommand(/*isWrite=*/true, /*isRead=*/false);
+        cost->onEccEncode();
+    }
     Burst burst = ecc->encode(data, addrW);
 
     // Inject the data-error pattern.
@@ -172,15 +185,23 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
         break;
     }
 
+    if (cost) {
+        cost->onCommand(/*isWrite=*/false, /*isRead=*/true);
+        cost->onEccDecode();
+    }
     const EccResult res = ecc->decode(burst, addrR);
     const bool addrMismatch = addrR != addrW;
 
-    const auto classified = [this](DataOutcome outcome) {
+    // Re-read attempts the retry episode spends, surfaced to the
+    // caller (and into lineage ledgers) through TrialDetail.
+    unsigned attemptsUsed = 0;
+
+    const auto classified = [&](DataOutcome outcome) {
         if (oc.trials) {
             ++*oc.trials;
             ++*oc.byOutcome[static_cast<unsigned>(outcome)];
         }
-        return outcome;
+        return TrialDetail{outcome, attemptsUsed};
     };
 
     // Bounded command retry (§IV-G): every attempt re-transmits the
@@ -191,13 +212,21 @@ DataMonteCarlo::runTrial(DataErrorModel dataErr, AddrErrorModel addrErr)
     // success ends the episode — the consumer accepts that payload,
     // right or wrong; an attempt that is still flagged burns budget.
     const auto retryLoop = [&](bool plus) {
+        // Everything in here is extra traffic caused by the detection:
+        // bill the re-reads under the recovery level, not demand.
+        obs::ScopedRecoveryCost billRetry(cost);
         for (unsigned attempt = 1; attempt <= retry.maxAttempts;
              ++attempt) {
+            ++attemptsUsed;
             if (oc.retryAttempts)
                 ++*oc.retryAttempts;
             const bool persists = retry.persistProb > 0.0 &&
                                   rng.chance(retry.persistProb);
             const uint32_t addrAttempt = persists ? addrR : addrW;
+            if (cost) {
+                cost->onCommand(/*isWrite=*/false, /*isRead=*/true);
+                cost->onEccDecode();
+            }
             const EccResult again = ecc->decode(burst, addrAttempt);
             switch (again.status) {
               case EccStatus::Clean:
@@ -264,8 +293,9 @@ void
 DataMonteCarlo::recordLineage(obs::LineageLedger &led,
                               DataErrorModel dataErr,
                               AddrErrorModel addrErr, uint64_t trial,
-                              DataOutcome outcome) const
+                              const TrialDetail &detail) const
 {
+    const DataOutcome outcome = detail.outcome;
     const bool data = dataErr != DataErrorModel::None;
     const bool addr = addrErr != AddrErrorModel::None;
     if (!data && !addr)
@@ -309,7 +339,7 @@ DataMonteCarlo::recordLineage(obs::LineageLedger &led,
         break;
     }
     led.resolve(faultId, terminal, flagged ? ecc->name() : "",
-                flagged ? 1u : 0u, 0u);
+                flagged ? 1u : 0u, detail.attempts);
 }
 
 MonteCarloCell
@@ -318,10 +348,10 @@ DataMonteCarlo::runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
 {
     MonteCarloCell cell;
     for (uint64_t i = 0; i < trials; ++i) {
-        const DataOutcome outcome = runTrial(dataErr, addrErr);
-        cell.add(outcome);
+        const TrialDetail detail = runTrialDetailed(dataErr, addrErr);
+        cell.add(detail.outcome);
         if (ledger)
-            recordLineage(*ledger, dataErr, addrErr, i, outcome);
+            recordLineage(*ledger, dataErr, addrErr, i, detail);
     }
     AIECC_INFORM("Monte-Carlo cell " << ecc->name() << " / "
                                      << dataErrorName(dataErr) << " / "
@@ -348,10 +378,13 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
 
     obs::StatsRegistry *parentStats =
         obsHandle ? obsHandle->stats() : nullptr;
+    obs::CostAccountant *parentCost =
+        obsHandle ? obsHandle->cost() : nullptr;
 
     std::vector<MonteCarloCell> cells(shards);
     std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
     std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
+    std::vector<std::unique_ptr<obs::CostAccountant>> shardCost(shards);
 
     runShards(shards, plan.jobs, [&](uint64_t shard) {
         // A fully private evaluator per shard: own codec tables, own
@@ -366,8 +399,16 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
             shardStats[shard] =
                 std::unique_ptr<obs::StatsRegistry>(new obs::StatsRegistry);
             shardObs.setStats(shardStats[shard].get());
-            worker.setObserver(&shardObs);
         }
+        if (parentCost) {
+            // Same model, private tallies: integer units make the
+            // shard-order merge bit-identical for any jobs value.
+            shardCost[shard] = std::unique_ptr<obs::CostAccountant>(
+                new obs::CostAccountant(parentCost->model()));
+            shardObs.setCost(shardCost[shard].get());
+        }
+        if (parentStats || parentCost)
+            worker.setObserver(&shardObs);
 
         obs::LineageLedger *shardLedger = nullptr;
         if (ledger) {
@@ -379,14 +420,15 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
         const uint64_t begin = shard * plan.shardSize;
         const uint64_t n = shardLength(trials, plan.shardSize, shard);
         for (uint64_t i = 0; i < n; ++i) {
-            const DataOutcome outcome = worker.runTrial(dataErr, addrErr);
-            cells[shard].add(outcome);
+            const TrialDetail detail =
+                worker.runTrialDetailed(dataErr, addrErr);
+            cells[shard].add(detail.outcome);
             if (shardLedger) {
                 // Fault IDs come from the parent configuration and
                 // the trial's global (shard-major) index — never from
                 // the worker count.
                 recordLineage(*shardLedger, dataErr, addrErr, begin + i,
-                              outcome);
+                              detail);
             }
         }
     });
@@ -396,6 +438,8 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
         cell.merge(cells[shard]);
         if (parentStats && shardStats[shard])
             parentStats->merge(*shardStats[shard]);
+        if (parentCost && shardCost[shard])
+            parentCost->merge(*shardCost[shard]);
         if (shardLedgers[shard])
             ledger->merge(*shardLedgers[shard]);
     }

@@ -162,8 +162,28 @@ class DataMonteCarlo
         ledger = lineage;
     }
 
+    /**
+     * One trial's full record: the classification plus the re-read
+     * attempts its retry episode spent (0 when no retry ran).
+     */
+    struct TrialDetail
+    {
+        DataOutcome outcome = DataOutcome::NoError;
+        unsigned attempts = 0;
+    };
+
     /** Run one trial; returns the outcome classification. */
     DataOutcome runTrial(DataErrorModel dataErr, AddrErrorModel addrErr);
+
+    /**
+     * Run one trial and report the retry depth alongside the
+     * classification.  runTrial() is this minus the detail — both are
+     * pure in the same sense (same RNG draw sequence, no hidden
+     * state), so ledger records can carry real attempt counts without
+     * changing any caller of the plain form.
+     */
+    TrialDetail runTrialDetailed(DataErrorModel dataErr,
+                                 AddrErrorModel addrErr);
 
     /** Run @p trials trials of one Table III cell. */
     MonteCarloCell runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
@@ -205,7 +225,7 @@ class DataMonteCarlo
     /** Open-and-resolve one trial's lineage record into @p led. */
     void recordLineage(obs::LineageLedger &led, DataErrorModel dataErr,
                        AddrErrorModel addrErr, uint64_t trial,
-                       DataOutcome outcome) const;
+                       const TrialDetail &detail) const;
 };
 
 } // namespace aiecc

@@ -3,8 +3,8 @@
  * The Observer handle the simulation models carry.
  *
  * An Observer bundles an optional StatsRegistry, an optional
- * wall-clock ProfileRegistry, and any number of TraceSinks.  Models
- * hold a plain `Observer *` (nullptr = fully
+ * wall-clock ProfileRegistry, an optional CostAccountant, and any
+ * number of TraceSinks.  Models hold a plain `Observer *` (nullptr = fully
  * disabled): the null check is the only cost on the hot path, and
  * producers pre-resolve their Counters at construction so enabled
  * operation stays allocation- and lookup-free per event.
@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "obs/cost.hh"
 #include "obs/profile.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
@@ -37,6 +38,13 @@ class Observer
     /** Attach wall-clock profiling (nullptr = profiling off). */
     void setProfile(ProfileRegistry *registry) { prof = registry; }
     ProfileRegistry *profile() const { return prof; }
+
+    /**
+     * Attach per-access cost attribution (nullptr = accounting off).
+     * Producers test the pointer per event, exactly like stats.
+     */
+    void setCost(CostAccountant *accountant) { costAcct = accountant; }
+    CostAccountant *cost() const { return costAcct; }
 
     void addSink(TraceSink *sink)
     {
@@ -99,6 +107,7 @@ class Observer
   private:
     StatsRegistry *reg = nullptr;
     ProfileRegistry *prof = nullptr;
+    CostAccountant *costAcct = nullptr;
     std::vector<TraceSink *> sinkList;
     uint64_t faultCtx = 0;
 };

@@ -272,10 +272,11 @@ parseTraceLine(std::string_view line, std::string *error)
     return event;
 }
 
-TraceFile
-readTraceFile(const std::string &path)
+StreamResult
+streamTraceFile(const std::string &path,
+                const std::function<void(const TraceEvent &)> &consume)
 {
-    TraceFile out;
+    StreamResult out;
     std::ifstream in(path);
     if (!in)
         return out;
@@ -294,7 +295,8 @@ readTraceFile(const std::string &path)
             continue;
         std::string error;
         if (auto event = parseTraceLine(line, &error)) {
-            out.events.push_back(std::move(*event));
+            ++out.events;
+            consume(*event);
         } else if (!terminated) {
             ++out.truncatedTail;
         } else {
@@ -303,6 +305,20 @@ readTraceFile(const std::string &path)
                 out.firstError = error;
         }
     }
+    return out;
+}
+
+TraceFile
+readTraceFile(const std::string &path)
+{
+    TraceFile out;
+    const StreamResult sr = streamTraceFile(
+        path,
+        [&](const TraceEvent &event) { out.events.push_back(event); });
+    out.opened = sr.opened;
+    out.badLines = sr.badLines;
+    out.firstError = sr.firstError;
+    out.truncatedTail = sr.truncatedTail;
     return out;
 }
 
@@ -452,27 +468,31 @@ writeChromeTrace(const std::vector<TraceEvent> &events, JsonWriter &w)
     return spans;
 }
 
-LineageView
-buildLineageView(const std::vector<TraceEvent> &events)
+void
+LineageBuilder::add(const TraceEvent &event)
 {
-    LineageView view;
-    std::map<uint64_t, size_t> index;
-    for (const TraceEvent &event : events) {
-        if (!event.faultId)
-            continue;
-        auto it = index.find(event.faultId);
-        if (it == index.end()) {
-            it = index.emplace(event.faultId, view.faults.size()).first;
-            view.faults.push_back({});
-            view.faults.back().faultId = event.faultId;
-        }
-        FaultTimeline &fault = view.faults[it->second];
-        if (event.kind == EventKind::FaultInject)
-            fault.injected = true;
-        else if (event.kind == EventKind::FaultResolve)
-            fault.resolved = true;
-        fault.events.push_back(event);
+    if (!event.faultId)
+        return;
+    auto it = index.find(event.faultId);
+    if (it == index.end()) {
+        it = index.emplace(event.faultId, view.faults.size()).first;
+        view.faults.push_back({});
+        view.faults.back().faultId = event.faultId;
     }
+    FaultTimeline &fault = view.faults[it->second];
+    if (event.kind == EventKind::FaultInject)
+        fault.injected = true;
+    else if (event.kind == EventKind::FaultResolve)
+        fault.resolved = true;
+    fault.events.push_back(event);
+}
+
+LineageView
+LineageBuilder::finish()
+{
+    view.orphanEvents = 0;
+    view.unresolved = 0;
+    view.resolveWithoutInject = 0;
     for (const FaultTimeline &fault : view.faults) {
         if (!fault.injected) {
             view.orphanEvents += fault.events.size();
@@ -482,8 +502,37 @@ buildLineageView(const std::vector<TraceEvent> &events)
             ++view.unresolved;
         }
     }
-    return view;
+    return std::move(view);
 }
+
+LineageView
+buildLineageView(const std::vector<TraceEvent> &events)
+{
+    LineageBuilder builder;
+    for (const TraceEvent &event : events)
+        builder.add(event);
+    return builder.finish();
+}
+
+namespace
+{
+
+/**
+ * The Chrome process a fault's lane belongs to: its injection site
+ * (the FaultInject label).  Orphans (no inject) group together so
+ * damaged lineage stands out as its own process in the viewer.
+ */
+std::string
+faultSite(const FaultTimeline &fault)
+{
+    for (const TraceEvent &event : fault.events) {
+        if (event.kind == EventKind::FaultInject)
+            return event.label.empty() ? "(unlabeled)" : event.label;
+    }
+    return "(orphan)";
+}
+
+} // namespace
 
 uint64_t
 writeLineageChromeTrace(const LineageView &view, JsonWriter &w)
@@ -491,14 +540,42 @@ writeLineageChromeTrace(const LineageView &view, JsonWriter &w)
     w.beginObject();
     w.key("traceEvents").beginArray();
 
+    // Group faults by injection site: one Chrome process per site,
+    // one tid lane per fault within it.  Grouping replaces the old
+    // flat modulo-64 lane assignment — every fault keeps a private
+    // lane no matter how many the trace holds.
+    struct SiteGroup
+    {
+        uint64_t pid = 0;
+        uint64_t nextLane = 0;
+    };
+    std::map<std::string, SiteGroup> sites;
+    for (const FaultTimeline &fault : view.faults) {
+        const std::string site = faultSite(fault);
+        if (sites.emplace(site, SiteGroup{}).second) {
+            const uint64_t pid = sites.size();
+            sites[site].pid = pid;
+            w.beginObject()
+                .kv("name", "process_name")
+                .kv("ph", "M")
+                .kv("pid", pid)
+                .kv("tid", 0);
+            w.key("args")
+                .beginObject()
+                .kv("name", "site: " + site)
+                .endObject();
+            w.endObject();
+        }
+    }
+
     uint64_t spans = 0;
-    constexpr uint64_t laneCount = 64;
-    uint64_t lane = 0;
     char idHex[32];
     for (const FaultTimeline &fault : view.faults) {
         std::snprintf(idHex, sizeof(idHex), "%016llx",
                       static_cast<unsigned long long>(fault.faultId));
-        const uint64_t tid = lane++ % laneCount;
+        SiteGroup &group = sites[faultSite(fault)];
+        const uint64_t pid = group.pid;
+        const uint64_t tid = group.nextLane++;
 
         // The lineage span proper: inject cycle to resolve cycle.
         if (fault.injected && fault.resolved) {
@@ -517,7 +594,7 @@ writeLineageChromeTrace(const LineageView &view, JsonWriter &w)
                 .kv("ph", "X")
                 .kv("ts", start)
                 .kv("dur", end > start ? end - start : 1)
-                .kv("pid", 1)
+                .kv("pid", pid)
                 .kv("tid", tid);
             w.key("args")
                 .beginObject()
@@ -537,7 +614,7 @@ writeLineageChromeTrace(const LineageView &view, JsonWriter &w)
                 .kv("cat", fault.injected ? "lineage" : "orphan")
                 .kv("ph", "i")
                 .kv("ts", event.cycle)
-                .kv("pid", 1)
+                .kv("pid", pid)
                 .kv("tid", tid)
                 .kv("s", "t");
             w.key("args")
@@ -557,6 +634,7 @@ writeLineageChromeTrace(const LineageView &view, JsonWriter &w)
         .kv("source", "aiecc-trace lineage")
         .kv("timestamp_unit", "controller cycles")
         .kv("faults", static_cast<uint64_t>(view.faults.size()))
+        .kv("sites", static_cast<uint64_t>(sites.size()))
         .kv("orphan_events", view.orphanEvents)
         .kv("unresolved", view.unresolved)
         .endObject();

@@ -17,6 +17,7 @@
 #define AIECC_OBS_TRACE_READER_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -68,6 +69,27 @@ struct TraceFile
  * than a bad line.
  */
 TraceFile readTraceFile(const std::string &path);
+
+/** Diagnostics of one streamed pass over a trace file. */
+struct StreamResult
+{
+    bool opened = false;   ///< the file could be read at all
+    uint64_t events = 0;   ///< lines successfully parsed and delivered
+    uint64_t badLines = 0; ///< lines that failed to parse
+    std::string firstError;
+    uint64_t truncatedTail = 0; ///< see TraceFile::truncatedTail
+};
+
+/**
+ * Stream a JSONL trace file one event at a time: @p consume is called
+ * for every parsed line in file order and nothing is retained, so
+ * arbitrarily large traces process in constant memory.  Line handling
+ * (blank lines, truncated tails) matches readTraceFile, which is a
+ * collect-into-a-vector wrapper around this.
+ */
+StreamResult
+streamTraceFile(const std::string &path,
+                const std::function<void(const TraceEvent &)> &consume);
 
 /** Per-kind aggregate of one trace. */
 struct KindSummary
@@ -160,6 +182,27 @@ struct LineageView
     uint64_t resolveWithoutInject = 0;
 };
 
+/**
+ * Incremental LineageView construction for streamed traces: feed
+ * events in file order with add() (events with faultId 0 are skipped
+ * for free), then call finish() once to compute the integrity
+ * diagnostics and take the view.  Only fault-stamped events are
+ * retained, so a mostly-faultless multi-gigabyte trace builds its
+ * lineage view in memory proportional to the faults, not the file.
+ */
+class LineageBuilder
+{
+  public:
+    void add(const TraceEvent &event);
+
+    /** Diagnose and move out the view; the builder is spent after. */
+    LineageView finish();
+
+  private:
+    LineageView view;
+    std::map<uint64_t, size_t> index;
+};
+
 /** Group @p events by fault ID (events with faultId 0 are skipped). */
 LineageView buildLineageView(const std::vector<TraceEvent> &events);
 
@@ -167,7 +210,11 @@ LineageView buildLineageView(const std::vector<TraceEvent> &events);
  * Write @p view as a Chrome trace-event document: one duration span
  * ("ph":"X") per injected-and-resolved fault from its FaultInject to
  * its FaultResolve cycle, plus instant marks for the intermediate
- * observations, each fault on its own tid lane (capped at 64 lanes).
+ * observations.  Faults are grouped by injection site (the
+ * FaultInject label): each distinct site becomes its own named Chrome
+ * process, and every fault gets a dedicated tid lane within its
+ * site's group — no global lane cap, and Perfetto's process tree
+ * doubles as a per-site fault index.
  *
  * @return the number of lineage spans emitted.
  */

@@ -223,6 +223,11 @@ RecoveryEngine::runEpisode(RecoveryCause cause, const Command &intended,
     if (!cfg.enabled || cfg.maxAttempts == 0)
         return out;
     obs::ScopedTimer timeEpisode(oc.tEpisode);
+    // Every command the episode drives through the port is extra
+    // traffic the fault caused: bill the whole episode to the
+    // recovery cost level (obs/cost.hh).
+    obs::ScopedRecoveryCost billEpisode(obsHook ? obsHook->cost()
+                                                : nullptr);
     out.attempted = true;
     ++st.episodes;
     if (oc.episodes)
@@ -297,6 +302,10 @@ RecoveryEngine::onReadDetection(const MtbAddress &addr, unsigned flatBank,
     if (!cfg.enabled || cfg.maxAttempts == 0)
         return out;
     obs::ScopedTimer timeEpisode(oc.tEpisode);
+    // Reissued reads are extra bandwidth the fault caused: bill the
+    // whole episode to the recovery cost level (obs/cost.hh).
+    obs::ScopedRecoveryCost billEpisode(obsHook ? obsHook->cost()
+                                                : nullptr);
     out.attempted = true;
     ++st.episodes;
     if (oc.episodes)

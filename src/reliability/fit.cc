@@ -37,12 +37,13 @@ fitResolutionFloor(double ber, const CommandRates &rates,
 
 HarmProbs
 measureHarmProbs(const Mechanisms &mech, unsigned allPinSamples,
-                 uint64_t seed)
+                 uint64_t seed, obs::CostAccountant *cost)
 {
     HarmProbs probs;
     probs.label = mech.describe();
     probs.allPinSamples = allPinSamples;
     InjectionCampaign campaign(mech, seed);
+    campaign.setCostAccountant(cost);
     const auto patterns = allPatterns();
     for (size_t i = 0; i < patterns.size(); ++i) {
         const auto onePin = campaign.sweepOnePin(patterns[i]);

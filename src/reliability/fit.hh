@@ -74,10 +74,14 @@ double fitResolutionFloor(double ber, const CommandRates &rates,
 /**
  * Measure HarmProbs for one mechanism configuration by running the
  * full 1-pin sweep plus @p allPinSamples all-pin trials per pattern.
+ * With @p cost attached, every campaign trial additionally bills its
+ * protection cost there (obs/cost.hh), so the same trials that yield
+ * the FIT inputs also yield the configuration's cost Pareto point.
  */
 HarmProbs measureHarmProbs(const Mechanisms &mech,
                            unsigned allPinSamples = 50,
-                           uint64_t seed = 0xF17);
+                           uint64_t seed = 0xF17,
+                           obs::CostAccountant *cost = nullptr);
 
 /** SDC / MDC failures-in-time (per billion device-hours). */
 struct FitResult

@@ -20,21 +20,32 @@
  *                                          resolve timelines, orphan /
  *                                          unresolved diagnostics, and
  *                                          (--chrome) lineage spans
+ *   aiecc-trace cost [--level L] [-o OUT] FILE...
+ *                                          replay the command/retry/
+ *                                          scrub stream through the
+ *                                          protection cost model and
+ *                                          print per-level attribution
  *
  * Filter predicates: --kind NAME, --label TEXT, --cycle-min N,
  * --cycle-max N.  Multiple input files are concatenated in argument
  * order.  Exit status: 0 success, 1 file/IO error, 2 usage error.
  * With --strict, malformed lines, a truncated final record, and
  * lineage integrity violations are hard errors (exit 1) instead of
- * warnings.
+ * warnings.  `lineage` and `cost` stream their inputs — a trace
+ * larger than memory is fine; only fault-stamped events (lineage) or
+ * plain counters (cost) are retained.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "aiecc/cost_model.hh"
+#include "aiecc/mechanisms.hh"
+#include "obs/cost.hh"
 #include "obs/json.hh"
 #include "obs/trace.hh"
 #include "obs/trace_reader.hh"
@@ -59,6 +70,9 @@ usage(std::FILE *to)
         "  lineage   per-fault inject/observe/resolve timelines and\n"
         "            integrity diagnostics (orphan events, unresolved\n"
         "            faults); --chrome exports lineage spans\n"
+        "  cost      replay commands/retries/scrubs through the\n"
+        "            protection cost model: per-level storage, bus and\n"
+        "            latency attribution plus the conservation audit\n"
         "\n"
         "common options:\n"
         "  --strict        malformed lines, truncated tails, and\n"
@@ -74,7 +88,13 @@ usage(std::FILE *to)
         "  --chrome        Chrome trace-event JSON (Perfetto-loadable)\n"
         "  -o, --out PATH  write to PATH instead of stdout\n"
         "  --limit N       lineage: print at most N fault timelines\n"
-        "                  (default 20; 0 = all)\n");
+        "                  (default 20; 0 = all)\n"
+        "\n"
+        "cost options:\n"
+        "  --level L       protection level whose cost model prices\n"
+        "                  the replay: none, decc, edecc, aiecc\n"
+        "                  (default aiecc)\n"
+        "  -o, --out PATH  also write the accountant's JSON to PATH\n");
     std::fprintf(to, "\nknown kinds:");
     for (unsigned k = 0; k < obs::numEventKinds; ++k) {
         std::fprintf(to, " %s",
@@ -128,6 +148,51 @@ loadAll(const std::vector<std::string> &paths, bool strict)
         std::exit(1);
     }
     return events;
+}
+
+/**
+ * Stream every input file through @p consume without retaining
+ * events; same diagnostics and --strict policy as loadAll.  Returns
+ * the total number of events delivered.
+ */
+uint64_t
+streamAll(const std::vector<std::string> &paths, bool strict,
+          const std::function<void(const obs::TraceEvent &)> &consume)
+{
+    uint64_t total = 0;
+    bool damaged = false;
+    for (const std::string &path : paths) {
+        const obs::StreamResult sr = obs::streamTraceFile(path, consume);
+        if (!sr.opened) {
+            std::fprintf(stderr, "aiecc-trace: cannot read %s\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        if (sr.badLines) {
+            damaged = true;
+            std::fprintf(stderr,
+                         "aiecc-trace: %s: %llu malformed line(s) "
+                         "skipped (first: %s)\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(sr.badLines),
+                         sr.firstError.c_str());
+        }
+        if (sr.truncatedTail) {
+            damaged = true;
+            std::fprintf(stderr,
+                         "aiecc-trace: %s: truncated final record "
+                         "dropped (writer stopped mid-write?)\n",
+                         path.c_str());
+        }
+        total += sr.events;
+    }
+    if (strict && damaged) {
+        std::fprintf(stderr,
+                     "aiecc-trace: --strict: damaged input is a hard "
+                     "error\n");
+        std::exit(1);
+    }
+    return total;
 }
 
 int
@@ -230,8 +295,13 @@ int
 cmdLineage(bool chrome, const std::string &outPath, uint64_t limit,
            const std::vector<std::string> &paths, bool strict)
 {
-    const std::vector<obs::TraceEvent> events = loadAll(paths, strict);
-    const obs::LineageView view = obs::buildLineageView(events);
+    // Streamed: only fault-stamped events are retained, so the faulty
+    // slice of an arbitrarily large trace is all that hits memory.
+    obs::LineageBuilder builder;
+    const uint64_t totalEvents = streamAll(
+        paths, strict,
+        [&](const obs::TraceEvent &event) { builder.add(event); });
+    const obs::LineageView view = builder.finish();
 
     if (chrome) {
         obs::JsonWriter w;
@@ -251,8 +321,9 @@ cmdLineage(bool chrome, const std::string &outPath, uint64_t limit,
                          outPath.c_str());
         }
     } else {
-        std::printf("%zu fault(s) across %zu event(s)\n",
-                    view.faults.size(), events.size());
+        std::printf("%zu fault(s) across %llu event(s)\n",
+                    view.faults.size(),
+                    static_cast<unsigned long long>(totalEvents));
         uint64_t shown = 0;
         for (const obs::FaultTimeline &ft : view.faults) {
             if (limit && shown >= limit) {
@@ -287,6 +358,144 @@ cmdLineage(bool chrome, const std::string &outPath, uint64_t limit,
     return 0;
 }
 
+/**
+ * Replay a recorded event stream through the protection cost model.
+ *
+ * A trace does not know which mechanisms produced it, so the caller
+ * names the protection level (--level) and the replay prices every
+ * edge with that level's CostModel.  Demand and recovery traffic are
+ * separated by event kind: every Retry is a recovery re-execution and
+ * every Scrub / PatrolScrub a recovery write-back, and since those
+ * re-executions also appear in the command stream, their count is
+ * subtracted from the CommandIssued totals before the demand-side
+ * billing — the same command edge is never billed twice.
+ */
+int
+cmdCost(ProtectionLevel level, const std::string &outPath,
+        const std::vector<std::string> &paths, bool strict)
+{
+    // Pass 1 over the stream: plain counters, constant memory.
+    uint64_t nEdges = 0, nWr = 0, nRd = 0;
+    uint64_t retryRd = 0, retryWr = 0, scrubs = 0;
+    const uint64_t totalEvents = streamAll(
+        paths, strict, [&](const obs::TraceEvent &event) {
+            switch (event.kind) {
+              case obs::EventKind::CommandIssued:
+                ++nEdges;
+                if (event.label == "WR")
+                    ++nWr;
+                else if (event.label == "RD")
+                    ++nRd;
+                break;
+              case obs::EventKind::Retry:
+                // The replay harness labels write re-executions "wr";
+                // recovery-engine retries re-read the failing block.
+                if (event.label == "wr")
+                    ++retryWr;
+                else
+                    ++retryRd;
+                break;
+              case obs::EventKind::Scrub:
+              case obs::EventKind::PatrolScrub:
+                ++scrubs;
+                break;
+              default:
+                break;
+            }
+        });
+
+    // Recovery traffic is part of the recorded command stream; keep
+    // the split consistent even if a producer emitted Retry markers
+    // without the matching command edges.
+    const uint64_t recRd = std::min(nRd, retryRd);
+    const uint64_t recWr = std::min(nWr, retryWr + scrubs);
+    const uint64_t demandRd = nRd - recRd;
+    const uint64_t demandWr = nWr - recWr;
+    const uint64_t otherEdges = nEdges - nWr - nRd;
+
+    const Mechanisms mech = Mechanisms::forLevel(level);
+    obs::CostAccountant acct(makeCostModel(mech));
+    for (uint64_t i = 0; i < otherEdges; ++i)
+        acct.onCommand(false, false);
+    for (uint64_t i = 0; i < demandWr; ++i) {
+        acct.onCommand(true, false);
+        acct.onEccEncode();
+    }
+    for (uint64_t i = 0; i < demandRd; ++i) {
+        acct.onCommand(false, true);
+        acct.onEccDecode();
+    }
+    {
+        obs::ScopedRecoveryCost episode(&acct);
+        for (uint64_t i = 0; i < recWr; ++i) {
+            acct.onCommand(true, false);
+            acct.onEccEncode();
+        }
+        for (uint64_t i = 0; i < recRd; ++i) {
+            acct.onCommand(false, true);
+            acct.onEccDecode();
+        }
+    }
+
+    std::printf("%llu event(s): %llu command edge(s) "
+                "(%llu WR, %llu RD), %llu retries, %llu scrub(s)\n"
+                "priced as %s\n\n",
+                static_cast<unsigned long long>(totalEvents),
+                static_cast<unsigned long long>(nEdges),
+                static_cast<unsigned long long>(nWr),
+                static_cast<unsigned long long>(nRd),
+                static_cast<unsigned long long>(retryRd + retryWr),
+                static_cast<unsigned long long>(scrubs),
+                mech.describe().c_str());
+
+    std::printf("%-12s %16s %16s %16s\n", "level", "storage_bits",
+                "bus_bits", "latency_ps");
+    for (unsigned l = 0; l < obs::numCostLevels; ++l) {
+        const auto level2 = static_cast<obs::CostLevel>(l);
+        std::printf(
+            "%-12s %16llu %16llu %16llu\n",
+            obs::costLevelName(level2).c_str(),
+            static_cast<unsigned long long>(
+                acct.cell(level2, obs::CostCategory::Storage)),
+            static_cast<unsigned long long>(
+                acct.cell(level2, obs::CostCategory::Bus)),
+            static_cast<unsigned long long>(
+                acct.cell(level2, obs::CostCategory::Latency)));
+    }
+    std::printf("%-12s %16llu %16llu %16llu\n", "total",
+                static_cast<unsigned long long>(
+                    acct.total(obs::CostCategory::Storage)),
+                static_cast<unsigned long long>(
+                    acct.total(obs::CostCategory::Bus)),
+                static_cast<unsigned long long>(
+                    acct.total(obs::CostCategory::Latency)));
+    std::printf("\nstorage overhead: %.2f%%   bus overhead: %.2f%%   "
+                "latency: %.3f ns/access\n",
+                acct.storageOverheadPct(), acct.busOverheadPct(),
+                acct.latencyNsPerAccess());
+
+    if (!outPath.empty()) {
+        obs::JsonWriter w;
+        acct.writeJson(w);
+        if (!w.writeFile(outPath)) {
+            std::fprintf(stderr, "aiecc-trace: cannot write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "aiecc-trace: cost attribution -> %s\n",
+                     outPath.c_str());
+    }
+
+    const obs::CostAccountant::Audit audit = acct.audit();
+    if (!audit.ok) {
+        for (const std::string &v : audit.violations)
+            std::fprintf(stderr, "aiecc-trace: cost audit: %s\n",
+                         v.c_str());
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -306,6 +515,7 @@ main(int argc, char **argv)
     bool chrome = false;
     bool strict = false;
     uint64_t limit = 20;
+    ProtectionLevel costLevel = ProtectionLevel::Aiecc;
     std::string outPath;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
@@ -330,6 +540,23 @@ main(int argc, char **argv)
             strict = true;
         } else if (!std::strcmp(arg, "--limit") && i + 1 < argc) {
             limit = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(arg, "--level") && i + 1 < argc) {
+            const std::string name = argv[++i];
+            if (name == "none")
+                costLevel = ProtectionLevel::None;
+            else if (name == "decc")
+                costLevel = ProtectionLevel::Ddr4Decc;
+            else if (name == "edecc")
+                costLevel = ProtectionLevel::Ddr4EDecc;
+            else if (name == "aiecc")
+                costLevel = ProtectionLevel::Aiecc;
+            else {
+                std::fprintf(stderr,
+                             "aiecc-trace: unknown level: %s "
+                             "(none, decc, edecc, aiecc)\n",
+                             name.c_str());
+                return 2;
+            }
         } else if ((!std::strcmp(arg, "-o") ||
                     !std::strcmp(arg, "--out")) &&
                    i + 1 < argc) {
@@ -369,6 +596,8 @@ main(int argc, char **argv)
     }
     if (cmd == "lineage")
         return cmdLineage(chrome, outPath, limit, paths, strict);
+    if (cmd == "cost")
+        return cmdCost(costLevel, outPath, paths, strict);
     std::fprintf(stderr, "aiecc-trace: unknown command: %s\n",
                  cmd.c_str());
     usage(stderr);

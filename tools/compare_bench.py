@@ -17,6 +17,14 @@ differ by roughly the parallelism ratio; the threshold is widened and
 the mismatch is called out so cross-mode comparisons don't fire
 spurious regression warnings.
 
+Schema v4 adds a top-level ``cost`` section (per-configuration
+protection cost attribution).  When both artifacts carry cost entries
+for the same configuration, the derived Pareto metrics (storage and
+bus overhead percent, modeled latency per access) are compared too:
+the cost model is deterministic, so any growth beyond
+``--cost-threshold`` percent (default 2) is a modeled cost regression
+and warns — again a soft gate, never a failure.
+
 Exit status: 0 on a successful comparison (regression or not), 1 when
 either artifact is missing, unparsable, or structurally incompatible
 (wrong schema version, different bench, missing fields).
@@ -61,15 +69,20 @@ def main():
     ap.add_argument("--threshold", type=float, default=20.0,
                     help="regression warning threshold in percent "
                          "(default: %(default)s)")
+    ap.add_argument("--cost-threshold", type=float, default=2.0,
+                    help="modeled-cost regression warning threshold "
+                         "in percent (default: %(default)s)")
     args = ap.parse_args()
 
     base = load_artifact(args.baseline)
     cur = load_artifact(args.current)
 
-    # v3 only added 'jobs' to 'options', so a v2 baseline stays
-    # comparable against a v3 artifact; anything else is a structural
-    # mismatch and both versions are spelled out for the CI log.
-    compatible = {(2, 3), (3, 2)}
+    # v3 only added 'jobs' to 'options' and v4 only added the
+    # top-level 'cost' section, so any v2..v4 pairing stays
+    # comparable; anything else is a structural mismatch and both
+    # versions are spelled out for the CI log.
+    compatible = {(a, b) for a in (2, 3, 4) for b in (2, 3, 4)
+                  if a != b}
     if base["schema_version"] != cur["schema_version"]:
         pair = (base["schema_version"], cur["schema_version"])
         if pair not in compatible:
@@ -128,7 +141,46 @@ def main():
         print(f"::warning title=e2e throughput regression::"
               f"{metric} dropped {-delta_pct:.1f}% vs baseline "
               f"(threshold {threshold:.0f}%)")
+
+    compare_costs(base, cur, args.cost_threshold)
     sys.exit(0)
+
+
+def compare_costs(base, cur, threshold):
+    """Soft-gate the schema v4 cost sections.
+
+    Unlike wall-clock throughput, the cost model is deterministic:
+    the derived metrics only move when the model parameters or the
+    attribution points change.  Growth beyond the (small) threshold
+    on any shared configuration is called out per metric.
+    """
+    base_cost = base.get("cost") or {}
+    cur_cost = cur.get("cost") or {}
+    shared = sorted(set(base_cost) & set(cur_cost))
+    if not shared:
+        if base_cost or cur_cost:
+            print("note: no shared cost configurations; skipping the "
+                  "cost comparison")
+        return
+    metrics = ("storage_overhead_pct", "bus_overhead_pct",
+               "latency_ns_per_access")
+    for config in shared:
+        base_d = base_cost[config].get("derived", {})
+        cur_d = cur_cost[config].get("derived", {})
+        for m in metrics:
+            try:
+                b, c = float(base_d[m]), float(cur_d[m])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if b <= 0:
+                continue
+            growth = (c - b) / b * 100.0
+            print(f"cost[{config}].{m}: baseline {b:.4f}  "
+                  f"current {c:.4f}  ({growth:+.2f}%)")
+            if growth > threshold:
+                print(f"::warning title=modeled cost regression::"
+                      f"cost[{config}].{m} grew {growth:.2f}% vs "
+                      f"baseline (threshold {threshold:.0f}%)")
 
 
 if __name__ == "__main__":
