@@ -8,10 +8,19 @@
  * Each cell prints the paper's notation: an SDC percentage when
  * silent corruption is possible, otherwise the dominant corrected /
  * detected outcome (CE-D, CE-R(+), CE-RD(+), DUE).
+ *
+ * With --exhaustive, the enumerable cells — 1-bit data (576 transfer
+ * positions), 1-bit address (32 bits), and their cross product —
+ * switch from sampling to full enumeration of every error position,
+ * so their columns are proofs over the whole space rather than
+ * estimates.  The whole grid is one checkpointed campaign (DESIGN.md
+ * §12): --checkpoint/--resume survive a kill at any instant with a
+ * byte-identical final artifact.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "aiecc/cost_model.hh"
 #include "bench_util.hh"
@@ -58,8 +67,10 @@ main(int argc, char **argv)
 
     bench::banner("Table III: data and address reliability comparison");
     std::printf("%llu Monte-Carlo trials per cell (paper: 4e9; scale "
-                "with --trials N), %u worker thread(s)\n\n",
-                static_cast<unsigned long long>(trials), jobs);
+                "with --trials N), %u worker thread(s)%s\n\n",
+                static_cast<unsigned long long>(trials), jobs,
+                opt.exhaustive ? "; enumerable cells run exhaustively"
+                               : "");
 
     const EccScheme schemes[] = {EccScheme::Qpc, EccScheme::AzulQpc,
                                  EccScheme::EDeccTransformQpc,
@@ -78,9 +89,24 @@ main(int argc, char **argv)
     {
         DataErrorModel dm;
         AddrErrorModel am;
+        bool exhaustive = false; ///< fully enumerated, not sampled
+        uint64_t cellTrials = 0; ///< trials each scheme runs here
         MonteCarloCell bySch[4];
     };
     std::vector<CellResult> results;
+    for (auto dm : dataModels) {
+        for (auto am : addrModels) {
+            if (dm == DataErrorModel::None && am == AddrErrorModel::None)
+                continue;
+            CellResult res{dm, am, false, trials, {}};
+            const uint64_t space = DataMonteCarlo::cellSpaceSize(dm, am);
+            if (opt.exhaustive && space > 0) {
+                res.exhaustive = true;
+                res.cellTrials = space;
+            }
+            results.push_back(std::move(res));
+        }
+    }
 
     // One ledger follows every Monte-Carlo fault: IDs are salted by
     // scheme and streamed by (data, addr) cell, so all 4 schemes and
@@ -100,36 +126,99 @@ main(int argc, char **argv)
     for (unsigned si = 0; si < 4; ++si)
         costObs[si].setCost(&schemeCost[si]);
 
-    const auto begin = std::chrono::steady_clock::now();
-    TextTable t;
-    t.header({"data err", "addr err", "QPC", "QPC+Azul", "QPC+eDECC-t",
-              "QPC+eDECC-c"});
-    for (auto dm : dataModels) {
-        bool firstRow = true;
-        for (auto am : addrModels) {
-            if (dm == DataErrorModel::None && am == AddrErrorModel::None)
-                continue;
-            std::vector<std::string> row{
-                firstRow ? dataErrorName(dm) : "", addrErrorName(am)};
-            CellResult res{dm, am, {}};
-            for (unsigned si = 0; si < 4; ++si) {
-                DataMonteCarlo mc(schemes[si]);
-                mc.setLineageLedger(&lineage);
-                mc.setObserver(&costObs[si]);
-                res.bySch[si] = mc.runCellSharded(dm, am, trials, plan);
-                row.push_back(cellText(res.bySch[si]));
-            }
-            t.row(row);
-            results.push_back(std::move(res));
-            firstRow = false;
+    // ---- checkpointed campaign plan -------------------------------
+    // 44 units in fixed order: cell-major, scheme-minor.  Monte-Carlo
+    // fault IDs derive from (scheme, cell, trial-in-cell), so resume
+    // needs no counter positioning — only the merged state.
+    bench::Checkpointer cp(opt,
+                           bench::campaignIdFor(opt, "table3_data"));
+
+    const size_t numUnits = results.size() * 4;
+    size_t resumeUnit = 0;
+    uint64_t resumeShard = 0;
+    if (cp.resumed()) {
+        CampaignCheckpoint &st = cp.state();
+        if (st.has("cursor")) {
+            std::istringstream in(st.get("cursor"));
+            std::string tag1, tag2;
+            in >> tag1 >> resumeUnit >> tag2 >> resumeShard;
         }
-        t.separator();
+        for (size_t u = 0; u < numUnits; ++u) {
+            const std::string name = "cell:" + std::to_string(u);
+            if (st.has(name))
+                results[u / 4].bySch[u % 4].deserializeState(
+                    st.get(name));
+        }
+        if (st.has("lineage"))
+            lineage.deserializeState(st.get("lineage"));
+        for (unsigned si = 0; si < 4; ++si) {
+            const std::string name = "cost:" + std::to_string(si);
+            if (st.has(name))
+                schemeCost[si].deserializeState(st.get(name));
+        }
+    }
+
+    const uint64_t batch = checkpointBatchShards(opt.jobs);
+    auto persist = [&](size_t u, uint64_t nextShard) {
+        if (!cp.enabled())
+            return;
+        CampaignCheckpoint &st = cp.state();
+        st.set("cursor", "unit " + std::to_string(u) + " shard " +
+                             std::to_string(nextShard));
+        st.set("cell:" + std::to_string(u),
+               results[u / 4].bySch[u % 4].serializeState());
+        st.set("lineage", lineage.serializeState());
+        for (unsigned si = 0; si < 4; ++si)
+            st.set("cost:" + std::to_string(si),
+                   schemeCost[si].serialize());
+        const CellResult &res = results[u / 4];
+        cp.save("unit " + std::to_string(u + 1) + "/" +
+                std::to_string(numUnits) + " (" +
+                std::string(schemeNames[u % 4]) + "/" +
+                dataErrorName(res.dm) + "/" + addrErrorName(res.am) +
+                ") shard " + std::to_string(nextShard));
+    };
+
+    const auto begin = std::chrono::steady_clock::now();
+    for (size_t u = resumeUnit; u < numUnits; ++u) {
+        CellResult &res = results[u / 4];
+        const unsigned si = static_cast<unsigned>(u % 4);
+        uint64_t nextShard = (u == resumeUnit) ? resumeShard : 0;
+        DataMonteCarlo mc(schemes[si]);
+        mc.setLineageLedger(&lineage);
+        mc.setObserver(&costObs[si]);
+        const RunStatus status = mc.runCellCheckpointed(
+            res.dm, res.am, res.cellTrials, res.exhaustive, plan, batch,
+            nextShard, res.bySch[si],
+            [&](uint64_t, uint64_t end) { persist(u, end); });
+        if (status == RunStatus::Interrupted)
+            cp.exitInterrupted();
     }
     const uint64_t elapsedNs =
         static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - begin)
                 .count());
+
+    // ---- report ---------------------------------------------------
+    TextTable t;
+    t.header({"data err", "addr err", "QPC", "QPC+Azul", "QPC+eDECC-t",
+              "QPC+eDECC-c"});
+    DataErrorModel lastDm = DataErrorModel::None;
+    bool firstCell = true;
+    for (const auto &res : results) {
+        if (!firstCell && res.dm != lastDm)
+            t.separator();
+        std::vector<std::string> row{
+            (firstCell || res.dm != lastDm) ? dataErrorName(res.dm) : "",
+            addrErrorName(res.am) + (res.exhaustive ? " [exh]" : "")};
+        for (unsigned si = 0; si < 4; ++si)
+            row.push_back(cellText(res.bySch[si]));
+        t.row(row);
+        lastDm = res.dm;
+        firstCell = false;
+    }
+    t.separator();
     std::printf("%s\n", t.str().c_str());
     std::printf("campaign wall clock: %.2f s at --jobs %u\n\n",
                 static_cast<double>(elapsedNs) * 1e-9, jobs);
@@ -172,6 +261,7 @@ main(int argc, char **argv)
                 w.beginObject();
                 w.kv("data_error", dataErrorName(res.dm));
                 w.kv("addr_error", addrErrorName(res.am));
+                w.kv("exhaustive", res.exhaustive);
                 for (unsigned si = 0; si < 4; ++si) {
                     w.key(schemeNames[si]);
                     res.bySch[si].writeJson(w);
@@ -210,5 +300,6 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(audit.injected));
         return 1;
     }
+    cp.finish();
     return 0;
 }

@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/checkpoint.hh"
+#include "common/logging.hh"
 #include "obs/cost.hh"
 #include "obs/json.hh"
 
@@ -35,8 +37,12 @@ namespace bench
  * v3: adds "jobs" (worker-thread request, 0 = auto) to "options"
  * v4: adds the top-level "cost" section (per-configuration protection
  *     cost attribution, obs/cost.hh) next to "results"
+ * v5: adds "checkpoint", "resume" and "exhaustive" to "options"
+ *     (crash-tolerant campaigns; none is output-affecting except
+ *     "exhaustive", which switches enumerable spaces from sampling to
+ *     full enumeration)
  */
-constexpr int artifactSchemaVersion = 4;
+constexpr int artifactSchemaVersion = 5;
 
 /** Common bench options. */
 struct Options
@@ -65,6 +71,11 @@ struct Options
     double faultRate = 0.0;  ///< per-edge pin-corruption probability
     bool noRecovery = false; ///< disable the in-band recovery engine
     std::string tracePath;   ///< stream a JSONL event trace here
+
+    // Crash-tolerant campaign knobs (checkpointed benches only).
+    std::string checkpointPath; ///< durable checkpoint file ("" = off)
+    bool resume = false;        ///< resume from --checkpoint if present
+    bool exhaustive = false;    ///< enumerate enumerable error spaces
 };
 
 inline void
@@ -97,7 +108,13 @@ usage(std::FILE *to, const char *prog)
                  "  --no-recovery   disable the in-band recovery engine "
                  "(e2e bench)\n"
                  "  --trace PATH    stream a JSONL event trace "
-                 "(e2e bench)\n",
+                 "(e2e bench)\n"
+                 "  --checkpoint PATH  write a durable campaign "
+                 "checkpoint (atomic replace)\n"
+                 "  --resume        continue from the --checkpoint "
+                 "file's last good state\n"
+                 "  --exhaustive    fully enumerate enumerable error "
+                 "spaces instead of sampling\n",
                  prog);
 }
 
@@ -138,6 +155,13 @@ parse(int argc, char **argv)
             opt.noRecovery = true;
         } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
             opt.tracePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--checkpoint") &&
+                   i + 1 < argc) {
+            opt.checkpointPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            opt.resume = true;
+        } else if (!std::strcmp(argv[i], "--exhaustive")) {
+            opt.exhaustive = true;
         } else if (!std::strcmp(argv[i], "--help")) {
             usage(stdout, argv[0]);
             std::exit(0);
@@ -187,10 +211,157 @@ beginJsonArtifact(obs::JsonWriter &w, const Options &opt,
     w.kv("read_frac", opt.readFrac);
     w.kv("fault_rate", opt.faultRate);
     w.kv("no_recovery", opt.noRecovery);
+    w.kv("checkpoint", opt.checkpointPath);
+    w.kv("resume", opt.resume);
+    w.kv("exhaustive", opt.exhaustive);
     w.endObject();
     w.key("results");
     return w;
 }
+
+/**
+ * Canonical campaign identity for checkpoint files: the bench name
+ * plus every output-affecting option.  Deliberately excludes --jobs
+ * (bit-identical by contract), --checkpoint/--json/--trace (paths)
+ * and --resume — a checkpoint taken at --jobs 8 must resume cleanly
+ * at --jobs 1.
+ */
+inline std::string
+campaignIdFor(const Options &opt, const std::string &benchName)
+{
+    std::string id = benchName;
+    id += " trials=" + std::to_string(opt.trials);
+    id += " allpin=" + std::to_string(opt.allPin);
+    id += opt.quick ? " quick" : "";
+    id += " rattempts=" + std::to_string(opt.recoveryAttempts);
+    id += " rpersist=" + std::to_string(opt.recoveryPersist);
+    id += " rpatrol=" + std::to_string(opt.recoveryPatrol);
+    id += opt.exhaustive ? " exhaustive" : "";
+    return id;
+}
+
+/**
+ * Bench-side driver for durable checkpoint/resume (DESIGN.md §12).
+ *
+ * Owns the one CampaignCheckpoint a bench persists: open() (the
+ * constructor) validates --resume state, save() atomically replaces
+ * the file after each committed batch, and finish() removes it once
+ * the artifact is complete.  The campaign ID must encode every
+ * output-affecting option (trials, allpin, quick, recovery knobs,
+ * exhaustive — but never --jobs or paths), so a checkpoint can never
+ * be resumed into a differently-configured run.
+ *
+ * With no --checkpoint the helper is inert: enabled() is false, every
+ * state query says "fresh", save() and finish() do nothing — benches
+ * write one code path and run unchanged without the flag.
+ */
+class Checkpointer
+{
+  public:
+    Checkpointer(const Options &opt, const std::string &campaignId)
+        : path(opt.checkpointPath)
+    {
+        ckpt.setCampaignId(campaignId);
+        if (path.empty()) {
+            if (opt.resume) {
+                std::fprintf(stderr,
+                             "--resume requires --checkpoint PATH\n");
+                std::exit(2);
+            }
+            return;
+        }
+        installStopHandlers();
+        if (opt.resume) {
+            std::FILE *probe = std::fopen(path.c_str(), "rb");
+            if (!probe) {
+                std::fprintf(stderr,
+                             "checkpoint %s not found; starting "
+                             "fresh\n",
+                             path.c_str());
+            } else {
+                std::fclose(probe);
+                CampaignCheckpoint loaded;
+                const CampaignCheckpoint::Load res =
+                    loaded.loadFile(path);
+                if (!res.ok) {
+                    // The file exists but does not verify: an atomic
+                    // replace never leaves a torn file, so this is
+                    // external damage — refuse to guess.
+                    AIECC_FATAL("cannot resume: " << res.error);
+                }
+                if (loaded.campaignId() != campaignId) {
+                    AIECC_FATAL(
+                        "checkpoint "
+                        << path << " belongs to campaign '"
+                        << loaded.campaignId()
+                        << "', not this run's '" << campaignId
+                        << "' — options differ; delete it or fix "
+                           "the flags");
+                }
+                ckpt = std::move(loaded);
+                wasResumed = true;
+                std::printf("resuming campaign from %s (%s)\n",
+                            path.c_str(),
+                            ckpt.progressNote().empty()
+                                ? "no progress note"
+                                : ckpt.progressNote().c_str());
+            }
+        }
+        // Persist immediately: the file exists (and pins the campaign
+        // ID) before the first batch runs, so a kill at any instant
+        // leaves a loadable state behind.
+        save(wasResumed ? ckpt.progressNote() : "starting");
+    }
+
+    /** True when --checkpoint was given. */
+    bool enabled() const { return !path.empty(); }
+
+    /** True when --resume found a verified checkpoint to continue. */
+    bool resumed() const { return wasResumed; }
+
+    /** The durable section store (inert but usable when disabled). */
+    CampaignCheckpoint &state() { return ckpt; }
+    const CampaignCheckpoint &state() const { return ckpt; }
+
+    /** Atomically persist with @p progressNote; fatal on I/O error. */
+    void
+    save(const std::string &progressNote)
+    {
+        if (path.empty())
+            return;
+        ckpt.setProgressNote(progressNote);
+        const CampaignCheckpoint::Load res = ckpt.saveAtomic(path);
+        if (!res.ok)
+            AIECC_FATAL("cannot save checkpoint: " << res.error);
+    }
+
+    /** The run completed: the checkpoint has served its purpose. */
+    void
+    finish()
+    {
+        if (!path.empty())
+            std::remove(path.c_str());
+    }
+
+    /**
+     * The run was interrupted (stop signal): report the resumable
+     * state and exit with the distinct EX_TEMPFAIL status.
+     */
+    [[noreturn]] void
+    exitInterrupted() const
+    {
+        std::fprintf(stderr,
+                     "interrupted; resumable state saved to %s — "
+                     "rerun with --resume to continue\n",
+                     path.empty() ? "(no checkpoint)" : path.c_str());
+        std::exit(aiecc::exitInterrupted);
+    }
+
+  private:
+    std::string path;
+    CampaignCheckpoint ckpt;
+    bool wasResumed = false;
+};
 
 /**
  * Labeled protection-cost accountants a bench accumulated, one per

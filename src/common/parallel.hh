@@ -59,20 +59,37 @@ unsigned resolveJobs(unsigned jobs);
 void runShards(uint64_t numShards, unsigned jobs,
                const std::function<void(uint64_t)> &fn);
 
-/** Number of fixed-size shards covering @p total items. */
+/**
+ * Number of fixed-size shards covering @p total items.  Overflow-safe
+ * for any (total, shardSize) pair: the naive
+ * `(total + shardSize - 1) / shardSize` wraps when the sum exceeds
+ * 2^64 (e.g. total near UINT64_MAX), silently dropping ~all shards.
+ */
 inline uint64_t
 shardCount(uint64_t total, uint64_t shardSize)
 {
-    return shardSize ? (total + shardSize - 1) / shardSize : (total ? 1 : 0);
+    if (!shardSize)
+        return total ? 1 : 0; // degenerate: one catch-all shard
+    return total / shardSize + (total % shardSize != 0);
 }
 
-/** Item count of shard @p index (the last shard may be short). */
+/**
+ * Item count of shard @p index (the last shard may be short).
+ * Overflow-safe: `index * shardSize` is only formed once @p index is
+ * known to be in range, where it provably fits (begin <= total - 1),
+ * so billion-scale exhaustive spaces can't wrap into a phantom shard.
+ */
 inline uint64_t
 shardLength(uint64_t total, uint64_t shardSize, uint64_t index)
 {
-    const uint64_t begin = index * shardSize;
-    const uint64_t end = begin + shardSize;
-    return begin >= total ? 0 : (end > total ? total - begin : shardSize);
+    if (!shardSize)
+        return index == 0 ? total : 0;
+    const uint64_t count = shardCount(total, shardSize);
+    if (index >= count)
+        return 0;
+    if (index + 1 == count)
+        return total - (count - 1) * shardSize;
+    return shardSize;
 }
 
 } // namespace aiecc

@@ -186,6 +186,30 @@ Gddr5Stats::merge(const Gddr5Stats &other)
     both += other.both;
 }
 
+std::string
+Gddr5Stats::serializeState() const
+{
+    std::ostringstream out;
+    out << "counts " << trials << ' ' << detected << ' ' << noEffect
+        << ' ' << corrected << ' ' << due << ' ' << sdc << ' ' << mdc
+        << ' ' << both << '\n';
+    return out.str();
+}
+
+void
+Gddr5Stats::deserializeState(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tag;
+    Gddr5Stats fresh;
+    in >> tag >> fresh.trials >> fresh.detected >> fresh.noEffect >>
+        fresh.corrected >> fresh.due >> fresh.sdc >> fresh.mdc >>
+        fresh.both;
+    AIECC_ASSERT(in && tag == "counts",
+                 "gddr5 stats state: expected 'counts' line");
+    *this = fresh;
+}
+
 Gddr5Campaign::Gddr5Campaign(const Protection &prot, uint64_t seed)
     : prot(prot), seed(seed)
 {
@@ -393,6 +417,83 @@ Gddr5Campaign::runTrials(Pattern pattern,
             ledger->merge(*shardLedgers[shard]);
     }
     return results;
+}
+
+RunStatus
+Gddr5Campaign::runTrialsCheckpointed(
+    Pattern pattern, const std::vector<Gddr5Error> &errors,
+    unsigned jobs, uint64_t batchShards, uint64_t &nextShard,
+    const std::function<void(uint64_t, const Gddr5Trial &)> &onResult,
+    const std::function<void(uint64_t, uint64_t)> &commit) const
+{
+    // Inner shard size matches runTrials(), so the decomposition and
+    // every derived fault ID are identical to the plain sweep's.
+    constexpr uint64_t shardSize = 4;
+    const uint64_t total = errors.size();
+    const uint64_t shards = shardCount(total, shardSize);
+
+    const uint64_t indexBase = trialCounter;
+    const uint64_t salt =
+        seed ^ obs::lineageHash("gddr5:" + prot.describe());
+
+    std::vector<std::vector<Gddr5Trial>> shardResults(shards);
+    std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
+
+    const RunStatus status = runShardsCheckpointed(
+        shards, batchShards, jobs, nextShard,
+        [&](uint64_t shard) {
+            const uint64_t begin = shard * shardSize;
+            const uint64_t n = shardLength(total, shardSize, shard);
+            obs::LineageLedger *shardLedger = nullptr;
+            if (ledger) {
+                shardLedgers[shard] =
+                    std::unique_ptr<obs::LineageLedger>(
+                        new obs::LineageLedger);
+                shardLedger = shardLedgers[shard].get();
+            }
+            shardResults[shard].resize(n);
+            for (uint64_t i = 0; i < n; ++i) {
+                const Gddr5Error &error = errors[begin + i];
+                const Gddr5Trial trial = runTrial(pattern, error);
+                shardResults[shard][i] = trial;
+                if (!shardLedger)
+                    continue;
+                const uint64_t faultId = obs::deriveFaultId(
+                    salt, static_cast<uint64_t>(pattern),
+                    indexBase + begin + i);
+                shardLedger->recordInjection(
+                    faultId, obs::FaultKind::Ccca,
+                    gddr5Site(pattern, error));
+                std::string mech;
+                if (!trial.detectors.empty())
+                    mech = detectorName(trial.detectors.front());
+                shardLedger->resolve(
+                    faultId, gddr5Terminal(trial), mech,
+                    static_cast<uint32_t>(trial.detectors.size()),
+                    trial.detected ? 1u : 0u);
+            }
+        },
+        [&](uint64_t batchBegin, uint64_t batchEnd) {
+            for (uint64_t shard = batchBegin; shard < batchEnd;
+                 ++shard) {
+                if (shardLedgers[shard]) {
+                    ledger->merge(*shardLedgers[shard]);
+                    shardLedgers[shard].reset();
+                }
+                const uint64_t begin = shard * shardSize;
+                for (uint64_t i = 0; i < shardResults[shard].size();
+                     ++i) {
+                    onResult(begin + i, shardResults[shard][i]);
+                }
+                shardResults[shard].clear();
+                shardResults[shard].shrink_to_fit();
+            }
+            commit(batchBegin, batchEnd);
+        });
+
+    if (status == RunStatus::Completed)
+        trialCounter = indexBase + total;
+    return status;
 }
 
 Gddr5Stats

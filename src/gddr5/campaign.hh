@@ -64,6 +64,14 @@ struct Gddr5Stats
     /** Fold @p other's counts into this aggregate. */
     void merge(const Gddr5Stats &other);
 
+    /**
+     * Byte-stable checkpoint state form.  deserializeState() replaces
+     * this aggregate and panics on malformed input (checkpoint
+     * payloads are digest-verified first).
+     */
+    std::string serializeState() const;
+    void deserializeState(const std::string &text);
+
     double
     coveredFrac() const
     {
@@ -99,6 +107,33 @@ class Gddr5Campaign
     Gddr5Stats sweepOnePin(Pattern pattern, unsigned jobs = 1) const;
     Gddr5Stats sweepAllPin(Pattern pattern, unsigned samples,
                            unsigned jobs = 1) const;
+
+    /**
+     * Checkpointed runTrials(): execute @p errors in contiguous shard
+     * batches starting at @p nextShard (inner shard size identical to
+     * runTrials(), so the decomposition and every fault ID match).
+     * Each batch's shard-local ledgers merge in shard order and
+     * @p onResult fires per trial in global order before
+     * @p commit(begin, end) lets the caller persist.  The caller owns
+     * resume positioning: on entry the trial counter must sit at this
+     * unit's start (see advanceTrials()); on Completed it advances
+     * past the unit.
+     */
+    RunStatus runTrialsCheckpointed(
+        Pattern pattern, const std::vector<Gddr5Error> &errors,
+        unsigned jobs, uint64_t batchShards, uint64_t &nextShard,
+        const std::function<void(uint64_t, const Gddr5Trial &)> &onResult,
+        const std::function<void(uint64_t, uint64_t)> &commit) const;
+
+    /**
+     * Advance the global trial counter by @p n without running trials
+     * — resume-time positioning past units completed by an earlier
+     * process, keeping later fault IDs identical.
+     */
+    void advanceTrials(uint64_t n) const { trialCounter += n; }
+
+    /** Global trial counter (fault-ID numbering state). */
+    uint64_t trialCount() const { return trialCounter; }
 
     /**
      * Attach a fault-lineage ledger (nullptr detaches).  Trials stay

@@ -15,12 +15,15 @@
 #ifndef AIECC_INJECT_CAMPAIGN_HH
 #define AIECC_INJECT_CAMPAIGN_HH
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "aiecc/stack.hh"
+#include "common/checkpoint.hh"
+#include "common/combinadic.hh"
 #include "obs/json.hh"
 #include "obs/lineage.hh"
 
@@ -160,6 +163,14 @@ struct CampaignStats
     /** Fold @p other's counts into this aggregate. */
     void merge(const CampaignStats &other);
 
+    /**
+     * Byte-stable checkpoint state form.  deserializeState() replaces
+     * this aggregate and panics on malformed input (checkpoint
+     * payloads are digest-verified before they get here).
+     */
+    std::string serializeState() const;
+    void deserializeState(const std::string &text);
+
     /** Serialize counts and derived fractions as one JSON object. */
     void writeJson(obs::JsonWriter &w) const;
 
@@ -273,6 +284,62 @@ class InjectionCampaign
     std::vector<TrialResult>
     runTrials(CommandPattern pattern, const std::vector<PinError> &errors,
               unsigned jobs = 1);
+
+    /**
+     * Checkpointed runTrials(): execute @p errors in contiguous shard
+     * batches (inner shard size identical to runTrials(), so the
+     * trial decomposition — and with it every fault ID — is the same)
+     * starting at shard @p nextShard.  After each batch joins, its
+     * shard-local state is merged in shard order, @p onResult fires
+     * once per trial in global input order, and @p commit(begin, end)
+     * runs on the calling thread — the caller's chance to persist a
+     * checkpoint before the next batch claims work.
+     *
+     * The caller owns resume positioning: on entry the campaign's
+     * trial counter must sit at this unit's *start* (skipTrials() has
+     * NOT been applied for the completed prefix — fault IDs are
+     * derived from the unit-start counter plus the global trial index,
+     * which this function reconstructs from nextShard).  On Completed
+     * the counter advances past the whole unit; on Interrupted (stop
+     * flag) it is left at the unit start, since the process is about
+     * to exit anyway.
+     */
+    RunStatus runTrialsCheckpointed(
+        CommandPattern pattern, const std::vector<PinError> &errors,
+        unsigned jobs, uint64_t batchShards, uint64_t &nextShard,
+        const std::function<void(uint64_t, const TrialResult &)> &onResult,
+        const std::function<void(uint64_t, uint64_t)> &commit);
+
+    /**
+     * Advance the global trial counter by @p n without running trials
+     * — resume-time positioning past units that earlier processes
+     * completed, keeping every later fault ID identical to an
+     * uninterrupted run's.
+     */
+    void skipTrials(uint64_t n) { trialIndex += n; }
+
+    /** Global trial counter (fault-ID numbering state). */
+    uint64_t trialCount() const { return trialIndex; }
+
+    /**
+     * The k-pin combination space over this configuration's
+     * injectable pins, in combinadic (lexicographic) order — rank r
+     * maps to the r'th k-subset the nested sweep loops would visit.
+     */
+    CombinationSpace kPinSpace(unsigned k) const;
+
+    /** The PinError at @p rank of kPinSpace(@p k). */
+    PinError kPinError(unsigned k, uint64_t rank) const;
+
+    /**
+     * Full enumeration of every k-pin error for one pattern via
+     * combinadic unranking.  Bit-identical to the materialized sweep
+     * of the same k (sweepOnePin/sweepTwoPin) — the unranked order IS
+     * the nested-loop order — and exhaustive by construction: every
+     * combination visited exactly once.
+     */
+    CampaignStats sweepKPinExhaustive(CommandPattern pattern, unsigned k,
+                                      unsigned jobs = 1);
 
     /** All 1-pin errors for one pattern (26/27 pins per PAR presence). */
     CampaignStats sweepOnePin(CommandPattern pattern, unsigned jobs = 1);

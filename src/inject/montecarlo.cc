@@ -1,9 +1,25 @@
 #include "inject/montecarlo.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace aiecc
 {
+
+namespace
+{
+
+/**
+ * Exhaustive-mode tags: the worker seed tag keeps the payload RNG
+ * streams disjoint from the sampled run's, and the lineage stream tag
+ * keeps exhaustive fault IDs from colliding with sampled ones when
+ * both land in one ledger.
+ */
+constexpr uint64_t exhaustiveSeedTag = 0xE87A0571FULL;
+constexpr uint64_t exhaustiveStreamTag = 1ULL << 16;
+
+} // namespace
 
 std::string
 dataErrorName(DataErrorModel model)
@@ -75,6 +91,35 @@ MonteCarloCell::writeJson(obs::JsonWriter &w) const
     w.endObject();
 }
 
+std::string
+MonteCarloCell::serializeState() const
+{
+    std::ostringstream out;
+    out << "trials " << trials << " counts";
+    for (unsigned i = 0; i < 8; ++i)
+        out << ' ' << counts[i];
+    out << '\n';
+    return out.str();
+}
+
+void
+MonteCarloCell::deserializeState(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tag;
+    MonteCarloCell fresh;
+    in >> tag >> fresh.trials;
+    AIECC_ASSERT(in && tag == "trials",
+                 "montecarlo cell state: expected 'trials'");
+    in >> tag;
+    AIECC_ASSERT(in && tag == "counts",
+                 "montecarlo cell state: expected 'counts'");
+    for (unsigned i = 0; i < 8; ++i)
+        in >> fresh.counts[i];
+    AIECC_ASSERT(in, "montecarlo cell state: truncated counts");
+    *this = fresh;
+}
+
 DataOutcome
 MonteCarloCell::dominant() const
 {
@@ -131,6 +176,65 @@ DataMonteCarlo::TrialDetail
 DataMonteCarlo::runTrialDetailed(DataErrorModel dataErr,
                                  AddrErrorModel addrErr)
 {
+    return runTrialImpl(dataErr, addrErr, nullptr);
+}
+
+uint64_t
+DataMonteCarlo::cellSpaceSize(DataErrorModel dataErr,
+                              AddrErrorModel addrErr)
+{
+    uint64_t dataAxis = 0;
+    switch (dataErr) {
+      case DataErrorModel::None: dataAxis = 1; break;
+      case DataErrorModel::Bit1:
+        dataAxis = static_cast<uint64_t>(Burst::numPins) *
+                   Burst::numBeats;
+        break;
+      case DataErrorModel::Chip1:
+      case DataErrorModel::Rank1:
+        return 0; // whole random words: no finite position space
+    }
+    uint64_t addrAxis = 0;
+    switch (addrErr) {
+      case AddrErrorModel::None: addrAxis = 1; break;
+      case AddrErrorModel::Bit1: addrAxis = 32; break;
+      case AddrErrorModel::Bits32: return 0;
+    }
+    if (dataErr == DataErrorModel::None &&
+        addrErr == AddrErrorModel::None) {
+        return 0; // nothing injected, nothing to enumerate
+    }
+    return dataAxis * addrAxis;
+}
+
+DataMonteCarlo::TrialDetail
+DataMonteCarlo::runTrialAt(DataErrorModel dataErr, AddrErrorModel addrErr,
+                           uint64_t position)
+{
+    const uint64_t space = cellSpaceSize(dataErr, addrErr);
+    AIECC_ASSERT(space > 0, "cell " << dataErrorName(dataErr) << "/"
+                                    << addrErrorName(addrErr)
+                                    << " is not enumerable");
+    AIECC_ASSERT(position < space,
+                 "position " << position << " outside cell space "
+                             << space);
+    // Mixed radix, data position fastest: position = addrPos *
+    // dataAxis + dataPos.
+    const uint64_t dataAxis =
+        dataErr == DataErrorModel::Bit1
+            ? static_cast<uint64_t>(Burst::numPins) * Burst::numBeats
+            : 1;
+    ErrorCoords coords;
+    coords.dataPos = static_cast<unsigned>(position % dataAxis);
+    coords.addrPos = static_cast<unsigned>(position / dataAxis);
+    return runTrialImpl(dataErr, addrErr, &coords);
+}
+
+DataMonteCarlo::TrialDetail
+DataMonteCarlo::runTrialImpl(DataErrorModel dataErr,
+                             AddrErrorModel addrErr,
+                             const ErrorCoords *coords)
+{
     obs::CostAccountant *cost = obsHandle ? obsHandle->cost() : nullptr;
 
     // Encode a random payload under a random write address.
@@ -149,10 +253,14 @@ DataMonteCarlo::runTrialDetailed(DataErrorModel dataErr,
       case DataErrorModel::None:
         break;
       case DataErrorModel::Bit1: {
-        const unsigned pin =
-            static_cast<unsigned>(rng.below(Burst::numPins));
-        const unsigned beat =
-            static_cast<unsigned>(rng.below(Burst::numBeats));
+        unsigned pin, beat;
+        if (coords) {
+            pin = coords->dataPos / Burst::numBeats;
+            beat = coords->dataPos % Burst::numBeats;
+        } else {
+            pin = static_cast<unsigned>(rng.below(Burst::numPins));
+            beat = static_cast<unsigned>(rng.below(Burst::numBeats));
+        }
         burst.setBit(pin, beat, !burst.getBit(pin, beat));
         break;
       }
@@ -176,7 +284,7 @@ DataMonteCarlo::runTrialDetailed(DataErrorModel dataErr,
       case AddrErrorModel::None:
         break;
       case AddrErrorModel::Bit1:
-        addrR ^= 1u << rng.below(32);
+        addrR ^= 1u << (coords ? coords->addrPos : rng.below(32));
         break;
       case AddrErrorModel::Bits32:
         addrR = static_cast<uint32_t>(rng.next());
@@ -293,7 +401,8 @@ void
 DataMonteCarlo::recordLineage(obs::LineageLedger &led,
                               DataErrorModel dataErr,
                               AddrErrorModel addrErr, uint64_t trial,
-                              const TrialDetail &detail) const
+                              const TrialDetail &detail,
+                              bool exhaustive) const
 {
     const DataOutcome outcome = detail.outcome;
     const bool data = dataErr != DataErrorModel::None;
@@ -307,7 +416,8 @@ DataMonteCarlo::recordLineage(obs::LineageLedger &led,
     const uint64_t salt =
         baseSeed ^ obs::lineageHash("mc:" + ecc->name());
     const uint64_t stream = (static_cast<uint64_t>(dataErr) << 8) |
-                            static_cast<uint64_t>(addrErr);
+                            static_cast<uint64_t>(addrErr) |
+                            (exhaustive ? exhaustiveStreamTag : 0);
     const uint64_t faultId = obs::deriveFaultId(salt, stream, trial);
     led.recordInjection(faultId, kind,
                         dataErrorName(dataErr) + "/" +
@@ -449,6 +559,136 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
                  << addrErrorName(addrErr) << ": " << cell.trials
                  << " trials, SDC frac " << cell.sdcFrac());
     return cell;
+}
+
+MonteCarloCell
+DataMonteCarlo::runCellExhaustive(DataErrorModel dataErr,
+                                  AddrErrorModel addrErr,
+                                  const ShardPlan &plan)
+{
+    const uint64_t space = cellSpaceSize(dataErr, addrErr);
+    AIECC_ASSERT(space > 0, "cell " << dataErrorName(dataErr) << "/"
+                                    << addrErrorName(addrErr)
+                                    << " is not enumerable");
+    MonteCarloCell cell;
+    uint64_t nextShard = 0;
+    const RunStatus status = runCellCheckpointed(
+        dataErr, addrErr, space, /*exhaustive=*/true, plan,
+        /*batchShards=*/~static_cast<uint64_t>(0) >> 1, nextShard, cell,
+        [](uint64_t, uint64_t) {});
+    AIECC_ASSERT(status == RunStatus::Completed,
+                 "exhaustive cell run interrupted");
+    AIECC_INFORM("Monte-Carlo cell (exhaustive) "
+                 << ecc->name() << " / " << dataErrorName(dataErr)
+                 << " / " << addrErrorName(addrErr) << ": "
+                 << cell.trials << " positions, SDC frac "
+                 << cell.sdcFrac());
+    return cell;
+}
+
+RunStatus
+DataMonteCarlo::runCellCheckpointed(
+    DataErrorModel dataErr, AddrErrorModel addrErr, uint64_t trials,
+    bool exhaustive, const ShardPlan &plan, uint64_t batchShards,
+    uint64_t &nextShard, MonteCarloCell &cell,
+    const std::function<void(uint64_t, uint64_t)> &commit)
+{
+    AIECC_ASSERT(plan.shardSize > 0, "shard size must be positive");
+    if (exhaustive) {
+        const uint64_t space = cellSpaceSize(dataErr, addrErr);
+        AIECC_ASSERT(space > 0,
+                     "cell " << dataErrorName(dataErr) << "/"
+                             << addrErrorName(addrErr)
+                             << " is not enumerable");
+        AIECC_ASSERT(trials == space,
+                     "exhaustive cell run must cover the whole space ("
+                         << trials << " vs " << space << ")");
+    }
+    const uint64_t shards = shardCount(trials, plan.shardSize);
+
+    // Same per-cell seed derivation as runCellSharded — an exhaustive
+    // run additionally tags the worker streams so its payload draws
+    // are disjoint from a sampled run of the same cell.
+    const uint64_t cellSeed = baseSeed ^
+                              (static_cast<uint64_t>(dataErr) << 32) ^
+                              (static_cast<uint64_t>(addrErr) << 40) ^
+                              (exhaustive ? exhaustiveSeedTag : 0);
+
+    obs::StatsRegistry *parentStats =
+        obsHandle ? obsHandle->stats() : nullptr;
+    obs::CostAccountant *parentCost =
+        obsHandle ? obsHandle->cost() : nullptr;
+
+    std::vector<MonteCarloCell> cells(shards);
+    std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
+    std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
+    std::vector<std::unique_ptr<obs::CostAccountant>> shardCost(shards);
+
+    return runShardsCheckpointed(
+        shards, batchShards, plan.jobs, nextShard,
+        [&](uint64_t shard) {
+            DataMonteCarlo worker(schemeKind, cellSeed);
+            worker.rng = Rng::forStream(cellSeed, shard);
+            worker.retry = retry;
+
+            obs::Observer shardObs;
+            if (parentStats) {
+                shardStats[shard] = std::unique_ptr<obs::StatsRegistry>(
+                    new obs::StatsRegistry);
+                shardObs.setStats(shardStats[shard].get());
+            }
+            if (parentCost) {
+                shardCost[shard] = std::unique_ptr<obs::CostAccountant>(
+                    new obs::CostAccountant(parentCost->model()));
+                shardObs.setCost(shardCost[shard].get());
+            }
+            if (parentStats || parentCost)
+                worker.setObserver(&shardObs);
+
+            obs::LineageLedger *shardLedger = nullptr;
+            if (ledger) {
+                shardLedgers[shard] =
+                    std::unique_ptr<obs::LineageLedger>(
+                        new obs::LineageLedger);
+                shardLedger = shardLedgers[shard].get();
+            }
+
+            const uint64_t begin = shard * plan.shardSize;
+            const uint64_t n =
+                shardLength(trials, plan.shardSize, shard);
+            for (uint64_t i = 0; i < n; ++i) {
+                const TrialDetail detail =
+                    exhaustive
+                        ? worker.runTrialAt(dataErr, addrErr, begin + i)
+                        : worker.runTrialImpl(dataErr, addrErr,
+                                              nullptr);
+                cells[shard].add(detail.outcome);
+                if (shardLedger) {
+                    recordLineage(*shardLedger, dataErr, addrErr,
+                                  begin + i, detail, exhaustive);
+                }
+            }
+        },
+        [&](uint64_t batchBegin, uint64_t batchEnd) {
+            for (uint64_t shard = batchBegin; shard < batchEnd;
+                 ++shard) {
+                cell.merge(cells[shard]);
+                cells[shard] = MonteCarloCell{};
+                if (parentStats && shardStats[shard]) {
+                    parentStats->merge(*shardStats[shard]);
+                    shardStats[shard].reset();
+                }
+                if (parentCost && shardCost[shard]) {
+                    parentCost->merge(*shardCost[shard]);
+                    shardCost[shard].reset();
+                }
+                if (shardLedgers[shard]) {
+                    ledger->merge(*shardLedgers[shard]);
+                    shardLedgers[shard].reset();
+                }
+            }
+            commit(batchBegin, batchEnd);
+        });
 }
 
 } // namespace aiecc

@@ -16,9 +16,11 @@
 #define AIECC_INJECT_MONTECARLO_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "aiecc/mechanisms.hh"
+#include "common/checkpoint.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "obs/json.hh"
@@ -120,6 +122,14 @@ struct MonteCarloCell
 
     /** Serialize trial count and per-outcome counts as JSON. */
     void writeJson(obs::JsonWriter &w) const;
+
+    /**
+     * Byte-stable checkpoint state form ("trials T counts c0..c7").
+     * deserializeState() replaces this cell and panics on malformed
+     * input (checkpoint payloads are digest-verified first).
+     */
+    std::string serializeState() const;
+    void deserializeState(const std::string &text);
 };
 
 /** Stat-name-safe outcome slug ("CE-R+" -> "ce_r_plus"). */
@@ -203,6 +213,55 @@ class DataMonteCarlo
                                   AddrErrorModel addrErr, uint64_t trials,
                                   const ShardPlan &plan = ShardPlan());
 
+    /**
+     * Size of the exhaustive error-position space for one Table III
+     * cell, or 0 when the cell is not enumerable.  The enumerable
+     * axes are the deterministic single-flip models — data Bit1 (one
+     * of numPins × numBeats transferred bits) and address Bit1 (one
+     * of 32 address bits); Chip1/Rank1/Bits32 draw whole random words
+     * and have no finite position space.  A None axis contributes
+     * factor 1, and None/None (nothing injected) reports 0.
+     */
+    static uint64_t cellSpaceSize(DataErrorModel dataErr,
+                                  AddrErrorModel addrErr);
+
+    /**
+     * Run one trial with the error *position* fixed by @p position
+     * (mixed-radix over the cell space: data position varies fastest)
+     * instead of drawn from the RNG.  Payload and write address still
+     * come from the evaluator's RNG — exhaustive mode enumerates
+     * where the error lands, not what data it lands on.
+     */
+    TrialDetail runTrialAt(DataErrorModel dataErr, AddrErrorModel addrErr,
+                           uint64_t position);
+
+    /**
+     * Full enumeration of one enumerable Table III cell: every error
+     * position visited exactly once, sharded and merged in shard
+     * order like runCellSharded() (bit-identical for any jobs value).
+     * Lineage fault IDs use a stream tag distinct from the sampled
+     * runs', so one ledger can carry both without ID collisions.
+     */
+    MonteCarloCell runCellExhaustive(DataErrorModel dataErr,
+                                     AddrErrorModel addrErr,
+                                     const ShardPlan &plan = ShardPlan());
+
+    /**
+     * Checkpointed cell run (sampled or exhaustive): execute the
+     * cell's shards in contiguous batches starting at @p nextShard,
+     * folding each batch into @p cell (and the attached
+     * stats/cost/ledger hookups) strictly in shard order before
+     * @p commit(begin, end) runs — the caller's chance to persist.
+     * The shard decomposition and per-shard RNG streams are identical
+     * to runCellSharded()/runCellExhaustive(), so a run resumed any
+     * number of times merges to the same bits as an uninterrupted one.
+     */
+    RunStatus runCellCheckpointed(
+        DataErrorModel dataErr, AddrErrorModel addrErr, uint64_t trials,
+        bool exhaustive, const ShardPlan &plan, uint64_t batchShards,
+        uint64_t &nextShard, MonteCarloCell &cell,
+        const std::function<void(uint64_t, uint64_t)> &commit);
+
     const DataEcc &codec() const { return *ecc; }
 
   private:
@@ -222,10 +281,27 @@ class DataMonteCarlo
     McCounters oc;
     obs::LineageLedger *ledger = nullptr;
 
-    /** Open-and-resolve one trial's lineage record into @p led. */
+    /** Fixed error coordinates for exhaustive-mode trials. */
+    struct ErrorCoords
+    {
+        unsigned dataPos = 0;
+        unsigned addrPos = 0;
+    };
+
+    /** The one trial body; @p coords null = sampled positions. */
+    TrialDetail runTrialImpl(DataErrorModel dataErr,
+                             AddrErrorModel addrErr,
+                             const ErrorCoords *coords);
+
+    /**
+     * Open-and-resolve one trial's lineage record into @p led.
+     * Exhaustive runs tag the fault-ID stream so they never collide
+     * with a sampled run of the same cell in one ledger.
+     */
     void recordLineage(obs::LineageLedger &led, DataErrorModel dataErr,
                        AddrErrorModel addrErr, uint64_t trial,
-                       const TrialDetail &detail) const;
+                       const TrialDetail &detail,
+                       bool exhaustive = false) const;
 };
 
 } // namespace aiecc

@@ -223,6 +223,16 @@ class CostAccountant
     uint64_t digest() const;
 
     /**
+     * Restore the tallies from a serialize() form (the text form is
+     * already self-contained: level/category names carry no spaces).
+     * The model is NOT in the text — the caller reconstructs it from
+     * the campaign configuration, exactly as on a fresh run — and
+     * totals are recomputed as Σ cells.  Malformed input panics:
+     * checkpoint payloads are digest-verified before they get here.
+     */
+    void deserializeState(const std::string &text);
+
+    /**
      * Serialize as one JSON object: the model, access counts, the
      * per-level × per-category attribution (integer units plus
      * derived bytes/ns), totals, the derived Pareto metrics, and the

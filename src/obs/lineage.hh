@@ -157,6 +157,23 @@ class LineageLedger
     uint64_t digest() const;
 
     /**
+     * Self-contained checkpoint state form: intern tables one name
+     * per line (site names may contain spaces, so the display-oriented
+     * serialize() is not reversible), then numeric records.  A ledger
+     * restored by deserializeState() is behaviorally identical —
+     * serialize(), digest(), merge() and further record/resolve calls
+     * all continue as if the process had never died.
+     */
+    std::string serializeState() const;
+
+    /**
+     * Replace this ledger with @p text (a serializeState() form).
+     * Malformed input panics: checkpoint payloads are digest-verified
+     * before they get here, so damage means a harness bug.
+     */
+    void deserializeState(const std::string &text);
+
+    /**
      * Serialize as one JSON object: record/unaccounted counts, the
      * digest, and up to @p maxRecords full records (default caps the
      * artifact size; the digest still covers every record).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <vector>
 
@@ -374,6 +376,99 @@ StatsRegistry::str() const
         out << "\n";
     }
     return out.str();
+}
+
+namespace
+{
+
+/** Exact double round-trip: raw IEEE-754 bits in hex. */
+std::string
+doubleBitsHex(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    std::ostringstream out;
+    out << std::hex << bits;
+    return out.str();
+}
+
+double
+doubleFromBitsHex(const std::string &hex)
+{
+    const uint64_t bits = std::strtoull(hex.c_str(), nullptr, 16);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+} // namespace
+
+std::string
+StatsRegistry::serializeState() const
+{
+    // Stat names are [A-Za-z0-9_+-.] only (registerName), so
+    // space-separated fields are unambiguous.  Doubles travel as raw
+    // bit patterns: a decimal round trip could perturb a merged sum.
+    std::ostringstream out;
+    out << "counters " << counters.size() << '\n';
+    for (const auto &[name, stat] : counters)
+        out << name << ' ' << stat->value() << '\n';
+    out << "scalars " << scalars.size() << '\n';
+    for (const auto &[name, stat] : scalars)
+        out << name << ' ' << doubleBitsHex(stat->value()) << '\n';
+    out << "histograms " << histograms.size() << '\n';
+    for (const auto &[name, stat] : histograms) {
+        out << name << ' ' << stat->cnt << ' '
+            << doubleBitsHex(stat->total) << ' ' << stat->mn << ' '
+            << stat->mx;
+        for (unsigned b = 0; b < Histogram::numBuckets; ++b)
+            out << ' ' << stat->buckets[b];
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+StatsRegistry::deserializeState(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tag, name, hex;
+    uint64_t count = 0;
+
+    StatsRegistry fresh;
+    in >> tag >> count;
+    AIECC_ASSERT(in && tag == "counters",
+                 "stats state: expected 'counters' header");
+    for (uint64_t i = 0; i < count; ++i) {
+        uint64_t value = 0;
+        in >> name >> value;
+        AIECC_ASSERT(in, "stats state: truncated counter table");
+        fresh.counter(name) += value;
+    }
+    in >> tag >> count;
+    AIECC_ASSERT(in && tag == "scalars",
+                 "stats state: expected 'scalars' header");
+    for (uint64_t i = 0; i < count; ++i) {
+        in >> name >> hex;
+        AIECC_ASSERT(in, "stats state: truncated scalar table");
+        fresh.scalar(name) = doubleFromBitsHex(hex);
+    }
+    in >> tag >> count;
+    AIECC_ASSERT(in && tag == "histograms",
+                 "stats state: expected 'histograms' header");
+    for (uint64_t i = 0; i < count; ++i) {
+        in >> name;
+        AIECC_ASSERT(in, "stats state: truncated histogram table");
+        Histogram &h = fresh.histogram(name);
+        in >> h.cnt >> hex >> h.mn >> h.mx;
+        h.total = doubleFromBitsHex(hex);
+        for (unsigned b = 0; b < Histogram::numBuckets; ++b)
+            in >> h.buckets[b];
+        AIECC_ASSERT(in, "stats state: truncated histogram '" << name
+                                                              << "'");
+    }
+    *this = std::move(fresh);
 }
 
 } // namespace obs

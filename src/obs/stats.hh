@@ -211,6 +211,22 @@ class StatsRegistry
     /** Flat gem5-stats.txt-style text dump (sorted by name). */
     std::string str() const;
 
+    /**
+     * Self-contained checkpoint state form: counter values, scalar
+     * values and full histogram state (doubles as raw bit patterns so
+     * the round trip is exact).  Descriptions are not carried — a
+     * restored registry adopts them on first live re-registration,
+     * exactly as merge() does for stats absent on one side.
+     */
+    std::string serializeState() const;
+
+    /**
+     * Replace this registry's contents with @p text (a
+     * serializeState() form).  Malformed input panics: checkpoint
+     * payloads are digest-verified before they get here.
+     */
+    void deserializeState(const std::string &text);
+
   private:
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Scalar>> scalars;

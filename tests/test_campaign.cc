@@ -456,5 +456,147 @@ TEST(CampaignStatsMerge, FoldsAllCountsAndDetectorMap)
     EXPECT_EQ(left.retryExhausted, whole.retryExhausted);
 }
 
+// ---- checkpoint state round-trip ----
+
+TEST(CampaignStatsState, RoundTripIsExact)
+{
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    CampaignStats stats = camp.sweepOnePin(CommandPattern::ActWr, 2);
+    stats.merge(camp.sweepAllPin(CommandPattern::Pre, 40, 2));
+    ASSERT_GT(stats.trials, 0u);
+
+    CampaignStats restored;
+    restored.deserializeState(stats.serializeState());
+    EXPECT_EQ(restored.serializeState(), stats.serializeState());
+    EXPECT_EQ(restored.trials, stats.trials);
+    EXPECT_EQ(restored.detected, stats.detected);
+    EXPECT_EQ(restored.byFirstDetector, stats.byFirstDetector);
+    EXPECT_EQ(restored.recoveryEpisodes, stats.recoveryEpisodes);
+    EXPECT_EQ(restored.recoveryAttempts, stats.recoveryAttempts);
+    EXPECT_EQ(restored.retryExhausted, stats.retryExhausted);
+}
+
+// ---- combinadic exhaustive sweeps ----
+
+TEST(CampaignExhaustive, KPinSpaceCoversInjectablePinsInSweepOrder)
+{
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    const auto pins = injectablePins(camp.mechanisms().parPinPresent());
+    const CombinationSpace space = camp.kPinSpace(2);
+    EXPECT_EQ(space.n(), pins.size());
+    EXPECT_EQ(space.size(), pins.size() * (pins.size() - 1) / 2);
+    // Rank 0 must be the first pair the nested sweep loops visit, and
+    // the last rank the final pair.
+    const PinError first = camp.kPinError(2, 0);
+    ASSERT_EQ(first.flips.size(), 2u);
+    EXPECT_EQ(first.flips[0], pins[0]);
+    EXPECT_EQ(first.flips[1], pins[1]);
+    const PinError last = camp.kPinError(2, space.size() - 1);
+    EXPECT_EQ(last.flips[0], pins[pins.size() - 2]);
+    EXPECT_EQ(last.flips[1], pins[pins.size() - 1]);
+}
+
+TEST(CampaignExhaustive, TwoPinSweepMatchesMaterializedSweep)
+{
+    // The combinadic enumeration must reproduce the materialized
+    // nested-loop sweep bit for bit — same combinations, same order,
+    // same aggregate.
+    InjectionCampaign a(level(ProtectionLevel::Aiecc));
+    InjectionCampaign b(level(ProtectionLevel::Aiecc));
+    const CampaignStats exh =
+        a.sweepKPinExhaustive(CommandPattern::Wr, 2, 2);
+    const CampaignStats mat = b.sweepTwoPin(CommandPattern::Wr, 2);
+    EXPECT_EQ(exh.serializeState(), mat.serializeState());
+    EXPECT_GT(exh.trials, 0u);
+}
+
+// ---- checkpointed execution ----
+
+TEST(CampaignCheckpointed, MatchesPlainRunTrialsAndLedger)
+{
+    obs::LineageLedger plainLedger, ckptLedger;
+    InjectionCampaign plain(level(ProtectionLevel::Aiecc));
+    plain.setLineageLedger(&plainLedger);
+    InjectionCampaign ckpt(level(ProtectionLevel::Aiecc));
+    ckpt.setLineageLedger(&ckptLedger);
+
+    std::vector<PinError> errors;
+    for (Pin pin : injectablePins(true))
+        errors.push_back(PinError::onePin(pin));
+
+    const auto want =
+        plain.runTrials(CommandPattern::ActWr, errors, 2);
+
+    std::vector<TrialResult> got(errors.size());
+    uint64_t nextShard = 0;
+    const RunStatus status = ckpt.runTrialsCheckpointed(
+        CommandPattern::ActWr, errors, 2, /*batchShards=*/2, nextShard,
+        [&](uint64_t trial, const TrialResult &r) { got[trial] = r; },
+        [](uint64_t, uint64_t) {});
+    ASSERT_EQ(status, RunStatus::Completed);
+    EXPECT_EQ(ckpt.trialCount(), plain.trialCount());
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].outcome, want[i].outcome) << i;
+        EXPECT_EQ(got[i].detected, want[i].detected) << i;
+        EXPECT_EQ(got[i].detectors, want[i].detectors) << i;
+        EXPECT_EQ(got[i].recovery, want[i].recovery) << i;
+    }
+    EXPECT_EQ(ckptLedger.digest(), plainLedger.digest());
+}
+
+TEST(CampaignCheckpointed, InterruptAndResumeIsBitIdentical)
+{
+    std::vector<PinError> errors;
+    for (Pin pin : injectablePins(true))
+        errors.push_back(PinError::onePin(pin));
+
+    // Reference: one uninterrupted checkpointed run.
+    obs::LineageLedger refLedger;
+    InjectionCampaign ref(level(ProtectionLevel::Aiecc));
+    ref.setLineageLedger(&refLedger);
+    std::vector<TrialResult> want(errors.size());
+    uint64_t refShard = 0;
+    ASSERT_EQ(ref.runTrialsCheckpointed(
+                  CommandPattern::Rd, errors, 2, 2, refShard,
+                  [&](uint64_t t, const TrialResult &r) { want[t] = r; },
+                  [](uint64_t, uint64_t) {}),
+              RunStatus::Completed);
+
+    // Interrupted run: stop after the first committed batch, then
+    // resume from the recorded shard.  The trial counter contract:
+    // Interrupted leaves it at the unit start, so the resumed call
+    // starts from the same base.
+    clearStopRequest();
+    obs::LineageLedger ledger;
+    InjectionCampaign camp(level(ProtectionLevel::Aiecc));
+    camp.setLineageLedger(&ledger);
+    std::vector<TrialResult> got(errors.size());
+    uint64_t nextShard = 0;
+    ASSERT_EQ(camp.runTrialsCheckpointed(
+                  CommandPattern::Rd, errors, 2, 2, nextShard,
+                  [&](uint64_t t, const TrialResult &r) { got[t] = r; },
+                  [](uint64_t, uint64_t) { requestStop(); }),
+              RunStatus::Interrupted);
+    clearStopRequest();
+    ASSERT_GT(nextShard, 0u);
+    ASSERT_LT(nextShard * 4, errors.size() + 4); // mid-unit
+    EXPECT_EQ(camp.trialCount(), 0u); // still at the unit start
+
+    ASSERT_EQ(camp.runTrialsCheckpointed(
+                  CommandPattern::Rd, errors, 2, 2, nextShard,
+                  [&](uint64_t t, const TrialResult &r) { got[t] = r; },
+                  [](uint64_t, uint64_t) {}),
+              RunStatus::Completed);
+
+    for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].outcome, want[i].outcome) << i;
+        EXPECT_EQ(got[i].detected, want[i].detected) << i;
+    }
+    EXPECT_EQ(ledger.digest(), refLedger.digest());
+    EXPECT_EQ(camp.trialCount(), ref.trialCount());
+}
+
 } // namespace
 } // namespace aiecc

@@ -279,6 +279,45 @@ TEST(CostSharded, InjectionCampaignBitIdenticalAcrossJobs)
 
 // ---- the model derivation: scheme knobs map to the right levels ----
 
+TEST(Cost, CheckpointStateRoundTripIsExact)
+{
+    // Bill real campaign traffic into an accountant, round-trip it
+    // through the checkpoint state form into a fresh accountant over
+    // the same (caller-reconstructed) model, and require bitwise
+    // equality of the canonical serialization — plus a clean audit and
+    // continued usability after the restore.
+    const Mechanisms mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
+    CostAccountant acct(makeCostModel(mech));
+    InjectionCampaign camp(mech);
+    camp.setCostAccountant(&acct);
+    camp.sweepOnePin(CommandPattern::ActWr, 2);
+    ASSERT_TRUE(acct.audit().ok);
+
+    CostAccountant restored(makeCostModel(mech));
+    restored.deserializeState(acct.serialize());
+    EXPECT_EQ(restored.serialize(), acct.serialize());
+    EXPECT_EQ(restored.digest(), acct.digest());
+    EXPECT_TRUE(restored.audit().ok);
+
+    // Both must accept further billing identically.
+    InjectionCampaign moreA(mech);
+    moreA.setCostAccountant(&acct);
+    moreA.sweepAllPin(CommandPattern::Pre, 10, 1);
+    InjectionCampaign moreB(mech);
+    moreB.setCostAccountant(&restored);
+    moreB.sweepAllPin(CommandPattern::Pre, 10, 1);
+    EXPECT_EQ(restored.serialize(), acct.serialize());
+}
+
+TEST(Cost, EmptyAccountantStateRoundTrips)
+{
+    CostAccountant acct(aieccModel());
+    CostAccountant restored(aieccModel());
+    restored.deserializeState(acct.serialize());
+    EXPECT_EQ(restored.serialize(), acct.serialize());
+    EXPECT_TRUE(restored.audit().ok);
+}
+
 TEST(CostModelDerivation, LevelsFollowMechanisms)
 {
     const CostModel none =

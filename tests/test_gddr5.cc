@@ -241,6 +241,66 @@ TEST(Gddr5Campaign, AieccGSurvivesAllPinNoise)
     }
 }
 
+TEST(Gddr5Campaign, StatsStateRoundTripIsExact)
+{
+    Gddr5Campaign campaign(Protection::baseline());
+    Gddr5Stats stats = campaign.sweepOnePin(Pattern::ActWr);
+    stats.merge(campaign.sweepAllPin(Pattern::Rd, 12));
+    ASSERT_GT(stats.trials, 0u);
+
+    Gddr5Stats restored;
+    restored.deserializeState(stats.serializeState());
+    EXPECT_EQ(restored.serializeState(), stats.serializeState());
+    EXPECT_EQ(restored.trials, stats.trials);
+    EXPECT_EQ(restored.detected, stats.detected);
+    EXPECT_EQ(restored.sdc, stats.sdc);
+    EXPECT_EQ(restored.mdc, stats.mdc);
+    EXPECT_EQ(restored.both, stats.both);
+    EXPECT_DOUBLE_EQ(restored.coveredFrac(), stats.coveredFrac());
+}
+
+TEST(Gddr5Campaign, CheckpointedMatchesSweepAndResumesIdentically)
+{
+    std::vector<Gddr5Error> errors;
+    for (Pin pin : gddr5InjectablePins())
+        errors.push_back(Gddr5Error::onePin(pin));
+
+    obs::LineageLedger refLedger;
+    Gddr5Campaign ref(Protection::aiecc());
+    ref.setLineageLedger(&refLedger);
+    Gddr5Stats want;
+    for (const auto &trial : ref.runTrials(Pattern::Wr, errors, 2))
+        want.add(trial);
+
+    // Interrupt in the first commit, then continue from the recorded
+    // shard; the concatenated result stream must aggregate to the
+    // uninterrupted sweep and the ledger must match bit for bit.
+    clearStopRequest();
+    obs::LineageLedger ledger;
+    Gddr5Campaign camp(Protection::aiecc());
+    camp.setLineageLedger(&ledger);
+    Gddr5Stats got;
+    uint64_t nextShard = 0;
+    ASSERT_EQ(camp.runTrialsCheckpointed(
+                  Pattern::Wr, errors, 2, /*batchShards=*/2, nextShard,
+                  [&](uint64_t, const Gddr5Trial &t) { got.add(t); },
+                  [](uint64_t, uint64_t) { requestStop(); }),
+              RunStatus::Interrupted);
+    clearStopRequest();
+    ASSERT_GT(nextShard, 0u);
+    ASSERT_LT(got.trials, want.trials);
+    EXPECT_EQ(camp.trialCount(), 0u); // left at the unit start
+
+    ASSERT_EQ(camp.runTrialsCheckpointed(
+                  Pattern::Wr, errors, 2, 2, nextShard,
+                  [&](uint64_t, const Gddr5Trial &t) { got.add(t); },
+                  [](uint64_t, uint64_t) {}),
+              RunStatus::Completed);
+    EXPECT_EQ(got.serializeState(), want.serializeState());
+    EXPECT_EQ(ledger.digest(), refLedger.digest());
+    EXPECT_EQ(camp.trialCount(), ref.trialCount());
+}
+
 } // namespace
 } // namespace gddr5
 } // namespace aiecc

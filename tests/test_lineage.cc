@@ -335,6 +335,50 @@ TEST(StatsDescriptionDeathTest, CollisionAcrossMergedShardsPanics)
                  "different description");
 }
 
+TEST(LineageLedger, CheckpointStateRoundTripIsExact)
+{
+    // A ledger restored from its checkpoint form must be behaviorally
+    // identical: same serialize()/digest(), and it keeps working —
+    // further injections and merges behave as if the process never
+    // died.  Site names with spaces exercise the intern-table path
+    // (the display serialize() is not reversible for those).
+    LineageLedger ledger;
+    ledger.recordInjection(11, FaultKind::Ccca, "CS + CKE pair");
+    ledger.resolve(11, FaultTerminal::Recovered, "eWCRC", 2, 1);
+    ledger.recordInjection(12, FaultKind::Data, "chip 3");
+    ledger.resolve(12, FaultTerminal::Corrected, "QPC");
+    ledger.recordInjection(13, FaultKind::Addr, "addr bit 7");
+    // 13 left Unaccounted on purpose: in-flight state must survive.
+
+    LineageLedger restored;
+    restored.deserializeState(ledger.serializeState());
+    EXPECT_EQ(restored.serialize(), ledger.serialize());
+    EXPECT_EQ(restored.serializeState(), ledger.serializeState());
+    EXPECT_EQ(restored.digest(), ledger.digest());
+    EXPECT_EQ(restored.size(), 3u);
+    EXPECT_EQ(restored.unaccounted(), 1u);
+
+    // Both continue identically after the restore point.
+    ledger.resolve(13, FaultTerminal::Detected, "eDECC", 1, 0);
+    ledger.recordInjection(14, FaultKind::Data, "chip 3");
+    ledger.resolve(14, FaultTerminal::Masked);
+    restored.resolve(13, FaultTerminal::Detected, "eDECC", 1, 0);
+    restored.recordInjection(14, FaultKind::Data, "chip 3");
+    restored.resolve(14, FaultTerminal::Masked);
+    EXPECT_EQ(restored.serialize(), ledger.serialize());
+    EXPECT_EQ(restored.digest(), ledger.digest());
+}
+
+TEST(LineageLedgerDeathTest, RestoredLedgerStillPanicsOnDuplicates)
+{
+    LineageLedger ledger;
+    ledger.recordInjection(21, FaultKind::Data, "bit");
+    LineageLedger restored;
+    restored.deserializeState(ledger.serializeState());
+    EXPECT_DEATH(restored.recordInjection(21, FaultKind::Data, "bit"),
+                 "duplicate injection");
+}
+
 TEST(StatsDescription, EmptyAndEqualDescriptionsAreCompatible)
 {
     obs::StatsRegistry reg;

@@ -264,5 +264,136 @@ TEST(MonteCarlo, ShardedMatchesPaperExpectations)
     EXPECT_NEAR(cell.sdcFrac(), 1.0 / 16.0, 0.02);
 }
 
+// ---- checkpoint state round-trip ----
+
+TEST(MonteCarlo, CellStateRoundTripIsExact)
+{
+    DataMonteCarlo mc(EccScheme::AzulQpc, 0xBEEF);
+    const MonteCarloCell cell =
+        mc.runCell(DataErrorModel::Chip1, AddrErrorModel::Bit1, 300);
+    MonteCarloCell restored;
+    restored.deserializeState(cell.serializeState());
+    EXPECT_EQ(restored.serializeState(), cell.serializeState());
+    EXPECT_EQ(restored.trials, cell.trials);
+    for (unsigned o = 0; o < 8; ++o)
+        EXPECT_EQ(restored.counts[o], cell.counts[o]) << o;
+}
+
+// ---- exhaustive enumeration ----
+
+TEST(MonteCarloExhaustive, CellSpaceSizes)
+{
+    using D = DataErrorModel;
+    using A = AddrErrorModel;
+    // 72 pins x 8 beats transferred bits; 32 MTB-address bits.
+    EXPECT_EQ(DataMonteCarlo::cellSpaceSize(D::Bit1, A::None), 576u);
+    EXPECT_EQ(DataMonteCarlo::cellSpaceSize(D::None, A::Bit1), 32u);
+    EXPECT_EQ(DataMonteCarlo::cellSpaceSize(D::Bit1, A::Bit1), 18432u);
+    // Random-word models have no finite position space.
+    EXPECT_EQ(DataMonteCarlo::cellSpaceSize(D::Chip1, A::None), 0u);
+    EXPECT_EQ(DataMonteCarlo::cellSpaceSize(D::Rank1, A::Bit1), 0u);
+    EXPECT_EQ(DataMonteCarlo::cellSpaceSize(D::Bit1, A::Bits32), 0u);
+    EXPECT_EQ(DataMonteCarlo::cellSpaceSize(D::None, A::None), 0u);
+}
+
+TEST(MonteCarloExhaustive, ResultIndependentOfJobs)
+{
+    MonteCarloCell byJobs[3];
+    const unsigned jobsValues[3] = {1, 2, 8};
+    for (unsigned i = 0; i < 3; ++i) {
+        DataMonteCarlo mc(EccScheme::EDeccQpc, 0x5EED);
+        ShardPlan plan;
+        plan.shardSize = 64;
+        plan.jobs = jobsValues[i];
+        byJobs[i] = mc.runCellExhaustive(DataErrorModel::Bit1,
+                                         AddrErrorModel::Bit1, plan);
+    }
+    EXPECT_EQ(byJobs[0].trials, 18432u);
+    for (unsigned i = 1; i < 3; ++i)
+        for (unsigned o = 0; o < 8; ++o)
+            EXPECT_EQ(byJobs[i].counts[o], byJobs[0].counts[o])
+                << "--jobs " << jobsValues[i] << " outcome " << o;
+}
+
+TEST(MonteCarloExhaustive, PureDataBitFlipsAllCorrected)
+{
+    // QPC corrects any single transferred-bit flip, so the full
+    // 576-position enumeration must be 100% CE-D — an exact claim a
+    // sampled run can only approximate.
+    DataMonteCarlo mc(EccScheme::Qpc);
+    ShardPlan plan;
+    plan.jobs = 2;
+    const auto cell = mc.runCellExhaustive(DataErrorModel::Bit1,
+                                           AddrErrorModel::None, plan);
+    EXPECT_EQ(cell.trials, 576u);
+    EXPECT_EQ(cell.count(DataOutcome::CeD), 576u);
+    EXPECT_EQ(cell.sdcFrac(), 0.0);
+}
+
+// ---- checkpointed execution ----
+
+TEST(MonteCarloCheckpointed, SampledMatchesShardedAndLedger)
+{
+    const DataErrorModel dm = DataErrorModel::Bit1;
+    const AddrErrorModel am = AddrErrorModel::Bit1;
+    constexpr uint64_t trials = 1500;
+    ShardPlan plan;
+    plan.shardSize = 256;
+    plan.jobs = 2;
+
+    obs::LineageLedger refLedger;
+    DataMonteCarlo ref(EccScheme::EDeccQpc, 0xACE);
+    ref.setLineageLedger(&refLedger);
+    const auto want = ref.runCellSharded(dm, am, trials, plan);
+
+    clearStopRequest();
+    obs::LineageLedger ledger;
+    DataMonteCarlo mc(EccScheme::EDeccQpc, 0xACE);
+    mc.setLineageLedger(&ledger);
+    MonteCarloCell got;
+    uint64_t nextShard = 0;
+    ASSERT_EQ(mc.runCellCheckpointed(dm, am, trials, /*exhaustive=*/false,
+                                     plan, /*batchShards=*/2, nextShard,
+                                     got, [](uint64_t, uint64_t) {}),
+              RunStatus::Completed);
+    EXPECT_EQ(got.serializeState(), want.serializeState());
+    EXPECT_EQ(ledger.digest(), refLedger.digest());
+}
+
+TEST(MonteCarloCheckpointed, InterruptAndResumeIsBitIdentical)
+{
+    ShardPlan plan;
+    plan.shardSize = 64;
+    plan.jobs = 2;
+
+    DataMonteCarlo ref(EccScheme::AzulQpc, 0xD1CE);
+    const auto want = ref.runCellExhaustive(DataErrorModel::Bit1,
+                                            AddrErrorModel::None, plan);
+
+    // Stop inside the first commit, then continue from the recorded
+    // shard with the partially merged cell.
+    clearStopRequest();
+    DataMonteCarlo mc(EccScheme::AzulQpc, 0xD1CE);
+    MonteCarloCell got;
+    uint64_t nextShard = 0;
+    const uint64_t space = DataMonteCarlo::cellSpaceSize(
+        DataErrorModel::Bit1, AddrErrorModel::None);
+    ASSERT_EQ(mc.runCellCheckpointed(
+                  DataErrorModel::Bit1, AddrErrorModel::None, space,
+                  /*exhaustive=*/true, plan, 2, nextShard, got,
+                  [](uint64_t, uint64_t) { requestStop(); }),
+              RunStatus::Interrupted);
+    clearStopRequest();
+    ASSERT_GT(nextShard, 0u);
+    ASSERT_LT(got.trials, want.trials);
+
+    ASSERT_EQ(mc.runCellCheckpointed(
+                  DataErrorModel::Bit1, AddrErrorModel::None, space,
+                  /*exhaustive=*/true, plan, 2, nextShard, got,
+                  [](uint64_t, uint64_t) {}),
+              RunStatus::Completed);
+    EXPECT_EQ(got.serializeState(), want.serializeState());
+}
+
 } // namespace
 } // namespace aiecc

@@ -631,3 +631,52 @@ TEST(ObservedStack, ScrubAndDetectionCountersFire)
         ring.eventsOfKind(obs::EventKind::Detection).size(), 1u);
     EXPECT_EQ(ring.eventsOfKind(obs::EventKind::Scrub).size(), 1u);
 }
+
+TEST(StatsRegistry, CheckpointStateRoundTripIsExact)
+{
+    // A registry restored from its checkpoint form must carry every
+    // kind — counters, scalars, histograms — with identical values and
+    // an identical canonical serialization, and must keep counting
+    // afterwards as if the process had never died.
+    obs::StatsRegistry reg;
+    reg.counter("campaign.trials", "trials run") += 42;
+    reg.counter("campaign.detected") += 40;
+    reg.scalar("campaign.rate") = 0.25;
+    obs::Histogram &lat = reg.histogram("recovery.attempts");
+    for (uint64_t v : {0u, 1u, 1u, 3u, 9u})
+        lat.sample(v);
+
+    obs::StatsRegistry restored;
+    restored.deserializeState(reg.serializeState());
+    EXPECT_EQ(restored.serializeState(), reg.serializeState());
+    EXPECT_EQ(restored.counterValue("campaign.trials"), 42u);
+    EXPECT_EQ(restored.counterValue("campaign.detected"), 40u);
+    const obs::Histogram &rlat = restored.histogram("recovery.attempts");
+    EXPECT_EQ(rlat.count(), 5u);
+    EXPECT_EQ(rlat.min(), 0u);
+    EXPECT_EQ(rlat.max(), 9u);
+    EXPECT_DOUBLE_EQ(rlat.mean(), lat.mean());
+
+    // Both continue identically after the restore point.
+    reg.counter("campaign.trials") += 1;
+    restored.counter("campaign.trials") += 1;
+    reg.histogram("recovery.attempts").sample(2);
+    restored.histogram("recovery.attempts").sample(2);
+    EXPECT_EQ(restored.serializeState(), reg.serializeState());
+
+    // Descriptions are not part of checkpoint state; live
+    // re-registration adopts them on first offer.
+    EXPECT_EQ(restored.counter("campaign.trials").description(), "");
+    restored.counter("campaign.trials", "trials run");
+    EXPECT_EQ(restored.counter("campaign.trials").description(),
+              "trials run");
+}
+
+TEST(StatsRegistry, EmptyStateRoundTrips)
+{
+    obs::StatsRegistry reg;
+    obs::StatsRegistry restored;
+    restored.deserializeState(reg.serializeState());
+    EXPECT_EQ(restored.serializeState(), reg.serializeState());
+    EXPECT_EQ(restored.size(), 0u);
+}

@@ -68,6 +68,57 @@ TEST(ShardMath, LengthsSumToTotal)
     }
 }
 
+TEST(ShardMath, OverflowSafeNearUint64Max)
+{
+    // The naive `(total + size - 1) / size` wraps for totals near
+    // 2^64 and reports ~0 shards; the exhaustive campaigns feed
+    // billion-scale spaces through here, so the arithmetic must hold
+    // over the whole domain.
+    const uint64_t max = ~static_cast<uint64_t>(0);
+    EXPECT_EQ(shardCount(max, 1), max);
+    EXPECT_EQ(shardCount(max, max), 1u);
+    EXPECT_EQ(shardLength(max, max, 0), max);
+    // 2^64 - 1 is divisible by 3 (2^64 ≡ 1 mod 3): exact tiling.
+    EXPECT_EQ(shardCount(max, 3), max / 3);
+    EXPECT_EQ(shardLength(max, 3, max / 3 - 1), 3u);
+    EXPECT_EQ(shardLength(max, 3, max / 3), 0u);
+    // 2^64 - 1 ≡ 1 mod 7: one short final shard past the division.
+    EXPECT_EQ(shardCount(max, 7), max / 7 + 1);
+    EXPECT_EQ(shardLength(max, 7, max / 7), 1u);
+    EXPECT_EQ(shardCount(max - 1, max), 1u);
+    EXPECT_EQ(shardLength(max - 1, max, 0), max - 1);
+}
+
+TEST(ShardMath, HugeIndexCannotWrapIntoPhantomShard)
+{
+    // index * shardSize used to be formed before the range check;
+    // 2^33 * 2^32 wraps to 0 and resurrected shard 0's length.
+    const uint64_t total = 1ull << 63;
+    const uint64_t size = 1ull << 32;
+    const uint64_t shards = shardCount(total, size);
+    EXPECT_EQ(shards, 1ull << 31);
+    EXPECT_EQ(shardLength(total, size, shards - 1), size);
+    EXPECT_EQ(shardLength(total, size, shards), 0u);
+    EXPECT_EQ(shardLength(total, size, 1ull << 33), 0u);
+    EXPECT_EQ(shardLength(total, size, ~static_cast<uint64_t>(0)), 0u);
+}
+
+TEST(ShardMath, ExtremeLengthsStillSumToTotal)
+{
+    // Totals straddling the old overflow boundary, odd shard sizes:
+    // the shard set must still tile the range exactly.
+    const uint64_t max = ~static_cast<uint64_t>(0);
+    for (uint64_t total : {max, max - 1, max / 2 + 3}) {
+        for (uint64_t size : {max, max / 2, max / 3 + 7}) {
+            const uint64_t shards = shardCount(total, size);
+            uint64_t sum = 0;
+            for (uint64_t s = 0; s < shards; ++s)
+                sum += shardLength(total, size, s);
+            EXPECT_EQ(sum, total) << total << "/" << size;
+        }
+    }
+}
+
 // ---- worker-count resolution ----
 
 TEST(ResolveJobs, ZeroMeansHardwareAuto)

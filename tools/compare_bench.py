@@ -25,6 +25,15 @@ the cost model is deterministic, so any growth beyond
 ``--cost-threshold`` percent (default 2) is a modeled cost regression
 and warns — again a soft gate, never a failure.
 
+Schema v5 adds checkpoint/resume bookkeeping to ``options``
+(``checkpoint``, ``resume``, ``exhaustive``) and, on benches with an
+enumerable error space, exhaustive-enumeration result sections (e.g.
+``results.two_pin`` with ``"exhaustive": true``).  None of these
+change the throughput comparison; when exactly one of the two
+artifacts carries an exhaustive section the comparison of that section
+is skipped with a note instead of failing — an older baseline simply
+predates exhaustive mode.
+
 Exit status: 0 on a successful comparison (regression or not), 1 when
 either artifact is missing, unparsable, or structurally incompatible
 (wrong schema version, different bench, missing fields).
@@ -77,11 +86,12 @@ def main():
     base = load_artifact(args.baseline)
     cur = load_artifact(args.current)
 
-    # v3 only added 'jobs' to 'options' and v4 only added the
-    # top-level 'cost' section, so any v2..v4 pairing stays
-    # comparable; anything else is a structural mismatch and both
-    # versions are spelled out for the CI log.
-    compatible = {(a, b) for a in (2, 3, 4) for b in (2, 3, 4)
+    # v3 only added 'jobs' to 'options', v4 only added the top-level
+    # 'cost' section, and v5 only added checkpoint/exhaustive
+    # bookkeeping, so any v2..v5 pairing stays comparable; anything
+    # else is a structural mismatch and both versions are spelled out
+    # for the CI log.
+    compatible = {(a, b) for a in (2, 3, 4, 5) for b in (2, 3, 4, 5)
                   if a != b}
     if base["schema_version"] != cur["schema_version"]:
         pair = (base["schema_version"], cur["schema_version"])
@@ -97,6 +107,17 @@ def main():
             f"vs current '{cur['bench']}'")
 
     metric = "accesses_per_sec"
+    has_base = metric in base.get("results", {})
+    has_cur = metric in cur.get("results", {})
+    if not has_base and not has_cur:
+        # Not a throughput bench (table2/table3/... artifacts share
+        # the envelope but carry no rate): the deterministic sections
+        # below are still comparable.
+        print(f"note: neither artifact carries results.{metric}; "
+              f"skipping the throughput comparison")
+        compare_costs(base, cur, args.cost_threshold)
+        compare_exhaustive(base, cur)
+        sys.exit(0)
     try:
         base_v = float(base["results"][metric])
         cur_v = float(cur["results"][metric])
@@ -143,6 +164,7 @@ def main():
               f"(threshold {threshold:.0f}%)")
 
     compare_costs(base, cur, args.cost_threshold)
+    compare_exhaustive(base, cur)
     sys.exit(0)
 
 
@@ -181,6 +203,58 @@ def compare_costs(base, cur, threshold):
                 print(f"::warning title=modeled cost regression::"
                       f"cost[{config}].{m} grew {growth:.2f}% vs "
                       f"baseline (threshold {threshold:.0f}%)")
+
+
+def exhaustive_sections(doc):
+    """Map of exhaustive result sections present in an artifact.
+
+    Schema v5 benches mark full-enumeration results with an
+    ``"exhaustive": true`` flag — either on a dedicated section
+    (table2's ``results.two_pin``) or per entry (table3's cells,
+    gddr5's models).  Returns ``{label: section}`` for each found.
+    """
+    results = doc.get("results") or {}
+    found = {}
+    two_pin = results.get("two_pin")
+    if isinstance(two_pin, dict) and two_pin.get("exhaustive"):
+        found["two_pin"] = two_pin
+    for key in ("cells", "models"):
+        entries = results.get(key)
+        if isinstance(entries, list):
+            exh = [e for e in entries
+                   if isinstance(e, dict) and e.get("exhaustive")]
+            if exh:
+                found[key] = exh
+    return found
+
+
+def compare_exhaustive(base, cur):
+    """Diff exhaustive sections when both sides carry them.
+
+    Exhaustive results are exact — the whole error space, visited
+    once — so any difference between two artifacts of the same bench
+    is a behavioral change, not noise.  A baseline that predates
+    exhaustive mode (or a sampled-only current run) has nothing to
+    diff: skip with a note rather than failing, so old baselines stay
+    usable unchanged.
+    """
+    base_exh = exhaustive_sections(base)
+    cur_exh = exhaustive_sections(cur)
+    shared = sorted(set(base_exh) & set(cur_exh))
+    only_one = sorted(set(base_exh) ^ set(cur_exh))
+    for label in only_one:
+        which = "baseline" if label in cur_exh else "current"
+        print(f"note: {which} artifact lacks exhaustive section "
+              f"'{label}' (predates exhaustive mode or ran sampled); "
+              f"skipping that comparison")
+    for label in shared:
+        if base_exh[label] == cur_exh[label]:
+            print(f"exhaustive[{label}]: identical to baseline")
+        else:
+            print(f"::warning title=exhaustive result change::"
+                  f"exhaustive section '{label}' differs from the "
+                  f"baseline; full-enumeration results are exact, so "
+                  f"this is a behavioral change, not sampling noise")
 
 
 if __name__ == "__main__":
