@@ -21,19 +21,24 @@
  * tools/compare_bench.py diffs against the committed baseline in CI.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "aiecc/cost_model.hh"
 #include "aiecc/stack.hh"
 #include "bench_util.hh"
+#include "common/checkpoint.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "ddr4/pins.hh"
 #include "obs/coverage.hh"
+#include "obs/heartbeat.hh"
 #include "obs/lineage.hh"
 #include "obs/observer.hh"
 #include "obs/profile.hh"
@@ -294,6 +299,52 @@ mergePass(PassResult &into, const PassResult &shard)
 }
 
 /**
+ * Byte-stable text form of a merged PassResult for checkpoint
+ * sections: the scalar counters on one line (elapsedNs as whole
+ * nanoseconds — sub-ns precision is below clock resolution and the
+ * field is timing-only), the latency histogram state on the next.
+ */
+std::string
+serializePass(const PassResult &p)
+{
+    std::ostringstream out;
+    out << p.reads << ' ' << p.writes << ' ' << p.detections << ' '
+        << p.dues << ' ' << p.corrected << ' '
+        << static_cast<uint64_t>(p.elapsedNs) << ' '
+        << p.recovery.episodes << ' ' << p.recovery.attempts << ' '
+        << p.recovery.recovered << ' ' << p.recovery.recoveredFirstTry
+        << ' ' << p.recovery.recoveredAfterRetries << ' '
+        << p.recovery.exhausted << ' ' << p.recovery.wrReplays << ' '
+        << p.recovery.rdReissues << ' ' << p.recovery.wrtResyncs << ' '
+        << p.recovery.quarantines << ' ' << p.recovery.rankDegrades
+        << ' ' << p.recovery.patrolReads << ' '
+        << p.recovery.patrolScrubs << '\n'
+        << p.latency.serializeState() << '\n';
+    return out.str();
+}
+
+void
+deserializePass(PassResult &p, const std::string &text)
+{
+    std::istringstream in(text);
+    uint64_t elapsed = 0;
+    in >> p.reads >> p.writes >> p.detections >> p.dues >> p.corrected >>
+        elapsed >> p.recovery.episodes >> p.recovery.attempts >>
+        p.recovery.recovered >> p.recovery.recoveredFirstTry >>
+        p.recovery.recoveredAfterRetries >> p.recovery.exhausted >>
+        p.recovery.wrReplays >> p.recovery.rdReissues >>
+        p.recovery.wrtResyncs >> p.recovery.quarantines >>
+        p.recovery.rankDegrades >> p.recovery.patrolReads >>
+        p.recovery.patrolScrubs;
+    AIECC_ASSERT(static_cast<bool>(in), "pass state: truncated scalars");
+    p.elapsedNs = static_cast<double>(elapsed);
+    std::string histState;
+    std::getline(in, histState); // consume the scalar line's newline
+    std::getline(in, histState);
+    p.latency.deserializeState(histState);
+}
+
+/**
  * Sharded campaign pass: the access budget splits into fixed-size
  * shards, each running its own ProtectionStack over its own RNG
  * stream (Rng::forStream(mix.seed, shard)), executed on @p jobs
@@ -307,86 +358,173 @@ mergePass(PassResult &into, const PassResult &shard)
 /** Campaign-mode shard size (accesses per shard); output-affecting. */
 constexpr uint64_t campaignShardSize = 25000;
 
+/** Shard-local state slots for one campaign pass (merge inputs). */
+struct CampaignSlots
+{
+    explicit CampaignSlots(uint64_t shards)
+        : parts(shards), stats(shards), prof(shards), cost(shards),
+          ledgers(shards)
+    {
+    }
+
+    std::vector<PassResult> parts;
+    std::vector<std::unique_ptr<obs::StatsRegistry>> stats;
+    std::vector<std::unique_ptr<obs::ProfileRegistry>> prof;
+    std::vector<std::unique_ptr<obs::CostAccountant>> cost;
+    std::vector<std::unique_ptr<obs::LineageLedger>> ledgers;
+};
+
+/** Run shard @p shard of the campaign into its slots (worker-side). */
+void
+runOneShard(const MixConfig &mix, uint64_t shard, CampaignSlots &slots,
+            bool wantStats, bool wantProfile, obs::TraceSink *shard0Trace,
+            const obs::CostAccountant *cost, bool wantLedger)
+{
+    MixConfig sub = mix;
+    sub.accesses = shardLength(mix.accesses, campaignShardSize, shard);
+    sub.warmup = sub.accesses / 20 + 500;
+    // One next() hop decouples the shard's access stream from the
+    // raw (seed, shard) pair the derivation mixes.
+    sub.seed = Rng::forStream(mix.seed, shard).next();
+    // Fault IDs stay unique across shards under one ledger.
+    sub.lineageStream = shard;
+
+    obs::Observer shardObs;
+    bool observed = false;
+    if (wantStats) {
+        slots.stats[shard] =
+            std::unique_ptr<obs::StatsRegistry>(new obs::StatsRegistry);
+        shardObs.setStats(slots.stats[shard].get());
+        observed = true;
+    }
+    if (wantProfile) {
+        slots.prof[shard] = std::unique_ptr<obs::ProfileRegistry>(
+            new obs::ProfileRegistry);
+        shardObs.setProfile(slots.prof[shard].get());
+        observed = true;
+    }
+    if (cost) {
+        // Same model, private integer tallies: the shard-order merge
+        // is bit-identical for any jobs value.
+        slots.cost[shard] = std::unique_ptr<obs::CostAccountant>(
+            new obs::CostAccountant(cost->model()));
+        shardObs.setCost(slots.cost[shard].get());
+        observed = true;
+    }
+    if (shard == 0 && shard0Trace) {
+        shardObs.addSink(shard0Trace);
+        observed = true;
+    }
+    obs::LineageLedger *shardLedger = nullptr;
+    if (wantLedger) {
+        slots.ledgers[shard] = std::unique_ptr<obs::LineageLedger>(
+            new obs::LineageLedger);
+        shardLedger = slots.ledgers[shard].get();
+    }
+    slots.parts[shard] =
+        runPass(sub, observed ? &shardObs : nullptr, shardLedger);
+}
+
+/** Fold shards [@p b, @p e) into the merge targets, in shard order. */
+void
+mergeShardRange(CampaignSlots &slots, uint64_t b, uint64_t e,
+                PassResult &merged, obs::StatsRegistry *stats,
+                obs::ProfileRegistry *profile, obs::CostAccountant *cost,
+                obs::LineageLedger *ledger)
+{
+    for (uint64_t shard = b; shard < e; ++shard) {
+        mergePass(merged, slots.parts[shard]);
+        if (stats && slots.stats[shard])
+            stats->merge(*slots.stats[shard]);
+        if (profile && slots.prof[shard])
+            profile->merge(*slots.prof[shard]);
+        if (cost && slots.cost[shard])
+            cost->merge(*slots.cost[shard]);
+        if (ledger && slots.ledgers[shard])
+            ledger->merge(*slots.ledgers[shard]);
+    }
+}
+
 PassResult
 runCampaignPass(const MixConfig &mix, unsigned jobs,
                 obs::StatsRegistry *stats, obs::ProfileRegistry *profile,
                 obs::TraceSink *shard0Trace,
                 obs::CostAccountant *cost = nullptr,
-                obs::LineageLedger *ledger = nullptr)
+                obs::LineageLedger *ledger = nullptr,
+                const std::function<void(uint64_t)> &progress = {})
 {
-    constexpr uint64_t shardSize = campaignShardSize;
-    const uint64_t shards = shardCount(mix.accesses, shardSize);
-    std::vector<PassResult> parts(shards);
-    std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
-    std::vector<std::unique_ptr<obs::ProfileRegistry>> shardProf(shards);
-    std::vector<std::unique_ptr<obs::CostAccountant>> shardCost(shards);
-    std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
+    const uint64_t shards = shardCount(mix.accesses, campaignShardSize);
+    CampaignSlots slots(shards);
 
     const auto begin = std::chrono::steady_clock::now();
-    runShards(shards, jobs, [&](uint64_t shard) {
-        MixConfig sub = mix;
-        sub.accesses = shardLength(mix.accesses, shardSize, shard);
-        sub.warmup = sub.accesses / 20 + 500;
-        // One next() hop decouples the shard's access stream from the
-        // raw (seed, shard) pair the derivation mixes.
-        sub.seed = Rng::forStream(mix.seed, shard).next();
-        // Fault IDs stay unique across shards under one ledger.
-        sub.lineageStream = shard;
-
-        obs::Observer shardObs;
-        bool observed = false;
-        if (stats) {
-            shardStats[shard] =
-                std::unique_ptr<obs::StatsRegistry>(new obs::StatsRegistry);
-            shardObs.setStats(shardStats[shard].get());
-            observed = true;
-        }
-        if (profile) {
-            shardProf[shard] = std::unique_ptr<obs::ProfileRegistry>(
-                new obs::ProfileRegistry);
-            shardObs.setProfile(shardProf[shard].get());
-            observed = true;
-        }
-        if (cost) {
-            // Same model, private integer tallies: the shard-order
-            // merge below is bit-identical for any jobs value.
-            shardCost[shard] = std::unique_ptr<obs::CostAccountant>(
-                new obs::CostAccountant(cost->model()));
-            shardObs.setCost(shardCost[shard].get());
-            observed = true;
-        }
-        if (shard == 0 && shard0Trace) {
-            shardObs.addSink(shard0Trace);
-            observed = true;
-        }
-        obs::LineageLedger *shardLedger = nullptr;
-        if (ledger) {
-            shardLedgers[shard] = std::unique_ptr<obs::LineageLedger>(
-                new obs::LineageLedger);
-            shardLedger = shardLedgers[shard].get();
-        }
-        parts[shard] =
-            runPass(sub, observed ? &shardObs : nullptr, shardLedger);
-    });
+    runShards(
+        shards, jobs,
+        [&](uint64_t shard) {
+            runOneShard(mix, shard, slots, stats != nullptr,
+                        profile != nullptr, shard0Trace, cost,
+                        ledger != nullptr);
+        },
+        progress);
     const double wallNs = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - begin)
             .count());
 
     PassResult merged;
-    for (uint64_t shard = 0; shard < shards; ++shard) {
-        mergePass(merged, parts[shard]);
-        if (stats && shardStats[shard])
-            stats->merge(*shardStats[shard]);
-        if (profile && shardProf[shard])
-            profile->merge(*shardProf[shard]);
-        if (cost && shardCost[shard])
-            cost->merge(*shardCost[shard]);
-        if (ledger && shardLedgers[shard])
-            ledger->merge(*shardLedgers[shard]);
-    }
+    mergeShardRange(slots, 0, shards, merged, stats, profile, cost,
+                    ledger);
     merged.elapsedNs = wallNs;
     return merged;
+}
+
+/**
+ * The checkpointed campaign pass: same shard bodies and shard-order
+ * merge as runCampaignPass(), executed in durable batches through
+ * runShardsCheckpointed().  @p merged and the registries carry the
+ * committed prefix in (restored by the caller on resume) and receive
+ * each batch's merge before @p persist(batchEnd) runs — so what
+ * persist() serializes is always exactly the committed prefix.
+ * merged.elapsedNs accumulates the wall clock of this session's
+ * batches on top of whatever earlier sessions recorded (timing-only;
+ * never compared).
+ */
+RunStatus
+runCampaignPassCheckpointed(
+    const MixConfig &mix, unsigned jobs, uint64_t batch,
+    uint64_t &nextShard, PassResult &merged, obs::StatsRegistry *stats,
+    obs::ProfileRegistry *profile, obs::TraceSink *shard0Trace,
+    obs::CostAccountant *cost, obs::LineageLedger *ledger,
+    const std::function<void(uint64_t)> &persist,
+    const std::function<void(uint64_t)> &progress)
+{
+    const uint64_t shards = shardCount(mix.accesses, campaignShardSize);
+    CampaignSlots slots(shards);
+
+    // Accumulated wall clock rides inside merged.elapsedNs between
+    // sessions; keep it out of the merge so mergePass() can keep
+    // summing per-shard times we overwrite below.
+    double wallNs = merged.elapsedNs;
+    auto batchBegin = std::chrono::steady_clock::now();
+    return runShardsCheckpointed(
+        shards, batch, jobs, nextShard,
+        [&](uint64_t shard) {
+            runOneShard(mix, shard, slots, stats != nullptr,
+                        profile != nullptr, shard0Trace, cost,
+                        ledger != nullptr);
+        },
+        [&](uint64_t b, uint64_t e) {
+            wallNs += static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - batchBegin)
+                    .count());
+            mergeShardRange(slots, b, e, merged, stats, profile, cost,
+                            ledger);
+            merged.elapsedNs = wallNs;
+            persist(e);
+            // Exclude persist (checkpoint fsync) time from the wall.
+            batchBegin = std::chrono::steady_clock::now();
+        },
+        progress);
 }
 
 void
@@ -420,6 +558,40 @@ main(int argc, char **argv)
     const bool campaignMode = opt.jobs != 0;
     const uint64_t shards =
         campaignMode ? shardCount(mix.accesses, campaignShardSize) : 0;
+    if (!opt.checkpointPath.empty() && !campaignMode) {
+        std::fprintf(stderr, "--checkpoint requires the sharded "
+                             "campaign; add --jobs N\n");
+        return 2;
+    }
+    const std::string campaignId =
+        bench::campaignIdFor(opt, "e2e_throughput");
+
+    obs::HeartbeatEmitter hb;
+    bench::openHeartbeat(hb, opt, campaignId);
+    // Two units (hot pass, instrumented pass) of equal shard count;
+    // single-stream mode reports each whole pass as one "shard".
+    const uint64_t hbShardsPerPass = campaignMode ? shards : 1;
+    hb.setTotals(2 * hbShardsPerPass, 2 * mix.accesses);
+    // Measured accesses behind a global (two-pass) shard count.
+    const auto trialsForShards = [&](uint64_t done) {
+        const uint64_t firstPass = std::min(done, hbShardsPerPass);
+        const uint64_t secondPass = done - firstPass;
+        const auto accessesFor = [&](uint64_t passShards) {
+            if (!campaignMode)
+                return passShards ? mix.accesses : uint64_t(0);
+            return std::min(passShards * campaignShardSize,
+                            mix.accesses);
+        };
+        return accessesFor(firstPass) + accessesFor(secondPass);
+    };
+    const auto hbProgressFor = [&](uint64_t doneBase) {
+        if (!hb.enabled())
+            return std::function<void(uint64_t)>();
+        return std::function<void(uint64_t)>([&, doneBase](
+                                                 uint64_t done) {
+            hb.tick(doneBase + done, trialsForShards(doneBase + done));
+        });
+    };
 
     bench::banner("End-to-end throughput: full AIECC stack, "
                   "high-level access mix");
@@ -439,15 +611,13 @@ main(int argc, char **argv)
                     "the sharded campaign)\n\n");
     }
 
-    // Pass 1 — hot: the canonical numbers, no instrumentation at all.
-    const PassResult hot =
-        campaignMode
-            ? runCampaignPass(mix, opt.jobs, nullptr, nullptr, nullptr)
-            : runPass(mix, nullptr);
-
-    // Pass 2 — instrumented: same seeds, same stream, plus stats,
-    // profiling, cost attribution, per-fault lineage for the live
-    // fault stream, and the optional JSONL trace.
+    // Pass state.  Pass 1 — hot — is the canonical numbers with no
+    // instrumentation at all; pass 2 — instrumented — replays the
+    // same seeds and stream plus stats, profiling, cost attribution,
+    // per-fault lineage for the live fault stream, and the optional
+    // JSONL trace.
+    PassResult hot;
+    PassResult inst;
     obs::StatsRegistry stats;
     obs::ProfileRegistry profile;
     obs::CostAccountant cost(
@@ -468,12 +638,96 @@ main(int argc, char **argv)
         }
         observer.addSink(traceSink.get());
     }
+
+    // ---- checkpointed campaign (DESIGN.md §12) --------------------
+    // Two units in fixed order: unit 0 = hot pass, unit 1 =
+    // instrumented pass.  Each unit's merged state persists after
+    // every committed batch; unit 0's sections stay in the file while
+    // unit 1 runs, so a resume at any point reloads both.
+    bench::Checkpointer cp(opt, campaignId);
+    unsigned resumeUnit = 0;
+    uint64_t resumeShard = 0;
+    if (cp.resumed()) {
+        CampaignCheckpoint &st = cp.state();
+        if (st.has("cursor")) {
+            std::istringstream in(st.get("cursor"));
+            std::string tag1, tag2;
+            in >> tag1 >> resumeUnit >> tag2 >> resumeShard;
+        }
+        if (st.has("pass:0"))
+            deserializePass(hot, st.get("pass:0"));
+        if (st.has("pass:1"))
+            deserializePass(inst, st.get("pass:1"));
+        if (st.has("stats"))
+            stats.deserializeState(st.get("stats"));
+        if (st.has("profile"))
+            profile.deserializeState(st.get("profile"));
+        if (st.has("cost"))
+            cost.deserializeState(st.get("cost"));
+        if (st.has("lineage"))
+            lineage.deserializeState(st.get("lineage"));
+    }
+    auto persist = [&](unsigned unit, uint64_t nextShard) {
+        if (!cp.enabled())
+            return;
+        CampaignCheckpoint &st = cp.state();
+        st.set("cursor", "unit " + std::to_string(unit) + " shard " +
+                             std::to_string(nextShard));
+        st.set("pass:" + std::to_string(unit),
+               serializePass(unit == 0 ? hot : inst));
+        if (unit == 1) {
+            st.set("stats", stats.serializeState());
+            st.set("profile", profile.serializeState());
+            st.set("cost", cost.serialize());
+            st.set("lineage", lineage.serializeState());
+        }
+        cp.save("unit " + std::to_string(unit + 1) + "/2 (" +
+                (unit == 0 ? "hot" : "instrumented") + " pass) shard " +
+                std::to_string(nextShard));
+    };
+
     // Campaign mode feeds the trace from shard 0 only — one writer,
     // and a stream a sequential shard-0 run would reproduce exactly.
-    const PassResult inst =
-        campaignMode ? runCampaignPass(mix, opt.jobs, &stats, &profile,
-                                       traceSink.get(), &cost, ledger)
-                     : runPass(mix, &observer, ledger);
+    if (cp.enabled()) {
+        const uint64_t batch = checkpointBatchShards(opt.jobs);
+        for (unsigned unit = resumeUnit; unit < 2; ++unit) {
+            uint64_t nextShard = (unit == resumeUnit) ? resumeShard : 0;
+            hb.setNote(unit == 0 ? "hot pass" : "instrumented pass");
+            const uint64_t doneBase = unit * shards;
+            const RunStatus status =
+                unit == 0
+                    ? runCampaignPassCheckpointed(
+                          mix, opt.jobs, batch, nextShard, hot, nullptr,
+                          nullptr, nullptr, nullptr, nullptr,
+                          [&](uint64_t end) { persist(0, end); },
+                          hbProgressFor(doneBase))
+                    : runCampaignPassCheckpointed(
+                          mix, opt.jobs, batch, nextShard, inst, &stats,
+                          &profile, traceSink.get(), &cost, ledger,
+                          [&](uint64_t end) { persist(1, end); },
+                          hbProgressFor(doneBase));
+            if (status == RunStatus::Interrupted) {
+                const uint64_t done = doneBase + nextShard;
+                hb.finalTick(done, trialsForShards(done));
+                cp.exitInterrupted();
+            }
+        }
+    } else if (campaignMode) {
+        hb.setNote("hot pass");
+        hot = runCampaignPass(mix, opt.jobs, nullptr, nullptr, nullptr,
+                              nullptr, nullptr, hbProgressFor(0));
+        hb.setNote("instrumented pass");
+        inst = runCampaignPass(mix, opt.jobs, &stats, &profile,
+                               traceSink.get(), &cost, ledger,
+                               hbProgressFor(shards));
+    } else {
+        hb.setNote("hot pass");
+        hot = runPass(mix, nullptr);
+        hb.tick(1, trialsForShards(1));
+        hb.setNote("instrumented pass");
+        inst = runPass(mix, &observer, ledger);
+    }
+    hb.finalTick(2 * hbShardsPerPass, 2 * mix.accesses);
 
     std::printf("throughput (hot pass):    %12.0f accesses/sec\n",
                 hot.accessesPerSec());
@@ -522,6 +776,23 @@ main(int argc, char **argv)
             return 1;
         }
     }
+
+    // Per-access allocation report (DESIGN.md §13): the instrumented
+    // pass is the one whose scopes attribute allocations, so the
+    // allocs_per_access denominator is every access it drove —
+    // including warmup, which the scope timers sample too.
+    uint64_t profiledAccesses = 0;
+    if (campaignMode) {
+        for (uint64_t shard = 0; shard < shards; ++shard) {
+            const uint64_t len =
+                shardLength(mix.accesses, campaignShardSize, shard);
+            profiledAccesses += len + len / 20 + 500;
+        }
+    } else {
+        profiledAccesses = mix.accesses + mix.warmup;
+    }
+    bench::allocReport().profile = &profile;
+    bench::allocReport().accesses = profiledAccesses;
 
     bench::CostEntries costs;
     costs.emplace_back("aiecc", cost);
@@ -575,5 +846,6 @@ main(int argc, char **argv)
         }
         w.endObject();
     });
+    cp.finish();
     return 0;
 }

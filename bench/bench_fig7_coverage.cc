@@ -3,16 +3,56 @@
  * Figure 7 reproduction: CCCA error detection coverage of an
  * unprotected DDR4 DIMM, DDR4+DECC, DDR4+eDECC and DDR4+AIECC against
  * 1-pin, 2-pin and all-pin transmission errors, per command pattern.
+ *
+ * The whole grid is one checkpointed campaign (DESIGN.md §12): one
+ * resumable unit per (error model, pattern, protection level) cell,
+ * in the exact order the original nested sweep loops visited them.
+ * Each unit runs a fresh InjectionCampaign over the explicit error
+ * list its sweep would build — 1-pin in injectable-pin order, 2-pin
+ * in combinadic (= nested i<j loop) order, all-pin as samples 1..N —
+ * so a checkpointed run's every trial, fault ID and merged stat is
+ * bit-identical to the original sweeps'.  --heartbeat PATH adds live
+ * progress telemetry (DESIGN.md §13).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <sstream>
+#include <vector>
 
 #include "aiecc/cost_model.hh"
 #include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "inject/campaign.hh"
+#include "obs/heartbeat.hh"
 
 using namespace aiecc;
+
+namespace
+{
+
+enum class ErrorModel
+{
+    OnePin,
+    TwoPin,
+    AllPin,
+};
+
+const char *
+modelName(ErrorModel m)
+{
+    switch (m) {
+    case ErrorModel::OnePin:
+        return "1-pin";
+    case ErrorModel::TwoPin:
+        return "2-pin";
+    default:
+        return "all-pin";
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -21,6 +61,7 @@ main(int argc, char **argv)
     const unsigned allPinSamples =
         opt.allPin ? opt.allPin : (opt.quick ? 20u : 80u);
     const bool twoPin = !opt.quick;
+    const unsigned jobs = opt.jobs;
 
     bench::banner("Figure 7: CCCA error detection coverage");
     std::printf("coverage = detected or provably-benign fraction; "
@@ -34,56 +75,185 @@ main(int argc, char **argv)
         ProtectionLevel::Ddr4EDecc, ProtectionLevel::Aiecc};
     const char *levelNames[] = {"None", "DECC", "eDECC", "AIECC"};
 
-    // One cost accountant per protection level, shared by every sweep
-    // of that level: the coverage each level buys (below) against the
-    // storage/bus/latency it pays (here).
+    std::vector<ErrorModel> models{ErrorModel::OnePin};
+    if (twoPin)
+        models.push_back(ErrorModel::TwoPin);
+    models.push_back(ErrorModel::AllPin);
+
+    const std::vector<CommandPattern> patterns = allPatterns();
+
+    // ---- checkpointed campaign plan -------------------------------
+    // One unit per grid cell, model-major then pattern then level —
+    // the original sweep-loop visit order.  Every unit constructs a
+    // fresh InjectionCampaign (trial counter at 0), exactly as the
+    // one-shot sweeps did, so resume needs no counter positioning.
+    struct UnitSpec
+    {
+        size_t modelIdx;
+        size_t patternIdx;
+        size_t levelIdx;
+    };
+    std::vector<UnitSpec> units;
+    for (size_t mi = 0; mi < models.size(); ++mi) {
+        for (size_t p = 0; p < patterns.size(); ++p) {
+            for (size_t li = 0; li < 4; ++li)
+                units.push_back({mi, p, li});
+        }
+    }
+
+    // The error list one unit's sweep enumerates, in sweep order.
+    auto unitErrors = [&](const UnitSpec &u,
+                          const InjectionCampaign &camp) {
+        std::vector<PinError> errors;
+        switch (models[u.modelIdx]) {
+        case ErrorModel::OnePin:
+            for (Pin pin :
+                 injectablePins(camp.mechanisms().parPinPresent()))
+                errors.push_back(PinError::onePin(pin));
+            break;
+        case ErrorModel::TwoPin: {
+            // Combinadic rank order IS the nested i<j loop order.
+            const CombinationSpace space = camp.kPinSpace(2);
+            errors.reserve(space.size());
+            for (uint64_t rank = 0; rank < space.size(); ++rank)
+                errors.push_back(camp.kPinError(2, rank));
+            break;
+        }
+        case ErrorModel::AllPin:
+            for (unsigned s = 0; s < allPinSamples; ++s)
+                errors.push_back(PinError::allPins(s + 1));
+            break;
+        }
+        return errors;
+    };
+    auto unitLabel = [&](const UnitSpec &u) {
+        return std::string(modelName(models[u.modelIdx])) + "/" +
+               patternName(patterns[u.patternIdx]) + "/" +
+               levelNames[u.levelIdx];
+    };
+
+    // Merged campaign state (what the checkpoint persists): one
+    // CampaignStats per cell plus one cost accountant per level.
+    std::vector<CampaignStats> cells(units.size());
     std::vector<obs::CostAccountant> levelCost;
     for (ProtectionLevel level : levels)
-        levelCost.emplace_back(makeCostModel(Mechanisms::forLevel(level)));
-    CampaignStats levelTotal[4];
+        levelCost.emplace_back(
+            makeCostModel(Mechanisms::forLevel(level)));
 
-    // model -> pattern -> per-level stats, exactly as printed.
-    struct PatternRow
-    {
-        CommandPattern pattern;
-        CampaignStats byLevel[4];
+    bench::Checkpointer cp(opt,
+                           bench::campaignIdFor(opt, "fig7_coverage"));
+    size_t resumeUnit = 0;
+    uint64_t resumeShard = 0;
+    if (cp.resumed()) {
+        CampaignCheckpoint &st = cp.state();
+        if (st.has("cursor")) {
+            std::istringstream in(st.get("cursor"));
+            std::string tag1, tag2;
+            in >> tag1 >> resumeUnit >> tag2 >> resumeShard;
+        }
+        for (size_t u = 0; u < units.size(); ++u) {
+            const std::string name = "cell:" + std::to_string(u);
+            if (st.has(name))
+                cells[u].deserializeState(st.get(name));
+        }
+        for (size_t li = 0; li < 4; ++li) {
+            const std::string name = "cost:" + std::to_string(li);
+            if (st.has(name))
+                levelCost[li].deserializeState(st.get(name));
+        }
+    }
+
+    // ---- heartbeat (DESIGN.md §13) --------------------------------
+    obs::HeartbeatEmitter hb;
+    bench::openHeartbeat(hb, opt,
+                         bench::campaignIdFor(opt, "fig7_coverage"));
+    std::vector<uint64_t> unitTrials, shardsBefore, trialsBefore;
+    uint64_t totalShards = 0, totalTrials = 0;
+    for (const UnitSpec &u : units) {
+        const InjectionCampaign probe(
+            Mechanisms::forLevel(levels[u.levelIdx]));
+        const uint64_t n = unitErrors(u, probe).size();
+        shardsBefore.push_back(totalShards);
+        trialsBefore.push_back(totalTrials);
+        unitTrials.push_back(n);
+        totalShards += shardCount(n, InjectionCampaign::trialShardSize);
+        totalTrials += n;
+    }
+    hb.setTotals(totalShards, totalTrials);
+
+    const uint64_t batch = checkpointBatchShards(jobs);
+    auto persist = [&](size_t u, uint64_t nextShard) {
+        if (!cp.enabled())
+            return;
+        CampaignCheckpoint &st = cp.state();
+        st.set("cursor", "unit " + std::to_string(u) + " shard " +
+                             std::to_string(nextShard));
+        st.set("cell:" + std::to_string(u), cells[u].serializeState());
+        for (size_t li = 0; li < 4; ++li)
+            st.set("cost:" + std::to_string(li),
+                   levelCost[li].serialize());
+        cp.save("unit " + std::to_string(u + 1) + "/" +
+                std::to_string(units.size()) + " (" + unitLabel(units[u]) +
+                ") shard " + std::to_string(nextShard));
     };
-    std::vector<std::pair<std::string, std::vector<PatternRow>>> all;
 
-    for (const char *model : {"1-pin", "2-pin", "all-pin"}) {
-        if (!twoPin && std::string(model) == "2-pin")
-            continue;
-        std::printf("---- %s errors ----\n", model);
+    for (size_t u = resumeUnit; u < units.size(); ++u) {
+        const UnitSpec &spec = units[u];
+        InjectionCampaign camp(
+            Mechanisms::forLevel(levels[spec.levelIdx]));
+        camp.setCostAccountant(&levelCost[spec.levelIdx]);
+        const std::vector<PinError> errors = unitErrors(spec, camp);
+        uint64_t nextShard = (u == resumeUnit) ? resumeShard : 0;
+        hb.setNote(unitLabel(spec));
+        const RunStatus status = camp.runTrialsCheckpointed(
+            patterns[spec.patternIdx], errors, jobs, batch, nextShard,
+            [&](uint64_t, const TrialResult &r) { cells[u].add(r); },
+            [&](uint64_t, uint64_t end) {
+                persist(u, end);
+                hb.tick(shardsBefore[u] + end,
+                        trialsBefore[u] +
+                            std::min(end *
+                                         InjectionCampaign::
+                                             trialShardSize,
+                                     unitTrials[u]));
+            });
+        if (status == RunStatus::Interrupted) {
+            hb.finalTick(shardsBefore[u] + nextShard,
+                         trialsBefore[u] +
+                             std::min(nextShard *
+                                          InjectionCampaign::
+                                              trialShardSize,
+                                      unitTrials[u]));
+            cp.exitInterrupted();
+        }
+    }
+    hb.finalTick(totalShards, totalTrials);
+
+    // ---- report ---------------------------------------------------
+    // Cell index = ((modelIdx * patterns + p) * 4 + li).
+    auto cellAt = [&](size_t mi, size_t p, size_t li) -> CampaignStats & {
+        return cells[(mi * patterns.size() + p) * 4 + li];
+    };
+
+    CampaignStats levelTotal[4];
+    for (size_t mi = 0; mi < models.size(); ++mi) {
+        std::printf("---- %s errors ----\n", modelName(models[mi]));
         TextTable t;
         t.header({"pattern", "None", "DECC", "eDECC", "AIECC",
                   "AIECC SDC", "AIECC MDC"});
-        std::vector<PatternRow> rows;
-        for (CommandPattern pattern : allPatterns()) {
-            std::vector<std::string> row{patternName(pattern)};
-            PatternRow pr;
-            pr.pattern = pattern;
-            for (unsigned li = 0; li < 4; ++li) {
-                InjectionCampaign camp(Mechanisms::forLevel(levels[li]));
-                camp.setCostAccountant(&levelCost[li]);
-                CampaignStats stats;
-                if (std::string(model) == "1-pin")
-                    stats = camp.sweepOnePin(pattern);
-                else if (std::string(model) == "2-pin")
-                    stats = camp.sweepTwoPin(pattern);
-                else
-                    stats = camp.sweepAllPin(pattern, allPinSamples);
+        for (size_t p = 0; p < patterns.size(); ++p) {
+            std::vector<std::string> row{patternName(patterns[p])};
+            for (size_t li = 0; li < 4; ++li) {
+                const CampaignStats &stats = cellAt(mi, p, li);
                 row.push_back(TextTable::pct(stats.coveredFrac()));
                 levelTotal[li].merge(stats);
-                pr.byLevel[li] = stats;
             }
-            const CampaignStats &aieccStats = pr.byLevel[3];
+            const CampaignStats &aieccStats = cellAt(mi, p, 3);
             row.push_back(TextTable::pct(aieccStats.sdcFrac()));
             row.push_back(TextTable::pct(aieccStats.mdcFrac()));
             t.row(row);
-            rows.push_back(std::move(pr));
         }
         std::printf("%s\n", t.str().c_str());
-        all.emplace_back(model, std::move(rows));
     }
 
     // Reliability x cost over all error models and patterns together.
@@ -104,15 +274,15 @@ main(int argc, char **argv)
             w.kv("two_pin_swept", twoPin);
             w.key("models");
             w.beginObject();
-            for (const auto &[model, rows] : all) {
-                w.key(model);
+            for (size_t mi = 0; mi < models.size(); ++mi) {
+                w.key(modelName(models[mi]));
                 w.beginObject();
-                for (const auto &pr : rows) {
-                    w.key(patternName(pr.pattern));
+                for (size_t p = 0; p < patterns.size(); ++p) {
+                    w.key(patternName(patterns[p]));
                     w.beginObject();
-                    for (unsigned li = 0; li < 4; ++li) {
+                    for (size_t li = 0; li < 4; ++li) {
                         w.key(levelNames[li]);
-                        pr.byLevel[li].writeJson(w);
+                        cellAt(mi, p, li).writeJson(w);
                     }
                     w.endObject();
                 }
@@ -130,5 +300,6 @@ main(int argc, char **argv)
         "(DECC/eDECC),\n    which AIECC fills via eWCRC/eDECC/CSTC;\n"
         "  * for all-pin noise CAP recovers ~50%% of latched edges, "
         "and only\n    AIECC avoids all SDC and MDC.\n");
+    cp.finish();
     return 0;
 }

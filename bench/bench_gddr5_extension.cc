@@ -17,12 +17,15 @@
  * survive a kill at any instant with a byte-identical artifact.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
 #include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "gddr5/campaign.hh"
+#include "obs/heartbeat.hh"
 
 using namespace aiecc;
 using namespace aiecc::gddr5;
@@ -82,6 +85,36 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- heartbeat (DESIGN.md §13) --------------------------------
+    // Units alternate between two error lists only (1-pin: all 21
+    // injectable pins; all-pin: the sample count), so shard/trial
+    // totals are a closed form.
+    obs::HeartbeatEmitter hb;
+    bench::openHeartbeat(hb, opt,
+                         bench::campaignIdFor(opt, "gddr5_extension"));
+    const uint64_t onePinTrials = gddr5InjectablePins().size();
+    auto unitTrials = [&](size_t u) {
+        return unitModel(u) == 0 ? onePinTrials
+                                 : static_cast<uint64_t>(allPinSamples);
+    };
+    std::vector<uint64_t> shardsBefore, trialsBefore;
+    uint64_t totalShards = 0, totalTrials = 0;
+    for (size_t u = 0; u < numUnits; ++u) {
+        shardsBefore.push_back(totalShards);
+        trialsBefore.push_back(totalTrials);
+        totalShards +=
+            shardCount(unitTrials(u), Gddr5Campaign::trialShardSize);
+        totalTrials += unitTrials(u);
+    }
+    hb.setTotals(totalShards, totalTrials);
+    auto heartbeatAt = [&](size_t u, uint64_t doneShardsInUnit) {
+        hb.tick(shardsBefore[u] + doneShardsInUnit,
+                trialsBefore[u] +
+                    std::min(doneShardsInUnit *
+                                 Gddr5Campaign::trialShardSize,
+                             unitTrials(u)));
+    };
+
     const uint64_t batch = checkpointBatchShards(opt.jobs);
     auto persist = [&](size_t u, uint64_t nextShard) {
         if (!cp.enabled())
@@ -109,6 +142,9 @@ main(int argc, char **argv)
                 errors.push_back(Gddr5Error::allPins(s + 1));
         }
         uint64_t nextShard = (u == resumeUnit) ? resumeShard : 0;
+        hb.setNote(std::string(models[unitModel(u)]) + "/" +
+                   configs[unitConfig(u)].name + "/" +
+                   gddr5PatternName(patterns[unitPattern(u)]));
         const Gddr5Campaign campaign(configs[unitConfig(u)].prot);
         const RunStatus status = campaign.runTrialsCheckpointed(
             patterns[unitPattern(u)], errors, opt.jobs, batch,
@@ -116,10 +152,20 @@ main(int argc, char **argv)
             [&](uint64_t, const Gddr5Trial &trial) {
                 unitStats[u].add(trial);
             },
-            [&](uint64_t, uint64_t end) { persist(u, end); });
-        if (status == RunStatus::Interrupted)
+            [&](uint64_t, uint64_t end) {
+                persist(u, end);
+                heartbeatAt(u, end);
+            });
+        if (status == RunStatus::Interrupted) {
+            hb.finalTick(shardsBefore[u] + nextShard,
+                         trialsBefore[u] +
+                             std::min(nextShard *
+                                          Gddr5Campaign::trialShardSize,
+                                      unitTrials(u)));
             cp.exitInterrupted();
+        }
     }
+    hb.finalTick(totalShards, totalTrials);
 
     // ---- report ---------------------------------------------------
     struct ProtRow

@@ -19,15 +19,18 @@
  * finishes with a byte-identical artifact.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <sstream>
 
 #include "aiecc/cost_model.hh"
 #include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "inject/campaign.hh"
 #include "obs/coverage.hh"
+#include "obs/heartbeat.hh"
 
 using namespace aiecc;
 
@@ -93,12 +96,13 @@ deserializeGridColumn(Grid &grid, CommandPattern pattern,
     }
 }
 
-/** The three sweeps, each split per pattern into one resumable unit. */
+/** The sweeps, each split per pattern into one resumable unit. */
 enum class UnitKind
 {
     PerPin,   ///< unprotected 1-pin sweep (the Table II grid)
     Recovery, ///< intermittent 1-pin under AIECC + in-band recovery
     TwoPin,   ///< exhaustive 2-pin under AIECC (combinadic order)
+    ThreePin, ///< exhaustive 3-pin under AIECC (--exhaustive only)
 };
 
 } // namespace
@@ -149,10 +153,11 @@ main(int argc, char **argv)
     aiecc.setCostAccountant(&aieccCost);
 
     // ---- checkpointed campaign plan -------------------------------
-    // 15 units in fixed order: 5 per-pin, 5 recovery, 5 exhaustive
-    // 2-pin.  Each unit is one runTrialsCheckpointed() call; the
-    // checkpoint cursor names (unit, next shard) and every state
-    // section is rewritten at each commit.
+    // Units in fixed order: 5 per-pin, 5 recovery, 5 exhaustive
+    // 2-pin, and with --exhaustive 5 more exhaustive 3-pin.  Each
+    // unit is one runTrialsCheckpointed() call; the checkpoint cursor
+    // names (unit, next shard) and every state section is rewritten
+    // at each commit.
     bench::Checkpointer cp(opt,
                            bench::campaignIdFor(opt, "table2_impact"));
 
@@ -168,10 +173,15 @@ main(int argc, char **argv)
         units.push_back({UnitKind::Recovery, p});
     for (size_t p = 0; p < patterns.size(); ++p)
         units.push_back({UnitKind::TwoPin, p});
+    if (opt.exhaustive) {
+        for (size_t p = 0; p < patterns.size(); ++p)
+            units.push_back({UnitKind::ThreePin, p});
+    }
 
     const auto nonePins = injectablePins(noneMech.parPinPresent());
     const auto aieccPins = injectablePins(aieccMech.parPinPresent());
     const CombinationSpace twoSpace = aiecc.kPinSpace(2);
+    const CombinationSpace threeSpace = aiecc.kPinSpace(3);
 
     auto unitErrors = [&](const UnitSpec &u) {
         std::vector<PinError> errors;
@@ -190,6 +200,11 @@ main(int argc, char **argv)
             for (uint64_t rank = 0; rank < twoSpace.size(); ++rank)
                 errors.push_back(aiecc.kPinError(2, rank));
             break;
+        case UnitKind::ThreePin:
+            errors.reserve(threeSpace.size());
+            for (uint64_t rank = 0; rank < threeSpace.size(); ++rank)
+                errors.push_back(aiecc.kPinError(3, rank));
+            break;
         }
         return errors;
     };
@@ -200,8 +215,10 @@ main(int argc, char **argv)
             return "perpin:" + pat;
         case UnitKind::Recovery:
             return "recovery:" + pat;
-        default:
+        case UnitKind::TwoPin:
             return "x2pin:" + pat;
+        default:
+            return "x3pin:" + pat;
         }
     };
 
@@ -210,6 +227,46 @@ main(int argc, char **argv)
     Grid grid;
     std::map<CommandPattern, CampaignStats> recStats;
     std::map<CommandPattern, CampaignStats> twoStats;
+    std::map<CommandPattern, CampaignStats> threeStats;
+
+    // ---- heartbeat (DESIGN.md §13) --------------------------------
+    // Commit-driven ticks: shard/trial totals precomputed per unit,
+    // progress reported from the commit callback (main thread, after
+    // the batch merge), so the payload's live coverage counters read
+    // settled state.
+    obs::HeartbeatEmitter hb;
+    bench::openHeartbeat(hb, opt,
+                         bench::campaignIdFor(opt, "table2_impact"));
+    std::vector<uint64_t> unitTrials, shardsBefore, trialsBefore;
+    uint64_t totalShards = 0, totalTrials = 0;
+    for (const UnitSpec &u : units) {
+        const uint64_t n = unitErrors(u).size();
+        shardsBefore.push_back(totalShards);
+        trialsBefore.push_back(totalTrials);
+        unitTrials.push_back(n);
+        totalShards += shardCount(n, InjectionCampaign::trialShardSize);
+        totalTrials += n;
+    }
+    hb.setTotals(totalShards, totalTrials);
+    hb.setPayload([&](obs::JsonWriter &w) {
+        const obs::CoverageMatrix::Audit live =
+            obs::CoverageMatrix::fromLedger(lineage).audit();
+        w.kv("cov_injected", live.injected);
+        w.kv("cov_unaccounted", live.unaccounted);
+        w.kv("cost_aiecc_storage_bits",
+             aieccCost.total(obs::CostCategory::Storage));
+        w.kv("cost_aiecc_bus_bits",
+             aieccCost.total(obs::CostCategory::Bus));
+        w.kv("cost_aiecc_latency_ps",
+             aieccCost.total(obs::CostCategory::Latency));
+    });
+    auto heartbeatAt = [&](size_t u, uint64_t doneShardsInUnit) {
+        hb.tick(shardsBefore[u] + doneShardsInUnit,
+                trialsBefore[u] +
+                    std::min(doneShardsInUnit *
+                                 InjectionCampaign::trialShardSize,
+                             unitTrials[u]));
+    };
 
     // ---- resume ---------------------------------------------------
     size_t resumeUnit = 0;
@@ -237,6 +294,11 @@ main(int argc, char **argv)
                 CampaignStats s;
                 s.deserializeState(st.get("two:" + idx));
                 twoStats[patterns[p]] = s;
+            }
+            if (st.has("three:" + idx)) {
+                CampaignStats s;
+                s.deserializeState(st.get("three:" + idx));
+                threeStats[patterns[p]] = s;
             }
         }
         if (st.has("lineage"))
@@ -277,6 +339,9 @@ main(int argc, char **argv)
             const auto tit = twoStats.find(patterns[p]);
             if (tit != twoStats.end())
                 st.set("two:" + idx, tit->second.serializeState());
+            const auto xit = threeStats.find(patterns[p]);
+            if (xit != threeStats.end())
+                st.set("three:" + idx, xit->second.serializeState());
         }
         st.set("lineage", lineage.serializeState());
         st.set("cost:none", noneCost.serialize());
@@ -292,6 +357,7 @@ main(int argc, char **argv)
         const CommandPattern pattern = patterns[spec.patternIdx];
         const std::vector<PinError> errors = unitErrors(spec);
         uint64_t nextShard = (u == resumeUnit) ? resumeShard : 0;
+        hb.setNote(unitLabel(spec));
         InjectionCampaign &runner =
             spec.kind == UnitKind::PerPin ? camp : aiecc;
         const RunStatus status = runner.runTrialsCheckpointed(
@@ -309,12 +375,26 @@ main(int argc, char **argv)
                 case UnitKind::TwoPin:
                     twoStats[pattern].add(r);
                     break;
+                case UnitKind::ThreePin:
+                    threeStats[pattern].add(r);
+                    break;
                 }
             },
-            [&](uint64_t, uint64_t end) { persist(u, end); });
-        if (status == RunStatus::Interrupted)
+            [&](uint64_t, uint64_t end) {
+                persist(u, end);
+                heartbeatAt(u, end);
+            });
+        if (status == RunStatus::Interrupted) {
+            hb.finalTick(shardsBefore[u] + nextShard,
+                         trialsBefore[u] +
+                             std::min(nextShard *
+                                          InjectionCampaign::
+                                              trialShardSize,
+                                      unitTrials[u]));
             cp.exitInterrupted();
+        }
     }
+    hb.finalTick(totalShards, totalTrials);
 
     // ---- report ---------------------------------------------------
     TextTable t;
@@ -395,6 +475,35 @@ main(int argc, char **argv)
                     : "VIOLATED (some combination silently "
                       "corrupted)");
 
+    // --exhaustive extends the proof one order deeper: every
+    // C(pins, 3) combination of every pattern, enumerated by
+    // combinadic rank exactly like the 2-pin sweep.
+    bool threePinAllCovered = true;
+    if (opt.exhaustive) {
+        bench::banner("Exhaustive 3-pin CCCA errors under AIECC (" +
+                      std::to_string(threeSpace.size()) +
+                      " combinations per pattern, full enumeration)");
+        TextTable x3;
+        x3.header({"pattern", "combinations", "detected", "covered",
+                   "sdc", "mdc"});
+        for (CommandPattern pattern : patterns) {
+            const CampaignStats &s = threeStats[pattern];
+            if (s.sdc || s.mdc)
+                threePinAllCovered = false;
+            char cov[32];
+            std::snprintf(cov, sizeof cov, "%.6f", s.coveredFrac());
+            x3.row({patternName(pattern), std::to_string(s.trials),
+                    std::to_string(s.detected), cov,
+                    std::to_string(s.sdc), std::to_string(s.mdc)});
+        }
+        std::printf("%s", x3.str().c_str());
+        std::printf("3-pin coverage claim: %s\n\n",
+                    threePinAllCovered
+                        ? "HOLDS — zero SDC/MDC over the full space"
+                        : "VIOLATED (some combination silently "
+                          "corrupted)");
+    }
+
     // Conservation audit: every fault either of the campaigns injected
     // must have reached exactly one terminal state.  An unaccounted
     // fault is a harness bug, not a result — fail the bench on it.
@@ -461,6 +570,21 @@ main(int argc, char **argv)
             }
             w.endObject();
             w.endObject();
+            if (opt.exhaustive) {
+                w.key("three_pin");
+                w.beginObject();
+                w.kv("exhaustive", true);
+                w.kv("combinations_per_pattern", threeSpace.size());
+                w.kv("all_covered", threePinAllCovered);
+                w.key("patterns");
+                w.beginObject();
+                for (const auto &[pattern, s] : threeStats) {
+                    w.key(patternName(pattern));
+                    s.writeJson(w);
+                }
+                w.endObject();
+                w.endObject();
+            }
             w.key("coverage");
             coverage.writeJson(w);
             w.key("lineage");

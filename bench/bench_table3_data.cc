@@ -18,6 +18,7 @@
  * byte-identical final artifact.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -28,6 +29,7 @@
 #include "common/table.hh"
 #include "inject/montecarlo.hh"
 #include "obs/coverage.hh"
+#include "obs/heartbeat.hh"
 
 using namespace aiecc;
 
@@ -158,6 +160,46 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- heartbeat (DESIGN.md Â§13) --------------------------------
+    // Commit-driven ticks with a live coverage/cost payload; commit
+    // runs on the main thread after the batch merge, so the payload
+    // reads settled state.
+    obs::HeartbeatEmitter hb;
+    bench::openHeartbeat(hb, opt,
+                         bench::campaignIdFor(opt, "table3_data"));
+    auto unitTrials = [&](size_t u) {
+        return results[u / 4].cellTrials;
+    };
+    std::vector<uint64_t> shardsBefore, trialsBefore;
+    uint64_t totalShards = 0, totalTrials = 0;
+    for (size_t u = 0; u < numUnits; ++u) {
+        shardsBefore.push_back(totalShards);
+        trialsBefore.push_back(totalTrials);
+        totalShards += shardCount(unitTrials(u), plan.shardSize);
+        totalTrials += unitTrials(u);
+    }
+    hb.setTotals(totalShards, totalTrials);
+    hb.setPayload([&](obs::JsonWriter &w) {
+        const obs::CoverageMatrix::Audit live =
+            obs::CoverageMatrix::fromLedger(lineage).audit();
+        w.kv("cov_injected", live.injected);
+        w.kv("cov_unaccounted", live.unaccounted);
+        for (unsigned si = 0; si < 4; ++si) {
+            const std::string key =
+                "cost_sch" + std::to_string(si) + "_";
+            w.kv(key + "storage_bits",
+                 schemeCost[si].total(obs::CostCategory::Storage));
+            w.kv(key + "bus_bits",
+                 schemeCost[si].total(obs::CostCategory::Bus));
+        }
+    });
+    auto heartbeatAt = [&](size_t u, uint64_t doneShardsInUnit) {
+        hb.tick(shardsBefore[u] + doneShardsInUnit,
+                trialsBefore[u] +
+                    std::min(doneShardsInUnit * plan.shardSize,
+                             unitTrials(u)));
+    };
+
     const uint64_t batch = checkpointBatchShards(opt.jobs);
     auto persist = [&](size_t u, uint64_t nextShard) {
         if (!cp.enabled())
@@ -187,13 +229,24 @@ main(int argc, char **argv)
         DataMonteCarlo mc(schemes[si]);
         mc.setLineageLedger(&lineage);
         mc.setObserver(&costObs[si]);
+        hb.setNote(std::string(schemeNames[si]) + "/" +
+                   dataErrorName(res.dm) + "/" + addrErrorName(res.am));
         const RunStatus status = mc.runCellCheckpointed(
             res.dm, res.am, res.cellTrials, res.exhaustive, plan, batch,
             nextShard, res.bySch[si],
-            [&](uint64_t, uint64_t end) { persist(u, end); });
-        if (status == RunStatus::Interrupted)
+            [&](uint64_t, uint64_t end) {
+                persist(u, end);
+                heartbeatAt(u, end);
+            });
+        if (status == RunStatus::Interrupted) {
+            hb.finalTick(shardsBefore[u] + nextShard,
+                         trialsBefore[u] +
+                             std::min(nextShard * plan.shardSize,
+                                      unitTrials(u)));
             cp.exitInterrupted();
+        }
     }
+    hb.finalTick(totalShards, totalTrials);
     const uint64_t elapsedNs =
         static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(

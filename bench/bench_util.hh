@@ -19,7 +19,10 @@
 #include "common/checkpoint.hh"
 #include "common/logging.hh"
 #include "obs/cost.hh"
+#include "obs/heartbeat.hh"
 #include "obs/json.hh"
+#include "obs/memprof.hh"
+#include "obs/profile.hh"
 
 namespace aiecc
 {
@@ -41,8 +44,13 @@ namespace bench
  *     (crash-tolerant campaigns; none is output-affecting except
  *     "exhaustive", which switches enumerable spaces from sampling to
  *     full enumeration)
+ * v6: adds "heartbeat" to "options" (live progress telemetry path;
+ *     never output-affecting) and the top-level "alloc" section
+ *     (process allocation totals, per-scope attribution and the
+ *     allocs_per_access top line — the hot-path allocation baseline
+ *     compare_bench.py hard-gates)
  */
-constexpr int artifactSchemaVersion = 5;
+constexpr int artifactSchemaVersion = 6;
 
 /** Common bench options. */
 struct Options
@@ -76,6 +84,10 @@ struct Options
     std::string checkpointPath; ///< durable checkpoint file ("" = off)
     bool resume = false;        ///< resume from --checkpoint if present
     bool exhaustive = false;    ///< enumerate enumerable error spaces
+
+    /** Live progress telemetry JSONL path ("" = off; never
+     *  output-affecting — see obs/heartbeat.hh). */
+    std::string heartbeatPath;
 };
 
 inline void
@@ -114,7 +126,11 @@ usage(std::FILE *to, const char *prog)
                  "  --resume        continue from the --checkpoint "
                  "file's last good state\n"
                  "  --exhaustive    fully enumerate enumerable error "
-                 "spaces instead of sampling\n",
+                 "spaces instead of sampling\n"
+                 "  --heartbeat PATH  append live progress telemetry "
+                 "records (JSONL;\n"
+                 "               SIGUSR1 forces an immediate dump; "
+                 "see aiecc-trace progress)\n",
                  prog);
 }
 
@@ -162,6 +178,9 @@ parse(int argc, char **argv)
             opt.resume = true;
         } else if (!std::strcmp(argv[i], "--exhaustive")) {
             opt.exhaustive = true;
+        } else if (!std::strcmp(argv[i], "--heartbeat") &&
+                   i + 1 < argc) {
+            opt.heartbeatPath = argv[++i];
         } else if (!std::strcmp(argv[i], "--help")) {
             usage(stdout, argv[0]);
             std::exit(0);
@@ -214,6 +233,7 @@ beginJsonArtifact(obs::JsonWriter &w, const Options &opt,
     w.kv("checkpoint", opt.checkpointPath);
     w.kv("resume", opt.resume);
     w.kv("exhaustive", opt.exhaustive);
+    w.kv("heartbeat", opt.heartbeatPath);
     w.endObject();
     w.key("results");
     return w;
@@ -236,6 +256,11 @@ campaignIdFor(const Options &opt, const std::string &benchName)
     id += " rattempts=" + std::to_string(opt.recoveryAttempts);
     id += " rpersist=" + std::to_string(opt.recoveryPersist);
     id += " rpatrol=" + std::to_string(opt.recoveryPatrol);
+    // Access-mix knobs: output-affecting for the e2e bench, constant
+    // defaults everywhere else (so campaign IDs stay stable).
+    id += " readfrac=" + std::to_string(opt.readFrac);
+    id += " faultrate=" + std::to_string(opt.faultRate);
+    id += opt.noRecovery ? " norecovery" : "";
     id += opt.exhaustive ? " exhaustive" : "";
     return id;
 }
@@ -364,6 +389,129 @@ class Checkpointer
 };
 
 /**
+ * The bench's hot-path allocation report: which ProfileRegistry holds
+ * the per-scope allocation attribution, and the access count the
+ * allocs_per_access top line divides by.  Benches that profile a hot
+ * path set this (a process-wide slot, like the options they parsed
+ * from one argv) before writeJsonArtifact(); benches without one
+ * leave it empty and the artifact's "alloc" section carries process
+ * totals only.
+ */
+struct AllocReport
+{
+    const obs::ProfileRegistry *profile = nullptr;
+    /**
+     * Denominator for allocs_per_access: every access the profiled
+     * scopes observed, *including* warmup — the scope timers sample
+     * warmup traffic too, so excluding it would overstate the rate.
+     */
+    uint64_t accesses = 0;
+};
+
+inline AllocReport &
+allocReport()
+{
+    static AllocReport report;
+    return report;
+}
+
+/** The report's allocs-per-access top line (< 0 when unavailable). */
+inline double
+allocsPerAccess()
+{
+    const AllocReport &report = allocReport();
+    if (!report.profile || !report.accesses)
+        return -1.0;
+    return static_cast<double>(report.profile->totalScopedAllocs()) /
+           static_cast<double>(report.accesses);
+}
+
+/**
+ * Emit the artifact's "alloc" member: process-wide totals (always)
+ * plus per-scope attribution and the allocs_per_access top line when
+ * the bench registered an AllocReport.  Observability only — process
+ * totals vary with --jobs (thread stacks, pool bookkeeping), so
+ * byte-identity gates exclude this section, exactly as they exclude
+ * wall-clock fields.
+ */
+inline void
+writeAllocSection(obs::JsonWriter &w)
+{
+    const obs::memprof::ProcessTotals t = obs::memprof::processTotals();
+    w.key("alloc");
+    w.beginObject();
+    w.key("process");
+    w.beginObject();
+    w.kv("allocs", t.allocs);
+    w.kv("frees", t.frees);
+    w.kv("alloc_bytes", t.allocBytes);
+    w.kv("free_bytes", t.freeBytes);
+    w.kv("live_bytes", t.liveBytes);
+    w.kv("peak_live_bytes", t.peakLiveBytes);
+    w.endObject();
+    const AllocReport &report = allocReport();
+    if (report.profile) {
+        w.key("scopes");
+        report.profile->writeAllocJson(w);
+        w.kv("accesses", report.accesses);
+        const double perAccess = allocsPerAccess();
+        if (perAccess >= 0.0)
+            w.kv("allocs_per_access", perAccess);
+    }
+    w.endObject();
+}
+
+/**
+ * Wire `--heartbeat PATH` (DESIGN.md §13): open @p hb for appending
+ * under the campaign's identity, or exit 2 (flag error) when the path
+ * cannot be written — a silently-dead heartbeat would defeat its
+ * purpose.  Without the flag this is a no-op and @p hb stays inert.
+ */
+inline void
+openHeartbeat(obs::HeartbeatEmitter &hb, const Options &opt,
+              const std::string &campaignId)
+{
+    if (opt.heartbeatPath.empty())
+        return;
+    if (!hb.open(opt.heartbeatPath, campaignId)) {
+        std::fprintf(stderr, "cannot write heartbeat: %s\n",
+                     opt.heartbeatPath.c_str());
+        std::exit(2);
+    }
+}
+
+/**
+ * Enforce the AIECC_BUDGET_* resource budgets (obs/memprof.hh)
+ * against the registered AllocReport: print each violation and exit 1
+ * so a bench run can hard-fail on an allocation regression.  Inert
+ * when no budget is set.  Called by writeJsonArtifact(), so every
+ * bench gets the gate for free.
+ */
+inline void
+enforceAllocBudgetOrDie()
+{
+    const obs::memprof::ResourceBudget budget =
+        obs::memprof::ResourceBudget::fromEnv();
+    if (!budget.enabled())
+        return;
+    const AllocReport &report = allocReport();
+    if (!report.profile) {
+        std::fprintf(stderr,
+                     "alloc budget set (AIECC_BUDGET_*) but this bench "
+                     "registered no allocation report\n");
+        std::exit(1);
+    }
+    const std::vector<std::string> violations =
+        budget.check(*report.profile, allocsPerAccess());
+    if (violations.empty())
+        return;
+    for (const std::string &violation : violations)
+        std::fprintf(stderr, "alloc budget violated: %s\n",
+                     violation.c_str());
+    std::exit(1);
+}
+
+/**
  * Labeled protection-cost accountants a bench accumulated, one per
  * configuration (scheme, protection level, ...) it ran.  Becomes the
  * artifact's "cost" section and the Pareto table's cost axis.
@@ -477,12 +625,15 @@ writeParetoSection(obs::JsonWriter &w,
  * The artifact shape is shared by every bench:
  * @code
  *   { "schema_version": N, "bench": "...", "options": {...},
- *     "results": <fill's output>, "cost": {...}[, "pareto": [...]] }
+ *     "results": <fill's output>, "cost": {...}[, "pareto": [...]],
+ *     "alloc": {...} }
  * @endcode
  * @p fill receives the writer positioned at the "results" member and
  * must emit exactly one value (object/array/scalar).  @p costs is
  * audited first (exit 1 on a conservation violation) and becomes the
- * "cost" section; @p pareto, when nonempty, the "pareto" table.
+ * "cost" section; @p pareto, when nonempty, the "pareto" table; the
+ * "alloc" section and the AIECC_BUDGET_* gate come from the
+ * registered AllocReport (the gate fires even without --json).
  */
 template <typename FillFn>
 inline void
@@ -491,6 +642,7 @@ writeJsonArtifact(const Options &opt, const std::string &benchName,
                   const std::vector<ParetoPoint> &pareto, FillFn &&fill)
 {
     auditCostsOrDie(costs);
+    enforceAllocBudgetOrDie();
     if (opt.jsonPath.empty())
         return;
     obs::JsonWriter w;
@@ -499,6 +651,7 @@ writeJsonArtifact(const Options &opt, const std::string &benchName,
     writeCostSection(w, costs);
     if (!pareto.empty())
         writeParetoSection(w, pareto);
+    writeAllocSection(w);
     w.endObject();
     if (!w.writeFile(opt.jsonPath)) {
         std::fprintf(stderr, "cannot write JSON artifact: %s\n",

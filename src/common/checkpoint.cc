@@ -363,6 +363,17 @@ runShardsCheckpointed(uint64_t totalShards, uint64_t batchShards,
                       const std::function<void(uint64_t)> &fn,
                       const std::function<void(uint64_t, uint64_t)> &commit)
 {
+    return runShardsCheckpointed(totalShards, batchShards, jobs,
+                                 nextShard, fn, commit, nullptr);
+}
+
+RunStatus
+runShardsCheckpointed(uint64_t totalShards, uint64_t batchShards,
+                      unsigned jobs, uint64_t &nextShard,
+                      const std::function<void(uint64_t)> &fn,
+                      const std::function<void(uint64_t, uint64_t)> &commit,
+                      const std::function<void(uint64_t)> &progress)
+{
     if (!batchShards)
         batchShards = 1;
     while (nextShard < totalShards) {
@@ -373,7 +384,9 @@ runShardsCheckpointed(uint64_t totalShards, uint64_t batchShards,
             totalShards - begin < batchShards ? totalShards
                                               : begin + batchShards;
         runShards(end - begin, jobs,
-                  [&](uint64_t i) { fn(begin + i); });
+                  [&](uint64_t i) { fn(begin + i); },
+                  progress ? [&](uint64_t done) { progress(begin + done); }
+                           : std::function<void(uint64_t)>());
         // The simulated kill strikes after the work but before the
         // commit: the on-disk state is strictly older than the batch,
         // and resume must redo it bit-identically.

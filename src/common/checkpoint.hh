@@ -176,6 +176,21 @@ runShardsCheckpointed(uint64_t totalShards, uint64_t batchShards,
                       const std::function<void(uint64_t, uint64_t)> &commit);
 
 /**
+ * runShardsCheckpointed() with a progress callback: @p progress(done)
+ * fires after each shard completes, with @p done the *global* count
+ * of shards finished (committed prefix + this batch's completions) —
+ * the number a heartbeat reports as shards_done.  Invoked from worker
+ * threads like the runShards() progress overload, and under the same
+ * contract: observability only, never output-affecting.
+ */
+RunStatus
+runShardsCheckpointed(uint64_t totalShards, uint64_t batchShards,
+                      unsigned jobs, uint64_t &nextShard,
+                      const std::function<void(uint64_t)> &fn,
+                      const std::function<void(uint64_t, uint64_t)> &commit,
+                      const std::function<void(uint64_t)> &progress);
+
+/**
  * Batch size for checkpointed campaigns: AIECC_CHECKPOINT_BATCH_SHARDS
  * when set, else max(2 * resolved jobs, 8) — big enough to keep the
  * pool busy, small enough that a kill loses seconds, not hours.

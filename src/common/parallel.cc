@@ -26,6 +26,14 @@ void
 runShards(uint64_t numShards, unsigned jobs,
           const std::function<void(uint64_t)> &fn)
 {
+    runShards(numShards, jobs, fn, nullptr);
+}
+
+void
+runShards(uint64_t numShards, unsigned jobs,
+          const std::function<void(uint64_t)> &fn,
+          const std::function<void(uint64_t)> &progress)
+{
     if (!numShards)
         return;
     AIECC_ASSERT(fn, "runShards needs a shard function");
@@ -34,8 +42,11 @@ runShards(uint64_t numShards, unsigned jobs,
         workers = numShards;
 
     if (workers <= 1) {
-        for (uint64_t shard = 0; shard < numShards; ++shard)
+        for (uint64_t shard = 0; shard < numShards; ++shard) {
             fn(shard);
+            if (progress)
+                progress(shard + 1);
+        }
         return;
     }
 
@@ -43,6 +54,7 @@ runShards(uint64_t numShards, unsigned jobs,
     // shard is scheduling-dependent, but each shard's computation
     // depends only on its index, so results never are.
     std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> done{0};
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
@@ -50,6 +62,8 @@ runShards(uint64_t numShards, unsigned jobs,
             for (uint64_t shard = next.fetch_add(1);
                  shard < numShards; shard = next.fetch_add(1)) {
                 fn(shard);
+                if (progress)
+                    progress(done.fetch_add(1) + 1);
             }
         });
     }

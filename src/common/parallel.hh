@@ -60,6 +60,20 @@ void runShards(uint64_t numShards, unsigned jobs,
                const std::function<void(uint64_t)> &fn);
 
 /**
+ * runShards() with a progress callback: @p progress(done) is invoked
+ * after each shard completes, where @p done counts shards finished so
+ * far (1..numShards, monotone per call site but interleaved across
+ * workers).  Observability only — heartbeat ticking, progress bars —
+ * and therefore invoked concurrently from worker threads; the
+ * callback must be internally synchronized (HeartbeatEmitter::tick
+ * is).  Never output-affecting: the shard set and execution are
+ * identical with or without it.
+ */
+void runShards(uint64_t numShards, unsigned jobs,
+               const std::function<void(uint64_t)> &fn,
+               const std::function<void(uint64_t)> &progress);
+
+/**
  * Number of fixed-size shards covering @p total items.  Overflow-safe
  * for any (total, shardSize) pair: the naive
  * `(total + shardSize - 1) / shardSize` wraps when the sum exceeds

@@ -368,7 +368,7 @@ Gddr5Campaign::runTrials(Pattern pattern,
     // Small shards keep the pool busy through the tail; the size is
     // not output-affecting (every trial is a pure function of
     // (pattern, error, seed)).
-    constexpr uint64_t shardSize = 4;
+    constexpr uint64_t shardSize = trialShardSize;
     const uint64_t total = errors.size();
     const uint64_t shards = shardCount(total, shardSize);
     std::vector<Gddr5Trial> results(total);
@@ -428,7 +428,7 @@ Gddr5Campaign::runTrialsCheckpointed(
 {
     // Inner shard size matches runTrials(), so the decomposition and
     // every derived fault ID are identical to the plain sweep's.
-    constexpr uint64_t shardSize = 4;
+    constexpr uint64_t shardSize = trialShardSize;
     const uint64_t total = errors.size();
     const uint64_t shards = shardCount(total, shardSize);
 

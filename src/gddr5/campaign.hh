@@ -90,6 +90,14 @@ class Gddr5Campaign
                            uint64_t seed = 0x6CA4);
 
     /**
+     * Trials per worker shard in runTrials()/runTrialsCheckpointed();
+     * never output-affecting (trials are pure in (prot, seed,
+     * pattern, error)).  Public so campaign drivers can convert shard
+     * progress to trial counts (heartbeat telemetry).
+     */
+    static constexpr uint64_t trialShardSize = 4;
+
+    /**
      * Trials read only the immutable (prot, seed) configuration, so
      * runTrial is const and safe to call from concurrent shards.
      */

@@ -730,11 +730,7 @@ InjectionCampaign::runTrials(CommandPattern pattern,
                              const std::vector<PinError> &errors,
                              unsigned jobs)
 {
-    // Trials are heavyweight (two full stack runs each), so small
-    // shards keep the thread pool busy at the sweep's tail.  The size
-    // is not output-affecting here: no shard-local RNG exists, every
-    // trial's seed comes from (pattern, error, campaign seed) alone.
-    constexpr uint64_t shardSize = 4;
+    constexpr uint64_t shardSize = trialShardSize;
     const uint64_t total = errors.size();
     const uint64_t shards = shardCount(total, shardSize);
 
@@ -828,7 +824,7 @@ InjectionCampaign::runTrialsCheckpointed(
     // decomposition — and with it every derived fault ID and merge
     // order — is identical, so a checkpointed run's merged state is
     // bit-identical to the plain sweep's.
-    constexpr uint64_t shardSize = 4;
+    constexpr uint64_t shardSize = trialShardSize;
     const uint64_t total = errors.size();
     const uint64_t shards = shardCount(total, shardSize);
 

@@ -217,6 +217,16 @@ class InjectionCampaign
                                uint64_t seed = 0x1019ECC);
 
     /**
+     * Trials per worker shard in runTrials()/runTrialsCheckpointed().
+     * Trials are heavyweight (two full stack runs each), so small
+     * shards keep the pool busy at a sweep's tail; never
+     * output-affecting (trial seeds derive from (pattern, error,
+     * campaign seed) alone).  Public so campaign drivers can convert
+     * shard progress to trial counts (heartbeat telemetry).
+     */
+    static constexpr uint64_t trialShardSize = 4;
+
+    /**
      * Attach the measurement hookup (nullptr detaches).  The campaign
      * counts trials and classifications and emits one Classification
      * trace event per trial; the ephemeral golden/faulty stack pairs

@@ -1,0 +1,402 @@
+#include "obs/memprof.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#define AIECC_HAVE_MALLOC_USABLE_SIZE 1
+#endif
+
+#include "obs/profile.hh"
+
+namespace aiecc
+{
+namespace obs
+{
+namespace memprof
+{
+
+namespace
+{
+
+// The thread-local attribution stack.  POD with static zero
+// initialization only: a thread's very first allocation may happen
+// before any dynamic TLS constructor would have run, and the
+// interposed operators must never trigger one.
+thread_local AllocStats *tScopeStack[maxScopeDepth];
+thread_local int tScopeDepth = 0;
+
+// Process-wide totals.  Relaxed ordering throughout: these are
+// advisory observability counters, never synchronization.
+std::atomic<uint64_t> gAllocs{0};
+std::atomic<uint64_t> gFrees{0};
+std::atomic<uint64_t> gAllocBytes{0};
+std::atomic<uint64_t> gFreeBytes{0};
+std::atomic<int64_t> gLiveBytes{0};
+std::atomic<int64_t> gPeakLiveBytes{0};
+
+uint64_t
+usableBytes(void *p, std::size_t requested) noexcept
+{
+#if AIECC_HAVE_MALLOC_USABLE_SIZE
+    // Symmetric at allocation and free — the only way byte totals
+    // balance exactly without a size header (which ASan would
+    // poison).
+    (void)requested;
+    return static_cast<uint64_t>(malloc_usable_size(p));
+#else
+    (void)p;
+    return static_cast<uint64_t>(requested);
+#endif
+}
+
+void
+accountAlloc(uint64_t bytes) noexcept
+{
+    gAllocs.fetch_add(1, std::memory_order_relaxed);
+    gAllocBytes.fetch_add(bytes, std::memory_order_relaxed);
+    const int64_t live = gLiveBytes.fetch_add(
+                             static_cast<int64_t>(bytes),
+                             std::memory_order_relaxed) +
+                         static_cast<int64_t>(bytes);
+    int64_t peak = gPeakLiveBytes.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !gPeakLiveBytes.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed))
+        ;
+
+    if (AllocStats *scope = currentScope()) {
+        ++scope->allocs;
+        scope->allocBytes += bytes;
+        scope->liveBytes += static_cast<int64_t>(bytes);
+        if (scope->liveBytes > scope->peakLiveBytes)
+            scope->peakLiveBytes = scope->liveBytes;
+    }
+}
+
+void
+accountFree(uint64_t bytes) noexcept
+{
+    gFrees.fetch_add(1, std::memory_order_relaxed);
+    gFreeBytes.fetch_add(bytes, std::memory_order_relaxed);
+    gLiveBytes.fetch_sub(static_cast<int64_t>(bytes),
+                         std::memory_order_relaxed);
+
+    if (AllocStats *scope = currentScope()) {
+        ++scope->frees;
+        scope->freeBytes += bytes;
+        scope->liveBytes -= static_cast<int64_t>(bytes);
+    }
+}
+
+void *
+allocate(std::size_t size, bool throwOnFailure)
+{
+    for (;;) {
+        void *p = std::malloc(size ? size : 1);
+        if (p) {
+            accountAlloc(usableBytes(p, size));
+            return p;
+        }
+        const std::new_handler handler = std::get_new_handler();
+        if (!handler) {
+            if (throwOnFailure)
+                throw std::bad_alloc();
+            return nullptr;
+        }
+        handler();
+    }
+}
+
+void *
+allocateAligned(std::size_t size, std::size_t alignment,
+                bool throwOnFailure)
+{
+    for (;;) {
+        void *p = nullptr;
+        // posix_memalign (unlike aligned_alloc) accepts any size and
+        // yields a pointer free() and malloc_usable_size understand.
+        if (posix_memalign(&p, alignment < sizeof(void *)
+                                   ? sizeof(void *)
+                                   : alignment,
+                           size ? size : 1) == 0) {
+            accountAlloc(usableBytes(p, size));
+            return p;
+        }
+        const std::new_handler handler = std::get_new_handler();
+        if (!handler) {
+            if (throwOnFailure)
+                throw std::bad_alloc();
+            return nullptr;
+        }
+        handler();
+    }
+}
+
+void
+deallocate(void *p) noexcept
+{
+    if (!p)
+        return;
+    accountFree(usableBytes(p, 0));
+    std::free(p);
+}
+
+} // namespace
+
+void
+pushScope(AllocStats *scope) noexcept
+{
+    if (tScopeDepth < maxScopeDepth)
+        tScopeStack[tScopeDepth] = scope;
+    ++tScopeDepth;
+}
+
+void
+popScope() noexcept
+{
+    if (tScopeDepth > 0)
+        --tScopeDepth;
+}
+
+AllocStats *
+currentScope() noexcept
+{
+    if (tScopeDepth <= 0)
+        return nullptr;
+    const int top =
+        tScopeDepth < maxScopeDepth ? tScopeDepth : maxScopeDepth;
+    return tScopeStack[top - 1];
+}
+
+ProcessTotals
+processTotals() noexcept
+{
+    ProcessTotals t;
+    t.allocs = gAllocs.load(std::memory_order_relaxed);
+    t.frees = gFrees.load(std::memory_order_relaxed);
+    t.allocBytes = gAllocBytes.load(std::memory_order_relaxed);
+    t.freeBytes = gFreeBytes.load(std::memory_order_relaxed);
+    t.liveBytes = gLiveBytes.load(std::memory_order_relaxed);
+    t.peakLiveBytes = gPeakLiveBytes.load(std::memory_order_relaxed);
+    return t;
+}
+
+void
+resetProcessTotals() noexcept
+{
+    gAllocs.store(0, std::memory_order_relaxed);
+    gFrees.store(0, std::memory_order_relaxed);
+    gAllocBytes.store(0, std::memory_order_relaxed);
+    gFreeBytes.store(0, std::memory_order_relaxed);
+    gLiveBytes.store(0, std::memory_order_relaxed);
+    gPeakLiveBytes.store(0, std::memory_order_relaxed);
+}
+
+ResourceBudget
+ResourceBudget::fromEnv()
+{
+    ResourceBudget budget;
+    if (const char *top = std::getenv("AIECC_BUDGET_ALLOCS_PER_ACCESS"))
+        budget.allocsPerAccess = std::strtod(top, nullptr);
+    if (const char *scopes = std::getenv("AIECC_BUDGET_SCOPE_ALLOCS")) {
+        std::istringstream in(scopes);
+        std::string entry;
+        while (std::getline(in, entry, ',')) {
+            const size_t eq = entry.find('=');
+            if (eq == std::string::npos || eq == 0)
+                continue;
+            budget.scopeAllocsPerCall[entry.substr(0, eq)] =
+                std::strtod(entry.c_str() + eq + 1, nullptr);
+        }
+    }
+    return budget;
+}
+
+std::vector<std::string>
+ResourceBudget::check(const ProfileRegistry &profile,
+                      double allocsPerAccess) const
+{
+    std::vector<std::string> violations;
+    std::ostringstream msg;
+    if (this->allocsPerAccess >= 0.0) {
+        if (allocsPerAccess < 0.0) {
+            violations.push_back(
+                "AIECC_BUDGET_ALLOCS_PER_ACCESS is set but this bench "
+                "reports no allocs-per-access top line");
+        } else if (allocsPerAccess > this->allocsPerAccess) {
+            msg.str("");
+            msg << "allocs_per_access " << allocsPerAccess
+                << " exceeds budget " << this->allocsPerAccess;
+            violations.push_back(msg.str());
+        }
+    }
+    for (const auto &[name, limit] : scopeAllocsPerCall) {
+        const AllocStats *scope = profile.findAlloc(name);
+        const Histogram *hist = profile.find(name);
+        if (!scope || !hist) {
+            violations.push_back("budgeted scope '" + name +
+                                 "' was never profiled");
+            continue;
+        }
+        const double perCall =
+            hist->count()
+                ? static_cast<double>(scope->allocs) /
+                      static_cast<double>(hist->count())
+                : 0.0;
+        if (perCall > limit) {
+            msg.str("");
+            msg << "scope '" << name << "' allocs per call " << perCall
+                << " exceeds budget " << limit;
+            violations.push_back(msg.str());
+        }
+    }
+    return violations;
+}
+
+} // namespace memprof
+} // namespace obs
+} // namespace aiecc
+
+// ---- global operator new/delete interposition ----------------------
+//
+// Strong definitions that replace the standard library's allocation
+// functions for the whole process (linked in whenever anything in
+// this translation unit is referenced — the profiler always is).
+// Every variant funnels into the two accounting helpers above so the
+// byte totals stay symmetric no matter which form the compiler picks.
+
+using aiecc::obs::memprof::allocate;
+using aiecc::obs::memprof::allocateAligned;
+using aiecc::obs::memprof::deallocate;
+
+void *
+operator new(std::size_t size)
+{
+    return allocate(size, true);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return allocate(size, true);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return allocate(size, false);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return allocate(size, false);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t alignment)
+{
+    return allocateAligned(size, static_cast<std::size_t>(alignment),
+                           true);
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t alignment)
+{
+    return allocateAligned(size, static_cast<std::size_t>(alignment),
+                           true);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t alignment,
+             const std::nothrow_t &) noexcept
+{
+    return allocateAligned(size, static_cast<std::size_t>(alignment),
+                           false);
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t alignment,
+               const std::nothrow_t &) noexcept
+{
+    return allocateAligned(size, static_cast<std::size_t>(alignment),
+                           false);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete(void *p, std::align_val_t, const std::nothrow_t &) noexcept
+{
+    deallocate(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    deallocate(p);
+}

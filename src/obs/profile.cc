@@ -1,11 +1,31 @@
 #include "obs/profile.hh"
 
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
+
+#include "common/logging.hh"
 
 namespace aiecc
 {
 namespace obs
 {
+
+namespace
+{
+
+/** Exact double round-trip, matching stats.cc's serialized form. */
+double
+doubleFromBitsHex(const std::string &hex)
+{
+    const uint64_t bits = std::strtoull(hex.c_str(), nullptr, 16);
+    double v;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+} // namespace
 
 Histogram &
 ProfileRegistry::timer(const std::string &name,
@@ -15,8 +35,11 @@ ProfileRegistry::timer(const std::string &name,
     if (it != timers.end())
         return *it->second;
     auto stat = std::make_unique<Histogram>(name, description);
+    auto scope = std::make_unique<memprof::AllocStats>();
+    stat->setAllocScope(scope.get());
     Histogram &ref = *stat;
     timers.emplace(name, std::move(stat));
+    allocs.emplace(name, std::move(scope));
     return ref;
 }
 
@@ -27,18 +50,31 @@ ProfileRegistry::find(const std::string &name) const
     return it == timers.end() ? nullptr : it->second.get();
 }
 
+const memprof::AllocStats *
+ProfileRegistry::findAlloc(const std::string &name) const
+{
+    const auto it = allocs.find(name);
+    return it == allocs.end() ? nullptr : it->second.get();
+}
+
 void
 ProfileRegistry::reset()
 {
     for (auto &[name, timer] : timers)
         timer->reset();
+    for (auto &[name, scope] : allocs)
+        scope->reset();
 }
 
 void
 ProfileRegistry::merge(const ProfileRegistry &other)
 {
-    for (const auto &[name, t] : other.timers)
+    for (const auto &[name, t] : other.timers) {
         timer(name, t->description()).merge(*t);
+        const auto scope = other.allocs.find(name);
+        if (scope != other.allocs.end())
+            allocs.at(name)->merge(*scope->second);
+    }
 }
 
 void
@@ -59,6 +95,85 @@ ProfileRegistry::writeJson(JsonWriter &w) const
             .endObject();
     }
     w.endObject();
+}
+
+void
+ProfileRegistry::writeAllocJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, scope] : allocs) {
+        const Histogram *t = find(name);
+        const uint64_t calls = t ? t->count() : 0;
+        w.key(name)
+            .beginObject()
+            .kv("calls", calls)
+            .kv("allocs", scope->allocs)
+            .kv("frees", scope->frees)
+            .kv("alloc_bytes", scope->allocBytes)
+            .kv("free_bytes", scope->freeBytes)
+            .kv("peak_live_bytes", scope->peakLiveBytes)
+            .kv("allocs_per_call",
+                calls ? static_cast<double>(scope->allocs) /
+                            static_cast<double>(calls)
+                      : 0.0)
+            .endObject();
+    }
+    w.endObject();
+}
+
+uint64_t
+ProfileRegistry::totalScopedAllocs() const
+{
+    uint64_t total = 0;
+    for (const auto &[name, scope] : allocs)
+        total += scope->allocs;
+    return total;
+}
+
+std::string
+ProfileRegistry::serializeState() const
+{
+    // Timer names follow the stats registry's dotted convention (no
+    // whitespace), so one space-separated line per timer is
+    // unambiguous: name, histogram state, then the six allocation
+    // counters.
+    std::ostringstream out;
+    out << "profile " << timers.size() << '\n';
+    for (const auto &[name, t] : timers) {
+        const memprof::AllocStats &a = *allocs.at(name);
+        out << name << ' ' << t->serializeState() << ' ' << a.allocs
+            << ' ' << a.frees << ' ' << a.allocBytes << ' '
+            << a.freeBytes << ' ' << a.liveBytes << ' '
+            << a.peakLiveBytes << '\n';
+    }
+    return out.str();
+}
+
+void
+ProfileRegistry::deserializeState(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string tag, name, hex;
+    uint64_t count = 0;
+    in >> tag >> count;
+    AIECC_ASSERT(in && tag == "profile",
+                 "profile state: expected 'profile' header");
+    ProfileRegistry fresh;
+    for (uint64_t i = 0; i < count; ++i) {
+        in >> name;
+        AIECC_ASSERT(in, "profile state: truncated timer table");
+        Histogram &h = fresh.timer(name);
+        in >> h.cnt >> hex >> h.mn >> h.mx;
+        h.total = doubleFromBitsHex(hex);
+        for (unsigned b = 0; b < Histogram::numBuckets; ++b)
+            in >> h.buckets[b];
+        memprof::AllocStats &a = *fresh.allocs.at(name);
+        in >> a.allocs >> a.frees >> a.allocBytes >> a.freeBytes >>
+            a.liveBytes >> a.peakLiveBytes;
+        AIECC_ASSERT(in, "profile state: truncated timer '" << name
+                                                            << "'");
+    }
+    *this = std::move(fresh);
 }
 
 std::string

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "obs/json.hh"
+#include "obs/memprof.hh"
 #include "obs/stats.hh"
 
 namespace aiecc
@@ -50,6 +51,14 @@ class ProfileRegistry
     /** Timer lookup without creating; nullptr when absent. */
     const Histogram *find(const std::string &name) const;
 
+    /**
+     * The allocation scope paired with timer @p name (nullptr when
+     * the timer was never registered).  Every timer owns one: while a
+     * ScopedTimer on @p name is the innermost active scope on its
+     * thread, all heap activity is attributed here (obs/memprof.hh).
+     */
+    const memprof::AllocStats *findAlloc(const std::string &name) const;
+
     size_t size() const { return timers.size(); }
 
     /** Zero every distribution; registrations and addresses survive. */
@@ -71,11 +80,39 @@ class ProfileRegistry
      */
     void writeJson(JsonWriter &w) const;
 
+    /**
+     * Serialize the per-scope allocation dimension as one JSON object
+     * keyed by timer name: {"stack.read": {calls,allocs,frees,
+     * alloc_bytes,free_bytes,peak_live_bytes,allocs_per_call}, ...}.
+     * Becomes the artifact's "alloc.scopes" member.
+     */
+    void writeAllocJson(JsonWriter &w) const;
+
+    /** Sum of attributed allocations across every scope. */
+    uint64_t totalScopedAllocs() const;
+
+    /**
+     * Self-contained checkpoint state form: full histogram state plus
+     * each timer's allocation counters, one line per timer.  Like
+     * StatsRegistry::serializeState, descriptions are not carried —
+     * a restored registry adopts them on re-registration.
+     */
+    std::string serializeState() const;
+
+    /**
+     * Replace this registry's contents with @p text (a
+     * serializeState() form).  Malformed input panics: checkpoint
+     * payloads are digest-verified before they get here.
+     */
+    void deserializeState(const std::string &text);
+
     /** Human-readable dump, one line per timer, sorted by name. */
     std::string str() const;
 
   private:
     std::map<std::string, std::unique_ptr<Histogram>> timers;
+    /** One allocation scope per timer, same keys as `timers`. */
+    std::map<std::string, std::unique_ptr<memprof::AllocStats>> allocs;
 };
 
 /**
@@ -84,14 +121,24 @@ class ProfileRegistry
  * entirely, so instrumented code pays one branch when profiling is
  * disabled.  Timers nest naturally — each scope samples its own
  * histogram, and an inner scope's time is included in the outer's.
+ *
+ * When the target carries an allocation scope (every ProfileRegistry
+ * timer does), the timer also pushes it onto the thread's memprof
+ * attribution stack for its lifetime: heap activity inside the scope
+ * is attributed to the *innermost* open timer, so nested scopes
+ * partition allocations instead of double counting them.
  */
 class ScopedTimer
 {
   public:
     explicit ScopedTimer(Histogram *target) : hist(target)
     {
-        if (hist)
+        if (hist) {
+            scope = hist->allocScope();
+            if (scope)
+                memprof::pushScope(scope);
             begin = std::chrono::steady_clock::now();
+        }
     }
 
     ScopedTimer(const ScopedTimer &) = delete;
@@ -99,8 +146,11 @@ class ScopedTimer
 
     ~ScopedTimer()
     {
-        if (hist)
+        if (hist) {
             hist->sample(elapsedNs());
+            if (scope)
+                memprof::popScope();
+        }
     }
 
     /** Nanoseconds since construction (0 when disabled). */
@@ -118,6 +168,7 @@ class ScopedTimer
 
   private:
     Histogram *hist;
+    memprof::AllocStats *scope = nullptr;
     std::chrono::steady_clock::time_point begin{};
 };
 

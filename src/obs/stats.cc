@@ -405,6 +405,30 @@ doubleFromBitsHex(const std::string &hex)
 } // namespace
 
 std::string
+Histogram::serializeState() const
+{
+    std::ostringstream out;
+    out << cnt << ' ' << doubleBitsHex(total) << ' ' << mn << ' ' << mx;
+    for (unsigned b = 0; b < numBuckets; ++b)
+        out << ' ' << buckets[b];
+    return out.str();
+}
+
+void
+Histogram::deserializeState(const std::string &text)
+{
+    // Distribution state only: identity (name/description) and the
+    // paired alloc scope belong to the owning registry and survive.
+    std::istringstream in(text);
+    std::string hex;
+    in >> cnt >> hex >> mn >> mx;
+    total = doubleFromBitsHex(hex);
+    for (unsigned b = 0; b < numBuckets; ++b)
+        in >> buckets[b];
+    AIECC_ASSERT(in, "histogram state: truncated '" << nm << "'");
+}
+
+std::string
 StatsRegistry::serializeState() const
 {
     // Stat names are [A-Za-z0-9_+-.] only (registerName), so

@@ -28,6 +28,11 @@ namespace aiecc
 namespace obs
 {
 
+namespace memprof
+{
+struct AllocStats;
+}
+
 /** A monotonically increasing event count. */
 class Counter
 {
@@ -132,8 +137,31 @@ class Histogram
 
     void reset();
 
+    /**
+     * The allocation-attribution scope paired with this histogram, or
+     * nullptr.  Set by ProfileRegistry::timer() so a ScopedTimer can
+     * route the scope's heap activity (obs/memprof.hh) through the
+     * same resolved pointer it already holds for timing; plain
+     * StatsRegistry histograms never carry one.
+     */
+    memprof::AllocStats *allocScope() const { return alloc; }
+    void setAllocScope(memprof::AllocStats *scope) { alloc = scope; }
+
+    /**
+     * Space-separated exact state form (count, sum as raw IEEE-754
+     * bits, min, max, buckets) for checkpoint payloads; the inverse
+     * of deserializeState().  The paired alloc scope is observability
+     * only and deliberately not part of the state.
+     */
+    std::string serializeState() const;
+
+    /** Replace distribution state with @p text; malformed input panics. */
+    void deserializeState(const std::string &text);
+
   private:
     friend class StatsRegistry;
+    friend class ProfileRegistry;
+    memprof::AllocStats *alloc = nullptr;
     std::string nm, desc;
     uint64_t cnt = 0;
     double total = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 namespace aiecc
@@ -35,6 +36,8 @@ struct FlatValue
     std::string str;      ///< string payload
     uint64_t num = 0;     ///< integer payload
     bool numExact = false; ///< num holds the full value (plain digits)
+    double dbl = 0.0;      ///< numeric payload as a double
+    bool isNumber = false; ///< a number token was parsed
 };
 
 bool
@@ -176,6 +179,11 @@ parseValue(std::string_view s, size_t &i, FlatValue &out,
                                std::to_string(start));
     out.num = magnitude;
     out.numExact = !fractional && c != '-' && !overflow;
+    out.isNumber = true;
+    // Heartbeat records carry fractional members (rates, ETAs); the
+    // double view loses nothing the flat schema promises exactly.
+    out.dbl = std::strtod(std::string(s.substr(start, i - start)).c_str(),
+                          nullptr);
     return true;
 }
 
@@ -270,6 +278,140 @@ parseTraceLine(std::string_view line, std::string *error)
         return std::nullopt;
     }
     return event;
+}
+
+std::optional<HeartbeatRecord>
+parseHeartbeatLine(std::string_view line, std::string *error)
+{
+    size_t i = 0;
+    skipSpace(line, i);
+    if (i >= line.size() || line[i] != '{') {
+        fail(error, "expected '{'");
+        return std::nullopt;
+    }
+    ++i;
+
+    HeartbeatRecord record;
+    bool sawType = false;
+    skipSpace(line, i);
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        while (true) {
+            skipSpace(line, i);
+            std::string key;
+            if (!parseString(line, i, key, error))
+                return std::nullopt;
+            skipSpace(line, i);
+            if (i >= line.size() || line[i] != ':') {
+                fail(error, "expected ':' after \"" + key + "\"");
+                return std::nullopt;
+            }
+            ++i;
+            FlatValue value;
+            if (!parseValue(line, i, value, error))
+                return std::nullopt;
+
+            if (key == "type") {
+                if (!value.isString || value.str != "heartbeat") {
+                    fail(error, "\"type\" must be \"heartbeat\"");
+                    return std::nullopt;
+                }
+                sawType = true;
+            } else if (key == "campaign" || key == "note") {
+                if (!value.isString) {
+                    fail(error, "\"" + key + "\" must be a string");
+                    return std::nullopt;
+                }
+                (key == "campaign" ? record.campaign : record.note) =
+                    std::move(value.str);
+            } else if (key == "seq" || key == "shards_done" ||
+                       key == "shards_total" || key == "trials_done" ||
+                       key == "trials_total") {
+                if (value.isString || !value.numExact) {
+                    fail(error, "\"" + key +
+                                    "\" must be an unsigned integer");
+                    return std::nullopt;
+                }
+                (key == "seq"           ? record.seq
+                 : key == "shards_done" ? record.shardsDone
+                 : key == "shards_total"
+                     ? record.shardsTotal
+                     : key == "trials_done" ? record.trialsDone
+                                            : record.trialsTotal) =
+                    value.num;
+            } else if (key == "elapsed_s" || key == "trials_per_s" ||
+                       key == "eta_s") {
+                if (value.isString || !value.isNumber) {
+                    fail(error,
+                         "\"" + key + "\" must be a number");
+                    return std::nullopt;
+                }
+                (key == "elapsed_s"
+                     ? record.elapsedS
+                     : key == "trials_per_s" ? record.trialsPerS
+                                             : record.etaS) = value.dbl;
+            } else if (key == "forced") {
+                record.forced = value.num != 0;
+            } else if (value.isNumber) {
+                // Payload members (live coverage/cost/alloc counters)
+                // are bench-specific: keep them all, typed as double.
+                record.extras[key] = value.dbl;
+            }
+            // Unknown strings parsed and dropped (forward compat).
+
+            skipSpace(line, i);
+            if (i < line.size() && line[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (i < line.size() && line[i] == '}') {
+                ++i;
+                break;
+            }
+            fail(error, "expected ',' or '}'");
+            return std::nullopt;
+        }
+    }
+    skipSpace(line, i);
+    if (i != line.size()) {
+        fail(error, "trailing content after the object");
+        return std::nullopt;
+    }
+    if (!sawType) {
+        fail(error, "missing \"type\": \"heartbeat\"");
+        return std::nullopt;
+    }
+    return record;
+}
+
+HeartbeatFile
+readHeartbeatFile(const std::string &path)
+{
+    HeartbeatFile out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    out.opened = true;
+    std::string line;
+    while (std::getline(in, line)) {
+        const bool terminated = !in.eof();
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        std::string error;
+        if (auto record = parseHeartbeatLine(line, &error)) {
+            out.records.push_back(std::move(*record));
+        } else if (!terminated) {
+            // A run killed mid-write leaves a torn final record — the
+            // expected way a live heartbeat file ends.
+            ++out.truncatedTail;
+        } else {
+            ++out.badLines;
+            if (out.firstError.empty())
+                out.firstError = error;
+        }
+    }
+    return out;
 }
 
 StreamResult

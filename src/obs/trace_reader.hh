@@ -70,6 +70,54 @@ struct TraceFile
  */
 TraceFile readTraceFile(const std::string &path);
 
+/**
+ * One parsed heartbeat record (obs/heartbeat.hh's JSONL schema).
+ * Bench-specific payload members — live coverage, cost and alloc
+ * counters — land in `extras`, typed as doubles.
+ */
+struct HeartbeatRecord
+{
+    uint64_t seq = 0;
+    std::string campaign;
+    std::string note;
+    uint64_t shardsDone = 0;
+    uint64_t shardsTotal = 0;
+    uint64_t trialsDone = 0;
+    uint64_t trialsTotal = 0;
+    double elapsedS = 0.0;
+    double trialsPerS = 0.0;
+    double etaS = 0.0;
+    bool forced = false; ///< emitted in response to SIGUSR1
+    /** Every other numeric member, keyed by its JSON name. */
+    std::map<std::string, double> extras;
+};
+
+/**
+ * Parse one heartbeat JSONL line.  Accepts the flat schema
+ * HeartbeatEmitter writes (and nothing nested); returns nullopt with
+ * a diagnostic in @p error on malformed input or a missing/foreign
+ * "type" member, so trace files and heartbeat files cannot be
+ * confused for one another.
+ */
+std::optional<HeartbeatRecord>
+parseHeartbeatLine(std::string_view line, std::string *error = nullptr);
+
+/** What reading one heartbeat file produced (see TraceFile). */
+struct HeartbeatFile
+{
+    bool opened = false;
+    std::vector<HeartbeatRecord> records;
+    uint64_t badLines = 0;
+    std::string firstError;
+    uint64_t truncatedTail = 0; ///< torn final record (live writer)
+};
+
+/**
+ * Read a whole heartbeat JSONL file; line handling (blank lines,
+ * truncated tails) matches readTraceFile.
+ */
+HeartbeatFile readHeartbeatFile(const std::string &path);
+
 /** Diagnostics of one streamed pass over a trace file. */
 struct StreamResult
 {

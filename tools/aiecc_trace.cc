@@ -25,6 +25,11 @@
  *                                          scrub stream through the
  *                                          protection cost model and
  *                                          print per-level attribution
+ *   aiecc-trace progress FILE...           latest state of a live (or
+ *                                          finished) campaign from its
+ *                                          --heartbeat JSONL: percent
+ *                                          done, trial rate, ETA, and
+ *                                          the record history
  *
  * Filter predicates: --kind NAME, --label TEXT, --cycle-min N,
  * --cycle-max N.  Multiple input files are concatenated in argument
@@ -73,6 +78,9 @@ usage(std::FILE *to)
         "  cost      replay commands/retries/scrubs through the\n"
         "            protection cost model: per-level storage, bus and\n"
         "            latency attribution plus the conservation audit\n"
+        "  progress  summarize a campaign's --heartbeat JSONL file:\n"
+        "            latest shard/trial counts, percent done, trial\n"
+        "            rate, ETA, and forced (SIGUSR1) dumps\n"
         "\n"
         "common options:\n"
         "  --strict        malformed lines, truncated tails, and\n"
@@ -496,6 +504,117 @@ cmdCost(ProtectionLevel level, const std::string &outPath,
     return 0;
 }
 
+/** Render @p seconds as "1h 02m 03s" / "4m 05s" / "6.7s". */
+std::string
+humanSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 0)
+        seconds = 0;
+    const uint64_t s = static_cast<uint64_t>(seconds);
+    if (s >= 3600) {
+        std::snprintf(buf, sizeof buf, "%lluh %02llum %02llus",
+                      static_cast<unsigned long long>(s / 3600),
+                      static_cast<unsigned long long>((s / 60) % 60),
+                      static_cast<unsigned long long>(s % 60));
+    } else if (s >= 60) {
+        std::snprintf(buf, sizeof buf, "%llum %02llus",
+                      static_cast<unsigned long long>(s / 60),
+                      static_cast<unsigned long long>(s % 60));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+    }
+    return buf;
+}
+
+/**
+ * Summarize a campaign heartbeat file: the latest record carries the
+ * live state (every record is cumulative), earlier records are the
+ * history.  Multiple files are reported independently — heartbeat
+ * files are per-campaign and concatenating them would splice
+ * unrelated shard counters.
+ */
+int
+cmdProgress(const std::vector<std::string> &paths, bool strict)
+{
+    bool damaged = false;
+    for (const std::string &path : paths) {
+        const obs::HeartbeatFile hf = obs::readHeartbeatFile(path);
+        if (!hf.opened) {
+            std::fprintf(stderr, "aiecc-trace: cannot read %s\n",
+                         path.c_str());
+            return 1;
+        }
+        if (hf.badLines) {
+            damaged = true;
+            std::fprintf(stderr,
+                         "aiecc-trace: %s: %llu malformed line(s) "
+                         "skipped (first: %s)\n",
+                         path.c_str(),
+                         static_cast<unsigned long long>(hf.badLines),
+                         hf.firstError.c_str());
+        }
+        if (hf.truncatedTail) {
+            // Expected mid-write on a live campaign; not damage.
+            std::fprintf(stderr,
+                         "aiecc-trace: %s: torn final record dropped "
+                         "(campaign still writing?)\n",
+                         path.c_str());
+        }
+        if (hf.records.empty()) {
+            std::printf("%s: no heartbeat records yet\n", path.c_str());
+            continue;
+        }
+
+        const obs::HeartbeatRecord &last = hf.records.back();
+        uint64_t forced = 0;
+        for (const obs::HeartbeatRecord &r : hf.records)
+            forced += r.forced;
+
+        const double pct =
+            last.shardsTotal
+                ? 100.0 * static_cast<double>(last.shardsDone) /
+                      static_cast<double>(last.shardsTotal)
+                : 0.0;
+        const bool done = last.shardsTotal &&
+                          last.shardsDone == last.shardsTotal;
+        if (paths.size() > 1)
+            std::printf("== %s ==\n", path.c_str());
+        std::printf("campaign: %s\n", last.campaign.c_str());
+        if (!last.note.empty())
+            std::printf("at:       %s\n", last.note.c_str());
+        std::printf("progress: %llu/%llu shards (%.1f%%), "
+                    "%llu/%llu trials%s\n",
+                    static_cast<unsigned long long>(last.shardsDone),
+                    static_cast<unsigned long long>(last.shardsTotal),
+                    pct,
+                    static_cast<unsigned long long>(last.trialsDone),
+                    static_cast<unsigned long long>(last.trialsTotal),
+                    done ? "  [complete]" : "");
+        std::printf("session:  %s elapsed, %.0f trials/s",
+                    humanSeconds(last.elapsedS).c_str(),
+                    last.trialsPerS);
+        if (!done)
+            std::printf(", ETA %s", humanSeconds(last.etaS).c_str());
+        std::printf("\n");
+        std::printf("records:  %zu (%llu forced dump(s), last seq "
+                    "%llu)\n",
+                    hf.records.size(),
+                    static_cast<unsigned long long>(forced),
+                    static_cast<unsigned long long>(last.seq));
+        for (const auto &[key, value] : last.extras) {
+            std::printf("  %-28s %.6g\n", key.c_str(), value);
+        }
+    }
+    if (strict && damaged) {
+        std::fprintf(stderr,
+                     "aiecc-trace: --strict: damaged input is a hard "
+                     "error\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -598,6 +717,8 @@ main(int argc, char **argv)
         return cmdLineage(chrome, outPath, limit, paths, strict);
     if (cmd == "cost")
         return cmdCost(costLevel, outPath, paths, strict);
+    if (cmd == "progress")
+        return cmdProgress(paths, strict);
     std::fprintf(stderr, "aiecc-trace: unknown command: %s\n",
                  cmd.c_str());
     usage(stderr);

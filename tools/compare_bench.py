@@ -28,15 +28,27 @@ and warns — again a soft gate, never a failure.
 Schema v5 adds checkpoint/resume bookkeeping to ``options``
 (``checkpoint``, ``resume``, ``exhaustive``) and, on benches with an
 enumerable error space, exhaustive-enumeration result sections (e.g.
-``results.two_pin`` with ``"exhaustive": true``).  None of these
-change the throughput comparison; when exactly one of the two
-artifacts carries an exhaustive section the comparison of that section
-is skipped with a note instead of failing — an older baseline simply
-predates exhaustive mode.
+``results.two_pin`` and ``results.three_pin`` with
+``"exhaustive": true``).  None of these change the throughput
+comparison; when exactly one of the two artifacts carries an
+exhaustive section the comparison of that section is skipped with a
+note instead of failing — an older baseline simply predates
+exhaustive mode.
+
+Schema v6 adds ``options.heartbeat`` and a top-level ``alloc``
+section (per-scope hot-path allocation accounting plus the
+``allocs_per_access`` top line).  Allocation counts are deterministic
+— they move only when code changes what the hot path allocates — so
+unlike every other comparison this one is a HARD gate: when both
+artifacts carry ``alloc.allocs_per_access`` and the current value
+exceeds the baseline by more than ``--alloc-threshold`` percent
+(default 0, i.e. any regression), the script emits a GitHub
+``::error::`` annotation and exits 1.
 
 Exit status: 0 on a successful comparison (regression or not), 1 when
 either artifact is missing, unparsable, or structurally incompatible
-(wrong schema version, different bench, missing fields).
+(wrong schema version, different bench, missing fields) — or when the
+hard allocs-per-access gate trips.
 
 Standard library only; runs on any CI python3.
 """
@@ -81,18 +93,22 @@ def main():
     ap.add_argument("--cost-threshold", type=float, default=2.0,
                     help="modeled-cost regression warning threshold "
                          "in percent (default: %(default)s)")
+    ap.add_argument("--alloc-threshold", type=float, default=0.0,
+                    help="allocs-per-access HARD regression gate in "
+                         "percent; exceeding it exits 1 "
+                         "(default: %(default)s)")
     args = ap.parse_args()
 
     base = load_artifact(args.baseline)
     cur = load_artifact(args.current)
 
     # v3 only added 'jobs' to 'options', v4 only added the top-level
-    # 'cost' section, and v5 only added checkpoint/exhaustive
-    # bookkeeping, so any v2..v5 pairing stays comparable; anything
-    # else is a structural mismatch and both versions are spelled out
-    # for the CI log.
-    compatible = {(a, b) for a in (2, 3, 4, 5) for b in (2, 3, 4, 5)
-                  if a != b}
+    # 'cost' section, v5 only added checkpoint/exhaustive bookkeeping,
+    # and v6 only added heartbeat/alloc observability, so any v2..v6
+    # pairing stays comparable; anything else is a structural mismatch
+    # and both versions are spelled out for the CI log.
+    versions = (2, 3, 4, 5, 6)
+    compatible = {(a, b) for a in versions for b in versions if a != b}
     if base["schema_version"] != cur["schema_version"]:
         pair = (base["schema_version"], cur["schema_version"])
         if pair not in compatible:
@@ -117,7 +133,8 @@ def main():
               f"skipping the throughput comparison")
         compare_costs(base, cur, args.cost_threshold)
         compare_exhaustive(base, cur)
-        sys.exit(0)
+        sys.exit(0 if compare_alloc(base, cur, args.alloc_threshold)
+                 else 1)
     try:
         base_v = float(base["results"][metric])
         cur_v = float(cur["results"][metric])
@@ -165,7 +182,8 @@ def main():
 
     compare_costs(base, cur, args.cost_threshold)
     compare_exhaustive(base, cur)
-    sys.exit(0)
+    sys.exit(0 if compare_alloc(base, cur, args.alloc_threshold)
+             else 1)
 
 
 def compare_costs(base, cur, threshold):
@@ -205,19 +223,63 @@ def compare_costs(base, cur, threshold):
                       f"baseline (threshold {threshold:.0f}%)")
 
 
+def compare_alloc(base, cur, threshold):
+    """HARD-gate the schema v6 ``alloc.allocs_per_access`` top line.
+
+    Allocation counts are a property of the code, not the machine:
+    the same binary on the same inputs allocates the same number of
+    times regardless of CPU load, so a regression here is a real
+    hot-path change someone made, never noise.  That is why this is
+    the one comparison allowed to fail the job.  Returns True when
+    the gate passes (or does not apply).
+    """
+    base_a = (base.get("alloc") or {}).get("allocs_per_access")
+    cur_a = (cur.get("alloc") or {}).get("allocs_per_access")
+    if base_a is None or cur_a is None:
+        if base_a is not None or cur_a is not None:
+            which = "baseline" if base_a is None else "current"
+            print(f"note: {which} artifact carries no "
+                  f"alloc.allocs_per_access (predates schema v6?); "
+                  f"skipping the allocation gate")
+        return True
+    try:
+        b, c = float(base_a), float(cur_a)
+    except (TypeError, ValueError):
+        die("alloc.allocs_per_access must be numeric in both artifacts")
+    if b <= 0:
+        # A zero-allocation hot path can only stay at zero or regress;
+        # treat any growth at all as a trip.
+        growth = float("inf") if c > 0 else 0.0
+        print(f"alloc.allocs_per_access: baseline {b:.4f}  "
+              f"current {c:.4f}")
+    else:
+        growth = (c - b) / b * 100.0
+        print(f"alloc.allocs_per_access: baseline {b:.4f}  "
+              f"current {c:.4f}  ({growth:+.2f}%)")
+    if growth > threshold:
+        print(f"::error title=hot-path allocation regression::"
+              f"alloc.allocs_per_access grew from {b:.4f} to {c:.4f} "
+              f"({growth:+.2f}%, hard threshold {threshold:.0f}%); "
+              f"something on the access hot path now allocates")
+        return False
+    return True
+
+
 def exhaustive_sections(doc):
     """Map of exhaustive result sections present in an artifact.
 
     Schema v5 benches mark full-enumeration results with an
     ``"exhaustive": true`` flag — either on a dedicated section
-    (table2's ``results.two_pin``) or per entry (table3's cells,
-    gddr5's models).  Returns ``{label: section}`` for each found.
+    (table2's ``results.two_pin`` and, at v6, ``results.three_pin``)
+    or per entry (table3's cells, gddr5's models).  Returns
+    ``{label: section}`` for each found.
     """
     results = doc.get("results") or {}
     found = {}
-    two_pin = results.get("two_pin")
-    if isinstance(two_pin, dict) and two_pin.get("exhaustive"):
-        found["two_pin"] = two_pin
+    for name in ("two_pin", "three_pin"):
+        section = results.get(name)
+        if isinstance(section, dict) and section.get("exhaustive"):
+            found[name] = section
     for key in ("cells", "models"):
         entries = results.get(key)
         if isinstance(entries, list):
