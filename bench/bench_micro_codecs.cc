@@ -48,7 +48,48 @@ BM_RsEncode(benchmark::State &state)
         benchmark::DoNotOptimize(rs.encode(msg));
     }
 }
-BENCHMARK(BM_RsEncode)->Args({18, 16})->Args({72, 64})->Args({76, 68});
+BENCHMARK(BM_RsEncode)->Args({18, 16})->Args({19, 17})
+    ->Args({72, 64})->Args({76, 68});
+
+void
+BM_RsEncodeInto(benchmark::State &state)
+{
+    // The allocation-free hot path the ECC organizations actually run.
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const unsigned k = static_cast<unsigned>(state.range(1));
+    RsCodec rs(n, k);
+    Rng rng(1);
+    std::vector<GfElem> msg(k);
+    for (auto &s : msg)
+        s = static_cast<GfElem>(rng.below(256));
+    GfElem cw[255];
+    for (auto _ : state) {
+        rs.encodeInto(msg.data(), cw);
+        benchmark::DoNotOptimize(cw[n - 1]);
+    }
+}
+BENCHMARK(BM_RsEncodeInto)->Args({18, 16})->Args({19, 17})
+    ->Args({72, 64})->Args({76, 68});
+
+void
+BM_RsParityBatch(benchmark::State &state)
+{
+    // All four MTB codewords in one interleaved call (AMD geometries).
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const unsigned k = static_cast<unsigned>(state.range(1));
+    RsCodec rs(n, k);
+    Rng rng(1);
+    const unsigned lanes = RsCodec::maxLanes;
+    std::vector<GfElem> msgs(k * lanes);
+    for (auto &s : msgs)
+        s = static_cast<GfElem>(rng.below(256));
+    std::vector<GfElem> parities((n - k) * lanes);
+    for (auto _ : state) {
+        rs.parityBatch(msgs.data(), parities.data(), lanes);
+        benchmark::DoNotOptimize(parities.data());
+    }
+}
+BENCHMARK(BM_RsParityBatch)->Args({18, 16})->Args({19, 17});
 
 void
 BM_RsDecodeClean(benchmark::State &state)
@@ -65,8 +106,68 @@ BM_RsDecodeClean(benchmark::State &state)
         benchmark::DoNotOptimize(rs.decode(cw));
     }
 }
-BENCHMARK(BM_RsDecodeClean)->Args({18, 16})->Args({72, 64})
-    ->Args({76, 68});
+BENCHMARK(BM_RsDecodeClean)->Args({18, 16})->Args({19, 17})
+    ->Args({72, 64})->Args({76, 68});
+
+void
+BM_RsDecodeInto(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const unsigned k = static_cast<unsigned>(state.range(1));
+    const unsigned nerr = static_cast<unsigned>(state.range(2));
+    RsCodec rs(n, k);
+    Rng rng(2);
+    std::vector<GfElem> msg(k);
+    for (auto &s : msg)
+        s = static_cast<GfElem>(rng.below(256));
+    auto cw = rs.encode(msg);
+    for (unsigned p : rng.sample(n, nerr))
+        cw[p] ^= static_cast<GfElem>(rng.range(1, 255));
+    RsWorkspace ws;
+    GfElem buf[255];
+    uint8_t positions[8];
+    for (auto _ : state) {
+        std::memcpy(buf, cw.data(), n);
+        unsigned numPositions = 0;
+        benchmark::DoNotOptimize(
+            rs.decodeInto(buf, ws, positions, numPositions));
+    }
+}
+BENCHMARK(BM_RsDecodeInto)->Args({18, 16, 0})->Args({19, 17, 0})
+    ->Args({72, 64, 0})->Args({76, 68, 0})->Args({72, 64, 4})
+    ->Args({76, 68, 4});
+
+void
+BM_RsDecodeBatch(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const unsigned k = static_cast<unsigned>(state.range(1));
+    const unsigned nerr = static_cast<unsigned>(state.range(2));
+    RsCodec rs(n, k);
+    Rng rng(2);
+    const unsigned lanes = RsCodec::maxLanes;
+    std::vector<GfElem> interleaved(n * lanes);
+    for (unsigned c = 0; c < lanes; ++c) {
+        std::vector<GfElem> msg(k);
+        for (auto &s : msg)
+            s = static_cast<GfElem>(rng.below(256));
+        auto cw = rs.encode(msg);
+        for (unsigned p : rng.sample(n, nerr))
+            cw[p] ^= static_cast<GfElem>(rng.range(1, 255));
+        for (unsigned i = 0; i < n; ++i)
+            interleaved[i * lanes + c] = cw[i];
+    }
+    std::vector<GfElem> buf(n * lanes);
+    RsWorkspace ws;
+    RsCodec::LaneResult results[RsCodec::maxLanes];
+    for (auto _ : state) {
+        std::memcpy(buf.data(), interleaved.data(), n * lanes);
+        rs.decodeBatch(buf.data(), lanes, results, ws);
+        benchmark::DoNotOptimize(results[0].status);
+    }
+}
+BENCHMARK(BM_RsDecodeBatch)->Args({18, 16, 0})->Args({19, 17, 0})
+    ->Args({18, 16, 1})->Args({19, 17, 1});
 
 void
 BM_RsDecodeErrors(benchmark::State &state)

@@ -30,15 +30,17 @@ Burst
 EDeccQpc::encode(const BitVec &data, uint32_t mtbAddr) const
 {
     AIECC_ASSERT(data.size() == Burst::dataBits, "eDECC encode: bad size");
-    std::vector<GfElem> message(Burst::dataPins + addrSymbols);
-    for (unsigned p = 0; p < Burst::dataPins; ++p)
-        message[p] = static_cast<GfElem>(data.getField(p * 8, 8));
-    for (unsigned j = 0; j < addrSymbols; ++j)
-        message[Burst::dataPins + j] = addrByte(mtbAddr, j);
-    const auto parity = rs.parity(message);
-
     Burst out;
     out.setData(data);
+
+    GfElem message[Burst::dataPins + addrSymbols];
+    for (unsigned p = 0; p < Burst::dataPins; ++p)
+        message[p] = out.pinSymbol(p);
+    for (unsigned j = 0; j < addrSymbols; ++j)
+        message[Burst::dataPins + j] = addrByte(mtbAddr, j);
+
+    GfElem parity[Burst::checkPins];
+    rs.parityInto(message, parity);
     // The address symbols are virtual: only data + parity are stored.
     for (unsigned j = 0; j < Burst::checkPins; ++j)
         out.setPinSymbol(Burst::dataPins + j, parity[j]);
@@ -50,7 +52,7 @@ EDeccQpc::decode(const Burst &burst, uint32_t mtbAddr) const
 {
     // Reassemble the full codeword: received data symbols, the read
     // address as the virtual symbols, received parity.
-    std::vector<GfElem> received(rs.n());
+    GfElem received[Burst::numPins + addrSymbols];
     for (unsigned p = 0; p < Burst::dataPins; ++p)
         received[p] = burst.pinSymbol(p);
     for (unsigned j = 0; j < addrSymbols; ++j)
@@ -59,23 +61,26 @@ EDeccQpc::decode(const Burst &burst, uint32_t mtbAddr) const
         received[Burst::dataPins + addrSymbols + j] =
             burst.pinSymbol(Burst::dataPins + j);
 
-    const auto dec = rs.decode(received);
+    uint8_t positions[Burst::checkPins];
+    unsigned numPositions = 0;
+    const auto status =
+        rs.decodeInto(received, ws, positions, numPositions);
+
     EccResult res;
     res.data = burst.data();
-    switch (dec.status) {
+    switch (status) {
       case RsCodec::Status::Ok:
         res.status = EccStatus::Clean;
         return res;
 
       case RsCodec::Status::Corrected: {
         res.status = EccStatus::Corrected;
-        res.symbolsCorrected =
-            static_cast<unsigned>(dec.positions.size());
+        res.symbolsCorrected = numPositions;
         for (unsigned p = 0; p < Burst::dataPins; ++p)
-            res.data.setField(p * 8, 8, dec.codeword[p]);
-        for (unsigned pos : dec.positions) {
-            if (pos >= Burst::dataPins &&
-                pos < Burst::dataPins + addrSymbols) {
+            res.data.setField(p * 8, 8, received[p]);
+        for (unsigned i = 0; i < numPositions; ++i) {
+            if (positions[i] >= Burst::dataPins &&
+                positions[i] < Burst::dataPins + addrSymbols) {
                 res.addressError = true;
             }
         }
@@ -85,7 +90,7 @@ EDeccQpc::decode(const Burst &burst, uint32_t mtbAddr) const
             uint32_t recovered = 0;
             for (unsigned j = 0; j < addrSymbols; ++j) {
                 recovered |= static_cast<uint32_t>(
-                                 dec.codeword[Burst::dataPins + j])
+                                 received[Burst::dataPins + j])
                              << (8 * j);
             }
             res.recoveredAddress = recovered;
@@ -116,53 +121,57 @@ EDeccAmd::encode(const BitVec &data, uint32_t mtbAddr) const
     AIECC_ASSERT(data.size() == Burst::dataBits, "eDECC encode: bad size");
     Burst out;
     out.setData(data);
-    for (unsigned w = 0; w < numWords; ++w) {
-        std::vector<GfElem> message(dataChips + 1);
-        for (unsigned chip = 0; chip < dataChips; ++chip)
-            message[chip] = out.amdSymbol(chip, w);
-        message[dataChips] = addrByte(mtbAddr, w);
-        const auto parity = rs.parity(message);
-        for (unsigned j = 0; j < checkChips; ++j)
-            out.setAmdSymbol(dataChips + j, w, parity[j]);
-    }
+
+    // Lane-minor interleave with the per-word address byte as the
+    // seventeenth message symbol of each lane.
+    GfElem messages[(dataChips + 1) * numWords];
+    for (unsigned chip = 0; chip < dataChips; ++chip)
+        out.amdChipSymbols(chip, &messages[chip * numWords]);
+    for (unsigned w = 0; w < numWords; ++w)
+        messages[dataChips * numWords + w] = addrByte(mtbAddr, w);
+
+    GfElem parities[checkChips * numWords];
+    rs.parityBatch(messages, parities, numWords);
+    for (unsigned j = 0; j < checkChips; ++j)
+        out.setAmdChipSymbols(dataChips + j, &parities[j * numWords]);
     return out;
 }
 
 EccResult
 EDeccAmd::decode(const Burst &burst, uint32_t mtbAddr) const
 {
+    GfElem received[(dataChips + 1 + checkChips) * numWords];
+    for (unsigned chip = 0; chip < dataChips; ++chip)
+        burst.amdChipSymbols(chip, &received[chip * numWords]);
+    for (unsigned w = 0; w < numWords; ++w)
+        received[dataChips * numWords + w] = addrByte(mtbAddr, w);
+    for (unsigned j = 0; j < checkChips; ++j)
+        burst.amdChipSymbols(dataChips + j,
+                             &received[(dataChips + 1 + j) * numWords]);
+
+    RsCodec::LaneResult lanes[numWords];
+    rs.decodeBatch(received, numWords, lanes, ws);
+
     EccResult res;
-    Burst corrected = burst;
     bool anyCorrected = false;
     uint32_t recovered = 0;
     bool addrRecovered = false;
 
     for (unsigned w = 0; w < numWords; ++w) {
-        std::vector<GfElem> received(rs.n());
-        for (unsigned chip = 0; chip < dataChips; ++chip)
-            received[chip] = burst.amdSymbol(chip, w);
-        received[dataChips] = addrByte(mtbAddr, w);
-        for (unsigned j = 0; j < checkChips; ++j)
-            received[dataChips + 1 + j] =
-                burst.amdSymbol(dataChips + j, w);
-
-        const auto dec = rs.decode(received);
-        switch (dec.status) {
+        switch (lanes[w].status) {
           case RsCodec::Status::Ok:
             recovered |= static_cast<uint32_t>(addrByte(mtbAddr, w))
                          << (8 * w);
             break;
           case RsCodec::Status::Corrected:
             anyCorrected = true;
-            res.symbolsCorrected +=
-                static_cast<unsigned>(dec.positions.size());
-            for (unsigned chip = 0; chip < dataChips; ++chip)
-                corrected.setAmdSymbol(chip, w, dec.codeword[chip]);
-            for (unsigned pos : dec.positions) {
-                if (pos == dataChips)
+            res.symbolsCorrected += lanes[w].numPositions;
+            for (unsigned i = 0; i < lanes[w].numPositions; ++i) {
+                if (lanes[w].positions[i] == dataChips)
                     res.addressError = true;
             }
-            recovered |= static_cast<uint32_t>(dec.codeword[dataChips])
+            recovered |= static_cast<uint32_t>(
+                             received[dataChips * numWords + w])
                          << (8 * w);
             addrRecovered = true;
             break;
@@ -173,6 +182,9 @@ EDeccAmd::decode(const Burst &burst, uint32_t mtbAddr) const
         }
     }
 
+    Burst corrected = burst;
+    for (unsigned chip = 0; chip < dataChips; ++chip)
+        corrected.setAmdChipSymbols(chip, &received[chip * numWords]);
     res.status = anyCorrected ? EccStatus::Corrected : EccStatus::Clean;
     res.data = corrected.data();
     if (res.addressError && addrRecovered)

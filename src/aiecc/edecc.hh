@@ -46,6 +46,8 @@ class EDeccQpc : public DataEcc
 
   private:
     RsCodec rs;
+    /** Decode scratch; stacks own their codecs, so this is unshared. */
+    mutable RsWorkspace ws;
 };
 
 /** AMD chipkill extended with one virtual address symbol per word. */
@@ -66,6 +68,8 @@ class EDeccAmd : public DataEcc
 
   private:
     RsCodec rs;
+    /** Decode scratch; stacks own their codecs, so this is unshared. */
+    mutable RsWorkspace ws;
 };
 
 } // namespace aiecc

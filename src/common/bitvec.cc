@@ -1,30 +1,42 @@
 #include "common/bitvec.hh"
 
+#include <algorithm>
 #include <bit>
 
-#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace aiecc
 {
 
-BitVec::BitVec(size_t nbits)
-    : numBits(nbits), words(divCeil<size_t>(nbits, 64), 0)
+namespace
 {
+
+/** Low @p nbits set, nbits in [0, 64]. */
+uint64_t
+lowMask(size_t nbits)
+{
+    return nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1);
+}
+
+} // namespace
+
+BitVec::BitVec(size_t nbits) : numBits(nbits)
+{
+    if (!isInline())
+        heap.assign(wordCount(), 0);
 }
 
 BitVec::BitVec(size_t nbits, uint64_t value)
     : BitVec(nbits)
 {
-    if (!words.empty())
-        words[0] = value & (nbits >= 64 ? ~0ULL : mask(nbits));
+    setField(0, std::min<size_t>(nbits, 64), value);
 }
 
 bool
 BitVec::get(size_t pos) const
 {
     AIECC_ASSERT(pos < numBits, "BitVec::get out of range: " << pos);
-    return (words[pos / 64] >> (pos % 64)) & 1;
+    return (words()[pos / 64] >> (pos % 64)) & 1;
 }
 
 void
@@ -33,30 +45,52 @@ BitVec::set(size_t pos, bool value)
     AIECC_ASSERT(pos < numBits, "BitVec::set out of range: " << pos);
     const uint64_t m = 1ULL << (pos % 64);
     if (value)
-        words[pos / 64] |= m;
+        words()[pos / 64] |= m;
     else
-        words[pos / 64] &= ~m;
+        words()[pos / 64] &= ~m;
 }
 
 void
 BitVec::flip(size_t pos)
 {
     AIECC_ASSERT(pos < numBits, "BitVec::flip out of range: " << pos);
-    words[pos / 64] ^= 1ULL << (pos % 64);
+    words()[pos / 64] ^= 1ULL << (pos % 64);
 }
 
 void
 BitVec::clear()
 {
-    for (auto &w : words)
-        w = 0;
+    std::fill_n(words(), wordCount(), 0);
 }
 
 void
 BitVec::resize(size_t nbits)
 {
+    // Invariant maintained everywhere: storage words at index >=
+    // wordCount() are zero and trimTail() keeps the last word's tail
+    // clean, so growth never exposes stale bits.
+    const size_t oldWc = wordCount();
+    const size_t newWc = (nbits + 63) / 64;
+    const bool wasInline = oldWc <= inlineWords;
+    const bool nowInline = newWc <= inlineWords;
+
+    if (!nowInline) {
+        if (wasInline) {
+            heap.assign(newWc, 0);
+            std::copy_n(inl.data(), oldWc, heap.data());
+            inl.fill(0);
+        } else {
+            heap.resize(newWc, 0);
+        }
+    } else {
+        if (!wasInline) {
+            std::copy_n(heap.data(), newWc, inl.data());
+            heap.clear();
+        } else if (newWc < oldWc) {
+            std::fill(inl.data() + newWc, inl.data() + oldWc, 0);
+        }
+    }
     numBits = nbits;
-    words.resize(divCeil<size_t>(nbits, 64), 0);
     trimTail();
 }
 
@@ -64,8 +98,9 @@ size_t
 BitVec::popcount() const
 {
     size_t count = 0;
-    for (auto w : words)
-        count += std::popcount(w);
+    const uint64_t *w = words();
+    for (size_t i = 0; i < wordCount(); ++i)
+        count += std::popcount(w[i]);
     return count;
 }
 
@@ -73,12 +108,19 @@ uint64_t
 BitVec::getField(size_t first, size_t nbits) const
 {
     AIECC_ASSERT(nbits <= 64, "field too wide: " << nbits);
-    uint64_t out = 0;
-    for (size_t i = 0; i < nbits; ++i) {
-        const size_t pos = first + i;
-        if (pos < numBits && get(pos))
-            out |= 1ULL << i;
-    }
+    if (nbits == 0 || first >= numBits)
+        return 0;
+    // Bits past the end read as zero: the tail of the last word is
+    // clean, so clamping the width covers all the masking needed.
+    const size_t avail = std::min(nbits, numBits - first);
+    const uint64_t *w = words();
+    const size_t wi = first / 64;
+    const size_t off = first % 64;
+    uint64_t out = w[wi] >> off;
+    if (off != 0 && wi + 1 < wordCount())
+        out |= w[wi + 1] << (64 - off);
+    if (avail < 64)
+        out &= lowMask(avail);
     return out;
 }
 
@@ -87,23 +129,36 @@ BitVec::setField(size_t first, size_t nbits, uint64_t value)
 {
     AIECC_ASSERT(nbits <= 64, "field too wide: " << nbits);
     AIECC_ASSERT(first + nbits <= numBits, "field out of range");
-    for (size_t i = 0; i < nbits; ++i)
-        set(first + i, (value >> i) & 1);
+    if (nbits == 0)
+        return;
+    const uint64_t m = lowMask(nbits);
+    value &= m;
+    uint64_t *w = words();
+    const size_t wi = first / 64;
+    const size_t off = first % 64;
+    w[wi] = (w[wi] & ~(m << off)) | (value << off);
+    if (off + nbits > 64) {
+        const size_t rem = off + nbits - 64;
+        w[wi + 1] = (w[wi + 1] & ~lowMask(rem)) | (value >> (64 - off));
+    }
 }
 
 BitVec &
 BitVec::operator^=(const BitVec &other)
 {
     AIECC_ASSERT(numBits == other.numBits, "BitVec xor length mismatch");
-    for (size_t i = 0; i < words.size(); ++i)
-        words[i] ^= other.words[i];
+    uint64_t *w = words();
+    const uint64_t *o = other.words();
+    for (size_t i = 0; i < wordCount(); ++i)
+        w[i] ^= o[i];
     return *this;
 }
 
 bool
 BitVec::operator==(const BitVec &other) const
 {
-    return numBits == other.numBits && words == other.words;
+    return numBits == other.numBits &&
+           std::equal(words(), words() + wordCount(), other.words());
 }
 
 BitVec
@@ -111,8 +166,11 @@ BitVec::slice(size_t first, size_t nbits) const
 {
     AIECC_ASSERT(first + nbits <= numBits, "slice out of range");
     BitVec out(nbits);
-    for (size_t i = 0; i < nbits; ++i)
-        out.set(i, get(first + i));
+    uint64_t *ow = out.words();
+    for (size_t done = 0; done < nbits; done += 64) {
+        ow[done / 64] =
+            getField(first + done, std::min<size_t>(64, nbits - done));
+    }
     return out;
 }
 
@@ -120,8 +178,10 @@ void
 BitVec::insert(size_t first, const BitVec &other)
 {
     AIECC_ASSERT(first + other.size() <= numBits, "insert out of range");
-    for (size_t i = 0; i < other.size(); ++i)
-        set(first + i, other.get(i));
+    for (size_t done = 0; done < other.numBits; done += 64) {
+        const size_t chunk = std::min<size_t>(64, other.numBits - done);
+        setField(first + done, chunk, other.getField(done, chunk));
+    }
 }
 
 std::string
@@ -138,11 +198,10 @@ BitVec::toString() const
 std::vector<uint8_t>
 BitVec::toBytes() const
 {
-    std::vector<uint8_t> out(divCeil<size_t>(numBits, 8), 0);
-    for (size_t i = 0; i < numBits; ++i) {
-        if (get(i))
-            out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
-    }
+    std::vector<uint8_t> out((numBits + 7) / 8, 0);
+    const uint64_t *w = words();
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<uint8_t>(w[i / 8] >> ((i % 8) * 8));
     return out;
 }
 
@@ -151,8 +210,11 @@ BitVec::fromBytes(const std::vector<uint8_t> &bytes, size_t nbits)
 {
     AIECC_ASSERT(bytes.size() * 8 >= nbits, "fromBytes: too few bytes");
     BitVec out(nbits);
-    for (size_t i = 0; i < nbits; ++i)
-        out.set(i, (bytes[i / 8] >> (i % 8)) & 1);
+    uint64_t *w = out.words();
+    const size_t numBytes = (nbits + 7) / 8;
+    for (size_t i = 0; i < numBytes; ++i)
+        w[i / 8] |= uint64_t(bytes[i]) << ((i % 8) * 8);
+    out.trimTail();
     return out;
 }
 
@@ -160,8 +222,8 @@ void
 BitVec::trimTail()
 {
     const size_t used = numBits % 64;
-    if (used && !words.empty())
-        words.back() &= mask(static_cast<unsigned>(used));
+    if (used)
+        words()[wordCount() - 1] &= lowMask(used);
 }
 
 BitVec

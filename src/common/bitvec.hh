@@ -7,6 +7,7 @@
 #ifndef AIECC_COMMON_BITVEC_HH
 #define AIECC_COMMON_BITVEC_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -21,6 +22,12 @@ namespace aiecc
  * The length is set at construction (or by resize()) and bounds are
  * checked in debug-style asserts.  Storage is little-endian within
  * 64-bit words: bit i lives in word i/64 at position i%64.
+ *
+ * Vectors up to 576 bits — a full 72-pin burst, and every payload,
+ * chip lane and CRC window the protection stack handles — live in a
+ * small inline buffer, so the hot data path constructs, copies and
+ * returns BitVecs without heap traffic.  Longer vectors spill to a
+ * heap block transparently.
  */
 class BitVec
 {
@@ -101,8 +108,21 @@ class BitVec
     static BitVec fromBytes(const std::vector<uint8_t> &bytes, size_t nbits);
 
   private:
+    /** Inline capacity: 9 words = 576 bits (72 pins x 8 beats). */
+    static constexpr size_t inlineWords = 9;
+
     size_t numBits;
-    std::vector<uint64_t> words;
+    std::array<uint64_t, inlineWords> inl{};
+    std::vector<uint64_t> heap; ///< engaged only beyond inlineWords
+
+    size_t wordCount() const { return (numBits + 63) / 64; }
+    bool isInline() const { return wordCount() <= inlineWords; }
+    uint64_t *words() { return isInline() ? inl.data() : heap.data(); }
+    const uint64_t *
+    words() const
+    {
+        return isInline() ? inl.data() : heap.data();
+    }
 
     /** Zero any bits beyond numBits in the last storage word. */
     void trimTail();

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A small bounded-growth ring buffer with deque-style ends.
+ *
+ * std::deque allocates a fresh node roughly every 512 bytes of
+ * traffic, which turns the controller's PHY FIFO and replay buffer
+ * into steady allocation sources.  This ring keeps a power-of-two
+ * slot array that only reallocates when the population outgrows it,
+ * so steady-state push/pop cycles are allocation-free.
+ */
+
+#ifndef AIECC_COMMON_RING_HH
+#define AIECC_COMMON_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+/** FIFO/deque replacement: amortized-free push at the back, pop at
+ *  either end, random access from the front. */
+template <typename T>
+class Ring
+{
+  public:
+    /** @param initialCap Starting slot count (rounded up to a power
+     *  of two); picked to cover the steady-state population. */
+    explicit Ring(size_t initialCap = 16)
+    {
+        size_t cap = 1;
+        while (cap < initialCap)
+            cap *= 2;
+        slots.resize(cap);
+    }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    void
+    push_back(T value)
+    {
+        if (count == slots.size())
+            grow();
+        slots[(head + count) & (slots.size() - 1)] = std::move(value);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        AIECC_ASSERT(count > 0, "Ring::pop_front on empty ring");
+        slots[head] = T();
+        head = (head + 1) & (slots.size() - 1);
+        --count;
+    }
+
+    void
+    pop_back()
+    {
+        AIECC_ASSERT(count > 0, "Ring::pop_back on empty ring");
+        slots[(head + count - 1) & (slots.size() - 1)] = T();
+        --count;
+    }
+
+    T &
+    front()
+    {
+        AIECC_ASSERT(count > 0, "Ring::front on empty ring");
+        return slots[head];
+    }
+
+    const T &
+    front() const
+    {
+        AIECC_ASSERT(count > 0, "Ring::front on empty ring");
+        return slots[head];
+    }
+
+    T &
+    back()
+    {
+        AIECC_ASSERT(count > 0, "Ring::back on empty ring");
+        return slots[(head + count - 1) & (slots.size() - 1)];
+    }
+
+    const T &
+    back() const
+    {
+        AIECC_ASSERT(count > 0, "Ring::back on empty ring");
+        return slots[(head + count - 1) & (slots.size() - 1)];
+    }
+
+    /** Element @p i positions from the front. */
+    const T &
+    operator[](size_t i) const
+    {
+        AIECC_ASSERT(i < count, "Ring index out of range: " << i);
+        return slots[(head + i) & (slots.size() - 1)];
+    }
+
+    void
+    clear()
+    {
+        while (count > 0)
+            pop_front();
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots.size() * 2);
+        for (size_t i = 0; i < count; ++i)
+            bigger[i] = std::move(slots[(head + i) & (slots.size() - 1)]);
+        slots.swap(bigger);
+        head = 0;
+    }
+
+    std::vector<T> slots;
+    size_t head = 0;
+    size_t count = 0;
+};
+
+} // namespace aiecc
+
+#endif // AIECC_COMMON_RING_HH

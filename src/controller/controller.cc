@@ -81,12 +81,19 @@ MemController::setReplayDepth(size_t depth)
 void
 MemController::advanceToLegalSlot(const Command &cmd)
 {
+    if (!sched.checkFast(cycle, cmd))
+        return;
+    // Timing constraints are fixed thresholds, so the scheduler can
+    // name the first legal cycle directly instead of being probed
+    // cycle by cycle; a target at `cycle` means a state violation
+    // that waiting cannot clear.
     const unsigned bound =
         cfg.timing.tRFC + cfg.timing.tRC + cfg.timing.tFAW + 64;
-    for (unsigned tries = 0; tries <= bound; ++tries) {
-        if (!sched.check(cycle, cmd))
+    const Cycle target = sched.earliestLegal(cycle, cmd);
+    if (target > cycle && target - cycle <= bound) {
+        cycle = target;
+        if (!sched.checkFast(cycle, cmd))
             return;
-        ++cycle;
     }
     AIECC_PANIC("intended command is illegal for the controller: "
                 << cmd.toString() << " at cycle " << cycle);
@@ -112,16 +119,16 @@ MemController::makeWriteData(const Command &cmd, const Burst &burst) const
     addr.row = intendedRow;
     addr.col = cmd.col >> Geometry::burstBits;
 
+    const bool withAddr = cfg.wcrcMode == WcrcMode::DataAddress;
+    const uint64_t addrField =
+        static_cast<uint64_t>(addr.pack(cfg.geom)) << 32;
     for (unsigned chip = 0; chip < Burst::numChips; ++chip) {
-        BitVec covered = burst.chipBits(chip);
-        if (cfg.wcrcMode == WcrcMode::DataAddress) {
-            BitVec withAddr(covered.size() + 32);
-            withAddr.insert(0, covered);
-            withAddr.setField(covered.size(), 32, addr.pack(cfg.geom));
-            covered = withAddr;
-        }
-        wd.crc[chip] =
-            static_cast<uint8_t>(Crc::ddr4Crc8().compute(covered));
+        // One packed word per chip lane, extended by the intended MTB
+        // address for eWCRC; bit order matches the bit-vector form.
+        const uint64_t lane = burst.chipWord(chip);
+        wd.crc[chip] = static_cast<uint8_t>(
+            withAddr ? Crc::ddr4Crc8().computeWord(lane | addrField, 64)
+                     : Crc::ddr4Crc8().computeWord(lane, 32));
     }
     return wd;
 }

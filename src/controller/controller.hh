@@ -14,11 +14,11 @@
 #ifndef AIECC_CONTROLLER_CONTROLLER_HH
 #define AIECC_CONTROLLER_CONTROLLER_HH
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "common/ring.hh"
 #include "dram/rank.hh"
 #include "obs/observer.hh"
 
@@ -184,12 +184,12 @@ class MemController
     Rng staleRng;        ///< models reads of an empty PHY FIFO
     std::vector<Alert> alertLog;
 
-    std::deque<Burst> phyFifo;
+    Ring<Burst> phyFifo;
     Burst lastPopped;    ///< stale entry re-read on FIFO underflow
     bool everPopped = false;
 
     /** Bounded history of intended writes (in-band WR replay). */
-    std::deque<BufferedWrite> replayBuffer;
+    Ring<BufferedWrite> replayBuffer;
     size_t replayCap = 8;
 
     /** The controller's view of each bank's open row (eWCRC address). */

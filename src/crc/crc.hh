@@ -11,6 +11,7 @@
 #ifndef AIECC_CRC_CRC_HH
 #define AIECC_CRC_CRC_HH
 
+#include <array>
 #include <cstdint>
 
 #include "common/bitvec.hh"
@@ -42,7 +43,13 @@ class Crc
     /** CRC of an arbitrary bit vector (consumed high-index-first). */
     uint32_t compute(const BitVec &bits) const;
 
-    /** CRC of the low @p nbits of an integer. */
+    /**
+     * CRC of the low @p nbits of an integer.
+     *
+     * For width >= 8 and whole-byte messages this runs the
+     * table-driven byte loop (the write-CRC hot path: one table load
+     * per 8 message bits); other shapes fall back to the bit loop.
+     */
     uint32_t computeWord(uint64_t value, unsigned nbits) const;
 
     /** The DDR4 write-CRC polynomial: CRC-8-ATM, x^8 + x^2 + x + 1. */
@@ -54,6 +61,14 @@ class Crc
   private:
     unsigned crcWidth;
     uint32_t polynomial;
+
+    /**
+     * byteTab[x] = register after eight bit-steps from x << (width-8)
+     * with a zero message; by linearity one whole message byte is then
+     * reg' = ((reg << 8) & mask) ^ byteTab[(reg >> (width-8)) ^ byte].
+     * Only built (and only valid) for width >= 8.
+     */
+    std::array<uint32_t, 256> byteTab{};
 
     /** Advance the CRC register by one message bit. */
     uint32_t step(uint32_t reg, bool msgBit) const;

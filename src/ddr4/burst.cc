@@ -35,10 +35,7 @@ Burst::chipBits(unsigned chip) const
 {
     AIECC_ASSERT(chip < numChips, "chipBits out of range");
     BitVec out(pinsPerChip * numBeats);
-    for (unsigned p = 0; p < pinsPerChip; ++p) {
-        for (unsigned b = 0; b < numBeats; ++b)
-            out.set(p * numBeats + b, getBit(chip * pinsPerChip + p, b));
-    }
+    out.setField(0, 32, chipWord(chip));
     return out;
 }
 
@@ -48,9 +45,38 @@ Burst::setChipBits(unsigned chip, const BitVec &bits)
     AIECC_ASSERT(chip < numChips, "setChipBits out of range");
     AIECC_ASSERT(bits.size() == pinsPerChip * numBeats,
                  "setChipBits: wrong width");
-    for (unsigned p = 0; p < pinsPerChip; ++p) {
-        for (unsigned b = 0; b < numBeats; ++b)
-            setBit(chip * pinsPerChip + p, b, bits.get(p * numBeats + b));
+    setChipWord(chip, static_cast<uint32_t>(bits.getField(0, 32)));
+}
+
+void
+Burst::amdChipSymbols(unsigned chip, GfElem out[4]) const
+{
+    AIECC_ASSERT(chip < numChips, "amdChipSymbols out of range");
+    const uint8_t *pb = &pinBits[chip * pinsPerChip];
+    for (unsigned w = 0; w < 4; ++w) {
+        GfElem s = 0;
+        for (unsigned j = 0; j < 4; ++j) {
+            const unsigned beats = (pb[j] >> (2 * w)) & 3;
+            s |= static_cast<GfElem>((beats & 1) << j);
+            s |= static_cast<GfElem>((beats >> 1) << (4 + j));
+        }
+        out[w] = s;
+    }
+}
+
+void
+Burst::setAmdChipSymbols(unsigned chip, const GfElem in[4])
+{
+    AIECC_ASSERT(chip < numChips, "setAmdChipSymbols out of range");
+    uint8_t *pb = &pinBits[chip * pinsPerChip];
+    for (unsigned j = 0; j < 4; ++j) {
+        uint8_t v = 0;
+        for (unsigned w = 0; w < 4; ++w) {
+            v |= static_cast<uint8_t>(((in[w] >> j) & 1) << (2 * w));
+            v |= static_cast<uint8_t>(((in[w] >> (4 + j)) & 1)
+                                      << (2 * w + 1));
+        }
+        pb[j] = v;
     }
 }
 
@@ -58,8 +84,12 @@ BitVec
 Burst::data() const
 {
     BitVec out(dataBits);
-    for (unsigned p = 0; p < dataPins; ++p)
-        out.setField(p * 8, 8, pinBits[p]);
+    for (unsigned w = 0; w < dataPins / 8; ++w) {
+        uint64_t v = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            v |= static_cast<uint64_t>(pinBits[w * 8 + b]) << (8 * b);
+        out.setField(w * 64, 64, v);
+    }
     return out;
 }
 
@@ -67,16 +97,21 @@ void
 Burst::setData(const BitVec &d)
 {
     AIECC_ASSERT(d.size() == dataBits, "setData: wrong width");
-    for (unsigned p = 0; p < dataPins; ++p)
-        pinBits[p] = static_cast<uint8_t>(d.getField(p * 8, 8));
+    for (unsigned w = 0; w < dataPins / 8; ++w) {
+        const uint64_t v = d.getField(w * 64, 64);
+        for (unsigned b = 0; b < 8; ++b)
+            pinBits[w * 8 + b] = static_cast<uint8_t>(v >> (8 * b));
+    }
 }
 
 BitVec
 Burst::check() const
 {
     BitVec out(checkBits);
+    uint64_t v = 0;
     for (unsigned p = 0; p < checkPins; ++p)
-        out.setField(p * 8, 8, pinBits[dataPins + p]);
+        v |= static_cast<uint64_t>(pinBits[dataPins + p]) << (8 * p);
+    out.setField(0, 64, v);
     return out;
 }
 
@@ -84,8 +119,9 @@ void
 Burst::setCheck(const BitVec &c)
 {
     AIECC_ASSERT(c.size() == checkBits, "setCheck: wrong width");
+    const uint64_t v = c.getField(0, 64);
     for (unsigned p = 0; p < checkPins; ++p)
-        pinBits[dataPins + p] = static_cast<uint8_t>(c.getField(p * 8, 8));
+        pinBits[dataPins + p] = static_cast<uint8_t>(v >> (8 * p));
 }
 
 void

@@ -72,6 +72,40 @@ struct Burst
     BitVec chipBits(unsigned chip) const;
     void setChipBits(unsigned chip, const BitVec &bits);
 
+    /**
+     * chipBits() as a packed word: bit p*8+b of the chip lane is bit b
+     * of pinBits[chip*4+p], so the lane is just four adjacent pin
+     * bytes.  This is the allocation-free form the write-CRC path
+     * feeds to Crc::computeWord().
+     */
+    uint32_t
+    chipWord(unsigned chip) const
+    {
+        const uint8_t *pb = &pinBits[chip * pinsPerChip];
+        return static_cast<uint32_t>(pb[0]) |
+               static_cast<uint32_t>(pb[1]) << 8 |
+               static_cast<uint32_t>(pb[2]) << 16 |
+               static_cast<uint32_t>(pb[3]) << 24;
+    }
+
+    void
+    setChipWord(unsigned chip, uint32_t w)
+    {
+        uint8_t *pb = &pinBits[chip * pinsPerChip];
+        pb[0] = static_cast<uint8_t>(w);
+        pb[1] = static_cast<uint8_t>(w >> 8);
+        pb[2] = static_cast<uint8_t>(w >> 16);
+        pb[3] = static_cast<uint8_t>(w >> 24);
+    }
+
+    /**
+     * Gather all four AMD codeword symbols of one chip in a single
+     * touch (out[w] = amdSymbol(chip, w)); the batch codec's
+     * interleaved lanes are filled chip by chip this way.
+     */
+    void amdChipSymbols(unsigned chip, GfElem out[4]) const;
+    void setAmdChipSymbols(unsigned chip, const GfElem in[4]);
+
     /** The 512 data bits (pins 0..63); byte p equals pin symbol p. */
     BitVec data() const;
     void setData(const BitVec &d);

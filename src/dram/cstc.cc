@@ -1,6 +1,6 @@
 #include "dram/cstc.hh"
 
-#include <sstream>
+#include <algorithm>
 
 namespace aiecc
 {
@@ -15,17 +15,16 @@ Cstc::Cstc(const Geometry &geom, const TimingParams &timing)
 {
 }
 
-std::optional<std::string>
-Cstc::check(Cycle now, const Command &cmd) const
+const char *
+Cstc::checkFast(Cycle now, const Command &cmd) const
 {
     const unsigned bank =
         cmd.bg * geom.banksPerGroup() + cmd.ba;
-    std::ostringstream why;
 
     switch (cmd.type) {
       case CmdType::Des:
       case CmdType::Nop:
-        return std::nullopt;
+        return nullptr;
 
       case CmdType::Act:
         if (open[bank])
@@ -34,21 +33,18 @@ Cstc::check(Cycle now, const Command &cmd) const
             return "ACT violates tRC";
         if (!elapsed(now, lastActAny, tp.tRRD))
             return "ACT violates tRRD";
-        if (actWindow.size() >= 4 &&
-            now < actWindow[actWindow.size() - 4] + tp.tFAW)
+        if (actCount >= 4 && now < actWindow[actCount % 4] + tp.tFAW)
             return "ACT violates tFAW";
         if (!elapsed(now, lastPre[bank], tp.tRP))
             return "ACT violates tRP";
         if (!elapsed(now, lastRef, tp.tRFC))
             return "ACT violates tRFC";
-        return std::nullopt;
+        return nullptr;
 
       case CmdType::Ref:
         for (unsigned b = 0; b < open.size(); ++b) {
-            if (open[b]) {
-                why << "REF with bank " << b << " open";
-                return why.str();
-            }
+            if (open[b])
+                return "REF with open bank";
         }
         for (unsigned b = 0; b < open.size(); ++b) {
             if (!elapsed(now, lastPre[b], tp.tRP))
@@ -60,7 +56,7 @@ Cstc::check(Cycle now, const Command &cmd) const
         // follow an activation burst too closely.
         if (!elapsed(now, lastActAny, tp.tRRD))
             return "REF violates tRRD";
-        return std::nullopt;
+        return nullptr;
 
       case CmdType::Rd:
         return checkColumn(now, cmd, true);
@@ -72,17 +68,17 @@ Cstc::check(Cycle now, const Command &cmd) const
         // PRE to an idle bank is a legal NOP per JEDEC; only the
         // timing of a PRE that closes a row is constrained.
         if (!open[bank])
-            return std::nullopt;
+            return nullptr;
         return checkPre(now, bank);
 
       case CmdType::PreAll:
         for (unsigned b = 0; b < open.size(); ++b) {
             if (open[b]) {
-                if (auto v = checkPre(now, b))
+                if (const char *v = checkPre(now, b))
                     return v;
             }
         }
-        return std::nullopt;
+        return nullptr;
 
       case CmdType::Mrs:
         // Mode register writes are only legal with all banks idle
@@ -92,37 +88,37 @@ Cstc::check(Cycle now, const Command &cmd) const
             if (open[b])
                 return "MRS with open banks";
         }
-        return std::nullopt;
+        return nullptr;
 
       case CmdType::Zqc:
         for (unsigned b = 0; b < open.size(); ++b) {
             if (open[b])
                 return "ZQC with open banks";
         }
-        return std::nullopt;
+        return nullptr;
 
       case CmdType::Rfu:
         return "reserved command encoding";
     }
-    return std::nullopt;
+    return nullptr;
 }
 
-std::optional<std::string>
+const char *
 Cstc::checkColumn(Cycle now, const Command &cmd, bool isRead) const
 {
     const unsigned bank = cmd.bg * geom.banksPerGroup() + cmd.ba;
     if (!open[bank])
-        return std::string(isRead ? "RD" : "WR") + " to idle bank";
+        return isRead ? "RD to idle bank" : "WR to idle bank";
     if (!elapsed(now, lastAct[bank], tp.tRCD))
-        return std::string(isRead ? "RD" : "WR") + " violates tRCD";
+        return isRead ? "RD violates tRCD" : "WR violates tRCD";
     if (!elapsed(now, lastColCmd, tp.tCCD))
-        return std::string(isRead ? "RD" : "WR") + " violates tCCD";
+        return isRead ? "RD violates tCCD" : "WR violates tCCD";
     if (isRead && !elapsed(now, lastWrEndAny, tp.tWTR))
         return "RD violates tWTR";
-    return std::nullopt;
+    return nullptr;
 }
 
-std::optional<std::string>
+const char *
 Cstc::checkPre(Cycle now, unsigned flatBank) const
 {
     if (!elapsed(now, lastAct[flatBank], tp.tRAS))
@@ -131,7 +127,81 @@ Cstc::checkPre(Cycle now, unsigned flatBank) const
         return "PRE violates tRTP";
     if (!elapsed(now, lastWrEnd[flatBank], tp.tWR))
         return "PRE violates tWR";
-    return std::nullopt;
+    return nullptr;
+}
+
+Cycle
+Cstc::earliestPre(Cycle now, unsigned flatBank) const
+{
+    Cycle t = now;
+    atLeast(t, lastAct[flatBank], tp.tRAS);
+    atLeast(t, lastRd[flatBank], tp.tRTP);
+    atLeast(t, lastWrEnd[flatBank], tp.tWR);
+    return t;
+}
+
+Cycle
+Cstc::earliestLegal(Cycle now, const Command &cmd) const
+{
+    const unsigned bank =
+        cmd.bg * geom.banksPerGroup() + cmd.ba;
+    Cycle t = now;
+
+    switch (cmd.type) {
+      case CmdType::Act:
+        if (open[bank])
+            return now; // state violation: never clears
+        atLeast(t, lastAct[bank], tp.tRC);
+        atLeast(t, lastActAny, tp.tRRD);
+        if (actCount >= 4)
+            atLeast(t, actWindow[actCount % 4], tp.tFAW);
+        atLeast(t, lastPre[bank], tp.tRP);
+        atLeast(t, lastRef, tp.tRFC);
+        return t;
+
+      case CmdType::Ref:
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (open[b])
+                return now;
+        }
+        for (unsigned b = 0; b < open.size(); ++b)
+            atLeast(t, lastPre[b], tp.tRP);
+        atLeast(t, lastRef, tp.tRFC);
+        atLeast(t, lastActAny, tp.tRRD);
+        return t;
+
+      case CmdType::Rd:
+        if (!open[bank])
+            return now;
+        atLeast(t, lastAct[bank], tp.tRCD);
+        atLeast(t, lastColCmd, tp.tCCD);
+        atLeast(t, lastWrEndAny, tp.tWTR);
+        return t;
+
+      case CmdType::Wr:
+        if (!open[bank])
+            return now;
+        atLeast(t, lastAct[bank], tp.tRCD);
+        atLeast(t, lastColCmd, tp.tCCD);
+        return t;
+
+      case CmdType::Pre:
+        if (!open[bank])
+            return now; // already legal (a NOP)
+        return earliestPre(now, bank);
+
+      case CmdType::PreAll:
+        for (unsigned b = 0; b < open.size(); ++b) {
+            if (open[b])
+                t = std::max(t, earliestPre(now, b));
+        }
+        return t;
+
+      default:
+        // Des/Nop are always legal; Mrs/Zqc block only on open banks
+        // (state, not timing); Rfu never becomes legal.
+        return now;
+    }
 }
 
 void
@@ -143,9 +213,8 @@ Cstc::commit(Cycle now, const Command &cmd)
         open[bank] = true;
         lastAct[bank] = now;
         lastActAny = now;
-        actWindow.push_back(now);
-        while (actWindow.size() > 8)
-            actWindow.pop_front();
+        actWindow[actCount % 4] = now;
+        ++actCount;
         break;
 
       case CmdType::Rd:

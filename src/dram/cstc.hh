@@ -14,7 +14,7 @@
 #ifndef AIECC_DRAM_CSTC_HH
 #define AIECC_DRAM_CSTC_HH
 
-#include <deque>
+#include <array>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,7 +31,7 @@ namespace aiecc
  *
  * The checker mirrors bank open/closed state from the command stream
  * it observes (the same stream the array sees) and timestamps the
- * events each Table I constraint refers to.  check() validates a
+ * events each Table I constraint refers to.  checkFast() validates a
  * candidate command; commit() records an executed one.
  */
 class Cstc
@@ -42,12 +42,40 @@ class Cstc
     /**
      * Validate a command against bank state and timing.
      *
+     * This is the hot entry point: the controller probes it once per
+     * candidate cycle while hunting for a legal slot, so violations
+     * are reported as static strings and the call never allocates.
+     *
      * @param now Current cycle.
      * @param cmd The decoded command.
-     * @return A violation description, or nullopt if the command is
-     *         legal.
+     * @return A static violation description, or nullptr if the
+     *         command is legal.
      */
-    std::optional<std::string> check(Cycle now, const Command &cmd) const;
+    const char *checkFast(Cycle now, const Command &cmd) const;
+
+    /**
+     * checkFast() wrapped in std::optional<std::string> for tests and
+     * cold callers that want an owning message.
+     */
+    std::optional<std::string>
+    check(Cycle now, const Command &cmd) const
+    {
+        if (const char *why = checkFast(now, cmd))
+            return std::string(why);
+        return std::nullopt;
+    }
+
+    /**
+     * The first cycle >= @p now at which every *timing* constraint on
+     * @p cmd is satisfied, given the current history.  Each Table I
+     * rule is a fixed threshold (event timestamp + limit), so legality
+     * is monotone in time and the maximum violated threshold is
+     * exactly the cycle a cycle-by-cycle scan would stop at.  Pure
+     * state violations (ACT to an open bank, RD to an idle bank, ...)
+     * never clear with time; for those this returns @p now and the
+     * caller must treat the command as stuck.
+     */
+    Cycle earliestLegal(Cycle now, const Command &cmd) const;
 
     /**
      * Record an executed command, updating the state mirror and the
@@ -77,20 +105,36 @@ class Cstc
     Cycle lastColCmd = longAgo;     ///< rank-wide tCCD reference
     Cycle lastWrEndAny = longAgo;   ///< rank-wide tWTR reference
     Cycle lastRef = longAgo;
-    std::deque<Cycle> actWindow;    ///< recent ACTs for tFAW
 
-    /** now - then >= limit, treating the zero timestamp as "never". */
+    /**
+     * The last four ACT timestamps for tFAW, as a circular buffer:
+     * slot actCount % 4 always holds the oldest of the most recent
+     * four once actCount >= 4.
+     */
+    std::array<Cycle, 4> actWindow{};
+    size_t actCount = 0;
+
+    /** now - then >= limit, treating the sentinel as "never". */
     static bool
     elapsed(Cycle now, Cycle then, unsigned limit)
     {
         return then == longAgo || now >= then + limit;
     }
 
-    std::optional<std::string>
+    const char *
     checkColumn(Cycle now, const Command &cmd, bool isRead) const;
 
-    std::optional<std::string>
-    checkPre(Cycle now, unsigned flatBank) const;
+    const char *checkPre(Cycle now, unsigned flatBank) const;
+
+    /** Raise @p t to the threshold then + limit (sentinel-aware). */
+    static void
+    atLeast(Cycle &t, Cycle then, unsigned limit)
+    {
+        if (then != longAgo && then + limit > t)
+            t = then + limit;
+    }
+
+    Cycle earliestPre(Cycle now, unsigned flatBank) const;
 };
 
 } // namespace aiecc

@@ -1,5 +1,6 @@
 #include "dram/rank.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/bits.hh"
@@ -23,7 +24,8 @@ alertKindName(AlertKind kind)
 DramRank::DramRank(const RankConfig &config)
     : cfg(config), cstc(config.geom, config.timing),
       garbage(config.garbageSeed),
-      banks(config.geom.numBanks())
+      banks(config.geom.numBanks()),
+      store(config.geom.mtbColBits())
 {
 }
 
@@ -103,9 +105,8 @@ DramRank::defaultFill(uint32_t packedAddr)
 Burst
 DramRank::load(uint32_t packedAddr) const
 {
-    const auto it = store.find(packedAddr);
-    if (it != store.end())
-        return it->second;
+    if (const Burst *stored = store.find(packedAddr))
+        return *stored;
     return cfg.fillFn ? cfg.fillFn(packedAddr) : defaultFill(packedAddr);
 }
 
@@ -130,7 +131,7 @@ DramRank::peek(const MtbAddress &addr) const
 void
 DramRank::poke(const MtbAddress &addr, const Burst &burst)
 {
-    store[addr.pack(cfg.geom)] = burst;
+    store.put(addr.pack(cfg.geom), burst);
 }
 
 std::vector<MtbAddress>
@@ -138,7 +139,7 @@ DramRank::storedAddresses() const
 {
     std::vector<MtbAddress> out;
     out.reserve(store.size());
-    for (const auto &[packed, burst] : store)
+    for (uint32_t packed : store.sortedKeys())
         out.push_back(MtbAddress::unpack(packed, cfg.geom));
     return out;
 }
@@ -305,19 +306,17 @@ DramRank::doActivate(Cycle now, const Command &cmd, ExecResult &result)
             ++*oc.rowCopyovers;
         // Copy every column that is distinguishable from the default
         // fill in either row.
+        const uint32_t srcBase =
+            MtbAddress{0, cmd.bg, cmd.ba, srcRow, 0}.pack(cfg.geom);
+        const uint32_t dstBase =
+            MtbAddress{0, cmd.bg, cmd.ba, dstRow, 0}.pack(cfg.geom);
         std::vector<unsigned> cols;
-        for (const auto &[packed, burst] : store) {
-            const MtbAddress a = MtbAddress::unpack(packed, cfg.geom);
-            if (a.bg == cmd.bg && a.ba == cmd.ba &&
-                (a.row == srcRow || a.row == dstRow)) {
-                cols.push_back(a.col);
-            }
-        }
-        for (unsigned col : cols) {
-            MtbAddress src{0, cmd.bg, cmd.ba, srcRow, col};
-            MtbAddress dst{0, cmd.bg, cmd.ba, dstRow, col};
-            store[dst.pack(cfg.geom)] = load(src.pack(cfg.geom));
-        }
+        store.rowCols(srcBase >> store.colBits(), cols);
+        store.rowCols(dstBase >> store.colBits(), cols);
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        for (unsigned col : cols)
+            store.put(dstBase | col, load(srcBase | col));
         result.arrayMutated = !cols.empty();
     }
     bank.row = dstRow;
@@ -402,19 +401,20 @@ DramRank::doWrite(Cycle now, const Command &cmd,
     // target MTB address.
     if (cfg.wcrcMode != WcrcMode::Off && bank.open && !modeCorrupt) {
         const MtbAddress devAddr = deviceAddress(cmd, bank);
+        const bool withAddr = cfg.wcrcMode == WcrcMode::DataAddress;
+        const uint64_t addrField =
+            static_cast<uint64_t>(devAddr.pack(cfg.geom)) << 32;
         bool mismatch = false;
         for (unsigned chip = 0; chip < Burst::numChips && !mismatch;
              ++chip) {
-            BitVec covered = received.burst.chipBits(chip);
-            if (cfg.wcrcMode == WcrcMode::DataAddress) {
-                BitVec withAddr(covered.size() + 32);
-                withAddr.insert(0, covered);
-                withAddr.setField(covered.size(), 32,
-                                  devAddr.pack(cfg.geom));
-                covered = withAddr;
-            }
+            // The covered word is the chip's 32 data bits, extended by
+            // the device's view of the MTB address for eWCRC; both are
+            // consumed MSB-first, exactly as the bit-vector form was.
+            const uint64_t lane = received.burst.chipWord(chip);
             const uint8_t expect = static_cast<uint8_t>(
-                Crc::ddr4Crc8().compute(covered));
+                withAddr
+                    ? Crc::ddr4Crc8().computeWord(lane | addrField, 64)
+                    : Crc::ddr4Crc8().computeWord(lane, 32));
             const uint8_t got =
                 received.crcValid ? received.crc[chip] : expect;
             mismatch = expect != got;
@@ -448,7 +448,7 @@ DramRank::doWrite(Cycle now, const Command &cmd,
         // Misconfigured burst length / latency scrambles the beats.
         toStore.randomize(garbage);
     }
-    store[addr.pack(cfg.geom)] = toStore;
+    store.put(addr.pack(cfg.geom), toStore);
     result.arrayMutated = true;
 
     if (cmd.autoPrecharge)

@@ -25,7 +25,6 @@
 #define AIECC_DRAM_RANK_HH
 
 #include <array>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -33,6 +32,7 @@
 #include "ddr4/burst.hh"
 #include "dram/config.hh"
 #include "dram/cstc.hh"
+#include "dram/row_store.hh"
 #include "obs/observer.hh"
 
 namespace aiecc
@@ -137,7 +137,7 @@ class DramRank
         unsigned row = 0;
     };
     std::vector<Bank> banks;
-    std::map<uint32_t, Burst> store; ///< packed MTB address -> content
+    RowStore store; ///< packed MTB address -> content, row-chunked
     bool wrt = false;
     bool modeCorrupt = false;
     bool powerDown = false;  ///< CKE sampled low: fast power-down

@@ -1,0 +1,168 @@
+#include "dram/row_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace aiecc
+{
+
+namespace
+{
+
+/** Fibonacci-style multiplicative hash of a row key. */
+uint32_t
+hashKey(uint32_t key)
+{
+    return key * 2654435761u;
+}
+
+} // namespace
+
+RowStore::RowStore(unsigned mtbColBits)
+    : mtbColBits(mtbColBits),
+      colMask((1u << mtbColBits) - 1),
+      colsPerRow(size_t(1) << mtbColBits),
+      presenceWords((colsPerRow + 63) / 64),
+      presence(reserveRows * presenceWords, 0),
+      slots(initialSlots, 0),
+      slab0(new uint8_t[reserveRows * colsPerRow * sizeof(Burst)])
+{
+    chunkKeys.reserve(reserveRows);
+}
+
+Burst *
+RowStore::chunkData(uint32_t chunk) const
+{
+    if (chunk < reserveRows) {
+        return reinterpret_cast<Burst *>(slab0.get()) +
+               size_t(chunk) * colsPerRow;
+    }
+    const size_t extra = chunk - reserveRows;
+    return reinterpret_cast<Burst *>(extraSlabs[extra / growRows].get()) +
+           (extra % growRows) * colsPerRow;
+}
+
+uint32_t
+RowStore::findChunk(uint32_t rowKey) const
+{
+    const size_t m = slots.size() - 1;
+    for (size_t h = hashKey(rowKey) & m;; h = (h + 1) & m) {
+        const uint32_t slot = slots[h];
+        if (slot == 0)
+            return noChunk;
+        if (chunkKeys[slot - 1] == rowKey)
+            return slot - 1;
+    }
+}
+
+uint32_t
+RowStore::findOrCreateChunk(uint32_t rowKey)
+{
+    if (const uint32_t found = findChunk(rowKey); found != noChunk)
+        return found;
+
+    if ((chunkKeys.size() + 1) * 2 > slots.size())
+        rehash();
+
+    const uint32_t chunk = static_cast<uint32_t>(chunkKeys.size());
+    chunkKeys.push_back(rowKey);
+    if (presence.size() < chunkKeys.size() * presenceWords)
+        presence.resize(chunkKeys.size() * presenceWords, 0);
+    if (chunk >= reserveRows && (chunk - reserveRows) % growRows == 0) {
+        extraSlabs.emplace_back(
+            new uint8_t[growRows * colsPerRow * sizeof(Burst)]);
+    }
+
+    const size_t m = slots.size() - 1;
+    size_t h = hashKey(rowKey) & m;
+    while (slots[h] != 0)
+        h = (h + 1) & m;
+    slots[h] = chunk + 1;
+    return chunk;
+}
+
+void
+RowStore::rehash()
+{
+    std::vector<uint32_t> bigger(slots.size() * 2, 0);
+    const size_t m = bigger.size() - 1;
+    for (uint32_t slot : slots) {
+        if (slot == 0)
+            continue;
+        size_t h = hashKey(chunkKeys[slot - 1]) & m;
+        while (bigger[h] != 0)
+            h = (h + 1) & m;
+        bigger[h] = slot;
+    }
+    slots.swap(bigger);
+}
+
+const Burst *
+RowStore::find(uint32_t packed) const
+{
+    const uint32_t chunk = findChunk(packed >> mtbColBits);
+    if (chunk == noChunk)
+        return nullptr;
+    const uint32_t col = packed & colMask;
+    const uint64_t word =
+        presence[size_t(chunk) * presenceWords + col / 64];
+    if (!((word >> (col % 64)) & 1))
+        return nullptr;
+    return chunkData(chunk) + col;
+}
+
+void
+RowStore::put(uint32_t packed, const Burst &burst)
+{
+    const uint32_t chunk = findOrCreateChunk(packed >> mtbColBits);
+    const uint32_t col = packed & colMask;
+    chunkData(chunk)[col] = burst;
+    uint64_t &word = presence[size_t(chunk) * presenceWords + col / 64];
+    const uint64_t bit = uint64_t(1) << (col % 64);
+    population += !(word & bit);
+    word |= bit;
+}
+
+std::vector<uint32_t>
+RowStore::sortedKeys() const
+{
+    std::vector<std::pair<uint32_t, uint32_t>> rows;  // (rowKey, chunk)
+    rows.reserve(chunkKeys.size());
+    for (uint32_t c = 0; c < chunkKeys.size(); ++c)
+        rows.emplace_back(chunkKeys[c], c);
+    std::sort(rows.begin(), rows.end());
+
+    std::vector<uint32_t> out;
+    out.reserve(population);
+    for (const auto &[rowKey, chunk] : rows) {
+        for (size_t w = 0; w < presenceWords; ++w) {
+            uint64_t bits = presence[size_t(chunk) * presenceWords + w];
+            while (bits) {
+                const unsigned col = static_cast<unsigned>(
+                    w * 64 + __builtin_ctzll(bits));
+                out.push_back((rowKey << mtbColBits) | col);
+                bits &= bits - 1;
+            }
+        }
+    }
+    return out;
+}
+
+void
+RowStore::rowCols(uint32_t rowKey, std::vector<unsigned> &cols) const
+{
+    const uint32_t chunk = findChunk(rowKey);
+    if (chunk == noChunk)
+        return;
+    for (size_t w = 0; w < presenceWords; ++w) {
+        uint64_t bits = presence[size_t(chunk) * presenceWords + w];
+        while (bits) {
+            cols.push_back(
+                static_cast<unsigned>(w * 64 + __builtin_ctzll(bits)));
+            bits &= bits - 1;
+        }
+    }
+}
+
+} // namespace aiecc

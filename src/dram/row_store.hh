@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Row-chunked sparse MTB storage for the rank model.
+ *
+ * The rank used to keep written bursts in a std::map keyed by packed
+ * MTB address, which costs a red-black-tree node allocation on every
+ * first write to a location — right inside the controller's issue
+ * path.  RowStore instead groups storage by DRAM row: each stored row
+ * owns a presence bitmap plus a contiguous column array of Bursts
+ * carved out of a preallocated slab, and rows are looked up through a
+ * small open-addressing hash on the row key (packed address with the
+ * column bits stripped).
+ *
+ * The first slab covers 1024 rows of untouched virtual memory (the
+ * bytes are never zeroed; presence bits gate every read), so
+ * construction stays cheap enough for campaign trials that build two
+ * stacks per trial, while the e2e mix — 16 banks x 64 rows — runs
+ * entirely allocation-free.  Populations beyond the reserve grow by
+ * fixed-size slabs with geometric hash/bitmap growth (amortized, off
+ * the steady-state path).
+ */
+
+#ifndef AIECC_DRAM_ROW_STORE_HH
+#define AIECC_DRAM_ROW_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ddr4/burst.hh"
+
+namespace aiecc
+{
+
+/** Sparse packed-MTB-address -> Burst map, chunked by DRAM row. */
+class RowStore
+{
+  public:
+    /** @param mtbColBits Column bits of a packed MTB address (the
+     *  chunk holds 2^mtbColBits columns). */
+    explicit RowStore(unsigned mtbColBits);
+
+    /** Stored burst at @p packed, or nullptr if never written. */
+    const Burst *find(uint32_t packed) const;
+
+    /** Insert or overwrite the burst at @p packed. */
+    void put(uint32_t packed, const Burst &burst);
+
+    /** Number of stored (explicitly written) MTBs. */
+    size_t size() const { return population; }
+
+    /** All stored packed addresses, ascending. */
+    std::vector<uint32_t> sortedKeys() const;
+
+    /**
+     * Append the columns stored in row @p rowKey (packed >> mtbColBits)
+     * to @p cols, ascending.  Cold path (duplicate-ACT copyover).
+     */
+    void rowCols(uint32_t rowKey, std::vector<unsigned> &cols) const;
+
+    unsigned colBits() const { return mtbColBits; }
+
+  private:
+    static constexpr uint32_t noChunk = ~static_cast<uint32_t>(0);
+    static constexpr size_t reserveRows = 1024;
+    static constexpr size_t growRows = 256;
+    static constexpr size_t initialSlots = 4096;
+
+    unsigned mtbColBits;
+    uint32_t colMask;
+    size_t colsPerRow;
+    size_t presenceWords;     ///< bitmap words per row chunk
+
+    /** Row key per chunk, indexed by chunk id (allocation order). */
+    std::vector<uint32_t> chunkKeys;
+
+    /** Per-chunk presence bitmaps, presenceWords words per chunk. */
+    std::vector<uint64_t> presence;
+
+    /** Open-addressing hash: row key -> chunk id + 1 (0 = empty). */
+    std::vector<uint32_t> slots;
+
+    /** Raw, never-zeroed burst storage; slab 0 holds reserveRows
+     *  rows, each later slab growRows more. */
+    std::unique_ptr<uint8_t[]> slab0;
+    std::vector<std::unique_ptr<uint8_t[]>> extraSlabs;
+
+    size_t population = 0;
+
+    Burst *chunkData(uint32_t chunk) const;
+    uint32_t findChunk(uint32_t rowKey) const;
+    uint32_t findOrCreateChunk(uint32_t rowKey);
+    void rehash();
+};
+
+} // namespace aiecc
+
+#endif // AIECC_DRAM_ROW_STORE_HH

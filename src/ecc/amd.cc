@@ -17,14 +17,17 @@ AmdChipkillEcc::encode(const BitVec &data, uint32_t mtbAddr) const
     AIECC_ASSERT(data.size() == Burst::dataBits, "AMD encode: bad size");
     Burst out;
     out.setData(data);
-    for (unsigned w = 0; w < numWords; ++w) {
-        std::vector<GfElem> message(dataChips);
-        for (unsigned chip = 0; chip < dataChips; ++chip)
-            message[chip] = out.amdSymbol(chip, w);
-        const auto parity = rs.parity(message);
-        for (unsigned j = 0; j < checkChips; ++j)
-            out.setAmdSymbol(dataChips + j, w, parity[j]);
-    }
+
+    // Lane-minor interleave: symbol i of codeword w at [i*numWords+w],
+    // which is exactly the four symbols one chip contributes.
+    GfElem messages[dataChips * numWords];
+    for (unsigned chip = 0; chip < dataChips; ++chip)
+        out.amdChipSymbols(chip, &messages[chip * numWords]);
+
+    GfElem parities[checkChips * numWords];
+    rs.parityBatch(messages, parities, numWords);
+    for (unsigned j = 0; j < checkChips; ++j)
+        out.setAmdChipSymbols(dataChips + j, &parities[j * numWords]);
     return out;
 }
 
@@ -32,23 +35,22 @@ EccResult
 AmdChipkillEcc::decode(const Burst &burst, uint32_t mtbAddr) const
 {
     (void)mtbAddr;
+    GfElem received[(dataChips + checkChips) * numWords];
+    for (unsigned chip = 0; chip < dataChips + checkChips; ++chip)
+        burst.amdChipSymbols(chip, &received[chip * numWords]);
+
+    RsCodec::LaneResult lanes[numWords];
+    rs.decodeBatch(received, numWords, lanes, ws);
+
     EccResult res;
-    Burst corrected = burst;
     bool anyCorrected = false;
     for (unsigned w = 0; w < numWords; ++w) {
-        std::vector<GfElem> received(dataChips + checkChips);
-        for (unsigned chip = 0; chip < dataChips + checkChips; ++chip)
-            received[chip] = burst.amdSymbol(chip, w);
-        const auto dec = rs.decode(received);
-        switch (dec.status) {
+        switch (lanes[w].status) {
           case RsCodec::Status::Ok:
             break;
           case RsCodec::Status::Corrected:
             anyCorrected = true;
-            res.symbolsCorrected +=
-                static_cast<unsigned>(dec.positions.size());
-            for (unsigned chip = 0; chip < dataChips; ++chip)
-                corrected.setAmdSymbol(chip, w, dec.codeword[chip]);
+            res.symbolsCorrected += lanes[w].numPositions;
             break;
           case RsCodec::Status::Uncorrectable:
             res.status = EccStatus::Uncorrectable;
@@ -56,6 +58,10 @@ AmdChipkillEcc::decode(const Burst &burst, uint32_t mtbAddr) const
             return res;
         }
     }
+
+    Burst corrected = burst;
+    for (unsigned chip = 0; chip < dataChips; ++chip)
+        corrected.setAmdChipSymbols(chip, &received[chip * numWords]);
     res.status = anyCorrected ? EccStatus::Corrected : EccStatus::Clean;
     res.data = corrected.data();
     return res;

@@ -41,6 +41,8 @@ class AmdChipkillEcc : public DataEcc
 
   private:
     RsCodec rs;
+    /** Decode scratch; stacks own their codecs, so this is unshared. */
+    mutable RsWorkspace ws;
 };
 
 } // namespace aiecc

@@ -15,13 +15,13 @@ QpcEcc::encode(const BitVec &data, uint32_t mtbAddr) const
 {
     (void)mtbAddr;
     AIECC_ASSERT(data.size() == Burst::dataBits, "QPC encode: bad size");
-    std::vector<GfElem> message(Burst::dataPins);
-    for (unsigned p = 0; p < Burst::dataPins; ++p)
-        message[p] = static_cast<GfElem>(data.getField(p * 8, 8));
-    const auto parity = rs.parity(message);
-
     Burst out;
     out.setData(data);
+
+    // setData() makes pin symbol p equal byte p of the payload, so the
+    // first 64 pin bytes are the RS message in place.
+    GfElem parity[Burst::checkPins];
+    rs.parityInto(&out.pinBits[0], parity);
     for (unsigned j = 0; j < Burst::checkPins; ++j)
         out.setPinSymbol(Burst::dataPins + j, parity[j]);
     return out;
@@ -31,25 +31,27 @@ EccResult
 QpcEcc::decode(const Burst &burst, uint32_t mtbAddr) const
 {
     (void)mtbAddr;
-    std::vector<GfElem> received(Burst::numPins);
+    GfElem received[Burst::numPins];
     for (unsigned p = 0; p < Burst::numPins; ++p)
         received[p] = burst.pinSymbol(p);
 
-    const auto dec = rs.decode(received);
+    uint8_t positions[Burst::checkPins];
+    unsigned numPositions = 0;
+    const auto status =
+        rs.decodeInto(received, ws, positions, numPositions);
+
     EccResult res;
     res.data = burst.data();
-    switch (dec.status) {
+    switch (status) {
       case RsCodec::Status::Ok:
         res.status = EccStatus::Clean;
         break;
-      case RsCodec::Status::Corrected: {
+      case RsCodec::Status::Corrected:
         res.status = EccStatus::Corrected;
-        res.symbolsCorrected =
-            static_cast<unsigned>(dec.positions.size());
+        res.symbolsCorrected = numPositions;
         for (unsigned p = 0; p < Burst::dataPins; ++p)
-            res.data.setField(p * 8, 8, dec.codeword[p]);
+            res.data.setField(p * 8, 8, received[p]);
         break;
-      }
       case RsCodec::Status::Uncorrectable:
         res.status = EccStatus::Uncorrectable;
         break;

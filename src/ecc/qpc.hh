@@ -36,6 +36,8 @@ class QpcEcc : public DataEcc
 
   private:
     RsCodec rs;
+    /** Decode scratch; stacks own their codecs, so this is unshared. */
+    mutable RsWorkspace ws;
 };
 
 } // namespace aiecc

@@ -172,10 +172,10 @@ Gddr5System::transmit(const Command &cmd)
 
     if (prot.cstc) {
         const auto mapped = toCstcCommand(dec.cmd);
-        if (auto violation = cstc.check(cycle, mapped)) {
+        if (const char *violation = cstc.checkFast(cycle, mapped)) {
             events.push_back({Detector::Cstc, cycle,
-                              *violation + " (" + dec.cmd.toString() +
-                                  ")"});
+                              std::string(violation) + " (" +
+                                  dec.cmd.toString() + ")"});
             dec.executed = false;
             return dec;
         }

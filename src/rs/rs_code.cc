@@ -8,113 +8,149 @@ namespace aiecc
 {
 
 RsCodec::RsCodec(unsigned n, unsigned k, unsigned fcr)
-    : nLen(n), kLen(k), fcr(fcr),
-      generator(Gf256Poly::rsGenerator(n - k, fcr))
+    : nLen(n), kLen(k), fcrBase(fcr)
 {
     AIECC_ASSERT(k < n && n <= Gf256::groupOrder,
                  "invalid RS parameters n=" << n << " k=" << k);
-}
+    const unsigned nr = nroots();
 
-std::vector<GfElem>
-RsCodec::encode(const std::vector<GfElem> &message) const
-{
-    std::vector<GfElem> cw = message;
-    const std::vector<GfElem> par = parity(message);
-    cw.insert(cw.end(), par.begin(), par.end());
-    return cw;
-}
+    // Generator g(x) = prod (x - alpha^(fcr+i)), low-degree-first.
+    const Gf256Poly gen = Gf256Poly::rsGenerator(nr, fcr);
+    genCoef.assign(nr + 1, 0);
+    for (unsigned j = 0; j <= nr; ++j)
+        genCoef[j] = gen[j];
+    AIECC_ASSERT(genCoef[nr] == 1, "RS generator is not monic");
 
-std::vector<GfElem>
-RsCodec::parity(const std::vector<GfElem> &message) const
-{
-    AIECC_ASSERT(message.size() == kLen,
-                 "RS encode: message size " << message.size()
-                                            << " != k " << kLen);
-    // Systematic encoding: parity = -(m(x) * x^(n-k)) mod g(x).
-    // Our position convention places message[0] at the highest degree,
-    // so build the polynomial low-degree-first by reversing.
-    std::vector<GfElem> poly(nLen, 0);
-    for (unsigned i = 0; i < kLen; ++i)
-        poly[nLen - 1 - i] = message[i];
-    const Gf256Poly rem = Gf256Poly(std::move(poly)).mod(generator);
-
-    // parity[j] occupies codeword position k + j, i.e. degree n-1-(k+j).
-    std::vector<GfElem> par(nroots(), 0);
-    for (unsigned j = 0; j < nroots(); ++j)
-        par[j] = rem[nroots() - 1 - j];
-    return par;
-}
-
-std::vector<GfElem>
-RsCodec::syndromes(const std::vector<GfElem> &received) const
-{
-    std::vector<GfElem> synd(nroots(), 0);
-    for (unsigned j = 0; j < nroots(); ++j) {
-        GfElem acc = 0;
-        const GfElem x = Gf256::alphaPow(static_cast<int>(fcr + j));
-        // Horner over coefficients: degree n-1 (position 0) first.
-        for (unsigned i = 0; i < nLen; ++i)
-            acc = Gf256::add(Gf256::mul(acc, x), received[i]);
-        synd[j] = acc;
+    // LFSR rows: encTab[fb * nr + m] = fb * genCoef[nr - 1 - m].  One
+    // division step shifts the parity register up and subtracts the
+    // feedback-scaled generator; laying the row out in register order
+    // makes the shift update a contiguous walk.
+    encTab.assign(256u * nr, 0);
+    for (unsigned fb = 1; fb < 256; ++fb) {
+        for (unsigned m = 0; m < nr; ++m) {
+            encTab[fb * nr + m] = Gf256::mul(static_cast<GfElem>(fb),
+                                             genCoef[nr - 1 - m]);
+        }
     }
-    return synd;
+
+    // Per-root Horner multipliers: acc -> acc * alpha^(fcr+j).
+    syndTab.assign(nr * 256u, 0);
+    for (unsigned j = 0; j < nr; ++j) {
+        const GfElem x = Gf256::alphaPow(static_cast<int>(fcr + j));
+        for (unsigned a = 0; a < 256; ++a) {
+            syndTab[j * 256 + a] =
+                Gf256::mul(static_cast<GfElem>(a), x);
+        }
+    }
+
+    // Chien probes and erasure locators per codeword position.
+    xinvTab.assign(nLen, 0);
+    xlTab.assign(nLen, 0);
+    for (unsigned pos = 0; pos < nLen; ++pos) {
+        xinvTab[pos] =
+            Gf256::alphaPow(-static_cast<int>(nLen - 1 - pos));
+        xlTab[pos] = Gf256::alphaPow(static_cast<int>(nLen - 1 - pos));
+    }
+}
+
+void
+RsCodec::parityInto(const GfElem *message, GfElem *parity) const
+{
+    const unsigned nr = nroots();
+    GfElem par[256];
+    std::fill(par, par + nr, 0);
+    for (unsigned i = 0; i < kLen; ++i) {
+        const GfElem fb = static_cast<GfElem>(message[i] ^ par[0]);
+        const GfElem *row = &encTab[static_cast<size_t>(fb) * nr];
+        for (unsigned m = 0; m + 1 < nr; ++m)
+            par[m] = static_cast<GfElem>(par[m + 1] ^ row[m]);
+        par[nr - 1] = row[nr - 1];
+    }
+    std::copy(par, par + nr, parity);
+}
+
+void
+RsCodec::encodeInto(const GfElem *message, GfElem *codeword) const
+{
+    std::copy(message, message + kLen, codeword);
+    parityInto(message, codeword + kLen);
 }
 
 bool
-RsCodec::isCodeword(const std::vector<GfElem> &word) const
+RsCodec::syndromesInto(const GfElem *received, GfElem *synd) const
 {
-    AIECC_ASSERT(word.size() == nLen, "RS isCodeword: wrong length");
-    const auto synd = syndromes(word);
-    return std::all_of(synd.begin(), synd.end(),
-                       [](GfElem s) { return s == 0; });
+    const unsigned nr = nroots();
+    GfElem any = 0;
+    for (unsigned j = 0; j < nr; ++j) {
+        const GfElem *tab = &syndTab[static_cast<size_t>(j) * 256];
+        GfElem acc = 0;
+        for (unsigned i = 0; i < nLen; ++i)
+            acc = static_cast<GfElem>(tab[acc] ^ received[i]);
+        synd[j] = acc;
+        any = static_cast<GfElem>(any | acc);
+    }
+    return any == 0;
 }
 
-RsCodec::Result
-RsCodec::decode(const std::vector<GfElem> &received,
-                const std::vector<unsigned> &erasures) const
+bool
+RsCodec::isCodewordRaw(const GfElem *word) const
 {
-    AIECC_ASSERT(received.size() == nLen, "RS decode: wrong length");
-    Result res;
-    res.codeword = received;
+    GfElem synd[256];
+    return syndromesInto(word, synd);
+}
+
+RsCodec::Status
+RsCodec::decodeInto(GfElem *received, RsWorkspace &ws,
+                    uint8_t *positions, unsigned &numPositions,
+                    const unsigned *erasures,
+                    unsigned numErasures) const
+{
+    numPositions = 0;
 
     const unsigned nr = nroots();
-    const auto synd = syndromes(received);
-    const bool clean = std::all_of(synd.begin(), synd.end(),
-                                   [](GfElem s) { return s == 0; });
-    if (clean) {
-        res.status = Status::Ok;
-        return res;
-    }
+    if (syndromesInto(received, ws.synd.data()))
+        return Status::Ok;
 
-    if (erasures.size() > nr) {
-        res.status = Status::Uncorrectable;
-        return res;
-    }
+    if (numErasures > nr)
+        return Status::Uncorrectable;
+
+    const GfElem *exp = Gf256::expTable();
+    const uint16_t *lg = Gf256::logTable();
+    const auto gmul = [exp, lg](GfElem a, GfElem b) -> GfElem {
+        return (a && b)
+                   ? exp[static_cast<unsigned>(lg[a]) + lg[b]]
+                   : 0;
+    };
+
+    GfElem *synd = ws.synd.data();
+    GfElem *lambda = ws.lambda.data();
 
     // Erasure locator Gamma(x) = prod (1 + X_l x), X_l = alpha^(n-1-pos).
-    std::vector<GfElem> lambda(nr + 1, 0);
+    std::fill(lambda, lambda + nr + 1, 0);
     lambda[0] = 1;
-    for (unsigned pos : erasures) {
+    for (unsigned e = 0; e < numErasures; ++e) {
+        const unsigned pos = erasures[e];
         AIECC_ASSERT(pos < nLen, "RS decode: erasure out of range");
-        const GfElem xl = Gf256::alphaPow(static_cast<int>(nLen - 1 - pos));
-        for (unsigned i = nr; i >= 1; --i) {
-            lambda[i] = Gf256::add(lambda[i],
-                                   Gf256::mul(lambda[i - 1], xl));
-        }
+        const GfElem xl = xlTab[pos];
+        for (unsigned i = nr; i >= 1; --i)
+            lambda[i] =
+                static_cast<GfElem>(lambda[i] ^ gmul(lambda[i - 1], xl));
     }
 
     // Errors-and-erasures Berlekamp-Massey (libfec-style formulation).
-    std::vector<GfElem> b = lambda;
-    std::vector<GfElem> t(nr + 1, 0);
-    unsigned el = static_cast<unsigned>(erasures.size());
-    for (unsigned r = static_cast<unsigned>(erasures.size()) + 1;
-         r <= nr; ++r) {
+    GfElem *b = ws.bpoly.data();
+    GfElem *t = ws.tpoly.data();
+    std::copy(lambda, lambda + nr + 1, b);
+    unsigned el = numErasures;
+    for (unsigned r = numErasures + 1; r <= nr; ++r) {
+        // Invariant: i < r <= nr inside the discrepancy sum, so both
+        // lambda[i] and synd[r - i - 1] stay in bounds — the window
+        // never needs narrowing.
+        AIECC_ASSERT(r <= nr, "BM round " << r << " exceeds nroots");
         GfElem discr = 0;
-        for (unsigned i = 0; i < r; ++i) {
-            if (i <= nr)
-                discr = Gf256::add(discr,
-                                   Gf256::mul(lambda[i], synd[r - i - 1]));
-        }
+        for (unsigned i = 0; i < r; ++i)
+            discr = static_cast<GfElem>(
+                discr ^ gmul(lambda[i], synd[r - i - 1]));
         if (discr == 0) {
             // b = x * b
             for (unsigned i = nr; i >= 1; --i)
@@ -123,19 +159,19 @@ RsCodec::decode(const std::vector<GfElem> &received,
         } else {
             t[0] = lambda[0];
             for (unsigned i = 0; i < nr; ++i)
-                t[i + 1] = Gf256::add(lambda[i + 1],
-                                      Gf256::mul(discr, b[i]));
-            if (2 * el <= r + erasures.size() - 1) {
-                el = static_cast<unsigned>(r + erasures.size()) - el;
+                t[i + 1] =
+                    static_cast<GfElem>(lambda[i + 1] ^ gmul(discr, b[i]));
+            if (2 * el <= r + numErasures - 1) {
+                el = r + numErasures - el;
                 const GfElem dinv = Gf256::inv(discr);
                 for (unsigned i = 0; i <= nr; ++i)
-                    b[i] = Gf256::mul(lambda[i], dinv);
+                    b[i] = gmul(lambda[i], dinv);
             } else {
                 for (unsigned i = nr; i >= 1; --i)
                     b[i] = b[i - 1];
                 b[0] = 0;
             }
-            lambda = t;
+            std::copy(t, t + nr + 1, lambda);
         }
     }
 
@@ -149,75 +185,216 @@ RsCodec::decode(const std::vector<GfElem> &received,
     }
     if (degLambda <= 0) {
         // Nonzero syndromes but no locatable error.
-        res.status = Status::Uncorrectable;
-        return res;
+        return Status::Uncorrectable;
     }
+    const unsigned deg = static_cast<unsigned>(degLambda);
 
-    // Chien search over the n valid positions of the shortened code.
-    std::vector<unsigned> positions;  // codeword indices
-    std::vector<GfElem> roots;        // X^-1 values (the located roots)
+    // Chien search over the n valid positions of the shortened code,
+    // evaluating Lambda on the raw workspace buffer (no per-position
+    // polynomial copies).
+    unsigned found = 0;
     for (unsigned pos = 0; pos < nLen; ++pos) {
-        // Candidate locator X = alpha^(n-1-pos); test Lambda(X^-1) == 0.
-        const GfElem xinv =
-            Gf256::alphaPow(-static_cast<int>(nLen - 1 - pos));
-        if (Gf256Poly(lambda).eval(xinv) == 0) {
-            positions.push_back(pos);
-            roots.push_back(xinv);
+        const GfElem xinv = xinvTab[pos];
+        GfElem acc = lambda[deg];
+        for (int j = static_cast<int>(deg) - 1; j >= 0; --j)
+            acc = static_cast<GfElem>(
+                gmul(acc, xinv) ^ lambda[static_cast<unsigned>(j)]);
+        if (acc == 0) {
+            ws.chien[found] = static_cast<uint8_t>(pos);
+            ws.roots[found] = xinv;
+            ++found;
         }
     }
-    if (static_cast<int>(positions.size()) != degLambda) {
+    if (found != deg) {
         // Lambda has roots outside the shortened support or repeated
         // roots: a decoding failure.
-        res.status = Status::Uncorrectable;
-        return res;
+        return Status::Uncorrectable;
     }
 
     // Omega(x) = S(x) * Lambda(x) mod x^nroots.
-    std::vector<GfElem> omega(nr, 0);
+    GfElem *omega = ws.omega.data();
     for (unsigned i = 0; i < nr; ++i) {
         GfElem acc = 0;
-        for (unsigned j = 0; j <= i && j <= static_cast<unsigned>(degLambda);
-             ++j)
-            acc = Gf256::add(acc, Gf256::mul(lambda[j], synd[i - j]));
+        const unsigned jmax = std::min(i, deg);
+        for (unsigned j = 0; j <= jmax; ++j)
+            acc = static_cast<GfElem>(acc ^ gmul(lambda[j], synd[i - j]));
         omega[i] = acc;
     }
-    const Gf256Poly omegaPoly{std::vector<GfElem>(omega)};
-    const Gf256Poly lambdaDeriv = Gf256Poly(lambda).derivative();
 
-    // Forney: e = X^(1-fcr) * Omega(X^-1) / Lambda'(X^-1).
-    for (size_t idx = 0; idx < positions.size(); ++idx) {
-        const GfElem xinv = roots[idx];
-        const GfElem den = lambdaDeriv.eval(xinv);
-        if (den == 0) {
-            res.status = Status::Uncorrectable;
-            res.codeword = received;
-            res.positions.clear();
-            return res;
+    // Forney: e = X^(1-fcr) * Omega(X^-1) / Lambda'(X^-1), applying
+    // corrections in place and saving overwritten symbols so a failed
+    // screen can restore the received word exactly.
+    unsigned applied = 0;
+    const auto rollback = [&]() {
+        for (unsigned u = 0; u < applied; ++u)
+            received[ws.chien[u]] = ws.saved[u];
+        numPositions = 0;
+    };
+    for (unsigned idx = 0; idx < found; ++idx) {
+        const GfElem xinv = ws.roots[idx];
+        // Lambda'(X^-1): odd-degree terms only in characteristic 2.
+        const GfElem x2 = gmul(xinv, xinv);
+        GfElem den = 0;
+        GfElem xp = 1;
+        for (unsigned j = 1; j <= deg; j += 2) {
+            den = static_cast<GfElem>(den ^ gmul(lambda[j], xp));
+            xp = gmul(xp, x2);
         }
-        GfElem num = omegaPoly.eval(xinv);
-        if (fcr != 1) {
+        if (den == 0) {
+            rollback();
+            return Status::Uncorrectable;
+        }
+        GfElem num = omega[nr - 1];
+        for (int j = static_cast<int>(nr) - 2; j >= 0; --j)
+            num = static_cast<GfElem>(
+                gmul(num, xinv) ^ omega[static_cast<unsigned>(j)]);
+        if (fcrBase != 1) {
             // Multiply by X^(1 - fcr) = (X^-1)^(fcr - 1).
-            num = Gf256::mul(num,
-                             Gf256::pow(xinv, fcr - 1));
+            num = gmul(num, Gf256::pow(xinv, fcrBase - 1));
         }
         const GfElem magnitude = Gf256::div(num, den);
-        res.codeword[positions[idx]] =
-            Gf256::add(res.codeword[positions[idx]], magnitude);
+        const unsigned pos = ws.chien[idx];
+        ws.saved[applied] = received[pos];
+        ++applied;
+        received[pos] = static_cast<GfElem>(received[pos] ^ magnitude);
         if (magnitude != 0)
-            res.positions.push_back(positions[idx]);
+            positions[numPositions++] = static_cast<uint8_t>(pos);
     }
 
     // Sanity: the corrected word must be a codeword.  When the error
     // pattern exceeds the design distance the BM/Chien pipeline can
     // produce an inconsistent "correction"; screen it out.
-    if (!isCodeword(res.codeword)) {
-        res.status = Status::Uncorrectable;
-        res.codeword = received;
-        res.positions.clear();
-        return res;
+    {
+        GfElem check[256];
+        if (!syndromesInto(received, check)) {
+            rollback();
+            return Status::Uncorrectable;
+        }
     }
 
-    res.status = Status::Corrected;
+    return Status::Corrected;
+}
+
+void
+RsCodec::parityBatch(const GfElem *messages, GfElem *parities,
+                     unsigned lanes) const
+{
+    AIECC_ASSERT(lanes >= 1 && lanes <= maxLanes,
+                 "RS parityBatch: bad lane count " << lanes);
+    const unsigned nr = nroots();
+    std::array<GfElem, 256 * maxLanes> par;
+    std::fill(par.begin(), par.begin() + nr * lanes, 0);
+    const GfElem *rows[maxLanes] = {};
+    for (unsigned i = 0; i < kLen; ++i) {
+        const GfElem *msg = messages + static_cast<size_t>(i) * lanes;
+        for (unsigned c = 0; c < lanes; ++c) {
+            const GfElem fb = static_cast<GfElem>(msg[c] ^ par[c]);
+            rows[c] = &encTab[static_cast<size_t>(fb) * nr];
+        }
+        for (unsigned m = 0; m + 1 < nr; ++m) {
+            for (unsigned c = 0; c < lanes; ++c)
+                par[m * lanes + c] = static_cast<GfElem>(
+                    par[(m + 1) * lanes + c] ^ rows[c][m]);
+        }
+        for (unsigned c = 0; c < lanes; ++c)
+            par[(nr - 1) * lanes + c] = rows[c][nr - 1];
+    }
+    std::copy(par.begin(), par.begin() + nr * lanes, parities);
+}
+
+void
+RsCodec::decodeBatch(GfElem *received, unsigned lanes,
+                     LaneResult *results, RsWorkspace &ws) const
+{
+    AIECC_ASSERT(lanes >= 1 && lanes <= maxLanes,
+                 "RS decodeBatch: bad lane count " << lanes);
+    AIECC_ASSERT(nroots() <= 8,
+                 "RS decodeBatch: LaneResult holds at most 8 positions");
+    const unsigned nr = nroots();
+
+    // One interleaved sweep computes every lane's syndromes; lanes
+    // whose syndromes are all zero are finished.
+    GfElem dirty[maxLanes] = {};
+    for (unsigned j = 0; j < nr; ++j) {
+        const GfElem *tab = &syndTab[static_cast<size_t>(j) * 256];
+        GfElem acc[maxLanes] = {};
+        const GfElem *sym = received;
+        for (unsigned i = 0; i < nLen; ++i, sym += lanes) {
+            for (unsigned c = 0; c < lanes; ++c)
+                acc[c] = static_cast<GfElem>(tab[acc[c]] ^ sym[c]);
+        }
+        for (unsigned c = 0; c < lanes; ++c)
+            dirty[c] = static_cast<GfElem>(dirty[c] | acc[c]);
+    }
+
+    for (unsigned c = 0; c < lanes; ++c) {
+        LaneResult &out = results[c];
+        out.status = Status::Ok;
+        out.numPositions = 0;
+        if (!dirty[c])
+            continue;
+        // De-interleave the dirty lane, run the scalar decoder, and
+        // scatter any corrections back.
+        GfElem *lane = ws.lane.data();
+        for (unsigned i = 0; i < nLen; ++i)
+            lane[i] = received[static_cast<size_t>(i) * lanes + c];
+        unsigned npos = 0;
+        out.status =
+            decodeInto(lane, ws, out.positions.data(), npos);
+        out.numPositions = static_cast<uint8_t>(npos);
+        if (out.status == Status::Corrected) {
+            for (unsigned i = 0; i < nLen; ++i)
+                received[static_cast<size_t>(i) * lanes + c] = lane[i];
+        }
+    }
+}
+
+// ---- std::vector wrappers ----
+
+std::vector<GfElem>
+RsCodec::encode(const std::vector<GfElem> &message) const
+{
+    AIECC_ASSERT(message.size() == kLen,
+                 "RS encode: message size " << message.size()
+                                            << " != k " << kLen);
+    std::vector<GfElem> cw(nLen);
+    encodeInto(message.data(), cw.data());
+    return cw;
+}
+
+std::vector<GfElem>
+RsCodec::parity(const std::vector<GfElem> &message) const
+{
+    AIECC_ASSERT(message.size() == kLen,
+                 "RS encode: message size " << message.size()
+                                            << " != k " << kLen);
+    std::vector<GfElem> par(nroots());
+    parityInto(message.data(), par.data());
+    return par;
+}
+
+bool
+RsCodec::isCodeword(const std::vector<GfElem> &word) const
+{
+    AIECC_ASSERT(word.size() == nLen, "RS isCodeword: wrong length");
+    return isCodewordRaw(word.data());
+}
+
+RsCodec::Result
+RsCodec::decode(const std::vector<GfElem> &received,
+                const std::vector<unsigned> &erasures) const
+{
+    AIECC_ASSERT(received.size() == nLen, "RS decode: wrong length");
+    Result res;
+    res.codeword = received;
+
+    RsWorkspace ws;
+    uint8_t positions[256];
+    unsigned numPositions = 0;
+    res.status = decodeInto(res.codeword.data(), ws, positions,
+                            numPositions, erasures.data(),
+                            static_cast<unsigned>(erasures.size()));
+    res.positions.assign(positions, positions + numPositions);
     return res;
 }
 

@@ -8,12 +8,20 @@
  * RS(72,64), and the eDECC variants extend those to RS(19,17) and
  * RS(76,68) by appending virtual address symbols (Section IV-A of the
  * AIECC paper).
+ *
+ * The hot path is allocation-free: callers hand the codec raw symbol
+ * buffers plus a reusable RsWorkspace, and the codec runs against
+ * tables precomputed at construction (per-root Horner multipliers for
+ * syndromes, generator-scaled LFSR rows for parity).  The std::vector
+ * API remains as a thin wrapper for tests and cold callers.
  */
 
 #ifndef AIECC_RS_RS_CODE_HH
 #define AIECC_RS_RS_CODE_HH
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "gf/gf256.hh"
@@ -21,6 +29,26 @@
 
 namespace aiecc
 {
+
+/**
+ * Scratch buffers for one decode: syndromes, the BM polynomials, the
+ * error evaluator, and the Chien/Forney bookkeeping.  One instance
+ * serves any RS(n, k) with n <= 255; codecs embed one per owner so the
+ * steady-state decode path never touches the heap.  The buffers carry
+ * no state between calls.
+ */
+struct RsWorkspace
+{
+    std::array<GfElem, 256> synd;    ///< S_j, nroots entries
+    std::array<GfElem, 256> lambda;  ///< error locator, nroots+1
+    std::array<GfElem, 256> bpoly;   ///< BM correction poly
+    std::array<GfElem, 256> tpoly;   ///< BM temporary
+    std::array<GfElem, 256> omega;   ///< error evaluator, nroots
+    std::array<GfElem, 256> roots;   ///< located X^-1 values
+    std::array<GfElem, 256> saved;   ///< pre-correction symbol values
+    std::array<uint8_t, 256> chien;  ///< located codeword positions
+    std::array<GfElem, 256> lane;    ///< batch de-interleave buffer
+};
 
 /**
  * Systematic shortened RS(n, k) codec over GF(2^8).
@@ -61,6 +89,18 @@ class RsCodec
         bool ok() const { return status != Status::Uncorrectable; }
     };
 
+    /** Per-lane outcome of a batch decode. */
+    struct LaneResult
+    {
+        Status status = Status::Ok;
+        uint8_t numPositions = 0;
+        /** Corrected positions, ascending; at most nroots() entries. */
+        std::array<uint8_t, 8> positions{};
+    };
+
+    /** Widest batch the interleaved entry points accept. */
+    static constexpr unsigned maxLanes = 4;
+
     /**
      * Build an RS(n, k) codec.
      *
@@ -76,6 +116,64 @@ class RsCodec
     unsigned nroots() const { return nLen - kLen; }
     /** Guaranteed symbol-error correction capability floor((n-k)/2). */
     unsigned t() const { return nroots() / 2; }
+
+    // ---- Allocation-free entry points (the hot path) ----
+
+    /**
+     * Compute the n-k parity symbols of @p message (k symbols) into
+     * @p parity via the table-driven LFSR; no heap traffic.
+     */
+    void parityInto(const GfElem *message, GfElem *parity) const;
+
+    /** Systematic encode: @p codeword receives all n symbols. */
+    void encodeInto(const GfElem *message, GfElem *codeword) const;
+
+    /** True iff the n symbols at @p word have all-zero syndromes. */
+    bool isCodewordRaw(const GfElem *word) const;
+
+    /**
+     * Decode @p received (n symbols) in place.
+     *
+     * On Ok/Corrected the buffer holds the corrected codeword; on
+     * Uncorrectable it is restored to the received word.  Corrected
+     * positions (ascending, nonzero magnitude only) are written to
+     * @p positions (room for nroots() entries) with the count in
+     * @p numPositions.
+     *
+     * @param erasures Known-suspect codeword positions (each < n),
+     *                 or nullptr when there are none.
+     */
+    Status decodeInto(GfElem *received, RsWorkspace &ws,
+                      uint8_t *positions, unsigned &numPositions,
+                      const unsigned *erasures = nullptr,
+                      unsigned numErasures = 0) const;
+
+    // ---- Batched entry points (the 4 codewords of one MTB) ----
+    //
+    // Symbols are interleaved lane-minor: symbol i of lane c lives at
+    // buf[i * lanes + c], matching how the AMD organizations gather
+    // one chip's four codeword symbols in one touch.
+
+    /**
+     * Compute parity for @p lanes interleaved messages at once.
+     *
+     * @param messages k * lanes symbols, interleaved.
+     * @param parities nroots() * lanes symbols out, interleaved.
+     */
+    void parityBatch(const GfElem *messages, GfElem *parities,
+                     unsigned lanes) const;
+
+    /**
+     * Decode @p lanes interleaved received words in place.
+     *
+     * Syndromes for every lane are computed in one interleaved sweep;
+     * clean lanes finish there, dirty lanes fall back to the scalar
+     * decoder.  Per-lane status/positions land in @p results.
+     */
+    void decodeBatch(GfElem *received, unsigned lanes,
+                     LaneResult *results, RsWorkspace &ws) const;
+
+    // ---- std::vector wrappers (tests and cold callers) ----
 
     /**
      * Systematically encode @p message.
@@ -105,12 +203,36 @@ class RsCodec
   private:
     unsigned nLen;
     unsigned kLen;
-    unsigned fcr;
-    Gf256Poly generator;
+    unsigned fcrBase;
 
-    /** Syndromes S_j = r(alpha^(fcr+j)), j in [0, nroots). */
-    std::vector<GfElem>
-    syndromes(const std::vector<GfElem> &received) const;
+    /**
+     * Generator coefficients, low-degree-first; genCoef[nroots] == 1.
+     * Kept for the encode-table builder and for reference.
+     */
+    std::vector<GfElem> genCoef;
+
+    /**
+     * LFSR rows: encTab[fb * nroots + m] = fb * genCoef[nroots-1-m],
+     * one 256-entry row per feedback symbol, laid out so the shift
+     * update walks a contiguous row.
+     */
+    std::vector<GfElem> encTab;
+
+    /**
+     * Per-root Horner multipliers: syndTab[j * 256 + a] =
+     * a * alpha^(fcr+j), turning each syndrome step into one table
+     * load and one XOR.
+     */
+    std::vector<GfElem> syndTab;
+
+    /** xinvTab[pos] = alpha^-(n-1-pos), the Chien probe per position. */
+    std::vector<GfElem> xinvTab;
+
+    /** xlTab[pos] = alpha^(n-1-pos), the erasure locator per position. */
+    std::vector<GfElem> xlTab;
+
+    /** Syndromes into ws.synd; true if all zero. */
+    bool syndromesInto(const GfElem *received, GfElem *synd) const;
 };
 
 } // namespace aiecc

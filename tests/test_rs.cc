@@ -238,5 +238,188 @@ TEST(RsCodec, ReportsCorrectErrorPositions)
     }
 }
 
+// ---------------------------------------------------------------------
+// Known-answer vectors: parity bytes for the fixed message
+// m[i] = (7*i + 3) & 0xFF, cross-checked against an independent
+// GF(2^8)/0x11D long-division implementation.  These pin the codec's
+// conventions (alpha = 2, fcr = 1, message-first layout, position 0 =
+// highest-degree coefficient) against silent drift.
+// ---------------------------------------------------------------------
+
+struct KatVector
+{
+    unsigned n;
+    unsigned k;
+    std::vector<GfElem> parity;
+};
+
+const KatVector katVectors[] = {
+    {18, 16, {0x8B, 0xFA}},                                  // AMD
+    {19, 17, {0xD0, 0x93}},                                  // AMD eDECC
+    {72, 64, {0x14, 0x63, 0x1F, 0x5A, 0x65, 0xAE, 0x55, 0x8E}},
+    {76, 68, {0xAB, 0xB9, 0x0B, 0xBA, 0xB2, 0x5A, 0xD3, 0x6A}},
+};
+
+std::vector<GfElem>
+katMessage(unsigned k)
+{
+    std::vector<GfElem> m(k);
+    for (unsigned i = 0; i < k; ++i)
+        m[i] = static_cast<GfElem>((7 * i + 3) & 0xFF);
+    return m;
+}
+
+TEST(RsCodecKat, ParityKnownAnswers)
+{
+    for (const KatVector &kat : katVectors) {
+        RsCodec rs(kat.n, kat.k);
+        const auto m = katMessage(kat.k);
+        EXPECT_EQ(rs.parity(m), kat.parity)
+            << "RS(" << kat.n << "," << kat.k << ")";
+
+        // The allocation-free entry points must agree byte for byte.
+        GfElem parity[8] = {};
+        rs.parityInto(m.data(), parity);
+        for (unsigned j = 0; j < rs.nroots(); ++j)
+            EXPECT_EQ(parity[j], kat.parity[j]);
+
+        GfElem codeword[76];
+        rs.encodeInto(m.data(), codeword);
+        for (unsigned i = 0; i < kat.k; ++i)
+            EXPECT_EQ(codeword[i], m[i]);
+        for (unsigned j = 0; j < rs.nroots(); ++j)
+            EXPECT_EQ(codeword[kat.k + j], kat.parity[j]);
+        EXPECT_TRUE(rs.isCodewordRaw(codeword));
+    }
+}
+
+TEST(RsCodecKat, ParityBatchKnownAnswers)
+{
+    // Four interleaved lanes, each carrying the KAT message rotated by
+    // the lane index; lane 0 must reproduce the known answer exactly.
+    for (const KatVector &kat : katVectors) {
+        RsCodec rs(kat.n, kat.k);
+        const unsigned lanes = RsCodec::maxLanes;
+        std::vector<GfElem> messages(kat.k * lanes);
+        for (unsigned c = 0; c < lanes; ++c) {
+            for (unsigned i = 0; i < kat.k; ++i) {
+                messages[i * lanes + c] = static_cast<GfElem>(
+                    (7 * ((i + c) % kat.k) + 3) & 0xFF);
+            }
+        }
+        std::vector<GfElem> parities(rs.nroots() * lanes);
+        rs.parityBatch(messages.data(), parities.data(), lanes);
+        for (unsigned c = 0; c < lanes; ++c) {
+            std::vector<GfElem> m(kat.k);
+            for (unsigned i = 0; i < kat.k; ++i)
+                m[i] = messages[i * lanes + c];
+            const auto want = rs.parity(m);
+            for (unsigned j = 0; j < rs.nroots(); ++j)
+                EXPECT_EQ(parities[j * lanes + c], want[j])
+                    << "RS(" << kat.n << "," << kat.k << ") lane " << c;
+        }
+        for (unsigned j = 0; j < rs.nroots(); ++j)
+            EXPECT_EQ(parities[j * lanes], kat.parity[j]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential property tests: the std::vector API (the pre-rewrite
+// call signature) against the workspace and batch entry points, over
+// random error + erasure patterns including beyond-design-distance
+// loads.  Status, corrected codeword, and reported positions must be
+// bit-identical on every path.
+// ---------------------------------------------------------------------
+
+TEST_P(RsGeometry, DifferentialVectorVsWorkspace)
+{
+    const auto [n, k] = GetParam();
+    RsCodec rs(n, k);
+    Rng rng(52 + n);
+    RsWorkspace ws;
+    for (int rep = 0; rep < 300; ++rep) {
+        const auto cw = rs.encode(randomMessage(rng, k));
+        auto rx = cw;
+        // 0..nroots+2 corruptions: spans clean, correctable, and
+        // beyond-design-distance patterns; a prefix are erasures.
+        const unsigned hits =
+            static_cast<unsigned>(rng.below(rs.nroots() + 3));
+        const auto posns = rng.sample(n, std::min(hits, n));
+        const unsigned ners =
+            static_cast<unsigned>(rng.below(posns.size() + 1));
+        std::vector<unsigned> erasures(posns.begin(),
+                                       posns.begin() + ners);
+        for (unsigned i = 0; i < posns.size(); ++i) {
+            const GfElem delta =
+                i < ners ? static_cast<GfElem>(rng.below(256))
+                         : static_cast<GfElem>(rng.range(1, 255));
+            rx[posns[i]] ^= delta;
+        }
+
+        const auto ref = rs.decode(rx, erasures);
+
+        std::vector<GfElem> raw = rx;
+        uint8_t positions[8];
+        unsigned numPositions = 0;
+        const auto status = rs.decodeInto(
+            raw.data(), ws, positions, numPositions, erasures.data(),
+            static_cast<unsigned>(erasures.size()));
+
+        ASSERT_EQ(status, ref.status) << "n=" << n << " rep=" << rep;
+        if (status == RsCodec::Status::Uncorrectable) {
+            // Rollback contract: the buffer holds the received word.
+            EXPECT_EQ(raw, rx);
+        } else {
+            EXPECT_EQ(raw, ref.codeword);
+        }
+        ASSERT_EQ(numPositions, ref.positions.size());
+        for (unsigned i = 0; i < numPositions; ++i)
+            EXPECT_EQ(positions[i], ref.positions[i]);
+    }
+}
+
+TEST_P(RsGeometry, DifferentialVectorVsBatch)
+{
+    const auto [n, k] = GetParam();
+    if (n > 128)
+        GTEST_SKIP() << "batch path is sized for the MTB geometries";
+    RsCodec rs(n, k);
+    Rng rng(53 + n);
+    RsWorkspace ws;
+    const unsigned lanes = RsCodec::maxLanes;
+    for (int rep = 0; rep < 150; ++rep) {
+        std::vector<std::vector<GfElem>> rx(lanes);
+        std::vector<GfElem> interleaved(n * lanes);
+        for (unsigned c = 0; c < lanes; ++c) {
+            rx[c] = rs.encode(randomMessage(rng, k));
+            const unsigned hits =
+                static_cast<unsigned>(rng.below(rs.nroots() + 3));
+            for (unsigned p : rng.sample(n, std::min(hits, n)))
+                rx[c][p] ^= static_cast<GfElem>(rng.range(1, 255));
+            for (unsigned i = 0; i < n; ++i)
+                interleaved[i * lanes + c] = rx[c][i];
+        }
+
+        RsCodec::LaneResult lanesOut[RsCodec::maxLanes];
+        rs.decodeBatch(interleaved.data(), lanes, lanesOut, ws);
+
+        for (unsigned c = 0; c < lanes; ++c) {
+            const auto ref = rs.decode(rx[c]);
+            ASSERT_EQ(lanesOut[c].status, ref.status)
+                << "n=" << n << " rep=" << rep << " lane=" << c;
+            ASSERT_EQ(lanesOut[c].numPositions, ref.positions.size());
+            for (unsigned i = 0; i < lanesOut[c].numPositions; ++i)
+                EXPECT_EQ(lanesOut[c].positions[i], ref.positions[i]);
+            for (unsigned i = 0; i < n; ++i) {
+                const GfElem want =
+                    ref.status == RsCodec::Status::Uncorrectable
+                        ? rx[c][i]
+                        : ref.codeword[i];
+                EXPECT_EQ(interleaved[i * lanes + c], want);
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace aiecc
