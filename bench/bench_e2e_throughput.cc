@@ -37,6 +37,7 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "ddr4/pins.hh"
+#include "dram/rank.hh"
 #include "obs/coverage.hh"
 #include "obs/heartbeat.hh"
 #include "obs/lineage.hh"
@@ -44,6 +45,7 @@
 #include "obs/profile.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "ras/health.hh"
 
 namespace aiecc
 {
@@ -74,7 +76,115 @@ struct MixConfig
      * per-shard fault IDs collision-free under one ledger.
      */
     uint64_t lineageStream = 0;
+
+    /**
+     * Long-horizon aging mode: this many wearing fault sites (weak
+     * rows, dying chips, marginal CA pins, round-robin) switch on
+     * front-loaded across the first half of the measured stream and
+     * keep disturbing until the end.  Single-stream only.
+     */
+    uint64_t agingSites = 0;
+    /** Feed HealthMonitor recommendations back into the stack. */
+    bool mitigate = false;
 };
+
+/**
+ * One wearing fault site of the aging mode.  Unlike the transient
+ * per-edge fault stream, a site persists from its activation access
+ * to the end of the pass, modelling the time-varying arrival and
+ * accumulation of real DRAM faults: a weak row disturbs a data bit on
+ * every read of that row, a dying chip disturbs its own pins on a
+ * fraction of all reads, and a marginal CA pin flips command edges.
+ */
+struct AgingSite
+{
+    enum class Kind
+    {
+        Row,  ///< weak row: one flipped data bit per read of the row
+        Chip, ///< dying x4 chip: flips its own pins across all banks
+        Pin,  ///< marginal CA pin: command-edge flips (alert family)
+    };
+    Kind kind = Kind::Row;
+    unsigned bank = 0; ///< Row
+    unsigned row = 0;  ///< Row
+    unsigned chip = 0; ///< Chip
+    Pin pin{};         ///< Pin
+    uint64_t activateAt = 0; ///< measured-access ordinal
+    std::string label;       ///< lineage site ("row:b3:r17", ...)
+};
+
+/** Per-read disturbance odds of one wearing-chip site. */
+constexpr double agingChipRate = 0.001;
+/** Per-command-edge disturbance odds of one marginal CA pin. */
+constexpr double agingPinRate = 0.0008;
+
+/**
+ * The deterministic aging plan for a mix: site kinds round-robin
+ * Row/Chip/Pin, coordinates drawn from a dedicated RNG stream
+ * (distinct coordinates per kind so each site is separately
+ * scoreable), activation front-loaded so every site is wearing by the
+ * run's halfway point and the back half accumulates symptoms.
+ */
+std::vector<AgingSite>
+agingPlan(const MixConfig &mix, const Geometry &geom, bool parPin)
+{
+    std::vector<AgingSite> sites;
+    if (!mix.agingSites)
+        return sites;
+    Rng rng(mix.seed ^ 0xA61A6);
+    const std::vector<Pin> pins = injectablePins(parPin);
+    char label[48];
+    for (uint64_t i = 0; i < mix.agingSites; ++i) {
+        AgingSite s;
+        switch (i % 3) {
+          case 0:
+            s.kind = AgingSite::Kind::Row;
+            // Distinct banks (a few re-rolls) keep one weak row per
+            // bank sketch, so each site is independently inferable.
+            for (unsigned tries = 0; tries < 64; ++tries) {
+                s.bank = static_cast<unsigned>(rng.below(geom.numBanks()));
+                s.row = static_cast<unsigned>(rng.below(mix.rowSpace));
+                bool dup = false;
+                for (const AgingSite &o : sites)
+                    dup |= o.kind == s.kind && o.bank == s.bank;
+                if (!dup)
+                    break;
+            }
+            std::snprintf(label, sizeof(label), "row:b%u:r%u", s.bank,
+                          s.row);
+            break;
+          case 1:
+            s.kind = AgingSite::Kind::Chip;
+            for (unsigned tries = 0; tries < 64; ++tries) {
+                s.chip = static_cast<unsigned>(rng.below(Burst::numChips));
+                bool dup = false;
+                for (const AgingSite &o : sites)
+                    dup |= o.kind == s.kind && o.chip == s.chip;
+                if (!dup)
+                    break;
+            }
+            std::snprintf(label, sizeof(label), "chip:%u", s.chip);
+            break;
+          default:
+            s.kind = AgingSite::Kind::Pin;
+            for (unsigned tries = 0; tries < 64; ++tries) {
+                s.pin = pins[rng.below(pins.size())];
+                bool dup = false;
+                for (const AgingSite &o : sites)
+                    dup |= o.kind == s.kind && o.pin == s.pin;
+                if (!dup)
+                    break;
+            }
+            std::snprintf(label, sizeof(label), "pin:%s",
+                          pinName(s.pin).c_str());
+            break;
+        }
+        s.activateAt = i * mix.accesses / (2 * mix.agingSites);
+        s.label = label;
+        sites.push_back(s);
+    }
+    return sites;
+}
 
 struct PassResult
 {
@@ -109,10 +219,22 @@ struct PassResult
  * fault context is stamped onto every trace event the stack emits
  * while the fault is live.  The ledger never touches the RNG streams,
  * so hot and instrumented passes stay access-identical.
+ *
+ * In aging mode (mix.agingSites > 0) the pass additionally installs
+ * the wearing-site hooks from agingPlan(): a read-disturb model on
+ * the rank for weak rows and dying chips, plus marginal CA pins in
+ * the edge corruptor.  Each site opens a lineage record at activation
+ * and resolves at end of pass from what was observably detected.
+ * With @p monitor given and mix.mitigate set, the pass drains the
+ * monitor's recommended actions after every access and feeds them
+ * back into the stack (raise patrol rate / retire row / quarantine);
+ * the hot pass runs without a monitor, so it doubles as the
+ * no-mitigation baseline over the identical fault schedule.
  */
 PassResult
 runPass(const MixConfig &mix, obs::Observer *observer,
-        obs::LineageLedger *ledger = nullptr)
+        obs::LineageLedger *ledger = nullptr,
+        ras::HealthMonitor *monitor = nullptr)
 {
     StackConfig cfg;
     cfg.mech = Mechanisms::forLevel(ProtectionLevel::Aiecc);
@@ -125,6 +247,52 @@ runPass(const MixConfig &mix, obs::Observer *observer,
     cfg.observer = observer;
     ProtectionStack stack(cfg);
 
+    const Geometry &geom = stack.geometry();
+
+    // ---- aging fault sites (time-varying arrival) -----------------
+    const std::vector<AgingSite> aging =
+        agingPlan(mix, geom, cfg.mech.parPinPresent());
+    size_t agingActive = 0; ///< activated prefix of `aging`
+    std::vector<uint64_t> siteObs(aging.size(), 0);
+    std::vector<uint64_t> agingIds(aging.size(), 0);
+    Rng agingRng(mix.seed ^ 0xA91D6);
+    bool agingPinSites = false;
+    bool agingArraySites = false;
+    for (const AgingSite &s : aging) {
+        if (s.kind == AgingSite::Kind::Pin)
+            agingPinSites = true;
+        else
+            agingArraySites = true;
+    }
+    if (agingArraySites) {
+        stack.rank().setReadDisturb(
+            [&aging, &agingActive, &agingRng,
+             &geom](const MtbAddress &addr, Burst &out) {
+                for (size_t k = 0; k < agingActive; ++k) {
+                    const AgingSite &s = aging[k];
+                    if (s.kind == AgingSite::Kind::Row) {
+                        if (addr.row != s.row ||
+                            addr.flatBank(geom) != s.bank)
+                            continue;
+                        const unsigned pin = static_cast<unsigned>(
+                            agingRng.below(Burst::dataPins));
+                        const unsigned beat = static_cast<unsigned>(
+                            agingRng.below(Burst::numBeats));
+                        out.setBit(pin, beat, !out.getBit(pin, beat));
+                    } else if (s.kind == AgingSite::Kind::Chip &&
+                               agingRng.chance(agingChipRate)) {
+                        const unsigned pin =
+                            s.chip * Burst::pinsPerChip +
+                            static_cast<unsigned>(
+                                agingRng.below(Burst::pinsPerChip));
+                        const unsigned beat = static_cast<unsigned>(
+                            agingRng.below(Burst::numBeats));
+                        out.setBit(pin, beat, !out.getBit(pin, beat));
+                    }
+                }
+            });
+    }
+
     Rng faultRng(mix.seed ^ 0xFA017);
     // Live-stream lineage state: one fault window open at a time;
     // flips landing while a window is open ride the same record.
@@ -134,14 +302,24 @@ runPass(const MixConfig &mix, obs::Observer *observer,
     std::string liveFaultSite;
     const uint64_t faultSalt =
         mix.seed ^ obs::lineageHash("e2e-live-stream");
-    if (mix.faultRate > 0.0) {
+    if (mix.faultRate > 0.0 || agingPinSites) {
         const double rate = mix.faultRate;
         auto pins = injectablePins(cfg.mech.parPinPresent());
         stack.setPinCorruptor(
             [rate, pins, &faultRng, &stack, &mix, ledger, faultSalt,
              &faultOrdinal, &liveFaultId, &liveInjectCycle,
-             &liveFaultSite](uint64_t, PinWord &word) {
-                if (!faultRng.chance(rate))
+             &liveFaultSite, &aging, &agingActive,
+             &agingRng](uint64_t, PinWord &word) {
+                // Marginal CA pins disturb edges independently of the
+                // transient stream; their lifetime lineage records are
+                // owned by the aging bookkeeping, not the live window.
+                for (size_t k = 0; k < agingActive; ++k) {
+                    const AgingSite &s = aging[k];
+                    if (s.kind == AgingSite::Kind::Pin &&
+                        agingRng.chance(agingPinRate))
+                        word.flip(s.pin);
+                }
+                if (rate <= 0.0 || !faultRng.chance(rate))
                     return;
                 const Pin pin = pins[faultRng.below(pins.size())];
                 word.flip(pin);
@@ -158,8 +336,6 @@ runPass(const MixConfig &mix, obs::Observer *observer,
                 stack.setFaultContext(liveFaultId);
             });
     }
-
-    const Geometry &geom = stack.geometry();
     Rng rng(mix.seed);
     std::vector<unsigned> lastRow(geom.numBanks(), 0);
     BitVec payload(Burst::dataBits);
@@ -180,6 +356,11 @@ runPass(const MixConfig &mix, obs::Observer *observer,
         return addr;
     };
 
+    // Mitigation scratch, reserved outside the access loop.
+    std::vector<ras::RecommendedAction> mitigations;
+    mitigations.reserve(8);
+    unsigned sparesUsed = 0;
+
     const auto doAccess = [&](bool measured) {
         const MtbAddress addr = nextAddr();
         const bool isRead = rng.chance(mix.readFrac);
@@ -192,6 +373,20 @@ runPass(const MixConfig &mix, obs::Observer *observer,
                 out.detections += got.detected ? 1 : 0;
                 out.corrected += got.corrected ? 1 : 0;
                 out.dues += got.due ? 1 : 0;
+            }
+            // Wearing-site symptom attribution (prediction ground
+            // truth): a weak row's detection is its own address, a
+            // dying chip's is a corrected symbol on its chip.
+            for (size_t k = 0; k < agingActive; ++k) {
+                const AgingSite &s = aging[k];
+                if (s.kind == AgingSite::Kind::Row) {
+                    if (got.detected && addr.row == s.row &&
+                        addr.flatBank(geom) == s.bank)
+                        ++siteObs[k];
+                } else if (s.kind == AgingSite::Kind::Chip) {
+                    if (got.correctedChips & (1u << s.chip))
+                        ++siteObs[k];
+                }
             }
         } else {
             // Vary the payload cheaply so writes are not all equal.
@@ -251,20 +446,117 @@ runPass(const MixConfig &mix, obs::Observer *observer,
             liveFaultId = 0;
             stack.setFaultContext(0);
         }
+        // Marginal CA pins announce themselves through the alert
+        // families, not an address; attribution is class-level (every
+        // active pin site shares the evidence).
+        if (agingPinSites && agingActive) {
+            bool alert = false;
+            for (const DetectionEvent &ev : stack.detections())
+                alert |= ev.mech != Mechanism::Decc &&
+                         ev.mech != Mechanism::EDecc;
+            if (alert)
+                for (size_t k = 0; k < agingActive; ++k)
+                    if (aging[k].kind == AgingSite::Kind::Pin)
+                        ++siteObs[k];
+        }
+        // Predictive mitigation: apply whatever the monitor
+        // recommended while observing this access.
+        if (monitor && mix.mitigate) {
+            mitigations.clear();
+            if (monitor->drainActions(mitigations)) {
+                for (const ras::RecommendedAction &a : mitigations) {
+                    switch (a.kind) {
+                      case ras::ActionKind::RaisePatrol: {
+                        const uint64_t cur = stack.patrolPeriod();
+                        stack.setPatrolPeriod(
+                            cur ? std::max<uint64_t>(8, cur / 4) : 64);
+                        break;
+                      }
+                      case ras::ActionKind::RetireRow:
+                        // Spares live above the bench's bounded row
+                        // working set, so they are otherwise untouched.
+                        stack.retireRow(a.bank, a.row,
+                                        mix.rowSpace + sparesUsed++);
+                        break;
+                      case ras::ActionKind::QuarantineBank:
+                        stack.recovery().adviseQuarantine(
+                            a.bank, stack.controller().now());
+                        break;
+                    }
+                }
+            }
+        }
         // The detection log is for campaign introspection; keep it
         // bounded on long runs.
         stack.clearDetections();
     };
 
+    // A wearing site starts its lifetime lineage record (and trace
+    // event) the moment it activates; resolution is at end of pass.
+    const uint64_t agingSalt = mix.seed ^ obs::lineageHash("e2e-aging");
+    const auto activateSite = [&](size_t k) {
+        const AgingSite &s = aging[k];
+        const obs::FaultKind fk = s.kind == AgingSite::Kind::Pin
+                                      ? obs::FaultKind::Ccca
+                                      : obs::FaultKind::Data;
+        if (ledger) {
+            agingIds[k] = obs::deriveFaultId(agingSalt,
+                                             mix.lineageStream, k + 1);
+            ledger->recordInjection(agingIds[k], fk, s.label);
+        }
+        if (observer && observer->tracing()) {
+            obs::TraceEvent inj;
+            inj.kind = obs::EventKind::FaultInject;
+            inj.cycle = stack.controller().now();
+            inj.label = s.label;
+            inj.value = k;
+            inj.detail = obs::faultKindName(fk);
+            inj.faultId = agingIds[k];
+            observer->emit(inj);
+        }
+    };
+
     for (uint64_t i = 0; i < mix.warmup; ++i)
         doAccess(false);
     const auto begin = std::chrono::steady_clock::now();
-    for (uint64_t i = 0; i < mix.accesses; ++i)
+    for (uint64_t i = 0; i < mix.accesses; ++i) {
+        while (agingActive < aging.size() &&
+               aging[agingActive].activateAt <= i)
+            activateSite(agingActive++);
         doAccess(true);
+    }
     out.elapsedNs = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - begin)
             .count());
+
+    // Wearing sites reach their terminal from what was observable:
+    // corrected in place (rows/chips), absorbed by bounded retry
+    // (pins), or nothing ever saw the site age.
+    for (size_t k = 0; k < agingActive; ++k) {
+        const AgingSite &s = aging[k];
+        obs::FaultTerminal terminal = obs::FaultTerminal::Masked;
+        if (siteObs[k])
+            terminal = s.kind == AgingSite::Kind::Pin
+                           ? obs::FaultTerminal::Recovered
+                           : obs::FaultTerminal::Corrected;
+        if (ledger)
+            ledger->resolve(agingIds[k], terminal, "",
+                            static_cast<uint32_t>(std::min<uint64_t>(
+                                siteObs[k], 0xFFFFFFFFull)),
+                            0);
+        if (observer && observer->tracing()) {
+            obs::TraceEvent res;
+            res.kind = obs::EventKind::FaultResolve;
+            res.cycle = stack.controller().now();
+            res.label = obs::faultTerminalName(terminal);
+            res.value = siteObs[k];
+            res.detail = s.label;
+            res.faultId = agingIds[k];
+            observer->emit(res);
+        }
+    }
+
     out.recovery = stack.recoveryStats();
     if (observer)
         observer->flush();
@@ -363,7 +655,7 @@ struct CampaignSlots
 {
     explicit CampaignSlots(uint64_t shards)
         : parts(shards), stats(shards), prof(shards), cost(shards),
-          ledgers(shards)
+          ledgers(shards), rasMon(shards)
     {
     }
 
@@ -372,13 +664,15 @@ struct CampaignSlots
     std::vector<std::unique_ptr<obs::ProfileRegistry>> prof;
     std::vector<std::unique_ptr<obs::CostAccountant>> cost;
     std::vector<std::unique_ptr<obs::LineageLedger>> ledgers;
+    std::vector<std::unique_ptr<ras::HealthMonitor>> rasMon;
 };
 
 /** Run shard @p shard of the campaign into its slots (worker-side). */
 void
 runOneShard(const MixConfig &mix, uint64_t shard, CampaignSlots &slots,
             bool wantStats, bool wantProfile, obs::TraceSink *shard0Trace,
-            const obs::CostAccountant *cost, bool wantLedger)
+            const obs::CostAccountant *cost, bool wantLedger,
+            bool wantRas)
 {
     MixConfig sub = mix;
     sub.accesses = shardLength(mix.accesses, campaignShardSize, shard);
@@ -415,6 +709,17 @@ runOneShard(const MixConfig &mix, uint64_t shard, CampaignSlots &slots,
         shardObs.addSink(shard0Trace);
         observed = true;
     }
+    if (wantRas) {
+        // Shard-local monitor, merged in shard order after the join —
+        // the merged `ras` section is bit-identical for any --jobs.
+        // Attached after the trace sink so emitted RasHealth events
+        // trail their triggering symptom in shard 0's trace.
+        slots.rasMon[shard] = std::unique_ptr<ras::HealthMonitor>(
+            new ras::HealthMonitor);
+        shardObs.addSink(slots.rasMon[shard].get());
+        slots.rasMon[shard]->setObserver(&shardObs);
+        observed = true;
+    }
     obs::LineageLedger *shardLedger = nullptr;
     if (wantLedger) {
         slots.ledgers[shard] = std::unique_ptr<obs::LineageLedger>(
@@ -430,7 +735,7 @@ void
 mergeShardRange(CampaignSlots &slots, uint64_t b, uint64_t e,
                 PassResult &merged, obs::StatsRegistry *stats,
                 obs::ProfileRegistry *profile, obs::CostAccountant *cost,
-                obs::LineageLedger *ledger)
+                obs::LineageLedger *ledger, ras::HealthMonitor *rasMon)
 {
     for (uint64_t shard = b; shard < e; ++shard) {
         mergePass(merged, slots.parts[shard]);
@@ -442,6 +747,8 @@ mergeShardRange(CampaignSlots &slots, uint64_t b, uint64_t e,
             cost->merge(*slots.cost[shard]);
         if (ledger && slots.ledgers[shard])
             ledger->merge(*slots.ledgers[shard]);
+        if (rasMon && slots.rasMon[shard])
+            rasMon->merge(*slots.rasMon[shard]);
     }
 }
 
@@ -451,6 +758,7 @@ runCampaignPass(const MixConfig &mix, unsigned jobs,
                 obs::TraceSink *shard0Trace,
                 obs::CostAccountant *cost = nullptr,
                 obs::LineageLedger *ledger = nullptr,
+                ras::HealthMonitor *rasMon = nullptr,
                 const std::function<void(uint64_t)> &progress = {})
 {
     const uint64_t shards = shardCount(mix.accesses, campaignShardSize);
@@ -462,7 +770,7 @@ runCampaignPass(const MixConfig &mix, unsigned jobs,
         [&](uint64_t shard) {
             runOneShard(mix, shard, slots, stats != nullptr,
                         profile != nullptr, shard0Trace, cost,
-                        ledger != nullptr);
+                        ledger != nullptr, rasMon != nullptr);
         },
         progress);
     const double wallNs = static_cast<double>(
@@ -472,7 +780,7 @@ runCampaignPass(const MixConfig &mix, unsigned jobs,
 
     PassResult merged;
     mergeShardRange(slots, 0, shards, merged, stats, profile, cost,
-                    ledger);
+                    ledger, rasMon);
     merged.elapsedNs = wallNs;
     return merged;
 }
@@ -494,6 +802,7 @@ runCampaignPassCheckpointed(
     uint64_t &nextShard, PassResult &merged, obs::StatsRegistry *stats,
     obs::ProfileRegistry *profile, obs::TraceSink *shard0Trace,
     obs::CostAccountant *cost, obs::LineageLedger *ledger,
+    ras::HealthMonitor *rasMon,
     const std::function<void(uint64_t)> &persist,
     const std::function<void(uint64_t)> &progress)
 {
@@ -510,7 +819,7 @@ runCampaignPassCheckpointed(
         [&](uint64_t shard) {
             runOneShard(mix, shard, slots, stats != nullptr,
                         profile != nullptr, shard0Trace, cost,
-                        ledger != nullptr);
+                        ledger != nullptr, rasMon != nullptr);
         },
         [&](uint64_t b, uint64_t e) {
             wallNs += static_cast<double>(
@@ -518,7 +827,7 @@ runCampaignPassCheckpointed(
                     std::chrono::steady_clock::now() - batchBegin)
                     .count());
             mergeShardRange(slots, b, e, merged, stats, profile, cost,
-                            ledger);
+                            ledger, rasMon);
             merged.elapsedNs = wallNs;
             persist(e);
             // Exclude persist (checkpoint fsync) time from the wall.
@@ -552,6 +861,8 @@ main(int argc, char **argv)
     mix.recovery = !opt.noRecovery;
     mix.recoveryAttempts = opt.recoveryAttempts;
     mix.patrolPeriod = opt.recoveryPatrol;
+    mix.agingSites = opt.aging;
+    mix.mitigate = opt.mitigate;
 
     // --jobs given => sharded campaign mode; absent => the canonical
     // single-stream run (the cross-machine perf anchor CI compares).
@@ -561,6 +872,14 @@ main(int argc, char **argv)
     if (!opt.checkpointPath.empty() && !campaignMode) {
         std::fprintf(stderr, "--checkpoint requires the sharded "
                              "campaign; add --jobs N\n");
+        return 2;
+    }
+    if ((mix.agingSites || mix.mitigate) && campaignMode) {
+        // A wearing site's lifetime spans the whole stream; shards
+        // would each age independently and the mitigation feedback
+        // loop needs one continuous stack.
+        std::fprintf(stderr, "--aging/--mitigate require the "
+                             "single-stream run; drop --jobs\n");
         return 2;
     }
     const std::string campaignId =
@@ -624,7 +943,7 @@ main(int argc, char **argv)
         makeCostModel(Mechanisms::forLevel(ProtectionLevel::Aiecc)));
     obs::LineageLedger lineage;
     obs::LineageLedger *ledger =
-        mix.faultRate > 0.0 ? &lineage : nullptr;
+        (mix.faultRate > 0.0 || mix.agingSites) ? &lineage : nullptr;
     obs::Observer observer(&stats);
     observer.setProfile(&profile);
     observer.setCost(&cost);
@@ -638,6 +957,16 @@ main(int argc, char **argv)
         }
         observer.addSink(traceSink.get());
     }
+
+    // RAS health telemetry rides the instrumented pass, always on for
+    // this bench.  The monitor subscribes after the trace sink so the
+    // RasHealth/RasAction events it emits trail their triggering
+    // symptom in the file; its snapshots ride the heartbeat too.
+    ras::HealthMonitor monitor;
+    observer.addSink(&monitor);
+    monitor.setObserver(&observer);
+    hb.setPayload(
+        [&monitor](obs::JsonWriter &w) { monitor.writeHeartbeat(w); });
 
     // ---- checkpointed campaign (DESIGN.md §12) --------------------
     // Two units in fixed order: unit 0 = hot pass, unit 1 =
@@ -666,6 +995,8 @@ main(int argc, char **argv)
             cost.deserializeState(st.get("cost"));
         if (st.has("lineage"))
             lineage.deserializeState(st.get("lineage"));
+        if (st.has("ras"))
+            monitor.deserializeState(st.get("ras"));
     }
     auto persist = [&](unsigned unit, uint64_t nextShard) {
         if (!cp.enabled())
@@ -680,6 +1011,7 @@ main(int argc, char **argv)
             st.set("profile", profile.serializeState());
             st.set("cost", cost.serialize());
             st.set("lineage", lineage.serializeState());
+            st.set("ras", monitor.serializeState());
         }
         cp.save("unit " + std::to_string(unit + 1) + "/2 (" +
                 (unit == 0 ? "hot" : "instrumented") + " pass) shard " +
@@ -698,12 +1030,13 @@ main(int argc, char **argv)
                 unit == 0
                     ? runCampaignPassCheckpointed(
                           mix, opt.jobs, batch, nextShard, hot, nullptr,
-                          nullptr, nullptr, nullptr, nullptr,
+                          nullptr, nullptr, nullptr, nullptr, nullptr,
                           [&](uint64_t end) { persist(0, end); },
                           hbProgressFor(doneBase))
                     : runCampaignPassCheckpointed(
                           mix, opt.jobs, batch, nextShard, inst, &stats,
                           &profile, traceSink.get(), &cost, ledger,
+                          &monitor,
                           [&](uint64_t end) { persist(1, end); },
                           hbProgressFor(doneBase));
             if (status == RunStatus::Interrupted) {
@@ -715,17 +1048,18 @@ main(int argc, char **argv)
     } else if (campaignMode) {
         hb.setNote("hot pass");
         hot = runCampaignPass(mix, opt.jobs, nullptr, nullptr, nullptr,
-                              nullptr, nullptr, hbProgressFor(0));
+                              nullptr, nullptr, nullptr,
+                              hbProgressFor(0));
         hb.setNote("instrumented pass");
         inst = runCampaignPass(mix, opt.jobs, &stats, &profile,
-                               traceSink.get(), &cost, ledger,
+                               traceSink.get(), &cost, ledger, &monitor,
                                hbProgressFor(shards));
     } else {
         hb.setNote("hot pass");
         hot = runPass(mix, nullptr);
         hb.tick(1, trialsForShards(1));
         hb.setNote("instrumented pass");
-        inst = runPass(mix, &observer, ledger);
+        inst = runPass(mix, &observer, ledger, &monitor);
     }
     hb.finalTick(2 * hbShardsPerPass, 2 * mix.accesses);
 
@@ -759,6 +1093,100 @@ main(int argc, char **argv)
                     opt.tracePath.c_str(),
                     static_cast<unsigned long long>(traceSink->dropped()),
                     static_cast<unsigned long long>(traceSink->ioErrors()));
+    }
+
+    // ---- RAS health report + prediction scoring -------------------
+    std::printf("\nRAS health (instrumented pass): rank %s, "
+                "%u degraded / %u failing banks, %zu topology call(s), "
+                "%llu action(s) recommended\n",
+                ras::healthStateName(monitor.rankState()),
+                monitor.degradedBanks(), monitor.failingBanks(),
+                monitor.topologies().size(),
+                static_cast<unsigned long long>(
+                    monitor.actionCount(ras::ActionKind::RaisePatrol) +
+                    monitor.actionCount(ras::ActionKind::RetireRow) +
+                    monitor.actionCount(
+                        ras::ActionKind::QuarantineBank)));
+
+    bench::RasReport rasReport;
+    rasReport.monitor = &monitor;
+    if (mix.agingSites) {
+        // Score the monitor's inferred topologies against the aging
+        // plan (the lineage ground truth): a weak row must be called
+        // as that (bank, row), a dying chip as that chip, a marginal
+        // CA pin as a link fault (class-level — alerts carry no
+        // address, so the pin itself is only diagnosable via eDECC).
+        rasReport.hasPrediction = true;
+        const auto plan = agingPlan(
+            mix, Geometry{},
+            Mechanisms::forLevel(ProtectionLevel::Aiecc).parPinPresent());
+        char buf[64];
+        for (const AgingSite &s : plan) {
+            bench::RasReport::SiteScore sc;
+            sc.site = s.label;
+            switch (s.kind) {
+              case AgingSite::Kind::Row: {
+                const ras::TopologyCall call =
+                    monitor.bankTopology(s.bank);
+                sc.matched = call.kind == ras::Topology::Row &&
+                             call.row == s.row;
+                std::snprintf(buf, sizeof(buf), "%s b%u r%u",
+                              ras::topologyName(call.kind), call.bank,
+                              call.row);
+                sc.inferred = buf;
+                break;
+              }
+              case AgingSite::Kind::Chip: {
+                sc.inferred = "none";
+                for (const ras::TopologyCall &call :
+                     monitor.chipTopologies()) {
+                    if (call.chip != s.chip)
+                        continue;
+                    sc.matched = true;
+                    std::snprintf(buf, sizeof(buf), "chip %u",
+                                  call.chip);
+                    sc.inferred = buf;
+                    break;
+                }
+                break;
+              }
+              case AgingSite::Kind::Pin: {
+                const ras::TopologyCall call = monitor.linkTopology();
+                sc.matched = call.kind == ras::Topology::Link;
+                sc.inferred =
+                    !sc.matched ? "none"
+                    : call.pin >= 0
+                        ? "link pin " + pinName(static_cast<Pin>(call.pin))
+                        : "link";
+                break;
+              }
+            }
+            rasReport.sites.push_back(sc);
+        }
+        std::printf("aging: %zu wearing site(s), topology inference "
+                    "matched %llu (%.0f%%)\n",
+                    rasReport.sites.size(),
+                    static_cast<unsigned long long>(
+                        rasReport.matchedSites()),
+                    100.0 * rasReport.accuracy());
+        for (const bench::RasReport::SiteScore &sc : rasReport.sites)
+            std::printf("  %-14s -> %-18s %s\n", sc.site.c_str(),
+                        sc.inferred.c_str(),
+                        sc.matched ? "match" : "MISS");
+    }
+    if (mix.mitigate) {
+        std::printf("\npredictive mitigation (instrumented vs "
+                    "baseline hot pass): corrected %llu -> %llu, "
+                    "DUEs %llu -> %llu, recovery episodes %llu -> "
+                    "%llu\n",
+                    static_cast<unsigned long long>(hot.corrected),
+                    static_cast<unsigned long long>(inst.corrected),
+                    static_cast<unsigned long long>(hot.dues),
+                    static_cast<unsigned long long>(inst.dues),
+                    static_cast<unsigned long long>(
+                        hot.recovery.episodes),
+                    static_cast<unsigned long long>(
+                        inst.recovery.episodes));
     }
 
     if (ledger) {
@@ -798,7 +1226,7 @@ main(int argc, char **argv)
     costs.emplace_back("aiecc", cost);
 
     bench::writeJsonArtifact(opt, "bench_e2e_throughput", costs, {},
-                             [&](obs::JsonWriter &w) {
+                             rasReport, [&](obs::JsonWriter &w) {
         w.beginObject();
         w.kv("mode", campaignMode ? "campaign" : "single_stream");
         if (campaignMode) {
@@ -829,6 +1257,22 @@ main(int argc, char **argv)
         w.kv("recovery_exhausted", hot.recovery.exhausted);
         w.endObject();
         w.kv("instrumented_accesses_per_sec", inst.accessesPerSec());
+        if (mix.agingSites)
+            w.kv("aging_sites", mix.agingSites);
+        if (mix.mitigate) {
+            // The instrumented pass ran with the monitor's actions
+            // fed back; the hot pass above is the same fault schedule
+            // unmitigated, so this pair is the mitigation effect.
+            w.key("outcomes_mitigated").beginObject();
+            w.kv("detections", inst.detections);
+            w.kv("corrected", inst.corrected);
+            w.kv("dues", inst.dues);
+            w.kv("recovery_episodes", inst.recovery.episodes);
+            w.kv("recovery_recovered", inst.recovery.recovered);
+            w.kv("recovery_exhausted", inst.recovery.exhausted);
+            w.kv("patrol_reads", inst.recovery.patrolReads);
+            w.endObject();
+        }
         w.key("breakdown");
         profile.writeJson(w);
         w.key("counters").beginObject();

@@ -26,6 +26,8 @@
 #include "common/table.hh"
 #include "inject/campaign.hh"
 #include "obs/heartbeat.hh"
+#include "obs/lineage.hh"
+#include "ras/health.hh"
 
 using namespace aiecc;
 
@@ -140,6 +142,19 @@ main(int argc, char **argv)
         levelCost.emplace_back(
             makeCostModel(Mechanisms::forLevel(level)));
 
+    // ---- RAS health telemetry (--health, DESIGN.md §15) -----------
+    // One parent-side monitor rides every unit's campaign: shard
+    // buffers re-emit in shard order at each batch join, so the
+    // merged symptom stream — and with it the monitor — is
+    // bit-identical for any --jobs value.  The per-unit lineage
+    // ledger below exists only to switch the campaign onto its
+    // detection-replay path (inject -> observe* -> resolve per
+    // trial); it is discarded with the unit.
+    ras::HealthMonitor rasMon;
+    obs::Observer rasObs;
+    if (opt.health)
+        rasObs.addSink(&rasMon);
+
     bench::Checkpointer cp(opt,
                            bench::campaignIdFor(opt, "fig7_coverage"));
     size_t resumeUnit = 0;
@@ -161,6 +176,8 @@ main(int argc, char **argv)
             if (st.has(name))
                 levelCost[li].deserializeState(st.get(name));
         }
+        if (opt.health && st.has("ras"))
+            rasMon.deserializeState(st.get("ras"));
     }
 
     // ---- heartbeat (DESIGN.md §13) --------------------------------
@@ -180,6 +197,9 @@ main(int argc, char **argv)
         totalTrials += n;
     }
     hb.setTotals(totalShards, totalTrials);
+    if (opt.health)
+        hb.setPayload(
+            [&](obs::JsonWriter &w) { rasMon.writeHeartbeat(w); });
 
     const uint64_t batch = checkpointBatchShards(jobs);
     auto persist = [&](size_t u, uint64_t nextShard) {
@@ -192,6 +212,8 @@ main(int argc, char **argv)
         for (size_t li = 0; li < 4; ++li)
             st.set("cost:" + std::to_string(li),
                    levelCost[li].serialize());
+        if (opt.health)
+            st.set("ras", rasMon.serializeState());
         cp.save("unit " + std::to_string(u + 1) + "/" +
                 std::to_string(units.size()) + " (" + unitLabel(units[u]) +
                 ") shard " + std::to_string(nextShard));
@@ -202,6 +224,11 @@ main(int argc, char **argv)
         InjectionCampaign camp(
             Mechanisms::forLevel(levels[spec.levelIdx]));
         camp.setCostAccountant(&levelCost[spec.levelIdx]);
+        obs::LineageLedger rasLineage;
+        if (opt.health) {
+            camp.setObserver(&rasObs);
+            camp.setLineageLedger(&rasLineage);
+        }
         const std::vector<PinError> errors = unitErrors(spec, camp);
         uint64_t nextShard = (u == resumeUnit) ? resumeShard : 0;
         hb.setNote(unitLabel(spec));
@@ -267,8 +294,21 @@ main(int argc, char **argv)
     }
     bench::printParetoTable(pareto);
 
+    bench::RasReport rasReport;
+    if (opt.health) {
+        rasReport.monitor = &rasMon;
+        std::printf("\nRAS health: rank %s, %llu event(s) observed, "
+                    "%llu fault(s) followed, %zu topology call(s)\n",
+                    ras::healthStateName(rasMon.rankState()),
+                    static_cast<unsigned long long>(rasMon.eventsSeen()),
+                    static_cast<unsigned long long>(
+                        rasMon.faultsInjected()),
+                    rasMon.topologies().size());
+    }
+
     bench::writeJsonArtifact(
-        opt, "fig7_coverage", costs, pareto, [&](obs::JsonWriter &w) {
+        opt, "fig7_coverage", costs, pareto, rasReport,
+        [&](obs::JsonWriter &w) {
             w.beginObject();
             w.kv("allpin_samples", allPinSamples);
             w.kv("two_pin_swept", twoPin);

@@ -26,6 +26,7 @@
 #include "common/table.hh"
 #include "gddr5/campaign.hh"
 #include "obs/heartbeat.hh"
+#include "ras/health.hh"
 
 using namespace aiecc;
 using namespace aiecc::gddr5;
@@ -69,6 +70,15 @@ main(int argc, char **argv)
 
     std::vector<Gddr5Stats> unitStats(numUnits);
 
+    // ---- RAS health telemetry (--health, DESIGN.md §15) -----------
+    // The GDDR5 campaign keeps trials pure and carries no observer,
+    // so the bench synthesizes the monitor's symptom stream itself:
+    // onResult fires per trial in global order on this thread, and
+    // each trial's detector list becomes that many alert-family
+    // Detection events (cycle = global trial number) — deterministic
+    // for any --jobs value by construction.
+    ras::HealthMonitor rasMon;
+
     size_t resumeUnit = 0;
     uint64_t resumeShard = 0;
     if (cp.resumed()) {
@@ -83,6 +93,8 @@ main(int argc, char **argv)
             if (st.has(name))
                 unitStats[u].deserializeState(st.get(name));
         }
+        if (opt.health && st.has("ras"))
+            rasMon.deserializeState(st.get("ras"));
     }
 
     // ---- heartbeat (DESIGN.md §13) --------------------------------
@@ -107,6 +119,9 @@ main(int argc, char **argv)
         totalTrials += unitTrials(u);
     }
     hb.setTotals(totalShards, totalTrials);
+    if (opt.health)
+        hb.setPayload(
+            [&](obs::JsonWriter &w) { rasMon.writeHeartbeat(w); });
     auto heartbeatAt = [&](size_t u, uint64_t doneShardsInUnit) {
         hb.tick(shardsBefore[u] + doneShardsInUnit,
                 trialsBefore[u] +
@@ -124,6 +139,8 @@ main(int argc, char **argv)
                              std::to_string(nextShard));
         st.set("stats:" + std::to_string(u),
                unitStats[u].serializeState());
+        if (opt.health)
+            st.set("ras", rasMon.serializeState());
         cp.save("unit " + std::to_string(u + 1) + "/" +
                 std::to_string(numUnits) + " (" +
                 std::string(models[unitModel(u)]) + "/" +
@@ -149,8 +166,17 @@ main(int argc, char **argv)
         const RunStatus status = campaign.runTrialsCheckpointed(
             patterns[unitPattern(u)], errors, opt.jobs, batch,
             nextShard,
-            [&](uint64_t, const Gddr5Trial &trial) {
-                unitStats[u].add(trial);
+            [&](uint64_t trial, const Gddr5Trial &res) {
+                unitStats[u].add(res);
+                if (opt.health) {
+                    obs::TraceEvent ev;
+                    ev.kind = obs::EventKind::Detection;
+                    ev.cycle = trialsBefore[u] + trial;
+                    for (Detector d : res.detectors) {
+                        ev.label = detectorName(d);
+                        rasMon.record(ev);
+                    }
+                }
             },
             [&](uint64_t, uint64_t end) {
                 persist(u, end);
@@ -205,8 +231,19 @@ main(int argc, char **argv)
         all.emplace_back(models[mi], std::move(rows));
     }
 
+    bench::RasReport rasReport;
+    if (opt.health) {
+        rasReport.monitor = &rasMon;
+        std::printf("\nRAS health: rank %s, %llu event(s) observed, "
+                    "%zu topology call(s)\n",
+                    ras::healthStateName(rasMon.rankState()),
+                    static_cast<unsigned long long>(rasMon.eventsSeen()),
+                    rasMon.topologies().size());
+    }
+
     bench::writeJsonArtifact(
-        opt, "gddr5_extension", [&](obs::JsonWriter &w) {
+        opt, "gddr5_extension", bench::CostEntries{}, {}, rasReport,
+        [&](obs::JsonWriter &w) {
             w.beginObject();
             w.kv("allpin_samples", allPinSamples);
             w.key("models");

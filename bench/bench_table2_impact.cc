@@ -31,6 +31,7 @@
 #include "inject/campaign.hh"
 #include "obs/coverage.hh"
 #include "obs/heartbeat.hh"
+#include "ras/health.hh"
 
 using namespace aiecc;
 
@@ -152,6 +153,19 @@ main(int argc, char **argv)
     aiecc.setLineageLedger(&lineage);
     aiecc.setCostAccountant(&aieccCost);
 
+    // ---- RAS health telemetry (--health, DESIGN.md §15) -----------
+    // One monitor rides both campaigns' detection-replay streams
+    // (the ledgers are already attached, so attaching trace sinks is
+    // all it takes).  Shard buffers re-emit in shard order, keeping
+    // the monitor bit-identical for any --jobs value.
+    ras::HealthMonitor rasMon;
+    obs::Observer rasObs;
+    if (opt.health) {
+        rasObs.addSink(&rasMon);
+        camp.setObserver(&rasObs);
+        aiecc.setObserver(&rasObs);
+    }
+
     // ---- checkpointed campaign plan -------------------------------
     // Units in fixed order: 5 per-pin, 5 recovery, 5 exhaustive
     // 2-pin, and with --exhaustive 5 more exhaustive 3-pin.  Each
@@ -259,6 +273,8 @@ main(int argc, char **argv)
              aieccCost.total(obs::CostCategory::Bus));
         w.kv("cost_aiecc_latency_ps",
              aieccCost.total(obs::CostCategory::Latency));
+        if (opt.health)
+            rasMon.writeHeartbeat(w);
     });
     auto heartbeatAt = [&](size_t u, uint64_t doneShardsInUnit) {
         hb.tick(shardsBefore[u] + doneShardsInUnit,
@@ -307,6 +323,8 @@ main(int argc, char **argv)
             noneCost.deserializeState(st.get("cost:none"));
         if (st.has("cost:aiecc"))
             aieccCost.deserializeState(st.get("cost:aiecc"));
+        if (opt.health && st.has("ras"))
+            rasMon.deserializeState(st.get("ras"));
         // Fault-ID positioning: completed units advance their
         // campaign's trial counter exactly as a live run would; the
         // in-progress unit's counter stays at the unit start
@@ -346,6 +364,8 @@ main(int argc, char **argv)
         st.set("lineage", lineage.serializeState());
         st.set("cost:none", noneCost.serialize());
         st.set("cost:aiecc", aieccCost.serialize());
+        if (opt.health)
+            st.set("ras", rasMon.serializeState());
         cp.save("unit " + std::to_string(u + 1) + "/" +
                 std::to_string(units.size()) + " (" +
                 unitLabel(units[u]) + ") shard " +
@@ -531,8 +551,21 @@ main(int argc, char **argv)
                                aieccTotal.coveredFrac(), aieccCost)};
     bench::printParetoTable(pareto);
 
+    bench::RasReport rasReport;
+    if (opt.health) {
+        rasReport.monitor = &rasMon;
+        std::printf("\nRAS health: rank %s, %llu event(s) observed, "
+                    "%llu fault(s) followed, %zu topology call(s)\n",
+                    ras::healthStateName(rasMon.rankState()),
+                    static_cast<unsigned long long>(rasMon.eventsSeen()),
+                    static_cast<unsigned long long>(
+                        rasMon.faultsInjected()),
+                    rasMon.topologies().size());
+    }
+
     bench::writeJsonArtifact(
-        opt, "table2_impact", costs, pareto, [&](obs::JsonWriter &w) {
+        opt, "table2_impact", costs, pareto, rasReport,
+        [&](obs::JsonWriter &w) {
             w.beginObject();
             w.key("impact");
             w.beginObject();

@@ -30,6 +30,7 @@
 #include "inject/montecarlo.hh"
 #include "obs/coverage.hh"
 #include "obs/heartbeat.hh"
+#include "ras/health.hh"
 
 using namespace aiecc;
 
@@ -128,6 +129,20 @@ main(int argc, char **argv)
     for (unsigned si = 0; si < 4; ++si)
         costObs[si].setCost(&schemeCost[si]);
 
+    // ---- RAS health telemetry (--health, DESIGN.md §15) -----------
+    // One monitor rides all four schemes' symptom streams: with a
+    // sink attached, each Monte-Carlo engine buffers its flagged
+    // trials' events per shard and re-emits them in shard order at
+    // the batch join, so the monitor is bit-identical for any --jobs
+    // value.  Addresses are uniform random here, so no topology ever
+    // concentrates — the value is the windowed CE/UE/retry rates and
+    // the health-state machine under each scheme's detection profile.
+    ras::HealthMonitor rasMon;
+    if (opt.health) {
+        for (unsigned si = 0; si < 4; ++si)
+            costObs[si].addSink(&rasMon);
+    }
+
     // ---- checkpointed campaign plan -------------------------------
     // 44 units in fixed order: cell-major, scheme-minor.  Monte-Carlo
     // fault IDs derive from (scheme, cell, trial-in-cell), so resume
@@ -158,6 +173,8 @@ main(int argc, char **argv)
             if (st.has(name))
                 schemeCost[si].deserializeState(st.get(name));
         }
+        if (opt.health && st.has("ras"))
+            rasMon.deserializeState(st.get("ras"));
     }
 
     // ---- heartbeat (DESIGN.md Â§13) --------------------------------
@@ -192,6 +209,8 @@ main(int argc, char **argv)
             w.kv(key + "bus_bits",
                  schemeCost[si].total(obs::CostCategory::Bus));
         }
+        if (opt.health)
+            rasMon.writeHeartbeat(w);
     });
     auto heartbeatAt = [&](size_t u, uint64_t doneShardsInUnit) {
         hb.tick(shardsBefore[u] + doneShardsInUnit,
@@ -213,6 +232,8 @@ main(int argc, char **argv)
         for (unsigned si = 0; si < 4; ++si)
             st.set("cost:" + std::to_string(si),
                    schemeCost[si].serialize());
+        if (opt.health)
+            st.set("ras", rasMon.serializeState());
         const CellResult &res = results[u / 4];
         cp.save("unit " + std::to_string(u + 1) + "/" +
                 std::to_string(numUnits) + " (" +
@@ -302,8 +323,19 @@ main(int argc, char **argv)
     }
     bench::printParetoTable(pareto);
 
+    bench::RasReport rasReport;
+    if (opt.health) {
+        rasReport.monitor = &rasMon;
+        std::printf("\nRAS health: rank %s, %llu event(s) observed, "
+                    "%zu topology call(s)\n",
+                    ras::healthStateName(rasMon.rankState()),
+                    static_cast<unsigned long long>(rasMon.eventsSeen()),
+                    rasMon.topologies().size());
+    }
+
     bench::writeJsonArtifact(
-        opt, "table3_data", costs, pareto, [&](obs::JsonWriter &w) {
+        opt, "table3_data", costs, pareto, rasReport,
+        [&](obs::JsonWriter &w) {
             w.beginObject();
             w.kv("trials_per_cell", trials);
             w.kv("jobs_resolved", jobs);

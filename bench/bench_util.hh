@@ -23,6 +23,7 @@
 #include "obs/json.hh"
 #include "obs/memprof.hh"
 #include "obs/profile.hh"
+#include "ras/health.hh"
 
 namespace aiecc
 {
@@ -49,8 +50,13 @@ namespace bench
  *     (process allocation totals, per-scope attribution and the
  *     allocs_per_access top line — the hot-path allocation baseline
  *     compare_bench.py hard-gates)
+ * v7: adds "health", "aging" and "mitigate" to "options" (RAS health
+ *     telemetry; all three output-affecting) and the top-level "ras"
+ *     section (sliding-window error rates, per-component health
+ *     states, inferred fault topologies and the recommended-action
+ *     log) whenever a health monitor observed the run
  */
-constexpr int artifactSchemaVersion = 6;
+constexpr int artifactSchemaVersion = 7;
 
 /** Common bench options. */
 struct Options
@@ -88,6 +94,25 @@ struct Options
     /** Live progress telemetry JSONL path ("" = off; never
      *  output-affecting — see obs/heartbeat.hh). */
     std::string heartbeatPath;
+
+    // RAS health telemetry knobs (src/ras).
+    /**
+     * Attach a RAS health monitor and emit the artifact's "ras"
+     * section.  The e2e throughput bench always monitors; the
+     * campaign benches do so only with this flag (the extra event
+     * materialization is measurable at campaign scale).
+     */
+    bool health = false;
+    /**
+     * Aging mode (e2e bench only): activate N wearing fault sites —
+     * weak rows, dying chips, flaky CA pins — on a front-loaded
+     * schedule across the run, so error rates climb and accumulate
+     * the way end-of-life DIMMs age.  0 = off.
+     */
+    uint64_t aging = 0;
+    /** Feed recommended actions back into the stack (predictive
+     *  mitigation); compare coverage against a run without it. */
+    bool mitigate = false;
 };
 
 inline void
@@ -130,7 +155,14 @@ usage(std::FILE *to, const char *prog)
                  "  --heartbeat PATH  append live progress telemetry "
                  "records (JSONL;\n"
                  "               SIGUSR1 forces an immediate dump; "
-                 "see aiecc-trace progress)\n",
+                 "see aiecc-trace progress)\n"
+                 "  --health     attach a RAS health monitor and emit "
+                 "the \"ras\" section\n"
+                 "  --aging N    activate N wearing fault sites over "
+                 "the run (e2e bench)\n"
+                 "  --mitigate   apply the monitor's recommended "
+                 "actions (predictive\n"
+                 "               mitigation; implies --health)\n",
                  prog);
 }
 
@@ -181,6 +213,13 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--heartbeat") &&
                    i + 1 < argc) {
             opt.heartbeatPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--health")) {
+            opt.health = true;
+        } else if (!std::strcmp(argv[i], "--aging") && i + 1 < argc) {
+            opt.aging = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--mitigate")) {
+            opt.mitigate = true;
+            opt.health = true;
         } else if (!std::strcmp(argv[i], "--help")) {
             usage(stdout, argv[0]);
             std::exit(0);
@@ -234,6 +273,9 @@ beginJsonArtifact(obs::JsonWriter &w, const Options &opt,
     w.kv("resume", opt.resume);
     w.kv("exhaustive", opt.exhaustive);
     w.kv("heartbeat", opt.heartbeatPath);
+    w.kv("health", opt.health);
+    w.kv("aging", opt.aging);
+    w.kv("mitigate", opt.mitigate);
     w.endObject();
     w.key("results");
     return w;
@@ -262,6 +304,12 @@ campaignIdFor(const Options &opt, const std::string &benchName)
     id += " faultrate=" + std::to_string(opt.faultRate);
     id += opt.noRecovery ? " norecovery" : "";
     id += opt.exhaustive ? " exhaustive" : "";
+    // RAS knobs: --health changes the event-materialization path (and
+    // the artifact), --aging/--mitigate change the modeled run.
+    id += opt.health ? " health" : "";
+    if (opt.aging)
+        id += " aging=" + std::to_string(opt.aging);
+    id += opt.mitigate ? " mitigate" : "";
     return id;
 }
 
@@ -599,6 +647,70 @@ printParetoTable(const std::vector<ParetoPoint> &points)
     }
 }
 
+/**
+ * The artifact's RAS health payload: the monitor that observed the
+ * run plus, in aging mode, the prediction-accuracy block scoring the
+ * monitor's inferred topologies against the lineage ground truth.
+ */
+struct RasReport
+{
+    const ras::HealthMonitor *monitor = nullptr;
+
+    /** One injected aging site and whether inference matched it. */
+    struct SiteScore
+    {
+        std::string site;    ///< lineage site label ("row:b3:r17", ...)
+        bool matched = false;
+        std::string inferred; ///< what the monitor called it
+    };
+    bool hasPrediction = false; ///< aging mode ran
+    std::vector<SiteScore> sites;
+
+    uint64_t
+    matchedSites() const
+    {
+        uint64_t n = 0;
+        for (const SiteScore &s : sites)
+            n += s.matched ? 1 : 0;
+        return n;
+    }
+    double
+    accuracy() const
+    {
+        return sites.empty() ? 0.0
+                             : static_cast<double>(matchedSites()) /
+                                   static_cast<double>(sites.size());
+    }
+};
+
+/** Emit the "ras" member: monitor telemetry (+ prediction scoring). */
+inline void
+writeRasSection(obs::JsonWriter &w, const RasReport &report)
+{
+    w.key("ras");
+    w.beginObject();
+    report.monitor->writeJsonMembers(w);
+    if (report.hasPrediction) {
+        w.key("prediction");
+        w.beginObject();
+        w.kv("sites", static_cast<uint64_t>(report.sites.size()));
+        w.kv("matched", report.matchedSites());
+        w.kv("accuracy", report.accuracy());
+        w.key("per_site");
+        w.beginArray();
+        for (const RasReport::SiteScore &s : report.sites) {
+            w.beginObject();
+            w.kv("site", s.site);
+            w.kv("matched", s.matched);
+            w.kv("inferred", s.inferred);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
 /** Emit the "pareto" member: the table as a JSON array. */
 inline void
 writeParetoSection(obs::JsonWriter &w,
@@ -631,15 +743,17 @@ writeParetoSection(obs::JsonWriter &w,
  * @p fill receives the writer positioned at the "results" member and
  * must emit exactly one value (object/array/scalar).  @p costs is
  * audited first (exit 1 on a conservation violation) and becomes the
- * "cost" section; @p pareto, when nonempty, the "pareto" table; the
- * "alloc" section and the AIECC_BUDGET_* gate come from the
+ * "cost" section; @p pareto, when nonempty, the "pareto" table;
+ * @p rasReport, when it carries a monitor, the "ras" section (schema
+ * v7); the "alloc" section and the AIECC_BUDGET_* gate come from the
  * registered AllocReport (the gate fires even without --json).
  */
 template <typename FillFn>
 inline void
 writeJsonArtifact(const Options &opt, const std::string &benchName,
                   const CostEntries &costs,
-                  const std::vector<ParetoPoint> &pareto, FillFn &&fill)
+                  const std::vector<ParetoPoint> &pareto,
+                  const RasReport &rasReport, FillFn &&fill)
 {
     auditCostsOrDie(costs);
     enforceAllocBudgetOrDie();
@@ -651,6 +765,8 @@ writeJsonArtifact(const Options &opt, const std::string &benchName,
     writeCostSection(w, costs);
     if (!pareto.empty())
         writeParetoSection(w, pareto);
+    if (rasReport.monitor)
+        writeRasSection(w, rasReport);
     writeAllocSection(w);
     w.endObject();
     if (!w.writeFile(opt.jsonPath)) {
@@ -659,6 +775,17 @@ writeJsonArtifact(const Options &opt, const std::string &benchName,
         std::exit(1);
     }
     std::printf("JSON artifact written to %s\n", opt.jsonPath.c_str());
+}
+
+/** Artifact without a RAS health monitor. */
+template <typename FillFn>
+inline void
+writeJsonArtifact(const Options &opt, const std::string &benchName,
+                  const CostEntries &costs,
+                  const std::vector<ParetoPoint> &pareto, FillFn &&fill)
+{
+    writeJsonArtifact(opt, benchName, costs, pareto, RasReport{},
+                      std::forward<FillFn>(fill));
 }
 
 /** Artifact without cost entries (a bench that models no traffic). */

@@ -47,6 +47,15 @@ struct DetectionEvent
     bool corrected = false;
     /** Precisely diagnosed address (eDECC combined only, §IV-F). */
     std::optional<uint32_t> diagnosedAddress;
+    /**
+     * Packed MTB address of the access that raised the detection
+     * (data-ECC decodes only; device alerts fire before any array
+     * address is resolved).  RAS telemetry infers fault topology from
+     * this corrected-error address stream.
+     */
+    std::optional<uint32_t> accessAddress;
+    /** Chips whose symbols were corrected (EccResult::correctedChips). */
+    uint32_t correctedChips = 0;
     std::string detail;
     /** Lineage fault ID under test when this fired (0 = none). */
     uint64_t faultId = 0;

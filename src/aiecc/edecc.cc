@@ -82,6 +82,15 @@ EDeccQpc::decode(const Burst &burst, uint32_t mtbAddr) const
             if (positions[i] >= Burst::dataPins &&
                 positions[i] < Burst::dataPins + addrSymbols) {
                 res.addressError = true;
+            } else {
+                // Stored symbols: data pins sit at their pin index,
+                // parity pins are shifted up by the virtual address
+                // symbols.  Either way position/4 names the x4 chip
+                // once the virtual offset is removed.
+                const unsigned pin = positions[i] < Burst::dataPins
+                                         ? positions[i]
+                                         : positions[i] - addrSymbols;
+                res.correctedChips |= 1u << (pin / Burst::pinsPerChip);
             }
         }
         if (res.addressError) {
@@ -167,8 +176,17 @@ EDeccAmd::decode(const Burst &burst, uint32_t mtbAddr) const
             anyCorrected = true;
             res.symbolsCorrected += lanes[w].numPositions;
             for (unsigned i = 0; i < lanes[w].numPositions; ++i) {
-                if (lanes[w].positions[i] == dataChips)
+                if (lanes[w].positions[i] == dataChips) {
                     res.addressError = true;
+                } else {
+                    // Symbols past the virtual address slot belong to
+                    // the parity chips, one step down.
+                    const unsigned chip =
+                        lanes[w].positions[i] < dataChips
+                            ? lanes[w].positions[i]
+                            : lanes[w].positions[i] - 1;
+                    res.correctedChips |= 1u << chip;
+                }
             }
             recovered |= static_cast<uint32_t>(
                              received[dataChips * numWords + w])

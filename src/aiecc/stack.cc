@@ -1,12 +1,28 @@
 #include "aiecc/stack.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "aiecc/diagnosis.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 
 namespace aiecc
 {
+
+namespace
+{
+
+/** Lowercase-hex chip bitmask for detection details ("chips=24"). */
+std::string
+chipMaskString(uint32_t mask)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", mask);
+    return buf;
+}
+
+} // namespace
 
 ProtectionStack::ProtectionStack(const StackConfig &config)
     : cfg(config), codec(makeEcc(config.mech.ecc)),
@@ -99,11 +115,18 @@ ProtectionStack::noteDetection(DetectionEvent event)
             if (event.diagnosedAddress)
                 ++*oc.addrDiagnoses;
         }
-        cfg.observer->emit(
-            obs::EventKind::Detection, event.when,
-            mechanismName(event.mech),
-            event.diagnosedAddress ? *event.diagnosedAddress : 0,
-            event.detail);
+        // The trace value carries the best address evidence available:
+        // a precise eDECC diagnosis when there is one, otherwise the
+        // access address of the flagged read — the corrected-error
+        // address stream RAS topology inference consumes.
+        uint64_t addrEvidence = 0;
+        if (event.diagnosedAddress)
+            addrEvidence = *event.diagnosedAddress;
+        else if (event.accessAddress)
+            addrEvidence = *event.accessAddress;
+        cfg.observer->emit(obs::EventKind::Detection, event.when,
+                           mechanismName(event.mech), addrEvidence,
+                           event.detail);
     }
     events.push_back(std::move(event));
 }
@@ -400,6 +423,7 @@ ProtectionStack::issueRd(const MtbAddress &addr)
             out.detected = true;
             out.corrected = ecc.status == EccStatus::Corrected;
             out.due = ecc.status == EccStatus::Uncorrectable;
+            out.correctedChips = ecc.correctedChips;
             addressFault = ecc.addressError;
 
             DetectionEvent ev;
@@ -410,13 +434,36 @@ ProtectionStack::issueRd(const MtbAddress &addr)
             ev.corrected = out.corrected;
             ev.addressError = ecc.addressError;
             ev.diagnosedAddress = ecc.recoveredAddress;
+            ev.accessAddress = addr.pack(cfg.geom);
+            ev.correctedChips = ecc.correctedChips;
             ev.detail = codec->name() +
                         (out.corrected ? " corrected read @"
                                        : " DUE on read @") +
                         addr.toString();
+            if (ecc.correctedChips)
+                ev.detail += " chips=" + chipMaskString(ecc.correctedChips);
             const bool scrub = cfg.scrubOnCorrection && out.corrected &&
                                !ecc.addressError;
+            const bool diagnose =
+                cfg.observer && ecc.addressError && ecc.recoveredAddress;
             noteDetection(std::move(ev));
+
+            if (diagnose) {
+                // Cross-check the eDECC diagnosis against the CA-pin
+                // model: which command pins must have flipped for the
+                // intended address to land where it did (§IV-F).
+                const uint32_t intended = addr.pack(cfg.geom);
+                const AddressDiagnosis diag = diagnoseAddress(
+                    intended, *ecc.recoveredAddress, cfg.geom);
+                cfg.observer->emit(
+                    obs::EventKind::Diagnosis, ctrl->now(),
+                    diag.suspectPins.empty()
+                        ? std::string("?")
+                        : pinName(diag.suspectPins.front()),
+                    static_cast<uint64_t>(intended) << 32 |
+                        *ecc.recoveredAddress,
+                    diag.toString());
+            }
 
             if (scrub) {
                 // Redirect scrubbing (§V-D): write the corrected block
@@ -517,10 +564,29 @@ ProtectionStack::recover()
 }
 
 void
-ProtectionStack::write(const MtbAddress &addr, const BitVec &data)
+ProtectionStack::retireRow(unsigned flatBank, unsigned row,
+                           unsigned spareRow)
+{
+    AIECC_ASSERT(flatBank < cfg.geom.numBanks(),
+                 "retireRow: bad bank " << flatBank);
+    // Re-retiring an already-remapped row just retargets the spare.
+    for (RowRemap &r : rowRemaps) {
+        if (r.bank == flatBank && r.row == row) {
+            r.spare = spareRow;
+            return;
+        }
+    }
+    rowRemaps.push_back({flatBank, row, spareRow});
+}
+
+void
+ProtectionStack::write(const MtbAddress &addr_, const BitVec &data)
 {
     obs::ScopedTimer timeWrite(oc.tWrite);
-    const unsigned bank = addr.flatBank(cfg.geom);
+    const unsigned bank = addr_.flatBank(cfg.geom);
+    MtbAddress addr = addr_;
+    if (!rowRemaps.empty())
+        applyRowRemap(bank, addr);
     if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
         // A failed recovery episode can drop the row cache while the
         // controller still believes the bank is open; precharge in
@@ -535,10 +601,13 @@ ProtectionStack::write(const MtbAddress &addr, const BitVec &data)
 }
 
 ReadOutcome
-ProtectionStack::read(const MtbAddress &addr)
+ProtectionStack::read(const MtbAddress &addr_)
 {
     obs::ScopedTimer timeRead(oc.tRead);
-    const unsigned bank = addr.flatBank(cfg.geom);
+    const unsigned bank = addr_.flatBank(cfg.geom);
+    MtbAddress addr = addr_;
+    if (!rowRemaps.empty())
+        applyRowRemap(bank, addr);
     if (hlOpenRow[bank] != static_cast<int>(addr.row)) {
         if (hlOpenRow[bank] >= 0 || ctrl->bankOpen(bank))
             issuePre(addr.bg, addr.ba);

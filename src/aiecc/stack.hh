@@ -67,6 +67,8 @@ struct ReadOutcome
     bool detected = false;  ///< the ECC flagged something
     bool corrected = false; ///< ... and corrected it
     bool due = false;       ///< detected-uncorrectable: do not consume
+    /** Chips the decoder corrected symbols on (bitmask, bit = chip). */
+    uint32_t correctedChips = 0;
 };
 
 /**
@@ -142,6 +144,33 @@ class ProtectionStack : private RecoveryPort
      */
     void recover();
 
+    // ---- RAS mitigation hooks (predictive maintenance) ----
+
+    /**
+     * Retune the patrol-scrub period live (accesses between patrol
+     * steps; 0 disables).  RAS health monitoring raises the patrol
+     * rate on degrading components so storage flips are scrubbed
+     * before they accumulate into uncorrectable patterns.
+     */
+    void setPatrolPeriod(uint64_t period)
+    {
+        cfg.recovery.patrolPeriod = period;
+    }
+    uint64_t patrolPeriod() const { return cfg.recovery.patrolPeriod; }
+
+    /**
+     * Retire @p row of flat bank @p flatBank: every later high-level
+     * read()/write() of it is remapped to @p spareRow in the same
+     * bank.  The spare starts from the never-written fill state
+     * (valid codewords), so the retired row's accumulated damage
+     * stops being observable; its stored content is abandoned — the
+     * caller re-writes live data it wants to keep.
+     */
+    void retireRow(unsigned flatBank, unsigned row, unsigned spareRow);
+
+    /** Rows retired so far. */
+    size_t retiredRows() const { return rowRemaps.size(); }
+
     DramRank &rank() { return *rankModel; }
     const DramRank &rank() const { return *rankModel; }
     MemController &controller() { return *ctrl; }
@@ -197,6 +226,26 @@ class ProtectionStack : private RecoveryPort
 
     /** Controller-side row bookkeeping for the high-level interface. */
     std::vector<int> hlOpenRow; ///< -1 = closed
+
+    /** One retired row: accesses to (bank, row) land on spare. */
+    struct RowRemap
+    {
+        unsigned bank;
+        unsigned row;
+        unsigned spare;
+    };
+    std::vector<RowRemap> rowRemaps;
+
+    /** Apply any retirement remap to @p addr (bank precomputed). */
+    void applyRowRemap(unsigned flatBank, MtbAddress &addr) const
+    {
+        for (const RowRemap &r : rowRemaps) {
+            if (r.bank == flatBank && r.row == addr.row) {
+                addr.row = r.spare;
+                return;
+            }
+        }
+    }
 
     /** Cost attribution hookup (nullptr = accounting off). */
     obs::CostAccountant *

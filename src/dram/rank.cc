@@ -341,6 +341,8 @@ DramRank::doRead(Cycle now, const Command &cmd, bool dataCorrupt,
         const unsigned shift = cmd.col & mask(Geometry::burstBits);
         if (shift)
             out = rotateBeats(out, shift);
+        if (disturb)
+            disturb(addr, out);
         if (dataCorrupt) {
             // Signal-integrity loss (e.g. an ODT error): flip a few
             // transferred bits.

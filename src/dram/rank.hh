@@ -25,6 +25,7 @@
 #define AIECC_DRAM_RANK_HH
 
 #include <array>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -114,6 +115,17 @@ class DramRank
      */
     void setObserver(obs::Observer *observer);
 
+    /**
+     * Read-path disturbance model: called with the device's view of
+     * the address and the burst it is about to drive for every RD
+     * that reaches stored content.  Aging campaigns install one to
+     * model wearing cells (weak rows, dying chips) whose errors
+     * appear on every read without mutating the stored data.  Empty
+     * clears the hook.
+     */
+    using ReadDisturb = std::function<void(const MtbAddress &, Burst &)>;
+    void setReadDisturb(ReadDisturb fn) { disturb = std::move(fn); }
+
   private:
     RankConfig cfg;
     Cstc cstc;
@@ -137,6 +149,7 @@ class DramRank
         unsigned row = 0;
     };
     std::vector<Bank> banks;
+    ReadDisturb disturb; ///< aging read-path disturbance (may be empty)
     RowStore store; ///< packed MTB address -> content, row-chunked
     bool wrt = false;
     bool modeCorrupt = false;

@@ -51,6 +51,9 @@ AmdChipkillEcc::decode(const Burst &burst, uint32_t mtbAddr) const
           case RsCodec::Status::Corrected:
             anyCorrected = true;
             res.symbolsCorrected += lanes[w].numPositions;
+            // Codeword symbol i is chip i's contribution.
+            for (unsigned i = 0; i < lanes[w].numPositions; ++i)
+                res.correctedChips |= 1u << lanes[w].positions[i];
             break;
           case RsCodec::Status::Uncorrectable:
             res.status = EccStatus::Uncorrectable;

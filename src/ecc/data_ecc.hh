@@ -41,6 +41,14 @@ struct EccResult
     /** The decoder attributed (part of) the error to the address. */
     bool addressError = false;
     /**
+     * Bitmask of x4 chips (bit c = chip c of Burst::numChips) whose
+     * symbols the decoder corrected.  Parity chips are included;
+     * virtual address symbols are not (they have no chip).  RAS
+     * telemetry uses this to recognize chip-concentrated error
+     * streams (chipkill signatures).
+     */
+    uint32_t correctedChips = 0;
+    /**
      * The write address recovered by an address-protecting code with
      * precise diagnosis (eDECC combined, Section IV-F).
      */

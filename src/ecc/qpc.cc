@@ -49,6 +49,9 @@ QpcEcc::decode(const Burst &burst, uint32_t mtbAddr) const
       case RsCodec::Status::Corrected:
         res.status = EccStatus::Corrected;
         res.symbolsCorrected = numPositions;
+        // Pin symbols map 4-per-chip, so position/4 is the x4 chip.
+        for (unsigned i = 0; i < numPositions; ++i)
+            res.correctedChips |= 1u << (positions[i] / Burst::pinsPerChip);
         for (unsigned p = 0; p < Burst::dataPins; ++p)
             res.data.setField(p * 8, 8, received[p]);
         break;

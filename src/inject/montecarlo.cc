@@ -1,8 +1,10 @@
 #include "inject/montecarlo.hh"
 
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace aiecc
 {
@@ -309,7 +311,7 @@ DataMonteCarlo::runTrialImpl(DataErrorModel dataErr,
             ++*oc.trials;
             ++*oc.byOutcome[static_cast<unsigned>(outcome)];
         }
-        return TrialDetail{outcome, attemptsUsed};
+        return TrialDetail{outcome, attemptsUsed, addrR};
     };
 
     // Bounded command retry (§IV-G): every attempt re-transmits the
@@ -452,6 +454,46 @@ DataMonteCarlo::recordLineage(obs::LineageLedger &led,
                 flagged ? 1u : 0u, detail.attempts);
 }
 
+void
+DataMonteCarlo::emitTrialEvents(obs::Observer &to, uint64_t trial,
+                                const TrialDetail &detail) const
+{
+    if (!to.tracing())
+        return;
+    // What a RAS monitor riding the controller would see of this
+    // trial: the flagged detection with its address evidence, the
+    // retry episode's re-reads, and an exhaustion when the budget ran
+    // dry.  NoError and SDC trials emit nothing — nothing fired.  The
+    // "data-ecc" detail tag routes the detection down the data-path
+    // (not alert-family) branch of health monitors.
+    const char *tag;
+    switch (detail.outcome) {
+      case DataOutcome::NoError:
+      case DataOutcome::Sdc:
+        return;
+      case DataOutcome::CeD:
+      case DataOutcome::CeRD:
+      case DataOutcome::CeRDPlus:
+        tag = "data-ecc corrected";
+        break;
+      case DataOutcome::CeR:
+      case DataOutcome::CeRPlus:
+        tag = "data-ecc retry-recovered";
+        break;
+      case DataOutcome::Due:
+      default:
+        tag = "data-ecc DUE";
+        break;
+    }
+    to.emit(obs::EventKind::Detection, trial, ecc->name(), detail.addr,
+            tag);
+    for (unsigned a = 1; a <= detail.attempts; ++a)
+        to.emit(obs::EventKind::Retry, trial, "re-read", a, "");
+    if (detail.outcome == DataOutcome::Due && detail.attempts)
+        to.emit(obs::EventKind::Recovery, trial, "retry",
+                detail.attempts, "exhausted");
+}
+
 MonteCarloCell
 DataMonteCarlo::runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
                         uint64_t trials)
@@ -462,6 +504,8 @@ DataMonteCarlo::runCell(DataErrorModel dataErr, AddrErrorModel addrErr,
         cell.add(detail.outcome);
         if (ledger)
             recordLineage(*ledger, dataErr, addrErr, i, detail);
+        if (obsHandle)
+            emitTrialEvents(*obsHandle, i, detail);
     }
     AIECC_INFORM("Monte-Carlo cell " << ecc->name() << " / "
                                      << dataErrorName(dataErr) << " / "
@@ -490,11 +534,13 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
         obsHandle ? obsHandle->stats() : nullptr;
     obs::CostAccountant *parentCost =
         obsHandle ? obsHandle->cost() : nullptr;
+    const bool parentTracing = obsHandle && obsHandle->tracing();
 
     std::vector<MonteCarloCell> cells(shards);
     std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
     std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
     std::vector<std::unique_ptr<obs::CostAccountant>> shardCost(shards);
+    std::vector<std::unique_ptr<obs::VectorTraceSink>> shardTraces(shards);
 
     runShards(shards, plan.jobs, [&](uint64_t shard) {
         // A fully private evaluator per shard: own codec tables, own
@@ -517,7 +563,15 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
                 new obs::CostAccountant(parentCost->model()));
             shardObs.setCost(shardCost[shard].get());
         }
-        if (parentStats || parentCost)
+        if (parentTracing) {
+            // Unbounded capture: the per-trial event count is
+            // variable and the shard-order re-emit below needs the
+            // stream loss-free.
+            shardTraces[shard] = std::unique_ptr<obs::VectorTraceSink>(
+                new obs::VectorTraceSink);
+            shardObs.addSink(shardTraces[shard].get());
+        }
+        if (parentStats || parentCost || parentTracing)
             worker.setObserver(&shardObs);
 
         obs::LineageLedger *shardLedger = nullptr;
@@ -540,6 +594,7 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
                 recordLineage(*shardLedger, dataErr, addrErr, begin + i,
                               detail);
             }
+            worker.emitTrialEvents(shardObs, begin + i, detail);
         }
     });
 
@@ -552,6 +607,11 @@ DataMonteCarlo::runCellSharded(DataErrorModel dataErr,
             parentCost->merge(*shardCost[shard]);
         if (shardLedgers[shard])
             ledger->merge(*shardLedgers[shard]);
+        if (shardTraces[shard]) {
+            for (const obs::TraceEvent &event :
+                 shardTraces[shard]->events())
+                obsHandle->emit(event);
+        }
     }
     AIECC_INFORM("Monte-Carlo cell (sharded x"
                  << shards << ") " << ecc->name() << " / "
@@ -618,11 +678,13 @@ DataMonteCarlo::runCellCheckpointed(
         obsHandle ? obsHandle->stats() : nullptr;
     obs::CostAccountant *parentCost =
         obsHandle ? obsHandle->cost() : nullptr;
+    const bool parentTracing = obsHandle && obsHandle->tracing();
 
     std::vector<MonteCarloCell> cells(shards);
     std::vector<std::unique_ptr<obs::StatsRegistry>> shardStats(shards);
     std::vector<std::unique_ptr<obs::LineageLedger>> shardLedgers(shards);
     std::vector<std::unique_ptr<obs::CostAccountant>> shardCost(shards);
+    std::vector<std::unique_ptr<obs::VectorTraceSink>> shardTraces(shards);
 
     return runShardsCheckpointed(
         shards, batchShards, plan.jobs, nextShard,
@@ -642,7 +704,13 @@ DataMonteCarlo::runCellCheckpointed(
                     new obs::CostAccountant(parentCost->model()));
                 shardObs.setCost(shardCost[shard].get());
             }
-            if (parentStats || parentCost)
+            if (parentTracing) {
+                shardTraces[shard] =
+                    std::unique_ptr<obs::VectorTraceSink>(
+                        new obs::VectorTraceSink);
+                shardObs.addSink(shardTraces[shard].get());
+            }
+            if (parentStats || parentCost || parentTracing)
                 worker.setObserver(&shardObs);
 
             obs::LineageLedger *shardLedger = nullptr;
@@ -667,9 +735,13 @@ DataMonteCarlo::runCellCheckpointed(
                     recordLineage(*shardLedger, dataErr, addrErr,
                                   begin + i, detail, exhaustive);
                 }
+                worker.emitTrialEvents(shardObs, begin + i, detail);
             }
         },
         [&](uint64_t batchBegin, uint64_t batchEnd) {
+            // Shard-order fold, trace re-emit included, before the
+            // caller's commit persists — so checkpointed monitor
+            // state downstream of the re-emit covers this batch.
             for (uint64_t shard = batchBegin; shard < batchEnd;
                  ++shard) {
                 cell.merge(cells[shard]);
@@ -685,6 +757,12 @@ DataMonteCarlo::runCellCheckpointed(
                 if (shardLedgers[shard]) {
                     ledger->merge(*shardLedgers[shard]);
                     shardLedgers[shard].reset();
+                }
+                if (shardTraces[shard]) {
+                    for (const obs::TraceEvent &event :
+                         shardTraces[shard]->events())
+                        obsHandle->emit(event);
+                    shardTraces[shard].reset();
                 }
             }
             commit(batchBegin, batchEnd);

@@ -149,7 +149,15 @@ class DataMonteCarlo
 
     /**
      * Attach the measurement hookup (nullptr detaches): per-outcome
-     * trial counters under "montecarlo.".
+     * trial counters under "montecarlo.".  With a trace sink attached
+     * (observer->tracing()), every *flagged* trial also emits its
+     * symptom stream — a Detection tagged "data-ecc" (so RAS health
+     * monitors classify it as a data-path symptom), one Retry per
+     * re-read attempt, and a Recovery exhaustion when the retry
+     * budget runs dry — with the cell-global trial index standing in
+     * for the cycle (the only timeline a Monte-Carlo has).  Sharded
+     * runs buffer events per shard and re-emit them in shard order,
+     * so the stream is bit-identical for any jobs value.
      */
     void setObserver(obs::Observer *observer);
 
@@ -173,13 +181,16 @@ class DataMonteCarlo
     }
 
     /**
-     * One trial's full record: the classification plus the re-read
-     * attempts its retry episode spent (0 when no retry ran).
+     * One trial's full record: the classification, the re-read
+     * attempts its retry episode spent (0 when no retry ran), and the
+     * read address the decode consumed — the address evidence a RAS
+     * monitor riding the controller would log with the symptom.
      */
     struct TrialDetail
     {
         DataOutcome outcome = DataOutcome::NoError;
         unsigned attempts = 0;
+        uint32_t addr = 0;
     };
 
     /** Run one trial; returns the outcome classification. */
@@ -302,6 +313,14 @@ class DataMonteCarlo
                        AddrErrorModel addrErr, uint64_t trial,
                        const TrialDetail &detail,
                        bool exhaustive = false) const;
+
+    /**
+     * Emit one flagged trial's symptom events into @p to (no-op when
+     * nothing was flagged or @p to has no sinks); @p trial is the
+     * cell-global index, used as the event cycle.
+     */
+    void emitTrialEvents(obs::Observer &to, uint64_t trial,
+                         const TrialDetail &detail) const;
 };
 
 } // namespace aiecc

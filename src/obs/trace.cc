@@ -5,23 +5,22 @@ namespace aiecc
 namespace obs
 {
 
+std::string_view
+eventKindNameView(EventKind kind)
+{
+    switch (kind) {
+#define AIECC_EVENT_KIND_NAME(k, n)                                       \
+      case EventKind::k: return n;
+      AIECC_EVENT_KINDS(AIECC_EVENT_KIND_NAME)
+#undef AIECC_EVENT_KIND_NAME
+    }
+    return "?";
+}
+
 std::string
 eventKindName(EventKind kind)
 {
-    switch (kind) {
-      case EventKind::CommandIssued: return "command";
-      case EventKind::PinCorruption: return "pin_corruption";
-      case EventKind::Detection: return "detection";
-      case EventKind::Retry: return "retry";
-      case EventKind::Recovery: return "recovery";
-      case EventKind::Scrub: return "scrub";
-      case EventKind::Classification: return "classification";
-      case EventKind::Escalation: return "escalation";
-      case EventKind::PatrolScrub: return "patrol_scrub";
-      case EventKind::FaultInject: return "fault_inject";
-      case EventKind::FaultResolve: return "fault_resolve";
-    }
-    return "?";
+    return std::string(eventKindNameView(kind));
 }
 
 std::optional<EventKind>
@@ -29,7 +28,7 @@ eventKindFromName(std::string_view name)
 {
     for (unsigned k = 0; k < numEventKinds; ++k) {
         const EventKind kind = static_cast<EventKind>(k);
-        if (eventKindName(kind) == name)
+        if (eventKindNameView(kind) == name)
             return kind;
     }
     return std::nullopt;

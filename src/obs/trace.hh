@@ -26,24 +26,69 @@ namespace aiecc
 namespace obs
 {
 
+/**
+ * The event-kind schema: one X-macro entry per kind, pairing the
+ * enumerator with its JSONL "kind" string.  The enum, the count, and
+ * both name mappings are generated from this single list, so adding a
+ * kind here is the *only* edit needed — parsers that iterate
+ * numEventKinds and the name round-trip can no longer drift.
+ */
+#define AIECC_EVENT_KINDS(X)                                              \
+    /* a command edge left the controller */                              \
+    X(CommandIssued, "command")                                           \
+    /* an injected fault mutated the edge in flight */                    \
+    X(PinCorruption, "pin_corruption")                                    \
+    /* a mechanism fired (label = mechanism name) */                      \
+    X(Detection, "detection")                                             \
+    /* an access was re-executed after a flag */                          \
+    X(Retry, "retry")                                                     \
+    /* full error-recovery reset (resync/drain/PREA) */                   \
+    X(Recovery, "recovery")                                               \
+    /* corrected data written back (redirect scrub) */                    \
+    X(Scrub, "scrub")                                                     \
+    /* end-state classification (label = DUE/SDC/...) */                  \
+    X(Classification, "classification")                                   \
+    /* bank quarantine / rank-degraded transition */                      \
+    X(Escalation, "escalation")                                           \
+    /* background patrol corrected a stored block */                      \
+    X(PatrolScrub, "patrol_scrub")                                        \
+    /* lineage: a campaign injected a fault (label = site) */             \
+    X(FaultInject, "fault_inject")                                        \
+    /* lineage: fault reached its terminal state */                       \
+    X(FaultResolve, "fault_resolve")                                      \
+    /* eDECC pinpointed a wrong address (label = suspect pin) */          \
+    X(Diagnosis, "diagnosis")                                             \
+    /* RAS health-state transition (label = component) */                 \
+    X(RasHealth, "ras_health")                                            \
+    /* RAS recommended action (label = action name) */                    \
+    X(RasAction, "ras_action")
+
 /** What happened (the JSONL "kind" field). */
 enum class EventKind
 {
-    CommandIssued, ///< a command edge left the controller
-    PinCorruption, ///< an injected fault mutated the edge in flight
-    Detection,     ///< a mechanism fired (label = mechanism name)
-    Retry,         ///< an access was re-executed after a flag
-    Recovery,      ///< full error-recovery reset (resync/drain/PREA)
-    Scrub,         ///< corrected data written back (redirect scrub)
-    Classification, ///< end-state classification (label = DUE/SDC/...)
-    Escalation,    ///< bank quarantine / rank-degraded transition
-    PatrolScrub,   ///< background patrol corrected a stored block
-    FaultInject,   ///< lineage: a campaign injected a fault (label = site)
-    FaultResolve   ///< lineage: fault reached its terminal state
+#define AIECC_EVENT_KIND_ENUM(kind, name) kind,
+    AIECC_EVENT_KINDS(AIECC_EVENT_KIND_ENUM)
+#undef AIECC_EVENT_KIND_ENUM
 };
+
+/** Number of EventKind enumerators (parsers iterate the schema). */
+constexpr unsigned numEventKinds = []() consteval {
+    unsigned n = 0;
+#define AIECC_EVENT_KIND_COUNT(kind, name) ++n;
+    AIECC_EVENT_KINDS(AIECC_EVENT_KIND_COUNT)
+#undef AIECC_EVENT_KIND_COUNT
+    return n;
+}();
 
 /** Printable event-kind name (the JSONL schema string). */
 std::string eventKindName(EventKind kind);
+
+/**
+ * eventKindName() without the std::string: a view of the static
+ * schema string.  Hot-path consumers (the RAS health monitor) match
+ * kinds without allocating.
+ */
+std::string_view eventKindNameView(EventKind kind);
 
 /**
  * Inverse of eventKindName(): the kind whose schema string is
@@ -51,9 +96,6 @@ std::string eventKindName(EventKind kind);
  * parsers (tools/aiecc-trace) to round-trip recorded events.
  */
 std::optional<EventKind> eventKindFromName(std::string_view name);
-
-/** Number of EventKind enumerators (parsers iterate the schema). */
-constexpr unsigned numEventKinds = 11;
 
 /** One structured observation, timestamped in controller cycles. */
 struct TraceEvent

@@ -110,14 +110,22 @@ RecoveryEngine::charge(unsigned flatBank, double tokens, Cycle now)
         b.level <= static_cast<double>(cfg.bucketCapacity))
         return;
 
+    enterQuarantine(flatBank, now,
+                    "leaky bucket overflowed: bank quarantined");
+}
+
+void
+RecoveryEngine::enterQuarantine(unsigned flatBank, Cycle now,
+                                const char *why)
+{
+    Bucket &b = buckets[flatBank];
     b.quarantined = true;
     ++st.quarantines;
     if (oc.quarantines)
         ++*oc.quarantines;
     if (obsHook) {
         obsHook->emit(obs::EventKind::Escalation, now, "quarantine",
-                      flatBank,
-                      "leaky bucket overflowed: bank quarantined");
+                      flatBank, why);
     }
     if (!degraded && quarantinedBanks() >= cfg.rankDegradeBanks) {
         degraded = true;
@@ -130,6 +138,15 @@ RecoveryEngine::charge(unsigned flatBank, double tokens, Cycle now)
                           "quarantined-bank threshold crossed");
         }
     }
+}
+
+void
+RecoveryEngine::adviseQuarantine(unsigned flatBank, Cycle now)
+{
+    if (flatBank >= buckets.size() || buckets[flatBank].quarantined)
+        return;
+    enterQuarantine(flatBank, now,
+                    "predictive mitigation: bank quarantined");
 }
 
 bool

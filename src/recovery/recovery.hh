@@ -218,6 +218,16 @@ class RecoveryEngine
     const RecoveryConfig &config() const { return cfg; }
     const RecoveryStats &stats() const { return st; }
 
+    /**
+     * Quarantine @p flatBank directly, bypassing the leaky bucket —
+     * the predictive-mitigation entry into the escalation ladder.  A
+     * RAS health monitor that sees a bank failing quarantines it
+     * *before* the retry budget drains; the same Escalation event and
+     * rank-degraded bookkeeping fire as for reactive quarantines.
+     * Idempotent for an already-quarantined bank.
+     */
+    void adviseQuarantine(unsigned flatBank, Cycle now);
+
     /** Bank currently quarantined by the escalation ladder? */
     bool quarantined(unsigned flatBank) const;
 
@@ -283,6 +293,9 @@ class RecoveryEngine
 
     /** Leak, then charge @p tokens into one bank's bucket. */
     void charge(unsigned flatBank, double tokens, Cycle now);
+
+    /** Shared quarantine transition (reactive and advisory paths). */
+    void enterQuarantine(unsigned flatBank, Cycle now, const char *why);
 };
 
 } // namespace aiecc

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the bounded-growth ring buffer: FIFO/deque order,
+ * index wraparound across many push/pop cycles, growth when full,
+ * and element lifetime (popped slots are reset).
+ */
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/ring.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+TEST(Ring, StartsEmpty)
+{
+    Ring<int> ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(Ring, FifoOrder)
+{
+    Ring<int> ring;
+    for (int i = 0; i < 10; ++i)
+        ring.push_back(i);
+    EXPECT_EQ(ring.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, DequeEnds)
+{
+    Ring<int> ring;
+    ring.push_back(1);
+    ring.push_back(2);
+    ring.push_back(3);
+    EXPECT_EQ(ring.front(), 1);
+    EXPECT_EQ(ring.back(), 3);
+    ring.pop_back();
+    EXPECT_EQ(ring.back(), 2);
+    ring.pop_front();
+    EXPECT_EQ(ring.front(), 2);
+    EXPECT_EQ(ring.back(), 2);
+    ring.pop_back();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, IndexFromFront)
+{
+    Ring<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ring.push_back(100 + i);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ring[i], 100 + static_cast<int>(i));
+}
+
+// The head pointer must wrap cleanly: cycle a small-capacity ring far
+// past its slot count and check FIFO order the whole way.
+TEST(Ring, WraparoundKeepsOrder)
+{
+    Ring<int> ring(4);
+    int next = 0, expect = 0;
+    // Prime with 3 of 4 slots so the head keeps moving.
+    for (; next < 3; ++next)
+        ring.push_back(next);
+    for (int cycle = 0; cycle < 1000; ++cycle) {
+        ring.push_back(next++);
+        EXPECT_EQ(ring.front(), expect);
+        ring.pop_front();
+        ++expect;
+        EXPECT_EQ(ring.size(), 3u);
+        // Random access must track the moving head too.
+        for (size_t i = 0; i < ring.size(); ++i)
+            EXPECT_EQ(ring[i], expect + static_cast<int>(i));
+    }
+}
+
+// Pushing into a full ring grows it; contents and order survive the
+// reallocation even when the live range straddles the wrap point.
+TEST(Ring, GrowthWhenFullPreservesOrder)
+{
+    Ring<int> ring(4);
+    // Misalign head so the live elements wrap around the slot array.
+    ring.push_back(-1);
+    ring.push_back(-2);
+    ring.pop_front();
+    ring.pop_front();
+    for (int i = 0; i < 64; ++i)
+        ring.push_back(i);
+    ASSERT_EQ(ring.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+    }
+}
+
+TEST(Ring, ClearEmptiesAndReusable)
+{
+    Ring<std::string> ring(2);
+    ring.push_back("a");
+    ring.push_back("b");
+    ring.push_back("c");
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.push_back("d");
+    EXPECT_EQ(ring.front(), "d");
+    EXPECT_EQ(ring.back(), "d");
+}
+
+// pop resets the vacated slot to T(), so held resources (here a
+// unique_ptr) are released as soon as the element leaves the ring,
+// and move-only element types work end to end including growth.
+TEST(Ring, MoveOnlyElementsAndSlotReset)
+{
+    Ring<std::unique_ptr<int>> ring(2);
+    for (int i = 0; i < 8; ++i)
+        ring.push_back(std::make_unique<int>(i));
+    EXPECT_EQ(ring.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(ring.front());
+        EXPECT_EQ(*ring.front(), i);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, CapacityRoundsUpToPowerOfTwo)
+{
+    // Indirectly observable: a ring asked for 5 slots must hold 8
+    // without losing order (masking arithmetic assumes power of two).
+    Ring<int> ring(5);
+    for (int i = 0; i < 8; ++i)
+        ring.push_back(i);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+    }
+}
+
+} // namespace
+} // namespace aiecc

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the row-chunked sparse burst store: presence-bitmap
+ * gating (reads of never-written columns in a populated row miss),
+ * never-zeroed slab reads (stored bytes come back exactly, nothing
+ * leaks from the uninitialized slab), slab growth past the initial
+ * reserve, and the sorted iteration helpers.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ddr4/address.hh"
+#include "dram/row_store.hh"
+
+namespace aiecc
+{
+namespace
+{
+
+const unsigned kColBits = Geometry{}.mtbColBits();
+
+Burst
+patternBurst(uint32_t salt)
+{
+    Burst burst;
+    for (unsigned p = 0; p < Burst::numPins; ++p)
+        burst.pinBits[p] =
+            static_cast<uint8_t>(salt * 2654435761u >> (p % 24));
+    return burst;
+}
+
+TEST(RowStore, EmptyFindsNothing)
+{
+    RowStore store(kColBits);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.find(0), nullptr);
+    EXPECT_EQ(store.find(0xdeadbeef), nullptr);
+    EXPECT_TRUE(store.sortedKeys().empty());
+}
+
+TEST(RowStore, PutFindRoundTrip)
+{
+    RowStore store(kColBits);
+    const Burst burst = patternBurst(7);
+    store.put(42, burst);
+    ASSERT_NE(store.find(42), nullptr);
+    EXPECT_EQ(*store.find(42), burst);
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RowStore, OverwriteReplacesWithoutGrowing)
+{
+    RowStore store(kColBits);
+    store.put(42, patternBurst(1));
+    store.put(42, patternBurst(2));
+    EXPECT_EQ(store.size(), 1u);
+    ASSERT_NE(store.find(42), nullptr);
+    EXPECT_EQ(*store.find(42), patternBurst(2));
+}
+
+// The slab bytes are never zeroed: only the presence bitmap may decide
+// whether a column exists.  Writing one column of a row must not make
+// any sibling column readable.
+TEST(RowStore, PresenceBitmapGatesSiblingColumns)
+{
+    RowStore store(kColBits);
+    const uint32_t row = 5u << kColBits;
+    store.put(row | 3, patternBurst(3));
+    ASSERT_NE(store.find(row | 3), nullptr);
+    for (uint32_t col = 0; col < (1u << kColBits); ++col) {
+        if (col == 3)
+            continue;
+        EXPECT_EQ(store.find(row | col), nullptr)
+            << "uninitialized column " << col << " leaked";
+    }
+    EXPECT_EQ(store.size(), 1u);
+}
+
+// Every stored burst must come back bit-exact even though the backing
+// slab memory started uninitialized — the put is the only writer.
+TEST(RowStore, NeverZeroedSlabReturnsExactBytes)
+{
+    RowStore store(kColBits);
+    std::vector<uint32_t> keys;
+    for (uint32_t i = 0; i < 500; ++i) {
+        // Scatter across rows and columns, including column 0 (an
+        // all-zero-key slot a zero-initialized map would confuse).
+        const uint32_t key =
+            (i * 2246822519u) % (1u << (kColBits + 10));
+        if (store.find(key))
+            continue;
+        store.put(key, patternBurst(key));
+        keys.push_back(key);
+    }
+    EXPECT_EQ(store.size(), keys.size());
+    for (uint32_t key : keys) {
+        ASSERT_NE(store.find(key), nullptr);
+        EXPECT_EQ(*store.find(key), patternBurst(key));
+    }
+}
+
+// Populate more rows than the initial 1024-row reserve so the store
+// has to chain extra slabs and rehash; everything must stay findable.
+TEST(RowStore, GrowsPastInitialSlab)
+{
+    RowStore store(kColBits);
+    const uint32_t rows = 1800; // > reserveRows, forces extra slabs
+    for (uint32_t r = 0; r < rows; ++r)
+        store.put(r << kColBits | (r % 3), patternBurst(r));
+    EXPECT_EQ(store.size(), rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+        const uint32_t key = r << kColBits | (r % 3);
+        ASSERT_NE(store.find(key), nullptr) << "row " << r;
+        EXPECT_EQ(*store.find(key), patternBurst(r));
+        // Sibling columns of the same row stay gated after growth.
+        EXPECT_EQ(store.find(r << kColBits | ((r % 3) + 1)), nullptr);
+    }
+}
+
+TEST(RowStore, SortedKeysAscending)
+{
+    RowStore store(kColBits);
+    const std::vector<uint32_t> keys = {900, 3, 77, 128, 4096, 12};
+    for (uint32_t key : keys)
+        store.put(key, patternBurst(key));
+    std::vector<uint32_t> expect = keys;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(store.sortedKeys(), expect);
+}
+
+TEST(RowStore, RowColsListsOneRowAscending)
+{
+    RowStore store(kColBits);
+    const uint32_t rowKey = 9;
+    for (unsigned col : {6u, 1u, 4u})
+        store.put(rowKey << kColBits | col, patternBurst(col));
+    store.put((rowKey + 1) << kColBits | 2, patternBurst(99));
+    std::vector<unsigned> cols;
+    store.rowCols(rowKey, cols);
+    EXPECT_EQ(cols, (std::vector<unsigned>{1, 4, 6}));
+    cols.clear();
+    store.rowCols(12345, cols);
+    EXPECT_TRUE(cols.empty());
+}
+
+} // namespace
+} // namespace aiecc

@@ -30,6 +30,14 @@
  *                                          --heartbeat JSONL: percent
  *                                          done, trial rate, ETA, and
  *                                          the record history
+ *   aiecc-trace health [-o OUT] FILE...    replay the symptom stream
+ *                                          through the RAS health
+ *                                          monitor: per-component
+ *                                          states, inferred fault
+ *                                          topologies, recommended
+ *                                          actions, and inference
+ *                                          accuracy against aging-site
+ *                                          ground truth when present
  *
  * Filter predicates: --kind NAME, --label TEXT, --cycle-min N,
  * --cycle-max N.  Multiple input files are concatenated in argument
@@ -54,6 +62,7 @@
 #include "obs/json.hh"
 #include "obs/trace.hh"
 #include "obs/trace_reader.hh"
+#include "ras/health.hh"
 
 namespace
 {
@@ -81,6 +90,12 @@ usage(std::FILE *to)
         "  progress  summarize a campaign's --heartbeat JSONL file:\n"
         "            latest shard/trial counts, percent done, trial\n"
         "            rate, ETA, and forced (SIGUSR1) dumps\n"
+        "  health    replay the symptom stream through the RAS health\n"
+        "            monitor: rank/bank states, inferred fault\n"
+        "            topologies, recommended actions, and — when the\n"
+        "            trace carries aging-site FaultInject ground truth\n"
+        "            — topology-inference accuracy; -o writes the\n"
+        "            monitor's `ras` JSON section\n"
         "\n"
         "common options:\n"
         "  --strict        malformed lines, truncated tails, and\n"
@@ -615,6 +630,171 @@ cmdProgress(const std::vector<std::string> &paths, bool strict)
     return 0;
 }
 
+/** Human-readable one-liner for a confident topology call. */
+std::string
+describeTopology(const ras::TopologyCall &call)
+{
+    char buf[96];
+    switch (call.kind) {
+      case ras::Topology::SingleCell:
+        std::snprintf(buf, sizeof buf, "bank %u single-cell r%u c%u",
+                      call.bank, call.row, call.col);
+        break;
+      case ras::Topology::Row:
+        std::snprintf(buf, sizeof buf, "bank %u row r%u", call.bank,
+                      call.row);
+        break;
+      case ras::Topology::Column:
+        std::snprintf(buf, sizeof buf, "bank %u column c%u", call.bank,
+                      call.col);
+        break;
+      case ras::Topology::Chip:
+        std::snprintf(buf, sizeof buf, "chip %u", call.chip);
+        break;
+      case ras::Topology::Link:
+        if (call.pin >= 0)
+            return "link pin " + pinName(static_cast<Pin>(call.pin));
+        return "link";
+      case ras::Topology::None:
+      default:
+        return "none";
+    }
+    return buf;
+}
+
+/**
+ * Replay a recorded symptom stream through a fresh HealthMonitor —
+ * the exact sink the live benches attach — and report what an
+ * operator would see: rank/bank health states, windowed symptom
+ * counters, confident topology inferences, and the recommended-action
+ * log.  FaultInject events whose labels follow the aging-site
+ * convention ("row:b<B>:r<R>", "chip:<N>", "pin:<NAME>") are ground
+ * truth; when any are present the inferences are scored against them,
+ * mirroring the prediction accuracy in bench_e2e_throughput --aging.
+ */
+int
+cmdHealth(const std::string &outPath,
+          const std::vector<std::string> &paths, bool strict)
+{
+    // Streamed: the monitor is a constant-size aggregate, and only the
+    // (few) distinct aging-site labels are retained.
+    ras::HealthMonitor monitor;
+    std::vector<std::string> sites;
+    const uint64_t totalEvents = streamAll(
+        paths, strict, [&](const obs::TraceEvent &event) {
+            if (event.kind == obs::EventKind::FaultInject &&
+                (event.label.rfind("row:b", 0) == 0 ||
+                 event.label.rfind("chip:", 0) == 0 ||
+                 event.label.rfind("pin:", 0) == 0) &&
+                std::find(sites.begin(), sites.end(), event.label) ==
+                    sites.end())
+                sites.push_back(event.label);
+            monitor.record(event);
+        });
+
+    std::printf("%llu event(s) replayed: rank %s, %u degraded / %u "
+                "failing bank(s)\n",
+                static_cast<unsigned long long>(totalEvents),
+                ras::healthStateName(monitor.rankState()),
+                monitor.degradedBanks(), monitor.failingBanks());
+    std::printf("faults followed: %llu injected, %llu resolved\n",
+                static_cast<unsigned long long>(
+                    monitor.faultsInjected()),
+                static_cast<unsigned long long>(
+                    monitor.faultsResolved()));
+
+    for (unsigned b = 0; b < monitor.config().geom.numBanks(); ++b) {
+        if (monitor.bankState(b) == ras::HealthState::Healthy)
+            continue;
+        std::printf("  bank %-2u %s\n", b,
+                    ras::healthStateName(monitor.bankState(b)));
+    }
+
+    const std::vector<ras::TopologyCall> calls = monitor.topologies();
+    std::printf("\ntopology calls (%zu):\n", calls.size());
+    if (calls.empty())
+        std::printf("  (none — not enough concentrated evidence)\n");
+    for (const ras::TopologyCall &call : calls) {
+        std::printf("  %-28s evidence=%llu share=%.0f%%\n",
+                    describeTopology(call).c_str(),
+                    static_cast<unsigned long long>(call.evidence),
+                    100.0 * call.share);
+    }
+
+    const std::vector<ras::RecommendedAction> &log = monitor.actionLog();
+    std::printf("\nrecommended actions (%zu):\n", log.size());
+    for (const ras::RecommendedAction &act : log) {
+        std::printf("  cycle %8llu  %-16s",
+                    static_cast<unsigned long long>(act.cycle),
+                    ras::actionName(act.kind));
+        if (act.kind == ras::ActionKind::RetireRow)
+            std::printf("  bank %u row %u", act.bank, act.row);
+        else if (act.kind == ras::ActionKind::QuarantineBank)
+            std::printf("  bank %u", act.bank);
+        std::printf("\n");
+    }
+
+    if (!sites.empty()) {
+        // Score each ground-truth site exactly as the aging bench
+        // does: a weak row must be called as that (bank, row), a dying
+        // chip as that chip, a marginal CA pin as a link fault
+        // (class-level — alert events carry no pin address).
+        uint64_t matched = 0;
+        std::printf("\naging-site ground truth (%zu site(s)):\n",
+                    sites.size());
+        for (const std::string &site : sites) {
+            bool ok = false;
+            std::string inferred = "none";
+            unsigned bank = 0, row = 0, chip = 0;
+            if (std::sscanf(site.c_str(), "row:b%u:r%u", &bank,
+                            &row) == 2) {
+                const ras::TopologyCall call = monitor.bankTopology(bank);
+                ok = call.kind == ras::Topology::Row && call.row == row;
+                if (call.kind != ras::Topology::None)
+                    inferred = describeTopology(call);
+            } else if (std::sscanf(site.c_str(), "chip:%u", &chip) ==
+                       1) {
+                for (const ras::TopologyCall &call :
+                     monitor.chipTopologies()) {
+                    if (call.chip != chip)
+                        continue;
+                    ok = true;
+                    inferred = describeTopology(call);
+                    break;
+                }
+            } else {
+                const ras::TopologyCall call = monitor.linkTopology();
+                ok = call.kind == ras::Topology::Link;
+                if (ok)
+                    inferred = describeTopology(call);
+            }
+            matched += ok;
+            std::printf("  %-14s -> %-28s %s\n", site.c_str(),
+                        inferred.c_str(), ok ? "match" : "MISS");
+        }
+        std::printf("topology inference matched %llu/%zu (%.0f%%)\n",
+                    static_cast<unsigned long long>(matched),
+                    sites.size(),
+                    sites.empty()
+                        ? 0.0
+                        : 100.0 * static_cast<double>(matched) /
+                              static_cast<double>(sites.size()));
+    }
+
+    if (!outPath.empty()) {
+        obs::JsonWriter w;
+        monitor.writeJson(w);
+        if (!w.writeFile(outPath)) {
+            std::fprintf(stderr, "aiecc-trace: cannot write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "aiecc-trace: ras section -> %s\n",
+                     outPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -719,6 +899,8 @@ main(int argc, char **argv)
         return cmdCost(costLevel, outPath, paths, strict);
     if (cmd == "progress")
         return cmdProgress(paths, strict);
+    if (cmd == "health")
+        return cmdHealth(outPath, paths, strict);
     std::fprintf(stderr, "aiecc-trace: unknown command: %s\n",
                  cmd.c_str());
     usage(stderr);

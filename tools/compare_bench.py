@@ -45,6 +45,18 @@ exceeds the baseline by more than ``--alloc-threshold`` percent
 (default 0, i.e. any regression), the script emits a GitHub
 ``::error::`` annotation and exits 1.
 
+Schema v7 adds ``options.health``/``aging``/``mitigate`` and a
+top-level ``ras`` section (the RAS health monitor's rank/bank states,
+inferred fault topologies, recommended actions and, in aging mode, the
+topology-inference accuracy).  The monitor's view of a deterministic
+campaign is itself deterministic, so differences are behavioral — but
+the section only exists when the producing run enabled health
+telemetry, so a missing side (a pre-v7 baseline, or a run without
+``--health``) skips the comparison with a note instead of failing.
+The comparison is a soft gate: a changed rank state, changed topology
+calls, or a topology-inference accuracy drop each print a
+``::warning::`` annotation, never an error.
+
 Exit status: 0 on a successful comparison (regression or not), 1 when
 either artifact is missing, unparsable, or structurally incompatible
 (wrong schema version, different bench, missing fields) — or when the
@@ -104,10 +116,11 @@ def main():
 
     # v3 only added 'jobs' to 'options', v4 only added the top-level
     # 'cost' section, v5 only added checkpoint/exhaustive bookkeeping,
-    # and v6 only added heartbeat/alloc observability, so any v2..v6
+    # v6 only added heartbeat/alloc observability, and v7 only added
+    # health-telemetry options and the 'ras' section, so any v2..v7
     # pairing stays comparable; anything else is a structural mismatch
     # and both versions are spelled out for the CI log.
-    versions = (2, 3, 4, 5, 6)
+    versions = (2, 3, 4, 5, 6, 7)
     compatible = {(a, b) for a in versions for b in versions if a != b}
     if base["schema_version"] != cur["schema_version"]:
         pair = (base["schema_version"], cur["schema_version"])
@@ -133,6 +146,7 @@ def main():
               f"skipping the throughput comparison")
         compare_costs(base, cur, args.cost_threshold)
         compare_exhaustive(base, cur)
+        compare_ras(base, cur)
         sys.exit(0 if compare_alloc(base, cur, args.alloc_threshold)
                  else 1)
     try:
@@ -182,6 +196,7 @@ def main():
 
     compare_costs(base, cur, args.cost_threshold)
     compare_exhaustive(base, cur)
+    compare_ras(base, cur)
     sys.exit(0 if compare_alloc(base, cur, args.alloc_threshold)
              else 1)
 
@@ -263,6 +278,78 @@ def compare_alloc(base, cur, threshold):
               f"something on the access hot path now allocates")
         return False
     return True
+
+
+def topology_key(call):
+    """Order-independent identity of one topology call."""
+    return tuple(call.get(k) for k in
+                 ("component", "kind", "bank", "row", "col", "chip",
+                  "pin"))
+
+
+def compare_ras(base, cur):
+    """Soft-diff the schema v7 ``ras`` health-telemetry sections.
+
+    The monitor replays the same deterministic event stream the
+    campaign produced, so between two artifacts of the same bench and
+    options its conclusions — rank state, topology calls, inference
+    accuracy — only move when behavior moved.  The section is opt-in
+    (``--health``, or always-on for the e2e bench), so a side without
+    one (a pre-v7 baseline included) skips with a note rather than
+    failing.
+    """
+    base_ras = base.get("ras")
+    cur_ras = cur.get("ras")
+    if base_ras is None and cur_ras is None:
+        return
+    if base_ras is None or cur_ras is None:
+        which = "baseline" if base_ras is None else "current"
+        print(f"note: {which} artifact carries no 'ras' section "
+              f"(predates schema v7 or ran without --health); "
+              f"skipping the RAS comparison")
+        return
+
+    base_rank = (base_ras.get("rank") or {}).get("state")
+    cur_rank = (cur_ras.get("rank") or {}).get("state")
+    print(f"ras.rank.state: baseline {base_rank}  current {cur_rank}")
+    if base_rank != cur_rank:
+        print(f"::warning title=RAS rank state change::rank health "
+              f"changed from '{base_rank}' to '{cur_rank}'; the "
+              f"monitor is deterministic, so the symptom stream "
+              f"changed")
+
+    base_top = {topology_key(c): c
+                for c in (base_ras.get("topologies") or [])}
+    cur_top = {topology_key(c): c
+               for c in (cur_ras.get("topologies") or [])}
+    print(f"ras.topologies: baseline {len(base_top)} call(s)  "
+          f"current {len(cur_top)} call(s)")
+    if set(base_top) != set(cur_top):
+        gone = len(set(base_top) - set(cur_top))
+        new = len(set(cur_top) - set(base_top))
+        print(f"::warning title=RAS topology change::topology calls "
+              f"differ from the baseline ({gone} disappeared, {new} "
+              f"new); fault-topology inference reached different "
+              f"conclusions")
+
+    base_pred = base_ras.get("prediction")
+    cur_pred = cur_ras.get("prediction")
+    if base_pred is None or cur_pred is None:
+        if base_pred is not None or cur_pred is not None:
+            which = "baseline" if base_pred is None else "current"
+            print(f"note: {which} artifact carries no ras.prediction "
+                  f"(ran without aging sites); skipping the accuracy "
+                  f"comparison")
+        return
+    try:
+        b, c = float(base_pred["accuracy"]), float(cur_pred["accuracy"])
+    except (KeyError, TypeError, ValueError):
+        return
+    print(f"ras.prediction.accuracy: baseline {b:.2f}  current {c:.2f}")
+    if c < b:
+        print(f"::warning title=RAS inference accuracy drop::"
+              f"topology-inference accuracy dropped from {b:.2f} to "
+              f"{c:.2f} on the same aging plan")
 
 
 def exhaustive_sections(doc):
